@@ -1,0 +1,20 @@
+"""Helpers shared by the benchmark modules (kept out of conftest for clean imports)."""
+
+from __future__ import annotations
+
+import os
+
+
+def full_bench() -> bool:
+    """True when the user asked for the full (slow) benchmark sweeps."""
+    return os.environ.get("REPRO_FULL_BENCH", "0") not in ("", "0", "false", "False")
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run ``function`` exactly once under pytest-benchmark timing.
+
+    The experiments are deterministic and relatively slow, so a single round
+    gives a meaningful wall-clock figure without multiplying the suite's
+    runtime.
+    """
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,47 @@
+"""Shared fixtures for the benchmark suite.
+
+Each benchmark module regenerates one table or figure of the paper: it runs
+the corresponding experiment from :mod:`repro.analysis.experiments`, prints
+the same rows/series the paper reports (run pytest with ``-s`` to see them)
+and asserts the qualitative shape (who wins, in which regime).
+
+Set ``REPRO_FULL_BENCH=1`` to run the full seven-topology sweeps of Fig. 10;
+by default a representative subset keeps the suite to a few minutes.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from bench_utils import full_bench  # noqa: E402
+
+from repro.analysis.experiments import Instance, standard_instances  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def instances() -> dict:
+    """The seven Table III instances, shared (and cached) across benchmarks."""
+    return standard_instances()
+
+
+@pytest.fixture(scope="session")
+def abilene_instance(instances) -> Instance:
+    return instances["Abilene"]
+
+
+@pytest.fixture(scope="session")
+def cernet2_instance(instances) -> Instance:
+    return instances["Cernet2"]
+
+
+@pytest.fixture(scope="session")
+def fig10_instance_names(instances) -> list:
+    """Which instances the Fig. 10 benchmark sweeps (subset unless full bench)."""
+    if full_bench():
+        return list(instances)
+    return ["Abilene", "Cernet2", "Hier50b", "Rand50a"]

@@ -1,0 +1,132 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+These go beyond the paper's own figures:
+
+* **Second-weight split vs even ECMP split** on the same first weights --
+  isolates the value of the second link weight ("one more weight").
+* **Gravity vs uniform traffic matrix** on Cernet2 -- how much of the SPEF
+  advantage depends on the demand structure.
+* **Constant vs diminishing step** in Algorithm 1 -- the convergence/accuracy
+  trade-off behind the Fig. 12 step-size choice.
+"""
+
+import numpy as np
+import pytest
+
+from bench_utils import run_once
+from repro.analysis.reporting import format_table, print_report
+from repro.core.first_weights import compute_first_weights
+from repro.core.objectives import normalized_utility
+from repro.protocols.ospf import OSPF
+from repro.protocols.spef_protocol import SPEFProtocol
+from repro.solvers.assignment import ecmp_assignment
+from repro.solvers.subgradient import DiminishingStep
+from repro.traffic.gravity import uniform_traffic_matrix
+from repro.traffic.scaling import scale_to_network_load
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_second_weight_vs_even_split(benchmark, abilene_instance):
+    """Does the second weight actually matter, or would even ECMP on the first weights do?"""
+
+    def run():
+        instance = abilene_instance
+        demands = instance.at_fraction(0.95)
+        protocol = SPEFProtocol()
+        solution = protocol.fit(instance.network, demands)
+        even_flows = ecmp_assignment(
+            instance.network,
+            demands,
+            solution.first_weights,
+            tolerance=solution.dags[next(iter(solution.dags))].tolerance,
+        )
+        return {
+            "SPEF (exp. split)": normalized_utility(solution.flows.utilization()),
+            "Even ECMP on first weights": normalized_utility(even_flows.utilization()),
+            "OSPF (InvCap)": normalized_utility(
+                OSPF().route(instance.network, demands).utilization()
+            ),
+            "spef_mlu": solution.max_link_utilization(),
+            "even_mlu": even_flows.max_link_utilization(),
+        }
+
+    results = run_once(benchmark, run)
+    rows = [
+        {"routing": key, "utility": value}
+        for key, value in results.items()
+        if not key.endswith("_mlu")
+    ]
+    print_report(format_table(rows, title="Ablation -- value of the second link weight (Abilene, 95% saturation)"))
+
+    # The exponential split must not be worse than even splitting over the
+    # same shortest paths, and must keep MLU within capacity.
+    spef = results["SPEF (exp. split)"]
+    even = results["Even ECMP on first weights"]
+    assert spef >= even - 1e-6 or even == float("-inf")
+    assert results["spef_mlu"] < 1.0
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_gravity_vs_uniform_demands(benchmark, cernet2_instance):
+    """How much of the SPEF-vs-OSPF gap survives with a structureless demand matrix?"""
+
+    def run():
+        network = cernet2_instance.network
+        results = {}
+        for label, base in (
+            ("gravity", cernet2_instance.base_demands),
+            ("uniform", uniform_traffic_matrix(network, 1.0)),
+        ):
+            from repro.solvers.mcf import solve_min_mlu
+
+            base_load = base.network_load(network)
+            base_mlu = solve_min_mlu(network, base, allow_overload=True).objective
+            demands = scale_to_network_load(network, base, base_load * 0.85 / base_mlu)
+            spef = normalized_utility(SPEFProtocol().route(network, demands).utilization())
+            ospf = normalized_utility(OSPF().route(network, demands).utilization())
+            results[label] = {"SPEF": spef, "OSPF": ospf}
+        return results
+
+    results = run_once(benchmark, run)
+    rows = [
+        {"demands": label, "SPEF": values["SPEF"], "OSPF": values["OSPF"]}
+        for label, values in results.items()
+    ]
+    print_report(format_table(rows, title="Ablation -- demand structure (Cernet2, 85% saturation)"))
+
+    for label, values in results.items():
+        assert values["SPEF"] > float("-inf"), label
+        if values["OSPF"] > float("-inf"):
+            assert values["SPEF"] >= values["OSPF"] - 1e-6, label
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_constant_vs_diminishing_step(benchmark, cernet2_instance):
+    """Algorithm 1 step-size rule: accuracy after a fixed iteration budget."""
+
+    def run():
+        network = cernet2_instance.network
+        demands = cernet2_instance.at_fraction(0.8)
+        constant = compute_first_weights(
+            network, demands, max_iterations=300, tolerance=0.0, step_ratio=1.0
+        )
+        diminishing = compute_first_weights(
+            network,
+            demands,
+            max_iterations=300,
+            tolerance=0.0,
+            step_rule=DiminishingStep(1.0 / float(np.max(network.capacities)), decay=0.02),
+        )
+        return {
+            "constant": abs(constant.dual_gap_history[-1]),
+            "diminishing": abs(diminishing.dual_gap_history[-1]),
+        }
+
+    gaps = run_once(benchmark, run)
+    print_report(
+        format_table(
+            [{"step rule": k, "final |dual gap|": v} for k, v in gaps.items()],
+            title="Ablation -- Algorithm 1 step rule after 300 iterations (Cernet2)",
+        )
+    )
+    assert all(np.isfinite(v) for v in gaps.values())

@@ -1,0 +1,53 @@
+"""Fig. 10: normalised utility of SPEF vs OSPF across network loads.
+
+By default a representative subset of the seven topologies is swept (set
+``REPRO_FULL_BENCH=1`` for all of them).  The paper's claim: SPEF's utility is
+at least OSPF's everywhere, the gap widens as the load grows, and SPEF keeps
+working (finite utility) at loads where OSPF's MLU exceeds 1.
+"""
+
+import pytest
+
+from bench_utils import run_once
+from repro.analysis.experiments import fig10_utility_sweep
+from repro.analysis.reporting import format_series, print_report
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_utility_vs_load(benchmark, instances, fig10_instance_names):
+    def sweep_all():
+        return {
+            name: fig10_utility_sweep(instances[name])
+            for name in fig10_instance_names
+        }
+
+    results = run_once(benchmark, sweep_all)
+
+    sections = []
+    for name, series in results.items():
+        sections.append(
+            format_series(
+                {"OSPF": series["OSPF"], "SPEF": series["SPEF"]},
+                x_values=series["load"],
+                x_label="load",
+                title=f"Fig. 10 -- utility vs network load, {name}",
+            )
+        )
+    print_report(*sections)
+
+    for name, series in results.items():
+        ospf, spef = series["OSPF"], series["SPEF"]
+        # SPEF is finite at every swept load (the sweep stops at the
+        # saturation point by construction).
+        assert all(value > float("-inf") for value in spef), name
+        # SPEF's utility is never worse than OSPF's.
+        for o, s in zip(ospf, spef):
+            if o == float("-inf"):
+                continue
+            assert s >= o - 1e-6, name
+        # The gap is non-trivial at the highest load on at least one network.
+    gaps = []
+    for name, series in results.items():
+        o, s = series["OSPF"][-1], series["SPEF"][-1]
+        gaps.append(float("inf") if o == float("-inf") else s - o)
+    assert max(gaps) > 0.1

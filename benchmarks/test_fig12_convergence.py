@@ -1,0 +1,70 @@
+"""Fig. 12: convergence of Algorithms 1 and 2 on Cernet2 for several step sizes."""
+
+import numpy as np
+import pytest
+
+from bench_utils import run_once
+from repro.analysis.experiments import fig12_convergence
+from repro.analysis.reporting import format_series, print_report
+
+
+def _tail_oscillation(history, window=50):
+    tail = np.asarray(history[-window:])
+    return float(np.max(tail) - np.min(tail)) if tail.size else 0.0
+
+
+@pytest.mark.benchmark(group="fig12")
+def test_fig12_convergence(benchmark, cernet2_instance):
+    results = run_once(
+        benchmark,
+        fig12_convergence,
+        cernet2_instance,
+        None,
+        (2.0, 1.0, 0.5, 0.1),
+        (2.0, 1.0, 0.5, 0.25),
+        400,
+        150,
+    )
+    alg1 = results["algorithm1"]
+    alg2 = results["algorithm2"]
+
+    def subsample(series, count=20):
+        step = max(1, len(series) // count)
+        return series[::step]
+
+    print_report(
+        format_series(
+            {name: subsample(history) for name, history in alg1.items()},
+            x_label="iteration/20",
+            title="Fig. 12(a) -- dual objective of Algorithm 1 (TE), Cernet2",
+        ),
+        format_series(
+            {name: subsample(history) for name, history in alg2.items()},
+            x_label="iteration/8",
+            title="Fig. 12(b) -- dual objective of Algorithm 2 (NEM), Cernet2",
+        ),
+    )
+
+    # Every run produced a full, finite history.
+    for collection in (alg1, alg2):
+        for name, history in collection.items():
+            assert len(history) > 10, name
+            assert all(np.isfinite(v) for v in history), name
+
+    # Algorithm 1: the dual value decreases substantially from its start with
+    # the default step, and the end-of-run oscillation with the default step
+    # (ratio 1) is no larger than with the double step (ratio 2) -- the
+    # paper's "too large a step size causes a little oscillation".
+    default = alg1["ratio=1"]
+    assert default[0] - min(default) > 0.5 * (default[0] - min(min(h) for h in alg1.values()))
+    assert _tail_oscillation(alg1["ratio=1"]) <= _tail_oscillation(alg1["ratio=2"]) + 1e-6
+
+    # The tiny step (ratio 0.1) converges more slowly: after the same number
+    # of iterations it is still farther from the best value reached.
+    best = min(min(h) for h in alg1.values())
+    assert alg1["ratio=0.1"][-1] >= alg1["ratio=1"][-1] - 1e-9 or alg1["ratio=0.1"][-1] > best
+
+    # Algorithm 2: the dual starts at the v=0 value and does not increase much
+    # (v=0 is already a good approximation, as the paper notes).
+    for name, history in alg2.items():
+        assert history[-1] <= history[0] + 1e-6, name

@@ -1,0 +1,42 @@
+"""Fig. 13: impact of integer (rounded) first weights on the achieved utility."""
+
+import pytest
+
+from bench_utils import full_bench, run_once
+from repro.analysis.experiments import fig13_integer_weights
+from repro.analysis.reporting import format_series, print_report
+
+
+@pytest.mark.benchmark(group="fig13")
+@pytest.mark.parametrize("instance_name", ["Abilene", "Cernet2"])
+def test_fig13_integer_weights(benchmark, instances, instance_name):
+    instance = instances[instance_name]
+    loads = instance.fig10_loads()
+    if not full_bench():
+        loads = loads[::2]  # thin the sweep for the default run
+    series = run_once(benchmark, fig13_integer_weights, instance, loads)
+    print_report(
+        format_series(
+            {"Noninteger": series["Noninteger"], "Integer": series["Integer"]},
+            x_values=series["load"],
+            x_label="load",
+            title=f"Fig. 13 -- impact of integer weights, {instance_name}",
+        )
+    )
+
+    noninteger = series["Noninteger"]
+    integer = series["Integer"]
+    assert len(noninteger) == len(integer) == len(loads)
+
+    # Fractional weights always achieve a finite utility across the sweep.
+    assert all(value > float("-inf") for value in noninteger)
+
+    # At the lowest load the integer rounding has little impact (< 15%
+    # relative utility loss); the paper's observation is that errors only
+    # matter at high load.
+    low_gap = abs(integer[0] - noninteger[0])
+    assert low_gap <= 0.15 * abs(noninteger[0]) + 1e-6
+
+    # Rounding never helps (the fractional weights realise the optimum).
+    for frac, rounded in zip(noninteger, integer):
+        assert rounded <= frac + 0.5

@@ -1,0 +1,41 @@
+"""Fig. 2: link cost as a function of load for FT and the (1, beta) objectives."""
+
+import numpy as np
+import pytest
+
+from bench_utils import run_once
+from repro.analysis.experiments import fig2_cost_curves
+from repro.analysis.reporting import format_series, print_report
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2_cost_curves(benchmark):
+    loads = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95]
+    curves = run_once(benchmark, fig2_cost_curves, loads)
+    series = {name: values for name, values in curves.items() if name != "load"}
+    print_report(
+        format_series(
+            series,
+            x_values=curves["load"],
+            x_label="load",
+            title="Fig. 2 -- link cost vs load (capacity 1)",
+        )
+    )
+
+    # All curves start at zero cost and increase with load.
+    for name, values in series.items():
+        finite = [v for v in values if np.isfinite(v)]
+        assert finite[0] == pytest.approx(0.0, abs=1e-9)
+        assert all(a <= b + 1e-12 for a, b in zip(finite, finite[1:])), name
+
+    # beta = 0 is linear in load; beta = 2 grows faster than beta = 1 near
+    # saturation; FT explodes past 90% utilization (slope 500 segment).
+    assert series["beta=0"][-1] == pytest.approx(0.95, abs=1e-9)
+    assert series["beta=2"][-1] > series["beta=1"][-1] > series["beta=0"][-1]
+    # The FT cost accelerates sharply past 90% utilization (slope jumps from
+    # 10 to 70): the last 5% of load costs more than the preceding 10%.
+    index_08 = loads.index(0.8)
+    index_09 = loads.index(0.9)
+    assert (series["FT"][-1] - series["FT"][index_09]) > (
+        series["FT"][index_09] - series["FT"][index_08]
+    )

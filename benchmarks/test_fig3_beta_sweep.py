@@ -1,0 +1,36 @@
+"""Fig. 3: first link weights and utilizations vs the load-balance parameter beta."""
+
+import pytest
+
+from bench_utils import run_once
+from repro.analysis.experiments import fig3_beta_sweep
+from repro.analysis.reporting import format_series, print_report
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_beta_sweep(benchmark):
+    betas = [0.0, 0.5, 1.0, 2.0, 3.0, 4.0, 5.0]
+    results = run_once(benchmark, fig3_beta_sweep, betas)
+    weights = results["weights"]
+    utilizations = results["utilizations"]
+    print_report(
+        format_series(weights, x_values=betas, x_label="beta", title="Fig. 3(a) -- first weights vs beta"),
+        format_series(
+            utilizations, x_values=betas, x_label="beta", title="Fig. 3(b) -- link utilization vs beta"
+        ),
+    )
+
+    # Fig. 3(a): the weight of the bottleneck arc (3,4) grows explosively
+    # with beta, while the (1,2)/(2,3) weights stay moderate and equal.
+    assert weights["3->4"][-1] > 100 * weights["3->4"][betas.index(1.0)]
+    for w12, w23 in zip(weights["1->2"], weights["2->3"]):
+        assert w12 == pytest.approx(w23, rel=0.05, abs=1e-6)
+
+    # Fig. 3(b): the utilization of arc (1,3) decreases in beta (more traffic
+    # detours through 1-2-3), while arc (3,4) keeps its forced 0.9 load.
+    u13 = utilizations["1->3"]
+    assert all(a >= b - 1e-6 for a, b in zip(u13, u13[1:]))
+    assert u13[0] == pytest.approx(1.0, abs=1e-6)
+    assert u13[-1] < 0.75
+    for value in utilizations["3->4"]:
+        assert value == pytest.approx(0.9, abs=1e-6)

@@ -1,0 +1,38 @@
+"""Fig. 5 / Table II: the SPEF forwarding table for destination 2 on the Fig. 4 example."""
+
+import pytest
+
+from bench_utils import run_once
+from repro.analysis.experiments import fig5_forwarding_table
+from repro.analysis.reporting import format_table, print_report
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_forwarding_table(benchmark):
+    result = run_once(benchmark, fig5_forwarding_table, 1.0, 2)
+    rows = result["rows"]
+    print_report(
+        format_table(
+            rows,
+            columns=["node", "destination", "next_hop", "num_paths", "path_lengths", "split_ratio"],
+            title="Fig. 5 / Table II -- SPEF forwarding entries towards destination 2",
+        )
+    )
+
+    solution = result["solution"]
+    # Every router that can reach destination 2 holds an entry, every entry's
+    # split ratios form a probability distribution, and the path lengths are
+    # measured under the second weights (non-negative).
+    nodes_with_entries = {row["node"] for row in rows}
+    assert 1 in nodes_with_entries
+    per_node = {}
+    for row in rows:
+        per_node.setdefault(row["node"], 0.0)
+        per_node[row["node"]] += row["split_ratio"]
+        assert row["num_paths"] >= 1
+        assert all(length >= 0 for length in row["path_lengths"])
+    for node, total in per_node.items():
+        assert total == pytest.approx(1.0, abs=1e-6), f"split ratios at node {node}"
+
+    # The realised flows implement optimal TE on this example.
+    assert solution.optimality_gap() == pytest.approx(0.0, abs=1e-3)

@@ -1,0 +1,40 @@
+"""Fig. 6: link utilizations of OSPF and SPEF(beta) on the Fig. 4 example topology."""
+
+import pytest
+
+from bench_utils import run_once
+from repro.analysis.experiments import fig4_example_results
+from repro.analysis.reporting import format_series, print_report
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_example_utilization(benchmark):
+    results = run_once(benchmark, fig4_example_results, (0.0, 1.0, 5.0))
+    series = {
+        "OSPF": results["OSPF_utilization"],
+        "SPEF0": results["SPEF0_utilization"],
+        "SPEF1": results["SPEF1_utilization"],
+        "SPEF5": results["SPEF5_utilization"],
+    }
+    print_report(
+        format_series(
+            series,
+            x_values=list(range(1, 14)),
+            x_label="link",
+            title="Fig. 6 -- link utilization on the Fig. 4 example",
+        )
+    )
+
+    # OSPF overloads at least one link; every SPEF variant keeps (essentially)
+    # within capacity.
+    assert max(series["OSPF"]) > 1.0
+    for name in ("SPEF0", "SPEF1", "SPEF5"):
+        assert max(series[name]) <= 1.0 + 5e-3, name
+
+    # Larger beta flattens the distribution: the maximum utilization under
+    # SPEF5 is no higher than under SPEF0.
+    assert max(series["SPEF5"]) <= max(series["SPEF0"]) + 1e-6
+
+    # SPEF spreads traffic over at least as many links as OSPF.
+    used = lambda values: sum(1 for v in values if v > 1e-6)
+    assert used(series["SPEF1"]) >= used(series["OSPF"])

@@ -1,0 +1,35 @@
+"""Fig. 7: the first and second link weights on the Fig. 4 example for beta in {0, 1, 5}."""
+
+import numpy as np
+import pytest
+
+from bench_utils import run_once
+from repro.analysis.experiments import fig4_example_results
+from repro.analysis.reporting import format_series, print_report
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_example_weights(benchmark):
+    results = run_once(benchmark, fig4_example_results, (0.0, 1.0, 5.0))
+    first = {f"SPEF{b:g}": results[f"SPEF{b:g}_first_weights"] for b in (0, 1, 5)}
+    second = {f"SPEF{b:g}": results[f"SPEF{b:g}_second_weights"] for b in (0, 1, 5)}
+    links = list(range(1, 14))
+    print_report(
+        format_series(first, x_values=links, x_label="link", title="Fig. 7(a) -- first link weights"),
+        format_series(second, x_values=links, x_label="link", title="Fig. 7(b) -- second link weights"),
+    )
+
+    for name, values in first.items():
+        values = np.asarray(values)
+        assert np.all(values >= 0), name
+        assert np.any(values > 0), name
+    for name, values in second.items():
+        values = np.asarray(values)
+        assert np.all(values >= 0), name
+        assert np.all(np.isfinite(values)), name
+
+    # The paper's observation: with beta = 0 the first weights are flat
+    # (minimum-hop-like), while beta = 5 concentrates a much larger weight on
+    # the congested links, increasing the spread.
+    spread = lambda values: float(np.max(values) - np.min(values))
+    assert spread(first["SPEF5"]) >= spread(first["SPEF0"]) - 1e-9

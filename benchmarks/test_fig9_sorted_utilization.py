@@ -1,0 +1,38 @@
+"""Fig. 9: sorted link utilizations of OSPF vs SPEF on Abilene and Cernet2."""
+
+import pytest
+
+from bench_utils import run_once
+from repro.analysis.experiments import fig9_sorted_utilizations
+from repro.analysis.reporting import format_series, print_report
+
+
+@pytest.mark.benchmark(group="fig9")
+@pytest.mark.parametrize("instance_name", ["Abilene", "Cernet2"])
+def test_fig9_sorted_utilization(benchmark, instances, instance_name):
+    instance = instances[instance_name]
+    series = run_once(benchmark, fig9_sorted_utilizations, instance)
+    load = 0.85 * instance.saturation_load()
+    print_report(
+        format_series(
+            series,
+            x_label="rank",
+            title=f"Fig. 9 -- sorted link utilizations, {instance_name} at network load {load:.3f}",
+        )
+    )
+
+    ospf, spef = series["OSPF"], series["SPEF"]
+    assert len(ospf) == len(spef) == instance.network.num_links
+
+    # The curves are sorted in decreasing order.
+    assert ospf == sorted(ospf, reverse=True)
+    assert spef == sorted(spef, reverse=True)
+
+    # SPEF's hottest link is no hotter than OSPF's and stays within capacity.
+    assert spef[0] <= ospf[0] + 1e-9
+    assert spef[0] < 1.0
+
+    # SPEF moves traffic from over-utilized onto under-utilized links: the
+    # utilization spread (hottest minus coldest used link) shrinks.
+    spread = lambda values: values[0] - values[-1]
+    assert spread(spef) <= spread(ospf) + 1e-9

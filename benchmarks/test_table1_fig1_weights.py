@@ -1,0 +1,44 @@
+"""Table I: weights and link utilizations on the Fig. 1 topology.
+
+Regenerates the rows of Table I -- the optimal weights and resulting link
+utilizations on the 4-link example for beta=0, beta=1, Fortz-Thorup optimised
+weights and min-max MLU routing.
+"""
+
+import pytest
+
+from bench_utils import run_once
+from repro.analysis.experiments import table1_weights_and_utilizations
+from repro.analysis.reporting import format_table, print_report
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_weights_and_utilizations(benchmark):
+    rows = run_once(benchmark, table1_weights_and_utilizations)
+    print_report(format_table(rows, title="Table I -- Fig. 1 example, weights and utilizations"))
+
+    by_objective = {}
+    for row in rows:
+        by_objective.setdefault(row["objective"], {})[row["link"]] = row
+
+    # beta = 1 column: the exact Table I values.
+    beta1 = by_objective["beta=1"]
+    assert beta1["1->3"]["weight"] == pytest.approx(3.0, rel=0.02)
+    assert beta1["3->4"]["weight"] == pytest.approx(10.0, rel=0.02)
+    assert beta1["1->2"]["weight"] == pytest.approx(1.5, rel=0.02)
+    assert beta1["1->3"]["utilization"] == pytest.approx(2 / 3, abs=5e-3)
+    assert beta1["3->4"]["utilization"] == pytest.approx(0.9, abs=1e-6)
+
+    # beta = 0 column: direct link saturated, detour unused.
+    beta0 = by_objective["beta=0"]
+    assert beta0["1->3"]["utilization"] == pytest.approx(1.0, abs=1e-6)
+    assert beta0["1->2"]["utilization"] == pytest.approx(0.0, abs=1e-6)
+
+    # Fortz-Thorup column: optimised weights avoid saturating any link.
+    ft = by_objective["Fortz-Thorup"]
+    assert max(row["utilization"] for row in ft.values()) <= 1.0 + 1e-9
+
+    # min-max MLU column: MLU is 0.9 and the detour shares the (1,3) demand.
+    mlu = by_objective["min-max MLU"]
+    assert max(row["utilization"] for row in mlu.values()) == pytest.approx(0.9, abs=1e-4)
+    assert mlu["1->2"]["utilization"] == pytest.approx(mlu["2->3"]["utilization"], abs=1e-6)

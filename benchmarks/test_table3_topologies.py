@@ -1,0 +1,30 @@
+"""Table III: properties of the evaluation networks."""
+
+import pytest
+
+from bench_utils import run_once
+from repro.analysis.experiments import table3_topologies
+from repro.analysis.reporting import format_table, print_report
+
+EXPECTED = {
+    "Abilene": ("Backbone", 11, 28),
+    "Cernet2": ("Backbone", 20, 44),
+    "Hier50a": ("2-level", 50, 222),
+    "Hier50b": ("2-level", 50, 152),
+    "Rand50a": ("Random", 50, 242),
+    "Rand50b": ("Random", 50, 230),
+    "Rand100": ("Random", 100, 392),
+}
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_topologies(benchmark, instances):
+    rows = run_once(benchmark, table3_topologies, instances)
+    print_report(format_table(rows, title="Table III -- properties of the evaluation networks"))
+
+    by_name = {row["network"]: row for row in rows}
+    assert set(by_name) == set(EXPECTED)
+    for name, (kind, nodes, links) in EXPECTED.items():
+        assert by_name[name]["topology"] == kind
+        assert by_name[name]["nodes"] == nodes
+        assert by_name[name]["links"] == links

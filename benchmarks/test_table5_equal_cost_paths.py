@@ -1,0 +1,41 @@
+"""Table V: number of ingress-egress pairs with i equal-cost paths (Cernet2)."""
+
+import pytest
+
+from bench_utils import run_once
+from repro.analysis.experiments import table5_equal_cost_paths
+from repro.analysis.reporting import format_histogram, print_report
+
+
+@pytest.mark.benchmark(group="table5")
+def test_table5_equal_cost_paths(benchmark, cernet2_instance):
+    results = run_once(
+        benchmark, table5_equal_cost_paths, (0.6, 0.8, 1.0), cernet2_instance
+    )
+
+    sections = [
+        format_histogram(histogram, title=f"Table V -- equal-cost path histogram, {label}")
+        for label, histogram in results.items()
+    ]
+    print_report(*sections)
+
+    network = cernet2_instance.network
+    total_pairs = network.num_nodes * (network.num_nodes - 1)
+
+    ospf = results["OSPF"]
+    spef_keys = [key for key in results if key.startswith("SPEF")]
+    assert len(spef_keys) == 3
+
+    # Every pair is reachable under OSPF's InvCap weights.
+    assert sum(ospf.values()) == total_pairs
+    assert ospf.get(0, 0) == 0
+
+    def multipath(histogram):
+        return sum(count for paths, count in histogram.items() if paths >= 2)
+
+    # SPEF exposes at least as much path diversity as OSPF, and the diversity
+    # does not decrease as the load grows (the paper: more equal-cost paths
+    # are used at higher loads, while OSPF never changes).
+    diversities = [multipath(results[key]) for key in spef_keys]
+    assert diversities[0] >= multipath(ospf)
+    assert diversities[-1] >= diversities[0]

@@ -1,0 +1,76 @@
+"""Quickstart: configure SPEF on a small network and compare it with OSPF.
+
+Builds the paper's 7-node example topology (Fig. 4), routes the Table IV
+demands with plain OSPF (InvCap weights + even ECMP) and with SPEF, and
+prints the two link weights SPEF installs, the per-link utilizations and the
+headline metrics.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import OSPF, SPEF
+from repro.analysis.reporting import format_table
+from repro.core.objectives import normalized_utility
+from repro.topology import fig4_demands, fig4_network
+
+
+def main() -> None:
+    network = fig4_network()
+    demands = fig4_demands()
+    print(f"Topology: {network.name} ({network.num_nodes} nodes, {network.num_links} links)")
+    print(f"Demands:  {len(demands)} pairs, {demands.total_volume():g} units total\n")
+
+    # --- Baseline: OSPF with InvCap weights and even ECMP splitting --------
+    ospf = OSPF()
+    ospf_flows = ospf.route(network, demands)
+
+    # --- SPEF: two weights per link, provably optimal traffic engineering --
+    spef = SPEF()
+    solution = spef.fit(network, demands)
+
+    rows = []
+    for link in network.links:
+        rows.append(
+            {
+                "link": f"{link.source}->{link.target}",
+                "first weight": round(float(solution.first_weights[link.index]), 3),
+                "second weight": round(float(solution.second_weights[link.index]), 3),
+                "OSPF util": round(float(ospf_flows.utilization()[link.index]), 3),
+                "SPEF util": round(float(solution.utilization()[link.index]), 3),
+            }
+        )
+    print(format_table(rows, title="Per-link weights and utilizations"))
+    print()
+
+    summary = [
+        {
+            "protocol": "OSPF",
+            "max utilization": round(ospf_flows.max_link_utilization(), 3),
+            "utility": round(normalized_utility(ospf_flows.utilization()), 3),
+        },
+        {
+            "protocol": "SPEF",
+            "max utilization": round(solution.max_link_utilization(), 3),
+            "utility": round(solution.normalized_utility(), 3),
+        },
+    ]
+    print(format_table(summary, title="Summary (utility = sum of log(1 - utilization))"))
+    print()
+    print(f"SPEF optimality gap vs. the TE optimum: {solution.optimality_gap():.2e}")
+
+    # Peek at one router's forwarding table (Table II of the paper).
+    table = solution.forwarding_tables[1]
+    destination = 2
+    print(f"\nForwarding table of router 1 towards destination {destination}:")
+    for entry in table.entries.get(destination, []):
+        lengths = ", ".join(f"{x:.3f}" for x in entry.path_lengths)
+        print(
+            f"  next hop {entry.next_hop}: {entry.num_paths} equal-cost path(s), "
+            f"second-weight lengths [{lengths}], split ratio {entry.split_ratio:.3f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

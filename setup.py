@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept alongside ``pyproject.toml`` so the package can be installed in editable
+mode (``pip install -e . --no-use-pep517``) on machines without network access
+to the PEP 517 build requirements (no ``wheel`` package available offline).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,57 @@
+"""SPEF: optimal OSPF traffic engineering with one extra link weight.
+
+Reproduction of "One More Weight is Enough: Toward the Optimal Traffic
+Engineering with OSPF" (Xu, Liu, Liu, Shen -- ICDCS 2011).
+
+The public API re-exports the pieces most users need:
+
+* :class:`~repro.network.Network` / :class:`~repro.network.TrafficMatrix` --
+  the problem inputs;
+* :class:`~repro.core.LoadBalanceObjective` -- the (q, beta) objective family;
+* :class:`~repro.core.SPEF` / :class:`~repro.protocols.SPEFProtocol` -- the
+  protocol itself;
+* the baselines (:class:`~repro.protocols.OSPF`,
+  :class:`~repro.protocols.PEFT`, :class:`~repro.protocols.FortzThorup`,
+  :class:`~repro.protocols.MinMaxMLU`);
+* topologies and traffic generators used in the paper's evaluation.
+"""
+
+from . import core, network, protocols, solvers, topology, traffic
+from .core import (
+    SPEF,
+    LoadBalanceObjective,
+    SPEFConfig,
+    SPEFSolution,
+    TEProblem,
+    TESolution,
+    solve_optimal_te,
+)
+from .network import FlowAssignment, Network, TrafficMatrix
+from .protocols import OSPF, PEFT, FortzThorup, MinMaxMLU, SPEFProtocol
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "core",
+    "network",
+    "protocols",
+    "solvers",
+    "topology",
+    "traffic",
+    "SPEF",
+    "LoadBalanceObjective",
+    "SPEFConfig",
+    "SPEFSolution",
+    "TEProblem",
+    "TESolution",
+    "solve_optimal_te",
+    "FlowAssignment",
+    "Network",
+    "TrafficMatrix",
+    "OSPF",
+    "PEFT",
+    "FortzThorup",
+    "MinMaxMLU",
+    "SPEFProtocol",
+    "__version__",
+]

@@ -1,0 +1,49 @@
+"""Experiment harness and plain-text reporting."""
+
+from .experiments import (
+    Instance,
+    fig2_cost_curves,
+    fig3_beta_sweep,
+    fig4_example_results,
+    fig5_forwarding_table,
+    fig9_sorted_utilizations,
+    fig10_utility_sweep,
+    fig11_simulation,
+    fig12_convergence,
+    fig13_integer_weights,
+    standard_instances,
+    table1_weights_and_utilizations,
+    table3_topologies,
+    table4_demands,
+    table5_equal_cost_paths,
+)
+from .reporting import (
+    format_histogram,
+    format_series,
+    format_table,
+    print_report,
+    series_summary,
+)
+
+__all__ = [
+    "Instance",
+    "fig2_cost_curves",
+    "fig3_beta_sweep",
+    "fig4_example_results",
+    "fig5_forwarding_table",
+    "fig9_sorted_utilizations",
+    "fig10_utility_sweep",
+    "fig11_simulation",
+    "fig12_convergence",
+    "fig13_integer_weights",
+    "standard_instances",
+    "table1_weights_and_utilizations",
+    "table3_topologies",
+    "table4_demands",
+    "table5_equal_cost_paths",
+    "format_histogram",
+    "format_series",
+    "format_table",
+    "print_report",
+    "series_summary",
+]

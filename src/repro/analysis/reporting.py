@@ -1,0 +1,102 @@
+"""Plain-text reporting helpers for experiment results.
+
+The benchmarks print the same rows/series the paper's tables and figures
+report; these helpers keep that formatting in one place (aligned text tables
+and simple numeric series), so benchmark modules stay declarative.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    float_format: str = "{:.4g}",
+    title: Optional[str] = None,
+) -> str:
+    """Render a list of dict rows as an aligned text table."""
+    rows = list(rows)
+    if not rows:
+        return f"{title}\n(empty)" if title else "(empty)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def render(value: object) -> str:
+        if isinstance(value, float):
+            if value == float("inf"):
+                return "inf"
+            if value == float("-inf"):
+                return "-inf"
+            return float_format.format(value)
+        return str(value)
+
+    rendered = [[render(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(str(col)), *(len(line[i]) for line in rendered)) for i, col in enumerate(columns)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = "  ".join(str(col).ljust(widths[i]) for i, col in enumerate(columns))
+    lines.append(header)
+    lines.append("  ".join("-" * widths[i] for i in range(len(columns))))
+    for line in rendered:
+        lines.append("  ".join(line[i].ljust(widths[i]) for i in range(len(columns))))
+    return "\n".join(lines)
+
+
+def format_series(
+    series: Mapping[str, Sequence[float]],
+    x_values: Optional[Sequence[float]] = None,
+    x_label: str = "x",
+    float_format: str = "{:.4g}",
+    title: Optional[str] = None,
+) -> str:
+    """Render several aligned numeric series (one column per series)."""
+    names = list(series)
+    if not names:
+        return "(empty)"
+    length = max(len(values) for values in series.values())
+    rows = []
+    for index in range(length):
+        row: Dict[str, object] = {}
+        if x_values is not None and index < len(x_values):
+            row[x_label] = x_values[index]
+        else:
+            row[x_label] = index
+        for name in names:
+            values = series[name]
+            row[name] = float(values[index]) if index < len(values) else ""
+        rows.append(row)
+    return format_table(rows, columns=[x_label] + names, float_format=float_format, title=title)
+
+
+def format_histogram(histogram: Mapping[int, int], title: Optional[str] = None) -> str:
+    """Render a ``{bucket: count}`` histogram as a compact table."""
+    rows = [
+        {"paths": bucket, "pairs": count}
+        for bucket, count in sorted(histogram.items())
+    ]
+    return format_table(rows, columns=["paths", "pairs"], title=title)
+
+
+def print_report(*sections: str) -> None:
+    """Print report sections separated by blank lines (captured by pytest -s)."""
+    print()
+    for section in sections:
+        print(section)
+        print()
+
+
+def series_summary(values: Iterable[float]) -> Dict[str, float]:
+    """Min/mean/max of a numeric series (for quick assertions in benchmarks)."""
+    data = [float(v) for v in values]
+    if not data:
+        return {"min": 0.0, "mean": 0.0, "max": 0.0}
+    return {
+        "min": min(data),
+        "mean": sum(data) / len(data),
+        "max": max(data),
+    }

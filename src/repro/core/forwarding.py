@@ -1,0 +1,188 @@
+"""SPEF forwarding tables (Table II of the paper).
+
+A SPEF router stores, for every destination ``t`` and every equal-cost next
+hop ``v_k``, the lengths (under the *second* link weights) of the equal-cost
+shortest paths that go through that next hop.  From those lengths it computes
+the exponential split ratio of Eq. (22) locally, without any knowledge of the
+rest of the network beyond the two weights per link -- this is what makes SPEF
+deployable on an OSPF-like control plane.
+
+:class:`ForwardingTable` materialises this structure.  For compactness the
+split ratios are computed exactly with the DAG dynamic program of
+:mod:`repro.core.traffic_distribution`; the explicit per-path lengths (the
+literal content of Table II) are enumerated lazily and only up to a
+configurable cap, since their number can grow exponentially.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..network.graph import Network, Node
+from ..network.spt import ShortestPathDag
+from .traffic_distribution import exponential_split_ratios, path_weight_sums
+
+
+@dataclass(frozen=True)
+class ForwardingEntry:
+    """One row of Table II: a next hop with its equal-cost path lengths."""
+
+    next_hop: Node
+    #: Second-weight lengths of the equal-cost paths through this next hop
+    #: (possibly truncated, see ``ForwardingTable.max_paths_per_entry``).
+    path_lengths: Tuple[float, ...]
+    #: Fraction of the node's traffic towards the destination sent to this hop.
+    split_ratio: float
+
+    @property
+    def num_paths(self) -> int:
+        return len(self.path_lengths)
+
+
+@dataclass
+class ForwardingTable:
+    """The SPEF forwarding state of a single router (one node).
+
+    Maps each destination to the list of :class:`ForwardingEntry` rows for the
+    router's equal-cost next hops.
+    """
+
+    node: Node
+    entries: Dict[Node, List[ForwardingEntry]] = field(default_factory=dict)
+
+    def destinations(self) -> List[Node]:
+        return list(self.entries)
+
+    def next_hops(self, destination: Node) -> List[Node]:
+        return [entry.next_hop for entry in self.entries.get(destination, [])]
+
+    def split_ratio(self, destination: Node, next_hop: Node) -> float:
+        for entry in self.entries.get(destination, []):
+            if entry.next_hop == next_hop:
+                return entry.split_ratio
+        return 0.0
+
+    def split_ratios(self, destination: Node) -> Dict[Node, float]:
+        return {
+            entry.next_hop: entry.split_ratio
+            for entry in self.entries.get(destination, [])
+        }
+
+    def num_equal_cost_paths(self, destination: Node) -> int:
+        """Total number of equal-cost paths this router sees towards ``destination``."""
+        return sum(entry.num_paths for entry in self.entries.get(destination, []))
+
+    def as_rows(self, destination: Node) -> List[Tuple[Node, Tuple[float, ...]]]:
+        """The literal Table II rows: (next hop, tuple of path lengths)."""
+        return [
+            (entry.next_hop, entry.path_lengths)
+            for entry in self.entries.get(destination, [])
+        ]
+
+
+def _paths_through_hop(
+    dag: ShortestPathDag,
+    node: Node,
+    hop: Node,
+    limit: int,
+) -> List[List[Node]]:
+    """Equal-cost paths from ``node`` whose first hop is ``hop`` (capped)."""
+    suffixes = dag.paths_from(hop, limit=limit)
+    return [[node] + suffix for suffix in suffixes]
+
+
+def build_forwarding_tables(
+    network: Network,
+    dags: Mapping[Node, ShortestPathDag],
+    second_weights: np.ndarray,
+    max_paths_per_entry: int = 32,
+) -> Dict[Node, ForwardingTable]:
+    """Build the SPEF forwarding table of every router.
+
+    Parameters
+    ----------
+    dags:
+        Equal-cost shortest-path DAGs per destination (from the first weights).
+    second_weights:
+        Link-indexed second weight vector ``v``.
+    max_paths_per_entry:
+        Cap on how many per-path lengths are materialised per (destination,
+        next hop) row.  Split ratios are always exact (computed by the DAG
+        dynamic program), only the explicit length listing is truncated.
+    """
+    second = np.asarray(second_weights, dtype=float)
+    tables: Dict[Node, ForwardingTable] = {
+        node: ForwardingTable(node=node) for node in network.nodes
+    }
+    for destination, dag in dags.items():
+        ratios = exponential_split_ratios(network, dag, second)
+        for node in dag.distances:
+            if node == destination:
+                continue
+            hops = dag.next_hops_of(node)
+            if not hops:
+                continue
+            node_ratios = ratios.get(node, {})
+            entries: List[ForwardingEntry] = []
+            for hop in hops:
+                lengths = []
+                for path in _paths_through_hop(dag, node, hop, max_paths_per_entry):
+                    length = sum(
+                        second[network.link_index(u, v)]
+                        for u, v in zip(path[:-1], path[1:])
+                    )
+                    lengths.append(float(length))
+                entries.append(
+                    ForwardingEntry(
+                        next_hop=hop,
+                        path_lengths=tuple(lengths),
+                        split_ratio=float(node_ratios.get(hop, 0.0)),
+                    )
+                )
+            tables[node].entries[destination] = entries
+    return tables
+
+
+def split_ratios_from_tables(
+    tables: Mapping[Node, ForwardingTable],
+) -> Dict[Node, Dict[Node, Dict[Node, float]]]:
+    """Re-index forwarding tables as ``destination -> node -> hop -> ratio``.
+
+    This is the format :func:`repro.solvers.assignment.split_ratio_assignment`
+    consumes, and it is also what the flow-level simulator installs on its
+    routers.
+    """
+    ratios: Dict[Node, Dict[Node, Dict[Node, float]]] = {}
+    for node, table in tables.items():
+        for destination in table.destinations():
+            ratios.setdefault(destination, {})[node] = table.split_ratios(destination)
+    return ratios
+
+
+def verify_split_consistency(
+    network: Network,
+    dags: Mapping[Node, ShortestPathDag],
+    second_weights: np.ndarray,
+    tables: Mapping[Node, ForwardingTable],
+    tolerance: float = 1e-9,
+) -> bool:
+    """Check that table split ratios match Eq. (22) recomputed from scratch.
+
+    Used by tests to guarantee the distributed view (per-router tables) and
+    the centralized view (Algorithm 3) agree exactly.
+    """
+    second = np.asarray(second_weights, dtype=float)
+    for destination, dag in dags.items():
+        expected = exponential_split_ratios(network, dag, second)
+        for node, hop_ratios in expected.items():
+            table = tables.get(node)
+            if table is None:
+                return False
+            actual = table.split_ratios(destination)
+            for hop, ratio in hop_ratios.items():
+                if abs(actual.get(hop, 0.0) - ratio) > tolerance:
+                    return False
+    return True

@@ -1,0 +1,328 @@
+"""Algorithm 4: the SPEF routing protocol (Shortest paths Penalizing Exponential Flow-splitting).
+
+SPEF achieves optimal traffic engineering with an OSPF-compatible data plane
+by configuring *two* weights per link:
+
+1. the **first link weights** define the shortest paths (Theorem 3.1
+   guarantees that an optimal routing exists that only uses those paths);
+2. the **second link weights** let every router split traffic across its
+   equal-cost next hops with the exponential ratios of Eq. (22), so that the
+   resulting distribution matches the optimal one (Theorem 4.2).
+
+:class:`SPEF` runs the full pipeline (Algorithm 4):
+
+* solve TE(V, G, c, D) for the optimal distribution ``f*`` and the first
+  weights (either centrally via Frank-Wolfe or distributedly via
+  Algorithm 1);
+* optionally round the first weights to integers (Section V-G);
+* build the per-destination equal-cost shortest-path DAGs with Dijkstra;
+* run Algorithm 2 to obtain the second weights;
+* install the Table II forwarding tables and compute the realised flows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..network.demands import TrafficMatrix
+from ..network.flows import FlowAssignment
+from ..network.graph import Network, Node
+from ..network.spt import ShortestPathDag, all_shortest_path_dags
+from .first_weights import FirstWeightsResult, compute_first_weights, round_weights
+from .forwarding import ForwardingTable, build_forwarding_tables
+from .nem import SecondWeightsResult, compute_second_weights
+from .objectives import LoadBalanceObjective, normalized_utility
+from .te_problem import TEProblem, TESolution, solve_optimal_te
+
+
+@dataclass
+class SPEFConfig:
+    """Tunable knobs of the SPEF pipeline.
+
+    Attributes
+    ----------
+    objective:
+        The (q, beta) utility used for the optimal TE problem.  The paper's
+        evaluation uses beta = 1 (proportional load balance).
+    te_solver:
+        ``"frank_wolfe"`` solves TE(V, G, c, D) centrally (fast, accurate);
+        ``"dual"`` uses the distributed Algorithm 1, which is what a real
+        deployment would run.
+    ecmp_tolerance:
+        Cost tolerance for declaring two paths equal in Dijkstra.  ``None``
+        picks ``ecmp_tolerance_factor * mean(positive first weights)``, which
+        mirrors the paper's use of a tolerance matched to the weight scale
+        (0.3 for fractional weights, 1 for integer weights).
+    integer_weights:
+        Round the first weights to integers before building shortest paths
+        (Section V-G / Fig. 13).
+    augment_dags_with_optimum:
+        Add optimal-flow-carrying downhill links to the equal-cost DAGs (see
+        :meth:`SPEF._augment_dags`).  With exact optimal weights this is a
+        no-op; with approximate weights it keeps the NEM target attainable.
+    dag_flow_threshold:
+        Per-destination optimal flow (as a fraction of the total demand
+        volume) below which a link is not considered "carrying" flow for the
+        DAG augmentation.
+    """
+
+    objective: LoadBalanceObjective = field(default_factory=LoadBalanceObjective.proportional)
+    te_solver: str = "frank_wolfe"
+    ecmp_tolerance: Optional[float] = None
+    ecmp_tolerance_factor: float = 0.05
+    integer_weights: bool = False
+    max_integer_weight: Optional[int] = 65535
+    augment_dags_with_optimum: bool = True
+    dag_flow_threshold: float = 1e-4
+    te_max_iterations: int = 400
+    te_tolerance: float = 1e-7
+    alg1_max_iterations: int = 2000
+    alg1_tolerance: float = 1e-3
+    alg1_step_ratio: float = 1.0
+    alg2_max_iterations: int = 500
+    alg2_tolerance: float = 1e-3
+    alg2_step_ratio: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.te_solver not in ("frank_wolfe", "dual"):
+            raise ValueError(
+                f"te_solver must be 'frank_wolfe' or 'dual', got {self.te_solver!r}"
+            )
+
+
+@dataclass
+class SPEFSolution:
+    """Everything SPEF computes for one (network, demands) instance."""
+
+    network: Network
+    demands: TrafficMatrix
+    config: SPEFConfig
+    #: First link weights actually installed (possibly integer-rounded).
+    first_weights: np.ndarray
+    #: The raw (un-rounded) first weights from the TE solution.
+    raw_first_weights: np.ndarray
+    second_weights: np.ndarray
+    dags: Dict[Node, ShortestPathDag]
+    forwarding_tables: Dict[Node, ForwardingTable]
+    #: Flows realised by the SPEF forwarding tables.
+    flows: FlowAssignment
+    #: The optimal traffic distribution ``f*`` SPEF aims to reproduce.
+    target_flows: np.ndarray
+    te_solution: Optional[TESolution] = None
+    first_result: Optional[FirstWeightsResult] = None
+    second_result: Optional[SecondWeightsResult] = None
+
+    # ------------------------------------------------------------------
+    # headline metrics
+    # ------------------------------------------------------------------
+    def max_link_utilization(self) -> float:
+        return self.flows.max_link_utilization()
+
+    def utilization(self) -> np.ndarray:
+        return self.flows.utilization()
+
+    def normalized_utility(self) -> float:
+        """``sum log(1 - u_ij)`` of the realised flows (Fig. 10 metric)."""
+        return normalized_utility(self.flows.utilization())
+
+    def utility(self) -> float:
+        """Aggregate (q, beta) utility of the realised flows."""
+        return self.config.objective.total_utility(self.flows.spare_capacity())
+
+    def target_utility(self) -> float:
+        """Aggregate utility of the optimal distribution ``f*`` (upper bound)."""
+        spare = self.network.capacities - self.target_flows
+        return self.config.objective.total_utility(spare)
+
+    def optimality_gap(self) -> float:
+        """Relative gap between realised and optimal utility (0 means optimal TE)."""
+        realised = self.utility()
+        optimal = self.target_utility()
+        if not np.isfinite(realised):
+            return float("inf")
+        return float((optimal - realised) / max(abs(optimal), 1e-12))
+
+    # ------------------------------------------------------------------
+    # path-diversity views (Table V)
+    # ------------------------------------------------------------------
+    def equal_cost_paths(self, source: Node, destination: Node) -> int:
+        """Number of equal-cost shortest paths SPEF uses for one pair."""
+        dag = self.dags.get(destination)
+        if dag is None or not dag.reachable(source):
+            return 0
+        return dag.count_paths().get(source, 0)
+
+    def equal_cost_path_histogram(self, max_paths: int = 8) -> Dict[int, int]:
+        """``{i: number of ingress-egress pairs with i equal-cost paths}``.
+
+        Counts every ordered pair of distinct nodes (as Table V does), not
+        only the pairs with demand.
+        """
+        histogram: Dict[int, int] = {}
+        counts_cache: Dict[Node, Dict[Node, int]] = {}
+        for destination in self.network.nodes:
+            dag = self.dags.get(destination)
+            if dag is None:
+                continue
+            counts_cache[destination] = dag.count_paths()
+        for destination, counts in counts_cache.items():
+            for source in self.network.nodes:
+                if source == destination:
+                    continue
+                n_paths = min(counts.get(source, 0), max_paths)
+                histogram[n_paths] = histogram.get(n_paths, 0) + 1
+        return histogram
+
+
+class SPEF:
+    """The SPEF protocol: compute both link weights and the forwarding state.
+
+    Examples
+    --------
+    >>> from repro.topology import fig4_network, fig4_demands
+    >>> spef = SPEF()
+    >>> solution = spef.fit(fig4_network(), fig4_demands())
+    >>> solution.max_link_utilization() <= 1.0
+    True
+    """
+
+    def __init__(self, config: Optional[SPEFConfig] = None, **overrides) -> None:
+        if config is None:
+            config = SPEFConfig(**overrides)
+        elif overrides:
+            raise ValueError("pass either a config object or keyword overrides, not both")
+        self.config = config
+
+    # ------------------------------------------------------------------
+    def _solve_te(self, network: Network, demands: TrafficMatrix) -> Tuple[
+        np.ndarray, FlowAssignment, Optional[TESolution], Optional[FirstWeightsResult]
+    ]:
+        """Step 1 of Algorithm 4: optimal flows ``f*`` and first weights."""
+        cfg = self.config
+        if cfg.te_solver == "dual":
+            result = compute_first_weights(
+                network,
+                demands,
+                objective=cfg.objective,
+                max_iterations=cfg.alg1_max_iterations,
+                tolerance=cfg.alg1_tolerance,
+                step_ratio=cfg.alg1_step_ratio,
+                record_history=False,
+            )
+            return result.weights, result.flows, None, result
+        problem = TEProblem(network=network, demands=demands, objective=cfg.objective)
+        te_solution = solve_optimal_te(
+            problem,
+            max_iterations=cfg.te_max_iterations,
+            tolerance=cfg.te_tolerance,
+        )
+        return (
+            te_solution.link_weights,
+            te_solution.flows,
+            te_solution,
+            None,
+        )
+
+    def _augment_dags(
+        self,
+        network: Network,
+        dags: Dict[Node, ShortestPathDag],
+        optimal_flows: FlowAssignment,
+        flow_threshold: float,
+    ) -> None:
+        """Add optimal-flow-carrying downhill links to the shortest-path DAGs.
+
+        At the exact TE optimum every link carrying flow towards a destination
+        lies on a shortest path under the first weights (complementary
+        slackness, conditions (6d)-(6e)).  With numerically approximate
+        weights, Dijkstra's cost tolerance can still miss some of those links,
+        which would make the NEM target unattainable and let the realised
+        flows exceed ``f*``.  This step restores the theoretically-correct
+        path set: any link with per-destination optimal flow above
+        ``flow_threshold`` whose head is strictly closer to the destination is
+        added as an extra next hop (strict downhill keeps the DAG acyclic).
+        """
+        for destination, dag in dags.items():
+            vector = optimal_flows.per_destination.get(destination)
+            if vector is None:
+                continue
+            for link in network.links:
+                if vector[link.index] <= flow_threshold:
+                    continue
+                dist_u = dag.distances.get(link.source)
+                dist_v = dag.distances.get(link.target)
+                if dist_u is None or dist_v is None:
+                    continue
+                if dist_v >= dist_u:
+                    continue
+                hops = dag.next_hops.setdefault(link.source, [])
+                if link.target not in hops:
+                    hops.append(link.target)
+
+    def _ecmp_tolerance(self, weights: np.ndarray) -> float:
+        cfg = self.config
+        if cfg.ecmp_tolerance is not None:
+            return cfg.ecmp_tolerance
+        if cfg.integer_weights:
+            return 1.0
+        positive = weights[weights > 0]
+        if positive.size == 0:
+            return 1e-9
+        return cfg.ecmp_tolerance_factor * float(np.mean(positive))
+
+    # ------------------------------------------------------------------
+    def fit(self, network: Network, demands: TrafficMatrix) -> SPEFSolution:
+        """Run the whole SPEF pipeline (Algorithm 4) on one instance."""
+        demands.validate(network)
+        cfg = self.config
+
+        raw_weights, optimal_flows, te_solution, first_result = self._solve_te(network, demands)
+        target_flows = np.minimum(np.maximum(optimal_flows.aggregate(), 0.0), network.capacities)
+
+        installed = raw_weights
+        if cfg.integer_weights:
+            spare = network.capacities - target_flows
+            installed = round_weights(raw_weights, spare, cfg.max_integer_weight)
+
+        tolerance = self._ecmp_tolerance(installed)
+        destinations = demands.destinations()
+        dags = all_shortest_path_dags(network, destinations, installed, tolerance)
+        if cfg.augment_dags_with_optimum:
+            total_volume = demands.total_volume()
+            flow_threshold = cfg.dag_flow_threshold * max(total_volume, 1e-12)
+            self._augment_dags(network, dags, optimal_flows, flow_threshold)
+
+        second = compute_second_weights(
+            network,
+            demands,
+            dags,
+            target_flows,
+            max_iterations=cfg.alg2_max_iterations,
+            tolerance=cfg.alg2_tolerance,
+            step_ratio=cfg.alg2_step_ratio,
+            record_history=False,
+        )
+
+        tables = build_forwarding_tables(network, dags, second.weights)
+        return SPEFSolution(
+            network=network,
+            demands=demands,
+            config=cfg,
+            first_weights=installed,
+            raw_first_weights=raw_weights,
+            second_weights=second.weights,
+            dags=dags,
+            forwarding_tables=tables,
+            flows=second.flows,
+            target_flows=target_flows,
+            te_solution=te_solution,
+            first_result=first_result,
+            second_result=second,
+        )
+
+    def route(self, network: Network, demands: TrafficMatrix) -> FlowAssignment:
+        """Convenience wrapper returning only the realised flows."""
+        return self.fit(network, demands).flows

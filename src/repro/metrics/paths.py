@@ -1,0 +1,85 @@
+"""Path-diversity metrics (Table V of the paper).
+
+Table V reports, for Cernet2 at several load levels, how many ingress-egress
+pairs see 1, 2, 3 or 4 equal-cost shortest paths under SPEF's first weights,
+compared with OSPF's InvCap weights.  These helpers compute that histogram for
+any weight setting, and a few related diversity measures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from ..network.graph import Network, Node
+from ..network.spt import ShortestPathDag, WeightsLike, all_shortest_path_dags
+
+
+def equal_cost_path_counts(
+    network: Network,
+    weights: WeightsLike,
+    tolerance: float = 1e-9,
+    destinations: Optional[list] = None,
+) -> Dict[tuple, int]:
+    """Number of equal-cost shortest paths for every ordered node pair."""
+    if destinations is None:
+        destinations = network.nodes
+    dags = all_shortest_path_dags(network, destinations, weights, tolerance)
+    counts: Dict[tuple, int] = {}
+    for destination, dag in dags.items():
+        per_source = dag.count_paths()
+        for source in network.nodes:
+            if source == destination:
+                continue
+            counts[(source, destination)] = per_source.get(source, 0)
+    return counts
+
+
+def equal_cost_path_histogram(
+    network: Network,
+    weights: WeightsLike,
+    tolerance: float = 1e-9,
+    max_paths: int = 8,
+    destinations: Optional[list] = None,
+) -> Dict[int, int]:
+    """``{i: number of ingress-egress pairs with i equal-cost paths}`` (Table V)."""
+    counts = equal_cost_path_counts(network, weights, tolerance, destinations)
+    histogram: Dict[int, int] = {}
+    for value in counts.values():
+        bucket = min(value, max_paths)
+        histogram[bucket] = histogram.get(bucket, 0) + 1
+    return histogram
+
+
+def histogram_from_dags(dags: Mapping[Node, ShortestPathDag], network: Network, max_paths: int = 8) -> Dict[int, int]:
+    """Table V histogram computed from already-built DAGs (e.g. a SPEF solution)."""
+    histogram: Dict[int, int] = {}
+    for destination, dag in dags.items():
+        per_source = dag.count_paths()
+        for source in network.nodes:
+            if source == destination:
+                continue
+            bucket = min(per_source.get(source, 0), max_paths)
+            histogram[bucket] = histogram.get(bucket, 0) + 1
+    return histogram
+
+
+def multipath_pairs(histogram: Dict[int, int]) -> int:
+    """Number of pairs with at least two equal-cost paths."""
+    return sum(count for paths, count in histogram.items() if paths >= 2)
+
+
+def average_path_diversity(
+    network: Network, weights: WeightsLike, tolerance: float = 1e-9
+) -> float:
+    """Mean number of equal-cost paths over all ordered pairs."""
+    counts = equal_cost_path_counts(network, weights, tolerance)
+    if not counts:
+        return 0.0
+    return float(np.mean([max(value, 0) for value in counts.values()]))
+
+
+def used_link_count(mean_link_load: Mapping[tuple, float], threshold: float = 1e-6) -> int:
+    """How many links carry load above ``threshold`` (the Fig. 11 comparison)."""
+    return sum(1 for load in mean_link_load.values() if load > threshold)

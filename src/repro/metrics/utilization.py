@@ -1,0 +1,92 @@
+"""Link-utilization metrics used throughout the evaluation section."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..network.flows import FlowAssignment
+from ..network.graph import Edge
+
+
+def max_link_utilization(flows: FlowAssignment) -> float:
+    """The MLU of a traffic distribution."""
+    return flows.max_link_utilization()
+
+
+def sorted_link_utilizations(flows: FlowAssignment, descending: bool = True) -> np.ndarray:
+    """Link utilizations sorted (Fig. 9 plots these for OSPF vs SPEF)."""
+    return flows.sorted_utilizations(descending=descending)
+
+
+def utilization_percentiles(
+    flows: FlowAssignment, percentiles: Tuple[float, ...] = (50.0, 90.0, 99.0, 100.0)
+) -> Dict[float, float]:
+    """Selected percentiles of the link-utilization distribution."""
+    values = flows.utilization()
+    if values.size == 0:
+        return {p: 0.0 for p in percentiles}
+    return {p: float(np.percentile(values, p)) for p in percentiles}
+
+
+def overloaded_links(flows: FlowAssignment, threshold: float = 1.0) -> List[Edge]:
+    """Links whose utilization reaches or exceeds ``threshold`` (default 100%)."""
+    utilization = flows.utilization()
+    return [
+        link.endpoints
+        for link in flows.network.links
+        if utilization[link.index] >= threshold - 1e-12
+    ]
+
+
+def underutilized_links(flows: FlowAssignment, threshold: float = 0.1) -> List[Edge]:
+    """Links carrying less than ``threshold`` of their capacity.
+
+    The Fig. 9 discussion points out that OSPF leaves several links nearly
+    idle while overloading others; this helper quantifies that.
+    """
+    utilization = flows.utilization()
+    return [
+        link.endpoints
+        for link in flows.network.links
+        if utilization[link.index] < threshold
+    ]
+
+
+def load_imbalance(flows: FlowAssignment) -> float:
+    """Coefficient of variation of link utilization (0 = perfectly balanced)."""
+    values = flows.utilization()
+    if values.size == 0:
+        return 0.0
+    mean = float(np.mean(values))
+    if mean <= 0:
+        return 0.0
+    return float(np.std(values) / mean)
+
+
+@dataclass(frozen=True)
+class UtilizationSummary:
+    """Compact per-distribution utilization statistics for reports."""
+
+    mlu: float
+    mean: float
+    median: float
+    stddev: float
+    overloaded: int
+    underutilized: int
+
+    @classmethod
+    def of(cls, flows: FlowAssignment, idle_threshold: float = 0.1) -> "UtilizationSummary":
+        values = flows.utilization()
+        if values.size == 0:
+            return cls(0.0, 0.0, 0.0, 0.0, 0, 0)
+        return cls(
+            mlu=float(np.max(values)),
+            mean=float(np.mean(values)),
+            median=float(np.median(values)),
+            stddev=float(np.std(values)),
+            overloaded=int(np.sum(values >= 1.0 - 1e-12)),
+            underutilized=int(np.sum(values < idle_threshold)),
+        )

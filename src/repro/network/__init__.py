@@ -1,0 +1,44 @@
+"""Network substrate: graphs, demands, flows and shortest-path machinery."""
+
+from .demands import Demand, DemandError, TrafficMatrix
+from .flows import FlowAssignment, FlowError
+from .graph import Link, Network, NetworkError, NetworkSummary
+from .incidence import conservation_residual, demand_vector, incidence_matrix, reduced_system
+from .spt import (
+    DEFAULT_TOLERANCE,
+    ShortestPathDag,
+    UnreachableError,
+    all_shortest_path_dags,
+    as_weight_vector,
+    distances_to,
+    path_cost,
+    shortest_path_dag,
+    shortest_path_length,
+    shortest_paths,
+)
+
+__all__ = [
+    "Demand",
+    "DemandError",
+    "TrafficMatrix",
+    "FlowAssignment",
+    "FlowError",
+    "Link",
+    "Network",
+    "NetworkError",
+    "NetworkSummary",
+    "conservation_residual",
+    "demand_vector",
+    "incidence_matrix",
+    "reduced_system",
+    "DEFAULT_TOLERANCE",
+    "ShortestPathDag",
+    "UnreachableError",
+    "all_shortest_path_dags",
+    "as_weight_vector",
+    "distances_to",
+    "path_cost",
+    "shortest_path_dag",
+    "shortest_path_length",
+    "shortest_paths",
+]

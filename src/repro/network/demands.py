@@ -1,0 +1,219 @@
+"""Traffic demands (the multi-commodity part of the TE problem).
+
+The paper describes demands as source-destination pairs ``(s_r, t_r)`` with
+intensity ``d_r`` and then aggregates them per destination: the flow towards a
+destination ``t`` is one commodity.  :class:`TrafficMatrix` stores the pairwise
+demands and exposes the per-destination aggregation used by every solver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from .graph import Network, Node
+
+Pair = Tuple[Node, Node]
+
+
+class DemandError(ValueError):
+    """Raised for malformed demands (self demands, negative volumes, ...)."""
+
+
+@dataclass(frozen=True)
+class Demand:
+    """A single source-destination demand ``d_r`` for pair ``(s_r, t_r)``."""
+
+    source: Node
+    target: Node
+    volume: float
+
+    @property
+    def pair(self) -> Pair:
+        return (self.source, self.target)
+
+
+class TrafficMatrix:
+    """A set of source-destination demands.
+
+    The matrix behaves like a mapping from ``(source, target)`` pairs to
+    demand volumes.  Adding a demand for an existing pair accumulates the
+    volume, which mirrors how prefix-level demands aggregate in practice.
+
+    Examples
+    --------
+    >>> tm = TrafficMatrix()
+    >>> tm.add(1, 3, 1.0)
+    >>> tm.add(3, 4, 0.9)
+    >>> tm.total_volume()
+    1.9
+    """
+
+    def __init__(self, demands: Optional[Mapping[Pair, float]] = None) -> None:
+        self._demands: Dict[Pair, float] = {}
+        if demands:
+            for (source, target), volume in demands.items():
+                self.add(source, target, volume)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add(self, source: Node, target: Node, volume: float) -> None:
+        """Add ``volume`` units of demand from ``source`` to ``target``."""
+        if source == target:
+            raise DemandError(f"demand from {source} to itself is not allowed")
+        if volume < 0:
+            raise DemandError(f"demand volume must be non-negative, got {volume}")
+        if volume == 0:
+            return
+        self._demands[(source, target)] = self._demands.get((source, target), 0.0) + float(volume)
+
+    @classmethod
+    def from_demands(cls, demands: Iterable[Demand]) -> "TrafficMatrix":
+        tm = cls()
+        for demand in demands:
+            tm.add(demand.source, demand.target, demand.volume)
+        return tm
+
+    @classmethod
+    def from_triples(cls, triples: Iterable[Tuple[Node, Node, float]]) -> "TrafficMatrix":
+        tm = cls()
+        for source, target, volume in triples:
+            tm.add(source, target, volume)
+        return tm
+
+    # ------------------------------------------------------------------
+    # mapping protocol
+    # ------------------------------------------------------------------
+    def __getitem__(self, pair: Pair) -> float:
+        return self._demands.get(pair, 0.0)
+
+    def __contains__(self, pair: Pair) -> bool:
+        return pair in self._demands
+
+    def __iter__(self) -> Iterator[Pair]:
+        return iter(self._demands)
+
+    def __len__(self) -> int:
+        return len(self._demands)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TrafficMatrix):
+            return NotImplemented
+        return self._demands == other._demands
+
+    def items(self) -> Iterator[Tuple[Pair, float]]:
+        return iter(self._demands.items())
+
+    def pairs(self) -> List[Pair]:
+        """Source-destination pairs with positive demand."""
+        return list(self._demands)
+
+    def demands(self) -> List[Demand]:
+        """The demands as :class:`Demand` objects."""
+        return [Demand(s, t, v) for (s, t), v in self._demands.items()]
+
+    def get(self, pair: Pair, default: float = 0.0) -> float:
+        return self._demands.get(pair, default)
+
+    # ------------------------------------------------------------------
+    # aggregations
+    # ------------------------------------------------------------------
+    def destinations(self) -> List[Node]:
+        """The destination set ``D`` (nodes that terminate some demand)."""
+        seen: Dict[Node, None] = {}
+        for (_, target) in self._demands:
+            seen.setdefault(target, None)
+        return list(seen)
+
+    def sources(self) -> List[Node]:
+        """Nodes that originate some demand."""
+        seen: Dict[Node, None] = {}
+        for (source, _) in self._demands:
+            seen.setdefault(source, None)
+        return list(seen)
+
+    def by_destination(self) -> Dict[Node, Dict[Node, float]]:
+        """Per-destination demand vectors ``d^t_s`` used by the commodities."""
+        result: Dict[Node, Dict[Node, float]] = {}
+        for (source, target), volume in self._demands.items():
+            result.setdefault(target, {})[source] = volume
+        return result
+
+    def toward(self, destination: Node) -> Dict[Node, float]:
+        """Demand entering the network at each source and destined to ``destination``."""
+        return {
+            source: volume
+            for (source, target), volume in self._demands.items()
+            if target == destination
+        }
+
+    def total_volume(self) -> float:
+        """Aggregate demand (numerator of the paper's *network load*)."""
+        return float(sum(self._demands.values()))
+
+    def network_load(self, network: Network) -> float:
+        """Ratio of total demand over total capacity, as used in Fig. 9/10."""
+        total_capacity = network.total_capacity()
+        if total_capacity <= 0:
+            raise DemandError("network has no capacity")
+        return self.total_volume() / total_capacity
+
+    def outgoing_volume(self, node: Node) -> float:
+        """Total demand originating at ``node``."""
+        return float(
+            sum(v for (s, _), v in self._demands.items() if s == node)
+        )
+
+    def incoming_volume(self, node: Node) -> float:
+        """Total demand destined to ``node``."""
+        return float(
+            sum(v for (_, t), v in self._demands.items() if t == node)
+        )
+
+    def matrix(self, network: Network) -> np.ndarray:
+        """Dense ``N x N`` demand matrix indexed by the network's node order."""
+        size = network.num_nodes
+        dense = np.zeros((size, size))
+        for (source, target), volume in self._demands.items():
+            dense[network.node_index(source), network.node_index(target)] = volume
+        return dense
+
+    # ------------------------------------------------------------------
+    # transformations
+    # ------------------------------------------------------------------
+    def scaled(self, factor: float) -> "TrafficMatrix":
+        """A copy of the matrix with every demand multiplied by ``factor``."""
+        if factor < 0:
+            raise DemandError("demand scale factor must be non-negative")
+        return TrafficMatrix({pair: volume * factor for pair, volume in self._demands.items()})
+
+    def restricted_to(self, nodes: Iterable[Node]) -> "TrafficMatrix":
+        """Only the demands whose both endpoints are in ``nodes``."""
+        keep = set(nodes)
+        return TrafficMatrix(
+            {
+                pair: volume
+                for pair, volume in self._demands.items()
+                if pair[0] in keep and pair[1] in keep
+            }
+        )
+
+    def validate(self, network: Network) -> None:
+        """Check that every demand endpoint exists in ``network``.
+
+        Raises
+        ------
+        DemandError
+            If some endpoint is not a node of the network.
+        """
+        for source, target in self._demands:
+            if not network.has_node(source):
+                raise DemandError(f"demand source {source!r} is not in the network")
+            if not network.has_node(target):
+                raise DemandError(f"demand target {target!r} is not in the network")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TrafficMatrix(pairs={len(self)}, volume={self.total_volume():.3f})"

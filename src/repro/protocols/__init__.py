@@ -1,0 +1,37 @@
+"""Routing protocols: OSPF, SPEF, PEFT, Fortz-Thorup and min-max MLU baselines."""
+
+from .base import ProtocolEvaluation, RoutingProtocol
+from .fortz_thorup import (
+    FT_BREAKPOINTS,
+    FT_SLOPES,
+    FortzThorup,
+    LocalSearchResult,
+    link_cost,
+    link_cost_derivative,
+    network_cost,
+    normalized_cost,
+)
+from .minmax_mlu import MinMaxMLU
+from .ospf import OSPF, MinHopOSPF, invcap_weights, unit_weights
+from .peft import PEFT
+from .spef_protocol import SPEFProtocol
+
+__all__ = [
+    "ProtocolEvaluation",
+    "RoutingProtocol",
+    "FT_BREAKPOINTS",
+    "FT_SLOPES",
+    "FortzThorup",
+    "LocalSearchResult",
+    "link_cost",
+    "link_cost_derivative",
+    "network_cost",
+    "normalized_cost",
+    "MinMaxMLU",
+    "OSPF",
+    "MinHopOSPF",
+    "invcap_weights",
+    "unit_weights",
+    "PEFT",
+    "SPEFProtocol",
+]

@@ -1,0 +1,86 @@
+"""Common interface for routing protocols.
+
+Every protocol in the library (OSPF, SPEF, PEFT, Fortz-Thorup, min-max MLU)
+implements the same tiny interface: given a network and a traffic matrix it
+produces a :class:`~repro.network.flows.FlowAssignment`.  The evaluation
+harness, the benchmarks and the flow-level simulator only depend on this
+interface, so protocols are interchangeable.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..core.objectives import normalized_utility
+from ..network.demands import TrafficMatrix
+from ..network.flows import FlowAssignment
+from ..network.graph import Network, Node
+
+
+class RoutingProtocol(abc.ABC):
+    """A routing protocol maps (network, demands) to link flows."""
+
+    #: Human-readable protocol name used in reports and plots.
+    name: str = "protocol"
+
+    @abc.abstractmethod
+    def route(self, network: Network, demands: TrafficMatrix) -> FlowAssignment:
+        """Compute the traffic distribution this protocol induces."""
+
+    def split_ratios(
+        self, network: Network, demands: TrafficMatrix
+    ) -> Optional[Dict[Node, Dict[Node, Dict[Node, float]]]]:
+        """Per-destination next-hop split ratios, when the protocol has them.
+
+        Returns ``destination -> node -> next hop -> ratio``.  Protocols that
+        only produce aggregate flows (e.g. LP-based min-max MLU) return
+        ``None``; the flow-level simulator then falls back to proportional
+        splitting derived from the flow assignment itself.
+        """
+        return None
+
+    def evaluate(self, network: Network, demands: TrafficMatrix) -> "ProtocolEvaluation":
+        """Route the demands and compute the headline metrics."""
+        flows = self.route(network, demands)
+        utilization = flows.utilization()
+        return ProtocolEvaluation(
+            protocol=self.name,
+            network=network.name,
+            network_load=demands.network_load(network),
+            max_link_utilization=float(np.max(utilization)) if utilization.size else 0.0,
+            normalized_utility=normalized_utility(utilization),
+            flows=flows,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+@dataclass
+class ProtocolEvaluation:
+    """Headline metrics of one protocol on one instance (a Fig. 10 point)."""
+
+    protocol: str
+    network: str
+    network_load: float
+    max_link_utilization: float
+    normalized_utility: float
+    flows: FlowAssignment
+
+    def as_row(self) -> Dict[str, object]:
+        """A flat dict suitable for tabular reporting."""
+        return {
+            "protocol": self.protocol,
+            "network": self.network,
+            "network_load": round(self.network_load, 4),
+            "mlu": round(self.max_link_utilization, 4),
+            "utility": (
+                float("-inf")
+                if self.normalized_utility == float("-inf")
+                else round(self.normalized_utility, 4)
+            ),
+        }

@@ -1,0 +1,166 @@
+"""PEFT baseline (Xu, Chiang, Rexford, INFOCOM 2008).
+
+PEFT ("Penalizing Exponential Flow-splitTing") is the closest prior work to
+SPEF: a link-state protocol where every router splits traffic over *all*
+downward paths towards the destination, with an exponential penalty on the
+extra length of a path beyond the shortest one.  The key difference to SPEF is
+that PEFT does not restrict forwarding to shortest paths, which is exactly the
+property the paper criticises (and the reason SPEF exists).
+
+We implement *Downward PEFT*, the loop-free variant the PEFT paper actually
+deploys: for destination ``t`` a node ``u`` may forward to any neighbour ``v``
+that is strictly closer to ``t`` (``d_v < d_u``).  The traffic share of the
+link ``(u, v)`` is proportional to
+
+    exp(-(w_uv + d_v - d_u)) * Z_t(v)
+
+where ``Z_t`` ("effective number of downward paths") satisfies the recursion
+``Z_t(t) = 1``, ``Z_t(u) = sum_v exp(-(w_uv + d_v - d_u)) * Z_t(v)``.
+
+PEFT's own theory sets the link weights to the Lagrange multipliers of the TE
+problem -- the same quantities SPEF uses as first weights -- so by default the
+protocol derives its weights from the optimal TE solution for the configured
+objective.  Explicit weights can be supplied for ablations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..core.objectives import LoadBalanceObjective
+from ..core.te_problem import TEProblem, solve_optimal_te
+from ..network.demands import TrafficMatrix
+from ..network.flows import FlowAssignment
+from ..network.graph import Network, Node
+from ..network.spt import WeightsLike, as_weight_vector, distances_to
+from .base import RoutingProtocol
+
+
+class PEFT(RoutingProtocol):
+    """Downward PEFT with exponential penalty on longer paths.
+
+    Parameters
+    ----------
+    weights:
+        Explicit link weights.  When omitted, the weights are derived from the
+        optimal TE solution for ``objective`` (the PEFT paper's prescription).
+    objective:
+        Objective used to derive weights when none are given.
+    temperature:
+        Scales the exponential penalty: the share of a path decays as
+        ``exp(-extra_length / temperature)``.  1.0 reproduces the original
+        protocol; larger values spread traffic more aggressively.
+    """
+
+    name = "PEFT"
+
+    def __init__(
+        self,
+        weights: Optional[WeightsLike] = None,
+        objective: Optional[LoadBalanceObjective] = None,
+        temperature: float = 1.0,
+    ) -> None:
+        if temperature <= 0:
+            raise ValueError("temperature must be positive")
+        self._weights = weights
+        self.objective = objective or LoadBalanceObjective.proportional()
+        self.temperature = temperature
+
+    # ------------------------------------------------------------------
+    def link_weights(self, network: Network, demands: TrafficMatrix) -> np.ndarray:
+        """The PEFT link weights for this instance."""
+        if self._weights is not None:
+            return as_weight_vector(network, self._weights)
+        problem = TEProblem(network=network, demands=demands, objective=self.objective)
+        return solve_optimal_te(problem).link_weights
+
+    def _downward_split(
+        self,
+        network: Network,
+        destination: Node,
+        weights: np.ndarray,
+    ) -> Dict[Node, Dict[Node, float]]:
+        """Per-node split ratios over downward neighbours for one destination."""
+        distances = distances_to(network, destination, weights)
+        # Effective number of downward paths, computed in increasing-distance
+        # order so every downstream Z value is available.
+        z_values: Dict[Node, float] = {destination: 1.0}
+        order = sorted(distances, key=lambda n: distances[n])
+        for node in order:
+            if node == destination:
+                continue
+            total = 0.0
+            for link in network.out_links(node):
+                neighbour = link.target
+                if neighbour not in distances or distances[neighbour] >= distances[node]:
+                    continue
+                extra = weights[link.index] + distances[neighbour] - distances[node]
+                total += float(np.exp(-extra / self.temperature)) * z_values.get(neighbour, 0.0)
+            z_values[node] = total
+        ratios: Dict[Node, Dict[Node, float]] = {}
+        for node in order:
+            if node == destination:
+                continue
+            shares: Dict[Node, float] = {}
+            for link in network.out_links(node):
+                neighbour = link.target
+                if neighbour not in distances or distances[neighbour] >= distances[node]:
+                    continue
+                extra = weights[link.index] + distances[neighbour] - distances[node]
+                share = float(np.exp(-extra / self.temperature)) * z_values.get(neighbour, 0.0)
+                if share > 0:
+                    shares[neighbour] = share
+            total = sum(shares.values())
+            if total > 0:
+                ratios[node] = {hop: share / total for hop, share in shares.items()}
+            else:
+                # Disconnected downward set (only possible with zero weights
+                # everywhere); fall back to any neighbour not farther away.
+                fallback = [
+                    link.target
+                    for link in network.out_links(node)
+                    if link.target in distances and distances[link.target] <= distances[node]
+                ]
+                if fallback:
+                    ratios[node] = {hop: 1.0 / len(fallback) for hop in fallback}
+        return ratios
+
+    # ------------------------------------------------------------------
+    def split_ratios(
+        self, network: Network, demands: TrafficMatrix
+    ) -> Dict[Node, Dict[Node, Dict[Node, float]]]:
+        weights = self.link_weights(network, demands)
+        return {
+            destination: self._downward_split(network, destination, weights)
+            for destination in demands.destinations()
+        }
+
+    def route(self, network: Network, demands: TrafficMatrix) -> FlowAssignment:
+        demands.validate(network)
+        weights = self.link_weights(network, demands)
+        flows = FlowAssignment(network=network)
+        for destination, entering in demands.by_destination().items():
+            ratios = self._downward_split(network, destination, weights)
+            distances = distances_to(network, destination, weights)
+            vector = flows.ensure_destination(destination)
+            transit: Dict[Node, float] = {}
+            for node in sorted(distances, key=lambda n: distances[n], reverse=True):
+                if node == destination:
+                    continue
+                load = entering.get(node, 0.0) + transit.get(node, 0.0)
+                if load <= 0:
+                    continue
+                node_ratios = ratios.get(node)
+                if not node_ratios:
+                    raise RuntimeError(
+                        f"PEFT has no downward next hop at {node!r} for {destination!r}"
+                    )
+                for hop, ratio in node_ratios.items():
+                    share = load * ratio
+                    if share <= 0:
+                        continue
+                    vector[network.link_index(node, hop)] += share
+                    transit[hop] = transit.get(hop, 0.0) + share
+        return flows

@@ -1,0 +1,38 @@
+"""Optimization substrate: LP multi-commodity flow, Frank-Wolfe, sub-gradient tools."""
+
+from .assignment import (
+    all_or_nothing_assignment,
+    ecmp_assignment,
+    split_ratio_assignment,
+)
+from .frank_wolfe import FrankWolfeResult, solve_frank_wolfe
+from .mcf import McfSolution, SolverError, solve_min_cost_mcf, solve_min_mlu, solve_route_subproblem
+from .subgradient import (
+    ConstantStep,
+    DiminishingStep,
+    SquareSummableStep,
+    default_step_for_capacities,
+    default_step_for_flows,
+    project_nonnegative,
+    step_sequence,
+)
+
+__all__ = [
+    "all_or_nothing_assignment",
+    "ecmp_assignment",
+    "split_ratio_assignment",
+    "FrankWolfeResult",
+    "solve_frank_wolfe",
+    "McfSolution",
+    "SolverError",
+    "solve_min_cost_mcf",
+    "solve_min_mlu",
+    "solve_route_subproblem",
+    "ConstantStep",
+    "DiminishingStep",
+    "SquareSummableStep",
+    "default_step_for_capacities",
+    "default_step_for_flows",
+    "project_nonnegative",
+    "step_sequence",
+]

@@ -1,0 +1,165 @@
+"""Shortest-path traffic assignment (all-or-nothing and even ECMP splitting).
+
+Two routines that every protocol and solver in the library builds on:
+
+* :func:`all_or_nothing_assignment` sends every demand along one shortest
+  path.  This is the ``Route_t(w; d^t)`` subproblem of Algorithm 1 (an
+  uncapacitated min-cost flow is just shortest-path routing) and the
+  linearised subproblem of the Frank-Wolfe solver.
+
+* :func:`ecmp_assignment` splits traffic evenly across all equal-cost next
+  hops at every router, which is exactly how OSPF's ECMP behaves and how the
+  Fortz-Thorup evaluation routes traffic for a given weight setting.
+
+Both propagate flow per destination over the shortest-path DAG in decreasing
+distance order, so a node's whole incoming flow (local demand plus transit) is
+known before it is split -- the same bookkeeping Algorithm 3 of the paper uses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from ..network.demands import TrafficMatrix
+from ..network.flows import FlowAssignment
+from ..network.graph import Network, Node
+from ..network.spt import (
+    DEFAULT_TOLERANCE,
+    ShortestPathDag,
+    UnreachableError,
+    WeightsLike,
+    shortest_path_dag,
+)
+
+
+def _propagate_over_dag(
+    network: Network,
+    dag: ShortestPathDag,
+    entering: Mapping[Node, float],
+    split_ratios: Optional[Mapping[Node, Mapping[Node, float]]],
+    flows: FlowAssignment,
+) -> None:
+    """Push per-destination demand over ``dag`` using ``split_ratios``.
+
+    ``entering[s]`` is the demand entering at node ``s`` destined to the DAG's
+    destination.  ``split_ratios[s][v]`` is the fraction of that node's total
+    traffic forwarded to next hop ``v``; when ``split_ratios`` is ``None``
+    the traffic is split evenly across all next hops.
+    """
+    destination = dag.destination
+    vector = flows.ensure_destination(destination)
+    transit: Dict[Node, float] = {}
+    # A topological order guarantees a node's whole incoming flow (local
+    # demand plus transit) is known before the node splits it, even on
+    # zero-weight plateaus where distances tie.
+    for node in dag.topological_order():
+        if node == destination:
+            continue
+        load = entering.get(node, 0.0) + transit.get(node, 0.0)
+        if load <= 0:
+            continue
+        hops = dag.next_hops_of(node)
+        if not hops:
+            raise UnreachableError(
+                f"node {node!r} has traffic for {destination!r} but no next hop"
+            )
+        if split_ratios is None:
+            ratios = {hop: 1.0 / len(hops) for hop in hops}
+        else:
+            ratios = dict(split_ratios.get(node, {}))
+            total = sum(ratios.get(hop, 0.0) for hop in hops)
+            if total <= 0:
+                ratios = {hop: 1.0 / len(hops) for hop in hops}
+            else:
+                ratios = {hop: ratios.get(hop, 0.0) / total for hop in hops}
+        for hop in hops:
+            share = load * ratios.get(hop, 0.0)
+            if share <= 0:
+                continue
+            vector[network.link_index(node, hop)] += share
+            transit[hop] = transit.get(hop, 0.0) + share
+
+
+def ecmp_assignment(
+    network: Network,
+    demands: TrafficMatrix,
+    weights: WeightsLike,
+    tolerance: float = DEFAULT_TOLERANCE,
+    dags: Optional[Dict[Node, ShortestPathDag]] = None,
+) -> FlowAssignment:
+    """Route ``demands`` with even splitting over equal-cost shortest paths.
+
+    This reproduces OSPF's ECMP behaviour for a given weight setting.  The
+    precomputed ``dags`` argument lets callers reuse shortest-path DAGs across
+    repeated evaluations (the Fortz-Thorup local search does this heavily).
+    """
+    demands.validate(network)
+    flows = FlowAssignment(network=network)
+    for destination, entering in demands.by_destination().items():
+        dag = (
+            dags[destination]
+            if dags is not None and destination in dags
+            else shortest_path_dag(network, destination, weights, tolerance)
+        )
+        for source in entering:
+            if not dag.reachable(source):
+                raise UnreachableError(
+                    f"demand source {source!r} cannot reach {destination!r}"
+                )
+        _propagate_over_dag(network, dag, entering, None, flows)
+    return flows
+
+
+def all_or_nothing_assignment(
+    network: Network,
+    demands: TrafficMatrix,
+    weights: WeightsLike,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> FlowAssignment:
+    """Route every demand along a single shortest path (no splitting).
+
+    Ties are broken deterministically by picking the first next hop of the
+    DAG, so repeated calls with the same inputs give the same flows -- a
+    property the sub-gradient iterations of Algorithm 1 rely on for
+    reproducibility.
+    """
+    demands.validate(network)
+    flows = FlowAssignment(network=network)
+    for destination, entering in demands.by_destination().items():
+        dag = shortest_path_dag(network, destination, weights, tolerance)
+        single_hop: Dict[Node, Dict[Node, float]] = {}
+        for node in dag.next_hops:
+            hops = dag.next_hops_of(node)
+            if hops:
+                single_hop[node] = {hops[0]: 1.0}
+        for source in entering:
+            if not dag.reachable(source):
+                raise UnreachableError(
+                    f"demand source {source!r} cannot reach {destination!r}"
+                )
+        _propagate_over_dag(network, dag, entering, single_hop, flows)
+    return flows
+
+
+def split_ratio_assignment(
+    network: Network,
+    demands: TrafficMatrix,
+    dags: Dict[Node, ShortestPathDag],
+    split_ratios: Dict[Node, Dict[Node, Dict[Node, float]]],
+) -> FlowAssignment:
+    """Route demands over precomputed DAGs with explicit split ratios.
+
+    ``split_ratios[destination][node][hop]`` gives the fraction of the
+    traffic for ``destination`` that ``node`` forwards to ``hop``.  This is the
+    building block SPEF uses once the second link weights have produced the
+    exponential split ratios of Eq. (22).
+    """
+    demands.validate(network)
+    flows = FlowAssignment(network=network)
+    for destination, entering in demands.by_destination().items():
+        if destination not in dags:
+            raise UnreachableError(f"no shortest-path DAG for destination {destination!r}")
+        dag = dags[destination]
+        ratios = split_ratios.get(destination)
+        _propagate_over_dag(network, dag, entering, ratios, flows)
+    return flows

@@ -1,0 +1,93 @@
+"""Step-size schedules and projection helpers for sub-gradient methods.
+
+Algorithms 1 and 2 of the paper are projected (sub)gradient ascent/descent on
+Lagrangian duals.  Their convergence guarantees depend on the step-size rule:
+Theorem 4.1 requires a diminishing, non-summable sequence
+(``sum gamma_k = inf`` and ``gamma_k -> 0``), while the evaluation section
+uses a constant step equal to the reciprocal of the maximum link capacity
+(Algorithm 1) or of the maximum optimal link flow (Algorithm 2).
+
+This module factors those rules out so they can be swapped and ablated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+import numpy as np
+
+StepRule = Callable[[int], float]
+
+
+@dataclass(frozen=True)
+class ConstantStep:
+    """Constant step size ``gamma_k = gamma``, the paper's default."""
+
+    gamma: float
+
+    def __call__(self, iteration: int) -> float:
+        if self.gamma <= 0:
+            raise ValueError("step size must be positive")
+        return self.gamma
+
+
+@dataclass(frozen=True)
+class DiminishingStep:
+    """Diminishing step ``gamma_k = gamma / (1 + k * decay)``.
+
+    Satisfies the conditions of Theorem 4.1 (non-summable, vanishing).
+    """
+
+    gamma: float
+    decay: float = 0.01
+
+    def __call__(self, iteration: int) -> float:
+        if self.gamma <= 0:
+            raise ValueError("step size must be positive")
+        if self.decay < 0:
+            raise ValueError("decay must be non-negative")
+        return self.gamma / (1.0 + self.decay * iteration)
+
+
+@dataclass(frozen=True)
+class SquareSummableStep:
+    """Square-summable but not summable step ``gamma_k = gamma / (1 + k)``."""
+
+    gamma: float
+
+    def __call__(self, iteration: int) -> float:
+        if self.gamma <= 0:
+            raise ValueError("step size must be positive")
+        return self.gamma / (1.0 + iteration)
+
+
+def project_nonnegative(vector: np.ndarray) -> np.ndarray:
+    """Euclidean projection onto the non-negative orthant, ``(z)_+``."""
+    return np.maximum(vector, 0.0)
+
+
+def default_step_for_capacities(capacities: np.ndarray, ratio: float = 1.0) -> ConstantStep:
+    """The paper's Algorithm 1 default: ``ratio / max c_ij``."""
+    max_capacity = float(np.max(capacities))
+    if max_capacity <= 0:
+        raise ValueError("capacities must be positive")
+    return ConstantStep(ratio / max_capacity)
+
+
+def default_step_for_flows(flows: np.ndarray, ratio: float = 1.0) -> ConstantStep:
+    """The paper's Algorithm 2 default: ``ratio / max f*_ij``.
+
+    Falls back to a unit step when the optimal flow is identically zero
+    (empty traffic matrix), where any step converges immediately.
+    """
+    max_flow = float(np.max(flows)) if flows.size else 0.0
+    if max_flow <= 0:
+        return ConstantStep(ratio if ratio > 0 else 1.0)
+    return ConstantStep(ratio / max_flow)
+
+
+def step_sequence(rule: StepRule, count: int) -> Iterator[float]:
+    """The first ``count`` step sizes produced by ``rule``."""
+    for k in range(count):
+        yield rule(k)

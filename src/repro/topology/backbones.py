@@ -1,0 +1,170 @@
+"""Real backbone topologies used in the evaluation: Abilene and Cernet2.
+
+* **Abilene** (Internet2): 11 PoPs, 14 bidirectional OC-192 links, i.e. 28
+  directional links of 10 Gbps -- exactly the node/link counts of Table III.
+  The adjacency is the well-known public Abilene map.
+
+* **Cernet2** (the Chinese education/research IPv6 backbone): 20 PoPs and 22
+  bidirectional links (44 directional), of which 4 directional backbone links
+  run at 10 Gbps and the rest at 2.5 Gbps.  The paper's Fig. 8(b) only shows
+  numbered nodes, so the adjacency below is our reconstruction of the public
+  CERNET2 map with the same node count, link count and capacity mix; the
+  4 bold 10 Gbps links form the Beijing-Wuhan-Guangzhou / Beijing-Shanghai
+  spine.  Experiments only depend on these aggregate properties.
+
+Capacities are expressed in Gbps.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..network.graph import Network
+
+#: Abilene PoPs in the paper's customary numbering (1-11).
+ABILENE_NODES: Dict[int, str] = {
+    1: "Seattle",
+    2: "Sunnyvale",
+    3: "Denver",
+    4: "Los Angeles",
+    5: "Houston",
+    6: "Kansas City",
+    7: "Indianapolis",
+    8: "Atlanta",
+    9: "Chicago",
+    10: "Washington DC",
+    11: "New York",
+}
+
+#: Bidirectional Abilene links (14 of them -> 28 directional).
+ABILENE_EDGES: List[Tuple[int, int]] = [
+    (1, 2),   # Seattle - Sunnyvale
+    (1, 3),   # Seattle - Denver
+    (2, 4),   # Sunnyvale - Los Angeles
+    (2, 3),   # Sunnyvale - Denver
+    (4, 5),   # Los Angeles - Houston
+    (3, 6),   # Denver - Kansas City
+    (5, 6),   # Houston - Kansas City
+    (5, 8),   # Houston - Atlanta
+    (6, 7),   # Kansas City - Indianapolis
+    (7, 8),   # Indianapolis - Atlanta
+    (8, 10),  # Atlanta - Washington DC
+    (7, 9),   # Indianapolis - Chicago
+    (9, 11),  # Chicago - New York
+    (10, 11), # Washington DC - New York
+]
+
+#: Capacity of every Abilene link, in Gbps.
+ABILENE_CAPACITY_GBPS = 10.0
+
+
+def abilene_network() -> Network:
+    """The Abilene backbone: 11 nodes, 28 directional 10 Gbps links."""
+    net = Network(name="Abilene")
+    for node in ABILENE_NODES:
+        net.add_node(node)
+    for u, v in ABILENE_EDGES:
+        net.add_duplex_link(u, v, ABILENE_CAPACITY_GBPS)
+    return net
+
+
+#: Cernet2 PoPs (our reconstruction), numbered 1-20 as in Fig. 8(b).
+CERNET2_NODES: Dict[int, str] = {
+    1: "Beijing",
+    2: "Tianjin",
+    3: "Shijiazhuang",
+    4: "Jinan",
+    5: "Zhengzhou",
+    6: "Xian",
+    7: "Lanzhou",
+    8: "Chengdu",
+    9: "Chongqing",
+    10: "Wuhan",
+    11: "Changsha",
+    12: "Guangzhou",
+    13: "Xiamen",
+    14: "Hangzhou",
+    15: "Shanghai",
+    16: "Nanjing",
+    17: "Hefei",
+    18: "Shenyang",
+    19: "Changchun",
+    20: "Harbin",
+}
+
+#: Bidirectional Cernet2 links with True marking the 10 Gbps spine edges
+#: (the paper: "the capacity of 4 links marked with bold lines is 10Gbps",
+#: i.e. 4 directional links = 2 bidirectional spine edges).
+CERNET2_EDGES: List[Tuple[int, int, bool]] = [
+    (1, 2, False),    # Beijing - Tianjin
+    (1, 3, False),    # Beijing - Shijiazhuang
+    (1, 4, False),    # Beijing - Jinan
+    (1, 18, False),   # Beijing - Shenyang
+    (1, 10, True),    # Beijing - Wuhan (10G spine)
+    (1, 15, True),    # Beijing - Shanghai (10G spine)
+    (18, 19, False),  # Shenyang - Changchun
+    (19, 20, False),  # Changchun - Harbin
+    (2, 4, False),    # Tianjin - Jinan
+    (3, 5, False),    # Shijiazhuang - Zhengzhou
+    (4, 16, False),   # Jinan - Nanjing
+    (5, 6, False),    # Zhengzhou - Xian
+    (6, 7, False),    # Xian - Lanzhou
+    (6, 8, False),    # Xian - Chengdu
+    (8, 9, False),    # Chengdu - Chongqing
+    (9, 11, False),   # Chongqing - Changsha
+    (10, 5, False),   # Wuhan - Zhengzhou
+    (10, 11, False),  # Wuhan - Changsha
+    (11, 12, False),  # Changsha - Guangzhou
+    (12, 13, False),  # Guangzhou - Xiamen
+    (13, 14, False),  # Xiamen - Hangzhou
+    (14, 15, False),  # Hangzhou - Shanghai
+    (15, 16, False),  # Shanghai - Nanjing
+    (16, 17, False),  # Nanjing - Hefei
+    (17, 10, False),  # Hefei - Wuhan
+]
+
+#: Capacities of the two Cernet2 link classes, in Gbps.
+CERNET2_BACKBONE_GBPS = 10.0
+CERNET2_REGIONAL_GBPS = 2.5
+
+
+def cernet2_network() -> Network:
+    """The Cernet2 backbone reconstruction: 20 nodes, 44+ directional links.
+
+    Note: the edge list above yields 25 bidirectional edges (50 directional
+    links).  To match the paper's Table III exactly (44 directional links =
+    22 bidirectional edges) we drop the three least-connected redundant
+    regional edges; see :data:`CERNET2_DROPPED_EDGES`.
+    """
+    net = Network(name="Cernet2")
+    for node in CERNET2_NODES:
+        net.add_node(node)
+    for u, v, is_backbone in cernet2_edges():
+        capacity = CERNET2_BACKBONE_GBPS if is_backbone else CERNET2_REGIONAL_GBPS
+        net.add_duplex_link(u, v, capacity)
+    return net
+
+
+#: Redundant regional edges removed to match the 44-directional-link count of
+#: Table III (they parallel existing spine detours).
+CERNET2_DROPPED_EDGES: List[Tuple[int, int]] = [(2, 4), (3, 5), (9, 11)]
+
+
+def cernet2_edges() -> List[Tuple[int, int, bool]]:
+    """The 22 bidirectional Cernet2 edges actually used (after the drops)."""
+    dropped = set(CERNET2_DROPPED_EDGES)
+    return [
+        (u, v, is_backbone)
+        for u, v, is_backbone in CERNET2_EDGES
+        if (u, v) not in dropped and (v, u) not in dropped
+    ]
+
+
+def cernet2_backbone_links() -> List[Tuple[int, int]]:
+    """The 4 directional 10 Gbps links (both directions of the 2 spine edges)."""
+    result: List[Tuple[int, int]] = []
+    for u, v, is_backbone in cernet2_edges():
+        if is_backbone:
+            result.append((u, v))
+            result.append((v, u))
+    return result

@@ -1,0 +1,110 @@
+"""The two small example topologies used in the paper (Fig. 1 and Fig. 4).
+
+* :func:`fig1_network` is the 4-node topology of Fig. 1 used to motivate the
+  load-balance criteria and to produce Table I and Fig. 3.  All four edges
+  have capacity 1; the demands are 1.0 for pair (1, 3) and 0.9 for (3, 4).
+
+* :func:`fig4_network` is the 7-node, 13-link example (capacity 5 per link,
+  four demands of 4 units) used for Fig. 5-7 and the SPEF-vs-PEFT SSFnet
+  simulation of Fig. 11(a).  The paper only shows link indices on a drawing
+  and notes that six unused links of the original topology from Wang et al.
+  [19] were omitted, so the exact adjacency is not fully recoverable from the
+  text.  We reconstruct a topology with the same node count, link count, link
+  capacities and demands, in which (as in the paper) the demands from node 1
+  share a bottleneck out of node 1 and multiple equal-cost alternatives exist
+  through the lower tier of nodes.  The *shape* of the results (bottleneck
+  utilization decreasing in beta, SPEF spreading load over more links than
+  PEFT) is preserved; the per-link indices are our own.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..network.demands import TrafficMatrix
+from ..network.graph import Network
+
+#: Directed links of the Fig. 1 topology, in the paper's order:
+#: (1,3), (3,4), (1,2), (2,3); every capacity is 1.
+FIG1_LINKS: List[Tuple[int, int, float]] = [
+    (1, 3, 1.0),
+    (3, 4, 1.0),
+    (1, 2, 1.0),
+    (2, 3, 1.0),
+]
+
+#: Demands of the Fig. 1 example: 1 unit from 1 to 3 and 0.9 units from 3 to 4.
+FIG1_DEMANDS: Dict[Tuple[int, int], float] = {(1, 3): 1.0, (3, 4): 0.9}
+
+
+def fig1_network(capacity_scale: float = 1.0) -> Network:
+    """The Fig. 1 topology; ``capacity_scale`` multiplies every capacity.
+
+    The paper uses ``capacity_scale = 5`` to illustrate that min-max load
+    balance does not penalise long detours once capacity is plentiful.
+    """
+    net = Network(name="fig1")
+    for u, v, capacity in FIG1_LINKS:
+        net.add_link(u, v, capacity * capacity_scale)
+    return net
+
+
+def fig1_demands() -> TrafficMatrix:
+    """Demands of the Fig. 1 example."""
+    return TrafficMatrix(FIG1_DEMANDS)
+
+
+#: Directed links of our reconstruction of the Fig. 4 topology, keyed by the
+#: link index used in the figures (1-13).  Every link has capacity 5.
+FIG4_LINKS: Dict[int, Tuple[int, int]] = {
+    1: (1, 4),
+    2: (1, 5),
+    3: (1, 6),
+    4: (4, 2),
+    5: (5, 2),
+    6: (5, 3),
+    7: (6, 3),
+    8: (6, 7),
+    9: (4, 5),
+    10: (5, 6),
+    11: (3, 7),
+    12: (2, 3),
+    13: (3, 2),
+}
+
+#: Demands of the Fig. 4 example (Table IV, "simple network"): four demands of
+#: 4 units each.
+FIG4_DEMANDS: Dict[Tuple[int, int], float] = {
+    (1, 2): 4.0,
+    (1, 3): 4.0,
+    (3, 2): 4.0,
+    (1, 7): 4.0,
+}
+
+#: Capacity of every link in the Fig. 4 example (5 units; 5 Mb/s in the
+#: SSFnet simulation of Fig. 11(a)).
+FIG4_CAPACITY = 5.0
+
+
+def fig4_network(capacity: float = FIG4_CAPACITY) -> Network:
+    """Our reconstruction of the Fig. 4 example topology (7 nodes, 13 links)."""
+    net = Network(name="fig4")
+    for index in sorted(FIG4_LINKS):
+        u, v = FIG4_LINKS[index]
+        net.add_link(u, v, capacity)
+    return net
+
+
+def fig4_demands(volume: float = 4.0) -> TrafficMatrix:
+    """Demands of the Fig. 4 example, scaled so each demand is ``volume`` units."""
+    scale = volume / 4.0
+    return TrafficMatrix({pair: d * scale for pair, d in FIG4_DEMANDS.items()})
+
+
+def fig4_link_labels(network: Network) -> Dict[int, Tuple[int, int]]:
+    """Map the paper's link indices (1-13) to our link endpoints.
+
+    Useful when printing Fig. 6/7-style per-link series with the same x-axis
+    labels as the paper.
+    """
+    return dict(FIG4_LINKS)

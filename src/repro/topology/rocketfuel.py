@@ -1,0 +1,112 @@
+"""Rocketfuel-style ISP topology support.
+
+Rocketfuel (Spring et al., SIGCOMM 2002) published inferred router-level maps
+of real ISPs; follow-up TE papers (including Fortz-Thorup-style evaluations)
+commonly use the PoP-level versions with inferred weights.  This module
+provides
+
+* a parser for the simple whitespace-separated edge-list format used by the
+  public ``*.cch``-derived PoP files (``src dst [capacity] [weight]``), and
+* :func:`synthetic_rocketfuel` -- a seeded generator that produces networks
+  with the size/degree profile of the commonly used Rocketfuel ASes, for
+  experiments on "Rocketfuel-like" topologies when the original files are not
+  distributed with the package.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..network.graph import Network
+from .generators import random_network
+
+#: Approximate PoP-level sizes of the classic Rocketfuel ASes
+#: (AS number -> (name, nodes, directed links)).
+ROCKETFUEL_PROFILES: Dict[int, Tuple[str, int, int]] = {
+    1221: ("Telstra", 44, 176),
+    1239: ("Sprint", 52, 168),
+    1755: ("Ebone", 23, 76),
+    3257: ("Tiscali", 41, 174),
+    3967: ("Exodus", 21, 72),
+    6461: ("Abovenet", 19, 68),
+}
+
+
+def parse_rocketfuel(
+    path: Union[str, Path],
+    default_capacity: float = 10.0,
+    name: Optional[str] = None,
+    duplex: bool = True,
+) -> Network:
+    """Parse a whitespace-separated edge list into a :class:`Network`.
+
+    Each non-comment line is ``src dst [capacity]``; lines starting with ``#``
+    are ignored.  Node identifiers are kept as strings.  With ``duplex=True``
+    (the default) each line adds both directions unless the reverse direction
+    appears explicitly later in the file.
+    """
+    path = Path(path)
+    net = Network(name=name or path.stem)
+    pending: List[Tuple[str, str, float]] = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise ValueError(f"malformed rocketfuel line: {line!r}")
+            src, dst = parts[0], parts[1]
+            capacity = float(parts[2]) if len(parts) > 2 else default_capacity
+            pending.append((src, dst, capacity))
+    seen = {(s, d) for s, d, _ in pending}
+    for src, dst, capacity in pending:
+        if not net.has_link(src, dst):
+            net.add_link(src, dst, capacity)
+        if duplex and (dst, src) not in seen and not net.has_link(dst, src):
+            net.add_link(dst, src, capacity)
+    return net
+
+
+def write_rocketfuel(network: Network, path: Union[str, Path]) -> None:
+    """Write a network in the simple edge-list format understood by the parser."""
+    path = Path(path)
+    lines = [f"# {network.name}: {network.num_nodes} nodes, {network.num_links} links"]
+    for link in network.links:
+        lines.append(f"{link.source} {link.target} {link.capacity:g}")
+    path.write_text("\n".join(lines) + "\n")
+
+
+def synthetic_rocketfuel(
+    asn: int = 1239,
+    capacity: float = 10.0,
+    seed: int = 0,
+) -> Network:
+    """A seeded synthetic topology with the size profile of a Rocketfuel AS.
+
+    This substitutes for the original measurement files (which are not
+    redistributable); the node count and directed link count match the public
+    PoP-level maps, capacities are uniform.
+    """
+    if asn not in ROCKETFUEL_PROFILES:
+        raise ValueError(
+            f"unknown Rocketfuel AS {asn}; known: {sorted(ROCKETFUEL_PROFILES)}"
+        )
+    name, nodes, links = ROCKETFUEL_PROFILES[asn]
+    if links % 2:
+        links += 1
+    net = random_network(nodes, links, capacity=capacity, seed=seed + asn, name=f"AS{asn}-{name}")
+    return net
+
+
+def degree_profile(network: Network) -> Dict[str, float]:
+    """Summary degree statistics (used when comparing generated topologies)."""
+    out_degrees = np.array([len(network.out_links(node)) for node in network.nodes], dtype=float)
+    return {
+        "mean_degree": float(np.mean(out_degrees)),
+        "max_degree": float(np.max(out_degrees)),
+        "min_degree": float(np.min(out_degrees)),
+    }

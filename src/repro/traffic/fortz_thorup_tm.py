@@ -1,0 +1,132 @@
+"""Fortz-Thorup style synthetic traffic matrices.
+
+The Abilene demands in the paper are "generated as those in Fortz and Thorup
+[16]".  The FT construction assigns every node ``u`` two random numbers
+``o_u, d_u`` in [0, 1] (origination and destination activity), every ordered
+pair an additional random number ``c_{u,v}`` in [0, 1], and sets
+
+    demand(u, v) = alpha * o_u * d_v * c_{u,v} * exp(-dist(u, v) / (2 * Delta))
+
+where ``dist`` is the Euclidean distance between the nodes and ``Delta`` the
+largest such distance -- traffic decays with distance.  ``alpha`` scales the
+matrix to the desired total volume / congestion level.
+
+Real coordinates are optional: when a topology has no embedding we use the
+hop-count distance instead, which preserves the "nearby pairs talk more"
+structure the construction is after.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..network.demands import TrafficMatrix
+from ..network.graph import Network, Node
+from ..network.spt import distances_to
+
+
+def hop_distances(network: Network) -> Dict[Tuple[Node, Node], float]:
+    """All-pairs hop-count distances (used when no coordinates are available)."""
+    unit = np.ones(network.num_links)
+    result: Dict[Tuple[Node, Node], float] = {}
+    for destination in network.nodes:
+        dist = distances_to(network, destination, unit)
+        for source, value in dist.items():
+            if source != destination:
+                result[(source, destination)] = value
+    return result
+
+
+def euclidean_distances(
+    coordinates: Mapping[Node, Tuple[float, float]]
+) -> Dict[Tuple[Node, Node], float]:
+    """All-pairs Euclidean distances from a coordinate embedding."""
+    nodes = list(coordinates)
+    result: Dict[Tuple[Node, Node], float] = {}
+    for source in nodes:
+        sx, sy = coordinates[source]
+        for target in nodes:
+            if source == target:
+                continue
+            tx, ty = coordinates[target]
+            result[(source, target)] = float(np.hypot(sx - tx, sy - ty))
+    return result
+
+
+def fortz_thorup_traffic_matrix(
+    network: Network,
+    total_volume: float,
+    coordinates: Optional[Mapping[Node, Tuple[float, float]]] = None,
+    seed: int = 0,
+) -> TrafficMatrix:
+    """A Fortz-Thorup random traffic matrix scaled to ``total_volume``.
+
+    Parameters
+    ----------
+    total_volume:
+        Sum of all generated demands (use
+        :func:`repro.traffic.scaling.scale_to_network_load` afterwards to hit
+        an exact network-load level).
+    coordinates:
+        Optional node embedding; hop distances are used when omitted.
+    seed:
+        RNG seed; the same seed always yields the same matrix.
+    """
+    if total_volume < 0:
+        raise ValueError("total volume must be non-negative")
+    rng = np.random.default_rng(seed)
+    nodes = network.nodes
+    origination = {node: float(rng.random()) for node in nodes}
+    destination = {node: float(rng.random()) for node in nodes}
+    if coordinates is not None:
+        distances = euclidean_distances(coordinates)
+    else:
+        distances = hop_distances(network)
+    if not distances:
+        return TrafficMatrix()
+    delta = max(distances.values())
+    raw: Dict[Tuple[Node, Node], float] = {}
+    for source in nodes:
+        for target in nodes:
+            if source == target:
+                continue
+            pair_random = float(rng.random())
+            dist = distances.get((source, target))
+            if dist is None:
+                continue
+            decay = float(np.exp(-dist / (2.0 * delta))) if delta > 0 else 1.0
+            value = origination[source] * destination[target] * pair_random * decay
+            if value > 0:
+                raw[(source, target)] = value
+    normalisation = sum(raw.values())
+    if normalisation <= 0 or total_volume == 0:
+        return TrafficMatrix()
+    return TrafficMatrix(
+        {pair: total_volume * value / normalisation for pair, value in raw.items()}
+    )
+
+
+#: Rough geographic coordinates (longitude, latitude) for the Abilene PoPs,
+#: used so the FT distance decay reflects the real continental layout.
+ABILENE_COORDINATES: Dict[int, Tuple[float, float]] = {
+    1: (-122.3, 47.6),   # Seattle
+    2: (-122.0, 37.4),   # Sunnyvale
+    3: (-105.0, 39.7),   # Denver
+    4: (-118.2, 34.1),   # Los Angeles
+    5: (-95.4, 29.8),    # Houston
+    6: (-94.6, 39.1),    # Kansas City
+    7: (-86.2, 39.8),    # Indianapolis
+    8: (-84.4, 33.7),    # Atlanta
+    9: (-87.6, 41.9),    # Chicago
+    10: (-77.0, 38.9),   # Washington DC
+    11: (-74.0, 40.7),   # New York
+}
+
+
+def abilene_traffic_matrix(network: Network, total_volume: float, seed: int = 0) -> TrafficMatrix:
+    """The Abilene workload: FT random demands over the real PoP coordinates."""
+    return fortz_thorup_traffic_matrix(
+        network, total_volume, coordinates=ABILENE_COORDINATES, seed=seed
+    )

@@ -1,0 +1,96 @@
+"""Shared fixtures for the test suite.
+
+The fixtures favour the paper's small examples (Fig. 1, Fig. 4) and a couple
+of tiny hand-built networks so that the unit tests stay fast; the larger
+topologies are only exercised by the integration tests and the benchmarks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.objectives import LoadBalanceObjective
+from repro.network.demands import TrafficMatrix
+from repro.network.graph import Network
+from repro.topology.backbones import abilene_network
+from repro.topology.paper_examples import (
+    fig1_demands,
+    fig1_network,
+    fig4_demands,
+    fig4_network,
+)
+from repro.traffic.fortz_thorup_tm import abilene_traffic_matrix
+
+
+@pytest.fixture
+def triangle_network() -> Network:
+    """A 3-node bidirectional triangle with capacity 10 per link."""
+    net = Network(name="triangle")
+    for u, v in [(1, 2), (2, 3), (1, 3)]:
+        net.add_duplex_link(u, v, 10.0)
+    return net
+
+
+@pytest.fixture
+def diamond_network() -> Network:
+    """Two disjoint equal-hop paths from 1 to 4 (classic ECMP topology)."""
+    net = Network(name="diamond")
+    net.add_link(1, 2, 10.0)
+    net.add_link(2, 4, 10.0)
+    net.add_link(1, 3, 10.0)
+    net.add_link(3, 4, 10.0)
+    return net
+
+
+@pytest.fixture
+def diamond_demands() -> TrafficMatrix:
+    return TrafficMatrix({(1, 4): 8.0})
+
+
+@pytest.fixture
+def line_network() -> Network:
+    """A directed 4-node line 1 -> 2 -> 3 -> 4."""
+    net = Network(name="line")
+    net.add_link(1, 2, 5.0)
+    net.add_link(2, 3, 5.0)
+    net.add_link(3, 4, 5.0)
+    return net
+
+
+@pytest.fixture
+def fig1() -> Network:
+    return fig1_network()
+
+
+@pytest.fixture
+def fig1_tm() -> TrafficMatrix:
+    return fig1_demands()
+
+
+@pytest.fixture
+def fig4() -> Network:
+    return fig4_network()
+
+
+@pytest.fixture
+def fig4_tm() -> TrafficMatrix:
+    return fig4_demands()
+
+
+@pytest.fixture(scope="session")
+def abilene() -> Network:
+    return abilene_network()
+
+
+@pytest.fixture(scope="session")
+def abilene_tm(abilene: Network) -> TrafficMatrix:
+    """A moderate-load Abilene traffic matrix (optimally routable)."""
+    base = abilene_traffic_matrix(abilene, total_volume=1.0, seed=1)
+    # Scale so the total demand is ~12% of total capacity: comfortably
+    # feasible yet non-trivial.
+    return base.scaled(0.12 * abilene.total_capacity())
+
+
+@pytest.fixture
+def proportional_objective() -> LoadBalanceObjective:
+    return LoadBalanceObjective.proportional()

@@ -1,0 +1,43 @@
+"""Smoke tests that the example scripts run end-to-end on the public API."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run_example(name: str, capsys) -> str:
+    """Execute an example script as __main__ and return its stdout."""
+    path = EXAMPLES_DIR / name
+    assert path.exists(), f"missing example {name}"
+    argv = sys.argv
+    try:
+        sys.argv = [str(path)]
+        runpy.run_path(str(path), run_name="__main__")
+    finally:
+        sys.argv = argv
+    return capsys.readouterr().out
+
+
+def test_examples_directory_contains_at_least_three_scripts():
+    scripts = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+    assert "quickstart.py" in scripts
+    assert len(scripts) >= 3
+
+
+def test_quickstart_runs_and_reports_both_weights(capsys):
+    output = _run_example("quickstart.py", capsys)
+    assert "first weight" in output
+    assert "second weight" in output
+    assert "SPEF" in output and "OSPF" in output
+    assert "optimality gap" in output.lower()
+
+
+def test_every_example_has_a_module_docstring():
+    for path in EXAMPLES_DIR.glob("*.py"):
+        source = path.read_text()
+        assert source.lstrip().startswith('"""'), f"{path.name} lacks a docstring"
+        assert "__main__" in source, f"{path.name} is not runnable as a script"

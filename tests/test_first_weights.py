@@ -1,0 +1,129 @@
+"""Unit tests for Algorithm 1 (dual decomposition for the first link weights)."""
+
+import numpy as np
+import pytest
+
+from repro.core.first_weights import compute_first_weights, round_weights
+from repro.core.objectives import LoadBalanceObjective
+from repro.core.te_problem import TEProblem, solve_optimal_te
+from repro.network.demands import TrafficMatrix
+from repro.solvers.subgradient import DiminishingStep
+
+
+class TestAlgorithm1:
+    def test_fig1_converges_to_table1_weights(self, fig1, fig1_tm):
+        # A constant step only converges to a neighbourhood of the optimum
+        # (Theorem 4.1 needs a diminishing step for exact convergence), so the
+        # Table I values -- w(1,3)=3, w(3,4)=10, w(1,2)=w(2,3)=1.5 -- are
+        # checked with a correspondingly loose tolerance.
+        result = compute_first_weights(
+            fig1, fig1_tm, max_iterations=4000, tolerance=1e-4, step_ratio=1.0
+        )
+        weights = fig1.weight_dict(result.weights)
+        assert weights[(1, 3)] == pytest.approx(3.0, rel=0.2)
+        assert weights[(3, 4)] == pytest.approx(10.0, rel=0.1)
+        assert weights[(1, 2)] == pytest.approx(1.5, rel=0.35)
+        assert weights[(2, 3)] == pytest.approx(1.5, rel=0.35)
+
+    def test_matches_centralized_solver_utility(self, fig1, fig1_tm):
+        # The primal recovered from Algorithm 1 (ergodic average of the
+        # routing subproblem solutions) should achieve nearly the same utility
+        # as the centralized Frank-Wolfe optimum.
+        objective = LoadBalanceObjective.proportional()
+        central = solve_optimal_te(TEProblem(fig1, fig1_tm, objective))
+        dual = compute_first_weights(
+            fig1, fig1_tm, objective=objective, max_iterations=4000, tolerance=1e-4
+        )
+        recovered_utility = objective.total_utility(dual.flows.spare_capacity())
+        assert recovered_utility == pytest.approx(central.utility, rel=0.05)
+
+    def test_weights_nonnegative(self, fig4, fig4_tm):
+        result = compute_first_weights(fig4, fig4_tm, max_iterations=200)
+        assert np.all(result.weights >= 0)
+
+    def test_recovered_flows_conserve_demand(self, fig4, fig4_tm):
+        result = compute_first_weights(fig4, fig4_tm, max_iterations=500)
+        violation = result.flows.conservation_violation(fig4_tm)
+        assert violation < 1e-6
+
+    def test_dual_gap_history_recorded(self, fig1, fig1_tm):
+        result = compute_first_weights(fig1, fig1_tm, max_iterations=50, tolerance=0.0)
+        assert len(result.dual_gap_history) == 50
+        assert len(result.dual_objective_history) == 50
+
+    def test_history_can_be_disabled(self, fig1, fig1_tm):
+        result = compute_first_weights(
+            fig1, fig1_tm, max_iterations=50, tolerance=0.0, record_history=False
+        )
+        assert result.dual_objective_history == []
+
+    def test_dual_objective_stabilises_with_diminishing_step(self, fig1, fig1_tm):
+        result = compute_first_weights(
+            fig1,
+            fig1_tm,
+            max_iterations=2000,
+            tolerance=0.0,
+            step_rule=DiminishingStep(1.0, decay=0.05),
+        )
+        history = np.array(result.dual_objective_history)
+        early = np.mean(np.abs(np.diff(history[:50])))
+        late = np.mean(np.abs(np.diff(history[-50:])))
+        assert late < early
+
+    def test_initial_weights_default_is_invcap(self, fig1, fig1_tm):
+        result = compute_first_weights(fig1, fig1_tm, max_iterations=1, tolerance=0.0)
+        # After one iteration the weights are one step away from 1/c.
+        assert result.iterations == 1
+
+    def test_custom_initial_weights_shape_checked(self, fig1, fig1_tm):
+        with pytest.raises(ValueError):
+            compute_first_weights(fig1, fig1_tm, initial_weights=np.ones(2))
+
+    def test_custom_step_rule(self, fig1, fig1_tm):
+        result = compute_first_weights(
+            fig1,
+            fig1_tm,
+            max_iterations=1500,
+            tolerance=1e-3,
+            step_rule=DiminishingStep(1.0, decay=0.01),
+        )
+        weights = fig1.weight_dict(result.weights)
+        assert weights[(3, 4)] == pytest.approx(10.0, rel=0.2)
+
+    def test_larger_step_ratio_changes_trajectory(self, fig1, fig1_tm):
+        slow = compute_first_weights(fig1, fig1_tm, max_iterations=30, tolerance=0.0, step_ratio=0.1)
+        fast = compute_first_weights(fig1, fig1_tm, max_iterations=30, tolerance=0.0, step_ratio=2.0)
+        assert not np.allclose(slow.weights, fast.weights)
+
+    def test_empty_demands(self, fig1):
+        result = compute_first_weights(fig1, TrafficMatrix(), max_iterations=5)
+        assert np.allclose(result.flows.aggregate(), 0.0)
+
+    def test_target_flows_property(self, fig1, fig1_tm):
+        result = compute_first_weights(fig1, fig1_tm, max_iterations=500)
+        target = result.target_flows
+        assert target.shape == (fig1.num_links,)
+        assert np.all(target >= -1e-9)
+        assert np.all(target <= fig1.capacities + 1e-9)
+
+
+class TestRoundWeights:
+    def test_max_spare_link_gets_weight_one(self):
+        weights = np.array([0.5, 1.0, 2.0])
+        spare = np.array([2.0, 1.0, 0.5])
+        rounded = round_weights(weights, spare)
+        assert rounded[0] == 1.0
+        assert np.all(rounded >= 1.0)
+        assert np.all(rounded == np.rint(rounded))
+
+    def test_max_weight_cap(self):
+        rounded = round_weights(np.array([100.0, 1.0]), np.array([10.0, 10.0]), max_weight=255)
+        assert rounded[0] == 255.0
+
+    def test_zero_spare_falls_back_to_unit_scale(self):
+        rounded = round_weights(np.array([0.4, 2.0]), np.zeros(2))
+        assert np.all(rounded >= 1.0)
+
+    def test_zero_weights_bumped_to_one(self):
+        rounded = round_weights(np.array([0.0, 0.2]), np.array([1.0, 1.0]))
+        assert rounded[0] == 1.0

@@ -1,0 +1,151 @@
+"""Integration tests that check the paper's headline claims end-to-end.
+
+These are slower than the unit tests (each runs a full SPEF pipeline on a
+real topology) but still bounded to a few seconds each.  The absolute numbers
+of the paper are not reproducible (different traffic seeds), so the tests
+assert the *shape* of the results: who wins, and in which regime.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.objectives import LoadBalanceObjective, normalized_utility
+from repro.core.spef import SPEF
+from repro.core.te_problem import TEProblem, solve_optimal_te
+from repro.protocols.minmax_mlu import MinMaxMLU
+from repro.protocols.ospf import OSPF
+from repro.protocols.peft import PEFT
+from repro.protocols.spef_protocol import SPEFProtocol
+from repro.topology.paper_examples import fig1_demands, fig1_network, fig4_demands, fig4_network
+from repro.traffic.scaling import scale_to_network_load
+
+
+class TestTable1Fig1:
+    """Table I: the Fig. 1 example under the different objectives."""
+
+    def test_beta1_column(self, fig1, fig1_tm):
+        solution = solve_optimal_te(TEProblem(fig1, fig1_tm, LoadBalanceObjective.proportional()))
+        weights = fig1.weight_dict(solution.link_weights)
+        utilization = fig1.weight_dict(solution.flows.utilization())
+        assert weights[(1, 3)] == pytest.approx(3.0, rel=0.02)
+        assert weights[(3, 4)] == pytest.approx(10.0, rel=0.02)
+        assert weights[(1, 2)] == pytest.approx(1.5, rel=0.02)
+        assert weights[(2, 3)] == pytest.approx(1.5, rel=0.02)
+        assert utilization[(1, 3)] == pytest.approx(2 / 3, abs=2e-3)
+        assert utilization[(3, 4)] == pytest.approx(0.9, abs=1e-6)
+        assert utilization[(1, 2)] == pytest.approx(1 / 3, abs=2e-3)
+
+    def test_beta0_column(self, fig1, fig1_tm):
+        solution = solve_optimal_te(TEProblem(fig1, fig1_tm, LoadBalanceObjective.minimum_hop()))
+        utilization = fig1.weight_dict(solution.flows.utilization())
+        # Table I beta=0: direct link fully used, detour unused.
+        assert utilization[(1, 3)] == pytest.approx(1.0, abs=1e-6)
+        assert utilization[(3, 4)] == pytest.approx(0.9, abs=1e-6)
+        assert utilization[(1, 2)] == pytest.approx(0.0, abs=1e-6)
+
+    def test_minmax_column(self, fig1, fig1_tm):
+        flows = MinMaxMLU().route(fig1, fig1_tm)
+        utilization = fig1.weight_dict(flows.utilization())
+        # (3,4) carries its full 0.9 demand; the (1,3) demand is split with
+        # a on the detour where a keeps MLU at 0.9.
+        assert utilization[(3, 4)] == pytest.approx(0.9, abs=1e-5)
+        assert flows.max_link_utilization() == pytest.approx(0.9, abs=1e-5)
+        assert utilization[(1, 2)] == pytest.approx(utilization[(2, 3)], abs=1e-6)
+
+    def test_beta_interpolates_between_extremes(self, fig1, fig1_tm):
+        """Fig. 3(b): utilization of the direct link decreases with beta."""
+        series = []
+        for beta in (0.0, 1.0, 2.0, 4.0):
+            solution = solve_optimal_te(TEProblem(fig1, fig1_tm, LoadBalanceObjective(beta=beta)))
+            series.append(fig1.weight_dict(solution.flows.utilization())[(1, 3)])
+        assert all(a >= b - 1e-6 for a, b in zip(series, series[1:]))
+        # beta -> infinity approaches the min-max optimum of 2/3... capped by
+        # the 0.9 bottleneck on the other demand; just check it drops below
+        # the beta=0 level of 1.0.
+        assert series[-1] < 1.0
+
+
+class TestFig6Fig7Example:
+    """The Fig. 4 example: OSPF overloads, SPEF spreads load."""
+
+    def test_ospf_overloads_spef_does_not(self, fig4, fig4_tm):
+        ospf_mlu = OSPF().route(fig4, fig4_tm).max_link_utilization()
+        spef_mlu = SPEFProtocol().route(fig4, fig4_tm).max_link_utilization()
+        assert ospf_mlu > 1.0
+        assert spef_mlu < 1.0
+
+    def test_spef_achieves_optimal_te_for_each_beta(self, fig4, fig4_tm):
+        for beta in (1.0, 5.0):
+            objective = LoadBalanceObjective(beta=beta)
+            optimal = solve_optimal_te(TEProblem(fig4, fig4_tm, objective))
+            solution = SPEF(objective=objective).fit(fig4, fig4_tm)
+            assert solution.utility() == pytest.approx(optimal.utility, rel=2e-2)
+
+    def test_second_weights_bounded(self, fig4, fig4_tm):
+        """Fig. 7(b): the second weights stay small (order of a few units).
+
+        The paper's observation that most second weights are exactly zero
+        depends on its exact topology reconstruction; the robust part of the
+        claim is that one extra small weight per link is enough, i.e. the
+        values stay bounded and non-negative.
+        """
+        solution = SPEF().fit(fig4, fig4_tm)
+        assert np.all(solution.second_weights >= 0)
+        assert np.all(np.isfinite(solution.second_weights))
+        assert float(np.max(solution.second_weights)) < 10.0
+
+    def test_spef_uses_more_links_than_peft(self, fig4, fig4_tm):
+        """Fig. 11(a): SPEF spreads traffic over at least as many links as PEFT."""
+        spef_links = len(SPEFProtocol().route(fig4, fig4_tm).used_links())
+        peft_links = len(PEFT().route(fig4, fig4_tm).used_links())
+        assert spef_links >= peft_links
+
+
+class TestAbileneFig9Fig10:
+    """Abilene: SPEF vs OSPF utility and sorted utilizations."""
+
+    @pytest.fixture(scope="class")
+    def high_load_tm(self, abilene, abilene_tm):
+        # Scale to a load where OSPF is stressed but the optimum still fits.
+        from repro.solvers.mcf import solve_min_mlu
+
+        base_mlu = solve_min_mlu(abilene, abilene_tm, allow_overload=True).objective
+        factor = 0.85 / base_mlu
+        return abilene_tm.scaled(factor)
+
+    def test_spef_utility_at_least_ospf(self, abilene, high_load_tm):
+        spef_flows = SPEFProtocol().route(abilene, high_load_tm)
+        ospf_flows = OSPF().route(abilene, high_load_tm)
+        spef_utility = normalized_utility(spef_flows.utilization())
+        ospf_utility = normalized_utility(ospf_flows.utilization())
+        assert spef_utility >= ospf_utility - 1e-6
+
+    def test_spef_mlu_not_worse(self, abilene, high_load_tm):
+        spef_mlu = SPEFProtocol().route(abilene, high_load_tm).max_link_utilization()
+        ospf_mlu = OSPF().route(abilene, high_load_tm).max_link_utilization()
+        assert spef_mlu <= ospf_mlu + 1e-6
+        assert spef_mlu < 1.0
+
+    def test_gap_widens_with_load(self, abilene, abilene_tm):
+        """Fig. 10: the SPEF-OSPF utility gap grows with the network load."""
+        from repro.solvers.mcf import solve_min_mlu
+
+        base_mlu = solve_min_mlu(abilene, abilene_tm, allow_overload=True).objective
+        gaps = []
+        for target in (0.5, 0.85):
+            demands = abilene_tm.scaled(target / base_mlu)
+            spef = normalized_utility(SPEFProtocol().route(abilene, demands).utilization())
+            ospf = normalized_utility(OSPF().route(abilene, demands).utilization())
+            if ospf == float("-inf"):
+                gaps.append(float("inf"))
+            else:
+                gaps.append(spef - ospf)
+        assert gaps[1] >= gaps[0] - 1e-6
+        assert all(gap >= -1e-6 for gap in gaps)
+
+    def test_spef_keeps_underutilized_links_busier(self, abilene, high_load_tm):
+        """Fig. 9: SPEF uses idle links and relieves hot ones."""
+        spef_sorted = SPEFProtocol().route(abilene, high_load_tm).sorted_utilizations()
+        ospf_sorted = OSPF().route(abilene, high_load_tm).sorted_utilizations()
+        # Hottest link cooler under SPEF...
+        assert spef_sorted[0] <= ospf_sorted[0] + 1e-9

@@ -1,0 +1,131 @@
+"""Unit tests for traffic matrices and demand handling."""
+
+import numpy as np
+import pytest
+
+from repro.network.demands import Demand, DemandError, TrafficMatrix
+
+
+class TestConstruction:
+    def test_add_and_get(self):
+        tm = TrafficMatrix()
+        tm.add(1, 2, 3.0)
+        assert tm[(1, 2)] == 3.0
+        assert tm[(2, 1)] == 0.0
+
+    def test_add_accumulates(self):
+        tm = TrafficMatrix()
+        tm.add(1, 2, 3.0)
+        tm.add(1, 2, 2.0)
+        assert tm[(1, 2)] == 5.0
+        assert len(tm) == 1
+
+    def test_zero_volume_ignored(self):
+        tm = TrafficMatrix()
+        tm.add(1, 2, 0.0)
+        assert len(tm) == 0
+
+    def test_negative_volume_rejected(self):
+        tm = TrafficMatrix()
+        with pytest.raises(DemandError):
+            tm.add(1, 2, -1.0)
+
+    def test_self_demand_rejected(self):
+        tm = TrafficMatrix()
+        with pytest.raises(DemandError):
+            tm.add(1, 1, 1.0)
+
+    def test_init_from_mapping(self):
+        tm = TrafficMatrix({(1, 2): 1.0, (2, 3): 2.0})
+        assert tm.total_volume() == pytest.approx(3.0)
+
+    def test_from_triples_and_demands(self):
+        tm1 = TrafficMatrix.from_triples([(1, 2, 1.0), (2, 3, 2.0)])
+        tm2 = TrafficMatrix.from_demands([Demand(1, 2, 1.0), Demand(2, 3, 2.0)])
+        assert tm1 == tm2
+
+    def test_demand_pair_property(self):
+        demand = Demand(1, 2, 5.0)
+        assert demand.pair == (1, 2)
+
+
+class TestAggregations:
+    @pytest.fixture
+    def tm(self):
+        return TrafficMatrix({(1, 3): 1.0, (3, 4): 0.9, (2, 3): 0.5})
+
+    def test_destinations_and_sources(self, tm):
+        assert set(tm.destinations()) == {3, 4}
+        assert set(tm.sources()) == {1, 3, 2}
+
+    def test_by_destination(self, tm):
+        grouped = tm.by_destination()
+        assert grouped[3] == {1: 1.0, 2: 0.5}
+        assert grouped[4] == {3: 0.9}
+
+    def test_toward(self, tm):
+        assert tm.toward(3) == {1: 1.0, 2: 0.5}
+        assert tm.toward(99) == {}
+
+    def test_total_volume(self, tm):
+        assert tm.total_volume() == pytest.approx(2.4)
+
+    def test_outgoing_incoming_volume(self, tm):
+        assert tm.outgoing_volume(1) == pytest.approx(1.0)
+        assert tm.outgoing_volume(3) == pytest.approx(0.9)
+        assert tm.incoming_volume(3) == pytest.approx(1.5)
+
+    def test_pairs_and_items(self, tm):
+        assert set(tm.pairs()) == {(1, 3), (3, 4), (2, 3)}
+        assert dict(tm.items())[(1, 3)] == 1.0
+
+    def test_network_load(self, fig1, fig1_tm):
+        # Total demand 1.9 over total capacity 4.
+        assert fig1_tm.network_load(fig1) == pytest.approx(1.9 / 4.0)
+
+    def test_dense_matrix(self, fig1, fig1_tm):
+        dense = fig1_tm.matrix(fig1)
+        assert dense.shape == (4, 4)
+        assert dense.sum() == pytest.approx(1.9)
+        assert dense[fig1.node_index(1), fig1.node_index(3)] == pytest.approx(1.0)
+
+
+class TestTransformations:
+    def test_scaled(self):
+        tm = TrafficMatrix({(1, 2): 2.0})
+        assert tm.scaled(1.5)[(1, 2)] == pytest.approx(3.0)
+        with pytest.raises(DemandError):
+            tm.scaled(-1.0)
+
+    def test_scaled_to_zero_is_empty_volume(self):
+        tm = TrafficMatrix({(1, 2): 2.0})
+        assert tm.scaled(0.0).total_volume() == 0.0
+
+    def test_restricted_to(self):
+        tm = TrafficMatrix({(1, 2): 1.0, (2, 3): 1.0, (3, 4): 1.0})
+        restricted = tm.restricted_to({1, 2, 3})
+        assert set(restricted.pairs()) == {(1, 2), (2, 3)}
+
+    def test_validate_against_network(self, fig1):
+        tm = TrafficMatrix({(1, 99): 1.0})
+        with pytest.raises(DemandError):
+            tm.validate(fig1)
+
+    def test_validate_passes(self, fig1, fig1_tm):
+        fig1_tm.validate(fig1)  # does not raise
+
+    def test_equality(self):
+        a = TrafficMatrix({(1, 2): 1.0})
+        b = TrafficMatrix({(1, 2): 1.0})
+        c = TrafficMatrix({(1, 2): 2.0})
+        assert a == b
+        assert a != c
+        assert a != "not a matrix"
+
+    def test_network_load_requires_capacity(self):
+        from repro.network.graph import Network
+
+        empty = Network()
+        tm = TrafficMatrix({(1, 2): 1.0})
+        with pytest.raises(DemandError):
+            tm.network_load(empty)

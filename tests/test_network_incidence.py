@@ -1,0 +1,67 @@
+"""Unit tests for the node-arc incidence machinery."""
+
+import numpy as np
+import pytest
+
+from repro.network.demands import TrafficMatrix
+from repro.network.incidence import (
+    conservation_residual,
+    demand_vector,
+    incidence_matrix,
+    reduced_system,
+)
+
+
+class TestIncidenceMatrix:
+    def test_shape_and_signs(self, diamond_network):
+        matrix = incidence_matrix(diamond_network)
+        assert matrix.shape == (4, 4)
+        column = matrix[:, diamond_network.link_index(1, 2)]
+        assert column[diamond_network.node_index(1)] == 1.0
+        assert column[diamond_network.node_index(2)] == -1.0
+        assert np.count_nonzero(column) == 2
+
+    def test_columns_sum_to_zero(self, triangle_network):
+        matrix = incidence_matrix(triangle_network)
+        assert np.allclose(matrix.sum(axis=0), 0.0)
+
+
+class TestDemandVector:
+    def test_values(self, diamond_network):
+        demands = TrafficMatrix({(1, 4): 8.0, (2, 4): 2.0})
+        vector = demand_vector(diamond_network, demands, 4)
+        assert vector[diamond_network.node_index(1)] == 8.0
+        assert vector[diamond_network.node_index(2)] == 2.0
+        assert vector[diamond_network.node_index(4)] == -10.0
+        assert vector.sum() == pytest.approx(0.0)
+
+    def test_reduced_system_drops_destination_row(self, diamond_network):
+        demands = TrafficMatrix({(1, 4): 8.0})
+        system = reduced_system(diamond_network, demands, 4)
+        assert system["A_eq"].shape == (3, 4)
+        assert system["b_eq"].shape == (3,)
+
+    def test_reduced_system_accepts_precomputed_incidence(self, diamond_network):
+        demands = TrafficMatrix({(1, 4): 8.0})
+        incidence = incidence_matrix(diamond_network)
+        system = reduced_system(diamond_network, demands, 4, incidence=incidence)
+        assert system["A_eq"].shape == (3, 4)
+
+
+class TestConservationResidual:
+    def test_zero_for_valid_flow(self, diamond_network):
+        demands = TrafficMatrix({(1, 4): 8.0})
+        flow = np.zeros(4)
+        flow[diamond_network.link_index(1, 2)] = 4.0
+        flow[diamond_network.link_index(2, 4)] = 4.0
+        flow[diamond_network.link_index(1, 3)] = 4.0
+        flow[diamond_network.link_index(3, 4)] = 4.0
+        residual = conservation_residual(diamond_network, {4: flow}, demands)
+        assert residual == pytest.approx(0.0)
+
+    def test_positive_for_broken_flow(self, diamond_network):
+        demands = TrafficMatrix({(1, 4): 8.0})
+        flow = np.zeros(4)
+        flow[diamond_network.link_index(1, 2)] = 8.0  # never reaches 4
+        residual = conservation_residual(diamond_network, {4: flow}, demands)
+        assert residual == pytest.approx(8.0)

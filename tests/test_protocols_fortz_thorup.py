@@ -1,0 +1,122 @@
+"""Unit tests for the Fortz-Thorup cost function and local-search optimizer."""
+
+import numpy as np
+import pytest
+
+from repro.network.demands import TrafficMatrix
+from repro.network.flows import FlowAssignment
+from repro.protocols.fortz_thorup import (
+    FT_BREAKPOINTS,
+    FT_SLOPES,
+    FortzThorup,
+    link_cost,
+    link_cost_derivative,
+    network_cost,
+    normalized_cost,
+)
+from repro.protocols.ospf import OSPF
+from repro.solvers.assignment import ecmp_assignment
+
+
+class TestLinkCost:
+    def test_zero_load_zero_cost(self):
+        assert link_cost(0.0, 1.0) == 0.0
+
+    def test_first_segment_slope_one(self):
+        assert link_cost(0.2, 1.0) == pytest.approx(0.2)
+
+    def test_segment_boundaries_continuous(self):
+        for boundary in FT_BREAKPOINTS[1:]:
+            below = link_cost(boundary - 1e-9, 1.0)
+            above = link_cost(boundary + 1e-9, 1.0)
+            assert above == pytest.approx(below, abs=1e-4)
+
+    def test_known_value_at_two_thirds(self):
+        # 1/3 at slope 1 plus 1/3 at slope 3.
+        assert link_cost(2.0 / 3.0, 1.0) == pytest.approx(1.0 / 3.0 + 1.0)
+
+    def test_scales_with_capacity(self):
+        assert link_cost(20.0, 30.0) == pytest.approx(30.0 * link_cost(2.0 / 3.0, 1.0))
+
+    def test_overload_is_very_expensive(self):
+        assert link_cost(1.2, 1.0) > 500 * 0.1
+
+    def test_convexity(self):
+        loads = np.linspace(0, 1.3, 40)
+        costs = [link_cost(x, 1.0) for x in loads]
+        diffs = np.diff(costs)
+        assert np.all(np.diff(diffs) >= -1e-9)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            link_cost(1.0, 0.0)
+        with pytest.raises(ValueError):
+            link_cost_derivative(1.0, -1.0)
+
+    def test_derivative_matches_segments(self):
+        assert link_cost_derivative(0.1, 1.0) == FT_SLOPES[0]
+        assert link_cost_derivative(0.5, 1.0) == FT_SLOPES[1]
+        assert link_cost_derivative(0.95, 1.0) == FT_SLOPES[3]
+        assert link_cost_derivative(1.05, 1.0) == FT_SLOPES[4]
+        assert link_cost_derivative(2.0, 1.0) == FT_SLOPES[5]
+
+
+class TestNetworkCost:
+    def test_sums_over_links(self, diamond_network):
+        flows = FlowAssignment(network=diamond_network)
+        flows.add_path_flow(4, [1, 2, 4], 2.0)
+        expected = 2 * link_cost(2.0, 10.0)
+        assert network_cost(flows) == pytest.approx(expected)
+
+    def test_normalized_cost_near_one_when_uncongested(self, fig1):
+        demands = TrafficMatrix({(1, 3): 0.1, (3, 4): 0.09})
+        flows = ecmp_assignment(fig1, demands, np.ones(4))
+        assert normalized_cost(flows, demands) == pytest.approx(1.0, abs=0.1)
+
+    def test_normalized_cost_zero_for_no_traffic(self, fig1):
+        flows = FlowAssignment(network=fig1)
+        assert normalized_cost(flows, TrafficMatrix()) == 0.0
+
+
+class TestLocalSearch:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            FortzThorup(max_weight=0)
+
+    def test_optimizer_improves_over_invcap(self, fig4, fig4_tm):
+        ft = FortzThorup(max_weight=10, max_evaluations=150, seed=1)
+        result = ft.optimize(fig4, fig4_tm)
+        baseline = network_cost(OSPF().route(fig4, fig4_tm))
+        assert result.cost <= baseline + 1e-9
+
+    def test_weights_are_integers_in_range(self, fig1, fig1_tm):
+        ft = FortzThorup(max_weight=5, max_evaluations=80, seed=2)
+        result = ft.optimize(fig1, fig1_tm)
+        assert np.all(result.weights >= 1)
+        assert np.all(result.weights <= 5)
+        assert np.allclose(result.weights, np.rint(result.weights))
+
+    def test_route_uses_optimized_weights(self, fig1, fig1_tm):
+        ft = FortzThorup(max_weight=5, max_evaluations=80, seed=2)
+        flows = ft.route(fig1, fig1_tm)
+        assert ft.last_result is not None
+        rerouted = ecmp_assignment(fig1, fig1_tm, ft.last_result.weights)
+        assert np.allclose(flows.aggregate(), rerouted.aggregate())
+
+    def test_deterministic_given_seed(self, fig1, fig1_tm):
+        a = FortzThorup(max_weight=5, max_evaluations=60, seed=7).optimize(fig1, fig1_tm)
+        b = FortzThorup(max_weight=5, max_evaluations=60, seed=7).optimize(fig1, fig1_tm)
+        assert np.allclose(a.weights, b.weights)
+        assert a.cost == pytest.approx(b.cost)
+
+    def test_respects_evaluation_budget(self, fig1, fig1_tm):
+        ft = FortzThorup(max_weight=5, max_evaluations=25, seed=0)
+        result = ft.optimize(fig1, fig1_tm)
+        assert result.evaluations <= 25 + 2  # initial evaluations per restart
+
+    def test_fig1_avoids_saturating_direct_link(self, fig1, fig1_tm):
+        # Table I: the FT-optimised weights move part of the (1,3) demand to
+        # the two-hop path, keeping the direct link below 100%.
+        ft = FortzThorup(max_weight=10, max_evaluations=300, seed=3)
+        flows = ft.route(fig1, fig1_tm)
+        assert flows.max_link_utilization() <= 1.0 + 1e-9

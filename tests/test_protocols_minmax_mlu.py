@@ -1,0 +1,61 @@
+"""Unit tests for the min-max MLU LP routing baseline."""
+
+import numpy as np
+import pytest
+
+from repro.network.demands import TrafficMatrix
+from repro.protocols.minmax_mlu import MinMaxMLU
+
+
+class TestOptimalMlu:
+    def test_fig1_value(self, fig1, fig1_tm):
+        assert MinMaxMLU().optimal_mlu(fig1, fig1_tm) == pytest.approx(0.9, abs=1e-6)
+
+    def test_diamond_value(self, diamond_network, diamond_demands):
+        assert MinMaxMLU().optimal_mlu(diamond_network, diamond_demands) == pytest.approx(0.4, abs=1e-6)
+
+
+class TestRouting:
+    def test_achieves_optimal_mlu(self, fig1, fig1_tm):
+        protocol = MinMaxMLU()
+        flows = protocol.route(fig1, fig1_tm)
+        assert flows.max_link_utilization() == pytest.approx(0.9, abs=1e-5)
+        assert flows.conservation_violation(fig1_tm) < 1e-6
+
+    def test_refinement_avoids_gratuitous_detours(self, fig1, fig1_tm):
+        # Among the infinitely many MLU-optimal solutions on Fig. 1 the
+        # refined one should not push more traffic than necessary onto the
+        # two-hop detour.
+        flows = MinMaxMLU(refine=True).route(fig1, fig1_tm)
+        # Total carried traffic is minimised: the (1,3) demand uses the direct
+        # link up to 0.9 utilization and the detour only for the remainder.
+        assert flows.utilization_dict()[(1, 3)] == pytest.approx(0.9, abs=1e-4)
+        assert flows.utilization_dict()[(1, 2)] == pytest.approx(0.1, abs=1e-4)
+
+    def test_unrefined_also_optimal(self, fig1, fig1_tm):
+        flows = MinMaxMLU(refine=False).route(fig1, fig1_tm)
+        assert flows.max_link_utilization() == pytest.approx(0.9, abs=1e-5)
+
+    def test_overload_allowed_for_oversized_demands(self, diamond_network):
+        demands = TrafficMatrix({(1, 4): 30.0})
+        flows = MinMaxMLU(allow_overload=True).route(diamond_network, demands)
+        assert flows.max_link_utilization() == pytest.approx(1.5, abs=1e-4)
+
+    def test_split_ratios_not_provided(self, fig1, fig1_tm):
+        assert MinMaxMLU().split_ratios(fig1, fig1_tm) is None
+
+    def test_evaluate(self, fig1, fig1_tm):
+        evaluation = MinMaxMLU().evaluate(fig1, fig1_tm)
+        assert evaluation.max_link_utilization == pytest.approx(0.9, abs=1e-5)
+        assert np.isfinite(evaluation.normalized_utility)
+
+
+class TestWeights:
+    def test_weights_nonnegative_with_positive_support(self, fig1, fig1_tm):
+        weights = MinMaxMLU().weights(fig1, fig1_tm)
+        assert weights is not None
+        assert np.all(weights >= 0)
+        # Some saturated link must carry a positive shadow price (Table I
+        # shows one valid choice: weight 1 on the bottleneck, 0 elsewhere;
+        # the LP dual may pick a different but equally valid support).
+        assert weights.max() > 0

@@ -1,0 +1,92 @@
+"""Unit tests for the OSPF baseline (InvCap weights + even ECMP)."""
+
+import numpy as np
+import pytest
+
+from repro.network.demands import TrafficMatrix
+from repro.network.graph import Network
+from repro.protocols.ospf import OSPF, MinHopOSPF, invcap_weights, unit_weights
+
+
+class TestWeightSettings:
+    def test_invcap_largest_link_gets_weight_one(self):
+        net = Network()
+        net.add_link(1, 2, 10.0)
+        net.add_link(2, 3, 2.5)
+        weights = invcap_weights(net)
+        assert weights[net.link_index(1, 2)] == pytest.approx(1.0)
+        assert weights[net.link_index(2, 3)] == pytest.approx(4.0)
+
+    def test_invcap_custom_reference(self):
+        net = Network()
+        net.add_link(1, 2, 5.0)
+        weights = invcap_weights(net, reference_capacity=100.0)
+        assert weights[0] == pytest.approx(20.0)
+
+    def test_invcap_rejects_nonpositive_reference(self, triangle_network):
+        with pytest.raises(ValueError):
+            invcap_weights(triangle_network, reference_capacity=0.0)
+
+    def test_unit_weights(self, triangle_network):
+        assert np.allclose(unit_weights(triangle_network), 1.0)
+
+
+class TestRouting:
+    def test_even_ecmp_split(self, diamond_network, diamond_demands):
+        flows = OSPF().route(diamond_network, diamond_demands)
+        assert flows.flow_on(1, 2) == pytest.approx(4.0)
+        assert flows.flow_on(1, 3) == pytest.approx(4.0)
+
+    def test_explicit_weights_respected(self, diamond_network, diamond_demands):
+        ospf = OSPF(weights={(1, 2): 1.0, (2, 4): 1.0, (1, 3): 3.0, (3, 4): 3.0})
+        flows = ospf.route(diamond_network, diamond_demands)
+        assert flows.flow_on(1, 2) == pytest.approx(8.0)
+
+    def test_invcap_prefers_fat_links(self):
+        net = Network()
+        net.add_link(1, 2, 10.0)
+        net.add_link(2, 4, 10.0)
+        net.add_link(1, 3, 1.0)
+        net.add_link(3, 4, 1.0)
+        flows = OSPF().route(net, TrafficMatrix({(1, 4): 2.0}))
+        assert flows.flow_on(1, 2) == pytest.approx(2.0)
+        assert flows.flow_on(1, 3) == pytest.approx(0.0)
+
+    def test_fig1_ospf_saturates_direct_link(self, fig1, fig1_tm):
+        # All Fig. 1 capacities are equal, so InvCap == unit weights and the
+        # (1,3) demand goes entirely over the direct one-hop link.
+        flows = OSPF().route(fig1, fig1_tm)
+        assert flows.utilization_dict()[(1, 3)] == pytest.approx(1.0)
+
+    def test_ospf_can_overload(self, fig4, fig4_tm):
+        flows = OSPF().route(fig4, fig4_tm)
+        assert flows.max_link_utilization() > 1.0
+
+    def test_min_hop_variant(self, fig4, fig4_tm):
+        flows = MinHopOSPF().route(fig4, fig4_tm)
+        assert flows.conservation_violation(fig4_tm) < 1e-9
+        assert MinHopOSPF().name == "OSPF-minhop"
+
+    def test_custom_name(self):
+        assert OSPF(name="OSPF-custom").name == "OSPF-custom"
+
+    def test_link_weights_exposed(self, fig4):
+        weights = OSPF().link_weights(fig4)
+        assert weights.shape == (fig4.num_links,)
+        assert np.allclose(weights, 1.0)  # all capacities equal -> all ones
+
+
+class TestSplitRatios:
+    def test_even_ratios(self, diamond_network, diamond_demands):
+        ratios = OSPF().split_ratios(diamond_network, diamond_demands)
+        assert ratios[4][1] == {2: 0.5, 3: 0.5}
+
+    def test_ratios_only_for_demand_destinations(self, diamond_network, diamond_demands):
+        ratios = OSPF().split_ratios(diamond_network, diamond_demands)
+        assert set(ratios) == {4}
+
+    def test_evaluate_row(self, diamond_network, diamond_demands):
+        evaluation = OSPF().evaluate(diamond_network, diamond_demands)
+        row = evaluation.as_row()
+        assert row["protocol"] == "OSPF"
+        assert row["mlu"] == pytest.approx(0.4)

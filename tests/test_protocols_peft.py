@@ -1,0 +1,84 @@
+"""Unit tests for the PEFT baseline (downward exponential flow splitting)."""
+
+import numpy as np
+import pytest
+
+from repro.network.demands import TrafficMatrix
+from repro.protocols.peft import PEFT
+
+
+class TestConstruction:
+    def test_invalid_temperature_rejected(self):
+        with pytest.raises(ValueError):
+            PEFT(temperature=0.0)
+
+    def test_default_objective_is_proportional(self):
+        assert PEFT().objective.beta == 1.0
+
+
+class TestRouting:
+    def test_diamond_splits_exponentially(self, diamond_network, diamond_demands):
+        # Path 1-2-4 has length 2, path 1-3-4 has length 3; node 3 is still
+        # strictly closer to 4 than node 1, so both paths are "downward" and
+        # the longer one gets an exp(-extra length) = exp(-1) share.
+        weights = {(1, 2): 1.0, (2, 4): 1.0, (1, 3): 1.5, (3, 4): 1.5}
+        flows = PEFT(weights=weights).route(diamond_network, diamond_demands)
+        share_long = np.exp(-1.0) / (1.0 + np.exp(-1.0))
+        assert flows.flow_on(1, 3) == pytest.approx(8.0 * share_long, rel=1e-6)
+        assert flows.conservation_violation(diamond_demands) < 1e-9
+
+    def test_equal_paths_split_evenly(self, diamond_network, diamond_demands):
+        flows = PEFT(weights=np.ones(4)).route(diamond_network, diamond_demands)
+        assert flows.flow_on(1, 2) == pytest.approx(4.0)
+        assert flows.flow_on(1, 3) == pytest.approx(4.0)
+
+    def test_temperature_spreads_traffic(self, diamond_network, diamond_demands):
+        weights = {(1, 2): 1.0, (2, 4): 1.0, (1, 3): 1.5, (3, 4): 1.5}
+        cold = PEFT(weights=weights, temperature=1.0).route(diamond_network, diamond_demands)
+        hot = PEFT(weights=weights, temperature=10.0).route(diamond_network, diamond_demands)
+        assert hot.flow_on(1, 3) > cold.flow_on(1, 3)
+
+    def test_conservation_on_fig4(self, fig4, fig4_tm):
+        flows = PEFT(weights=np.ones(fig4.num_links)).route(fig4, fig4_tm)
+        assert flows.conservation_violation(fig4_tm) < 1e-9
+
+    def test_derives_weights_from_te_when_omitted(self, fig4, fig4_tm):
+        peft = PEFT()
+        weights = peft.link_weights(fig4, fig4_tm)
+        assert weights.shape == (fig4.num_links,)
+        assert np.all(weights >= 0)
+        flows = peft.route(fig4, fig4_tm)
+        assert flows.conservation_violation(fig4_tm) < 1e-9
+
+    def test_only_downward_links_carry_flow(self, fig4, fig4_tm):
+        from repro.network.spt import distances_to
+
+        weights = np.ones(fig4.num_links)
+        flows = PEFT(weights=weights).route(fig4, fig4_tm)
+        for destination, vector in flows.per_destination.items():
+            distances = distances_to(fig4, destination, weights)
+            for link in fig4.links:
+                if vector[link.index] > 1e-9:
+                    assert distances[link.target] < distances[link.source]
+
+
+class TestSplitRatios:
+    def test_ratios_sum_to_one(self, fig4, fig4_tm):
+        ratios = PEFT(weights=np.ones(fig4.num_links)).split_ratios(fig4, fig4_tm)
+        for destination, per_node in ratios.items():
+            for node, hops in per_node.items():
+                assert sum(hops.values()) == pytest.approx(1.0)
+
+    def test_ratio_keys_are_demand_destinations(self, fig4, fig4_tm):
+        ratios = PEFT(weights=np.ones(fig4.num_links)).split_ratios(fig4, fig4_tm)
+        assert set(ratios) == set(fig4_tm.destinations())
+
+
+class TestComparisonWithSPEF:
+    def test_peft_uses_no_more_links_than_spef_on_example(self, fig4, fig4_tm):
+        """The Fig. 11 observation: SPEF spreads load over at least as many links."""
+        from repro.protocols.spef_protocol import SPEFProtocol
+
+        peft_flows = PEFT().route(fig4, fig4_tm)
+        spef_flows = SPEFProtocol().route(fig4, fig4_tm)
+        assert len(spef_flows.used_links()) >= len(peft_flows.used_links())

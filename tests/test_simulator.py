@@ -1,0 +1,188 @@
+"""Unit tests for the discrete-event engine and the flow-level simulator."""
+
+import numpy as np
+import pytest
+
+from repro.network.demands import TrafficMatrix
+from repro.protocols.ospf import OSPF
+from repro.protocols.spef_protocol import SPEFProtocol
+from repro.simulator.events import Simulator
+from repro.simulator.simulation import (
+    FlowLevelSimulation,
+    proportional_split_ratios,
+    simulate_protocol,
+)
+from repro.solvers.assignment import ecmp_assignment
+
+
+class TestEventEngine:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(2.0, lambda s: fired.append("b"))
+        sim.schedule(1.0, lambda s: fired.append("a"))
+        sim.run()
+        assert fired == ["a", "b"]
+        assert sim.now == 2.0
+
+    def test_simultaneous_events_keep_insertion_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda s: fired.append("first"))
+        sim.schedule(1.0, lambda s: fired.append("second"))
+        sim.run()
+        assert fired == ["first", "second"]
+
+    def test_schedule_in_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda s: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule(0.5, lambda s: None)
+
+    def test_schedule_in_relative_delay(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_in(0.5, lambda s: fired.append(s.now))
+        sim.run()
+        assert fired == [0.5]
+        with pytest.raises(ValueError):
+            sim.schedule_in(-1.0, lambda s: None)
+
+    def test_cancellation(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(1.0, lambda s: fired.append("x"))
+        handle.cancel()
+        sim.run()
+        assert fired == []
+        assert handle.cancelled
+
+    def test_run_until_stops_early(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda s: fired.append(1))
+        sim.schedule(5.0, lambda s: fired.append(5))
+        sim.run(until=2.0)
+        assert fired == [1]
+        assert sim.now == 2.0
+        assert sim.pending() == 1
+
+    def test_events_can_schedule_more_events(self):
+        sim = Simulator()
+        fired = []
+
+        def chain(s):
+            fired.append(s.now)
+            if len(fired) < 3:
+                s.schedule_in(1.0, chain)
+
+        sim.schedule(1.0, chain)
+        sim.run()
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_max_events_budget(self):
+        sim = Simulator()
+        for t in range(10):
+            sim.schedule(float(t + 1), lambda s: None)
+        sim.run(max_events=3)
+        assert sim.processed_events == 3
+
+    def test_step_and_peek(self):
+        sim = Simulator()
+        assert sim.peek() is None
+        assert sim.step() is False
+        sim.schedule(1.0, lambda s: None)
+        assert sim.peek() == 1.0
+        assert sim.step() is True
+
+
+class TestProportionalSplitRatios:
+    def test_ratios_from_flow_assignment(self, diamond_network, diamond_demands):
+        flows = ecmp_assignment(diamond_network, diamond_demands, np.ones(4))
+        ratios = proportional_split_ratios(flows)
+        assert ratios[4][1][2] == pytest.approx(0.5)
+        assert ratios[4][1][3] == pytest.approx(0.5)
+
+    def test_zero_flow_nodes_absent(self, diamond_network, diamond_demands):
+        flows = ecmp_assignment(
+            diamond_network,
+            diamond_demands,
+            {(1, 2): 1.0, (2, 4): 1.0, (1, 3): 9.0, (3, 4): 9.0},
+        )
+        ratios = proportional_split_ratios(flows)
+        assert 3 not in ratios[4]
+
+
+class TestFlowLevelSimulation:
+    def test_validation(self, diamond_network, diamond_demands):
+        with pytest.raises(ValueError):
+            FlowLevelSimulation(diamond_network, diamond_demands, {}, mean_flow_size=0.0)
+        with pytest.raises(ValueError):
+            FlowLevelSimulation(diamond_network, diamond_demands, {}, flow_rate_fraction=0.0)
+        sim = FlowLevelSimulation(diamond_network, diamond_demands, {})
+        with pytest.raises(ValueError):
+            sim.run(duration=0.0)
+        with pytest.raises(ValueError):
+            sim.run(duration=1.0, warmup=2.0)
+
+    def test_mean_load_matches_fluid_assignment(self, diamond_network, diamond_demands):
+        ospf = OSPF()
+        ratios = ospf.split_ratios(diamond_network, diamond_demands)
+        sim = FlowLevelSimulation(
+            diamond_network,
+            diamond_demands,
+            ratios,
+            mean_flow_size=0.5,
+            flow_rate_fraction=0.05,
+            seed=42,
+        )
+        result = sim.run(duration=300.0)
+        fluid = ospf.route(diamond_network, diamond_demands).aggregate_dict()
+        for edge, expected in fluid.items():
+            assert result.mean_link_load[edge] == pytest.approx(expected, rel=0.25, abs=0.3)
+
+    def test_deterministic_given_seed(self, diamond_network, diamond_demands):
+        ratios = OSPF().split_ratios(diamond_network, diamond_demands)
+        a = FlowLevelSimulation(diamond_network, diamond_demands, ratios, seed=7).run(duration=50)
+        b = FlowLevelSimulation(diamond_network, diamond_demands, ratios, seed=7).run(duration=50)
+        assert a.mean_link_load == b.mean_link_load
+
+    def test_missing_forwarding_entries_drop_flows(self, diamond_network, diamond_demands):
+        result = FlowLevelSimulation(diamond_network, diamond_demands, {}, seed=1).run(duration=50)
+        assert result.dropped_flows > 0
+        assert all(load == 0 for load in result.mean_link_load.values())
+
+    def test_result_helpers(self, diamond_network, diamond_demands):
+        ratios = OSPF().split_ratios(diamond_network, diamond_demands)
+        result = FlowLevelSimulation(diamond_network, diamond_demands, ratios, seed=3).run(duration=100)
+        assert set(result.used_links()) <= set(diamond_network.edges)
+        assert result.mean_load_vector().shape == (4,)
+        assert result.load_variation() >= 0
+        utilization = result.mean_utilization()
+        assert all(0 <= value <= 1.5 for value in utilization.values())
+        assert result.flows_started >= result.flows_completed
+
+
+class TestSimulateProtocol:
+    def test_ospf_simulation(self, fig4, fig4_tm):
+        result = simulate_protocol(fig4, fig4_tm, OSPF(), duration=100.0, seed=5)
+        assert result.flows_started > 0
+        assert result.dropped_flows == 0
+
+    def test_spef_simulation_roughly_matches_fluid(self, fig4, fig4_tm):
+        protocol = SPEFProtocol()
+        fluid = protocol.route(fig4, fig4_tm)
+        result = simulate_protocol(fig4, fig4_tm, protocol, duration=200.0, seed=5)
+        fluid_vector = fluid.aggregate()
+        sim_vector = result.mean_load_vector()
+        # The correlation between simulated and fluid loads should be strong.
+        correlation = np.corrcoef(fluid_vector, sim_vector)[0, 1]
+        assert correlation > 0.9
+
+    def test_protocol_without_split_ratios_uses_fluid_fallback(self, fig1, fig1_tm):
+        from repro.protocols.minmax_mlu import MinMaxMLU
+
+        result = simulate_protocol(fig1, fig1_tm, MinMaxMLU(), duration=100.0, seed=2)
+        assert result.dropped_flows == 0
+        assert result.flows_started > 0

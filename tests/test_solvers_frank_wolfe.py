@@ -1,0 +1,94 @@
+"""Unit tests for the Frank-Wolfe (flow deviation) convex MCF solver."""
+
+import numpy as np
+import pytest
+
+from repro.core.objectives import LoadBalanceObjective
+from repro.network.demands import TrafficMatrix
+from repro.solvers.frank_wolfe import solve_frank_wolfe
+from repro.solvers.mcf import SolverError, solve_min_mlu
+
+
+def _oracles(network, objective):
+    return (
+        lambda f: objective.congestion_cost(network, f),
+        lambda f: objective.congestion_gradient(network, f),
+    )
+
+
+class TestFrankWolfe:
+    def test_diamond_splits_evenly_under_proportional_objective(
+        self, diamond_network, diamond_demands
+    ):
+        objective = LoadBalanceObjective.proportional()
+        cost, gradient = _oracles(diamond_network, objective)
+        result = solve_frank_wolfe(diamond_network, diamond_demands, cost, gradient)
+        assert result.converged
+        # Symmetric paths: the optimum splits 8 units into 4 + 4.
+        assert result.flows.flow_on(1, 2) == pytest.approx(4.0, abs=1e-3)
+        assert result.flows.flow_on(1, 3) == pytest.approx(4.0, abs=1e-3)
+
+    def test_weights_match_derivative_of_spare(self, diamond_network, diamond_demands):
+        objective = LoadBalanceObjective.proportional()
+        cost, gradient = _oracles(diamond_network, objective)
+        result = solve_frank_wolfe(diamond_network, diamond_demands, cost, gradient)
+        spare = result.flows.spare_capacity()
+        assert np.allclose(result.link_weights, objective.derivative(spare))
+
+    def test_fig1_matches_paper_table1(self, fig1, fig1_tm):
+        objective = LoadBalanceObjective.proportional()
+        cost, gradient = _oracles(fig1, objective)
+        result = solve_frank_wolfe(fig1, fig1_tm, cost, gradient)
+        utilization = fig1.weight_dict(result.flows.utilization())
+        assert utilization[(1, 3)] == pytest.approx(2.0 / 3.0, abs=1e-3)
+        assert utilization[(3, 4)] == pytest.approx(0.9, abs=1e-6)
+        assert utilization[(1, 2)] == pytest.approx(1.0 / 3.0, abs=1e-3)
+
+    def test_infeasible_barrier_instance_raises(self, diamond_network):
+        demands = TrafficMatrix({(1, 4): 25.0})  # exceeds the 20-unit cut
+        objective = LoadBalanceObjective.proportional()
+        cost, gradient = _oracles(diamond_network, objective)
+        with pytest.raises(SolverError):
+            solve_frank_wolfe(diamond_network, demands, cost, gradient)
+
+    def test_empty_demands(self, diamond_network):
+        objective = LoadBalanceObjective.proportional()
+        cost, gradient = _oracles(diamond_network, objective)
+        result = solve_frank_wolfe(diamond_network, TrafficMatrix(), cost, gradient)
+        assert result.converged
+        assert np.allclose(result.flows.aggregate(), 0.0)
+
+    def test_objective_history_is_monotone_nonincreasing(self, fig4, fig4_tm):
+        objective = LoadBalanceObjective.proportional()
+        cost, gradient = _oracles(fig4, objective)
+        result = solve_frank_wolfe(fig4, fig4_tm, cost, gradient, max_iterations=60)
+        history = np.array(result.objective_history)
+        assert np.all(np.diff(history) <= 1e-8)
+
+    def test_custom_initial_flows_accepted(self, diamond_network, diamond_demands):
+        objective = LoadBalanceObjective.proportional()
+        cost, gradient = _oracles(diamond_network, objective)
+        start = solve_min_mlu(diamond_network, diamond_demands).flows
+        result = solve_frank_wolfe(
+            diamond_network, diamond_demands, cost, gradient, initial_flows=start
+        )
+        assert result.converged
+
+    def test_non_barrier_mode_handles_saturation(self, diamond_network):
+        # Linear-ish objective (beta=0.5 is finite at zero spare capacity):
+        # demands that saturate the cheap path should still solve.
+        demands = TrafficMatrix({(1, 4): 18.0})
+        objective = LoadBalanceObjective(beta=0.5)
+        cost, gradient = _oracles(diamond_network, objective)
+        result = solve_frank_wolfe(
+            diamond_network, demands, cost, gradient, barrier=False, max_iterations=80
+        )
+        result.flows.validate(demands, tolerance=1e-4)
+        assert result.flows.max_link_utilization() <= 1.0 + 1e-6
+
+    def test_result_flows_respect_capacity(self, fig4, fig4_tm):
+        objective = LoadBalanceObjective.proportional()
+        cost, gradient = _oracles(fig4, objective)
+        result = solve_frank_wolfe(fig4, fig4_tm, cost, gradient)
+        assert result.flows.max_link_utilization() < 1.0
+        result.flows.validate(fig4_tm, tolerance=1e-6)

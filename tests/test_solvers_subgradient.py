@@ -1,0 +1,84 @@
+"""Unit tests for step-size schedules and projection helpers."""
+
+import numpy as np
+import pytest
+
+from repro.solvers.subgradient import (
+    ConstantStep,
+    DiminishingStep,
+    SquareSummableStep,
+    default_step_for_capacities,
+    default_step_for_flows,
+    project_nonnegative,
+    step_sequence,
+)
+
+
+class TestStepRules:
+    def test_constant_step(self):
+        rule = ConstantStep(0.5)
+        assert rule(0) == 0.5
+        assert rule(100) == 0.5
+
+    def test_constant_step_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ConstantStep(0.0)(0)
+
+    def test_diminishing_step_decreases(self):
+        rule = DiminishingStep(1.0, decay=0.1)
+        values = list(step_sequence(rule, 50))
+        assert values[0] == pytest.approx(1.0)
+        assert all(a >= b for a, b in zip(values, values[1:]))
+        assert values[-1] < values[0]
+
+    def test_diminishing_step_not_summable(self):
+        # sum gamma/(1 + 0.01k) diverges; check it keeps growing slowly.
+        rule = DiminishingStep(1.0, decay=0.01)
+        partial = sum(step_sequence(rule, 1000))
+        assert partial > 100
+
+    def test_diminishing_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            DiminishingStep(-1.0)(0)
+        with pytest.raises(ValueError):
+            DiminishingStep(1.0, decay=-0.5)(1)
+
+    def test_square_summable_step(self):
+        rule = SquareSummableStep(2.0)
+        assert rule(0) == pytest.approx(2.0)
+        assert rule(3) == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            SquareSummableStep(0.0)(0)
+
+
+class TestDefaults:
+    def test_default_step_for_capacities(self):
+        rule = default_step_for_capacities(np.array([1.0, 4.0, 2.0]))
+        assert rule(0) == pytest.approx(0.25)
+
+    def test_default_step_ratio(self):
+        rule = default_step_for_capacities(np.array([2.0]), ratio=0.5)
+        assert rule(0) == pytest.approx(0.25)
+
+    def test_default_step_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            default_step_for_capacities(np.array([0.0]))
+
+    def test_default_step_for_flows(self):
+        rule = default_step_for_flows(np.array([0.0, 5.0]))
+        assert rule(0) == pytest.approx(0.2)
+
+    def test_default_step_for_zero_flows_falls_back_to_unit(self):
+        rule = default_step_for_flows(np.zeros(3))
+        assert rule(0) == pytest.approx(1.0)
+
+
+class TestProjection:
+    def test_project_nonnegative(self):
+        vector = np.array([-1.0, 0.0, 2.5])
+        assert np.allclose(project_nonnegative(vector), [0.0, 0.0, 2.5])
+
+    def test_projection_does_not_modify_input(self):
+        vector = np.array([-1.0, 1.0])
+        project_nonnegative(vector)
+        assert vector[0] == -1.0

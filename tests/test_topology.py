@@ -1,0 +1,201 @@
+"""Unit tests for the topologies (paper examples, backbones, generators, rocketfuel)."""
+
+import numpy as np
+import pytest
+
+from repro.topology.backbones import (
+    abilene_network,
+    cernet2_backbone_links,
+    cernet2_edges,
+    cernet2_network,
+)
+from repro.topology.generators import (
+    hier50a,
+    hier50b,
+    hierarchical_network,
+    rand50a,
+    rand50b,
+    rand100,
+    random_network,
+)
+from repro.topology.paper_examples import (
+    FIG4_LINKS,
+    fig1_demands,
+    fig1_network,
+    fig4_demands,
+    fig4_link_labels,
+    fig4_network,
+)
+from repro.topology.rocketfuel import (
+    ROCKETFUEL_PROFILES,
+    degree_profile,
+    parse_rocketfuel,
+    synthetic_rocketfuel,
+    write_rocketfuel,
+)
+
+
+class TestPaperExamples:
+    def test_fig1_structure(self):
+        net = fig1_network()
+        assert net.num_nodes == 4
+        assert net.num_links == 4
+        assert np.allclose(net.capacities, 1.0)
+
+    def test_fig1_capacity_scaling(self):
+        net = fig1_network(capacity_scale=5.0)
+        assert np.allclose(net.capacities, 5.0)
+
+    def test_fig1_demands(self):
+        tm = fig1_demands()
+        assert tm[(1, 3)] == 1.0
+        assert tm[(3, 4)] == 0.9
+        tm.validate(fig1_network())
+
+    def test_fig4_structure(self):
+        net = fig4_network()
+        assert net.num_nodes == 7
+        assert net.num_links == 13
+        assert np.allclose(net.capacities, 5.0)
+
+    def test_fig4_demands_reach_destinations(self):
+        net, tm = fig4_network(), fig4_demands()
+        tm.validate(net)
+        assert tm.total_volume() == pytest.approx(16.0)
+        # Every demand must be routable.
+        from repro.solvers.mcf import solve_min_mlu
+
+        assert solve_min_mlu(net, tm).objective < 1.0
+
+    def test_fig4_demand_scaling(self):
+        tm = fig4_demands(volume=2.0)
+        assert tm[(1, 2)] == pytest.approx(2.0)
+
+    def test_fig4_link_labels(self):
+        labels = fig4_link_labels(fig4_network())
+        assert set(labels) == set(range(1, 14))
+        assert labels == FIG4_LINKS
+
+
+class TestBackbones:
+    def test_abilene_matches_table3(self):
+        net = abilene_network()
+        assert net.num_nodes == 11
+        assert net.num_links == 28
+        assert np.allclose(net.capacities, 10.0)
+        assert net.is_strongly_connected()
+
+    def test_cernet2_matches_table3(self):
+        net = cernet2_network()
+        assert net.num_nodes == 20
+        assert net.num_links == 44
+        assert net.is_strongly_connected()
+
+    def test_cernet2_capacity_classes(self):
+        net = cernet2_network()
+        capacities = sorted(set(net.capacities))
+        assert capacities == [2.5, 10.0]
+        backbone = cernet2_backbone_links()
+        assert len(backbone) == 4
+        for u, v in backbone:
+            assert net.capacity_of(u, v) == 10.0
+
+    def test_cernet2_edges_count(self):
+        assert len(cernet2_edges()) == 22
+
+
+class TestGenerators:
+    def test_random_network_counts(self):
+        net = random_network(20, 80, seed=5)
+        assert net.num_nodes == 20
+        assert net.num_links == 80
+        assert net.is_strongly_connected()
+
+    def test_random_network_deterministic(self):
+        a = random_network(20, 80, seed=5)
+        b = random_network(20, 80, seed=5)
+        assert a.edges == b.edges
+
+    def test_random_network_seed_changes_topology(self):
+        a = random_network(20, 80, seed=5)
+        b = random_network(20, 80, seed=6)
+        assert a.edges != b.edges
+
+    def test_random_network_validation(self):
+        with pytest.raises(ValueError):
+            random_network(10, 81)  # odd
+        with pytest.raises(ValueError):
+            random_network(10, 10)  # too few for connectivity
+        with pytest.raises(ValueError):
+            random_network(5, 100)  # too many
+
+    def test_hierarchical_capacities(self):
+        net = hierarchical_network(20, 80, num_transit=5, seed=1)
+        capacities = set(net.capacities)
+        assert capacities <= {1.0, 5.0}
+        assert 5.0 in capacities and 1.0 in capacities
+        assert net.is_strongly_connected()
+
+    def test_hierarchical_validation(self):
+        with pytest.raises(ValueError):
+            hierarchical_network(20, 81)
+        with pytest.raises(ValueError):
+            hierarchical_network(10, 40, num_transit=10)
+        with pytest.raises(ValueError):
+            hierarchical_network(50, 60, num_transit=10)  # below connectivity need
+
+    @pytest.mark.parametrize(
+        "builder, nodes, links",
+        [
+            (hier50a, 50, 222),
+            (hier50b, 50, 152),
+            (rand50a, 50, 242),
+            (rand50b, 50, 230),
+            (rand100, 100, 392),
+        ],
+    )
+    def test_table3_instances(self, builder, nodes, links):
+        net = builder()
+        assert net.num_nodes == nodes
+        assert net.num_links == links
+        assert net.is_strongly_connected()
+
+
+class TestRocketfuel:
+    def test_synthetic_profile_sizes(self):
+        net = synthetic_rocketfuel(1755)
+        name, nodes, links = ROCKETFUEL_PROFILES[1755]
+        assert net.num_nodes == nodes
+        assert net.num_links == links
+
+    def test_unknown_asn_rejected(self):
+        with pytest.raises(ValueError):
+            synthetic_rocketfuel(9999)
+
+    def test_roundtrip_through_file(self, tmp_path):
+        net = synthetic_rocketfuel(6461)
+        path = tmp_path / "as6461.txt"
+        write_rocketfuel(net, path)
+        parsed = parse_rocketfuel(path, duplex=False)
+        assert parsed.num_nodes == net.num_nodes
+        assert parsed.num_links == net.num_links
+
+    def test_parse_adds_reverse_links_in_duplex_mode(self, tmp_path):
+        path = tmp_path / "tiny.txt"
+        path.write_text("# comment\na b 4\nb c\n")
+        net = parse_rocketfuel(path, default_capacity=2.0)
+        assert net.num_links == 4
+        assert net.capacity_of("a", "b") == 4.0
+        assert net.capacity_of("c", "b") == 2.0
+
+    def test_parse_rejects_malformed_lines(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("only_one_token\n")
+        with pytest.raises(ValueError):
+            parse_rocketfuel(path)
+
+    def test_degree_profile(self):
+        profile = degree_profile(abilene_network())
+        assert profile["min_degree"] >= 1
+        assert profile["max_degree"] <= 11
+        assert profile["mean_degree"] == pytest.approx(28 / 11)
