@@ -21,6 +21,16 @@ sys.path.insert(0, str(Path(__file__).parent))
 from bench_utils import full_bench  # noqa: E402
 
 from repro.analysis.experiments import Instance, standard_instances  # noqa: E402
+from repro.scenarios import BatchRunner, single_link_failures  # noqa: E402
+from repro.topology.rocketfuel import synthetic_rocketfuel  # noqa: E402
+from repro.traffic.gravity import gravity_traffic_matrix  # noqa: E402
+
+
+def pytest_configure(config):
+    """Register the scenario-suite marker (also listed in pyproject.toml)."""
+    config.addinivalue_line(
+        "markers", "scenarios: scenario-engine robustness sweeps (batch runner)"
+    )
 
 
 @pytest.fixture(scope="session")
@@ -45,3 +55,32 @@ def fig10_instance_names(instances) -> list:
     if full_bench():
         return list(instances)
     return ["Abilene", "Cernet2", "Hier50b", "Rand50a"]
+
+
+# ----------------------------------------------------------------------
+# scenario-engine fixtures (shared by the robustness benchmarks)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="session")
+def scenario_cache_dir(tmp_path_factory):
+    """A per-session on-disk result cache, warm across benchmark modules."""
+    return tmp_path_factory.mktemp("scenario-cache")
+
+
+@pytest.fixture(scope="session")
+def scenario_runner(scenario_cache_dir) -> BatchRunner:
+    """A cached serial batch runner (serial: benchmark timings stay honest)."""
+    return BatchRunner(cache_dir=scenario_cache_dir, max_workers=0)
+
+
+@pytest.fixture(scope="session")
+def abilene_link_failures(abilene_instance) -> list:
+    """Every single-trunk failure of Abilene (the canonical sweep)."""
+    return single_link_failures(abilene_instance.network)
+
+
+@pytest.fixture(scope="session")
+def rocketfuel_instance() -> Instance:
+    """A Rocketfuel-profile ISP (AS6461 Abovenet) with a gravity workload."""
+    network = synthetic_rocketfuel(6461, seed=0)
+    demands = gravity_traffic_matrix(network, total_volume=0.1 * network.total_capacity())
+    return Instance(network=network, base_demands=demands, kind="Rocketfuel")

@@ -13,10 +13,13 @@ The public API re-exports the pieces most users need:
 * the baselines (:class:`~repro.protocols.OSPF`,
   :class:`~repro.protocols.PEFT`, :class:`~repro.protocols.FortzThorup`,
   :class:`~repro.protocols.MinMaxMLU`);
-* topologies and traffic generators used in the paper's evaluation.
+* topologies and traffic generators used in the paper's evaluation;
+* the scenario engine (:class:`~repro.scenarios.Scenario`,
+  :class:`~repro.scenarios.BatchRunner`) for failure sweeps, demand
+  ensembles and cached parallel robustness evaluation.
 """
 
-from . import core, network, protocols, solvers, topology, traffic
+from . import core, network, protocols, scenarios, solvers, topology, traffic
 from .core import (
     SPEF,
     LoadBalanceObjective,
@@ -28,13 +31,15 @@ from .core import (
 )
 from .network import FlowAssignment, Network, TrafficMatrix
 from .protocols import OSPF, PEFT, FortzThorup, MinMaxMLU, SPEFProtocol
+from .scenarios import BatchRunner, ProtocolSpec, Scenario, ScenarioResult
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "core",
     "network",
     "protocols",
+    "scenarios",
     "solvers",
     "topology",
     "traffic",
@@ -53,5 +58,9 @@ __all__ = [
     "FortzThorup",
     "MinMaxMLU",
     "SPEFProtocol",
+    "Scenario",
+    "ScenarioResult",
+    "BatchRunner",
+    "ProtocolSpec",
     "__version__",
 ]

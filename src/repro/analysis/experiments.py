@@ -30,6 +30,10 @@ from ..protocols.minmax_mlu import MinMaxMLU
 from ..protocols.ospf import OSPF, invcap_weights
 from ..protocols.peft import PEFT
 from ..protocols.spef_protocol import SPEFProtocol
+from ..scenarios.generators import baseline_scenario, single_link_failures
+from ..scenarios.robustness import regret_rows, robustness_summary
+from ..scenarios.runner import BatchRunner, ProtocolSpec
+from ..scenarios.scenario import Scenario
 from ..simulator.simulation import simulate_protocol
 from ..topology.backbones import abilene_network, cernet2_network
 from ..topology.generators import hier50a, hier50b, rand50a, rand50b, rand100
@@ -525,6 +529,106 @@ def fig12_convergence(
         )
         alg2_series[f"ratio={ratio:g}"] = result.dual_objective_history
     return {"algorithm1": alg1_series, "algorithm2": alg2_series}
+
+
+# ----------------------------------------------------------------------
+# Scenario robustness sweeps (beyond the paper: failures and demand
+# uncertainty, evaluated with the cached parallel batch runner)
+# ----------------------------------------------------------------------
+def scenario_robustness_sweep(
+    network: Network,
+    demands: TrafficMatrix,
+    scenarios: Optional[Sequence[Scenario]] = None,
+    protocols: Sequence[object] = ("OSPF", "SPEF"),
+    oracle: Optional[object] = "MinMaxMLU",
+    metric: str = "mlu",
+    cvar_alpha: float = 0.1,
+    runner: Optional[BatchRunner] = None,
+    include_baseline: bool = True,
+) -> Dict[str, object]:
+    """Evaluate protocols across a scenario set and summarise robustness.
+
+    The scenario-engine counterpart of the per-figure experiments above:
+    instead of one (topology, matrix) point it sweeps a whole scenario set
+    (defaulting to the baseline plus every single-trunk failure) through the
+    cached parallel :class:`~repro.scenarios.runner.BatchRunner` and returns
+
+    * ``results`` — the flat per-(scenario, protocol) result list,
+    * ``summary`` — one robustness row per protocol (mean / median /
+      worst-case / CVaR of ``metric``, plus regret when an oracle is given),
+    * ``regret`` — per-scenario regret rows against ``oracle`` re-optimised
+      for each perturbed instance (``None`` oracle skips both),
+    * ``stats`` — the runner's cache/parallelism statistics.
+
+    ``protocols`` and ``oracle`` accept registry names (``"OSPF"``) or
+    :class:`~repro.scenarios.runner.ProtocolSpec` objects.
+    """
+    if scenarios is None:
+        scenarios = single_link_failures(network)
+    scenarios = list(scenarios)
+    if include_baseline and not any(s.is_baseline() for s in scenarios):
+        scenarios = [baseline_scenario()] + scenarios
+    # The implicit runner is uncached: persistent caching is an explicit
+    # opt-in (pass a BatchRunner), so casual calls can never be served
+    # stale results from a previous code version.
+    runner = runner or BatchRunner(cache_dir=False, max_workers=0)
+
+    specs = [ProtocolSpec.of(p) for p in protocols]
+    oracle_spec = ProtocolSpec.of(oracle) if oracle is not None else None
+    all_specs = list(specs)
+    if oracle_spec is not None and oracle_spec not in all_specs:
+        all_specs.append(oracle_spec)
+
+    results = runner.run(network, demands, scenarios, all_specs)
+    per_scenario = len(scenarios)
+    by_spec = {
+        spec.display_name: results[i * per_scenario : (i + 1) * per_scenario]
+        for i, spec in enumerate(all_specs)
+    }
+    protocol_results = [r for spec in specs for r in by_spec[spec.display_name]]
+    oracle_results = by_spec[oracle_spec.display_name] if oracle_spec is not None else None
+
+    summary = robustness_summary(
+        protocol_results, metric=metric, cvar_alpha=cvar_alpha, oracle=oracle_results
+    )
+    regret = (
+        regret_rows(protocol_results, oracle_results, metric=metric)
+        if oracle_results is not None
+        else []
+    )
+    return {
+        "results": protocol_results,
+        "oracle_results": oracle_results,
+        "summary": summary,
+        "regret": regret,
+        "stats": runner.last_stats,
+        "scenarios": scenarios,
+    }
+
+
+def abilene_failure_sweep(
+    protocols: Sequence[object] = ("OSPF", "SPEF"),
+    load_fraction: float = 0.5,
+    runner: Optional[BatchRunner] = None,
+    instance: Optional[Instance] = None,
+) -> Dict[str, object]:
+    """The canonical demo sweep: every Abilene trunk failure, SPEF vs OSPF.
+
+    Demands are scaled to ``load_fraction`` of the saturation load; the 0.5
+    default is the highest regime where every single-trunk failure still
+    leaves the demands routable (at the Fig. 9 level of 0.85, several
+    failures make even re-optimised TE infeasible).  Pass a cached
+    ``BatchRunner`` to have repeated calls served from its result cache.
+    """
+    if instance is None:
+        instance = standard_instances()["Abilene"]
+    demands = instance.at_fraction(load_fraction)
+    return scenario_robustness_sweep(
+        instance.network,
+        demands,
+        protocols=protocols,
+        runner=runner,
+    )
 
 
 # ----------------------------------------------------------------------

@@ -82,6 +82,37 @@ def format_histogram(histogram: Mapping[int, int], title: Optional[str] = None) 
     return format_table(rows, columns=["paths", "pairs"], title=title)
 
 
+def format_robustness_summary(
+    rows: Sequence[Mapping[str, object]],
+    title: Optional[str] = "Robustness summary (per protocol)",
+) -> str:
+    """Render the per-protocol robustness rows of a scenario sweep.
+
+    Accepts the ``summary`` rows produced by
+    :func:`repro.scenarios.robustness.robustness_summary` (whatever metric
+    they were built for) and renders them as an aligned table.
+    """
+    return format_table(rows, title=title)
+
+
+def format_regret(
+    rows: Sequence[Mapping[str, object]],
+    worst: int = 10,
+    title: Optional[str] = None,
+) -> str:
+    """Render the ``worst`` highest-regret scenarios of a sweep.
+
+    Regret rows come from :func:`repro.scenarios.robustness.regret_rows`;
+    sorting puts the scenarios where the protocol leaves the most
+    performance on the table (vs. a re-optimised oracle) on top.
+    """
+    ordered = sorted(rows, key=lambda row: float(row.get("regret", 0.0)), reverse=True)
+    shown = ordered[: worst if worst else len(ordered)]
+    if title is None:
+        title = f"Worst {len(shown)} scenarios by regret vs. re-optimised oracle"
+    return format_table(shown, title=title)
+
+
 def print_report(*sections: str) -> None:
     """Print report sections separated by blank lines (captured by pytest -s)."""
     print()

@@ -1,0 +1,214 @@
+"""Robustness metrics over scenario sweep results.
+
+The paper reports point metrics (MLU, normalised utility) on single
+instances; across a scenario set the interesting quantities are
+*distributional*:
+
+* :func:`distribution_summary` — min / mean / median / tail quantile / max
+  of a metric across scenarios;
+* :func:`worst_case` and :func:`cvar` — the adversarial view: the single
+  worst scenario and the mean of the worst ``alpha``-tail (Conditional
+  Value at Risk, the standard risk measure for "how bad are the bad cases");
+* :func:`regret_rows` — per-scenario regret of a protocol against an oracle
+  re-optimised for that scenario (e.g. the min-max LP, or SPEF refit on the
+  perturbed instance).  Regret isolates *routing* robustness from scenario
+  difficulty: a failure can raise everyone's MLU, but only regret shows how
+  much of the pain was avoidable.
+* :func:`robustness_summary` — one row per protocol combining all of the
+  above, the table printed by ``examples/failure_sweep.py`` and the
+  scenario benchmarks.
+
+All functions accept the flat :class:`~repro.scenarios.runner.ScenarioResult`
+lists the batch runner returns and use only finite, feasible entries for
+averages while always surfacing infeasible counts — silently averaging away
+a scenario a protocol cannot route would be exactly the wrong kind of
+optimism.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from .runner import ScenarioResult
+
+
+def metric_values(results: Iterable[ScenarioResult], metric: str = "mlu") -> np.ndarray:
+    """The per-scenario values of ``metric`` (``"mlu"`` or ``"utility"``)."""
+    if metric not in ("mlu", "utility"):
+        raise ValueError(f"unknown metric {metric!r}; expected 'mlu' or 'utility'")
+    return np.array([getattr(r, metric) for r in results], dtype=float)
+
+
+def distribution_summary(values: Sequence[float], tail: float = 0.9) -> Dict[str, float]:
+    """Min/mean/median/quantile/max of a metric distribution.
+
+    Non-finite entries (overloaded or unroutable scenarios) are excluded
+    from the moments but counted in ``num_infinite``.
+    """
+    data = np.asarray(list(values), dtype=float)
+    finite = data[np.isfinite(data)]
+    if finite.size == 0:
+        nan = float("nan")
+        return {
+            "count": float(data.size),
+            "num_infinite": float(data.size),
+            "min": nan,
+            "mean": nan,
+            "median": nan,
+            f"p{int(round(tail * 100))}": nan,
+            "max": nan,
+        }
+    return {
+        "count": float(data.size),
+        "num_infinite": float(data.size - finite.size),
+        "min": float(np.min(finite)),
+        "mean": float(np.mean(finite)),
+        "median": float(np.median(finite)),
+        f"p{int(round(tail * 100))}": float(np.quantile(finite, tail)),
+        "max": float(np.max(finite)),
+    }
+
+
+def worst_case(
+    results: Sequence[ScenarioResult], metric: str = "mlu"
+) -> Optional[ScenarioResult]:
+    """The single worst scenario (highest MLU / lowest utility).
+
+    Infeasible results (infinite metric) dominate: if a protocol fails to
+    route some scenario, that *is* its worst case.
+    """
+    results = list(results)
+    if not results:
+        return None
+    if metric == "utility":
+        return min(results, key=lambda r: r.utility)
+    return max(results, key=lambda r: r.mlu)
+
+
+def cvar(values: Sequence[float], alpha: float = 0.1, worst_high: bool = True) -> float:
+    """Conditional Value at Risk: the mean of the worst ``alpha`` fraction.
+
+    With ``worst_high`` (the MLU convention) the top ``alpha`` tail is
+    averaged; for utilities pass ``worst_high=False`` to average the bottom
+    tail.  At least one value is always included, so ``cvar(values, 0)``
+    degenerates to the worst case.  Infinite values stay infinite — CVaR is
+    the one aggregate that must *not* forget unroutable scenarios.
+    """
+    if not 0 <= alpha <= 1:
+        raise ValueError(f"alpha must be in [0, 1], got {alpha}")
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        return float("nan")
+    k = max(1, int(math.ceil(alpha * data.size)))
+    ordered = np.sort(data)
+    tail = ordered[-k:] if worst_high else ordered[:k]
+    return float(np.mean(tail))
+
+
+def regret_rows(
+    results: Sequence[ScenarioResult],
+    oracle: Sequence[ScenarioResult],
+    metric: str = "mlu",
+) -> List[Dict[str, object]]:
+    """Per-scenario regret of ``results`` against a re-optimised oracle.
+
+    Results are matched by ``scenario_id``; for MLU the regret is the ratio
+    ``mlu / oracle_mlu`` (1.0 = as good as re-optimising for the failure),
+    for utility it is the difference ``oracle_utility - utility``.
+    Scenarios missing from the oracle are skipped; scenarios where the
+    *oracle itself* failed (non-finite reference) get ``regret = nan`` —
+    regret against a broken yardstick is undefined, not zero.
+    """
+    by_id = {r.scenario_id: r for r in oracle}
+    rows: List[Dict[str, object]] = []
+    for result in results:
+        reference = by_id.get(result.scenario_id)
+        if reference is None:
+            continue
+        if metric == "utility":
+            regret = (
+                reference.utility - result.utility
+                if math.isfinite(reference.utility)
+                else float("nan")
+            )
+        elif not math.isfinite(reference.mlu):
+            regret = float("nan")
+        else:
+            regret = (
+                result.mlu / reference.mlu
+                if reference.mlu > 0
+                else (1.0 if result.mlu == 0 else float("inf"))
+            )
+        rows.append(
+            {
+                "scenario": result.scenario_id,
+                "kind": result.kind,
+                "protocol": result.protocol,
+                "oracle": reference.protocol,
+                metric: result.mlu if metric == "mlu" else result.utility,
+                f"oracle_{metric}": reference.mlu if metric == "mlu" else reference.utility,
+                "regret": regret,
+            }
+        )
+    return rows
+
+
+def group_by_protocol(
+    results: Iterable[ScenarioResult],
+) -> Dict[str, List[ScenarioResult]]:
+    """Bucket a flat result list by protocol display name (order preserved)."""
+    groups: Dict[str, List[ScenarioResult]] = {}
+    for result in results:
+        groups.setdefault(result.protocol, []).append(result)
+    return groups
+
+
+def robustness_summary(
+    results: Sequence[ScenarioResult],
+    metric: str = "mlu",
+    cvar_alpha: float = 0.1,
+    oracle: Optional[Sequence[ScenarioResult]] = None,
+) -> List[Dict[str, object]]:
+    """One summary row per protocol: distribution, worst case, CVaR, regret.
+
+    This is the headline robustness table.  ``oracle`` (typically a
+    re-optimised MinMaxMLU or SPEF sweep from the same runner call) adds a
+    mean-regret column when provided.
+    """
+    worst_high = metric != "utility"
+    rows: List[Dict[str, object]] = []
+    for protocol, group in group_by_protocol(results).items():
+        values = metric_values(group, metric)
+        summary = distribution_summary(values)
+        worst = worst_case(group, metric)
+        row: Dict[str, object] = {
+            "protocol": protocol,
+            "scenarios": int(summary["count"]),
+            "infeasible": int(summary["num_infinite"]),
+            f"mean_{metric}": summary["mean"],
+            f"median_{metric}": summary["median"],
+            f"worst_{metric}": getattr(worst, metric) if worst else float("nan"),
+            "worst_scenario": worst.scenario_id if worst else "",
+            f"cvar{int(round(cvar_alpha * 100)):02d}_{metric}": cvar(
+                values, cvar_alpha, worst_high=worst_high
+            ),
+            "dropped_volume": float(sum(r.dropped_volume for r in group)),
+        }
+        if oracle is not None:
+            regrets = [float(r["regret"]) for r in regret_rows(group, oracle, metric)]
+            finite = [r for r in regrets if math.isfinite(r)]
+            # Unroutable scenarios must not be averaged away: the mean covers
+            # the finite cases, the max propagates infinity (a NaN from a
+            # broken oracle must not swallow it), and the count makes the
+            # infeasible cells explicit.
+            row["mean_regret"] = float(np.mean(finite)) if finite else float("nan")
+            if any(r == float("inf") for r in regrets):
+                row["max_regret"] = float("inf")
+            else:
+                row["max_regret"] = float(np.max(finite)) if finite else float("nan")
+            row["infinite_regret"] = sum(1 for r in regrets if r == float("inf"))
+        rows.append(row)
+    return rows

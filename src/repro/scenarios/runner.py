@@ -1,0 +1,547 @@
+"""Cached parallel batch evaluation of protocols over scenario sets.
+
+The evaluation loop of the paper — route one matrix on one topology, read off
+MLU and utility — becomes, at scenario scale, an embarrassingly parallel
+batch job: |scenarios| x |protocols| independent routing problems.  This
+module provides the machinery to run that batch fast and repeatably:
+
+* :class:`ProtocolSpec` — a picklable, hashable *description* of a protocol
+  (registry name + constructor parameters).  Specs, not protocol instances,
+  travel to worker processes and into cache keys.
+* :class:`ResultCache` — an on-disk store of :class:`ScenarioResult` records
+  keyed by ``sha256(topology, demands, scenario, protocol)``; repeated sweeps
+  (the common case while exploring) skip straight to cache hits.
+* :class:`BatchRunner` — chunked dispatch over a ``ProcessPoolExecutor``
+  with a serial fast path, cache-aware scheduling (hits never reach a
+  worker) and per-run statistics.
+
+Worker payloads are ``(network, demands, scenarios, spec)`` tuples; the
+scenario is applied *inside* the worker so only the small base instance and
+the declarative scenarios cross the process boundary.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import tempfile
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..core.objectives import normalized_utility
+from ..network.demands import TrafficMatrix
+from ..network.graph import Network
+from ..protocols.base import RoutingProtocol
+from ..protocols.fortz_thorup import FortzThorup
+from ..protocols.minmax_mlu import MinMaxMLU
+from ..protocols.ospf import OSPF, MinHopOSPF
+from ..protocols.peft import PEFT
+from ..protocols.spef_protocol import SPEFProtocol
+from .scenario import Scenario, _sha256, demands_fingerprint, network_fingerprint
+
+
+class RunnerError(ValueError):
+    """Raised for malformed runner inputs (unknown protocols, bad specs...)."""
+
+
+# ----------------------------------------------------------------------
+# protocol specs
+# ----------------------------------------------------------------------
+def _make_spef(beta: Optional[float] = None, **overrides) -> RoutingProtocol:
+    if beta is not None:
+        return SPEFProtocol.with_beta(beta, **overrides)
+    return SPEFProtocol(**overrides)
+
+
+#: Registry of protocol factories the runner can instantiate by name.
+PROTOCOL_REGISTRY: Dict[str, Callable[..., RoutingProtocol]] = {
+    "OSPF": OSPF,
+    "MinHopOSPF": MinHopOSPF,
+    "SPEF": _make_spef,
+    "PEFT": PEFT,
+    "FortzThorup": FortzThorup,
+    "MinMaxMLU": MinMaxMLU,
+}
+
+
+def register_protocol(name: str, factory: Callable[..., RoutingProtocol]) -> None:
+    """Register a protocol factory for use in :class:`ProtocolSpec`.
+
+    Registration must happen at import time of a module available to worker
+    processes, otherwise parallel runs cannot rebuild the protocol.
+    """
+    PROTOCOL_REGISTRY[name] = factory
+
+
+@dataclass(frozen=True)
+class ProtocolSpec:
+    """A declarative, picklable recipe for building a routing protocol.
+
+    ``params`` is a sorted tuple of ``(key, value)`` pairs so specs are
+    hashable and fingerprint deterministically.
+    """
+
+    protocol: str
+    params: Tuple[Tuple[str, object], ...] = ()
+    label: Optional[str] = None
+
+    @classmethod
+    def of(
+        cls,
+        protocol: Union[str, "ProtocolSpec"],
+        label: Optional[str] = None,
+        **params: object,
+    ) -> "ProtocolSpec":
+        """Coerce a name (plus keyword parameters) into a spec."""
+        if isinstance(protocol, ProtocolSpec):
+            return protocol
+        if protocol not in PROTOCOL_REGISTRY:
+            raise RunnerError(
+                f"unknown protocol {protocol!r}; known: {sorted(PROTOCOL_REGISTRY)}"
+            )
+        return cls(protocol=protocol, params=tuple(sorted(params.items())), label=label)
+
+    @property
+    def display_name(self) -> str:
+        """The name used in results and reports."""
+        if self.label:
+            return self.label
+        if self.params:
+            rendered = ",".join(f"{k}={v}" for k, v in self.params)
+            return f"{self.protocol}({rendered})"
+        return self.protocol
+
+    def build(self) -> RoutingProtocol:
+        """Instantiate the protocol (called inside worker processes)."""
+        try:
+            factory = PROTOCOL_REGISTRY[self.protocol]
+        except KeyError:
+            raise RunnerError(
+                f"unknown protocol {self.protocol!r}; known: {sorted(PROTOCOL_REGISTRY)}"
+            ) from None
+        return factory(**dict(self.params))
+
+    def fingerprint(self) -> str:
+        return _sha256(
+            {
+                "protocol": self.protocol,
+                "params": [(k, repr(v)) for k, v in self.params],
+            }
+        )
+
+
+# ----------------------------------------------------------------------
+# results
+# ----------------------------------------------------------------------
+@dataclass
+class ScenarioResult:
+    """Headline metrics of one protocol on one scenario.
+
+    ``mlu`` is infinite and ``feasible`` False when the protocol could not
+    route the scenario at all (e.g. an LP failure); ``error`` then carries
+    the exception text.  ``runtime`` and ``cached`` describe how the number
+    was obtained, not what it is — they are excluded from equality-relevant
+    reporting (:meth:`as_row`).
+    """
+
+    scenario_id: str
+    kind: str
+    protocol: str
+    mlu: float
+    utility: float
+    routed_volume: float
+    dropped_volume: float
+    feasible: bool
+    connected: bool
+    runtime: float = 0.0
+    cached: bool = False
+    error: Optional[str] = None
+
+    def as_row(self) -> Dict[str, object]:
+        """The deterministic part of the result (for tables and comparisons)."""
+        return {
+            "scenario": self.scenario_id,
+            "kind": self.kind,
+            "protocol": self.protocol,
+            "mlu": round(self.mlu, 6) if math.isfinite(self.mlu) else self.mlu,
+            "utility": round(self.utility, 6) if math.isfinite(self.utility) else self.utility,
+            "routed": round(self.routed_volume, 6),
+            "dropped": round(self.dropped_volume, 6),
+            "feasible": self.feasible,
+            "connected": self.connected,
+        }
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "scenario_id": self.scenario_id,
+            "kind": self.kind,
+            "protocol": self.protocol,
+            "mlu": self.mlu,
+            "utility": self.utility,
+            "routed_volume": self.routed_volume,
+            "dropped_volume": self.dropped_volume,
+            "feasible": self.feasible,
+            "connected": self.connected,
+            "runtime": self.runtime,
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ScenarioResult":
+        return cls(
+            scenario_id=str(data["scenario_id"]),
+            kind=str(data["kind"]),
+            protocol=str(data["protocol"]),
+            mlu=float(data["mlu"]),
+            utility=float(data["utility"]),
+            routed_volume=float(data["routed_volume"]),
+            dropped_volume=float(data["dropped_volume"]),
+            feasible=bool(data["feasible"]),
+            connected=bool(data["connected"]),
+            runtime=float(data.get("runtime", 0.0)),
+            error=data.get("error"),  # type: ignore[arg-type]
+        )
+
+
+def evaluate_scenario(
+    network: Network,
+    demands: TrafficMatrix,
+    scenario: Scenario,
+    spec: ProtocolSpec,
+) -> ScenarioResult:
+    """Evaluate one (scenario, protocol) cell — the unit of batch work.
+
+    Never raises: a broken cell — an inapplicable scenario (e.g. one built
+    for a different topology) just as much as a routing failure — yields an
+    infeasible result carrying the error text, so one pathological scenario
+    cannot sink a thousand-cell sweep.
+    """
+    start = time.perf_counter()
+    instance = None
+    try:
+        instance = scenario.apply(network, demands)
+        if len(instance.demands) == 0:
+            # Nothing left to route (everything dropped or scaled to zero):
+            # an empty workload trivially fits, whatever the protocol.
+            mlu, utility, feasible, error = 0.0, 0.0, True, None
+        else:
+            protocol = spec.build()
+            flows = protocol.route(instance.network, instance.demands)
+            utilization = flows.utilization()
+            mlu = float(np.max(utilization)) if utilization.size else 0.0
+            utility = normalized_utility(utilization) if utilization.size else 0.0
+            feasible = bool(np.all(np.isfinite(utilization)))
+            error = None
+    except Exception as exc:  # noqa: BLE001 - worker boundary, reported in result
+        mlu = float("inf")
+        utility = float("-inf")
+        feasible = False
+        error = f"{type(exc).__name__}: {exc}"
+    return ScenarioResult(
+        scenario_id=scenario.scenario_id,
+        kind=scenario.kind,
+        protocol=spec.display_name,
+        mlu=mlu,
+        utility=utility,
+        routed_volume=instance.demands.total_volume() if instance else 0.0,
+        dropped_volume=instance.dropped_volume if instance else 0.0,
+        feasible=feasible,
+        connected=instance.fully_connected if instance else False,
+        runtime=time.perf_counter() - start,
+        error=error,
+    )
+
+
+def _evaluate_chunk(
+    payload: Tuple[Network, TrafficMatrix, List[Scenario], ProtocolSpec],
+) -> List[ScenarioResult]:
+    """Worker entry point: evaluate a chunk of scenarios for one protocol."""
+    network, demands, scenarios, spec = payload
+    return [evaluate_scenario(network, demands, scenario, spec) for scenario in scenarios]
+
+
+# ----------------------------------------------------------------------
+# on-disk result cache
+# ----------------------------------------------------------------------
+#: Bump when the semantics of cached metrics change (invalidates old caches).
+CACHE_VERSION = 1
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` or ``~/.cache/repro/scenarios``."""
+    root = os.environ.get("REPRO_CACHE_DIR")
+    if root:
+        return Path(root)
+    return Path.home() / ".cache" / "repro" / "scenarios"
+
+
+class ResultCache:
+    """A content-addressed store of scenario results (JSON file per key).
+
+    Writes are atomic (tempfile + rename) so concurrent runners sharing a
+    cache directory at worst duplicate work, never corrupt entries.  An
+    in-memory layer absorbs repeated lookups within one process.
+    """
+
+    def __init__(self, directory: Union[str, Path, None] = None) -> None:
+        self.directory = Path(directory) if directory is not None else default_cache_dir()
+        self._memory: Dict[str, ScenarioResult] = {}
+
+    @staticmethod
+    def key(
+        network_fp: str, demands_fp: str, scenario: Scenario, spec: ProtocolSpec
+    ) -> str:
+        return ResultCache.key_from_fingerprints(
+            network_fp, demands_fp, scenario.fingerprint(), spec.fingerprint()
+        )
+
+    @staticmethod
+    def key_from_fingerprints(
+        network_fp: str, demands_fp: str, scenario_fp: str, protocol_fp: str
+    ) -> str:
+        """Cache key from precomputed fingerprints (the batch fast path)."""
+        from .. import __version__
+
+        # The package version is part of the key so cached metrics never
+        # survive a release that may have changed protocol implementations;
+        # CACHE_VERSION covers semantic changes within a release cycle.
+        return _sha256(
+            {
+                "version": CACHE_VERSION,
+                "package": __version__,
+                "network": network_fp,
+                "demands": demands_fp,
+                "scenario": scenario_fp,
+                "protocol": protocol_fp,
+            }
+        )
+
+    def _path(self, key: str) -> Path:
+        # Two-level fan-out keeps directories small on big sweeps.
+        return self.directory / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[ScenarioResult]:
+        if key in self._memory:
+            result = self._memory[key]
+        else:
+            path = self._path(key)
+            try:
+                result = ScenarioResult.from_dict(json.loads(path.read_text()))
+            except (OSError, ValueError, KeyError, TypeError):
+                # Unreadable, malformed or wrong-shaped entries (e.g. stray
+                # files in a shared cache dir) are misses, never fatal.
+                return None
+            self._memory[key] = result
+        hit = ScenarioResult.from_dict(result.to_dict())
+        hit.cached = True
+        return hit
+
+    def put(self, key: str, result: ScenarioResult) -> None:
+        self._memory[key] = result
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        blob = json.dumps(result.to_dict(), sort_keys=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(blob)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+    def clear(self) -> int:
+        """Remove every cached entry; returns the number of files deleted."""
+        self._memory.clear()
+        removed = 0
+        if self.directory.exists():
+            for path in self.directory.glob("*/*.json"):
+                path.unlink(missing_ok=True)
+                removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        if not self.directory.exists():
+            return 0
+        return sum(1 for _ in self.directory.glob("*/*.json"))
+
+
+# ----------------------------------------------------------------------
+# batch runner
+# ----------------------------------------------------------------------
+@dataclass
+class RunStats:
+    """Bookkeeping of one :meth:`BatchRunner.run` call."""
+
+    total: int = 0
+    cache_hits: int = 0
+    evaluated: int = 0
+    chunks: int = 0
+    workers: int = 0
+    elapsed: float = 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cache_hits / self.total if self.total else 0.0
+
+
+class BatchRunner:
+    """Evaluate protocols across scenario sets, in parallel and cached.
+
+    Parameters
+    ----------
+    cache_dir:
+        Directory of the on-disk result cache; ``None`` uses
+        :func:`default_cache_dir`, ``False`` disables caching entirely.
+    max_workers:
+        Process pool size.  ``0`` or ``1`` evaluates serially in-process
+        (no pool overhead — the right choice for small batches and tests);
+        ``None`` uses ``os.cpu_count()``.
+    chunk_size:
+        Scenarios per worker task.  ``None`` auto-sizes to about four
+        chunks per worker, which amortises dispatch overhead while keeping
+        the pool load-balanced when scenario costs vary.
+
+    Examples
+    --------
+    >>> from repro.topology.backbones import abilene_network
+    >>> from repro.traffic.fortz_thorup_tm import abilene_traffic_matrix
+    >>> from repro.scenarios import single_link_failures
+    >>> net = abilene_network()
+    >>> tm = abilene_traffic_matrix(net, total_volume=50.0, seed=1)
+    >>> runner = BatchRunner(cache_dir=False, max_workers=0)
+    >>> results = runner.run(net, tm, single_link_failures(net), ["OSPF"])
+    >>> len(results)
+    14
+    """
+
+    def __init__(
+        self,
+        cache_dir: Union[str, Path, None, bool] = None,
+        max_workers: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+    ) -> None:
+        if cache_dir is False:
+            self.cache: Optional[ResultCache] = None
+        else:
+            self.cache = ResultCache(None if cache_dir in (None, True) else cache_dir)
+        self.max_workers = max_workers
+        self.chunk_size = chunk_size
+        self.last_stats = RunStats()
+
+    def run(
+        self,
+        network: Network,
+        demands: TrafficMatrix,
+        scenarios: Sequence[Scenario],
+        protocols: Iterable[Union[str, ProtocolSpec]],
+    ) -> List[ScenarioResult]:
+        """Evaluate every protocol on every scenario.
+
+        Results are returned in ``(protocol, scenario)`` input order
+        regardless of which worker (or cache entry) produced them.
+        """
+        specs = [ProtocolSpec.of(p) for p in protocols]
+        scenarios = list(scenarios)
+        start = time.perf_counter()
+        stats = RunStats(total=len(specs) * len(scenarios))
+
+        network_fp = network_fingerprint(network)
+        demands_fp = demands_fingerprint(demands)
+        # Fingerprints are hashed once per scenario/spec, not once per cell.
+        scenario_fps = [scenario.fingerprint() for scenario in scenarios]
+        spec_fps = [spec.fingerprint() for spec in specs]
+
+        # Resolve cache hits up front so only misses reach the pool.
+        results: Dict[Tuple[int, int], ScenarioResult] = {}
+        misses: List[Tuple[int, int]] = []
+        keys: Dict[Tuple[int, int], str] = {}
+        for si, spec in enumerate(specs):
+            for ci, scenario in enumerate(scenarios):
+                cell = (si, ci)
+                if self.cache is not None:
+                    key = ResultCache.key_from_fingerprints(
+                        network_fp, demands_fp, scenario_fps[ci], spec_fps[si]
+                    )
+                    keys[cell] = key
+                    hit = self.cache.get(key)
+                    if hit is not None:
+                        results[cell] = hit
+                        stats.cache_hits += 1
+                        continue
+                misses.append(cell)
+
+        stats.evaluated = len(misses)
+        workers = self._effective_workers(len(misses))
+        stats.workers = workers
+        if misses:
+            if workers <= 1:
+                for cell in misses:
+                    si, ci = cell
+                    results[cell] = evaluate_scenario(
+                        network, demands, scenarios[ci], specs[si]
+                    )
+            else:
+                chunks = self._chunk(misses, workers)
+                stats.chunks = len(chunks)
+                payloads = [
+                    (network, demands, [scenarios[ci] for _, ci in chunk], specs[chunk[0][0]])
+                    for chunk in chunks
+                ]
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    for chunk, chunk_results in zip(
+                        chunks, pool.map(_evaluate_chunk, payloads)
+                    ):
+                        for cell, result in zip(chunk, chunk_results):
+                            results[cell] = result
+            if self.cache is not None:
+                for cell in misses:
+                    # Error results are never cached: a transient failure
+                    # (solver hiccup, memory pressure) must not permanently
+                    # poison the cell as infeasible on disk.
+                    if results[cell].error is None:
+                        self.cache.put(keys[cell], results[cell])
+
+        stats.elapsed = time.perf_counter() - start
+        self.last_stats = stats
+        return [
+            results[(si, ci)]
+            for si in range(len(specs))
+            for ci in range(len(scenarios))
+        ]
+
+    # ------------------------------------------------------------------
+    # scheduling helpers
+    # ------------------------------------------------------------------
+    def _effective_workers(self, num_tasks: int) -> int:
+        if self.max_workers is not None:
+            workers = self.max_workers
+        else:
+            workers = os.cpu_count() or 1
+        return max(0, min(workers, num_tasks))
+
+    def _chunk(
+        self, misses: List[Tuple[int, int]], workers: int
+    ) -> List[List[Tuple[int, int]]]:
+        """Split misses into per-protocol chunks of roughly equal size.
+
+        Chunks never mix protocols so each worker payload carries exactly
+        one spec; within a protocol, chunk size defaults to ~4 chunks per
+        worker for load balancing.
+        """
+        by_spec: Dict[int, List[Tuple[int, int]]] = {}
+        for cell in misses:
+            by_spec.setdefault(cell[0], []).append(cell)
+        chunks: List[List[Tuple[int, int]]] = []
+        for cells in by_spec.values():
+            size = self.chunk_size or max(1, math.ceil(len(cells) / (workers * 4)))
+            for i in range(0, len(cells), size):
+                chunks.append(cells[i : i + size])
+        return chunks
