@@ -16,10 +16,14 @@ The public API re-exports the pieces most users need:
 * topologies and traffic generators used in the paper's evaluation;
 * the scenario engine (:class:`~repro.scenarios.Scenario`,
   :class:`~repro.scenarios.BatchRunner`) for failure sweeps, demand
-  ensembles and cached parallel robustness evaluation.
+  ensembles and cached parallel robustness evaluation;
+* the vectorized routing backend (:mod:`repro.routing`):
+  :class:`~repro.routing.SparseRouter` compiles shortest-path DAGs into CSR
+  split-ratio matrices and routes whole demand ensembles in stacked sparse
+  sweeps; every assignment routine accepts ``backend="sparse"|"python"``.
 """
 
-from . import core, network, protocols, scenarios, solvers, topology, traffic
+from . import core, network, protocols, routing, scenarios, solvers, topology, traffic
 from .core import (
     SPEF,
     LoadBalanceObjective,
@@ -31,18 +35,23 @@ from .core import (
 )
 from .network import FlowAssignment, Network, TrafficMatrix
 from .protocols import OSPF, PEFT, FortzThorup, MinMaxMLU, SPEFProtocol
+from .routing import CompiledDagSet, SparseRouter, batched_link_loads
 from .scenarios import BatchRunner, ProtocolSpec, Scenario, ScenarioResult
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "core",
     "network",
     "protocols",
+    "routing",
     "scenarios",
     "solvers",
     "topology",
     "traffic",
+    "CompiledDagSet",
+    "SparseRouter",
+    "batched_link_loads",
     "SPEF",
     "LoadBalanceObjective",
     "SPEFConfig",

@@ -31,6 +31,8 @@ from ..network.demands import TrafficMatrix
 from ..network.flows import FlowAssignment
 from ..network.graph import Network, Node
 from ..network.spt import ShortestPathDag
+from ..routing import resolve_backend
+from ..routing.sparse import CompiledDagSet
 from ..solvers.subgradient import StepRule, default_step_for_flows, project_nonnegative
 from .traffic_distribution import path_weight_sums, traffic_distribution
 
@@ -86,6 +88,7 @@ def compute_second_weights(
     step_ratio: float = 1.0,
     initial_weights: Optional[np.ndarray] = None,
     record_history: bool = True,
+    backend: Optional[str] = None,
 ) -> SecondWeightsResult:
     """Run Algorithm 2 and return the second link weights.
 
@@ -106,6 +109,11 @@ def compute_second_weights(
     initial_weights:
         Starting second weights, ``v(0) = 0`` by default (the paper notes this
         is already a good approximation).
+    backend:
+        Routing backend for the inner traffic distributions.  ``"sparse"``
+        compiles the DAGs once and re-evaluates only the exponential ratios
+        and the propagation each iteration, which is where Algorithm 2 spends
+        nearly all of its time; ``"python"`` keeps the reference dict loops.
     """
     demands.validate(network)
     target = np.asarray(target_flows, dtype=float)
@@ -122,13 +130,26 @@ def compute_second_weights(
     scale = float(np.max(target)) if target.size and np.max(target) > 0 else 1.0
     epsilon = tolerance * scale
 
+    if resolve_backend(backend) == "sparse":
+        # Compile every destination DAG once; each iteration then only
+        # recomputes the exponential ratios and one vectorised propagation.
+        dag_set = CompiledDagSet(network, dags)
+
+        def distribute(second: np.ndarray) -> FlowAssignment:
+            return dag_set.traffic_distribution(demands, second)
+
+    else:
+
+        def distribute(second: np.ndarray) -> FlowAssignment:
+            return traffic_distribution(network, demands, dags, second, backend="python")
+
     history: List[float] = []
-    flows = traffic_distribution(network, demands, dags, weights)
+    flows: Optional[FlowAssignment] = None
     converged = False
     iteration = 0
     max_excess = float("inf")
     for iteration in range(1, max_iterations + 1):
-        flows = traffic_distribution(network, demands, dags, weights)
+        flows = distribute(weights)
         aggregate = flows.aggregate()
         if record_history:
             history.append(
@@ -141,6 +162,9 @@ def compute_second_weights(
             break
         step = step_rule(iteration - 1)
         weights = project_nonnegative(weights - step * (target - aggregate))
+
+    if flows is None:  # max_iterations == 0: report the v(0) distribution
+        flows = distribute(weights)
 
     return SecondWeightsResult(
         weights=weights,

@@ -22,7 +22,7 @@ as the paper's Algorithm 3 prescribes.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping
+from typing import Dict, Mapping, Optional
 
 import numpy as np
 
@@ -30,6 +30,8 @@ from ..network.demands import TrafficMatrix
 from ..network.flows import FlowAssignment
 from ..network.graph import Network, Node
 from ..network.spt import ShortestPathDag
+from ..routing import resolve_backend
+from ..routing.sparse import sparse_traffic_distribution
 from ..solvers.assignment import split_ratio_assignment
 
 
@@ -92,6 +94,7 @@ def traffic_distribution(
     demands: TrafficMatrix,
     dags: Mapping[Node, ShortestPathDag],
     second_weights: np.ndarray,
+    backend: Optional[str] = None,
 ) -> FlowAssignment:
     """Algorithm 3: the traffic distribution induced by second weights ``v``.
 
@@ -103,7 +106,16 @@ def traffic_distribution(
     second_weights:
         Link-indexed vector ``v``; ``v = 0`` gives plain even-ish splitting
         weighted by the number of downstream equal-cost paths.
+    backend:
+        ``"sparse"`` computes the exponential ratios and the propagation with
+        the compiled vectorised backend, ``"python"`` runs the dict-loop
+        reference above; ``None`` uses the library default.  Callers that
+        re-evaluate many ``v`` against fixed DAGs (Algorithm 2) should use
+        :class:`repro.routing.CompiledDagSet` directly to amortise the DAG
+        compilation as well.
     """
+    if resolve_backend(backend) == "sparse":
+        return sparse_traffic_distribution(network, demands, dags, second_weights)
     second = np.asarray(second_weights, dtype=float)
     if second.shape != (network.num_links,):
         raise ValueError(
@@ -112,4 +124,6 @@ def traffic_distribution(
     split_ratios: Dict[Node, Dict[Node, Dict[Node, float]]] = {}
     for destination, dag in dags.items():
         split_ratios[destination] = exponential_split_ratios(network, dag, second)
-    return split_ratio_assignment(network, demands, dict(dags), split_ratios)
+    return split_ratio_assignment(
+        network, demands, dict(dags), split_ratios, backend="python"
+    )

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
@@ -30,6 +30,27 @@ class RoutingProtocol(abc.ABC):
     @abc.abstractmethod
     def route(self, network: Network, demands: TrafficMatrix) -> FlowAssignment:
         """Compute the traffic distribution this protocol induces."""
+
+    def batch_link_loads(
+        self, network: Network, matrices: Sequence[TrafficMatrix]
+    ) -> Optional[np.ndarray]:
+        """Aggregate link loads for a whole demand ensemble, when batchable.
+
+        Protocols whose forwarding state depends only on the network (not on
+        the demands -- OSPF with fixed or capacity-derived weights, PEFT with
+        explicit weights) can route many traffic matrices against one
+        compiled weight setting in a single stacked operation; they return an
+        ``(len(matrices), num_links)`` array whose row ``i`` equals
+        ``route(network, matrices[i]).aggregate()``.  Protocols that
+        re-optimise per demand matrix (SPEF, Fortz-Thorup, PEFT with derived
+        weights) return ``None`` and callers fall back to per-matrix
+        :meth:`route` calls.  The scenario engine's batch runner uses this to
+        amortise DAG compilation across demand-only scenarios; it probes
+        support with an empty ensemble, so batchable implementations must
+        return an empty ``(0, num_links)`` array for ``matrices=[]`` rather
+        than ``None``.
+        """
+        return None
 
     def split_ratios(
         self, network: Network, demands: TrafficMatrix

@@ -115,6 +115,9 @@ class FortzThorup(RoutingProtocol):
         How many candidate single-weight moves are sampled per iteration.
     seed:
         Seed of the random sampling, for reproducibility.
+    backend:
+        Routing backend used for every candidate evaluation of the local
+        search (``"sparse"``/``"python"``/``None`` for the library default).
     """
 
     name = "FortzThorup"
@@ -126,6 +129,7 @@ class FortzThorup(RoutingProtocol):
         neighbourhood_size: int = 24,
         restarts: int = 2,
         seed: int = 0,
+        backend: Optional[str] = None,
     ) -> None:
         if max_weight < 1:
             raise ValueError("max_weight must be at least 1")
@@ -134,13 +138,14 @@ class FortzThorup(RoutingProtocol):
         self.neighbourhood_size = neighbourhood_size
         self.restarts = restarts
         self.seed = seed
+        self.backend = backend
         self._last_result: Optional[LocalSearchResult] = None
 
     # ------------------------------------------------------------------
     def _evaluate(
         self, network: Network, demands: TrafficMatrix, weights: np.ndarray
     ) -> float:
-        flows = ecmp_assignment(network, demands, weights)
+        flows = ecmp_assignment(network, demands, weights, backend=self.backend)
         return network_cost(flows)
 
     def _initial_weights(self, network: Network, rng: np.random.Generator, attempt: int) -> np.ndarray:
@@ -204,7 +209,7 @@ class FortzThorup(RoutingProtocol):
     # ------------------------------------------------------------------
     def route(self, network: Network, demands: TrafficMatrix) -> FlowAssignment:
         result = self.optimize(network, demands)
-        return ecmp_assignment(network, demands, result.weights)
+        return ecmp_assignment(network, demands, result.weights, backend=self.backend)
 
     @property
     def last_result(self) -> Optional[LocalSearchResult]:

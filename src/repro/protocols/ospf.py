@@ -10,7 +10,7 @@ local search).
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
@@ -18,6 +18,8 @@ from ..network.demands import TrafficMatrix
 from ..network.flows import FlowAssignment
 from ..network.graph import Network, Node
 from ..network.spt import DEFAULT_TOLERANCE, WeightsLike, all_shortest_path_dags, as_weight_vector
+from ..routing import resolve_backend
+from ..routing.sparse import SparseRouter
 from ..solvers.assignment import ecmp_assignment
 from .base import RoutingProtocol
 
@@ -52,6 +54,9 @@ class OSPF(RoutingProtocol):
     ecmp_tolerance:
         Cost tolerance when declaring paths equal (integer OSPF weights make
         exact ties common, so the default exact comparison is usually right).
+    backend:
+        Routing backend (``"sparse"``/``"python"``/``None`` for the library
+        default) handed to :func:`repro.solvers.assignment.ecmp_assignment`.
     """
 
     name = "OSPF"
@@ -61,9 +66,11 @@ class OSPF(RoutingProtocol):
         weights: Optional[WeightsLike] = None,
         ecmp_tolerance: float = DEFAULT_TOLERANCE,
         name: Optional[str] = None,
+        backend: Optional[str] = None,
     ) -> None:
         self._weights = weights
         self.ecmp_tolerance = ecmp_tolerance
+        self.backend = backend
         if name is not None:
             self.name = name
 
@@ -75,7 +82,31 @@ class OSPF(RoutingProtocol):
 
     def route(self, network: Network, demands: TrafficMatrix) -> FlowAssignment:
         weights = self.link_weights(network)
-        return ecmp_assignment(network, demands, weights, self.ecmp_tolerance)
+        return ecmp_assignment(
+            network, demands, weights, self.ecmp_tolerance, backend=self.backend
+        )
+
+    def batch_link_loads(
+        self, network: Network, matrices: Sequence[TrafficMatrix]
+    ) -> Optional[np.ndarray]:
+        """Stacked ECMP evaluation of a demand ensemble on one weight setting.
+
+        OSPF's forwarding state depends only on the network (explicit weights
+        or InvCap derived from capacities), so the shortest-path DAGs are
+        compiled once and every matrix rides the same batched propagation.
+        With the ``"python"`` backend forced -- on this instance or through
+        the process/environment default -- batching is declined so an
+        all-oracle comparison really is all-oracle.
+        """
+        if resolve_backend(self.backend) == "python":
+            return None
+        router = SparseRouter(
+            network,
+            weights=self.link_weights(network),
+            mode="ecmp",
+            tolerance=self.ecmp_tolerance,
+        )
+        return router.link_loads_many(matrices)
 
     def split_ratios(
         self, network: Network, demands: TrafficMatrix
@@ -101,8 +132,10 @@ class MinHopOSPF(OSPF):
 
     name = "OSPF-minhop"
 
-    def __init__(self, ecmp_tolerance: float = DEFAULT_TOLERANCE) -> None:
-        super().__init__(weights=None, ecmp_tolerance=ecmp_tolerance)
+    def __init__(
+        self, ecmp_tolerance: float = DEFAULT_TOLERANCE, backend: Optional[str] = None
+    ) -> None:
+        super().__init__(weights=None, ecmp_tolerance=ecmp_tolerance, backend=backend)
 
     def link_weights(self, network: Network) -> np.ndarray:
         return unit_weights(network)

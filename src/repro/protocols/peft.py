@@ -25,7 +25,7 @@ objective.  Explicit weights can be supplied for ablations.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -35,6 +35,8 @@ from ..network.demands import TrafficMatrix
 from ..network.flows import FlowAssignment
 from ..network.graph import Network, Node
 from ..network.spt import WeightsLike, as_weight_vector, distances_to
+from ..routing import resolve_backend
+from ..routing.compiled import CompiledDag
 from .base import RoutingProtocol
 
 
@@ -52,6 +54,13 @@ class PEFT(RoutingProtocol):
         Scales the exponential penalty: the share of a path decays as
         ``exp(-extra_length / temperature)``.  1.0 reproduces the original
         protocol; larger values spread traffic more aggressively.
+    backend:
+        ``"sparse"`` routes over the compiled downward DAG (the ``Z``
+        recursion and the propagation become vectorised sweeps),
+        ``"python"`` keeps the dict-loop reference.  Degenerate corners
+        (zero-weight plateaus where a node has no strictly-downward next
+        hop) always use the reference path so the fallback semantics stay
+        bit-for-bit identical.
     """
 
     name = "PEFT"
@@ -61,12 +70,14 @@ class PEFT(RoutingProtocol):
         weights: Optional[WeightsLike] = None,
         objective: Optional[LoadBalanceObjective] = None,
         temperature: float = 1.0,
+        backend: Optional[str] = None,
     ) -> None:
         if temperature <= 0:
             raise ValueError("temperature must be positive")
         self._weights = weights
         self.objective = objective or LoadBalanceObjective.proportional()
         self.temperature = temperature
+        self.backend = backend
 
     # ------------------------------------------------------------------
     def link_weights(self, network: Network, demands: TrafficMatrix) -> np.ndarray:
@@ -137,30 +148,151 @@ class PEFT(RoutingProtocol):
             for destination in demands.destinations()
         }
 
+    def _compile_downward(
+        self, network: Network, destination: Node, weights: np.ndarray
+    ) -> Optional[Tuple[CompiledDag, np.ndarray]]:
+        """Compile the downward DAG and its exponential ratios for one destination.
+
+        Returns ``None`` when the downward structure is degenerate (some
+        reachable node has no strictly-downward next hop, or the exponential
+        weights underflow to a zero split) -- those corners keep the
+        reference implementation's fallback semantics.
+        """
+        distances = distances_to(network, destination, weights)
+        order = sorted(distances, key=lambda n: distances[n], reverse=True)
+        next_hops: Dict[Node, List[Node]] = {}
+        for node in order:
+            if node == destination:
+                continue
+            downward = [
+                link.target
+                for link in network.out_links(node)
+                if link.target in distances and distances[link.target] < distances[node]
+            ]
+            if not downward:
+                return None
+            next_hops[node] = downward
+        compiled = CompiledDag.from_next_hops(network, destination, order, next_hops)
+        if compiled.num_edges == 0:
+            return compiled, np.empty(0)
+        # Per-link extra length beyond the shortest path; only the compiled
+        # (strictly downward) edges are gathered, so restrict the computation
+        # to them instead of building a full link-indexed vector.
+        extra = np.fromiter(
+            (
+                weights[index]
+                + distances[network.link_by_index(index).target]
+                - distances[network.link_by_index(index).source]
+                for index in compiled.links
+            ),
+            dtype=float,
+            count=compiled.num_edges,
+        )
+        boltzmann = np.exp(-extra / self.temperature)
+        z_values = compiled.path_weight_sums(boltzmann)
+        shares = boltzmann * z_values[compiled.targets]
+        totals = np.zeros(compiled.num_nodes)
+        np.add.at(totals, compiled.rows, shares)
+        if np.any(totals[compiled.out_degree() > 0] <= 0):
+            return None
+        ratios = shares / totals[compiled.rows]
+        return compiled, ratios
+
+    def _route_python(
+        self, network: Network, demands: TrafficMatrix, weights: np.ndarray
+    ) -> FlowAssignment:
+        """The reference dict-loop implementation (the equivalence oracle)."""
+        flows = FlowAssignment(network=network)
+        for destination, entering in demands.by_destination().items():
+            self._propagate_python(network, destination, entering, weights, flows)
+        return flows
+
+    def _propagate_python(
+        self,
+        network: Network,
+        destination: Node,
+        entering: Dict[Node, float],
+        weights: np.ndarray,
+        flows: FlowAssignment,
+    ) -> None:
+        ratios = self._downward_split(network, destination, weights)
+        distances = distances_to(network, destination, weights)
+        vector = flows.ensure_destination(destination)
+        transit: Dict[Node, float] = {}
+        for node in sorted(distances, key=lambda n: distances[n], reverse=True):
+            if node == destination:
+                continue
+            load = entering.get(node, 0.0) + transit.get(node, 0.0)
+            if load <= 0:
+                continue
+            node_ratios = ratios.get(node)
+            if not node_ratios:
+                raise RuntimeError(
+                    f"PEFT has no downward next hop at {node!r} for {destination!r}"
+                )
+            for hop, ratio in node_ratios.items():
+                share = load * ratio
+                if share <= 0:
+                    continue
+                vector[network.link_index(node, hop)] += share
+                transit[hop] = transit.get(hop, 0.0) + share
+
     def route(self, network: Network, demands: TrafficMatrix) -> FlowAssignment:
         demands.validate(network)
         weights = self.link_weights(network, demands)
+        if resolve_backend(self.backend) != "sparse":
+            # "auto" picks the oracle for one-shot single-matrix routing (the
+            # dict loops beat numpy's per-row overhead at this shape).
+            return self._route_python(network, demands, weights)
         flows = FlowAssignment(network=network)
         for destination, entering in demands.by_destination().items():
-            ratios = self._downward_split(network, destination, weights)
-            distances = distances_to(network, destination, weights)
+            compiled_ratios = self._compile_downward(network, destination, weights)
+            if compiled_ratios is None:
+                self._propagate_python(network, destination, entering, weights, flows)
+                continue
+            compiled, ratios = compiled_ratios
             vector = flows.ensure_destination(destination)
-            transit: Dict[Node, float] = {}
-            for node in sorted(distances, key=lambda n: distances[n], reverse=True):
-                if node == destination:
-                    continue
-                load = entering.get(node, 0.0) + transit.get(node, 0.0)
-                if load <= 0:
-                    continue
-                node_ratios = ratios.get(node)
-                if not node_ratios:
-                    raise RuntimeError(
-                        f"PEFT has no downward next hop at {node!r} for {destination!r}"
-                    )
-                for hop, ratio in node_ratios.items():
-                    share = load * ratio
-                    if share <= 0:
-                        continue
-                    vector[network.link_index(node, hop)] += share
-                    transit[hop] = transit.get(hop, 0.0) + share
+            demand = compiled.entering_vector(entering, missing="drop")
+            compiled.scatter_link_loads(compiled.propagate(demand, ratios), ratios, out=vector)
         return flows
+
+    def batch_link_loads(
+        self, network: Network, matrices: Sequence[TrafficMatrix]
+    ) -> Optional[np.ndarray]:
+        """Batched ensemble evaluation, only when the weights are explicit.
+
+        With derived weights the forwarding state depends on the demands (the
+        PEFT prescription solves the TE problem per matrix), so batching
+        would change semantics and ``None`` is returned.
+        """
+        if self._weights is None or resolve_backend(self.backend) == "python":
+            return None
+        weights = as_weight_vector(network, self._weights)
+        matrices = list(matrices)
+        for tm in matrices:
+            tm.validate(network)
+        m = len(matrices)
+        loads = np.zeros((network.num_links, m))
+        by_destination = [tm.by_destination() for tm in matrices]
+        destinations: Dict[Node, None] = {}
+        for per in by_destination:
+            for destination in per:
+                destinations.setdefault(destination, None)
+        for destination in destinations:
+            compiled_ratios = self._compile_downward(network, destination, weights)
+            if compiled_ratios is None:
+                # Degenerate corner somewhere in the ensemble: let the runner
+                # fall back to per-matrix routing for exact semantics.
+                return None
+            compiled, ratios = compiled_ratios
+            entering = np.zeros((compiled.num_nodes, m))
+            for column, per in enumerate(by_destination):
+                volumes = per.get(destination)
+                if volumes:
+                    compiled.entering_vector(
+                        volumes, column=column, out=entering, missing="drop"
+                    )
+            compiled.scatter_link_loads(
+                compiled.propagate(entering, ratios), ratios, out=loads
+            )
+        return loads.T

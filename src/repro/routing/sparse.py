@@ -1,0 +1,370 @@
+"""Vectorized routing entry points built on :class:`CompiledDag`.
+
+Three layers, from most throwaway to most amortised:
+
+* ``sparse_*_assignment`` -- drop-in equivalents of the oracle routines in
+  :mod:`repro.solvers.assignment` / :mod:`repro.core.traffic_distribution`.
+  They compile each destination DAG, route, and throw the compilation away;
+  use them through the ``backend="sparse"`` switch of the oracle functions.
+* :class:`CompiledDagSet` -- compile a ``{destination: dag}`` mapping once
+  and route arbitrarily many demand matrices / split-ratio settings against
+  it.  This is what Algorithm 2's gradient loop and the SPEF pipeline use.
+* :class:`SparseRouter` -- owns the whole pipeline for one weight setting
+  (Dijkstra, compilation, ratio binding) and exposes the batched entry point
+  :meth:`SparseRouter.link_loads_many` that evaluates a whole demand ensemble
+  in one stacked propagation per destination.  This is what the scenario
+  engine's failure sweeps amortise their DAG compilation through.
+
+All routines produce link loads identical (to float round-off, well below the
+equivalence suite's 1e-9) to the pure-Python oracles; the golden-equivalence
+tests in ``tests/test_routing_equivalence.py`` pin that property.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..network.demands import TrafficMatrix
+from ..network.flows import FlowAssignment
+from ..network.graph import Network, Node
+from ..network.spt import (
+    DEFAULT_TOLERANCE,
+    ShortestPathDag,
+    UnreachableError,
+    WeightsLike,
+    as_weight_vector,
+    shortest_path_dag,
+)
+from .compiled import CompiledDag
+
+#: Ratio modes understood by :class:`SparseRouter`.
+_MODES = ("ecmp", "all_or_nothing", "split")
+
+
+# ----------------------------------------------------------------------
+# compiled DAG sets (compile once, route many)
+# ----------------------------------------------------------------------
+class CompiledDagSet:
+    """Per-destination compiled DAGs over one network.
+
+    Compilation is lazy with caching: a DAG handed in (or added later) is
+    compiled on first use through :meth:`compiled`, so routing a traffic
+    matrix only pays compilation for the destinations it actually touches.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        dags: Optional[Mapping[Node, ShortestPathDag]] = None,
+    ) -> None:
+        self.network = network
+        self._dags: Dict[Node, ShortestPathDag] = dict(dags or {})
+        self._compiled: Dict[Node, CompiledDag] = {}
+
+    def __contains__(self, destination: Node) -> bool:
+        return destination in self._dags
+
+    @property
+    def destinations(self) -> List[Node]:
+        return list(self._dags)
+
+    def add(self, destination: Node, dag: ShortestPathDag) -> CompiledDag:
+        """Compile (and cache) one more destination DAG."""
+        compiled = CompiledDag.from_dag(self.network, dag)
+        self._dags[destination] = dag
+        self._compiled[destination] = compiled
+        return compiled
+
+    def dag(self, destination: Node) -> ShortestPathDag:
+        return self._dags[destination]
+
+    def compiled(self, destination: Node) -> CompiledDag:
+        cached = self._compiled.get(destination)
+        if cached is not None:
+            return cached
+        dag = self._dags.get(destination)
+        if dag is None:
+            raise UnreachableError(
+                f"no shortest-path DAG for destination {destination!r}"
+            )
+        return self.add(destination, dag)
+
+    # ------------------------------------------------------------------
+    def traffic_distribution(
+        self, demands: TrafficMatrix, second_weights: np.ndarray
+    ) -> FlowAssignment:
+        """Algorithm 3 (exponential splitting) against the compiled DAGs.
+
+        Equivalent to :func:`repro.core.traffic_distribution.traffic_distribution`
+        but with the DAG compilation amortised across calls -- the shape of
+        Algorithm 2's inner loop, which re-evaluates this for a new ``v``
+        every gradient iteration.
+        """
+        second = np.asarray(second_weights, dtype=float)
+        flows = FlowAssignment(network=self.network)
+        for destination, entering in demands.by_destination().items():
+            compiled = self.compiled(destination)
+            ratios = compiled.exponential_ratios(second)
+            vector = flows.ensure_destination(destination)
+            demand = compiled.entering_vector(entering, missing="drop")
+            compiled.scatter_link_loads(compiled.propagate(demand, ratios), ratios, out=vector)
+        return flows
+
+    def split_ratio_flows(
+        self,
+        demands: TrafficMatrix,
+        split_ratios: Mapping[Node, Mapping[Node, Mapping[Node, float]]],
+    ) -> FlowAssignment:
+        """Explicit-split routing against the compiled DAGs (SPEF's Eq. 22 use)."""
+        flows = FlowAssignment(network=self.network)
+        for destination, entering in demands.by_destination().items():
+            compiled = self.compiled(destination)
+            degenerate: List[Tuple[int, float]] = []
+            ratios = compiled.bind_ratios(split_ratios.get(destination), degenerate)
+            vector = flows.ensure_destination(destination)
+            demand = compiled.entering_vector(entering, missing="drop")
+            throughflow = compiled.propagate(demand, ratios)
+            compiled.warn_loaded_degenerates(degenerate, throughflow)
+            compiled.scatter_link_loads(throughflow, ratios, out=vector)
+        return flows
+
+
+class SparseRouter:
+    """Compile one weight setting, route many demand matrices.
+
+    Parameters
+    ----------
+    network, weights:
+        The topology and the link weights defining the shortest-path DAGs.
+        Precomputed ``dags`` may be passed instead of (or alongside) weights;
+        missing destinations are then built from ``weights`` on demand.
+    mode:
+        ``"ecmp"`` (even split, the OSPF behaviour), ``"all_or_nothing"``
+        (single path, deterministic first-hop tie break) or ``"split"``
+        (explicit per-destination ratios handed to the routing calls).
+    tolerance:
+        ECMP cost tolerance for DAG construction.
+
+    Examples
+    --------
+    >>> from repro.topology.backbones import abilene_network
+    >>> from repro.traffic.gravity import gravity_traffic_matrix
+    >>> net = abilene_network()
+    >>> router = SparseRouter(net, weights=[1.0] * net.num_links)
+    >>> tms = [gravity_traffic_matrix(net, total_volume=v) for v in (10.0, 20.0)]
+    >>> loads = router.link_loads_many(tms)
+    >>> loads.shape == (2, net.num_links)
+    True
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        weights: Optional[WeightsLike] = None,
+        *,
+        dags: Optional[Mapping[Node, ShortestPathDag]] = None,
+        mode: str = "ecmp",
+        tolerance: float = DEFAULT_TOLERANCE,
+    ) -> None:
+        if mode not in _MODES:
+            raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
+        if weights is None and dags is None:
+            raise ValueError("SparseRouter needs link weights or precomputed DAGs")
+        self.network = network
+        self.mode = mode
+        self.tolerance = tolerance
+        self._weights = as_weight_vector(network, weights) if weights is not None else None
+        self._set = CompiledDagSet(network, dags)
+        self._ratios: Dict[Node, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    def _compiled(self, destination: Node) -> CompiledDag:
+        if destination not in self._set:
+            if self._weights is None:
+                raise UnreachableError(
+                    f"no shortest-path DAG for destination {destination!r}"
+                )
+            self._set.add(
+                destination,
+                shortest_path_dag(self.network, destination, self._weights, self.tolerance),
+            )
+        return self._set.compiled(destination)
+
+    def _mode_ratios(self, destination: Node, compiled: CompiledDag) -> np.ndarray:
+        ratios = self._ratios.get(destination)
+        if ratios is None:
+            if self.mode == "all_or_nothing":
+                ratios = compiled.first_hop_ratios()
+            else:
+                ratios = compiled.uniform_ratios()
+            self._ratios[destination] = ratios
+        return ratios
+
+    def _check_reachable(self, compiled: CompiledDag, entering: Mapping[Node, float]) -> None:
+        for source in entering:
+            if source not in compiled.positions:
+                raise UnreachableError(
+                    f"demand source {source!r} cannot reach {compiled.destination!r}"
+                )
+
+    # ------------------------------------------------------------------
+    def route(
+        self,
+        demands: TrafficMatrix,
+        split_ratios: Optional[Mapping[Node, Mapping[Node, Mapping[Node, float]]]] = None,
+    ) -> FlowAssignment:
+        """Route one traffic matrix, returning the per-destination decomposition."""
+        demands.validate(self.network)
+        flows = FlowAssignment(network=self.network)
+        for destination, entering in demands.by_destination().items():
+            compiled = self._compiled(destination)
+            degenerate: List[Tuple[int, float]] = []
+            if self.mode == "split":
+                ratios = compiled.bind_ratios(
+                    split_ratios.get(destination) if split_ratios else None, degenerate
+                )
+                missing = "drop"
+            else:
+                ratios = self._mode_ratios(destination, compiled)
+                missing = "raise"
+                self._check_reachable(compiled, entering)
+            vector = flows.ensure_destination(destination)
+            demand = compiled.entering_vector(entering, missing=missing)
+            throughflow = compiled.propagate(demand, ratios)
+            compiled.warn_loaded_degenerates(degenerate, throughflow)
+            compiled.scatter_link_loads(throughflow, ratios, out=vector)
+        return flows
+
+    def link_loads(self, demands: TrafficMatrix) -> np.ndarray:
+        """Aggregate per-link loads of one traffic matrix."""
+        return self.route(demands).aggregate()
+
+    def link_loads_many(
+        self,
+        matrices: Sequence[TrafficMatrix],
+        split_ratios: Optional[Mapping[Node, Mapping[Node, Mapping[Node, float]]]] = None,
+    ) -> np.ndarray:
+        """Aggregate link loads of a whole demand ensemble, batched.
+
+        The stacked entry point: for each destination appearing anywhere in
+        the ensemble the entering volumes of *all* matrices form one
+        ``(num_dag_nodes, m)`` right-hand side, propagated in a single
+        forward-substitution sweep.  Returns an ``(m, num_links)`` array whose
+        row ``i`` equals ``route(matrices[i]).aggregate()`` to float
+        round-off.
+        """
+        matrices = list(matrices)
+        m = len(matrices)
+        loads = np.zeros((self.network.num_links, m))
+        if m == 0:
+            return loads.T
+        by_destination = []
+        destinations: Dict[Node, None] = {}
+        for tm in matrices:
+            tm.validate(self.network)
+            per = tm.by_destination()
+            by_destination.append(per)
+            for destination in per:
+                destinations.setdefault(destination, None)
+        for destination in destinations:
+            compiled = self._compiled(destination)
+            degenerate: List[Tuple[int, float]] = []
+            if self.mode == "split":
+                ratios = compiled.bind_ratios(
+                    split_ratios.get(destination) if split_ratios else None, degenerate
+                )
+                missing = "drop"
+            else:
+                ratios = self._mode_ratios(destination, compiled)
+                missing = "raise"
+            entering = np.zeros((compiled.num_nodes, m))
+            for column, per in enumerate(by_destination):
+                volumes = per.get(destination)
+                if not volumes:
+                    continue
+                if missing == "raise":
+                    self._check_reachable(compiled, volumes)
+                compiled.entering_vector(volumes, column=column, out=entering, missing=missing)
+            throughflow = compiled.propagate(entering, ratios)
+            compiled.warn_loaded_degenerates(degenerate, throughflow)
+            compiled.scatter_link_loads(throughflow, ratios, out=loads)
+        return loads.T
+
+
+# ----------------------------------------------------------------------
+# functional drop-ins for the oracle routines
+# ----------------------------------------------------------------------
+def sparse_ecmp_assignment(
+    network: Network,
+    demands: TrafficMatrix,
+    weights: WeightsLike,
+    tolerance: float = DEFAULT_TOLERANCE,
+    dags: Optional[Mapping[Node, ShortestPathDag]] = None,
+) -> FlowAssignment:
+    """Vectorized twin of :func:`repro.solvers.assignment.ecmp_assignment`."""
+    router = SparseRouter(
+        network, weights=weights, dags=dags, mode="ecmp", tolerance=tolerance
+    )
+    return router.route(demands)
+
+
+def sparse_all_or_nothing_assignment(
+    network: Network,
+    demands: TrafficMatrix,
+    weights: WeightsLike,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> FlowAssignment:
+    """Vectorized twin of :func:`repro.solvers.assignment.all_or_nothing_assignment`."""
+    router = SparseRouter(network, weights=weights, mode="all_or_nothing", tolerance=tolerance)
+    return router.route(demands)
+
+
+def sparse_split_ratio_assignment(
+    network: Network,
+    demands: TrafficMatrix,
+    dags: Mapping[Node, ShortestPathDag],
+    split_ratios: Mapping[Node, Mapping[Node, Mapping[Node, float]]],
+) -> FlowAssignment:
+    """Vectorized twin of :func:`repro.solvers.assignment.split_ratio_assignment`."""
+    demands.validate(network)
+    dag_set = CompiledDagSet(network, dags)
+    return dag_set.split_ratio_flows(demands, split_ratios)
+
+
+def sparse_traffic_distribution(
+    network: Network,
+    demands: TrafficMatrix,
+    dags: Mapping[Node, ShortestPathDag],
+    second_weights: np.ndarray,
+) -> FlowAssignment:
+    """Vectorized twin of :func:`repro.core.traffic_distribution.traffic_distribution`."""
+    demands.validate(network)
+    second = np.asarray(second_weights, dtype=float)
+    if second.shape != (network.num_links,):
+        raise ValueError(
+            f"second weights must have length {network.num_links}, got {second.shape}"
+        )
+    dag_set = CompiledDagSet(network, dags)
+    return dag_set.traffic_distribution(demands, second)
+
+
+def batched_link_loads(
+    network: Network,
+    matrices: Sequence[TrafficMatrix],
+    weights: WeightsLike,
+    *,
+    mode: str = "ecmp",
+    tolerance: float = DEFAULT_TOLERANCE,
+    dags: Optional[Mapping[Node, ShortestPathDag]] = None,
+    split_ratios: Optional[Mapping[Node, Mapping[Node, Mapping[Node, float]]]] = None,
+) -> np.ndarray:
+    """One-shot batched evaluation: ``(m, num_links)`` loads for an ensemble.
+
+    Convenience wrapper around :class:`SparseRouter` for callers that do not
+    keep the router around (the DAGs are still compiled only once *within*
+    the call, which is where the ensemble speedup comes from).
+    """
+    router = SparseRouter(network, weights=weights, dags=dags, mode=mode, tolerance=tolerance)
+    return router.link_loads_many(matrices, split_ratios=split_ratios)

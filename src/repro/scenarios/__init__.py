@@ -45,6 +45,7 @@ from .runner import (
     ScenarioResult,
     default_cache_dir,
     evaluate_scenario,
+    evaluate_scenarios,
     register_protocol,
 )
 from .scenario import (
@@ -82,6 +83,7 @@ __all__ = [
     "register_protocol",
     "default_cache_dir",
     "evaluate_scenario",
+    "evaluate_scenarios",
     "cvar",
     "distribution_summary",
     "group_by_protocol",

@@ -43,7 +43,7 @@ from ..protocols.minmax_mlu import MinMaxMLU
 from ..protocols.ospf import OSPF, MinHopOSPF
 from ..protocols.peft import PEFT
 from ..protocols.spef_protocol import SPEFProtocol
-from .scenario import Scenario, _sha256, demands_fingerprint, network_fingerprint
+from .scenario import Scenario, ScenarioInstance, _sha256, demands_fingerprint, network_fingerprint
 
 
 class RunnerError(ValueError):
@@ -258,19 +258,121 @@ def evaluate_scenario(
     )
 
 
+def _result_from_loads(
+    scenario: Scenario,
+    spec: ProtocolSpec,
+    instance: ScenarioInstance,
+    loads: np.ndarray,
+    capacities: np.ndarray,
+    runtime: float,
+) -> ScenarioResult:
+    """Assemble a :class:`ScenarioResult` from batched aggregate link loads."""
+    utilization = loads / capacities
+    return ScenarioResult(
+        scenario_id=scenario.scenario_id,
+        kind=scenario.kind,
+        protocol=spec.display_name,
+        mlu=float(np.max(utilization)) if utilization.size else 0.0,
+        utility=normalized_utility(utilization) if utilization.size else 0.0,
+        routed_volume=instance.demands.total_volume(),
+        dropped_volume=instance.dropped_volume,
+        feasible=bool(np.all(np.isfinite(utilization))),
+        connected=instance.fully_connected,
+        runtime=runtime,
+        error=None,
+    )
+
+
+def evaluate_scenarios(
+    network: Network,
+    demands: TrafficMatrix,
+    scenarios: Sequence[Scenario],
+    spec: ProtocolSpec,
+) -> List[ScenarioResult]:
+    """Evaluate one protocol across several scenarios, batching where safe.
+
+    Scenarios that do not perturb the topology (pure demand scenarios) share
+    the base network, so protocols whose forwarding state depends only on the
+    network (see :meth:`RoutingProtocol.batch_link_loads`) can route all of
+    them against one compiled weight setting in a single stacked operation.
+    Everything else -- failures, capacity changes, per-cell errors, protocols
+    that re-optimise per matrix -- falls back to :func:`evaluate_scenario`,
+    preserving its per-cell error isolation exactly.
+    """
+    scenarios = list(scenarios)
+    results: List[Optional[ScenarioResult]] = [None] * len(scenarios)
+
+    batchable: List[int] = []
+    instances: Dict[int, ScenarioInstance] = {}
+    try:
+        protocol: Optional[RoutingProtocol] = spec.build()
+    except Exception:  # noqa: BLE001 - reported per cell by evaluate_scenario
+        protocol = None
+    if protocol is not None and len(scenarios) > 1:
+        # Probe with an empty ensemble: non-batchable protocols return None
+        # and we skip the (scenario.apply) scan entirely rather than
+        # materialising every demand-only instance twice.
+        try:
+            if protocol.batch_link_loads(network, []) is None:
+                protocol = None
+        except Exception:  # noqa: BLE001 - treat a broken probe as non-batchable
+            protocol = None
+    if protocol is not None and len(scenarios) > 1:
+        for index, scenario in enumerate(scenarios):
+            if scenario.perturbs_topology():
+                continue
+            try:
+                instance = scenario.apply(network, demands)
+            except Exception:  # noqa: BLE001 - re-applied (and reported) per cell
+                continue
+            if len(instance.demands) == 0:
+                continue  # the empty-workload shortcut stays on the per-cell path
+            instances[index] = instance
+            batchable.append(index)
+
+    if len(batchable) > 1:
+        loads: Optional[np.ndarray] = None
+        elapsed = 0.0
+        try:
+            start = time.perf_counter()
+            loads = protocol.batch_link_loads(
+                network, [instances[index].demands for index in batchable]
+            )
+            elapsed = time.perf_counter() - start
+        except Exception:  # noqa: BLE001 - batch is best-effort, fall back per cell
+            loads = None
+        if loads is not None and np.shape(loads) != (len(batchable), network.num_links):
+            # A wrong-shaped return from a user-registered protocol must not
+            # sink the sweep; treat it as "cannot batch" and go per cell.
+            loads = None
+        if loads is not None:
+            capacities = network.capacities
+            per_cell = elapsed / len(batchable)
+            for row, index in enumerate(batchable):
+                results[index] = _result_from_loads(
+                    scenarios[index], spec, instances[index], loads[row], capacities, per_cell
+                )
+
+    for index, scenario in enumerate(scenarios):
+        if results[index] is None:
+            results[index] = evaluate_scenario(network, demands, scenario, spec)
+    return results  # type: ignore[return-value]
+
+
 def _evaluate_chunk(
     payload: Tuple[Network, TrafficMatrix, List[Scenario], ProtocolSpec],
 ) -> List[ScenarioResult]:
     """Worker entry point: evaluate a chunk of scenarios for one protocol."""
     network, demands, scenarios, spec = payload
-    return [evaluate_scenario(network, demands, scenario, spec) for scenario in scenarios]
+    return evaluate_scenarios(network, demands, scenarios, spec)
 
 
 # ----------------------------------------------------------------------
 # on-disk result cache
 # ----------------------------------------------------------------------
 #: Bump when the semantics of cached metrics change (invalidates old caches).
-CACHE_VERSION = 1
+#: 2: routing moved to the vectorized sparse backend (float-round-off shifts).
+CACHE_VERSION = 2
 
 
 def default_cache_dir() -> Path:
@@ -483,11 +585,17 @@ class BatchRunner:
         stats.workers = workers
         if misses:
             if workers <= 1:
+                # Serial path: group by protocol so demand-only scenarios can
+                # share one compiled weight setting (see evaluate_scenarios).
+                by_spec: Dict[int, List[Tuple[int, int]]] = {}
                 for cell in misses:
-                    si, ci = cell
-                    results[cell] = evaluate_scenario(
-                        network, demands, scenarios[ci], specs[si]
+                    by_spec.setdefault(cell[0], []).append(cell)
+                for si, cells in by_spec.items():
+                    chunk_results = evaluate_scenarios(
+                        network, demands, [scenarios[ci] for _, ci in cells], specs[si]
                     )
+                    for cell, result in zip(cells, chunk_results):
+                        results[cell] = result
             else:
                 chunks = self._chunk(misses, workers)
                 stats.chunks = len(chunks)

@@ -123,6 +123,15 @@ class Scenario:
             and self.demand_scale == 1.0
         )
 
+    def perturbs_topology(self) -> bool:
+        """True when applying the scenario can change the *network*.
+
+        Demand-only scenarios (``perturbs_topology() is False``) reproduce
+        the base topology exactly, which lets the batch runner route them
+        against one compiled weight setting in a single stacked operation.
+        """
+        return bool(self.failed_links or self.failed_nodes or self.capacity_factors)
+
     def with_id(self, scenario_id: str) -> "Scenario":
         return replace(self, scenario_id=scenario_id)
 

@@ -14,6 +14,14 @@ Two routines that every protocol and solver in the library builds on:
 Both propagate flow per destination over the shortest-path DAG in decreasing
 distance order, so a node's whole incoming flow (local demand plus transit) is
 known before it is split -- the same bookkeeping Algorithm 3 of the paper uses.
+
+Each routine dispatches between two interchangeable backends (see
+:mod:`repro.routing`): ``"sparse"`` compiles the DAGs into CSR split-ratio
+matrices and propagates with vectorised forward substitution, ``"python"``
+(the default for these one-shot calls) runs the dict-loop implementation
+kept here as the reference oracle.  ``tests/test_routing_equivalence.py``
+pins their agreement; for many matrices against one weight setting use the
+always-sparse batched entry points in :mod:`repro.routing` instead.
 """
 
 from __future__ import annotations
@@ -29,6 +37,13 @@ from ..network.spt import (
     UnreachableError,
     WeightsLike,
     shortest_path_dag,
+)
+from ..routing import resolve_backend
+from ..routing.compiled import warn_degenerate_split
+from ..routing.sparse import (
+    sparse_all_or_nothing_assignment,
+    sparse_ecmp_assignment,
+    sparse_split_ratio_assignment,
 )
 
 
@@ -69,6 +84,11 @@ def _propagate_over_dag(
             ratios = dict(split_ratios.get(node, {}))
             total = sum(ratios.get(hop, 0.0) for hop in hops)
             if total <= 0:
+                if ratios:
+                    # Stored ratios exist but are degenerate over the actual
+                    # next hops -- deliver the traffic anyway (even split) but
+                    # say so instead of silently ignoring the configuration.
+                    warn_degenerate_split(node, destination, total, len(hops))
                 ratios = {hop: 1.0 / len(hops) for hop in hops}
             else:
                 ratios = {hop: ratios.get(hop, 0.0) / total for hop in hops}
@@ -86,13 +106,18 @@ def ecmp_assignment(
     weights: WeightsLike,
     tolerance: float = DEFAULT_TOLERANCE,
     dags: Optional[Dict[Node, ShortestPathDag]] = None,
+    backend: Optional[str] = None,
 ) -> FlowAssignment:
     """Route ``demands`` with even splitting over equal-cost shortest paths.
 
     This reproduces OSPF's ECMP behaviour for a given weight setting.  The
     precomputed ``dags`` argument lets callers reuse shortest-path DAGs across
     repeated evaluations (the Fortz-Thorup local search does this heavily).
+    ``backend`` selects the vectorised (``"sparse"``) or reference
+    (``"python"``) implementation; ``None`` uses the library default.
     """
+    if resolve_backend(backend) == "sparse":
+        return sparse_ecmp_assignment(network, demands, weights, tolerance, dags)
     demands.validate(network)
     flows = FlowAssignment(network=network)
     for destination, entering in demands.by_destination().items():
@@ -115,6 +140,7 @@ def all_or_nothing_assignment(
     demands: TrafficMatrix,
     weights: WeightsLike,
     tolerance: float = DEFAULT_TOLERANCE,
+    backend: Optional[str] = None,
 ) -> FlowAssignment:
     """Route every demand along a single shortest path (no splitting).
 
@@ -123,6 +149,8 @@ def all_or_nothing_assignment(
     property the sub-gradient iterations of Algorithm 1 rely on for
     reproducibility.
     """
+    if resolve_backend(backend) == "sparse":
+        return sparse_all_or_nothing_assignment(network, demands, weights, tolerance)
     demands.validate(network)
     flows = FlowAssignment(network=network)
     for destination, entering in demands.by_destination().items():
@@ -146,6 +174,7 @@ def split_ratio_assignment(
     demands: TrafficMatrix,
     dags: Dict[Node, ShortestPathDag],
     split_ratios: Dict[Node, Dict[Node, Dict[Node, float]]],
+    backend: Optional[str] = None,
 ) -> FlowAssignment:
     """Route demands over precomputed DAGs with explicit split ratios.
 
@@ -154,6 +183,8 @@ def split_ratio_assignment(
     building block SPEF uses once the second link weights have produced the
     exponential split ratios of Eq. (22).
     """
+    if resolve_backend(backend) == "sparse":
+        return sparse_split_ratio_assignment(network, demands, dags, split_ratios)
     demands.validate(network)
     flows = FlowAssignment(network=network)
     for destination, entering in demands.by_destination().items():

@@ -7,7 +7,34 @@ topologies are only exercised by the integration tests and the benchmarks.
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import HealthCheck, settings
+
+# ----------------------------------------------------------------------
+# Hypothesis profiles: seeded/derandomised in CI so failures reproduce.
+#
+# "dev" (default) keeps the usual random exploration; "ci" derandomises the
+# search (the seed is fixed per test) and prints the reproduction blob, so a
+# red CI run can be replayed locally with an identical example.  Select with
+# HYPOTHESIS_PROFILE=ci (the CI workflow does).
+# ----------------------------------------------------------------------
+settings.register_profile(
+    "dev",
+    max_examples=50,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "ci",
+    max_examples=100,
+    deadline=None,
+    derandomize=True,
+    print_blob=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 from repro.core.objectives import LoadBalanceObjective
 from repro.network.demands import TrafficMatrix

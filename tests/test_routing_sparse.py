@@ -1,0 +1,217 @@
+"""Unit tests for the compiled routing structures themselves.
+
+The golden-equivalence suite (``test_routing_equivalence.py``) checks the
+backends against each other end to end; these tests pin the *internals* of
+:mod:`repro.routing` -- the CSR compilation, the triangular structure of the
+split matrix, the ratio kernels, backend selection -- so a regression points
+at the broken piece directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.routing as routing
+from repro.core.nem import compute_second_weights
+from repro.network.demands import TrafficMatrix
+from repro.network.graph import Network
+from repro.network.spt import UnreachableError, all_shortest_path_dags, shortest_path_dag
+from repro.routing import CompiledDagSet, SparseRouter
+from repro.routing.compiled import CompiledDag
+
+
+@pytest.fixture
+def diamond_compiled(diamond_network):
+    dag = shortest_path_dag(diamond_network, 4, np.ones(4))
+    return CompiledDag.from_dag(diamond_network, dag)
+
+
+class TestCompiledDag:
+    def test_topological_structure(self, diamond_compiled):
+        """Every edge goes from a lower to a strictly higher position."""
+        compiled = diamond_compiled
+        assert compiled.num_nodes == 4 and compiled.num_edges == 4
+        assert np.all(compiled.targets > compiled.rows)
+        assert compiled.order[-1] == 4  # destination last in topological order
+
+    def test_split_matrix_is_strictly_upper_triangular(self, diamond_compiled):
+        matrix = diamond_compiled.split_matrix().toarray()
+        assert np.allclose(matrix, np.triu(matrix, k=1))
+        # ECMP rows sum to 1 wherever the node has next hops.
+        sums = matrix.sum(axis=1)
+        assert sums[: diamond_compiled.num_nodes - 1] == pytest.approx(1.0)
+
+    def test_uniform_and_first_hop_ratios(self, diamond_compiled):
+        uniform = diamond_compiled.uniform_ratios()
+        first = diamond_compiled.first_hop_ratios()
+        degrees = diamond_compiled.out_degree()
+        start = diamond_compiled.indptr[0]
+        end = diamond_compiled.indptr[1]
+        if end - start == 2:  # node 1 splits over 2 and 3
+            assert uniform[start] == pytest.approx(0.5)
+            assert first[start] == 1.0 and first[start + 1] == 0.0
+        assert uniform.sum() == pytest.approx(int((degrees > 0).sum()))
+
+    def test_propagate_solves_unit_triangular_system(self, diamond_compiled):
+        """propagate() inverts (I - P^T) exactly (checked against dense solve)."""
+        compiled = diamond_compiled
+        ratios = compiled.uniform_ratios()
+        entering = np.array([3.0, 1.0, 0.5, 0.0])[: compiled.num_nodes]
+        x = compiled.propagate(entering, ratios)
+        dense = np.eye(compiled.num_nodes) - compiled.split_matrix(ratios).toarray().T
+        np.testing.assert_allclose(x, np.linalg.solve(dense, entering), atol=1e-12)
+
+    def test_propagate_batched_equals_columnwise(self, diamond_compiled):
+        compiled = diamond_compiled
+        ratios = compiled.uniform_ratios()
+        rng = np.random.default_rng(3)
+        entering = rng.random((compiled.num_nodes, 5))
+        batched = compiled.propagate(entering, ratios)
+        for column in range(5):
+            single = compiled.propagate(entering[:, column], ratios)
+            np.testing.assert_array_equal(batched[:, column], single)
+
+    def test_propagate_raises_at_loaded_dead_end(self):
+        net = Network(name="deadend")
+        net.add_link(1, 2, 10.0)
+        net.add_link(2, 3, 10.0)
+        compiled = CompiledDag.from_next_hops(net, 3, [1, 2, 3], {1: [2], 2: []})
+        with pytest.raises(UnreachableError):
+            compiled.propagate(np.array([1.0, 0.0, 0.0]), compiled.uniform_ratios())
+        # ... but an *unloaded* dead end is fine (matches the oracle's skip).
+        x = compiled.propagate(np.array([0.0, 0.0, 0.0]), compiled.uniform_ratios())
+        assert np.all(x == 0.0)
+
+    def test_entering_vector_missing_modes(self, diamond_compiled):
+        with pytest.raises(UnreachableError):
+            diamond_compiled.entering_vector({99: 1.0}, missing="raise")
+        dropped = diamond_compiled.entering_vector({99: 1.0, 1: 2.0}, missing="drop")
+        assert dropped.sum() == pytest.approx(2.0)
+
+    def test_from_next_hops_rejects_edges_leaving_the_dag(self):
+        net = Network(name="bad")
+        net.add_link(1, 2, 10.0)
+        net.add_link(2, 3, 10.0)
+        with pytest.raises(UnreachableError):
+            CompiledDag.from_next_hops(net, 3, [1, 3], {1: [2]})
+
+
+class TestBackendSelection:
+    def test_default_backend_is_auto(self):
+        """'auto' = oracle for one-shot calls, sparse for batched entry points."""
+        assert routing.get_default_backend() == "auto"
+
+    def test_forcing_python_disables_protocol_batching(self, abilene, abilene_tm):
+        """A global 'python' override makes an all-oracle run really all-oracle."""
+        from repro.protocols.ospf import OSPF
+
+        protocol = OSPF()  # no per-instance backend: follows the global default
+        assert protocol.batch_link_loads(abilene, [abilene_tm]) is not None
+        previous = routing.set_default_backend("python")
+        try:
+            assert protocol.batch_link_loads(abilene, [abilene_tm]) is None
+        finally:
+            routing.set_default_backend(previous)
+
+    def test_set_and_resolve(self):
+        previous = routing.set_default_backend("python")
+        try:
+            assert routing.resolve_backend(None) == "python"
+            assert routing.resolve_backend("sparse") == "sparse"
+        finally:
+            routing.set_default_backend(previous)
+        assert routing.resolve_backend(None) == previous
+
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(ValueError):
+            routing.resolve_backend("numba")
+        with pytest.raises(ValueError):
+            routing.set_default_backend("numba")
+
+    def test_switch_changes_dispatch(self, diamond_network, diamond_demands):
+        """The process-wide default actually reroutes the dispatchers."""
+        from repro.solvers.assignment import ecmp_assignment
+
+        python = ecmp_assignment(diamond_network, diamond_demands, np.ones(4))
+        previous = routing.set_default_backend("sparse")
+        try:
+            sparse = ecmp_assignment(diamond_network, diamond_demands, np.ones(4))
+        finally:
+            routing.set_default_backend(previous)
+        np.testing.assert_allclose(sparse.aggregate(), python.aggregate(), atol=1e-9)
+
+
+class TestCompiledDagSet:
+    def test_missing_destination_raises_oracle_error(self, diamond_network):
+        dag_set = CompiledDagSet(diamond_network, {})
+        with pytest.raises(UnreachableError, match="no shortest-path DAG"):
+            dag_set.compiled(4)
+
+    def test_amortised_traffic_distribution_matches_fresh(self, abilene, abilene_tm):
+        """The compile-once path equals recompiling per call (NEM's contract)."""
+        from repro.core.traffic_distribution import traffic_distribution
+
+        weights = np.ones(abilene.num_links)
+        dags = all_shortest_path_dags(abilene, abilene_tm.destinations(), weights)
+        dag_set = CompiledDagSet(abilene, dags)
+        rng = np.random.default_rng(11)
+        for _ in range(3):
+            second = rng.random(abilene.num_links)
+            amortised = dag_set.traffic_distribution(abilene_tm, second)
+            fresh = traffic_distribution(abilene, abilene_tm, dags, second, backend="python")
+            np.testing.assert_allclose(
+                amortised.aggregate(), fresh.aggregate(), atol=1e-9, rtol=0
+            )
+
+    def test_nem_backends_converge_to_same_flows(self, fig4, fig4_tm):
+        """Algorithm 2 run on both backends yields matching flows and weights."""
+        weights = np.ones(fig4.num_links)
+        dags = all_shortest_path_dags(fig4, fig4_tm.destinations(), weights)
+        from repro.solvers.assignment import ecmp_assignment
+
+        target = ecmp_assignment(fig4, fig4_tm, weights).aggregate()
+        sparse = compute_second_weights(
+            fig4, fig4_tm, dags, target, max_iterations=40, backend="sparse"
+        )
+        python = compute_second_weights(
+            fig4, fig4_tm, dags, target, max_iterations=40, backend="python"
+        )
+        assert sparse.iterations == python.iterations
+        np.testing.assert_allclose(sparse.weights, python.weights, atol=1e-9)
+        np.testing.assert_allclose(
+            sparse.flows.aggregate(), python.flows.aggregate(), atol=1e-9
+        )
+
+
+class TestSparseRouter:
+    def test_mode_validation(self, diamond_network):
+        with pytest.raises(ValueError, match="mode"):
+            SparseRouter(diamond_network, weights=np.ones(4), mode="teleport")
+        with pytest.raises(ValueError, match="weights or precomputed"):
+            SparseRouter(diamond_network)
+
+    def test_unreachable_source_raises_in_batch(self):
+        net = Network(name="oneway")
+        net.add_link(1, 2, 10.0)  # 2 cannot reach 1
+        router = SparseRouter(net, weights=np.ones(1))
+        good = TrafficMatrix({(1, 2): 1.0})
+        bad = TrafficMatrix({(2, 1): 1.0})
+        assert router.link_loads_many([good]).shape == (1, 1)
+        with pytest.raises(UnreachableError):
+            router.link_loads_many([good, bad])
+
+    def test_empty_ensemble(self, diamond_network):
+        router = SparseRouter(diamond_network, weights=np.ones(4))
+        assert router.link_loads_many([]).shape == (0, 4)
+
+    def test_all_or_nothing_mode(self, diamond_network, diamond_demands):
+        from repro.solvers.assignment import all_or_nothing_assignment
+
+        router = SparseRouter(diamond_network, weights=np.ones(4), mode="all_or_nothing")
+        oracle = all_or_nothing_assignment(
+            diamond_network, diamond_demands, np.ones(4), backend="python"
+        )
+        np.testing.assert_allclose(
+            router.link_loads(diamond_demands), oracle.aggregate(), atol=1e-9
+        )

@@ -105,3 +105,69 @@ class TestSplitRatioAssignment:
         ratios = {4: {1: {2: 3.0, 3: 1.0}}}
         flows = split_ratio_assignment(diamond_network, diamond_demands, dags, ratios)
         assert flows.flow_on(1, 2) == pytest.approx(6.0)
+
+    @pytest.mark.parametrize("backend", ["python", "sparse"])
+    def test_degenerate_stored_ratios_warn_and_fall_back_evenly(
+        self, diamond_network, diamond_demands, backend, caplog
+    ):
+        """Stored-but-zero ratios are no longer a *silent* renormalisation.
+
+        The traffic is still delivered with an even split (dropping it would
+        be worse), but the fallback is logged so broken split configurations
+        surface instead of hiding behind plausible-looking flows.
+        """
+        import logging
+
+        dags = all_shortest_path_dags(diamond_network, [4], np.ones(4))
+        ratios = {4: {1: {2: 0.0, 3: 0.0}}}
+        with caplog.at_level(logging.WARNING, logger="repro.routing.compiled"):
+            flows = split_ratio_assignment(
+                diamond_network, diamond_demands, dags, ratios, backend=backend
+            )
+        assert flows.flow_on(1, 2) == pytest.approx(4.0)
+        assert flows.flow_on(1, 3) == pytest.approx(4.0)
+        warnings = [r for r in caplog.records if "falling back to an even split" in r.message]
+        assert len(warnings) == 1
+
+    @pytest.mark.parametrize("backend", ["python", "sparse"])
+    def test_degenerate_ratios_at_unloaded_node_stay_silent(
+        self, diamond_network, backend, caplog
+    ):
+        """No traffic through the degenerate node -> no warning (oracle parity).
+
+        The oracle only normalises (and hence only warns) for nodes that
+        actually carry load; the sparse backend defers its warning until
+        after propagation for the same reason.
+        """
+        import logging
+
+        dags = all_shortest_path_dags(diamond_network, [4], np.ones(4))
+        # Demand enters at 2, so node 1 (which holds the broken ratios)
+        # never carries traffic towards 4.
+        demands = TrafficMatrix({(2, 4): 5.0})
+        ratios = {4: {1: {2: 0.0, 3: 0.0}}}
+        with caplog.at_level(logging.WARNING, logger="repro.routing.compiled"):
+            flows = split_ratio_assignment(
+                diamond_network, demands, dags, ratios, backend=backend
+            )
+        assert flows.flow_on(2, 4) == pytest.approx(5.0)
+        assert not caplog.records
+
+    @pytest.mark.parametrize("backend", ["python", "sparse"])
+    def test_absent_node_ratios_fall_back_silently(
+        self, diamond_network, diamond_demands, backend, caplog
+    ):
+        """Nodes simply missing from the mapping keep the quiet even split.
+
+        Omitting single-next-hop nodes is the documented, intended shorthand;
+        only *stored* ratios that turn out degenerate deserve a warning.
+        """
+        import logging
+
+        dags = all_shortest_path_dags(diamond_network, [4], np.ones(4))
+        with caplog.at_level(logging.WARNING, logger="repro.routing.compiled"):
+            flows = split_ratio_assignment(
+                diamond_network, diamond_demands, dags, {4: {}}, backend=backend
+            )
+        assert flows.flow_on(1, 2) == pytest.approx(4.0)
+        assert not caplog.records
