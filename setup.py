@@ -1,8 +1,9 @@
-"""Setuptools shim.
+"""Minimal setuptools bridge — NOT a second install path.
 
-Kept alongside ``pyproject.toml`` so the package can be installed in editable
-mode (``pip install -e . --no-use-pep517``) on machines without network access
-to the PEP 517 build requirements (no ``wheel`` package available offline).
+All metadata, dependencies and packaging live in ``pyproject.toml`` (the
+single install path; see README "Install").  This shim only exists so
+editable installs work on offline machines where pip cannot fetch the
+PEP 517 build requirements: ``pip install -e . --no-use-pep517``.
 """
 
 from setuptools import setup

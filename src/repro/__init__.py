@@ -23,7 +23,7 @@ The public API re-exports the pieces most users need:
   sweeps; every assignment routine accepts ``backend="sparse"|"python"``.
 """
 
-from . import core, network, protocols, routing, scenarios, solvers, topology, traffic
+from . import core, network, online, protocols, routing, scenarios, solvers, topology, traffic
 from .core import (
     SPEF,
     LoadBalanceObjective,
@@ -34,15 +34,17 @@ from .core import (
     solve_optimal_te,
 )
 from .network import FlowAssignment, Network, TrafficMatrix
+from .online import DynamicSPT, NetworkEvent, TEController
 from .protocols import OSPF, PEFT, FortzThorup, MinMaxMLU, SPEFProtocol
 from .routing import CompiledDagSet, SparseRouter, batched_link_loads
 from .scenarios import BatchRunner, ProtocolSpec, Scenario, ScenarioResult
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "core",
     "network",
+    "online",
     "protocols",
     "routing",
     "scenarios",
@@ -71,5 +73,8 @@ __all__ = [
     "ScenarioResult",
     "BatchRunner",
     "ProtocolSpec",
+    "DynamicSPT",
+    "NetworkEvent",
+    "TEController",
     "__version__",
 ]

@@ -203,7 +203,12 @@ class SPEF:
         self.config = config
 
     # ------------------------------------------------------------------
-    def _solve_te(self, network: Network, demands: TrafficMatrix) -> Tuple[
+    def _solve_te(
+        self,
+        network: Network,
+        demands: TrafficMatrix,
+        initial_flows: Optional[FlowAssignment] = None,
+    ) -> Tuple[
         np.ndarray, FlowAssignment, Optional[TESolution], Optional[FirstWeightsResult]
     ]:
         """Step 1 of Algorithm 4: optimal flows ``f*`` and first weights."""
@@ -224,6 +229,7 @@ class SPEF:
             problem,
             max_iterations=cfg.te_max_iterations,
             tolerance=cfg.te_tolerance,
+            initial_flows=initial_flows,
         )
         return (
             te_solution.link_weights,
@@ -279,13 +285,81 @@ class SPEF:
             return 1e-9
         return cfg.ecmp_tolerance_factor * float(np.mean(positive))
 
+    def _warm_initial_flows(
+        self,
+        network: Network,
+        demands: TrafficMatrix,
+        warm_start: "SPEFSolution",
+    ) -> Optional[FlowAssignment]:
+        """A feasible Frank-Wolfe starting point derived from a previous fit.
+
+        Flow assignments live in the polytope of the *current* demands, so a
+        previous solution is only reusable when the new matrix is a uniform
+        rescaling of the old one (the demand-drift events the online
+        controller emits); the flows then rescale with it.  Anything else —
+        different pairs, per-pair drift, a different topology (checked by
+        the full edge list, not just the link count: flows are link-indexed
+        and mean nothing on a differently wired network) — returns ``None``
+        and the solver starts cold.
+        """
+        if warm_start.network.edges != network.edges:
+            return None
+        old = warm_start.demands
+        if set(old.pairs()) != set(demands.pairs()) or not len(old):
+            return None
+        old_total = old.total_volume()
+        new_total = demands.total_volume()
+        if old_total <= 0 or new_total <= 0:
+            return None
+        factor = new_total / old_total
+        for pair, volume in old.items():
+            if abs(demands[pair] - factor * volume) > 1e-9 * max(1.0, factor * volume):
+                return None
+        scaled = warm_start.flows.copy()
+        for destination in scaled.per_destination:
+            scaled.per_destination[destination] = (
+                factor * scaled.per_destination[destination]
+            )
+        if self.config.objective.is_barrier():
+            utilization = scaled.aggregate() / network.capacities
+            if utilization.size and float(np.max(utilization)) >= 0.98:
+                return None  # too close to saturation for a barrier start
+        return scaled
+
     # ------------------------------------------------------------------
-    def fit(self, network: Network, demands: TrafficMatrix) -> SPEFSolution:
-        """Run the whole SPEF pipeline (Algorithm 4) on one instance."""
+    def fit(
+        self,
+        network: Network,
+        demands: TrafficMatrix,
+        warm_start: Optional[SPEFSolution] = None,
+    ) -> SPEFSolution:
+        """Run the whole SPEF pipeline (Algorithm 4) on one instance.
+
+        ``warm_start`` resumes from a previous solution: the Frank-Wolfe TE
+        solve starts from the (rescaled) previous flows when the demands are
+        a uniform rescaling of the warm start's, and Algorithm 2 starts from
+        the previous second weights instead of ``v = 0`` — after a small
+        perturbation both converge in a fraction of the cold iterations.
+        Incompatible warm starts (different topology, reshaped demands) are
+        silently ignored, never wrong.  With ``te_solver="dual"`` the flow
+        warm start does not apply (Algorithm 1 runs its own distributed
+        initialisation); only the second weights resume.
+        """
         demands.validate(network)
         cfg = self.config
 
-        raw_weights, optimal_flows, te_solution, first_result = self._solve_te(network, demands)
+        initial_flows = None
+        initial_second = None
+        if warm_start is not None:
+            initial_flows = self._warm_initial_flows(network, demands, warm_start)
+            # Second weights are link-indexed too: only meaningful when the
+            # wiring matches, not merely the link count.
+            if warm_start.network.edges == network.edges:
+                initial_second = warm_start.second_weights.copy()
+
+        raw_weights, optimal_flows, te_solution, first_result = self._solve_te(
+            network, demands, initial_flows
+        )
         target_flows = np.minimum(np.maximum(optimal_flows.aggregate(), 0.0), network.capacities)
 
         installed = raw_weights
@@ -309,6 +383,7 @@ class SPEF:
             max_iterations=cfg.alg2_max_iterations,
             tolerance=cfg.alg2_tolerance,
             step_ratio=cfg.alg2_step_ratio,
+            initial_weights=initial_second,
             record_history=False,
             backend=cfg.routing_backend,
         )

@@ -1,0 +1,65 @@
+"""Online traffic engineering: incremental routing state under event streams.
+
+Everything elsewhere in the library answers *"what does this protocol do on
+this instance?"* from scratch.  This package answers *"the network just
+changed — what now?"* with bounded, incremental work:
+
+* :mod:`~repro.online.events` — the event vocabulary (link failure and
+  recovery, weight/capacity changes, demand updates) plus converters from
+  the scenario engine's failure generators to event streams;
+* :mod:`~repro.online.dspt` — :class:`DynamicSPT`, Ramalingam–Reps-style
+  maintenance of per-destination shortest-path DAGs under single-edge
+  changes, with a verified fallback to full Dijkstra;
+* :mod:`~repro.online.controller` — :class:`TEController`, the facade that
+  pairs the dynamic DAGs with delta-recompiled CSR routing state, cached
+  per-destination loads, warm-started reoptimization and a binding onto the
+  discrete-event simulator.
+
+The scenario runner's single-link-failure sweeps ride
+:func:`sweep_pure_failures` automatically (see
+:mod:`repro.scenarios.runner`); ``benchmarks/test_online_controller.py``
+tracks the resulting speedup as the ``BENCH_online.json`` artifact.
+"""
+
+from .controller import (
+    ControllerMeasurement,
+    ControllerUpdate,
+    TEController,
+    sweep_pure_failures,
+)
+from .dspt import DsptStats, DynamicSPT
+from .events import (
+    CapacityChange,
+    DemandUpdate,
+    EventError,
+    LinkFailure,
+    LinkRecovery,
+    LinkWeightChange,
+    NetworkEvent,
+    failure_events,
+    failure_recovery_trace,
+    is_pure_failure,
+    recovery_events,
+    scenario_failed_edges,
+)
+
+__all__ = [
+    "CapacityChange",
+    "ControllerMeasurement",
+    "ControllerUpdate",
+    "DemandUpdate",
+    "DsptStats",
+    "DynamicSPT",
+    "EventError",
+    "LinkFailure",
+    "LinkRecovery",
+    "LinkWeightChange",
+    "NetworkEvent",
+    "TEController",
+    "failure_events",
+    "failure_recovery_trace",
+    "is_pure_failure",
+    "recovery_events",
+    "scenario_failed_edges",
+    "sweep_pure_failures",
+]

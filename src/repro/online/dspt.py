@@ -1,0 +1,643 @@
+"""Dynamic shortest-path trees/DAGs under single-link events.
+
+Every protocol evaluation so far rebuilds its per-destination shortest-path
+DAGs from scratch with Dijkstra (:func:`repro.network.spt.shortest_path_dag`),
+even when only one link changed.  :class:`DynamicSPT` maintains the same
+state — distances and equal-cost next hops towards each destination —
+under a stream of single-edge events with bounded, incremental work, in the
+style of Ramalingam–Reps delta propagation:
+
+* **weight decrease / link recovery**: if the changed edge improves its
+  tail's distance, the improvement is pushed through the reverse graph with
+  a Dijkstra-ordered heap; only nodes whose distance actually drops are
+  touched.
+* **weight increase / link failure**: if the edge was *tight* (on a
+  shortest-path tree), the affected cone — every node with a chain of tight
+  edges through the changed edge's tail — is collected by a reverse BFS,
+  its distances are discarded, and a restricted Dijkstra re-settles the cone
+  from its (still valid) boundary.  Edges that were only tolerance-equal
+  ECMP members (not tight) need no distance work at all.
+* next-hop sets are then refreshed *only* for nodes whose distance changed,
+  their in-neighbours, and the changed edge's tail — with exactly the cost
+  test :func:`~repro.network.spt.shortest_path_dag` uses, so the maintained
+  DAG matches a cold rebuild.
+
+**Equivalence guarantees and the fallback.**  Distances are accumulated
+destination-outward exactly as Dijkstra accumulates them, so incremental
+distances are bit-identical to a cold run.  Next-hop sets are recomputed
+with the same tolerance test and the same link iteration order, so they too
+match a cold :func:`shortest_path_dag` — *except* on zero-weight plateaus,
+where the cold path orients ties with its Dijkstra tree and incremental
+maintenance cannot reproduce that tree cheaply.  :class:`DynamicSPT`
+therefore falls back to a full (cold-identical) per-destination rebuild
+whenever
+
+1. some active link weight is at or below the plateau floor
+   (``min weight <= max(tolerance, 1e-12)``),
+2. the affected cone of an increase exceeds ``max_affected_fraction`` of
+   the reachable nodes (a full Dijkstra is as cheap and simpler), or
+3. ``verify=True`` and the incremental result disagrees with a shadow cold
+   rebuild (the *verified fallback*; counted in :attr:`DsptStats`).
+
+The golden-equivalence suite (``tests/test_online_dspt.py``) drives random
+event sequences through both paths and asserts identical DAGs and link
+loads to 1e-9.
+"""
+
+from __future__ import annotations
+
+import heapq
+import logging
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..network.graph import Edge, Network, NetworkError, Node
+from ..network.spt import (
+    DEFAULT_TOLERANCE,
+    ShortestPathDag,
+    WeightsLike,
+    as_weight_vector,
+    validate_weights,
+)
+
+logger = logging.getLogger(__name__)
+
+#: Strict-improvement margin used by the cold Dijkstra (`spt._dijkstra_to`);
+#: the incremental relaxations use the same margin so both paths settle the
+#: same distances.
+_MARGIN = 1e-15
+
+#: Active weights at or below this floor can create zero-weight plateaus,
+#: where the cold DAG is oriented by its Dijkstra tree; incremental
+#: maintenance then falls back to full rebuilds.
+_PLATEAU_FLOOR = 1e-12
+
+
+@dataclass
+class DsptStats:
+    """Counters describing how much work the engine actually did."""
+
+    events: int = 0
+    #: Destinations whose DAG changed structurally, summed over events.
+    destinations_changed: int = 0
+    incremental_updates: int = 0
+    full_rebuilds: int = 0
+    #: Nodes re-settled by incremental distance work (cone + decrease sets).
+    nodes_recomputed: int = 0
+    #: Incremental results that disagreed with the shadow rebuild (verify mode).
+    verify_mismatches: int = 0
+
+
+@dataclass
+class _DestinationState:
+    """Live SPT/DAG state towards one destination (mutated in place)."""
+
+    destination: Node
+    dist: Dict[Node, float] = field(default_factory=dict)
+    next_hops: Dict[Node, List[Node]] = field(default_factory=dict)
+
+
+class DynamicSPT:
+    """Maintain per-destination shortest-path DAGs under link events.
+
+    Parameters
+    ----------
+    network:
+        The base topology.  Failed links stay in the network but are masked
+        out of every computation, so link indices (and therefore load
+        vectors) keep the base indexing.
+    weights:
+        Initial link weights (mapping or link-indexed vector).
+    destinations:
+        Destinations to maintain state for; more can be added later with
+        :meth:`add_destination`.
+    tolerance:
+        ECMP cost tolerance, as in :func:`~repro.network.spt.shortest_path_dag`.
+    max_affected_fraction:
+        When an increase's affected cone exceeds this fraction of the
+        reachable nodes, the destination is fully rebuilt instead.
+    verify:
+        Cross-check every incremental update against a cold rebuild and fall
+        back to it on any mismatch (slow; meant for debugging and tests).
+
+    Examples
+    --------
+    >>> from repro.topology.backbones import abilene_network
+    >>> net = abilene_network()
+    >>> spt = DynamicSPT(net, [1.0] * net.num_links, destinations=net.nodes)
+    >>> edge = net.links[0].endpoints
+    >>> changed = spt.fail_link(*edge)
+    >>> spt.recover_link(*edge) == changed  # reverting touches the same DAGs
+    True
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        weights: WeightsLike,
+        destinations: Iterable[Node] = (),
+        tolerance: float = DEFAULT_TOLERANCE,
+        max_affected_fraction: float = 0.5,
+        verify: bool = False,
+    ) -> None:
+        if not 0 < max_affected_fraction <= 1:
+            raise ValueError("max_affected_fraction must be in (0, 1]")
+        self.network = network
+        self.tolerance = float(tolerance)
+        self.max_affected_fraction = float(max_affected_fraction)
+        self.verify = verify
+        self._weights = as_weight_vector(network, weights)
+        validate_weights(self._weights)
+        self._active = np.ones(network.num_links, dtype=bool)
+        self._states: Dict[Node, _DestinationState] = {}
+        self.stats = DsptStats()
+        for destination in destinations:
+            self.add_destination(destination)
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+    @property
+    def destinations(self) -> List[Node]:
+        return list(self._states)
+
+    @property
+    def weights(self) -> np.ndarray:
+        """The current weight vector (failed links keep their last weight)."""
+        return self._weights.copy()
+
+    def is_active(self, source: Node, target: Node) -> bool:
+        return bool(self._active[self.network.link_index(source, target)])
+
+    def failed_links(self) -> List[Edge]:
+        """Currently failed directed links, in link-index order."""
+        return [
+            link.endpoints
+            for link in self.network.links
+            if not self._active[link.index]
+        ]
+
+    def dag(self, destination: Node) -> ShortestPathDag:
+        """A live :class:`ShortestPathDag` view of one destination's state.
+
+        The returned object shares the engine's dictionaries: it reflects —
+        and is invalidated by — subsequent events.  Compile it (e.g. with
+        :meth:`CompiledDag.from_dag`) to snapshot it.
+        """
+        state = self._state(destination)
+        return ShortestPathDag(
+            destination=destination,
+            distances=state.dist,
+            next_hops=state.next_hops,
+            tolerance=self.tolerance,
+        )
+
+    def distances(self, destination: Node) -> Dict[Node, float]:
+        return dict(self._state(destination).dist)
+
+    def reachable(self, source: Node, destination: Node) -> bool:
+        """True when ``source`` currently reaches ``destination``."""
+        return source in self._state(destination).dist
+
+    def ecmp_link_loads(
+        self,
+        destination: Node,
+        entering: Dict[Node, float],
+    ) -> Tuple[np.ndarray, Dict[Node, float]]:
+        """Even-ECMP link loads towards one destination, in a single pass.
+
+        Routes ``{source: volume}`` directly over the live DAG state: one
+        sweep over the nodes in decreasing-distance order, splitting each
+        node's throughflow evenly over its next hops.  Equivalent (to float
+        round-off) to compiling the DAG and propagating — but an
+        event-dirtied DAG is typically routed exactly once before the next
+        event invalidates it, and at that amortisation level the fused dict
+        pass beats compile-then-propagate severalfold.  Amortised consumers
+        (route many matrices against one state) should compile instead; see
+        :meth:`repro.routing.SparseRouter.refresh_destination`.
+
+        Returns ``(loads, dropped)``: base-indexed per-link loads (failed
+        links carry 0) and the entering volumes whose source cannot reach
+        the destination.
+        """
+        state = self._state(destination)
+        dist = state.dist
+        next_hops = state.next_hops
+        loads = np.zeros(self.network.num_links)
+        through = dict.fromkeys(dist, 0.0)
+        dropped: Dict[Node, float] = {}
+        for source, volume in entering.items():
+            if source in through:
+                through[source] += volume
+            else:
+                dropped[source] = volume
+        link_index = self.network._link_index
+        if self.plateau_free:
+            # Plateau-free edges strictly decrease the distance, so the
+            # decreasing-distance sort is a valid processing order.
+            order = sorted(dist, key=dist.__getitem__, reverse=True)
+        else:
+            # Zero-weight plateaus need a true topological order.
+            order = self.dag(destination).topological_order()
+        for node in order:
+            flow = through[node]
+            if flow == 0.0 or node == destination:
+                continue
+            hops = next_hops[node]
+            if not hops:
+                raise NetworkError(
+                    f"node {node!r} has traffic for {destination!r} but no next hop"
+                )
+            share = flow / len(hops)
+            for hop in hops:
+                through[hop] += share
+                loads[link_index[(node, hop)]] += share
+        return loads, dropped
+
+    def _state(self, destination: Node) -> _DestinationState:
+        try:
+            return self._states[destination]
+        except KeyError:
+            raise NetworkError(
+                f"no dynamic SPT state for destination {destination!r}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # event entry points (each returns the destinations whose DAG changed)
+    # ------------------------------------------------------------------
+    def add_destination(self, destination: Node) -> None:
+        """Start maintaining (and fully build) state for one more destination."""
+        if not self.network.has_node(destination):
+            raise NetworkError(f"unknown node {destination!r}")
+        if destination not in self._states:
+            state = _DestinationState(destination=destination)
+            self._states[destination] = state
+            self._rebuild(state)
+
+    def fail_link(self, source: Node, target: Node) -> Set[Node]:
+        """Mask one directed link out; returns the destinations affected."""
+        index = self.network.link_index(source, target)
+        if not self._active[index]:
+            return set()
+        self._active[index] = False
+        return self._propagate(index, old_eff=self._weights[index], new_eff=np.inf)
+
+    def recover_link(self, source: Node, target: Node) -> Set[Node]:
+        """Re-activate a failed link at its configured weight."""
+        index = self.network.link_index(source, target)
+        if self._active[index]:
+            return set()
+        self._active[index] = True
+        return self._propagate(index, old_eff=np.inf, new_eff=self._weights[index])
+
+    def set_weight(self, source: Node, target: Node, weight: float) -> Set[Node]:
+        """Change one link's weight (no-op for equal weight)."""
+        if not np.isfinite(weight) or weight < 0:
+            raise NetworkError(f"link weight must be finite and non-negative, got {weight}")
+        index = self.network.link_index(source, target)
+        old = float(self._weights[index])
+        if old == weight:
+            return set()
+        self._weights[index] = float(weight)
+        if not self._active[index]:
+            return set()  # takes effect on recovery
+        return self._propagate(index, old_eff=old, new_eff=float(weight))
+
+    def set_weights(self, weights: WeightsLike) -> Set[Node]:
+        """Install a whole new weight vector (full rebuild of every DAG)."""
+        vector = as_weight_vector(self.network, weights)
+        validate_weights(vector)
+        self._weights = vector
+        self.stats.events += 1
+        changed: Set[Node] = set()
+        for state in self._states.values():
+            self._rebuild(state)
+            changed.add(state.destination)
+        self.stats.destinations_changed += len(changed)
+        return changed
+
+    # ------------------------------------------------------------------
+    # single-edge propagation
+    # ------------------------------------------------------------------
+    @property
+    def plateau_free(self) -> bool:
+        """True when every active weight is safely above the plateau floor.
+
+        Plateau-free states have two useful properties: incremental updates
+        are exact (see the module docstring), and every DAG edge strictly
+        decreases the distance, so sorting nodes by decreasing distance is a
+        valid — and much cheaper — topological order for compilation.
+        """
+        return self._incremental_allowed()
+
+    def _incremental_allowed(self) -> bool:
+        """Incremental maintenance is exact only away from weight plateaus."""
+        active = self._weights[self._active]
+        if active.size == 0:
+            return True
+        floor = max(self.tolerance, _PLATEAU_FLOOR)
+        return bool(np.min(active) > floor)
+
+    def _propagate(self, index: int, old_eff: float, new_eff: float) -> Set[Node]:
+        link = self.network.link_by_index(index)
+        self.stats.events += 1
+        changed: Set[Node] = set()
+        incremental = self._incremental_allowed()
+        for state in self._states.values():
+            if link.source == state.destination:
+                continue  # a destination's out-edges never carry its traffic
+            if not incremental:
+                self._rebuild(state)
+                changed.add(state.destination)
+                continue
+            if self.verify:
+                if self._update_verified(state, link, old_eff, new_eff):
+                    changed.add(state.destination)
+                continue
+            if self._update_destination(state, link, old_eff, new_eff):
+                changed.add(state.destination)
+        self.stats.destinations_changed += len(changed)
+        return changed
+
+    def _update_verified(
+        self, state: _DestinationState, link, old_eff: float, new_eff: float
+    ) -> bool:
+        """Incremental update cross-checked against a shadow cold rebuild."""
+        shadow = _DestinationState(destination=state.destination)
+        before = (dict(state.dist), {n: list(h) for n, h in state.next_hops.items()})
+        structural = self._update_destination(state, link, old_eff, new_eff)
+        self._rebuild(shadow, count=False)
+        if not _states_equal(state, shadow):
+            self.stats.verify_mismatches += 1
+            logger.warning(
+                "incremental SPT update towards %r diverged from the cold rebuild "
+                "after %s -> %s on %s; falling back",
+                state.destination,
+                old_eff,
+                new_eff,
+                link.endpoints,
+            )
+            state.dist = shadow.dist
+            state.next_hops = shadow.next_hops
+            return True
+        if structural:
+            return True
+        # Equal states but report a change when the cold rebuild differs from
+        # the pre-event state (paranoia: should imply `structural`).
+        return before != (state.dist, state.next_hops)
+
+    def _update_destination(
+        self, state: _DestinationState, link, old_eff: float, new_eff: float
+    ) -> bool:
+        """Apply one effective-weight change towards one destination.
+
+        Returns True when the DAG (distances or next hops) changed.
+        """
+        if new_eff < old_eff:
+            return self._edge_decrease(state, link, new_eff)
+        return self._edge_increase(state, link, old_eff)
+
+    def _edge_decrease(self, state: _DestinationState, link, new_eff: float) -> bool:
+        dist = state.dist
+        head = dist.get(link.target)
+        if head is None:
+            return False  # the head cannot reach the destination; edge is inert
+        candidate = new_eff + head
+        changed: List[Node] = []
+        if candidate < dist.get(link.source, np.inf) - _MARGIN:
+            # Push the improvement through the reverse graph, Dijkstra-ordered.
+            dist[link.source] = candidate
+            counter = 0
+            heap: List[Tuple[float, int, Node]] = [(candidate, counter, link.source)]
+            while heap:
+                d, _, node = heapq.heappop(heap)
+                if d > dist.get(node, np.inf):
+                    continue  # stale entry
+                changed.append(node)
+                for in_link in self.network.in_links(node):
+                    if not self._active[in_link.index]:
+                        continue
+                    tail = in_link.source
+                    if tail == state.destination:
+                        continue
+                    relaxed = d + self._weights[in_link.index]
+                    if relaxed < dist.get(tail, np.inf) - _MARGIN:
+                        dist[tail] = relaxed
+                        counter += 1
+                        heapq.heappush(heap, (relaxed, counter, tail))
+            self.stats.nodes_recomputed += len(changed)
+        self.stats.incremental_updates += 1
+        return self._refresh_region(state, changed, extra=(link.source,))
+
+    def _edge_increase(self, state: _DestinationState, link, old_eff: float) -> bool:
+        dist = state.dist
+        tail = dist.get(link.source)
+        head = dist.get(link.target)
+        if tail is None or head is None:
+            return False  # edge was not usable towards this destination
+        if old_eff + head > tail + _MARGIN:
+            # Not tight: distances cannot change; only the tail's ECMP set can
+            # (the edge may have been a tolerance-equal member).
+            self.stats.incremental_updates += 1
+            return self._refresh_region(state, [], extra=(link.source,))
+
+        # The edge was on the shortest-path tree structure: collect the cone
+        # of nodes whose tight chains run through the tail.
+        cone: Set[Node] = {link.source}
+        queue: List[Node] = [link.source]
+        while queue:
+            node = queue.pop()
+            for in_link in self.network.in_links(node):
+                if not self._active[in_link.index]:
+                    continue
+                upstream = in_link.source
+                if upstream in cone or upstream == state.destination:
+                    continue
+                d_up = dist.get(upstream)
+                if d_up is None:
+                    continue
+                if self._weights[in_link.index] + dist[node] <= d_up + _MARGIN:
+                    cone.add(upstream)
+                    queue.append(upstream)
+
+        if len(cone) > self.max_affected_fraction * max(len(dist), 1):
+            self._rebuild(state)
+            return True
+
+        # Re-settle the cone from its boundary: distances outside the cone
+        # are still valid, so a restricted Dijkstra recovers exact values.
+        old_dist = {node: dist.pop(node) for node in cone}
+        estimates: Dict[Node, float] = {}
+        counter = 0
+        heap: List[Tuple[float, int, Node]] = []
+        for node in cone:
+            best = np.inf
+            for out_link in self.network.out_links(node):
+                if not self._active[out_link.index]:
+                    continue
+                boundary = dist.get(out_link.target)
+                if boundary is None:
+                    continue
+                candidate = self._weights[out_link.index] + boundary
+                if candidate < best - _MARGIN:
+                    best = candidate
+            if np.isfinite(best):
+                estimates[node] = best
+                counter += 1
+                heapq.heappush(heap, (best, counter, node))
+        while heap:
+            d, _, node = heapq.heappop(heap)
+            if node in dist or d > estimates.get(node, np.inf):
+                continue
+            dist[node] = d
+            for in_link in self.network.in_links(node):
+                if not self._active[in_link.index]:
+                    continue
+                upstream = in_link.source
+                if upstream not in cone or upstream in dist:
+                    continue
+                relaxed = d + self._weights[in_link.index]
+                if relaxed < estimates.get(upstream, np.inf) - _MARGIN:
+                    estimates[upstream] = relaxed
+                    counter += 1
+                    heapq.heappush(heap, (relaxed, counter, upstream))
+
+        self.stats.nodes_recomputed += len(cone)
+        self.stats.incremental_updates += 1
+        changed = [
+            node
+            for node in cone
+            if dist.get(node) != old_dist[node]
+        ]
+        unreachable = [node for node in cone if node not in dist]
+        for node in unreachable:
+            state.next_hops.pop(node, None)
+        return self._refresh_region(
+            state, changed, extra=(link.source,), cone=cone
+        ) or bool(unreachable)
+
+    def _refresh_region(
+        self,
+        state: _DestinationState,
+        changed: Sequence[Node],
+        extra: Tuple[Node, ...] = (),
+        cone: Optional[Set[Node]] = None,
+    ) -> bool:
+        """Recompute next-hop sets around the nodes whose distance changed.
+
+        A node's hop set depends on its own distance, its out-neighbours'
+        distances and its out-link weights, so the refresh set is the changed
+        nodes, their in-neighbours, the changed edge's tail (``extra``) and —
+        for increases — the whole re-settled cone (cheap, and covers nodes
+        whose distance came back identical through a different support).
+        """
+        refresh: Set[Node] = set(changed)
+        for node in changed:
+            for in_link in self.network.in_links(node):
+                if self._active[in_link.index]:
+                    refresh.add(in_link.source)
+        refresh.update(extra)
+        if cone:
+            refresh.update(cone)
+        refresh.discard(state.destination)
+        structural = False
+        for node in refresh:
+            if node in state.dist:
+                structural |= self._refresh_hops(state, node)
+            elif state.next_hops.pop(node, None) is not None:
+                structural = True
+        return structural
+
+    def _refresh_hops(self, state: _DestinationState, node: Node) -> bool:
+        """Recompute one node's equal-cost next hops (cold cost test)."""
+        dist = state.dist
+        d_node = dist[node]
+        hops: List[Node] = []
+        for out_link in self.network.out_links(node):
+            if not self._active[out_link.index]:
+                continue
+            d_hop = dist.get(out_link.target)
+            if d_hop is None:
+                continue
+            on_shortest = (
+                self._weights[out_link.index] + d_hop <= d_node + self.tolerance
+            )
+            if on_shortest and d_hop < d_node - _MARGIN:
+                hops.append(out_link.target)
+        if state.next_hops.get(node) != hops:
+            state.next_hops[node] = hops
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # full rebuild (the cold-identical fallback)
+    # ------------------------------------------------------------------
+    def _rebuild(self, state: _DestinationState, count: bool = True) -> None:
+        """Full Dijkstra + DAG construction on the active subgraph.
+
+        Mirrors :func:`repro.network.spt.shortest_path_dag` (including the
+        Dijkstra-tree plateau augmentation) with failed links masked out, so
+        the result is identical to a cold build on the pruned network.
+        """
+        destination = state.destination
+        dist: Dict[Node, float] = {destination: 0.0}
+        parents: Dict[Node, Node] = {}
+        heap: List[Tuple[float, int, Node]] = [(0.0, 0, destination)]
+        counter = 1
+        visited: Dict[Node, bool] = {}
+        while heap:
+            d, _, node = heapq.heappop(heap)
+            if visited.get(node):
+                continue
+            visited[node] = True
+            for in_link in self.network.in_links(node):
+                if not self._active[in_link.index]:
+                    continue
+                candidate = d + self._weights[in_link.index]
+                previous = dist.get(in_link.source)
+                if previous is None or candidate < previous - _MARGIN:
+                    dist[in_link.source] = candidate
+                    parents[in_link.source] = node
+                    heapq.heappush(heap, (candidate, counter, in_link.source))
+                    counter += 1
+
+        next_hops: Dict[Node, List[Node]] = {}
+        for node, d_node in dist.items():
+            if node == destination:
+                continue
+            hops: List[Node] = []
+            for out_link in self.network.out_links(node):
+                if not self._active[out_link.index]:
+                    continue
+                d_hop = dist.get(out_link.target)
+                if d_hop is None:
+                    continue
+                on_shortest = (
+                    self._weights[out_link.index] + d_hop <= d_node + self.tolerance
+                )
+                if on_shortest and d_hop < d_node - _MARGIN:
+                    hops.append(out_link.target)
+            parent = parents.get(node)
+            if parent is not None and parent not in hops:
+                if dist.get(parent, np.inf) >= d_node - _MARGIN:
+                    hops.append(parent)
+            next_hops[node] = hops
+
+        state.dist.clear()
+        state.dist.update(dist)
+        state.next_hops.clear()
+        state.next_hops.update(next_hops)
+        if count:
+            self.stats.full_rebuilds += 1
+            self.stats.nodes_recomputed += len(dist)
+
+
+def _states_equal(a: _DestinationState, b: _DestinationState) -> bool:
+    """Distances and hop *sets* agree (hop order is refresh-order dependent)."""
+    if a.dist != b.dist:
+        return False
+    if set(a.next_hops) != set(b.next_hops):
+        return False
+    return all(set(hops) == set(b.next_hops[node]) for node, hops in a.next_hops.items())

@@ -1,0 +1,196 @@
+"""Network events: the input language of the online TE controller.
+
+The scenario engine describes *what-if* perturbations declaratively and
+applies them from scratch; a running network instead emits a *stream* of
+small state changes — a fibre cut, the cut repaired, a LAG member lost, a
+demand drifting.  This module defines that stream's vocabulary:
+
+* :class:`LinkFailure` / :class:`LinkRecovery` — a directed link leaves or
+  rejoins the topology;
+* :class:`LinkWeightChange` — an operator (or an optimizer) reconfigures one
+  link weight;
+* :class:`CapacityChange` — the usable capacity of a link changes (brown-out
+  or upgrade); forwarding state is untouched, only utilization shifts;
+* :class:`DemandUpdate` — the offered volume of one source-destination pair
+  is set to a new value (0 removes the pair).
+
+Events are frozen dataclasses with a ``time`` stamp so they can be replayed
+through the discrete-event :class:`~repro.simulator.events.Simulator` (see
+:meth:`~repro.online.controller.TEController.bind`), logged, and compared.
+Converters translate the existing failure generators into event streams:
+:func:`failure_events` / :func:`recovery_events` expand a pure-failure
+:class:`~repro.scenarios.scenario.Scenario` (link *and* node failures) into
+per-link events, and :func:`failure_recovery_trace` turns a scenario sweep
+into a timed fail → measure → repair trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+from ..network.graph import Edge, Network, Node
+from ..scenarios.scenario import Scenario
+
+
+class EventError(ValueError):
+    """Raised for malformed events (unknown links, negative volumes, ...)."""
+
+
+@dataclass(frozen=True)
+class NetworkEvent:
+    """Base class of all online events.
+
+    ``time`` is the (simulated or wall-clock) timestamp; the controller does
+    not interpret it, but the simulator binding schedules on it and the
+    controller log preserves it.
+    """
+
+    time: float = 0.0
+
+    @property
+    def kind(self) -> str:
+        """Short event-family name used in logs (``"link-failure"`` etc.)."""
+        return _KIND_BY_TYPE.get(type(self), type(self).__name__)
+
+
+@dataclass(frozen=True)
+class LinkFailure(NetworkEvent):
+    """A directed link goes down (removed from every shortest-path DAG)."""
+
+    link: Edge = ("", "")
+
+
+@dataclass(frozen=True)
+class LinkRecovery(NetworkEvent):
+    """A previously failed directed link comes back at its configured weight."""
+
+    link: Edge = ("", "")
+
+
+@dataclass(frozen=True)
+class LinkWeightChange(NetworkEvent):
+    """One link's routing weight is reconfigured to ``weight``."""
+
+    link: Edge = ("", "")
+    weight: float = 1.0
+
+
+@dataclass(frozen=True)
+class CapacityChange(NetworkEvent):
+    """One link's usable capacity becomes ``capacity`` (same demand units)."""
+
+    link: Edge = ("", "")
+    capacity: float = 1.0
+
+
+@dataclass(frozen=True)
+class DemandUpdate(NetworkEvent):
+    """The offered volume of pair ``(source, target)`` is set to ``volume``."""
+
+    source: Node = ""
+    target: Node = ""
+    volume: float = 0.0
+
+
+_KIND_BY_TYPE = {
+    NetworkEvent: "noop",
+    LinkFailure: "link-failure",
+    LinkRecovery: "link-recovery",
+    LinkWeightChange: "weight-change",
+    CapacityChange: "capacity-change",
+    DemandUpdate: "demand-update",
+}
+
+
+# ----------------------------------------------------------------------
+# scenario conversion
+# ----------------------------------------------------------------------
+def is_pure_failure(scenario: Scenario) -> bool:
+    """True when ``scenario`` only removes links (directly or via nodes).
+
+    Pure-failure scenarios are exactly the ones the online controller can
+    replay as :class:`LinkFailure` events and later revert with
+    :class:`LinkRecovery`; capacity factors and demand perturbations need the
+    scenario engine's from-scratch ``apply``.
+    """
+    return bool(
+        (scenario.failed_links or scenario.failed_nodes)
+        and not scenario.capacity_factors
+        and scenario.demand_scale == 1.0
+        and not scenario.demand_factors
+    )
+
+
+def scenario_failed_edges(network: Network, scenario: Scenario) -> List[Edge]:
+    """The directed links a pure-failure scenario removes, in link order.
+
+    Node failures expand to every incident link (both directions), matching
+    :meth:`Scenario.apply`.  Unknown links or nodes raise :class:`EventError`
+    so a scenario built for a different topology fails loudly.
+    """
+    for edge in scenario.failed_links:
+        if not network.has_link(*edge):
+            raise EventError(f"scenario {scenario.scenario_id!r}: unknown link {edge}")
+    for node in scenario.failed_nodes:
+        if not network.has_node(node):
+            raise EventError(f"scenario {scenario.scenario_id!r}: unknown node {node!r}")
+    removed = set(scenario.failed_links)
+    dead = set(scenario.failed_nodes)
+    return [
+        link.endpoints
+        for link in network.links
+        if link.endpoints in removed or link.source in dead or link.target in dead
+    ]
+
+
+def failure_events(
+    network: Network, scenario: Scenario, time: float = 0.0
+) -> List[LinkFailure]:
+    """Expand a pure-failure scenario into per-link :class:`LinkFailure` events."""
+    if not is_pure_failure(scenario):
+        raise EventError(
+            f"scenario {scenario.scenario_id!r} is not a pure link/node failure"
+        )
+    return [
+        LinkFailure(time=time, link=edge)
+        for edge in scenario_failed_edges(network, scenario)
+    ]
+
+
+def recovery_events(
+    network: Network, scenario: Scenario, time: float = 0.0
+) -> List[LinkRecovery]:
+    """The :class:`LinkRecovery` events that revert :func:`failure_events`."""
+    if not is_pure_failure(scenario):
+        raise EventError(
+            f"scenario {scenario.scenario_id!r} is not a pure link/node failure"
+        )
+    return [
+        LinkRecovery(time=time, link=edge)
+        for edge in scenario_failed_edges(network, scenario)
+    ]
+
+
+def failure_recovery_trace(
+    network: Network,
+    scenarios: Sequence[Scenario],
+    period: float = 10.0,
+    outage: float = 5.0,
+    start: float = 0.0,
+) -> List[NetworkEvent]:
+    """A timed fail → repair trace cycling through ``scenarios``.
+
+    Scenario ``i`` fails at ``start + i * period`` and recovers ``outage``
+    later, so at most one scenario is down at a time when
+    ``outage <= period``.  The trace is what the controller's simulator
+    binding replays (see ``examples/online_controller.py``).
+    """
+    if period <= 0 or outage <= 0:
+        raise EventError("period and outage must be positive")
+    trace: List[NetworkEvent] = []
+    for index, scenario in enumerate(scenarios):
+        down = start + index * period
+        trace.extend(failure_events(network, scenario, time=down))
+        trace.extend(recovery_events(network, scenario, time=down + outage))
+    return trace

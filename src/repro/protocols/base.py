@@ -52,6 +52,21 @@ class RoutingProtocol(abc.ABC):
         """
         return None
 
+    def ecmp_forwarding_weights(self, network: Network) -> Optional[np.ndarray]:
+        """Link weights fully determining this protocol's forwarding, or ``None``.
+
+        Protocols that forward with even ECMP splitting over shortest paths
+        under demand-independent weights (the OSPF family) return the weight
+        vector; the online TE controller can then replay pure link-failure
+        scenarios against those weights with incremental shortest-path
+        updates instead of from-scratch recomputes (the scenario runner's
+        incremental fast path).  Everything else — protocols that
+        re-optimise per instance, split unevenly, or have a forced
+        ``"python"`` backend (an all-oracle run must stay all-oracle) —
+        returns ``None``.
+        """
+        return None
+
     def split_ratios(
         self, network: Network, demands: TrafficMatrix
     ) -> Optional[Dict[Node, Dict[Node, Dict[Node, float]]]]:

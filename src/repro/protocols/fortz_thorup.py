@@ -148,16 +148,43 @@ class FortzThorup(RoutingProtocol):
         flows = ecmp_assignment(network, demands, weights, backend=self.backend)
         return network_cost(flows)
 
-    def _initial_weights(self, network: Network, rng: np.random.Generator, attempt: int) -> np.ndarray:
+    def _initial_weights(
+        self,
+        network: Network,
+        rng: np.random.Generator,
+        attempt: int,
+        warm_start: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
         if attempt == 0:
+            if warm_start is not None:
+                rounded = np.rint(np.asarray(warm_start, dtype=float))
+                return np.clip(rounded, 1, self.max_weight).astype(float)
             # InvCap-style start, rounded into the weight range.
             capacities = network.capacities
             scaled = np.rint(self.max_weight * np.min(capacities) / capacities)
             return np.clip(scaled, 1, self.max_weight).astype(float)
         return rng.integers(1, self.max_weight + 1, size=network.num_links).astype(float)
 
-    def optimize(self, network: Network, demands: TrafficMatrix) -> LocalSearchResult:
-        """Run the local search and return the best weight setting found."""
+    def optimize(
+        self,
+        network: Network,
+        demands: TrafficMatrix,
+        warm_start: Optional[np.ndarray] = None,
+    ) -> LocalSearchResult:
+        """Run the local search and return the best weight setting found.
+
+        ``warm_start`` replaces the InvCap-style start of the first attempt
+        with an existing weight setting (rounded and clipped into the integer
+        range).  After a small perturbation — a failed trunk, a demand drift
+        — the previous optimum is usually near-stationary, so the
+        warm-started search converges in a fraction of the evaluations; the
+        random restarts (``restarts > 1``) still explore from scratch.
+        """
+        if warm_start is not None and np.shape(warm_start) != (network.num_links,):
+            raise ValueError(
+                f"warm start must have length {network.num_links}, "
+                f"got shape {np.shape(warm_start)}"
+            )
         demands.validate(network)
         rng = np.random.default_rng(self.seed)
         best_weights: Optional[np.ndarray] = None
@@ -165,7 +192,7 @@ class FortzThorup(RoutingProtocol):
         evaluations = 0
         history: List[float] = []
         for attempt in range(max(1, self.restarts)):
-            weights = self._initial_weights(network, rng, attempt)
+            weights = self._initial_weights(network, rng, attempt, warm_start)
             cost = self._evaluate(network, demands, weights)
             evaluations += 1
             improved = True

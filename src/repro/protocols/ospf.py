@@ -10,7 +10,7 @@ local search).
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Dict, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -107,6 +107,26 @@ class OSPF(RoutingProtocol):
             tolerance=self.ecmp_tolerance,
         )
         return router.link_loads_many(matrices)
+
+    def ecmp_forwarding_weights(self, network: Network) -> Optional[np.ndarray]:
+        """OSPF's forwarding is exactly even-ECMP under its link weights.
+
+        Returns the weight vector the incremental failure sweep should hold
+        fixed while links fail and recover.  Declined (``None``) when the
+        ``"python"`` backend is forced (for the same reason
+        :meth:`batch_link_loads` declines then) and when the instance was
+        configured with a raw link-indexed weight *vector*: such a vector
+        cannot be applied to a pruned failure instance (its link indexing
+        differs), so the cold per-cell path errors where the sweep would
+        succeed — the two paths must stay result-equivalent.  Mapping
+        weights and capacity-derived defaults carry over edge-by-edge and
+        qualify.
+        """
+        if resolve_backend(self.backend) == "python":
+            return None
+        if self._weights is not None and not isinstance(self._weights, Mapping):
+            return None
+        return self.link_weights(network)
 
     def split_ratios(
         self, network: Network, demands: TrafficMatrix

@@ -77,6 +77,23 @@ class CompiledDagSet:
         self._compiled[destination] = compiled
         return compiled
 
+    def update(self, destination: Node, dag: ShortestPathDag) -> None:
+        """Replace one destination's DAG after a network event.
+
+        The delta-compilation entry point: only the touched destination's
+        compilation is dropped (and lazily rebuilt on next use) — every
+        other destination keeps its compiled CSR arrays, which is what makes
+        per-event work proportional to the event's footprint rather than to
+        the destination count.
+        """
+        self._dags[destination] = dag
+        self._compiled.pop(destination, None)
+
+    def discard(self, destination: Node) -> None:
+        """Forget one destination entirely (DAG and compilation)."""
+        self._dags.pop(destination, None)
+        self._compiled.pop(destination, None)
+
     def dag(self, destination: Node) -> ShortestPathDag:
         return self._dags[destination]
 
@@ -191,6 +208,24 @@ class SparseRouter:
                 shortest_path_dag(self.network, destination, self._weights, self.tolerance),
             )
         return self._set.compiled(destination)
+
+    def refresh_destination(
+        self, destination: Node, dag: Optional[ShortestPathDag] = None
+    ) -> None:
+        """Install a new DAG for (or invalidate) one destination.
+
+        After a network event touched ``destination``, pass the updated DAG
+        (e.g. from :class:`repro.online.DynamicSPT`) to have just that
+        destination recompiled lazily; pass ``None`` to forget it (it is
+        rebuilt from ``weights`` on next use, when available).  Cached mode
+        ratios for the destination are dropped either way; all other
+        destinations keep their compiled state.
+        """
+        if dag is None:
+            self._set.discard(destination)
+        else:
+            self._set.update(destination, dag)
+        self._ratios.pop(destination, None)
 
     def _mode_ratios(self, destination: Node, compiled: CompiledDag) -> np.ndarray:
         ratios = self._ratios.get(destination)

@@ -283,6 +283,55 @@ def _result_from_loads(
     )
 
 
+def incremental_sweep_weights(
+    protocol: Optional[RoutingProtocol], network: Network
+) -> Optional[np.ndarray]:
+    """The weight vector an incremental failure sweep should use, or ``None``.
+
+    Wraps :meth:`RoutingProtocol.ecmp_forwarding_weights` defensively: a
+    protocol that cannot (or declines to) expose demand-independent ECMP
+    weights simply keeps the cold per-cell path.
+    """
+    if protocol is None:
+        return None
+    try:
+        return protocol.ecmp_forwarding_weights(network)
+    except Exception:  # noqa: BLE001 - a broken hook means "cannot sweep"
+        return None
+
+
+def _incremental_eligible(scenario: Scenario) -> bool:
+    """True for scenarios the online controller can replay as link events."""
+    from ..online.events import is_pure_failure
+
+    return is_pure_failure(scenario)
+
+
+def _result_from_measurement(
+    scenario: Scenario, spec: ProtocolSpec, measurement, runtime: float
+) -> ScenarioResult:
+    """A :class:`ScenarioResult` from a controller measurement.
+
+    Field-for-field equivalent to what :func:`evaluate_scenario` computes
+    from a cold ``scenario.apply`` + route: the controller's load vector is
+    base-indexed with zeros on failed links, and zero-utilization entries
+    contribute nothing to MLU or ``sum log(1 - u)``.
+    """
+    return ScenarioResult(
+        scenario_id=scenario.scenario_id,
+        kind=scenario.kind,
+        protocol=spec.display_name,
+        mlu=measurement.mlu,
+        utility=measurement.utility,
+        routed_volume=measurement.routed_volume,
+        dropped_volume=measurement.dropped_volume,
+        feasible=measurement.feasible,
+        connected=measurement.connected,
+        runtime=runtime,
+        error=None,
+    )
+
+
 def evaluate_scenarios(
     network: Network,
     demands: TrafficMatrix,
@@ -291,33 +340,45 @@ def evaluate_scenarios(
 ) -> List[ScenarioResult]:
     """Evaluate one protocol across several scenarios, batching where safe.
 
-    Scenarios that do not perturb the topology (pure demand scenarios) share
-    the base network, so protocols whose forwarding state depends only on the
-    network (see :meth:`RoutingProtocol.batch_link_loads`) can route all of
-    them against one compiled weight setting in a single stacked operation.
-    Everything else -- failures, capacity changes, per-cell errors, protocols
-    that re-optimise per matrix -- falls back to :func:`evaluate_scenario`,
+    Two fast paths run before the per-cell fallback:
+
+    * scenarios that do not perturb the topology (pure demand scenarios)
+      share the base network, so protocols whose forwarding state depends
+      only on the network (see :meth:`RoutingProtocol.batch_link_loads`)
+      route all of them against one compiled weight setting in a single
+      stacked operation;
+    * pure link/node-failure scenarios against an even-ECMP protocol with
+      demand-independent weights (:meth:`RoutingProtocol.ecmp_forwarding_weights`)
+      are replayed through the online :class:`~repro.online.TEController`
+      as incremental fail → measure → recover events, so a single-link
+      failure sweep pays one delta update per trunk instead of a full
+      recompute per scenario.
+
+    Everything else -- capacity changes, per-cell errors, protocols that
+    re-optimise per matrix -- falls back to :func:`evaluate_scenario`,
     preserving its per-cell error isolation exactly.
     """
     scenarios = list(scenarios)
     results: List[Optional[ScenarioResult]] = [None] * len(scenarios)
 
+    try:
+        probe: Optional[RoutingProtocol] = spec.build()
+    except Exception:  # noqa: BLE001 - reported per cell by evaluate_scenario
+        probe = None
+
     batchable: List[int] = []
     instances: Dict[int, ScenarioInstance] = {}
-    try:
-        protocol: Optional[RoutingProtocol] = spec.build()
-    except Exception:  # noqa: BLE001 - reported per cell by evaluate_scenario
-        protocol = None
-    if protocol is not None and len(scenarios) > 1:
+    batch_protocol = probe
+    if batch_protocol is not None and len(scenarios) > 1:
         # Probe with an empty ensemble: non-batchable protocols return None
         # and we skip the (scenario.apply) scan entirely rather than
         # materialising every demand-only instance twice.
         try:
-            if protocol.batch_link_loads(network, []) is None:
-                protocol = None
+            if batch_protocol.batch_link_loads(network, []) is None:
+                batch_protocol = None
         except Exception:  # noqa: BLE001 - treat a broken probe as non-batchable
-            protocol = None
-    if protocol is not None and len(scenarios) > 1:
+            batch_protocol = None
+    if batch_protocol is not None and len(scenarios) > 1:
         for index, scenario in enumerate(scenarios):
             if scenario.perturbs_topology():
                 continue
@@ -335,7 +396,7 @@ def evaluate_scenarios(
         elapsed = 0.0
         try:
             start = time.perf_counter()
-            loads = protocol.batch_link_loads(
+            loads = batch_protocol.batch_link_loads(
                 network, [instances[index].demands for index in batchable]
             )
             elapsed = time.perf_counter() - start
@@ -352,6 +413,47 @@ def evaluate_scenarios(
                 results[index] = _result_from_loads(
                     scenarios[index], spec, instances[index], loads[row], capacities, per_cell
                 )
+
+    sweep_weights = incremental_sweep_weights(probe, network)
+    if sweep_weights is not None and len(demands):
+        from ..online.controller import TEController
+        from ..online.events import scenario_failed_edges
+
+        candidates: List[int] = []
+        for index, scenario in enumerate(scenarios):
+            if results[index] is not None or not _incremental_eligible(scenario):
+                continue
+            try:
+                # Scenarios built for another topology fail loudly here and
+                # keep the per-cell path, which reports the error in-result.
+                scenario_failed_edges(network, scenario)
+            except Exception:  # noqa: BLE001
+                continue
+            candidates.append(index)
+        # A lone candidate is cheaper cold: building the controller costs a
+        # full all-destination baseline, which only amortises over several
+        # scenarios (mirrors the demand-batch path's > 1 guard).
+        if len(candidates) > 1:
+            try:
+                start = time.perf_counter()
+                controller = TEController(
+                    network,
+                    demands,
+                    weights=sweep_weights,
+                    tolerance=getattr(probe, "ecmp_tolerance", 1e-9),
+                )
+                measurements = controller.sweep_pure_failures(
+                    [scenarios[index] for index in candidates]
+                )
+                elapsed = time.perf_counter() - start
+            except Exception:  # noqa: BLE001 - best-effort, fall back per cell
+                measurements = None
+            if measurements is not None:
+                per_cell = elapsed / len(candidates)
+                for index, measurement in zip(candidates, measurements):
+                    results[index] = _result_from_measurement(
+                        scenarios[index], spec, measurement, per_cell
+                    )
 
     for index, scenario in enumerate(scenarios):
         if results[index] is None:
@@ -372,7 +474,9 @@ def _evaluate_chunk(
 # ----------------------------------------------------------------------
 #: Bump when the semantics of cached metrics change (invalidates old caches).
 #: 2: routing moved to the vectorized sparse backend (float-round-off shifts).
-CACHE_VERSION = 2
+#: 3: cache keys carry route flags (incremental failure sweeps vs cold), so
+#:    results produced by different evaluation paths can never collide.
+CACHE_VERSION = 3
 
 
 def default_cache_dir() -> Path:
@@ -397,32 +501,54 @@ class ResultCache:
 
     @staticmethod
     def key(
-        network_fp: str, demands_fp: str, scenario: Scenario, spec: ProtocolSpec
+        network_fp: str,
+        demands_fp: str,
+        scenario: Scenario,
+        spec: ProtocolSpec,
+        flags: Optional[Dict[str, object]] = None,
     ) -> str:
         return ResultCache.key_from_fingerprints(
-            network_fp, demands_fp, scenario.fingerprint(), spec.fingerprint()
+            network_fp, demands_fp, scenario.fingerprint(), spec.fingerprint(), flags
         )
 
     @staticmethod
     def key_from_fingerprints(
-        network_fp: str, demands_fp: str, scenario_fp: str, protocol_fp: str
+        network_fp: str,
+        demands_fp: str,
+        scenario_fp: str,
+        protocol_fp: str,
+        flags: Optional[Dict[str, object]] = None,
     ) -> str:
-        """Cache key from precomputed fingerprints (the batch fast path)."""
+        """Cache key from precomputed fingerprints (the batch fast path).
+
+        ``flags`` partitions cells by their *designated* evaluation path
+        (currently ``{"route": "incremental"}`` for cells eligible for the
+        online controller's failure sweep) — a pure function of
+        ``(spec, scenario)``, never of cache state or chunking, so keys are
+        stable across runs.  Incremental-path and cold-path entries thus
+        never share a key; the residual overlaps — the best-effort fallback
+        (a controller failure mid-sweep re-evaluates the cell cold under
+        its incremental key) and lone-candidate chunks (one eligible
+        scenario is cheaper cold) — are safe because every configuration
+        that flags incremental is result-equivalent on both paths
+        (equivalence-tested to 1e-9).
+        """
         from .. import __version__
 
         # The package version is part of the key so cached metrics never
         # survive a release that may have changed protocol implementations;
         # CACHE_VERSION covers semantic changes within a release cycle.
-        return _sha256(
-            {
-                "version": CACHE_VERSION,
-                "package": __version__,
-                "network": network_fp,
-                "demands": demands_fp,
-                "scenario": scenario_fp,
-                "protocol": protocol_fp,
-            }
-        )
+        payload = {
+            "version": CACHE_VERSION,
+            "package": __version__,
+            "network": network_fp,
+            "demands": demands_fp,
+            "scenario": scenario_fp,
+            "protocol": protocol_fp,
+        }
+        if flags:
+            payload["flags"] = sorted((str(k), repr(v)) for k, v in flags.items())
+        return _sha256(payload)
 
     def _path(self, key: str) -> Path:
         # Two-level fan-out keeps directories small on big sweeps.
@@ -560,6 +686,21 @@ class BatchRunner:
         # Fingerprints are hashed once per scenario/spec, not once per cell.
         scenario_fps = [scenario.fingerprint() for scenario in scenarios]
         spec_fps = [spec.fingerprint() for spec in specs]
+        # Which specs can ride the incremental failure sweep: their eligible
+        # cells get a route flag in the cache key, so incremental and cold
+        # results never share an entry.  Eligibility is a pure function of
+        # (spec, scenario) — never of which other cells hit the cache — so
+        # keys are stable across runs and chunkings.
+        incremental_spec = []
+        for spec in specs:
+            try:
+                probe = spec.build()
+            except Exception:  # noqa: BLE001 - broken specs error per cell
+                probe = None
+            incremental_spec.append(
+                incremental_sweep_weights(probe, network) is not None
+            )
+        eligible_scenario = [_incremental_eligible(s) for s in scenarios]
 
         # Resolve cache hits up front so only misses reach the pool.
         results: Dict[Tuple[int, int], ScenarioResult] = {}
@@ -569,8 +710,13 @@ class BatchRunner:
             for ci, scenario in enumerate(scenarios):
                 cell = (si, ci)
                 if self.cache is not None:
+                    flags = (
+                        {"route": "incremental"}
+                        if incremental_spec[si] and eligible_scenario[ci]
+                        else None
+                    )
                     key = ResultCache.key_from_fingerprints(
-                        network_fp, demands_fp, scenario_fps[ci], spec_fps[si]
+                        network_fp, demands_fp, scenario_fps[ci], spec_fps[si], flags
                     )
                     keys[cell] = key
                     hit = self.cache.get(key)

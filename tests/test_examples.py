@@ -36,6 +36,14 @@ def test_quickstart_runs_and_reports_both_weights(capsys):
     assert "optimality gap" in output.lower()
 
 
+def test_online_controller_example_replays_and_recovers(capsys):
+    output = _run_example("online_controller.py", capsys)
+    assert "Replayed 56 events" in output
+    assert "worst outage" in output
+    assert "back at baseline" in output
+    assert "warm-started Fortz-Thorup" in output
+
+
 def test_every_example_has_a_module_docstring():
     for path in EXAMPLES_DIR.glob("*.py"):
         source = path.read_text()

@@ -1,0 +1,307 @@
+"""Golden equivalence of the dynamic SPT engine against cold Dijkstra.
+
+:class:`~repro.online.DynamicSPT` must maintain, under arbitrary event
+sequences, exactly the state a cold
+:func:`~repro.network.spt.shortest_path_dag` build produces on the pruned
+network: identical distances (bit-for-bit, not just close), identical
+equal-cost next-hop sets, and therefore identical routed link loads.  These
+properties are checked on Hypothesis-generated topologies and event
+sequences — weight changes, failures, recoveries, disconnections — for both
+the incremental regime (strictly positive weights) and the fallback regime
+(zero-weight plateaus), plus hand-built corners.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.graph import Network, NetworkError
+from repro.network.spt import shortest_path_dag
+from repro.online import DynamicSPT
+from repro.solvers.assignment import ecmp_assignment
+from repro.network.demands import TrafficMatrix
+
+TOLERANCE = 1e-9
+
+#: Strictly positive pool (incremental regime); duplicates create ECMP ties.
+POSITIVE_POOL = (0.5, 1.0, 1.0, 2.0, 3.0)
+#: Pool with zeros: plateau states that force the full-rebuild fallback.
+PLATEAU_POOL = (0.0, 0.0, 1.0, 2.0)
+
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+@st.composite
+def topology(draw, pool=POSITIVE_POOL) -> Tuple[Network, np.ndarray]:
+    """A small random directed network seeded with a ring for reachability."""
+    n = draw(st.integers(min_value=3, max_value=6))
+    edges: Dict[Tuple[int, int], None] = {}
+    for i in range(n):
+        edges[(i, (i + 1) % n)] = None
+    extra = draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)).filter(
+                lambda e: e[0] != e[1]
+            ),
+            max_size=2 * n,
+        )
+    )
+    for edge in extra:
+        edges[edge] = None
+    net = Network(name="hypothesis")
+    for node in range(n):
+        net.add_node(node)
+    for u, v in edges:
+        net.add_link(u, v, capacity=10.0)
+    weights = np.array(
+        draw(
+            st.lists(
+                st.sampled_from(pool),
+                min_size=net.num_links,
+                max_size=net.num_links,
+            )
+        )
+    )
+    return net, weights
+
+
+@st.composite
+def event_sequence(draw, net: Network, pool=POSITIVE_POOL) -> List[Tuple[str, int, float]]:
+    """``(op, link_index, value)`` triples; ops are fail/recover/weight."""
+    length = draw(st.integers(min_value=1, max_value=6))
+    ops = []
+    for _ in range(length):
+        op = draw(st.sampled_from(["fail", "recover", "weight"]))
+        index = draw(st.integers(0, net.num_links - 1))
+        value = draw(st.sampled_from(pool)) if op == "weight" else 0.0
+        ops.append((op, index, value))
+    return ops
+
+
+def cold_state(net: Network, weights: np.ndarray, failed: set, destination):
+    """Cold DAG on the pruned network (same link insertion order)."""
+    pruned = Network(name="pruned")
+    for node in net.nodes:
+        pruned.add_node(node)
+    weight_map = {}
+    for link in net.links:
+        if link.endpoints in failed:
+            continue
+        pruned.add_link(link.source, link.target, link.capacity, link.delay)
+        weight_map[link.endpoints] = float(weights[link.index])
+    return pruned, shortest_path_dag(pruned, destination, weight_map)
+
+
+def replay(spt: DynamicSPT, net: Network, weights: np.ndarray, ops, failed: set) -> None:
+    """Apply one op to the engine and mirror it in (weights, failed)."""
+    op, index, value = ops
+    link = net.links[index]
+    if op == "fail":
+        spt.fail_link(link.source, link.target)
+        failed.add(link.endpoints)
+    elif op == "recover":
+        spt.recover_link(link.source, link.target)
+        failed.discard(link.endpoints)
+    else:
+        spt.set_weight(link.source, link.target, value)
+        weights[index] = value
+
+
+def assert_matches_cold(spt: DynamicSPT, net: Network, weights, failed) -> None:
+    for destination in net.nodes:
+        _, cold = cold_state(net, weights, failed, destination)
+        live = spt.dag(destination)
+        assert live.distances == cold.distances
+        assert live.next_hops == cold.next_hops
+
+
+# ----------------------------------------------------------------------
+# property-based equivalence
+# ----------------------------------------------------------------------
+class TestEventSequenceEquivalence:
+    @given(data=st.data())
+    @settings(max_examples=40)
+    def test_positive_weights_match_cold_after_every_event(self, data):
+        net, weights = data.draw(topology())
+        spt = DynamicSPT(net, weights, destinations=net.nodes)
+        failed: set = set()
+        for ops in data.draw(event_sequence(net)):
+            replay(spt, net, weights, ops, failed)
+            assert_matches_cold(spt, net, weights, failed)
+
+    @given(data=st.data())
+    @settings(max_examples=25)
+    def test_plateau_weights_fall_back_and_match_cold(self, data):
+        """Zero-weight plateaus disable incremental updates, not correctness."""
+        net, weights = data.draw(topology(pool=PLATEAU_POOL))
+        spt = DynamicSPT(net, weights, destinations=net.nodes)
+        failed: set = set()
+        for ops in data.draw(event_sequence(net, pool=PLATEAU_POOL)):
+            replay(spt, net, weights, ops, failed)
+        assert_matches_cold(spt, net, weights, failed)
+
+    @given(data=st.data())
+    @settings(max_examples=25)
+    def test_verified_mode_never_mismatches(self, data):
+        """The incremental path agrees with its own shadow rebuild."""
+        net, weights = data.draw(topology())
+        spt = DynamicSPT(net, weights, destinations=net.nodes, verify=True)
+        failed: set = set()
+        for ops in data.draw(event_sequence(net)):
+            replay(spt, net, weights, ops, failed)
+        assert spt.stats.verify_mismatches == 0
+        assert_matches_cold(spt, net, weights, failed)
+
+    @given(data=st.data())
+    @settings(max_examples=25)
+    def test_ecmp_loads_match_python_oracle_after_events(self, data):
+        """Fused single-pass routing equals the dict-loop oracle to 1e-9."""
+        net, weights = data.draw(topology())
+        spt = DynamicSPT(net, weights, destinations=net.nodes)
+        failed: set = set()
+        for ops in data.draw(event_sequence(net)):
+            replay(spt, net, weights, ops, failed)
+
+        tm = TrafficMatrix()
+        for source in net.nodes:
+            for target in net.nodes:
+                if source != target:
+                    tm.add(source, target, 1.0 + 0.25 * net.node_index(source))
+
+        total = np.zeros(net.num_links)
+        dropped_total = 0.0
+        routable = TrafficMatrix()
+        for destination in net.nodes:
+            entering = tm.toward(destination)
+            if not entering:
+                continue
+            loads, dropped = spt.ecmp_link_loads(destination, entering)
+            total += loads
+            dropped_total += sum(dropped.values())
+            for source, volume in entering.items():
+                if source not in dropped:
+                    routable.add(source, destination, volume)
+
+        pruned, _ = cold_state(net, weights, failed, net.nodes[0])
+        weight_map = {
+            link.endpoints: float(weights[net.link_index(*link.endpoints)])
+            for link in pruned.links
+        }
+        oracle = ecmp_assignment(pruned, routable, weight_map, backend="python")
+        mapped = np.zeros(net.num_links)
+        aggregate = oracle.aggregate()
+        for link in pruned.links:
+            mapped[net.link_index(link.source, link.target)] = aggregate[link.index]
+        np.testing.assert_allclose(total, mapped, atol=TOLERANCE, rtol=0)
+        assert dropped_total == pytest.approx(tm.total_volume() - routable.total_volume())
+
+
+# ----------------------------------------------------------------------
+# corners and API behaviour
+# ----------------------------------------------------------------------
+class TestDynamicSptCorners:
+    def make_diamond(self):
+        net = Network(name="diamond")
+        net.add_link(1, 2, 10.0)
+        net.add_link(2, 4, 10.0)
+        net.add_link(1, 3, 10.0)
+        net.add_link(3, 4, 10.0)
+        return net
+
+    def test_fail_recover_roundtrip_restores_state(self):
+        net = self.make_diamond()
+        spt = DynamicSPT(net, np.ones(net.num_links), destinations=[4])
+        before = (spt.distances(4), {n: list(h) for n, h in spt.dag(4).next_hops.items()})
+        assert spt.fail_link(1, 2) == {4}
+        assert spt.dag(4).next_hops[1] == [3]
+        assert spt.recover_link(1, 2) == {4}
+        after = (spt.distances(4), {n: list(h) for n, h in spt.dag(4).next_hops.items()})
+        assert before == after
+
+    def test_disconnection_drops_nodes_from_state(self):
+        net = Network(name="line")
+        net.add_link(1, 2, 5.0)
+        net.add_link(2, 3, 5.0)
+        spt = DynamicSPT(net, [1.0, 1.0], destinations=[3])
+        spt.fail_link(2, 3)
+        assert spt.reachable(3, 3)
+        assert not spt.reachable(1, 3) and not spt.reachable(2, 3)
+        assert 1 not in spt.dag(3).next_hops
+        spt.recover_link(2, 3)
+        assert spt.reachable(1, 3)
+        assert spt.distances(3)[1] == 2.0
+
+    def test_weight_decrease_creates_ecmp_tie(self):
+        net = self.make_diamond()
+        spt = DynamicSPT(net, [1.0, 1.0, 2.0, 1.0], destinations=[4])
+        assert spt.dag(4).next_hops[1] == [2]
+        changed = spt.set_weight(1, 3, 1.0)
+        assert changed == {4}
+        assert spt.dag(4).next_hops[1] == [2, 3]
+
+    def test_weight_increase_not_tight_only_refreshes_ecmp(self):
+        net = self.make_diamond()
+        spt = DynamicSPT(net, np.ones(net.num_links), destinations=[4])
+        assert spt.dag(4).next_hops[1] == [2, 3]
+        changed = spt.set_weight(1, 3, 3.0)
+        assert changed == {4}
+        assert spt.dag(4).next_hops[1] == [2]
+        assert spt.distances(4)[1] == 2.0
+
+    def test_fail_noop_for_already_failed_link(self):
+        net = self.make_diamond()
+        spt = DynamicSPT(net, np.ones(net.num_links), destinations=[4])
+        assert spt.fail_link(1, 2) == {4}
+        assert spt.fail_link(1, 2) == set()
+        assert spt.failed_links() == [(1, 2)]
+        assert not spt.is_active(1, 2)
+
+    def test_set_weights_rebuilds_everything(self):
+        net = self.make_diamond()
+        spt = DynamicSPT(net, np.ones(net.num_links), destinations=[2, 4])
+        rebuilds = spt.stats.full_rebuilds
+        assert spt.set_weights([2.0, 1.0, 1.0, 2.0]) == {2, 4}
+        assert spt.stats.full_rebuilds == rebuilds + 2
+
+    def test_add_destination_later(self):
+        net = self.make_diamond()
+        spt = DynamicSPT(net, np.ones(net.num_links), destinations=[4])
+        spt.add_destination(2)
+        assert spt.distances(2)[1] == 1.0
+
+    def test_validation_errors(self):
+        net = self.make_diamond()
+        spt = DynamicSPT(net, np.ones(net.num_links), destinations=[4])
+        with pytest.raises(NetworkError):
+            spt.set_weight(1, 2, -1.0)
+        with pytest.raises(NetworkError):
+            spt.set_weight(1, 2, float("nan"))
+        with pytest.raises(NetworkError):
+            spt.fail_link(1, 4)  # no such link
+        with pytest.raises(NetworkError):
+            spt.distances(1)  # not a maintained destination
+        with pytest.raises(ValueError):
+            DynamicSPT(net, np.ones(net.num_links), max_affected_fraction=0.0)
+
+    def test_weight_change_on_failed_link_applies_on_recovery(self):
+        net = self.make_diamond()
+        spt = DynamicSPT(net, np.ones(net.num_links), destinations=[4])
+        spt.fail_link(1, 2)
+        assert spt.set_weight(1, 2, 5.0) == set()  # masked: no DAG change yet
+        spt.recover_link(1, 2)
+        assert spt.dag(4).next_hops[1] == [3]  # came back at weight 5
+
+    def test_stats_accumulate(self):
+        net = self.make_diamond()
+        spt = DynamicSPT(net, np.ones(net.num_links), destinations=[4])
+        spt.fail_link(1, 2)
+        spt.recover_link(1, 2)
+        assert spt.stats.events == 2
+        assert spt.stats.destinations_changed == 2
+        assert spt.stats.incremental_updates >= 2

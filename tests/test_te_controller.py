@@ -1,0 +1,413 @@
+"""The online TE controller: events, equivalence, warm starts, integration.
+
+Three layers are pinned here:
+
+* the event model (conversions from scenarios, validation, timed traces);
+* :class:`TEController` behaviour — incremental failure sweeps equivalent
+  to cold per-scenario evaluation (1e-9 link loads), drop accounting,
+  demand/capacity events, the delta-recompiled ensemble path, the
+  discrete-event simulator binding;
+* the warm-started reoptimization hooks (Fortz–Thorup ``warm_start=``,
+  ``SPEF.fit(warm_start=)``) and the scenario runner's incremental fast
+  path with its collision-proof cache keys.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.spef import SPEF
+from repro.network.demands import TrafficMatrix
+from repro.network.graph import Network
+from repro.online import (
+    CapacityChange,
+    DemandUpdate,
+    EventError,
+    LinkFailure,
+    LinkRecovery,
+    LinkWeightChange,
+    TEController,
+    failure_events,
+    failure_recovery_trace,
+    is_pure_failure,
+    recovery_events,
+    scenario_failed_edges,
+)
+from repro.protocols.fortz_thorup import FortzThorup
+from repro.protocols.ospf import OSPF, MinHopOSPF, invcap_weights
+from repro.protocols.peft import PEFT
+from repro.routing import SparseRouter
+from repro.scenarios import Scenario, single_link_failures, node_failures
+from repro.scenarios.runner import (
+    BatchRunner,
+    ProtocolSpec,
+    ResultCache,
+    evaluate_scenario,
+    evaluate_scenarios,
+    incremental_sweep_weights,
+)
+from repro.simulator.events import Simulator
+
+TOLERANCE = 1e-9
+
+
+# ----------------------------------------------------------------------
+# event model
+# ----------------------------------------------------------------------
+class TestEvents:
+    def test_is_pure_failure(self):
+        assert is_pure_failure(Scenario("s", failed_links=((1, 2),)))
+        assert is_pure_failure(Scenario("s", failed_nodes=(3,)))
+        assert not is_pure_failure(Scenario("s"))  # baseline perturbs nothing
+        assert not is_pure_failure(
+            Scenario("s", failed_links=((1, 2),), demand_scale=0.5)
+        )
+        assert not is_pure_failure(
+            Scenario("s", failed_links=((1, 2),), capacity_factors=(((1, 2), 0.5),))
+        )
+
+    def test_node_failure_expands_to_incident_links(self, diamond_network):
+        scenario = node_failures(diamond_network, nodes=[2])[0]
+        edges = scenario_failed_edges(diamond_network, scenario)
+        assert set(edges) == {(1, 2), (2, 4)}
+        events = failure_events(diamond_network, scenario)
+        assert [event.link for event in events] == edges
+        back = recovery_events(diamond_network, scenario)
+        assert [event.link for event in back] == edges
+
+    def test_unknown_link_raises(self, diamond_network):
+        scenario = Scenario("bad", failed_links=((1, 4),))
+        with pytest.raises(EventError):
+            scenario_failed_edges(diamond_network, scenario)
+        with pytest.raises(EventError):
+            failure_events(diamond_network, Scenario("demand", demand_scale=2.0))
+
+    def test_failure_recovery_trace_times(self, diamond_network):
+        scenarios = single_link_failures(diamond_network, duplex=False)[:2]
+        trace = failure_recovery_trace(
+            diamond_network, scenarios, period=10.0, outage=4.0, start=1.0
+        )
+        assert [event.time for event in trace] == [1.0, 5.0, 11.0, 15.0]
+        assert isinstance(trace[0], LinkFailure) and isinstance(trace[1], LinkRecovery)
+        with pytest.raises(EventError):
+            failure_recovery_trace(diamond_network, scenarios, period=0.0)
+
+    def test_event_kinds(self):
+        assert LinkFailure(link=(1, 2)).kind == "link-failure"
+        assert DemandUpdate(source=1, target=2, volume=3.0).kind == "demand-update"
+
+
+# ----------------------------------------------------------------------
+# controller behaviour
+# ----------------------------------------------------------------------
+class TestController:
+    def test_failure_recovery_roundtrip_restores_loads(self, abilene, abilene_tm):
+        controller = TEController(abilene, abilene_tm)
+        baseline = controller.measure()
+        edge = abilene.links[0].endpoints
+        update = controller.apply(LinkFailure(link=edge))
+        assert update.affected_destinations > 0
+        degraded = controller.measure()
+        assert not np.allclose(degraded.loads, baseline.loads, atol=TOLERANCE)
+        assert degraded.loads[0] == 0.0  # the failed link carries nothing
+        controller.apply(LinkRecovery(link=edge))
+        restored = controller.measure()
+        np.testing.assert_allclose(restored.loads, baseline.loads, atol=TOLERANCE, rtol=0)
+        assert len(controller.log) == 2
+
+    def test_loads_match_ospf_route(self, abilene, abilene_tm):
+        weights = invcap_weights(abilene)
+        controller = TEController(abilene, abilene_tm, weights=weights)
+        cold = OSPF(weights=abilene.weight_dict(weights)).route(abilene, abilene_tm)
+        np.testing.assert_allclose(
+            controller.link_loads(), cold.aggregate(), atol=TOLERANCE, rtol=0
+        )
+
+    def test_sweep_matches_cold_scenario_evaluation(self, abilene, abilene_tm):
+        controller = TEController(abilene, abilene_tm)
+        scenarios = single_link_failures(abilene)
+        measurements = controller.sweep_pure_failures(scenarios)
+        spec = ProtocolSpec.of("OSPF")
+        for scenario, measurement in zip(scenarios, measurements):
+            cold = evaluate_scenario(abilene, abilene_tm, scenario, spec)
+            assert measurement.mlu == pytest.approx(cold.mlu, abs=TOLERANCE)
+            assert measurement.utility == pytest.approx(cold.utility, abs=1e-6)
+            assert measurement.routed_volume == pytest.approx(cold.routed_volume, abs=TOLERANCE)
+            assert measurement.dropped_volume == pytest.approx(cold.dropped_volume, abs=TOLERANCE)
+            assert measurement.connected == cold.connected
+
+    def test_drop_accounting_on_disconnection(self):
+        net = Network(name="line")
+        net.add_link(1, 2, 5.0)
+        net.add_link(2, 3, 5.0)
+        tm = TrafficMatrix({(1, 3): 2.0, (1, 2): 1.0})
+        controller = TEController(net, tm, weights=[1.0, 1.0])
+        controller.apply(LinkFailure(link=(2, 3)))
+        measurement = controller.measure()
+        assert measurement.dropped_volume == pytest.approx(2.0)
+        assert measurement.dropped_pairs == ((1, 3),)
+        assert measurement.routed_volume == pytest.approx(1.0)
+        assert not measurement.connected
+
+    def test_demand_update_events(self, abilene, abilene_tm):
+        controller = TEController(abilene, abilene_tm)
+        pair = abilene_tm.pairs()[0]
+        controller.apply(DemandUpdate(source=pair[0], target=pair[1], volume=0.0))
+        expected = TrafficMatrix(
+            {p: v for p, v in abilene_tm.items() if p != pair}
+        )
+        cold = OSPF(weights=abilene.weight_dict(controller.weights)).route(
+            abilene, expected
+        )
+        np.testing.assert_allclose(
+            controller.link_loads(), cold.aggregate(), atol=TOLERANCE, rtol=0
+        )
+        assert controller.demands.total_volume() == pytest.approx(expected.total_volume())
+
+    def test_capacity_change_moves_mlu_not_loads(self, abilene, abilene_tm):
+        controller = TEController(abilene, abilene_tm)
+        before = controller.measure()
+        link = abilene.links[int(np.argmax(before.loads))]
+        controller.apply(
+            CapacityChange(link=link.endpoints, capacity=link.capacity / 2.0)
+        )
+        after = controller.measure()
+        np.testing.assert_allclose(after.loads, before.loads, atol=TOLERANCE, rtol=0)
+        assert after.mlu > before.mlu
+        with pytest.raises(EventError):
+            controller.apply(CapacityChange(link=link.endpoints, capacity=0.0))
+
+    def test_weight_change_event(self, diamond_network, diamond_demands):
+        controller = TEController(
+            diamond_network, diamond_demands, weights=[1.0, 1.0, 1.0, 1.0]
+        )
+        assert controller.measure().mlu == pytest.approx(0.4)  # 4 on each branch
+        controller.apply(LinkWeightChange(link=(1, 3), weight=5.0))
+        assert controller.measure().mlu == pytest.approx(0.8)  # all 8 via node 2
+
+    def test_active_network_reflects_failures_and_capacities(self, abilene, abilene_tm):
+        controller = TEController(abilene, abilene_tm)
+        edge = abilene.links[3].endpoints
+        controller.apply(LinkFailure(link=edge))
+        controller.apply(CapacityChange(link=abilene.links[4].endpoints, capacity=7.5))
+        active = controller.active_network()
+        assert not active.has_link(*edge)
+        assert active.num_links == abilene.num_links - 1
+        assert active.capacity_of(*abilene.links[4].endpoints) == pytest.approx(7.5)
+
+    def test_ensemble_link_loads_delta_refreshes(self, abilene, abilene_tm):
+        controller = TEController(abilene, abilene_tm)
+        matrices = [abilene_tm.scaled(0.5), abilene_tm.scaled(1.25)]
+        edge = abilene.links[0].endpoints
+        controller.ensemble_link_loads(matrices)  # builds the compiled router
+        controller.apply(LinkFailure(link=edge))
+        loads = controller.ensemble_link_loads(matrices)
+        assert loads.shape == (2, abilene.num_links)
+        # Cold reference: ECMP on the pruned network with the same weights.
+        scenario = Scenario("link", failed_links=(edge,))
+        instance = scenario.apply(abilene, abilene_tm)
+        weight_map = abilene.weight_dict(controller.weights)
+        pruned_weights = {
+            link.endpoints: weight_map[link.endpoints] for link in instance.network.links
+        }
+        for row, matrix in zip(loads, matrices):
+            router = SparseRouter(instance.network, weights=pruned_weights)
+            cold = router.link_loads(matrix)
+            mapped = np.zeros(abilene.num_links)
+            for link in instance.network.links:
+                mapped[abilene.link_index(link.source, link.target)] = cold[link.index]
+            np.testing.assert_allclose(row, mapped, atol=TOLERANCE, rtol=0)
+
+    def test_ensemble_builds_state_for_unseen_destinations(self):
+        net = Network(name="square")
+        for u, v in [(1, 2), (2, 3), (3, 4), (4, 1)]:
+            net.add_duplex_link(u, v, 10.0)
+        controller = TEController(
+            net, TrafficMatrix({(1, 2): 1.0}), weights=[1.0] * net.num_links
+        )
+        loads = controller.ensemble_link_loads([TrafficMatrix({(1, 3): 2.0})])
+        cold = OSPF(weights=net.weight_dict(controller.weights)).route(
+            net, TrafficMatrix({(1, 3): 2.0})
+        )
+        np.testing.assert_allclose(loads[0], cold.aggregate(), atol=TOLERANCE, rtol=0)
+
+    def test_bind_replays_trace_through_simulator(self, abilene, abilene_tm):
+        controller = TEController(abilene, abilene_tm)
+        baseline = controller.measure()
+        scenarios = single_link_failures(abilene)[:3]
+        trace = failure_recovery_trace(abilene, scenarios, period=10.0, outage=5.0)
+        simulator = Simulator()
+        timeline = []
+        scheduled = controller.bind(
+            simulator,
+            trace,
+            on_update=lambda c, update: timeline.append((update.event.time, c.mlu())),
+        )
+        assert scheduled == len(trace)
+        simulator.run()
+        assert simulator.processed_events == len(trace)
+        assert len(timeline) == len(trace)
+        # After every outage healed, the controller is back at baseline.
+        assert timeline[-1][1] == pytest.approx(baseline.mlu, abs=TOLERANCE)
+        assert max(t for t, _ in timeline) == trace[-1].time
+
+    def test_unknown_event_type_raises(self, abilene, abilene_tm):
+        controller = TEController(abilene, abilene_tm)
+
+        class Mystery:  # not a NetworkEvent subclass
+            pass
+
+        with pytest.raises(EventError):
+            controller.apply(Mystery())  # type: ignore[arg-type]
+
+
+# ----------------------------------------------------------------------
+# warm-started reoptimization
+# ----------------------------------------------------------------------
+class TestWarmStarts:
+    def test_fortz_thorup_warm_start_plumbing(self, abilene, abilene_tm):
+        search = FortzThorup(restarts=1, seed=0, max_evaluations=1, max_weight=20)
+        start = np.full(abilene.num_links, 7.3)
+        result = search.optimize(abilene, abilene_tm, warm_start=start)
+        np.testing.assert_array_equal(result.weights, np.full(abilene.num_links, 7.0))
+        with pytest.raises(ValueError):
+            search.optimize(abilene, abilene_tm, warm_start=np.ones(3))
+
+    def test_fortz_thorup_warm_start_converges_faster(self, abilene, abilene_tm):
+        make = lambda: FortzThorup(restarts=1, seed=0, max_evaluations=300)
+        cold = make().optimize(abilene, abilene_tm)
+        drifted = abilene_tm.scaled(1.02)
+        recold = make().optimize(abilene, drifted)
+        warm = make().optimize(abilene, drifted, warm_start=cold.weights)
+        assert warm.evaluations < recold.evaluations
+        assert warm.cost <= recold.cost * 1.05  # no quality cliff
+
+    def test_controller_reoptimize_installs_weights(self, abilene, abilene_tm):
+        controller = TEController(abilene, abilene_tm)
+        before_mlu = controller.mlu()
+        result = controller.reoptimize(
+            optimizer=FortzThorup(restarts=1, seed=0, max_evaluations=60)
+        )
+        assert result.evaluations <= 60
+        installed = controller.weights
+        assert np.all(installed >= 1.0) and np.all(installed <= 20.0)
+        # The controller still routes (and can sweep) after installation.
+        after = controller.measure()
+        assert np.isfinite(after.mlu)
+        assert controller.log[-1].affected_destinations > 0
+        assert before_mlu > 0
+
+    def test_spef_warm_start_reduces_iterations(self, abilene, abilene_tm):
+        spef = SPEF(te_tolerance=1e-4, alg2_tolerance=1e-2)
+        cold = spef.fit(abilene, abilene_tm)
+        drifted = abilene_tm.scaled(1.05)
+        recold = spef.fit(abilene, drifted)
+        warm = spef.fit(abilene, drifted, warm_start=cold)
+        assert warm.te_solution.iterations <= recold.te_solution.iterations
+        assert warm.second_result.iterations < recold.second_result.iterations
+        assert warm.max_link_utilization() == pytest.approx(
+            recold.max_link_utilization(), abs=5e-2
+        )
+
+    def test_spef_incompatible_warm_start_ignored(self, abilene, abilene_tm, fig4, fig4_tm):
+        spef = SPEF(te_tolerance=1e-4, alg2_tolerance=1e-2)
+        other = spef.fit(fig4, fig4_tm)
+        # A warm start from a different topology must be ignored, not wrong.
+        solution = spef.fit(abilene, abilene_tm, warm_start=other)
+        cold = spef.fit(abilene, abilene_tm)
+        assert solution.max_link_utilization() == pytest.approx(
+            cold.max_link_utilization(), abs=1e-6
+        )
+
+    def test_spef_warm_start_rejects_same_size_different_wiring(self):
+        """Same link count, different wiring: the edge-list guard must fire."""
+
+        def ring(name, order):
+            net = Network(name=name)
+            for u, v in zip(order, order[1:] + order[:1]):
+                net.add_duplex_link(u, v, 10.0)
+            return net
+
+        net_a = ring("ring-a", [1, 2, 3, 4])
+        net_b = ring("ring-b", [1, 3, 2, 4])  # same 8 links, different wiring
+        tm = TrafficMatrix({(1, 2): 1.0, (3, 4): 1.0})
+        spef = SPEF(te_tolerance=1e-4, alg2_tolerance=1e-2)
+        warm_from_a = spef.fit(net_a, tm)
+        assert spef._warm_initial_flows(net_b, tm, warm_from_a) is None
+        warm = spef.fit(net_b, tm, warm_start=warm_from_a)
+        cold = spef.fit(net_b, tm)
+        assert warm.max_link_utilization() == pytest.approx(
+            cold.max_link_utilization(), abs=1e-6
+        )
+
+
+# ----------------------------------------------------------------------
+# scenario runner integration
+# ----------------------------------------------------------------------
+class TestRunnerIncrementalPath:
+    def test_hook_support_matrix(self, abilene, abilene_tm):
+        assert incremental_sweep_weights(OSPF(), abilene) is not None
+        assert incremental_sweep_weights(MinHopOSPF(), abilene) is not None
+        mapping = abilene.weight_dict(invcap_weights(abilene))
+        assert incremental_sweep_weights(OSPF(weights=mapping), abilene) is not None
+        # Raw link-indexed vectors decline: the cold per-cell path cannot
+        # apply them to a pruned failure instance, and the two paths must
+        # stay result-equivalent.
+        assert incremental_sweep_weights(
+            OSPF(weights=invcap_weights(abilene)), abilene
+        ) is None
+        # Forced oracle backend declines, as do re-optimising protocols.
+        assert incremental_sweep_weights(OSPF(backend="python"), abilene) is None
+        assert incremental_sweep_weights(PEFT(), abilene) is None
+        assert incremental_sweep_weights(FortzThorup(), abilene) is None
+        assert incremental_sweep_weights(None, abilene) is None
+
+    def test_evaluate_scenarios_matches_per_cell(self, abilene, abilene_tm):
+        scenarios = single_link_failures(abilene) + node_failures(abilene, nodes=[3])
+        spec = ProtocolSpec.of("OSPF")
+        grouped = evaluate_scenarios(abilene, abilene_tm, scenarios, spec)
+        for scenario, result in zip(scenarios, grouped):
+            cold = evaluate_scenario(abilene, abilene_tm, scenario, spec)
+            assert result.as_row() == cold.as_row()
+            assert result.error is None
+
+    def test_single_eligible_scenario_matches_cold(self, abilene, abilene_tm):
+        """A lone eligible scenario is evaluated cold — with identical results."""
+        scenario = single_link_failures(abilene)[0]
+        spec = ProtocolSpec.of("OSPF")
+        result = evaluate_scenarios(abilene, abilene_tm, [scenario], spec)[0]
+        cold = evaluate_scenario(abilene, abilene_tm, scenario, spec)
+        assert result.as_row() == cold.as_row()
+
+    def test_bad_scenario_keeps_per_cell_error_isolation(self, abilene, abilene_tm):
+        scenarios = single_link_failures(abilene)[:3] + [
+            Scenario("ghost", kind="link-failure", failed_links=((999, 1000),))
+        ]
+        results = evaluate_scenarios(
+            abilene, abilene_tm, scenarios, ProtocolSpec.of("OSPF")
+        )
+        assert [r.error is None for r in results] == [True, True, True, False]
+        assert not results[-1].feasible
+
+    def test_cache_keys_distinguish_incremental_from_cold(self):
+        args = ("net-fp", "demands-fp", "scenario-fp", "protocol-fp")
+        cold_key = ResultCache.key_from_fingerprints(*args)
+        incremental_key = ResultCache.key_from_fingerprints(
+            *args, {"route": "incremental"}
+        )
+        assert cold_key != incremental_key
+        assert ResultCache.key_from_fingerprints(*args, None) == cold_key
+        assert (
+            ResultCache.key_from_fingerprints(*args, {"route": "incremental"})
+            == incremental_key
+        )
+
+    def test_batch_runner_caches_incremental_sweeps(self, tmp_path, abilene, abilene_tm):
+        runner = BatchRunner(cache_dir=tmp_path, max_workers=0)
+        scenarios = single_link_failures(abilene)
+        first = runner.run(abilene, abilene_tm, scenarios, ["OSPF"])
+        assert runner.last_stats.cache_hits == 0
+        second = runner.run(abilene, abilene_tm, scenarios, ["OSPF"])
+        assert runner.last_stats.cache_hits == len(scenarios)
+        assert [r.as_row() for r in first] == [r.as_row() for r in second]
