@@ -3,6 +3,8 @@
 from __future__ import annotations
 
 import os
+from pathlib import Path
+from typing import Dict, List, Optional
 
 
 def full_bench() -> bool:
@@ -28,3 +30,56 @@ def run_once(benchmark, function, *args, **kwargs):
     runtime.
     """
     return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+class BenchRecorder:
+    """Collect one benchmark module's records and persist them.
+
+    Two sinks, one source of truth:
+
+    * every run — smoke or full — is recorded in the
+      :class:`repro.results.ResultsStore` (``$REPRO_RESULTS_DB`` or the
+      default store) with a manifest carrying git sha, package version and
+      the smoke/full flags, so CI can ``repro results diff`` a fresh smoke
+      run against the committed views;
+    * full-mode runs additionally re-export the committed ``BENCH_*.json``
+      artifact as a *view* over the recorded run
+      (:meth:`~repro.results.ResultsStore.export_bench_view`), never as a
+      hand-assembled payload.  Smoke runs keep the committed artifact.
+
+    ``view_flag_keys`` pins the artifact's top-level flag keys to the
+    committed layout of each view (``BENCH_routing.json`` has only
+    ``full_bench``; ``BENCH_online.json`` also has ``smoke_bench``).
+    """
+
+    def __init__(self, benchmark: str, artifact: Path, view_flag_keys=("full_bench",)):
+        self.benchmark = benchmark
+        self.artifact = Path(artifact)
+        self.view_flag_keys = tuple(view_flag_keys)
+        self.records: List[Dict[str, object]] = []
+
+    def add(self, entry: Dict[str, object]) -> None:
+        self.records.append(entry)
+
+    def finalize(self) -> Optional[str]:
+        """Record the run in the store and (full mode) re-export the view.
+
+        Returns the recorded run id, or ``None`` when no records were
+        collected (e.g. the measurement tests were deselected or failed).
+        """
+        if not self.records:
+            return None
+        from repro.results import ResultsStore, RunManifest
+
+        flags = {"full_bench": full_bench(), "smoke_bench": smoke_bench()}
+        view_flags = {key: flags[key] for key in self.view_flag_keys}
+        manifest = RunManifest.create(
+            kind="bench",
+            benchmark=self.benchmark,
+            config={**flags, "view_flags": view_flags, "records": len(self.records)},
+        )
+        with ResultsStore() as store:
+            run_id = store.record_run(manifest, self.records)
+            if not smoke_bench():
+                store.export_bench_view(self.benchmark, run=run_id, path=self.artifact)
+        return run_id

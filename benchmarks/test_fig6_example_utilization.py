@@ -36,5 +36,7 @@ def test_fig6_example_utilization(benchmark):
     assert max(series["SPEF5"]) <= max(series["SPEF0"]) + 1e-6
 
     # SPEF spreads traffic over at least as many links as OSPF.
-    used = lambda values: sum(1 for v in values if v > 1e-6)
+    def used(values):
+        return sum(1 for v in values if v > 1e-6)
+
     assert used(series["SPEF1"]) >= used(series["OSPF"])

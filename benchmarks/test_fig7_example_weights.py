@@ -31,5 +31,7 @@ def test_fig7_example_weights(benchmark):
     # The paper's observation: with beta = 0 the first weights are flat
     # (minimum-hop-like), while beta = 5 concentrates a much larger weight on
     # the congested links, increasing the spread.
-    spread = lambda values: float(np.max(values) - np.min(values))
+    def spread(values):
+        return float(np.max(values) - np.min(values))
+
     assert spread(first["SPEF5"]) >= spread(first["SPEF0"]) - 1e-9

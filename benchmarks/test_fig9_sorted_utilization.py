@@ -34,5 +34,7 @@ def test_fig9_sorted_utilization(benchmark, instances, instance_name):
 
     # SPEF moves traffic from over-utilized onto under-utilized links: the
     # utilization spread (hottest minus coldest used link) shrinks.
-    spread = lambda values: values[0] - values[-1]
+    def spread(values):
+        return values[0] - values[-1]
+
     assert spread(spef) <= spread(ospf) + 1e-9

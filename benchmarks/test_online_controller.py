@@ -15,23 +15,24 @@ even-ECMP OSPF weights.  Three paths compute identical link loads:
 
 The acceptance bar asserts the incremental sweep is >= 3x faster than both
 cold paths (relaxed on CI runners) with link loads identical to 1e-9; the
-numbers are emitted as the ``BENCH_online.json`` artifact at the repository
-root so regressions are diffable across PRs.  ``REPRO_FULL_BENCH=1`` sweeps
-every trunk; ``REPRO_BENCH_SMOKE=1`` runs a tiny correctness-only pass.
+numbers are recorded in the results store (``$REPRO_RESULTS_DB``; see
+:mod:`repro.results`) and — in full mode — re-exported as the
+``BENCH_online.json`` view at the repository root so regressions are
+diffable across PRs with ``repro results diff``.  ``REPRO_FULL_BENCH=1``
+sweeps every trunk; ``REPRO_BENCH_SMOKE=1`` runs a tiny correctness-only
+pass.
 """
 
 from __future__ import annotations
 
-import json
 import os
 import time
 from pathlib import Path
-from typing import Dict, List
 
 import numpy as np
 import pytest
 
-from bench_utils import full_bench, smoke_bench
+from bench_utils import BenchRecorder, full_bench, smoke_bench
 
 from repro.online.controller import TEController
 from repro.protocols.ospf import invcap_weights
@@ -51,7 +52,9 @@ ON_CI = bool(os.environ.get("CI"))
 DEFAULT_SCENARIOS = 40
 SMOKE_SCENARIOS = 6
 
-_records: List[Dict[str, object]] = []
+_recorder = BenchRecorder(
+    "online-controller", ARTIFACT, view_flag_keys=("full_bench", "smoke_bench")
+)
 
 
 def _bar(local: float, ci: float) -> float:
@@ -143,7 +146,7 @@ def test_incremental_failure_sweep_speedup():
             "nodes_recomputed": stats.nodes_recomputed,
         },
     }
-    _records.append(entry)
+    _recorder.add(entry)
     print(
         f"\n[rand100/failure-sweep] {len(scenarios)} scenarios: "
         f"cold(evaluate) {cold_eval_seconds:.2f}s, "
@@ -181,7 +184,9 @@ def test_warm_start_reoptimization_speedup():
         0.12 * network.total_capacity()
     )
     budget = 30 if smoke_bench() else 300
-    make = lambda: FortzThorup(restarts=1, seed=0, max_evaluations=budget)
+    def make():
+        return FortzThorup(restarts=1, seed=0, max_evaluations=budget)
+
     cold = make().optimize(network, demands)
     drifted = demands.scaled(1.02)
     recold = make().optimize(network, drifted)
@@ -195,7 +200,7 @@ def test_warm_start_reoptimization_speedup():
         "cold_cost": recold.cost,
         "warm_cost": warm.cost,
     }
-    _records.append(entry)
+    _recorder.add(entry)
     print(
         f"\n[abilene/reoptimize] cold {recold.evaluations} evals, "
         f"warm {warm.evaluations} evals ({entry['evaluation_ratio']}x fewer), "
@@ -208,16 +213,15 @@ def test_warm_start_reoptimization_speedup():
 
 
 def test_zz_write_artifact():
-    """Persist this run's records as the BENCH_online.json artifact."""
-    if not _records:
+    """Record this run in the results store; re-export the view in full mode.
+
+    Smoke runs are recorded in the store (CI diffs them against the
+    committed view) but never overwrite ``BENCH_online.json``.
+    """
+    if not _recorder.records:
         pytest.skip("no benchmark records collected in this run")
-    if smoke_bench():
-        pytest.skip("smoke mode: keep the committed full-run artifact")
-    payload = {
-        "benchmark": "online-controller",
-        "full_bench": full_bench(),
-        "smoke_bench": smoke_bench(),
-        "results": _records,
-    }
-    ARTIFACT.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
-    assert ARTIFACT.exists()
+    run_id = _recorder.finalize()
+    print(f"\n[online-controller] recorded run {run_id}")
+    assert run_id is not None
+    if not smoke_bench():
+        assert ARTIFACT.exists()

@@ -12,14 +12,15 @@ a Rocketfuel-profile topology:
   many demand matrices, the oracle paying Dijkstra + propagation per matrix
   while :class:`~repro.routing.SparseRouter` amortises both.
 
-Results (timings, speedups, equivalence residuals) are emitted to
-``BENCH_routing.json`` at the repository root, so regressions are diffable
-across PRs.  Set ``REPRO_FULL_BENCH=1`` for larger ensembles.
+Results (timings, speedups, equivalence residuals) are recorded in the
+results store (``$REPRO_RESULTS_DB``; see :mod:`repro.results`) and — in
+full mode — re-exported as the ``BENCH_routing.json`` view at the
+repository root, so regressions are diffable across PRs with
+``repro results diff``.  Set ``REPRO_FULL_BENCH=1`` for larger ensembles.
 """
 
 from __future__ import annotations
 
-import json
 import os
 import time
 from pathlib import Path
@@ -28,7 +29,7 @@ from typing import Dict, List
 import numpy as np
 import pytest
 
-from bench_utils import full_bench, smoke_bench
+from bench_utils import BenchRecorder, full_bench, smoke_bench
 
 from repro.core.traffic_distribution import exponential_split_ratios
 from repro.network.demands import TrafficMatrix
@@ -58,7 +59,7 @@ ENSEMBLE_SIZES = {"abilene": 240, "rocketfuel": 40}
 FULL_ENSEMBLE_SIZES = {"abilene": 600, "rocketfuel": 120}
 SMOKE_ENSEMBLE_SIZES = {"abilene": 12, "rocketfuel": 4}
 
-_records: List[Dict[str, object]] = []
+_recorder = BenchRecorder("routing-backend", ARTIFACT, view_flag_keys=("full_bench",))
 
 
 def _demand_ensemble(network: Network, count: int, seed: int = 0) -> List[TrafficMatrix]:
@@ -90,7 +91,7 @@ def _record(name: str, network: Network, kind: str, count: int,
         "speedup": round(python_seconds / sparse_seconds, 2),
         "max_abs_load_diff": float(residual),
     }
-    _records.append(entry)
+    _recorder.add(entry)
     print(
         f"\n[{name}/{kind}] m={count}: python {python_seconds * 1e3:.1f} ms, "
         f"sparse {sparse_seconds * 1e3:.1f} ms, speedup {entry['speedup']}x, "
@@ -185,20 +186,18 @@ def test_ecmp_ensemble_sweep_speedup(name, network, count):
 
 
 def test_zz_write_artifact():
-    """Persist every record of this run as the BENCH_routing.json artifact.
+    """Record this run in the results store; re-export the view in full mode.
 
     Named ``zz`` so pytest runs it after the measurement tests; if they were
     deselected or failed there is nothing meaningful to write and the test
-    skips instead of clobbering a previous artifact.
+    skips instead of clobbering a previous artifact.  Smoke runs are
+    recorded in the store (CI diffs them against the committed view) but
+    never overwrite ``BENCH_routing.json``.
     """
-    if not _records:
+    if not _recorder.records:
         pytest.skip("no benchmark records collected in this run")
-    if smoke_bench():
-        pytest.skip("smoke mode: keep the committed full-run artifact")
-    payload = {
-        "benchmark": "routing-backend",
-        "full_bench": full_bench(),
-        "results": _records,
-    }
-    ARTIFACT.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
-    assert ARTIFACT.exists()
+    run_id = _recorder.finalize()
+    print(f"\n[routing-backend] recorded run {run_id}")
+    assert run_id is not None
+    if not smoke_bench():
+        assert ARTIFACT.exists()

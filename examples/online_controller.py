@@ -2,25 +2,23 @@
 
 The scenario engine answers "how bad is each failure?" by re-posing every
 perturbed instance from scratch.  This example shows the *online* view
-instead: a :class:`~repro.online.TEController` holds live routing state for
-the Abilene backbone and consumes a timed event trace — every trunk fails
-for five simulated minutes and then heals — through the discrete-event
-simulator.  Each event is absorbed with an incremental shortest-path update
-(only the affected destination DAGs are touched), the MLU timeline is
-sampled after every event, and at the end the worst outage is re-optimised
-with a warm-started Fortz-Thorup weight search.
+instead: :func:`repro.online.replay_failure_trace` (the same engine behind
+``repro replay``) holds live routing state for the Abilene backbone in a
+:class:`~repro.online.TEController` and consumes a timed event trace —
+every trunk fails for five simulated minutes and then heals — through the
+discrete-event simulator.  Each event is absorbed with an incremental
+shortest-path update (only the affected destination DAGs are touched), the
+MLU timeline is sampled after every event, and at the end the worst outage
+is re-optimised with a warm-started Fortz-Thorup weight search.
 
 Run with:  PYTHONPATH=src python examples/online_controller.py
 """
 
 from __future__ import annotations
 
-import time
-
-from repro.online import TEController, failure_recovery_trace
+from repro.online import replay_failure_trace
 from repro.protocols.fortz_thorup import FortzThorup
 from repro.scenarios import single_link_failures
-from repro.simulator.events import Simulator
 from repro.topology.backbones import abilene_network
 from repro.traffic.fortz_thorup_tm import abilene_traffic_matrix
 
@@ -31,66 +29,49 @@ def main() -> None:
         network, total_volume=1.0, seed=1
     ).scaled(0.12 * network.total_capacity())
     scenarios = single_link_failures(network)
-    trace = failure_recovery_trace(network, scenarios, period=600.0, outage=300.0)
+    period, outage = 600.0, 300.0
 
-    controller = TEController(network, demands)
-    baseline = controller.measure()
+    replay = replay_failure_trace(network, demands, scenarios, period=period, outage=outage)
+    baseline = replay.baseline
+    trace_end = (len(scenarios) - 1) * period + outage  # last recovery event
     print(
         f"Topology: {network.name} ({network.num_nodes} nodes, {network.num_links} links)\n"
         f"Demands:  {len(demands)} pairs, {demands.total_volume():.1f} units "
         f"(baseline MLU {baseline.mlu:.3f})\n"
-        f"Trace:    {len(scenarios)} trunk outages over {trace[-1].time / 60:.0f} "
-        f"simulated minutes ({len(trace)} link events)\n"
+        f"Trace:    {len(scenarios)} trunk outages over "
+        f"{trace_end / 60:.0f} simulated minutes "
+        f"({replay.processed_events} link events)\n"
     )
 
-    timeline = []
-
-    def sample(ctrl: TEController, update) -> None:
-        measurement = ctrl.measure()
-        timeline.append((update.event.time, update.event.kind, measurement))
-
-    simulator = Simulator()
-    controller.bind(simulator, trace, on_update=sample)
-    start = time.perf_counter()
-    simulator.run()
-    elapsed = time.perf_counter() - start
-
+    controller = replay.controller
     stats = controller.spt.stats
     print(
-        f"Replayed {simulator.processed_events} events in {elapsed * 1e3:.0f} ms wall "
+        f"Replayed {replay.processed_events} events in {replay.elapsed * 1e3:.0f} ms wall "
         f"({stats.incremental_updates} incremental DAG updates, "
         f"{stats.full_rebuilds} full rebuilds, "
         f"{stats.destinations_changed} destination recompiles)\n"
     )
 
-    # One row per outage: the measurement after the *last* failure event of
-    # each timestamp (a trunk cut arrives as two directed-link events).
-    outages = {}
-    for when, kind, measurement in timeline:
-        if kind == "link-failure":
-            outages[when] = measurement
-    worst = max(outages.items(), key=lambda entry: entry[1].mlu)
+    worst = replay.worst
     print("time(min)  outage MLU   note")
-    for when, measurement in sorted(outages.items()):
+    for row in replay.outages:
         note = []
-        if measurement.dropped_volume:
-            note.append(f"dropped {measurement.dropped_volume:.2g} units")
-        if measurement is worst[1]:
+        if row.dropped_volume:
+            note.append(f"dropped {row.dropped_volume:.2g} units")
+        if row is worst:
             note.append("<- worst outage")
-        print(f"{when / 60:8.1f}  {measurement.mlu:10.3f}   {' '.join(note)}")
+        print(f"{row.time / 60:8.1f}  {row.mlu:10.3f}   {' '.join(note)}")
 
-    final = controller.measure()
     print(
         f"\nAfter the last recovery the controller is back at baseline "
-        f"(MLU {final.mlu:.3f} vs {baseline.mlu:.3f}).\n"
+        f"(MLU {replay.final.mlu:.3f} vs {baseline.mlu:.3f}).\n"
     )
 
     # Re-optimise the worst outage with a warm-started weight search.
-    worst_time, worst_measurement = worst
-    scenario = scenarios[int(worst_time // 600)]
+    scenario = next(s for s in scenarios if s.scenario_id == worst.scenario_id)
     print(
         f"Re-optimising the worst outage ({scenario.scenario_id}, "
-        f"MLU {worst_measurement.mlu:.3f}) with warm-started Fortz-Thorup..."
+        f"MLU {worst.mlu:.3f}) with warm-started Fortz-Thorup..."
     )
     from repro.online import failure_events
 

@@ -20,10 +20,14 @@ The public API re-exports the pieces most users need:
 * the vectorized routing backend (:mod:`repro.routing`):
   :class:`~repro.routing.SparseRouter` compiles shortest-path DAGs into CSR
   split-ratio matrices and routes whole demand ensembles in stacked sparse
-  sweeps; every assignment routine accepts ``backend="sparse"|"python"``.
+  sweeps; every assignment routine accepts ``backend="sparse"|"python"``;
+* the results store (:mod:`repro.results`): SQLite-backed run manifests,
+  ``query``/``diff``/``aggregate`` over recorded sweeps and benchmarks, and
+  the ``BENCH_*.json`` views — all scriptable through the ``repro`` CLI
+  (:mod:`repro.cli`).
 """
 
-from . import core, network, online, protocols, routing, scenarios, solvers, topology, traffic
+from . import core, network, online, protocols, results, routing, scenarios, solvers, topology, traffic
 from .core import (
     SPEF,
     LoadBalanceObjective,
@@ -36,16 +40,18 @@ from .core import (
 from .network import FlowAssignment, Network, TrafficMatrix
 from .online import DynamicSPT, NetworkEvent, TEController
 from .protocols import OSPF, PEFT, FortzThorup, MinMaxMLU, SPEFProtocol
+from .results import ResultsStore, RunManifest
 from .routing import CompiledDagSet, SparseRouter, batched_link_loads
 from .scenarios import BatchRunner, ProtocolSpec, Scenario, ScenarioResult
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "core",
     "network",
     "online",
     "protocols",
+    "results",
     "routing",
     "scenarios",
     "solvers",
@@ -76,5 +82,7 @@ __all__ = [
     "DynamicSPT",
     "NetworkEvent",
     "TEController",
+    "ResultsStore",
+    "RunManifest",
     "__version__",
 ]

@@ -1,0 +1,559 @@
+"""``repro`` — the console entry point over sweeps, replays and results.
+
+The examples show the library's shape; this CLI makes it scriptable, and
+every command that produces numbers writes them into the
+:mod:`repro.results` store so they can be listed, diffed and exported
+later (by a human or by CI):
+
+* ``repro sweep`` — a cached :class:`~repro.scenarios.BatchRunner` sweep
+  of protocols over a scenario set, recorded with a full run manifest;
+* ``repro replay`` — the online TE controller's failure/recovery trace
+  replay (:func:`repro.online.replay_failure_trace`), one record per
+  outage;
+* ``repro bench`` — the benchmark harness under ``benchmarks/`` via
+  pytest, in smoke/default/full mode, recording into the same store;
+* ``repro results {list,show,query,diff,export,import,delete}`` — the
+  store's query surface.  ``diff`` is what CI gates on: timing fields are
+  always informational, metric fields hard-fail (see
+  :mod:`repro.results.diffing`); ``export`` regenerates the committed
+  ``BENCH_*.json`` views byte-for-byte.
+
+Every subcommand takes ``--store`` (default ``$REPRO_RESULTS_DB`` or
+``~/.cache/repro/results.sqlite``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .analysis.reporting import format_robustness_summary, format_table
+from .results import (
+    VIEW_FILENAMES,
+    ResultsStore,
+    ResultsStoreError,
+    RunManifest,
+    default_results_path,
+    load_bench_view,
+    scenario_set_fingerprint,
+)
+from .scenarios import (
+    BatchRunner,
+    ProtocolSpec,
+    RunnerError,
+    Scenario,
+    baseline_scenario,
+    capacity_degradations,
+    dual_link_failures,
+    gravity_noise_ensemble,
+    hotspot_surge_ensemble,
+    node_failures,
+    robustness_summary,
+    single_link_failures,
+    standard_scenario_suite,
+)
+from .topology.backbones import abilene_network, cernet2_network
+from .topology.generators import hier50a, hier50b, rand50a, rand50b, rand100
+from .topology.rocketfuel import synthetic_rocketfuel
+from .traffic.gravity import gravity_traffic_matrix
+
+# ----------------------------------------------------------------------
+# workload registries
+# ----------------------------------------------------------------------
+TOPOLOGIES: Dict[str, Callable[[], "object"]] = {
+    "abilene": abilene_network,
+    "cernet2": cernet2_network,
+    "hier50a": hier50a,
+    "hier50b": hier50b,
+    "rand50a": rand50a,
+    "rand50b": rand50b,
+    "rand100": rand100,
+    "rocketfuel": lambda: synthetic_rocketfuel(1239, seed=0),
+}
+
+#: Scenario-set factories: ``(network, demands, seed) -> [Scenario]``.
+SCENARIO_SETS: Dict[str, Callable[..., List[Scenario]]] = {
+    "baseline": lambda network, demands, seed: [baseline_scenario()],
+    "single-link-failures": lambda network, demands, seed: single_link_failures(network),
+    "dual-link-failures": lambda network, demands, seed: dual_link_failures(
+        network, limit=50, seed=seed
+    ),
+    "node-failures": lambda network, demands, seed: node_failures(network),
+    "capacity-degradations": lambda network, demands, seed: capacity_degradations(
+        network, seed=seed
+    ),
+    "gravity-noise": lambda network, demands, seed: gravity_noise_ensemble(
+        demands, seed=seed
+    ),
+    "hotspot-surge": lambda network, demands, seed: hotspot_surge_ensemble(
+        demands, seed=seed
+    ),
+    "standard-suite": lambda network, demands, seed: standard_scenario_suite(
+        network, demands, seed=seed
+    ),
+}
+
+#: Benchmark modules ``repro bench`` knows how to run (paths are relative
+#: to the benchmarks directory of a repository checkout).
+BENCH_MODULES = {
+    "routing": "test_routing_speed.py",
+    "online": "test_online_controller.py",
+}
+
+
+class CLIError(ValueError):
+    """Raised for bad CLI inputs not already rejected by argparse choices."""
+
+
+def build_workload(
+    topology: str, utilization: float, seed: int
+) -> Tuple["object", "object"]:
+    """The CLI's canonical workload: a topology + a gravity traffic matrix."""
+    try:
+        network = TOPOLOGIES[topology]()
+    except KeyError:
+        raise CLIError(
+            f"unknown topology {topology!r}; known: {', '.join(sorted(TOPOLOGIES))}"
+        ) from None
+    demands = gravity_traffic_matrix(network, utilization * network.total_capacity())
+    return network, demands
+
+
+def _open_store(args: argparse.Namespace) -> ResultsStore:
+    return ResultsStore(args.store)
+
+
+def _resolve_side(store: ResultsStore, ref: str):
+    """A diff side: a run reference, or a path to a ``BENCH_*.json`` view."""
+    if ref.endswith(".json"):
+        # Run ids never end in .json: treat the ref as a view path, and say
+        # so when it is missing rather than reporting an "unknown run".
+        if not Path(ref).exists():
+            raise ResultsStoreError(f"bench view file {ref} not found")
+        return load_bench_view(ref)
+    return store.get_run(ref).run_id
+
+
+# ----------------------------------------------------------------------
+# subcommands
+# ----------------------------------------------------------------------
+def cmd_sweep(args: argparse.Namespace) -> int:
+    network, demands = build_workload(args.topology, args.utilization, args.seed)
+    try:
+        factory = SCENARIO_SETS[args.scenarios]
+    except KeyError:
+        print(
+            f"unknown scenario set {args.scenarios!r}; "
+            f"known: {', '.join(sorted(SCENARIO_SETS))}",
+            file=sys.stderr,
+        )
+        return 2
+    scenarios = factory(network, demands, args.seed)
+    if args.limit is not None:
+        scenarios = scenarios[: args.limit]
+    protocols = [ProtocolSpec.of(name) for name in args.protocols.split(",") if name]
+
+    with _open_store(args) as store:
+        runner = BatchRunner(
+            cache_dir=False if args.no_cache else args.cache_dir,
+            max_workers=args.workers,
+            results_store=store,
+        )
+        results = runner.run(
+            network,
+            demands,
+            scenarios,
+            protocols,
+            record_config={
+                "command": "sweep",
+                "scenario_set_name": args.scenarios,
+                "utilization": args.utilization,
+                "seed": args.seed,
+            },
+        )
+        stats = runner.last_stats
+        print(
+            f"swept {len(scenarios)} scenario(s) x {len(protocols)} protocol(s) "
+            f"on {network.name} in {stats.elapsed:.2f}s "
+            f"({stats.cache_hits} cache hit(s), {stats.evaluated} evaluated)"
+        )
+        print()
+        print(format_robustness_summary(robustness_summary(results)))
+        print()
+        print(f"recorded run {runner.last_run_id} in {store.path}")
+    return 0
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    from .online import replay_failure_trace
+
+    network, demands = build_workload(args.topology, args.utilization, args.seed)
+    scenarios = single_link_failures(network)
+    if args.limit is not None:
+        scenarios = scenarios[: args.limit]
+    replay = replay_failure_trace(
+        network, demands, scenarios, period=args.period, outage=args.outage
+    )
+    stats = replay.controller.spt.stats
+    print(
+        f"replayed {replay.processed_events} events on {network.name} in "
+        f"{replay.elapsed * 1e3:.0f} ms wall "
+        f"({stats.incremental_updates} incremental DAG updates, "
+        f"{stats.full_rebuilds} full rebuilds); baseline MLU "
+        f"{replay.baseline.mlu:.3f}, final MLU {replay.final.mlu:.3f}"
+    )
+    rows = [row.as_row() for row in replay.outages]
+    print()
+    print(format_table(rows, title="Per-outage steady state"))
+    if replay.worst is not None:
+        print(f"\nworst outage: {replay.worst.scenario_id} (MLU {replay.worst.mlu:.3f})")
+
+    with _open_store(args) as store:
+        manifest = RunManifest.create(
+            kind="replay",
+            topology=network.name,
+            protocols=("even-ECMP",),
+            scenario_set=scenario_set_fingerprint(scenarios),
+            config={
+                "command": "replay",
+                "utilization": args.utilization,
+                "seed": args.seed,
+                "period": args.period,
+                "outage": args.outage,
+                "scenarios": len(scenarios),
+                "events": replay.processed_events,
+                "baseline_mlu": round(replay.baseline.mlu, 6),
+                "final_mlu": round(replay.final.mlu, 6),
+            },
+            timings={
+                "elapsed": replay.elapsed,
+                "incremental_updates": float(stats.incremental_updates),
+                "full_rebuilds": float(stats.full_rebuilds),
+            },
+        )
+        run_id = store.record_run(
+            manifest, [{**row, "topology": network.name} for row in rows]
+        )
+        print(f"recorded run {run_id} in {store.path}")
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    bench_dir = Path(args.benchmarks_dir)
+    if not bench_dir.is_dir():
+        print(
+            f"benchmarks directory {bench_dir} not found — run `repro bench` from a "
+            "repository checkout (or pass --benchmarks-dir)",
+            file=sys.stderr,
+        )
+        return 2
+    modules = sorted(set(args.module or BENCH_MODULES))
+    paths = []
+    for module in modules:
+        if module not in BENCH_MODULES:
+            print(
+                f"unknown bench module {module!r}; known: {', '.join(sorted(BENCH_MODULES))}",
+                file=sys.stderr,
+            )
+            return 2
+        paths.append(str(bench_dir / BENCH_MODULES[module]))
+    env = dict(os.environ)
+    env["REPRO_RESULTS_DB"] = str(Path(args.store).resolve())
+    env["REPRO_BENCH_SMOKE"] = "1" if args.smoke else "0"
+    env["REPRO_FULL_BENCH"] = "1" if args.full else "0"
+    command = [sys.executable, "-m", "pytest", "-q", *paths]
+    print(f"$ {' '.join(command)}  (REPRO_BENCH_SMOKE={env['REPRO_BENCH_SMOKE']}, "
+          f"REPRO_FULL_BENCH={env['REPRO_FULL_BENCH']}, store={env['REPRO_RESULTS_DB']})")
+    completed = subprocess.run(command, env=env)
+    return completed.returncode
+
+
+def cmd_results_list(args: argparse.Namespace) -> int:
+    with _open_store(args) as store:
+        manifests = store.runs(kind=args.kind, benchmark=args.benchmark, limit=args.limit)
+        if not manifests:
+            print(f"no runs recorded in {store.path}")
+            return 0
+        print(format_table([m.summary_row() for m in manifests], title=f"runs in {store.path}"))
+    return 0
+
+
+def cmd_results_show(args: argparse.Namespace) -> int:
+    with _open_store(args) as store:
+        manifest = store.get_run(args.run)
+        records = store.records(manifest.run_id)
+        if args.json:
+            payload = {
+                "manifest": manifest.to_row(),
+                "records": [] if args.no_records else records,
+            }
+            # to_row packs config/timings/protocols as JSON strings; unpack
+            # them again so --json output is plain nested JSON.
+            payload["manifest"]["protocols"] = list(manifest.protocols)
+            payload["manifest"]["config"] = manifest.config
+            payload["manifest"]["timings"] = manifest.timings
+            print(json.dumps(payload, indent=2, sort_keys=True))
+            return 0
+        for key, value in manifest.to_row().items():
+            print(f"{key:>16}: {value}")
+        if records and not args.no_records:
+            print()
+            print(format_table(records, title=f"{len(records)} record(s)"))
+    return 0
+
+
+def cmd_results_query(args: argparse.Namespace) -> int:
+    with _open_store(args) as store:
+        rows = store.query(
+            kind=args.kind,
+            benchmark=args.benchmark,
+            run=args.run,
+            topology=args.topology,
+            workload=args.workload,
+            scenario=args.scenario,
+            protocol=args.protocol,
+            limit=args.limit,
+        )
+        if args.json:
+            print(json.dumps(rows, indent=2, sort_keys=True))
+        elif rows:
+            print(format_table(rows))
+        else:
+            print("no matching records")
+    return 0
+
+
+def cmd_results_diff(args: argparse.Namespace) -> int:
+    with _open_store(args) as store:
+        try:
+            side_a = _resolve_side(store, args.run_a)
+            side_b = _resolve_side(store, args.run_b)
+        except ResultsStoreError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        diff = store.diff(side_a, side_b, rtol=args.rtol, atol=args.atol)
+    print(diff.summary())
+    shown = diff.entries if args.all else diff.mismatches
+    if shown:
+        print()
+        print(format_table([entry.as_row() for entry in shown]))
+        print("\n(* = informational: timing/shape fields never gate;"
+              " metric fields gate unless workload flags differ)")
+    if not diff.ok:
+        missing = len(diff.only_in_a) + len(diff.only_in_b)
+        reasons = []
+        if diff.hard_mismatches:
+            reasons.append(f"{len(diff.hard_mismatches)} hard metric mismatch(es)")
+        if missing:
+            reasons.append(f"{missing} record(s) present on one side only")
+        print(f"\nFAIL: {', '.join(reasons)}")
+        return 1 if args.fail_on == "metric" else 0
+    print("\nOK: no hard metric mismatches")
+    return 0
+
+
+def cmd_results_export(args: argparse.Namespace) -> int:
+    with _open_store(args) as store:
+        text = store.export_bench_view(args.benchmark, run=args.run)
+        if args.output:
+            Path(args.output).write_text(text)
+            print(f"wrote {args.output}")
+        else:
+            sys.stdout.write(text)
+    return 0
+
+
+def cmd_results_import(args: argparse.Namespace) -> int:
+    with _open_store(args) as store:
+        for path in args.paths:
+            run_id = store.import_bench_view(path)
+            print(f"imported {path} as run {run_id}")
+    return 0
+
+
+def cmd_results_delete(args: argparse.Namespace) -> int:
+    with _open_store(args) as store:
+        run_id = store.delete_run(args.run)
+        print(f"deleted run {run_id}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# parser
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    store_parent = argparse.ArgumentParser(add_help=False)
+    store_parent.add_argument(
+        "--store",
+        default=str(default_results_path()),
+        help="results store SQLite file (default: $REPRO_RESULTS_DB or "
+        "~/.cache/repro/results.sqlite)",
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Sweeps, replays, benchmarks and the queryable results store "
+        "of the SPEF (ICDCS 2011) reproduction.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    sweep = subparsers.add_parser(
+        "sweep",
+        parents=[store_parent],
+        help="run a protocol x scenario robustness sweep and record it",
+    )
+    sweep.add_argument("--topology", default="abilene", choices=sorted(TOPOLOGIES))
+    sweep.add_argument(
+        "--protocols",
+        default="OSPF",
+        help="comma-separated protocol registry names (default: OSPF)",
+    )
+    sweep.add_argument(
+        "--scenarios",
+        default="single-link-failures",
+        choices=sorted(SCENARIO_SETS),
+        help="scenario-set generator (default: single-link-failures)",
+    )
+    sweep.add_argument("--utilization", type=float, default=0.1,
+                       help="gravity demand volume as a fraction of total capacity")
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument("--limit", type=int, default=None,
+                       help="evaluate only the first N scenarios")
+    sweep.add_argument("--workers", type=int, default=0,
+                       help="process-pool size (0 = serial, the default)")
+    sweep.add_argument("--cache-dir", default=None,
+                       help="scenario result-cache directory (default: $REPRO_CACHE_DIR)")
+    sweep.add_argument("--no-cache", action="store_true",
+                       help="disable the scenario result cache")
+    sweep.set_defaults(handler=cmd_sweep)
+
+    replay = subparsers.add_parser(
+        "replay",
+        parents=[store_parent],
+        help="replay a failure/recovery trace through the online TE controller",
+    )
+    replay.add_argument("--topology", default="abilene", choices=sorted(TOPOLOGIES))
+    replay.add_argument("--utilization", type=float, default=0.12)
+    replay.add_argument("--seed", type=int, default=0)
+    replay.add_argument("--period", type=float, default=600.0,
+                        help="seconds between consecutive outages")
+    replay.add_argument("--outage", type=float, default=300.0,
+                        help="seconds each outage lasts")
+    replay.add_argument("--limit", type=int, default=None,
+                        help="replay only the first N trunk failures")
+    replay.set_defaults(handler=cmd_replay)
+
+    bench = subparsers.add_parser(
+        "bench",
+        parents=[store_parent],
+        help="run the benchmark harness (pytest) and record into the store",
+    )
+    bench.add_argument("--module", action="append", choices=sorted(BENCH_MODULES),
+                       help="bench module(s) to run (default: all)")
+    bench_mode = bench.add_mutually_exclusive_group()
+    bench_mode.add_argument("--smoke", action="store_true",
+                            help="tiny workloads, correctness-only (CI smoke mode)")
+    bench_mode.add_argument("--full", action="store_true",
+                            help="full (slow) sweep sizes")
+    bench.add_argument("--benchmarks-dir", default="benchmarks",
+                       help="path to the benchmarks directory (default: ./benchmarks)")
+    bench.set_defaults(handler=cmd_bench)
+
+    results = subparsers.add_parser("results", help="query the results store")
+    results_sub = results.add_subparsers(dest="results_command", required=True)
+
+    results_list = results_sub.add_parser("list", parents=[store_parent],
+                                          help="list recorded runs, newest first")
+    results_list.add_argument("--kind", default=None)
+    results_list.add_argument("--benchmark", default=None)
+    results_list.add_argument("--limit", type=int, default=20)
+    results_list.set_defaults(handler=cmd_results_list)
+
+    results_show = results_sub.add_parser("show", parents=[store_parent],
+                                          help="show one run's manifest and records")
+    results_show.add_argument("run", help="run id, unique prefix, or latest[:benchmark]")
+    results_show.add_argument("--json", action="store_true")
+    results_show.add_argument("--no-records", action="store_true")
+    results_show.set_defaults(handler=cmd_results_show)
+
+    results_query = results_sub.add_parser("query", parents=[store_parent],
+                                           help="flat record rows across runs")
+    results_query.add_argument("--kind", default=None)
+    results_query.add_argument("--benchmark", default=None)
+    results_query.add_argument("--run", default=None)
+    results_query.add_argument("--topology", default=None)
+    results_query.add_argument("--workload", default=None)
+    results_query.add_argument("--scenario", default=None)
+    results_query.add_argument("--protocol", default=None)
+    results_query.add_argument("--limit", type=int, default=None)
+    results_query.add_argument("--json", action="store_true")
+    results_query.set_defaults(handler=cmd_results_query)
+
+    results_diff = results_sub.add_parser(
+        "diff",
+        parents=[store_parent],
+        help="compare two runs (run refs or BENCH_*.json view files)",
+    )
+    results_diff.add_argument("run_a")
+    results_diff.add_argument("run_b")
+    results_diff.add_argument("--rtol", type=float, default=1e-6)
+    results_diff.add_argument("--atol", type=float, default=1e-9)
+    results_diff.add_argument("--all", action="store_true",
+                              help="show every compared field, not only mismatches")
+    results_diff.add_argument(
+        "--fail-on",
+        choices=("metric", "none"),
+        default="metric",
+        help="exit non-zero on hard metric mismatches (default) or never",
+    )
+    results_diff.set_defaults(handler=cmd_results_diff)
+
+    results_export = results_sub.add_parser(
+        "export",
+        parents=[store_parent],
+        help="export a bench run as its BENCH_*.json view",
+    )
+    results_export.add_argument("benchmark",
+                                help=f"benchmark name, e.g. {', '.join(sorted(VIEW_FILENAMES))}")
+    results_export.add_argument("--run", default=None,
+                                help="run reference (default: latest run of the benchmark)")
+    results_export.add_argument("-o", "--output", default=None,
+                                help="write to this path instead of stdout")
+    results_export.set_defaults(handler=cmd_results_export)
+
+    results_import = results_sub.add_parser(
+        "import",
+        parents=[store_parent],
+        help="import BENCH_*.json view files as runs",
+    )
+    results_import.add_argument("paths", nargs="+")
+    results_import.set_defaults(handler=cmd_results_import)
+
+    results_delete = results_sub.add_parser("delete", parents=[store_parent],
+                                            help="delete a run and its records")
+    results_delete.add_argument("run")
+    results_delete.set_defaults(handler=cmd_results_delete)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Console entry point (``[project.scripts] repro = repro.cli:main``)."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except (CLIError, ResultsStoreError, RunnerError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:  # e.g. `repro results query | head`
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

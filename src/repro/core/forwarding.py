@@ -17,13 +17,13 @@ configurable cap, since their number can grow exponentially.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Tuple
 
 import numpy as np
 
 from ..network.graph import Network, Node
 from ..network.spt import ShortestPathDag
-from .traffic_distribution import exponential_split_ratios, path_weight_sums
+from .traffic_distribution import exponential_split_ratios
 
 
 @dataclass(frozen=True)

@@ -25,7 +25,7 @@ subproblem ``Link_ij(V_ij; w_ij)`` in Algorithm 1).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import Union
 
 import numpy as np
 

@@ -31,7 +31,7 @@ from ..network.demands import TrafficMatrix
 from ..network.flows import FlowAssignment
 from ..network.graph import Network
 from ..solvers.frank_wolfe import solve_frank_wolfe
-from ..solvers.mcf import SolverError, solve_min_cost_mcf
+from ..solvers.mcf import solve_min_cost_mcf
 from .objectives import LoadBalanceObjective, normalized_utility
 
 

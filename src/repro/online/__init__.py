@@ -28,6 +28,7 @@ from .controller import (
     sweep_pure_failures,
 )
 from .dspt import DsptStats, DynamicSPT
+from .replay import OutageRow, ReplayResult, replay_failure_trace
 from .events import (
     CapacityChange,
     DemandUpdate,
@@ -55,6 +56,9 @@ __all__ = [
     "LinkRecovery",
     "LinkWeightChange",
     "NetworkEvent",
+    "OutageRow",
+    "ReplayResult",
+    "replay_failure_trace",
     "TEController",
     "failure_events",
     "failure_recovery_trace",

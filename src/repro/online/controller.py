@@ -34,7 +34,7 @@ import numpy as np
 
 from ..core.objectives import normalized_utility
 from ..network.demands import Pair, TrafficMatrix
-from ..network.graph import Edge, Network, NetworkError, Node
+from ..network.graph import Network, Node
 from ..network.spt import DEFAULT_TOLERANCE, WeightsLike
 from ..routing.sparse import SparseRouter
 from ..scenarios.scenario import Scenario
@@ -49,7 +49,6 @@ from .events import (
     LinkWeightChange,
     NetworkEvent,
     failure_events,
-    recovery_events,
 )
 
 

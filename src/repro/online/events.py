@@ -27,7 +27,7 @@ into a timed fail → measure → repair trace.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence, Tuple
+from typing import List, Sequence
 
 from ..network.graph import Edge, Network, Node
 from ..scenarios.scenario import Scenario

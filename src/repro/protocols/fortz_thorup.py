@@ -19,7 +19,7 @@ reproduce its qualitative behaviour on the paper's topologies.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 

@@ -1,0 +1,59 @@
+"""Queryable results store: run manifests, metrics, diffs and bench views.
+
+Every sweep, benchmark and replay in this repository used to end as a
+write-only JSON blob; this package turns those numbers into rows that can
+be listed, queried, aggregated and — most importantly for CI — *diffed*
+across runs and PRs:
+
+* :mod:`~repro.results.manifest` — :class:`RunManifest`, the provenance
+  record (git sha, package version, ``CACHE_VERSION``, topology, protocol
+  set, scenario-set hash, timings) stamped onto every run;
+* :mod:`~repro.results.store` — :class:`ResultsStore`, one SQLite file of
+  runs + records with ``query`` / ``aggregate`` / ``diff`` /
+  ``export_bench_view`` / ``import_bench_view``;
+* :mod:`~repro.results.diffing` — the category-aware field comparison
+  (timing vs shape vs metric) behind ``repro results diff``.
+
+The scenario :class:`~repro.scenarios.BatchRunner` (``results_store=``),
+the benchmark harness (:mod:`benchmarks.bench_utils`) and the ``repro``
+CLI all write through this package; the committed ``BENCH_*.json`` files
+are exported views over it, never hand-edited artifacts.
+"""
+
+from .diffing import FieldDiff, RunDiff, classify_field, diff_records, flatten_record
+from .manifest import (
+    KNOWN_KINDS,
+    RunManifest,
+    git_revision,
+    new_run_id,
+    scenario_set_fingerprint,
+    utc_now_iso,
+)
+from .store import (
+    VIEW_FILENAMES,
+    ResultsStore,
+    ResultsStoreError,
+    default_results_path,
+    load_bench_view,
+    open_store,
+)
+
+__all__ = [
+    "FieldDiff",
+    "RunDiff",
+    "classify_field",
+    "diff_records",
+    "flatten_record",
+    "KNOWN_KINDS",
+    "RunManifest",
+    "git_revision",
+    "new_run_id",
+    "scenario_set_fingerprint",
+    "utc_now_iso",
+    "VIEW_FILENAMES",
+    "ResultsStore",
+    "ResultsStoreError",
+    "default_results_path",
+    "load_bench_view",
+    "open_store",
+]

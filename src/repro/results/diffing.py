@@ -1,0 +1,261 @@
+"""Structured diffs between recorded runs.
+
+Comparing two runs is the regression question CI asks on every push: *did
+any number that should be stable move?*  Not every field should gate a
+merge, so each compared field is classified:
+
+* **timing** — wall-clock, speedups, evaluation counts.  Noisy on shared
+  runners; always informational.
+* **shape** — workload sizes (matrices, scenarios, nodes, links, ...).
+  Differences mean the runs measured different workloads, not that the
+  code regressed; informational, but they *downgrade* value metrics (a
+  smoke run cannot validate a full run's magnitudes).
+* **metric** — everything else numeric (MLU, utility, costs, equivalence
+  residuals).  These gate: a mismatch beyond tolerance is a *hard*
+  mismatch and ``repro results diff --fail-on metric`` exits non-zero.
+
+Correctness residuals (``max_abs_*_diff``-style fields) stay hard even
+when the workloads differ: whatever the ensemble size, backend-equivalence
+residuals must remain at float-round-off scale.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+#: Record fields used to pair up records across two runs (in this order of
+#: preference).  Bench records match on (topology, workload); sweep records
+#: on (scenario, protocol).
+IDENTITY_KEYS = ("topology", "workload", "scenario", "protocol", "kind")
+
+#: Fields that describe *how fast* rather than *what* — never gate.
+_TIMING_PATTERN = re.compile(
+    r"(seconds|elapsed|runtime|speedup|ratio|evaluations|time|cached)", re.IGNORECASE
+)
+
+#: Fields that describe workload size — differences mean "different
+#: experiment", not "regression".
+_SHAPE_PATTERN = re.compile(
+    r"^(nodes|links|matrices|scenarios|demand_pairs|pairs|count)$|^dspt\.",
+    re.IGNORECASE,
+)
+
+#: Backend-equivalence residuals: hard regardless of workload shape.
+_RESIDUAL_PATTERN = re.compile(r"(max_abs|residual|_diff)", re.IGNORECASE)
+
+
+def classify_field(key: str) -> str:
+    """``timing`` / ``shape`` / ``metric`` classification of a record field."""
+    if _TIMING_PATTERN.search(key):
+        return "timing"
+    if _SHAPE_PATTERN.search(key):
+        return "shape"
+    return "metric"
+
+
+def is_residual_field(key: str) -> bool:
+    """True for backend-equivalence residual fields (always hard metrics)."""
+    return bool(_RESIDUAL_PATTERN.search(key))
+
+
+def flatten_record(record: Mapping[str, object], prefix: str = "") -> Dict[str, object]:
+    """Flatten nested dicts to dotted keys (``dspt.events``); lists pass through."""
+    flat: Dict[str, object] = {}
+    for key, value in record.items():
+        name = f"{prefix}{key}"
+        if isinstance(value, Mapping):
+            flat.update(flatten_record(value, prefix=f"{name}."))
+        else:
+            flat[name] = value
+    return flat
+
+
+def record_identity(record: Mapping[str, object], keys: Sequence[str]) -> Tuple[object, ...]:
+    return tuple(record.get(key) for key in keys)
+
+
+def shared_identity_keys(
+    records_a: Sequence[Mapping[str, object]],
+    records_b: Sequence[Mapping[str, object]],
+) -> List[str]:
+    """Identity keys present in every record on both sides."""
+    keys = []
+    for key in IDENTITY_KEYS:
+        if all(key in r for r in records_a) and all(key in r for r in records_b):
+            keys.append(key)
+    return keys
+
+
+@dataclass
+class FieldDiff:
+    """One compared field of one matched record pair."""
+
+    identity: str
+    key: str
+    a: object
+    b: object
+    category: str  # "timing" | "shape" | "metric" | "note"
+    matches: bool
+    hard: bool  # gates --fail-on metric
+    rel_delta: Optional[float] = None
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "record": self.identity,
+            "field": self.key,
+            "a": self.a,
+            "b": self.b,
+            "class": self.category + ("" if self.hard else "*"),
+            "status": "ok" if self.matches else ("FAIL" if self.hard else "drift"),
+        }
+
+
+@dataclass
+class RunDiff:
+    """The full structured comparison of two runs."""
+
+    run_a: str
+    run_b: str
+    rtol: float
+    atol: float
+    comparable: bool  # False when the runs' workload flags differ
+    entries: List[FieldDiff] = field(default_factory=list)
+    only_in_a: List[str] = field(default_factory=list)
+    only_in_b: List[str] = field(default_factory=list)
+
+    @property
+    def hard_mismatches(self) -> List[FieldDiff]:
+        return [e for e in self.entries if e.hard and not e.matches]
+
+    @property
+    def mismatches(self) -> List[FieldDiff]:
+        return [e for e in self.entries if not e.matches]
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing gates: no hard metric mismatch and no record
+        present on one side only (a vanished record would otherwise slip
+        through the CI gate as "nothing compared, nothing failed")."""
+        return not self.hard_mismatches and not self.only_in_a and not self.only_in_b
+
+    def summary(self) -> str:
+        compared = len(self.entries)
+        hard = len(self.hard_mismatches)
+        soft = len(self.mismatches) - hard
+        scope = "comparable workloads" if self.comparable else (
+            "workload flags differ: value metrics informational, residuals still gate"
+        )
+        lines = [
+            f"diff {self.run_a} vs {self.run_b} ({scope}; rtol={self.rtol:g}, atol={self.atol:g})",
+            f"  {compared} fields compared: {hard} hard mismatch(es), {soft} informational drift(s)",
+        ]
+        if self.only_in_a:
+            lines.append(f"  records only in {self.run_a}: {', '.join(self.only_in_a)}")
+        if self.only_in_b:
+            lines.append(f"  records only in {self.run_b}: {', '.join(self.only_in_b)}")
+        return "\n".join(lines)
+
+
+def _values_match(a: object, b: object, rtol: float, atol: float) -> Tuple[bool, Optional[float]]:
+    """Tolerance-aware equality plus a relative delta for numeric pairs."""
+    if isinstance(a, bool) or isinstance(b, bool):
+        return bool(a) == bool(b), None
+    if isinstance(a, (int, float)) and isinstance(b, (int, float)):
+        x, y = float(a), float(b)
+        if math.isnan(x) and math.isnan(y):
+            return True, 0.0
+        if math.isinf(x) or math.isinf(y):
+            return x == y, None
+        scale = max(abs(x), abs(y))
+        delta = abs(x - y)
+        rel = delta / scale if scale else 0.0
+        return delta <= atol + rtol * scale, rel
+    return a == b, None
+
+
+def diff_records(
+    run_a: str,
+    records_a: Sequence[Mapping[str, object]],
+    run_b: str,
+    records_b: Sequence[Mapping[str, object]],
+    rtol: float = 1e-6,
+    atol: float = 1e-9,
+    comparable: bool = True,
+) -> RunDiff:
+    """Pair up two runs' records and compare every shared field.
+
+    ``comparable=False`` (workload flags differ — e.g. a smoke run against
+    a full-run view) downgrades value metrics to informational; timing and
+    shape fields are informational always; residual fields always gate.
+    """
+    flat_a = [flatten_record(r) for r in records_a]
+    flat_b = [flatten_record(r) for r in records_b]
+    id_keys = shared_identity_keys(flat_a, flat_b)
+
+    def index(records: Sequence[Mapping[str, object]]) -> Dict[Tuple[object, ...], Mapping[str, object]]:
+        table: Dict[Tuple[object, ...], Mapping[str, object]] = {}
+        for position, record in enumerate(records):
+            identity = record_identity(record, id_keys) if id_keys else (position,)
+            if identity in table:
+                # Ambiguous identity (duplicate rows): fall back to position.
+                identity = identity + (position,)
+            table[identity] = record
+        return table
+
+    table_a, table_b = index(flat_a), index(flat_b)
+    diff = RunDiff(run_a=run_a, run_b=run_b, rtol=rtol, atol=atol, comparable=comparable)
+
+    def label(identity: Tuple[object, ...]) -> str:
+        return "/".join(str(part) for part in identity if part is not None) or "record"
+
+    for identity, record in table_a.items():
+        other = table_b.get(identity)
+        if other is None:
+            diff.only_in_a.append(label(identity))
+            continue
+        for key in sorted(set(record) | set(other)):
+            if key in id_keys:
+                continue
+            if key not in record or key not in other:
+                diff.entries.append(
+                    FieldDiff(
+                        identity=label(identity),
+                        key=key,
+                        a=record.get(key, "<absent>"),
+                        b=other.get(key, "<absent>"),
+                        category="note",
+                        matches=False,
+                        hard=False,
+                    )
+                )
+                continue
+            a_value, b_value = record[key], other[key]
+            category = classify_field(key)
+            residual = is_residual_field(key)
+            hard = category == "metric" and (comparable or residual)
+            matches, rel = _values_match(a_value, b_value, rtol, atol)
+            if residual:
+                # Residuals sit at float-round-off scale: any value within
+                # atol of zero on both sides is "still exact", whatever the
+                # relative gap between two round-off noises.
+                if isinstance(a_value, (int, float)) and isinstance(b_value, (int, float)):
+                    matches = matches or (abs(float(a_value)) <= atol and abs(float(b_value)) <= atol)
+            diff.entries.append(
+                FieldDiff(
+                    identity=label(identity),
+                    key=key,
+                    a=a_value,
+                    b=b_value,
+                    category=category,
+                    matches=matches,
+                    hard=hard,
+                    rel_delta=rel,
+                )
+            )
+    for identity in table_b:
+        if identity not in table_a:
+            diff.only_in_b.append(label(identity))
+    return diff

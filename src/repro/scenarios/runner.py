@@ -28,7 +28,7 @@ import os
 import tempfile
 import time
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
@@ -636,6 +636,12 @@ class BatchRunner:
         Scenarios per worker task.  ``None`` auto-sizes to about four
         chunks per worker, which amortises dispatch overhead while keeping
         the pool load-balanced when scenario costs vary.
+    results_store:
+        A :class:`repro.results.ResultsStore` (or a path to one) to record
+        every :meth:`run` into: a manifest (git sha, topology, protocols,
+        scenario-set hash, ``CACHE_VERSION``, timings) plus one record per
+        cell.  ``None`` (the default) records nothing.  The id of the most
+        recent recorded run is available as :attr:`last_run_id`.
 
     Examples
     --------
@@ -655,6 +661,7 @@ class BatchRunner:
         cache_dir: Union[str, Path, None, bool] = None,
         max_workers: Optional[int] = None,
         chunk_size: Optional[int] = None,
+        results_store: Union[str, Path, object, None] = None,
     ) -> None:
         if cache_dir is False:
             self.cache: Optional[ResultCache] = None
@@ -663,6 +670,8 @@ class BatchRunner:
         self.max_workers = max_workers
         self.chunk_size = chunk_size
         self.last_stats = RunStats()
+        self.results_store = results_store
+        self.last_run_id: Optional[str] = None
 
     def run(
         self,
@@ -670,11 +679,15 @@ class BatchRunner:
         demands: TrafficMatrix,
         scenarios: Sequence[Scenario],
         protocols: Iterable[Union[str, ProtocolSpec]],
+        record_config: Optional[Dict[str, object]] = None,
     ) -> List[ScenarioResult]:
         """Evaluate every protocol on every scenario.
 
         Results are returned in ``(protocol, scenario)`` input order
-        regardless of which worker (or cache entry) produced them.
+        regardless of which worker (or cache entry) produced them.  When
+        the runner has a :attr:`results_store`, the run is recorded there
+        with a full manifest; ``record_config`` adds caller context (CLI
+        arguments, workload parameters) to that manifest.
         """
         specs = [ProtocolSpec.of(p) for p in protocols]
         scenarios = list(scenarios)
@@ -765,11 +778,65 @@ class BatchRunner:
 
         stats.elapsed = time.perf_counter() - start
         self.last_stats = stats
-        return [
+        ordered = [
             results[(si, ci)]
             for si in range(len(specs))
             for ci in range(len(scenarios))
         ]
+        if self.results_store is not None:
+            self.last_run_id = self._record(
+                network, specs, scenarios, ordered, stats, record_config
+            )
+        return ordered
+
+    def _record(
+        self,
+        network: Network,
+        specs: Sequence[ProtocolSpec],
+        scenarios: Sequence[Scenario],
+        results: Sequence[ScenarioResult],
+        stats: RunStats,
+        record_config: Optional[Dict[str, object]],
+    ) -> str:
+        """Write this run (manifest + one record per cell) to the store."""
+        # Imported lazily: repro.results depends on this module's
+        # CACHE_VERSION, and the store is optional machinery.
+        from ..results import RunManifest, ResultsStore, scenario_set_fingerprint
+
+        store = self.results_store
+        owned = not isinstance(store, ResultsStore)
+        if owned:
+            store = ResultsStore(store)  # type: ignore[arg-type]
+        try:
+            config: Dict[str, object] = {
+                "scenarios": len(scenarios),
+                "protocols": len(specs),
+                "cache_hits": stats.cache_hits,
+                "evaluated": stats.evaluated,
+                "workers": stats.workers,
+            }
+            config.update(record_config or {})
+            manifest = RunManifest.create(
+                kind="sweep",
+                topology=network.name,
+                protocols=[spec.display_name for spec in specs],
+                scenario_set=scenario_set_fingerprint(scenarios),
+                config=config,
+                timings={"elapsed": stats.elapsed},
+            )
+            records = [
+                {
+                    **result.as_row(),
+                    "topology": network.name,
+                    "runtime": result.runtime,
+                    "cached": result.cached,
+                }
+                for result in results
+            ]
+            return store.record_run(manifest, records)
+        finally:
+            if owned:
+                store.close()
 
     # ------------------------------------------------------------------
     # scheduling helpers

@@ -20,7 +20,7 @@ Constraint matrices are assembled sparsely to keep the Rand100 topology
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 from scipy import sparse

@@ -12,6 +12,18 @@ import os
 import pytest
 from hypothesis import HealthCheck, settings
 
+from repro.core.objectives import LoadBalanceObjective
+from repro.network.demands import TrafficMatrix
+from repro.network.graph import Network
+from repro.topology.backbones import abilene_network
+from repro.topology.paper_examples import (
+    fig1_demands,
+    fig1_network,
+    fig4_demands,
+    fig4_network,
+)
+from repro.traffic.fortz_thorup_tm import abilene_traffic_matrix
+
 # ----------------------------------------------------------------------
 # Hypothesis profiles: seeded/derandomised in CI so failures reproduce.
 #
@@ -35,18 +47,6 @@ settings.register_profile(
     suppress_health_check=[HealthCheck.too_slow],
 )
 settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
-
-from repro.core.objectives import LoadBalanceObjective
-from repro.network.demands import TrafficMatrix
-from repro.network.graph import Network
-from repro.topology.backbones import abilene_network
-from repro.topology.paper_examples import (
-    fig1_demands,
-    fig1_network,
-    fig4_demands,
-    fig4_network,
-)
-from repro.traffic.fortz_thorup_tm import abilene_traffic_matrix
 
 
 @pytest.fixture

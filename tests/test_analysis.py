@@ -1,6 +1,5 @@
 """Tests for the experiment harness and reporting helpers (fast paths only)."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.experiments import (

@@ -1,0 +1,280 @@
+"""The ``repro`` CLI: parsing, exit codes, and end-to-end subcommand flows."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import BENCH_MODULES, SCENARIO_SETS, TOPOLOGIES, build_parser, main
+from repro.results import ResultsStore
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def run_cli(*argv: str) -> int:
+    return main(list(argv))
+
+
+# ----------------------------------------------------------------------
+# parsing and exit codes
+# ----------------------------------------------------------------------
+def test_help_exits_zero(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        run_cli("--help")
+    assert excinfo.value.code == 0
+    assert "sweep" in capsys.readouterr().out
+
+
+@pytest.mark.parametrize("command", ["sweep", "replay", "bench", "results"])
+def test_subcommand_help_exits_zero(command, capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        run_cli(command, "--help")
+    assert excinfo.value.code == 0
+    assert command in capsys.readouterr().out
+
+
+def test_missing_subcommand_is_usage_error(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        run_cli()
+    assert excinfo.value.code == 2
+
+
+def test_unknown_topology_is_usage_error(tmp_path, capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        run_cli("sweep", "--topology", "not-a-topology", "--store", str(tmp_path / "r.sqlite"))
+    assert excinfo.value.code == 2
+
+
+def test_unknown_run_reference_exits_two(tmp_path, capsys):
+    code = run_cli("results", "show", "nope", "--store", str(tmp_path / "r.sqlite"))
+    assert code == 2
+    assert "unknown run" in capsys.readouterr().err
+
+
+def test_bench_rejects_contradictory_smoke_full(tmp_path, capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        run_cli("bench", "--smoke", "--full", "--store", str(tmp_path / "r.sqlite"))
+    assert excinfo.value.code == 2
+
+
+def test_bench_rejects_missing_benchmarks_dir(tmp_path, capsys):
+    code = run_cli(
+        "bench",
+        "--benchmarks-dir", str(tmp_path / "nowhere"),
+        "--store", str(tmp_path / "r.sqlite"),
+    )
+    assert code == 2
+    assert "benchmarks directory" in capsys.readouterr().err
+
+
+def test_registries_are_wired():
+    parser = build_parser()
+    assert parser is not None
+    assert "abilene" in TOPOLOGIES
+    assert "single-link-failures" in SCENARIO_SETS
+    assert set(BENCH_MODULES) == {"routing", "online"}
+
+
+# ----------------------------------------------------------------------
+# sweep / replay record into the store
+# ----------------------------------------------------------------------
+def test_sweep_records_run_and_prints_summary(tmp_path, capsys):
+    store_path = tmp_path / "r.sqlite"
+    code = run_cli(
+        "sweep",
+        "--topology", "abilene",
+        "--protocols", "OSPF",
+        "--scenarios", "single-link-failures",
+        "--limit", "3",
+        "--no-cache",
+        "--store", str(store_path),
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Robustness summary" in out
+    assert "recorded run" in out
+    with ResultsStore(store_path) as store:
+        runs = store.runs(kind="sweep")
+        assert len(runs) == 1
+        assert runs[0].topology == "Abilene"
+        assert runs[0].config["scenario_set_name"] == "single-link-failures"
+        assert len(store.records(runs[0].run_id)) == 3
+
+
+def test_replay_records_one_row_per_outage(tmp_path, capsys):
+    store_path = tmp_path / "r.sqlite"
+    code = run_cli(
+        "replay",
+        "--topology", "abilene",
+        "--limit", "2",
+        "--store", str(store_path),
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Per-outage steady state" in out
+    assert "worst outage" in out
+    with ResultsStore(store_path) as store:
+        runs = store.runs(kind="replay")
+        assert len(runs) == 1
+        records = store.records(runs[0].run_id)
+        assert len(records) == 2
+        assert all("mlu" in record and "scenario" in record for record in records)
+
+
+# ----------------------------------------------------------------------
+# results subcommands end to end
+# ----------------------------------------------------------------------
+@pytest.fixture
+def seeded_store(tmp_path) -> Path:
+    """A store holding the two committed bench views as imported runs."""
+    store_path = tmp_path / "r.sqlite"
+    code = main(
+        [
+            "results", "import",
+            str(REPO_ROOT / "BENCH_routing.json"),
+            str(REPO_ROOT / "BENCH_online.json"),
+            "--store", str(store_path),
+        ]
+    )
+    assert code == 0
+    return store_path
+
+
+def test_results_list_and_show(seeded_store, capsys):
+    assert run_cli("results", "list", "--store", str(seeded_store)) == 0
+    out = capsys.readouterr().out
+    assert "routing-backend" in out and "online-controller" in out
+
+    assert run_cli(
+        "results", "show", "latest:routing-backend", "--json", "--store", str(seeded_store)
+    ) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["manifest"]["benchmark"] == "routing-backend"
+    assert len(payload["records"]) == 4
+
+
+def test_results_query_filters(seeded_store, capsys):
+    assert run_cli(
+        "results", "query",
+        "--benchmark", "routing-backend",
+        "--workload", "ecmp-sweep",
+        "--json",
+        "--store", str(seeded_store),
+    ) == 0
+    rows = json.loads(capsys.readouterr().out)
+    assert len(rows) == 2
+    assert {row["topology"] for row in rows} == {"abilene", "rocketfuel"}
+
+
+def test_results_export_reproduces_committed_views(seeded_store, tmp_path, capsys):
+    """The acceptance flow: exported views match BENCH_*.json byte-for-byte."""
+    for bench_name, filename in [
+        ("routing-backend", "BENCH_routing.json"),
+        ("online-controller", "BENCH_online.json"),
+    ]:
+        out_path = tmp_path / f"exported-{filename}"
+        assert run_cli(
+            "results", "export", bench_name,
+            "-o", str(out_path),
+            "--store", str(seeded_store),
+        ) == 0
+        assert out_path.read_bytes() == (REPO_ROOT / filename).read_bytes()
+    capsys.readouterr()
+
+
+def test_results_export_is_byte_stable_across_reexport(seeded_store, tmp_path, capsys):
+    first = tmp_path / "first.json"
+    assert run_cli(
+        "results", "export", "routing-backend", "-o", str(first), "--store", str(seeded_store)
+    ) == 0
+    assert run_cli("results", "import", str(first), "--store", str(seeded_store)) == 0
+    second = tmp_path / "second.json"
+    assert run_cli(
+        "results", "export", "routing-backend", "-o", str(second), "--store", str(seeded_store)
+    ) == 0
+    capsys.readouterr()
+    assert first.read_bytes() == second.read_bytes()
+
+
+def test_results_diff_clean_and_exit_codes(seeded_store, capsys):
+    """Diffing a run against the view it was imported from is clean (exit 0)."""
+    code = run_cli(
+        "results", "diff",
+        "latest:routing-backend",
+        str(REPO_ROOT / "BENCH_routing.json"),
+        "--store", str(seeded_store),
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "OK: no hard metric mismatches" in out
+
+
+def test_results_diff_hard_failure_sets_exit_code(seeded_store, tmp_path, capsys):
+    view = json.loads((REPO_ROOT / "BENCH_routing.json").read_text())
+    view["results"][0]["max_abs_load_diff"] = 0.5  # a correctness regression
+    broken = tmp_path / "broken.json"
+    broken.write_text(json.dumps(view))
+
+    code = run_cli(
+        "results", "diff",
+        "latest:routing-backend", str(broken),
+        "--store", str(seeded_store),
+    )
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "FAIL" in out
+
+    # --fail-on none reports the same mismatch but keeps the exit code 0.
+    code = run_cli(
+        "results", "diff",
+        "latest:routing-backend", str(broken),
+        "--fail-on", "none",
+        "--store", str(seeded_store),
+    )
+    capsys.readouterr()
+    assert code == 0
+
+
+def test_results_diff_missing_record_sets_exit_code(seeded_store, tmp_path, capsys):
+    view = json.loads((REPO_ROOT / "BENCH_routing.json").read_text())
+    del view["results"][0]  # a benchmark record vanished
+    truncated = tmp_path / "truncated.json"
+    truncated.write_text(json.dumps(view))
+
+    code = run_cli(
+        "results", "diff",
+        "latest:routing-backend", str(truncated),
+        "--store", str(seeded_store),
+    )
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "present on one side only" in out
+
+
+def test_results_diff_timing_drift_is_informational(seeded_store, tmp_path, capsys):
+    view = json.loads((REPO_ROOT / "BENCH_routing.json").read_text())
+    view["results"][0]["sparse_seconds"] *= 10  # timing drift only
+    drifted = tmp_path / "drifted.json"
+    drifted.write_text(json.dumps(view))
+
+    code = run_cli(
+        "results", "diff",
+        "latest:routing-backend", str(drifted),
+        "--store", str(seeded_store),
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "drift" in out
+    assert "OK: no hard metric mismatches" in out
+
+
+def test_results_delete(seeded_store, capsys):
+    assert run_cli(
+        "results", "delete", "latest:online-controller", "--store", str(seeded_store)
+    ) == 0
+    capsys.readouterr()
+    with ResultsStore(seeded_store) as store:
+        assert store.runs(benchmark="online-controller") == []
+        assert len(store.runs(benchmark="routing-backend")) == 1

@@ -16,8 +16,6 @@ from repro.protocols.minmax_mlu import MinMaxMLU
 from repro.protocols.ospf import OSPF
 from repro.protocols.peft import PEFT
 from repro.protocols.spef_protocol import SPEFProtocol
-from repro.topology.paper_examples import fig1_demands, fig1_network, fig4_demands, fig4_network
-from repro.traffic.scaling import scale_to_network_load
 
 
 class TestTable1Fig1:

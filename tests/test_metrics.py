@@ -31,7 +31,7 @@ from repro.metrics.utilization import (
     utilization_percentiles,
 )
 from repro.network.flows import FlowAssignment
-from repro.protocols.ospf import OSPF, invcap_weights
+from repro.protocols.ospf import invcap_weights
 from repro.solvers.assignment import ecmp_assignment
 
 

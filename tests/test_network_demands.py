@@ -1,6 +1,5 @@
 """Unit tests for traffic matrices and demand handling."""
 
-import numpy as np
 import pytest
 
 from repro.network.demands import Demand, DemandError, TrafficMatrix

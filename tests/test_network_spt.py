@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.network.graph import Network, NetworkError
+from repro.network.graph import NetworkError
 from repro.network.spt import (
     UnreachableError,
     all_shortest_path_dags,

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.network.demands import TrafficMatrix
 from repro.protocols.peft import PEFT
 
 

@@ -18,8 +18,6 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.network.demands import TrafficMatrix
-from repro.network.graph import Network
 from repro.protocols.base import RoutingProtocol
 from repro.scenarios import BatchRunner, ProtocolSpec, Scenario
 from repro.scenarios.generators import (

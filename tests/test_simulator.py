@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.network.demands import TrafficMatrix
 from repro.protocols.ospf import OSPF
 from repro.protocols.spef_protocol import SPEFProtocol
 from repro.simulator.events import Simulator

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.network.demands import TrafficMatrix
-from repro.network.spt import UnreachableError, all_shortest_path_dags, shortest_path_dag
+from repro.network.spt import UnreachableError, all_shortest_path_dags
 from repro.solvers.assignment import (
     all_or_nothing_assignment,
     ecmp_assignment,

@@ -275,7 +275,9 @@ class TestWarmStarts:
             search.optimize(abilene, abilene_tm, warm_start=np.ones(3))
 
     def test_fortz_thorup_warm_start_converges_faster(self, abilene, abilene_tm):
-        make = lambda: FortzThorup(restarts=1, seed=0, max_evaluations=300)
+        def make():
+            return FortzThorup(restarts=1, seed=0, max_evaluations=300)
+
         cold = make().optimize(abilene, abilene_tm)
         drifted = abilene_tm.scaled(1.02)
         recold = make().optimize(abilene, drifted)
