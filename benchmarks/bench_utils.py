@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import os
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
 
 def full_bench() -> bool:
@@ -47,14 +47,23 @@ class BenchRecorder:
       (:meth:`~repro.results.ResultsStore.export_bench_view`), never as a
       hand-assembled payload.  Smoke runs keep the committed artifact.
 
+    ``artifact=None`` records into the store without a committed view —
+    how the per-figure modules persist their series (query them with
+    ``repro results query --benchmark paper-figures``).
+
     ``view_flag_keys`` pins the artifact's top-level flag keys to the
     committed layout of each view (``BENCH_routing.json`` has only
     ``full_bench``; ``BENCH_online.json`` also has ``smoke_bench``).
     """
 
-    def __init__(self, benchmark: str, artifact: Path, view_flag_keys=("full_bench",)):
+    def __init__(
+        self,
+        benchmark: str,
+        artifact: Union[Path, str, None],
+        view_flag_keys=("full_bench",),
+    ):
         self.benchmark = benchmark
-        self.artifact = Path(artifact)
+        self.artifact = Path(artifact) if artifact is not None else None
         self.view_flag_keys = tuple(view_flag_keys)
         self.records: List[Dict[str, object]] = []
 
@@ -80,6 +89,6 @@ class BenchRecorder:
         )
         with ResultsStore() as store:
             run_id = store.record_run(manifest, self.records)
-            if not smoke_bench():
+            if self.artifact is not None and not smoke_bench():
                 store.export_bench_view(self.benchmark, run=run_id, path=self.artifact)
         return run_id

@@ -18,7 +18,7 @@ import pytest
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-from bench_utils import full_bench  # noqa: E402
+from bench_utils import BenchRecorder, full_bench  # noqa: E402
 
 from repro.analysis.experiments import Instance, standard_instances  # noqa: E402
 from repro.scenarios import BatchRunner, single_link_failures  # noqa: E402
@@ -31,6 +31,21 @@ def pytest_configure(config):
     config.addinivalue_line(
         "markers", "scenarios: scenario-engine robustness sweeps (batch runner)"
     )
+
+
+@pytest.fixture(scope="session")
+def figure_recorder():
+    """One results-store run collecting every per-figure module's records.
+
+    The figure modules used to print their series to stdout and lose them;
+    they now :meth:`BenchRecorder.add` one record per figure, and the whole
+    session lands as a single ``paper-figures`` bench run
+    (``repro results query --benchmark paper-figures``).  No committed view
+    file: figures are reproduced, not gated.
+    """
+    recorder = BenchRecorder("paper-figures", artifact=None)
+    yield recorder
+    recorder.finalize()
 
 
 @pytest.fixture(scope="session")

@@ -10,11 +10,10 @@ import pytest
 
 from bench_utils import run_once
 from repro.analysis.experiments import fig10_utility_sweep
-from repro.analysis.reporting import format_series, print_report
 
 
 @pytest.mark.benchmark(group="fig10")
-def test_fig10_utility_vs_load(benchmark, instances, fig10_instance_names):
+def test_fig10_utility_vs_load(benchmark, instances, figure_recorder, fig10_instance_names):
     def sweep_all():
         return {
             name: fig10_utility_sweep(instances[name])
@@ -23,17 +22,16 @@ def test_fig10_utility_vs_load(benchmark, instances, fig10_instance_names):
 
     results = run_once(benchmark, sweep_all)
 
-    sections = []
     for name, series in results.items():
-        sections.append(
-            format_series(
-                {"OSPF": series["OSPF"], "SPEF": series["SPEF"]},
-                x_values=series["load"],
-                x_label="load",
-                title=f"Fig. 10 -- utility vs network load, {name}",
-            )
+        figure_recorder.add(
+            {
+                "workload": "fig10-utility-vs-load",
+                "topology": name,
+                "load": series["load"],
+                "OSPF": series["OSPF"],
+                "SPEF": series["SPEF"],
+            }
         )
-    print_report(*sections)
 
     for name, series in results.items():
         ospf, spef = series["OSPF"], series["SPEF"]

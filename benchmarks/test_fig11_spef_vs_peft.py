@@ -11,41 +11,32 @@ import pytest
 
 from bench_utils import run_once
 from repro.analysis.experiments import fig11_simulation, table4_demands
-from repro.analysis.reporting import format_series, format_table, print_report
 
 
 @pytest.mark.benchmark(group="fig11")
 @pytest.mark.parametrize("case", ["simple", "cernet2"])
-def test_fig11_spef_vs_peft(benchmark, case):
+def test_fig11_spef_vs_peft(benchmark, figure_recorder, case):
     duration = 400.0
     result = run_once(benchmark, fig11_simulation, case, duration)
 
-    demand_rows = [
-        {"src": s, "dst": t, "demand": v} for (s, t), v in table4_demands()[case].items()
-    ]
     network = result["network"]
     spef_loads = [result["SPEF"].mean_link_load[link.endpoints] for link in network.links]
     peft_loads = [result["PEFT"].mean_link_load[link.endpoints] for link in network.links]
-    print_report(
-        format_table(demand_rows, title=f"Table IV -- demands ({case})"),
-        format_series(
-            {"SPEF": spef_loads, "PEFT": peft_loads},
-            x_values=list(range(1, network.num_links + 1)),
-            x_label="link",
-            title=f"Fig. 11 -- mean link load over {duration:.0f}s ({case})",
-        ),
-        format_table(
-            [
-                {
-                    "protocol": name,
+    figure_recorder.add(
+        {
+            "workload": "fig11-spef-vs-peft",
+            "topology": case,
+            "duration": duration,
+            "mean_link_load": {"SPEF": spef_loads, "PEFT": peft_loads},
+            "summary": {
+                name: {
                     "used_links": result[f"{name}_used_links"],
                     "load_stddev": round(result[f"{name}_load_std"], 4),
                     "flows": result[name].flows_started,
                 }
                 for name in ("SPEF", "PEFT")
-            ],
-            title="Fig. 11 summary",
-        ),
+            },
+        }
     )
 
     # No traffic is lost by either forwarding configuration.

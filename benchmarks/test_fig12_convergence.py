@@ -5,7 +5,6 @@ import pytest
 
 from bench_utils import run_once
 from repro.analysis.experiments import fig12_convergence
-from repro.analysis.reporting import format_series, print_report
 
 
 def _tail_oscillation(history, window=50):
@@ -14,7 +13,7 @@ def _tail_oscillation(history, window=50):
 
 
 @pytest.mark.benchmark(group="fig12")
-def test_fig12_convergence(benchmark, cernet2_instance):
+def test_fig12_convergence(benchmark, cernet2_instance, figure_recorder):
     results = run_once(
         benchmark,
         fig12_convergence,
@@ -32,17 +31,13 @@ def test_fig12_convergence(benchmark, cernet2_instance):
         step = max(1, len(series) // count)
         return series[::step]
 
-    print_report(
-        format_series(
-            {name: subsample(history) for name, history in alg1.items()},
-            x_label="iteration/20",
-            title="Fig. 12(a) -- dual objective of Algorithm 1 (TE), Cernet2",
-        ),
-        format_series(
-            {name: subsample(history) for name, history in alg2.items()},
-            x_label="iteration/8",
-            title="Fig. 12(b) -- dual objective of Algorithm 2 (NEM), Cernet2",
-        ),
+    figure_recorder.add(
+        {
+            "workload": "fig12-convergence",
+            "topology": "Cernet2",
+            "algorithm1": {name: subsample(history) for name, history in alg1.items()},
+            "algorithm2": {name: subsample(history) for name, history in alg2.items()},
+        }
     )
 
     # Every run produced a full, finite history.

@@ -4,24 +4,24 @@ import pytest
 
 from bench_utils import full_bench, run_once
 from repro.analysis.experiments import fig13_integer_weights
-from repro.analysis.reporting import format_series, print_report
 
 
 @pytest.mark.benchmark(group="fig13")
 @pytest.mark.parametrize("instance_name", ["Abilene", "Cernet2"])
-def test_fig13_integer_weights(benchmark, instances, instance_name):
+def test_fig13_integer_weights(benchmark, instances, figure_recorder, instance_name):
     instance = instances[instance_name]
     loads = instance.fig10_loads()
     if not full_bench():
         loads = loads[::2]  # thin the sweep for the default run
     series = run_once(benchmark, fig13_integer_weights, instance, loads)
-    print_report(
-        format_series(
-            {"Noninteger": series["Noninteger"], "Integer": series["Integer"]},
-            x_values=series["load"],
-            x_label="load",
-            title=f"Fig. 13 -- impact of integer weights, {instance_name}",
-        )
+    figure_recorder.add(
+        {
+            "workload": "fig13-integer-weights",
+            "topology": instance_name,
+            "load": series["load"],
+            "Noninteger": series["Noninteger"],
+            "Integer": series["Integer"],
+        }
     )
 
     noninteger = series["Noninteger"]

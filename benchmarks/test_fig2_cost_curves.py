@@ -5,21 +5,19 @@ import pytest
 
 from bench_utils import run_once
 from repro.analysis.experiments import fig2_cost_curves
-from repro.analysis.reporting import format_series, print_report
 
 
 @pytest.mark.benchmark(group="fig2")
-def test_fig2_cost_curves(benchmark):
+def test_fig2_cost_curves(benchmark, figure_recorder):
     loads = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95]
     curves = run_once(benchmark, fig2_cost_curves, loads)
     series = {name: values for name, values in curves.items() if name != "load"}
-    print_report(
-        format_series(
-            series,
-            x_values=curves["load"],
-            x_label="load",
-            title="Fig. 2 -- link cost vs load (capacity 1)",
-        )
+    figure_recorder.add(
+        {
+            "workload": "fig2-cost-curves",
+            "load": curves["load"],
+            "series": series,
+        }
     )
 
     # All curves start at zero cost and increase with load.

@@ -4,20 +4,21 @@ import pytest
 
 from bench_utils import run_once
 from repro.analysis.experiments import fig3_beta_sweep
-from repro.analysis.reporting import format_series, print_report
 
 
 @pytest.mark.benchmark(group="fig3")
-def test_fig3_beta_sweep(benchmark):
+def test_fig3_beta_sweep(benchmark, figure_recorder):
     betas = [0.0, 0.5, 1.0, 2.0, 3.0, 4.0, 5.0]
     results = run_once(benchmark, fig3_beta_sweep, betas)
     weights = results["weights"]
     utilizations = results["utilizations"]
-    print_report(
-        format_series(weights, x_values=betas, x_label="beta", title="Fig. 3(a) -- first weights vs beta"),
-        format_series(
-            utilizations, x_values=betas, x_label="beta", title="Fig. 3(b) -- link utilization vs beta"
-        ),
+    figure_recorder.add(
+        {
+            "workload": "fig3-beta-sweep",
+            "betas": betas,
+            "weights": weights,
+            "utilizations": utilizations,
+        }
     )
 
     # Fig. 3(a): the weight of the bottleneck arc (3,4) grows explosively

@@ -4,19 +4,22 @@ import pytest
 
 from bench_utils import run_once
 from repro.analysis.experiments import fig5_forwarding_table
-from repro.analysis.reporting import format_table, print_report
 
 
 @pytest.mark.benchmark(group="fig5")
-def test_fig5_forwarding_table(benchmark):
+def test_fig5_forwarding_table(benchmark, figure_recorder):
     result = run_once(benchmark, fig5_forwarding_table, 1.0, 2)
     rows = result["rows"]
-    print_report(
-        format_table(
-            rows,
-            columns=["node", "destination", "next_hop", "num_paths", "path_lengths", "split_ratio"],
-            title="Fig. 5 / Table II -- SPEF forwarding entries towards destination 2",
-        )
+    figure_recorder.add(
+        {
+            "workload": "fig5-forwarding-table",
+            "destination": 2,
+            "entries": [
+                {key: row[key] for key in
+                 ("node", "destination", "next_hop", "num_paths", "split_ratio")}
+                for row in rows
+            ],
+        }
     )
 
     solution = result["solution"]

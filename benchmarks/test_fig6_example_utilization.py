@@ -4,11 +4,10 @@ import pytest
 
 from bench_utils import run_once
 from repro.analysis.experiments import fig4_example_results
-from repro.analysis.reporting import format_series, print_report
 
 
 @pytest.mark.benchmark(group="fig6")
-def test_fig6_example_utilization(benchmark):
+def test_fig6_example_utilization(benchmark, figure_recorder):
     results = run_once(benchmark, fig4_example_results, (0.0, 1.0, 5.0))
     series = {
         "OSPF": results["OSPF_utilization"],
@@ -16,13 +15,8 @@ def test_fig6_example_utilization(benchmark):
         "SPEF1": results["SPEF1_utilization"],
         "SPEF5": results["SPEF5_utilization"],
     }
-    print_report(
-        format_series(
-            series,
-            x_values=list(range(1, 14)),
-            x_label="link",
-            title="Fig. 6 -- link utilization on the Fig. 4 example",
-        )
+    figure_recorder.add(
+        {"workload": "fig6-example-utilization", "utilization": series}
     )
 
     # OSPF overloads at least one link; every SPEF variant keeps (essentially)

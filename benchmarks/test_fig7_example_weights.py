@@ -5,18 +5,19 @@ import pytest
 
 from bench_utils import run_once
 from repro.analysis.experiments import fig4_example_results
-from repro.analysis.reporting import format_series, print_report
 
 
 @pytest.mark.benchmark(group="fig7")
-def test_fig7_example_weights(benchmark):
+def test_fig7_example_weights(benchmark, figure_recorder):
     results = run_once(benchmark, fig4_example_results, (0.0, 1.0, 5.0))
     first = {f"SPEF{b:g}": results[f"SPEF{b:g}_first_weights"] for b in (0, 1, 5)}
     second = {f"SPEF{b:g}": results[f"SPEF{b:g}_second_weights"] for b in (0, 1, 5)}
-    links = list(range(1, 14))
-    print_report(
-        format_series(first, x_values=links, x_label="link", title="Fig. 7(a) -- first link weights"),
-        format_series(second, x_values=links, x_label="link", title="Fig. 7(b) -- second link weights"),
+    figure_recorder.add(
+        {
+            "workload": "fig7-example-weights",
+            "first_weights": {k: list(map(float, v)) for k, v in first.items()},
+            "second_weights": {k: list(map(float, v)) for k, v in second.items()},
+        }
     )
 
     for name, values in first.items():

@@ -4,21 +4,21 @@ import pytest
 
 from bench_utils import run_once
 from repro.analysis.experiments import fig9_sorted_utilizations
-from repro.analysis.reporting import format_series, print_report
 
 
 @pytest.mark.benchmark(group="fig9")
 @pytest.mark.parametrize("instance_name", ["Abilene", "Cernet2"])
-def test_fig9_sorted_utilization(benchmark, instances, instance_name):
+def test_fig9_sorted_utilization(benchmark, instances, figure_recorder, instance_name):
     instance = instances[instance_name]
     series = run_once(benchmark, fig9_sorted_utilizations, instance)
     load = 0.85 * instance.saturation_load()
-    print_report(
-        format_series(
-            series,
-            x_label="rank",
-            title=f"Fig. 9 -- sorted link utilizations, {instance_name} at network load {load:.3f}",
-        )
+    figure_recorder.add(
+        {
+            "workload": "fig9-sorted-utilization",
+            "topology": instance_name,
+            "network_load": round(load, 6),
+            "sorted_utilization": series,
+        }
     )
 
     ospf, spef = series["OSPF"], series["SPEF"]

@@ -1,22 +1,23 @@
-"""Online-controller speed regression: incremental failure sweeps vs cold.
+"""Online-controller speed regression: incremental scenario sweeps vs cold.
 
-The ISSUE-3 acceptance workload: a single-link-failure sweep on the rand100
-topology (100 nodes, ~400 links, all-pairs gravity demands) routed with
-even-ECMP OSPF weights.  Three paths compute identical link loads:
+Three workloads pin the online controller's acceptance bars:
 
-* **cold (evaluate_scenario)** — the scenario engine's pre-existing path:
-  ``scenario.apply`` (network copy + reachability) followed by a full
-  ``OSPF().route`` on the perturbed instance, per scenario;
-* **cold (sparse rebuild)** — rebuild the sparse routing state from scratch
-  per scenario: all destination Dijkstras, CSR compilation, propagation;
-* **incremental** — the online :class:`~repro.online.TEController` replays
-  each failure as events (Ramalingam–Reps delta updates on the dynamic
-  SPTs), re-routes only the affected destinations, and reverts.
+* **single-link-failure sweep** (rand100, all-pairs gravity demands,
+  even-ECMP OSPF InvCap weights) — the incremental sweep must be >= 3x
+  faster than both cold paths (``evaluate_scenario`` and a from-scratch
+  sparse rebuild) with link loads identical to 1e-9;
+* **capacity-degradation sweep** (rand100, MinHop weights — capacity
+  brown-outs only ride the incremental path under capacity-independent
+  weights) — >= 2x faster than cold ``evaluate_scenario`` with loads
+  matching to 1e-12: a brown-out leaves forwarding untouched, so the
+  incremental path pays almost nothing per scenario;
+* **closed-loop reoptimization replay** (Abilene core-trunk outages) —
+  the thresholded :class:`~repro.online.policy.ClosedLoopPolicy` must beat
+  the no-reoptimization baseline on worst-case sustained MLU, at a small
+  fraction of the every-event oracle's reoptimization count.
 
-The acceptance bar asserts the incremental sweep is >= 3x faster than both
-cold paths (relaxed on CI runners) with link loads identical to 1e-9; the
-numbers are recorded in the results store (``$REPRO_RESULTS_DB``; see
-:mod:`repro.results`) and — in full mode — re-exported as the
+The numbers are recorded in the results store (``$REPRO_RESULTS_DB``; see
+:mod:`repro.results`) and — outside smoke mode — re-exported as the
 ``BENCH_online.json`` view at the repository root so regressions are
 diffable across PRs with ``repro results diff``.  ``REPRO_FULL_BENCH=1``
 sweeps every trunk; ``REPRO_BENCH_SMOKE=1`` runs a tiny correctness-only
@@ -171,6 +172,150 @@ def test_incremental_failure_sweep_speedup():
         f"incremental sweep regressed to {entry['speedup_vs_sparse_rebuild']}x "
         "vs the cold sparse rebuild (< 3x acceptance bar)"
     )
+
+
+def test_incremental_capacity_sweep_speedup():
+    """Capacity brown-outs ride the incremental path: >= 2x vs cold on rand100."""
+    from repro.protocols.ospf import MinHopOSPF
+    from repro.scenarios import capacity_degradations
+
+    network = rand100()
+    demands = gravity_traffic_matrix(network, total_volume=0.1 * network.total_capacity())
+    count = 6 if smoke_bench() else (40 if full_bench() else 20)
+    scenarios = capacity_degradations(network, count=count, factor=0.5, seed=0)
+    protocol = MinHopOSPF()
+    weights = protocol.ecmp_forwarding_weights(network)
+    spec = ProtocolSpec.of("MinHopOSPF")
+
+    # Cold path: per-cell scenario.apply + full MinHop route.
+    start = time.perf_counter()
+    cold_results = [
+        evaluate_scenario(network, demands, scenario, spec) for scenario in scenarios
+    ]
+    cold_seconds = time.perf_counter() - start
+    cold_loads = []
+    for scenario in scenarios:
+        instance = scenario.apply(network, demands)
+        loads = MinHopOSPF().route(instance.network, instance.demands).aggregate()
+        cold_loads.append((instance, loads))
+
+    # Incremental: capacity events snapshot/restored, zero routing work.
+    incremental_seconds = float("inf")
+    for _ in range(2):
+        start = time.perf_counter()
+        controller = TEController(
+            network, demands, weights=weights, tolerance=protocol.ecmp_tolerance
+        )
+        measurements = controller.sweep_scenarios(scenarios)
+        incremental_seconds = min(incremental_seconds, time.perf_counter() - start)
+
+    residual = max(
+        float(np.max(np.abs(_map_to_base(network, instance, loads) - measurement.loads)))
+        for (instance, loads), measurement in zip(cold_loads, measurements)
+    )
+    mlu_residual = max(
+        abs(cold.mlu - measurement.mlu)
+        for cold, measurement in zip(cold_results, measurements)
+    )
+    entry = {
+        "topology": "rand100",
+        "workload": "capacity-degradation sweep (MinHop, even ECMP)",
+        "nodes": network.num_nodes,
+        "links": network.num_links,
+        "demand_pairs": len(demands),
+        "scenarios": len(scenarios),
+        "cold_evaluate_scenario_seconds": round(cold_seconds, 6),
+        "incremental_seconds": round(incremental_seconds, 6),
+        "speedup_vs_evaluate_scenario": round(cold_seconds / incremental_seconds, 2),
+        "max_abs_load_diff": residual,
+        "max_abs_mlu_diff": mlu_residual,
+    }
+    _recorder.add(entry)
+    print(
+        f"\n[rand100/capacity-sweep] {len(scenarios)} scenarios: "
+        f"cold {cold_seconds:.2f}s, incremental {incremental_seconds:.3f}s "
+        f"-> {entry['speedup_vs_evaluate_scenario']}x, residual {residual:.2e}"
+    )
+
+    assert residual <= 1e-12, "incremental and cold link loads diverged"
+    assert mlu_residual <= 1e-12, "incremental and cold MLU diverged"
+    if smoke_bench():
+        return
+    assert entry["speedup_vs_evaluate_scenario"] >= _bar(2.0, 1.2), (
+        f"incremental capacity sweep regressed to "
+        f"{entry['speedup_vs_evaluate_scenario']}x vs cold (< 2x acceptance bar)"
+    )
+
+
+def test_closed_loop_policy_beats_static_weights():
+    """Closed loop beats no-reoptimization on worst sustained MLU, cheaply."""
+    from repro.online import ClosedLoopPolicy, OraclePolicy, replay_failure_trace
+    from repro.protocols.fortz_thorup import FortzThorup
+    from repro.topology.backbones import abilene_network
+    from repro.traffic.fortz_thorup_tm import abilene_traffic_matrix
+
+    network = abilene_network()
+    demands = abilene_traffic_matrix(network, total_volume=1.0, seed=1).scaled(
+        0.15 * network.total_capacity()
+    )
+    # Core trunks: outages where rerouting can actually help (a stub trunk's
+    # failure MLU is a cut bound no weight setting can move).
+    core = ("link:1-2", "link:1-3", "link:2-3", "link:5-6", "link:7-8")
+    scenarios = [s for s in single_link_failures(network) if s.scenario_id in core]
+    if smoke_bench():
+        scenarios = scenarios[:2]
+    budget = 30 if smoke_bench() else 150
+
+    def optimizer_factory():
+        return FortzThorup(restarts=1, seed=0, max_evaluations=budget)
+
+    plain = replay_failure_trace(network, demands, scenarios, period=600.0, outage=300.0)
+    closed = replay_failure_trace(
+        network,
+        demands,
+        scenarios,
+        period=600.0,
+        outage=300.0,
+        policy=ClosedLoopPolicy(
+            target_mlu=0.95, hold=30.0, cooldown=120.0,
+            optimizer_factory=optimizer_factory,
+        ),
+    )
+    oracle = replay_failure_trace(
+        network,
+        demands,
+        scenarios,
+        period=600.0,
+        outage=300.0,
+        policy=OraclePolicy(optimizer_factory=optimizer_factory),
+    )
+
+    entry = {
+        "topology": "abilene",
+        "workload": "closed-loop reoptimization replay (core-trunk outages)",
+        "scenarios": len(scenarios),
+        "mlu_target": 0.95,
+        "baseline_mlu": round(plain.baseline.mlu, 6),
+        "worst_mlu_no_policy": round(plain.worst.mlu, 6),
+        "worst_mlu_closed_loop": round(closed.worst.mlu, 6),
+        "worst_mlu_oracle": round(oracle.worst.mlu, 6),
+        "closed_loop_reoptimizations": closed.reoptimizations,
+        "oracle_reoptimizations": oracle.reoptimizations,
+    }
+    _recorder.add(entry)
+    print(
+        f"\n[abilene/closed-loop] worst MLU: no policy {plain.worst.mlu:.3f}, "
+        f"closed loop {closed.worst.mlu:.3f} "
+        f"({closed.reoptimizations} reopts), oracle {oracle.worst.mlu:.3f} "
+        f"({oracle.reoptimizations} reopts)"
+    )
+    if smoke_bench():
+        return
+    assert closed.worst.mlu < plain.worst.mlu, (
+        "the closed-loop policy failed to beat the no-reoptimization baseline "
+        f"({closed.worst.mlu:.3f} vs {plain.worst.mlu:.3f})"
+    )
+    assert closed.reoptimizations < oracle.reoptimizations
 
 
 def test_warm_start_reoptimization_speedup():

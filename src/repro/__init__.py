@@ -44,7 +44,7 @@ from .results import ResultsStore, RunManifest
 from .routing import CompiledDagSet, SparseRouter, batched_link_loads
 from .scenarios import BatchRunner, ProtocolSpec, Scenario, ScenarioResult
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "core",

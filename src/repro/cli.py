@@ -9,11 +9,12 @@ later (by a human or by CI):
   of protocols over a scenario set, recorded with a full run manifest;
 * ``repro replay`` — the online TE controller's failure/recovery trace
   replay (:func:`repro.online.replay_failure_trace`), one record per
-  outage;
+  outage; ``--policy closed-loop|oracle`` runs it closed-loop (thresholded
+  or every-event warm-started reoptimization);
 * ``repro bench`` — the benchmark harness under ``benchmarks/`` via
   pytest, in smoke/default/full mode, recording into the same store;
-* ``repro results {list,show,query,diff,export,import,delete}`` — the
-  store's query surface.  ``diff`` is what CI gates on: timing fields are
+* ``repro results {list,show,query,diff,export,import,delete,gc}`` — the
+  store's query surface (``gc --keep-last N`` is the retention knob).  ``diff`` is what CI gates on: timing fields are
   always informational, metric fields hard-fail (see
   :mod:`repro.results.diffing`); ``export`` regenerates the committed
   ``BENCH_*.json`` views byte-for-byte.
@@ -110,6 +111,61 @@ class CLIError(ValueError):
     """Raised for bad CLI inputs not already rejected by argparse choices."""
 
 
+def _coerce_param(text: str) -> object:
+    """``"2"`` -> 2, ``"0.5"`` -> 0.5, ``"true"`` -> True, else the string."""
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    for caster in (int, float):
+        try:
+            return caster(text)
+        except ValueError:
+            continue
+    return text
+
+
+def parse_protocols(argument: str) -> List[ProtocolSpec]:
+    """Parse ``--protocols`` entries, constructor parameters included.
+
+    Entries are comma-separated; each is ``NAME`` or
+    ``NAME:key=value[:key=value...]`` (``:`` separates parameters so the
+    comma stays the entry separator), e.g.
+    ``OSPF,SPEF:beta=2.0,FortzThorup:seed=1:restarts=2``.  Values are
+    coerced to int/float/bool where they parse as one; unknown names and
+    malformed parameters raise :class:`CLIError` with the offending entry.
+    """
+    specs: List[ProtocolSpec] = []
+    for entry in argument.split(","):
+        entry = entry.strip()
+        if not entry:
+            continue
+        name, *param_parts = entry.split(":")
+        params: Dict[str, object] = {}
+        for part in param_parts:
+            key, separator, value = part.partition("=")
+            if not separator or not key:
+                raise CLIError(
+                    f"malformed protocol parameter {part!r} in {entry!r} "
+                    "(expected NAME:key=value[:key=value...])"
+                )
+            params[key.strip()] = _coerce_param(value.strip())
+        try:
+            spec = ProtocolSpec.of(name.strip(), **params)
+        except RunnerError as exc:
+            raise CLIError(str(exc)) from None
+        try:
+            # Build once up front: a typo'd parameter (beta vs Beta) must be
+            # a usage error here, not a recorded sweep of all-infeasible
+            # cells with exit code 0.
+            spec.build()
+        except Exception as exc:  # noqa: BLE001 - surface constructor errors
+            raise CLIError(f"cannot build protocol {entry!r}: {exc}") from None
+        specs.append(spec)
+    if not specs:
+        raise CLIError("no protocols given")
+    return specs
+
+
 def build_workload(
     topology: str, utilization: float, seed: int
 ) -> Tuple["object", "object"]:
@@ -156,12 +212,13 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     scenarios = factory(network, demands, args.seed)
     if args.limit is not None:
         scenarios = scenarios[: args.limit]
-    protocols = [ProtocolSpec.of(name) for name in args.protocols.split(",") if name]
+    protocols = parse_protocols(args.protocols)
+    workers = (os.cpu_count() or 1) if args.parallel else args.workers
 
     with _open_store(args) as store:
         runner = BatchRunner(
             cache_dir=False if args.no_cache else args.cache_dir,
-            max_workers=args.workers,
+            max_workers=workers,
             results_store=store,
         )
         results = runner.run(
@@ -174,6 +231,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                 "scenario_set_name": args.scenarios,
                 "utilization": args.utilization,
                 "seed": args.seed,
+                "parallel": bool(args.parallel),
             },
         )
         stats = runner.last_stats
@@ -189,6 +247,26 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_policy(args: argparse.Namespace):
+    """The replay policy requested by ``--policy`` (``None`` for none)."""
+    if args.policy == "none":
+        return None
+    from .online import ClosedLoopPolicy, OraclePolicy
+    from .protocols.fortz_thorup import FortzThorup
+
+    def optimizer_factory():
+        return FortzThorup(restarts=1, seed=0, max_evaluations=args.reopt_evaluations)
+
+    if args.policy == "oracle":
+        return OraclePolicy(optimizer_factory=optimizer_factory)
+    return ClosedLoopPolicy(
+        target_mlu=args.mlu_target,
+        hold=args.hold,
+        cooldown=args.cooldown,
+        optimizer_factory=optimizer_factory,
+    )
+
+
 def cmd_replay(args: argparse.Namespace) -> int:
     from .online import replay_failure_trace
 
@@ -196,8 +274,9 @@ def cmd_replay(args: argparse.Namespace) -> int:
     scenarios = single_link_failures(network)
     if args.limit is not None:
         scenarios = scenarios[: args.limit]
+    policy = _build_policy(args)
     replay = replay_failure_trace(
-        network, demands, scenarios, period=args.period, outage=args.outage
+        network, demands, scenarios, period=args.period, outage=args.outage, policy=policy
     )
     stats = replay.controller.spt.stats
     print(
@@ -207,9 +286,18 @@ def cmd_replay(args: argparse.Namespace) -> int:
         f"{stats.full_rebuilds} full rebuilds); baseline MLU "
         f"{replay.baseline.mlu:.3f}, final MLU {replay.final.mlu:.3f}"
     )
+    if policy is not None:
+        print(
+            f"policy {args.policy}: {replay.reoptimizations} reoptimization(s)"
+            + (
+                f", target MLU {args.mlu_target:g}, hold {args.hold:g}s"
+                if args.policy == "closed-loop"
+                else ""
+            )
+        )
     rows = [row.as_row() for row in replay.outages]
     print()
-    print(format_table(rows, title="Per-outage steady state"))
+    print(format_table(rows, title="Per-outage sustained state"))
     if replay.worst is not None:
         print(f"\nworst outage: {replay.worst.scenario_id} (MLU {replay.worst.mlu:.3f})")
 
@@ -229,6 +317,8 @@ def cmd_replay(args: argparse.Namespace) -> int:
                 "events": replay.processed_events,
                 "baseline_mlu": round(replay.baseline.mlu, 6),
                 "final_mlu": round(replay.final.mlu, 6),
+                "policy": args.policy,
+                "reoptimizations": replay.reoptimizations,
             },
             timings={
                 "elapsed": replay.elapsed,
@@ -383,6 +473,22 @@ def cmd_results_delete(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_results_gc(args: argparse.Namespace) -> int:
+    with _open_store(args) as store:
+        deleted = store.gc(args.keep_last, kind=args.kind, benchmark=args.benchmark)
+        kept = len(store.runs(kind=args.kind, benchmark=args.benchmark))
+        if deleted:
+            print(
+                f"deleted {len(deleted)} run(s), keeping the newest "
+                f"{args.keep_last} per (kind, benchmark); {kept} run(s) remain"
+            )
+            for run_id in deleted:
+                print(f"  {run_id}")
+        else:
+            print(f"nothing to delete; {kept} run(s) within retention")
+    return 0
+
+
 # ----------------------------------------------------------------------
 # parser
 # ----------------------------------------------------------------------
@@ -411,7 +517,9 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--protocols",
         default="OSPF",
-        help="comma-separated protocol registry names (default: OSPF)",
+        help="comma-separated protocol entries, parameters passed through as "
+        "NAME:key=value[:key=value...] — e.g. OSPF,SPEF:beta=2.0,"
+        "FortzThorup:seed=1:restarts=2 (default: OSPF)",
     )
     sweep.add_argument(
         "--scenarios",
@@ -426,6 +534,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="evaluate only the first N scenarios")
     sweep.add_argument("--workers", type=int, default=0,
                        help="process-pool size (0 = serial, the default)")
+    sweep.add_argument("--parallel", action="store_true",
+                       help="shard scenario chunks across all CPUs, one online "
+                       "controller per worker (overrides --workers)")
     sweep.add_argument("--cache-dir", default=None,
                        help="scenario result-cache directory (default: $REPRO_CACHE_DIR)")
     sweep.add_argument("--no-cache", action="store_true",
@@ -446,6 +557,23 @@ def build_parser() -> argparse.ArgumentParser:
                         help="seconds each outage lasts")
     replay.add_argument("--limit", type=int, default=None,
                         help="replay only the first N trunk failures")
+    replay.add_argument(
+        "--policy",
+        choices=("none", "closed-loop", "oracle"),
+        default="none",
+        help="closed-loop reoptimization during the replay: 'closed-loop' "
+        "reoptimizes after the MLU stays above --mlu-target for --hold "
+        "seconds; 'oracle' reoptimizes after every event (the baseline "
+        "any threshold policy is measured against)",
+    )
+    replay.add_argument("--mlu-target", type=float, default=0.9,
+                        help="closed-loop MLU ceiling (default: 0.9)")
+    replay.add_argument("--hold", type=float, default=30.0,
+                        help="seconds a breach must persist before reoptimizing")
+    replay.add_argument("--cooldown", type=float, default=120.0,
+                        help="minimum seconds between reoptimizations")
+    replay.add_argument("--reopt-evaluations", type=int, default=150,
+                        help="Fortz-Thorup evaluation budget per reoptimization")
     replay.set_defaults(handler=cmd_replay)
 
     bench = subparsers.add_parser(
@@ -538,6 +666,19 @@ def build_parser() -> argparse.ArgumentParser:
                                             help="delete a run and its records")
     results_delete.add_argument("run")
     results_delete.set_defaults(handler=cmd_results_delete)
+
+    results_gc = results_sub.add_parser(
+        "gc",
+        parents=[store_parent],
+        help="retention: delete all but the newest N runs per (kind, benchmark)",
+    )
+    results_gc.add_argument("--keep-last", type=int, required=True, metavar="N",
+                            help="runs to keep in each (kind, benchmark) family")
+    results_gc.add_argument("--kind", default=None,
+                            help="only trim runs of this kind")
+    results_gc.add_argument("--benchmark", default=None,
+                            help="only trim runs of this benchmark")
+    results_gc.set_defaults(handler=cmd_results_gc)
 
     return parser
 

@@ -26,8 +26,10 @@ from .controller import (
     ControllerUpdate,
     TEController,
     sweep_pure_failures,
+    sweep_scenarios,
 )
 from .dspt import DsptStats, DynamicSPT
+from .policy import ClosedLoopPolicy, OraclePolicy, PolicyDecision
 from .replay import OutageRow, ReplayResult, replay_failure_trace
 from .events import (
     CapacityChange,
@@ -39,13 +41,17 @@ from .events import (
     NetworkEvent,
     failure_events,
     failure_recovery_trace,
+    is_incremental_sweepable,
     is_pure_failure,
     recovery_events,
+    scenario_events,
     scenario_failed_edges,
+    scenario_revert_events,
 )
 
 __all__ = [
     "CapacityChange",
+    "ClosedLoopPolicy",
     "ControllerMeasurement",
     "ControllerUpdate",
     "DemandUpdate",
@@ -56,14 +62,20 @@ __all__ = [
     "LinkRecovery",
     "LinkWeightChange",
     "NetworkEvent",
+    "OraclePolicy",
     "OutageRow",
+    "PolicyDecision",
     "ReplayResult",
     "replay_failure_trace",
     "TEController",
     "failure_events",
     "failure_recovery_trace",
+    "is_incremental_sweepable",
     "is_pure_failure",
     "recovery_events",
+    "scenario_events",
     "scenario_failed_edges",
+    "scenario_revert_events",
     "sweep_pure_failures",
+    "sweep_scenarios",
 ]

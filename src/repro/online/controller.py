@@ -19,9 +19,12 @@ network *changes* instead of being re-posed from scratch:
 The controller is deliberately ECMP (even splitting over the equal-cost
 DAGs, i.e. the OSPF data plane): that is the regime where incremental
 shortest paths pay for the whole routing state.  Scenario sweeps use it
-through :func:`sweep_pure_failures`, the scenario runner's incremental
-fast path; the discrete-event simulator replays timed traces through
-:meth:`TEController.bind`.
+through :func:`sweep_scenarios` — the scenario runner's incremental fast
+path, covering link/node failures, capacity brown-outs and their mixes
+(:func:`sweep_pure_failures` is the validating pure-failure subset); the
+discrete-event simulator replays timed traces through
+:meth:`TEController.bind`, where :mod:`repro.online.policy` closes the
+loop with thresholded warm-started reoptimization.
 """
 
 from __future__ import annotations
@@ -49,6 +52,7 @@ from .events import (
     LinkWeightChange,
     NetworkEvent,
     failure_events,
+    scenario_events,
 )
 
 
@@ -192,6 +196,7 @@ class TEController:
     def apply(self, event: NetworkEvent) -> ControllerUpdate:
         """Consume one event, updating routing state incrementally."""
         start = _time.perf_counter()
+        structural = True
         if isinstance(event, LinkFailure):
             affected = self.spt.fail_link(*event.link)
         elif isinstance(event, LinkRecovery):
@@ -199,14 +204,14 @@ class TEController:
         elif isinstance(event, LinkWeightChange):
             affected = self.spt.set_weight(*event.link, event.weight)
         elif isinstance(event, CapacityChange):
-            affected = self._apply_capacity(event)
+            affected, structural = self._apply_capacity(event)
         elif isinstance(event, DemandUpdate):
             affected = self._apply_demand(event)
         elif type(event) is NetworkEvent:
             affected = set()
         else:
             raise EventError(f"unknown event type {type(event).__name__}")
-        self._invalidate(affected, structural=not isinstance(event, CapacityChange))
+        self._invalidate(affected, structural=structural)
         update = ControllerUpdate(
             event=event,
             affected_destinations=len(affected),
@@ -221,16 +226,22 @@ class TEController:
         """Consume a batch of events in order."""
         return [self.apply(event) for event in events]
 
-    def _apply_capacity(self, event: CapacityChange) -> Set[Node]:
+    def _apply_capacity(self, event: CapacityChange) -> Tuple[Set[Node], bool]:
+        """Apply one capacity event; returns ``(affected, structural)``.
+
+        A capacity at or below zero is an explicit link failure — the exact
+        semantics :meth:`Scenario.apply` gives a capacity factor of 0, so the
+        incremental and cold paths agree on what a dead link means.  The
+        link's *configured* capacity stays in :attr:`capacities` (the failed
+        link carries zero load, so its utilization is a well-defined 0, never
+        0/0); recovery restores it like any other failure.
+        """
         if event.capacity <= 0:
-            raise EventError(
-                f"capacity must stay positive, got {event.capacity} "
-                f"(fail the link instead)"
-            )
+            return self.spt.fail_link(*event.link), True
         index = self.network.link_index(*event.link)
         self.capacities = self.capacities.copy()
         self.capacities[index] = float(event.capacity)
-        return set()  # forwarding state (weights) is untouched
+        return set(), False  # forwarding state (weights) is untouched
 
     def _apply_demand(self, event: DemandUpdate) -> Set[Node]:
         if event.source == event.target:
@@ -438,35 +449,51 @@ class TEController:
     # ------------------------------------------------------------------
     # scenario sweeps and simulator binding
     # ------------------------------------------------------------------
-    def sweep_pure_failures(
+    def sweep_scenarios(
         self, scenarios: Sequence[Scenario]
     ) -> List[ControllerMeasurement]:
-        """Measure every pure-failure scenario by failing and reverting it.
+        """Measure every topology-perturbing scenario by applying and reverting it.
 
-        For each scenario the failed links are applied as incremental
-        events, the routing state measured, and the links recovered — so a
-        single-link-failure sweep costs one delta update per trunk instead
-        of a full recompute per scenario.  The controller ends in its
-        starting state; because every scenario reverts to the same baseline,
-        the baseline's compiled DAGs and load vectors are snapshotted once
-        and restored after each recovery, so only the failure's own
-        footprint is ever recompiled.
+        Generalises the pure-failure sweep to the full topology algebra:
+        each scenario is expanded by :func:`scenario_events` into link
+        failures (node failures and factor-0 capacities included) and
+        capacity changes, applied as incremental events, measured, and
+        reverted — so a sweep costs one delta update per perturbed trunk
+        instead of a full recompute per scenario, and a capacity-only
+        scenario costs no routing work at all (forwarding is untouched;
+        only the utilization denominator moves).
+
+        The controller ends in its starting state: the baseline's load
+        caches *and capacity vector* are snapshotted once and restored after
+        each scenario (links the sweep failed are recovered individually —
+        their footprint is all that is ever recompiled).
         """
         self._refresh_loads()
         baseline_loads = dict(self._dest_loads)
         baseline_dropped = dict(self._dest_dropped)
+        baseline_capacities = self.capacities
         measurements: List[ControllerMeasurement] = []
         for scenario in scenarios:
-            failures = failure_events(self.network, scenario)
+            events = scenario_events(self.network, scenario)
             already_down = set(self.spt.failed_links())
             applied = [
-                event for event in failures if event.link not in already_down
+                event
+                for event in events
+                if not (isinstance(event, LinkFailure) and event.link in already_down)
             ]
             self.apply_all(applied)
             measurements.append(self.measure())
+            # Revert by diffing the failed set (robust even when a capacity
+            # event converted to a failure) and snapshot-restoring the
+            # capacity vector in one assignment.
             self.apply_all(
-                LinkRecovery(link=event.link) for event in applied
+                [
+                    LinkRecovery(link=edge)
+                    for edge in self.spt.failed_links()
+                    if edge not in already_down
+                ]
             )
+            self.capacities = baseline_capacities
             # The recovery returned the DAGs to the baseline; restore the
             # baseline's load caches instead of re-routing the roundtrip's
             # footprint on the next measure.
@@ -474,6 +501,19 @@ class TEController:
             self._dest_dropped = dict(baseline_dropped)
             self._dirty.clear()
         return measurements
+
+    def sweep_pure_failures(
+        self, scenarios: Sequence[Scenario]
+    ) -> List[ControllerMeasurement]:
+        """Pure link/node-failure subset of :meth:`sweep_scenarios`.
+
+        Kept as the narrow entry point: it validates that every scenario
+        really is a pure failure (capacity/demand perturbations raise
+        :class:`~repro.online.events.EventError`) before sweeping.
+        """
+        for scenario in scenarios:
+            failure_events(self.network, scenario)  # validates, result unused
+        return self.sweep_scenarios(scenarios)
 
     def bind(
         self,
@@ -499,6 +539,25 @@ class TEController:
         return count
 
 
+def sweep_scenarios(
+    network: Network,
+    demands: TrafficMatrix,
+    scenarios: Sequence[Scenario],
+    weights: Optional[WeightsLike] = None,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> List[ControllerMeasurement]:
+    """One-shot incremental scenario sweep (builds a controller, sweeps, done).
+
+    The scenario runner's incremental fast path: equivalent (to float
+    round-off on link loads) to applying each scenario from scratch and
+    routing with even-split ECMP under ``weights``, but paying one
+    incremental update per perturbed trunk — capacity brown-outs included —
+    instead of a full per-scenario recompute.
+    """
+    controller = TEController(network, demands, weights=weights, tolerance=tolerance)
+    return controller.sweep_scenarios(scenarios)
+
+
 def sweep_pure_failures(
     network: Network,
     demands: TrafficMatrix,
@@ -506,12 +565,7 @@ def sweep_pure_failures(
     weights: Optional[WeightsLike] = None,
     tolerance: float = DEFAULT_TOLERANCE,
 ) -> List[ControllerMeasurement]:
-    """One-shot incremental failure sweep (builds a controller, sweeps, done).
-
-    The scenario runner's incremental fast path: equivalent (to 1e-9 on
-    link loads) to applying each scenario from scratch and routing with
-    even-split ECMP under ``weights``, but paying one incremental update
-    per failed trunk instead of a full per-scenario recompute.
-    """
+    """One-shot incremental failure sweep (pure-failure subset; see
+    :func:`sweep_scenarios`)."""
     controller = TEController(network, demands, weights=weights, tolerance=tolerance)
     return controller.sweep_pure_failures(scenarios)

@@ -17,11 +17,21 @@ demand drifting.  This module defines that stream's vocabulary:
 Events are frozen dataclasses with a ``time`` stamp so they can be replayed
 through the discrete-event :class:`~repro.simulator.events.Simulator` (see
 :meth:`~repro.online.controller.TEController.bind`), logged, and compared.
-Converters translate the existing failure generators into event streams:
-:func:`failure_events` / :func:`recovery_events` expand a pure-failure
-:class:`~repro.scenarios.scenario.Scenario` (link *and* node failures) into
-per-link events, and :func:`failure_recovery_trace` turns a scenario sweep
-into a timed fail → measure → repair trace.
+Converters translate the scenario engine's declarative perturbations into
+event streams: :func:`scenario_events` expands *any* topology-perturbing
+:class:`~repro.scenarios.scenario.Scenario` — link/node failures, capacity
+brown-outs, and their combinations — into per-link events
+(:func:`failure_events` / :func:`recovery_events` remain the pure-failure
+subset), and :func:`failure_recovery_trace` turns a scenario sweep into a
+timed fail → measure → repair trace.
+
+The capacity conversion pins the scenario algebra's semantics: duplicate
+edges in ``capacity_factors`` merge multiplicatively (exactly as
+:meth:`Scenario.apply` merges them), positive scaled capacities become
+:class:`CapacityChange` events, and a scaled capacity of zero (or below) is
+an explicit :class:`LinkFailure` — the same "factor 0 removes the link"
+rule the cold path applies, so the incremental and from-scratch evaluations
+of one scenario can never disagree about what a dead link means.
 """
 
 from __future__ import annotations
@@ -142,6 +152,98 @@ def scenario_failed_edges(network: Network, scenario: Scenario) -> List[Edge]:
         for link in network.links
         if link.endpoints in removed or link.source in dead or link.target in dead
     ]
+
+
+def is_incremental_sweepable(scenario: Scenario) -> bool:
+    """True when ``scenario`` perturbs only the topology, not the demands.
+
+    These are exactly the scenarios :func:`scenario_events` can express as a
+    stream of :class:`LinkFailure` / :class:`CapacityChange` events and the
+    online controller can therefore replay (and revert) incrementally:
+    failures, capacity brown-outs, and mixed failure+capacity scenarios.
+    Demand perturbations change what enters the network rather than the
+    network itself and keep the scenario engine's from-scratch ``apply``.
+    """
+    return bool(
+        (scenario.failed_links or scenario.failed_nodes or scenario.capacity_factors)
+        and scenario.demand_scale == 1.0
+        and not scenario.demand_factors
+    )
+
+
+def scenario_events(
+    network: Network, scenario: Scenario, time: float = 0.0
+) -> List[NetworkEvent]:
+    """Expand a topology-perturbing scenario into controller events.
+
+    Failed links (and every link incident to a failed node) become
+    :class:`LinkFailure` events; capacity factors become
+    :class:`CapacityChange` events carrying the *scaled* capacity
+    (``link.capacity * merged factor``) — except factors whose scaled
+    capacity is zero or below, which become :class:`LinkFailure` too,
+    matching :meth:`Scenario.apply`'s cold semantics exactly.  A link both
+    failed and capacity-scaled just fails (the cold path removes it before
+    looking at factors).  Events come out in the base network's link order,
+    failures first, so applying them is deterministic.
+
+    Raises :class:`EventError` for demand-perturbing scenarios and for
+    links/nodes the network does not have (a scenario built for a different
+    topology must fail loudly, not half-apply).
+    """
+    if not is_incremental_sweepable(scenario):
+        raise EventError(
+            f"scenario {scenario.scenario_id!r} perturbs demands (or nothing): "
+            "not expressible as link events"
+        )
+    # Scenario.merged_capacity_factors is the single source of truth for
+    # duplicate-edge composition, shared with the cold `apply` path.
+    factors = scenario.merged_capacity_factors()
+    for edge in factors:
+        if not network.has_link(*edge):
+            raise EventError(f"scenario {scenario.scenario_id!r}: unknown link {edge}")
+    failed = set(scenario_failed_edges(network, scenario))
+    failures: List[NetworkEvent] = []
+    capacities: List[NetworkEvent] = []
+    for link in network.links:
+        edge = link.endpoints
+        if edge in failed:
+            failures.append(LinkFailure(time=time, link=edge))
+            continue
+        if edge not in factors:
+            continue
+        scaled = link.capacity * factors[edge]
+        if scaled <= 0:
+            # Factor-0 brown-outs are failures on both evaluation paths.
+            failures.append(LinkFailure(time=time, link=edge))
+        else:
+            capacities.append(CapacityChange(time=time, link=edge, capacity=scaled))
+    return failures + capacities
+
+
+def scenario_revert_events(
+    network: Network, events: Sequence[NetworkEvent], time: float = 0.0
+) -> List[NetworkEvent]:
+    """The events that undo an applied :func:`scenario_events` stream.
+
+    Failures revert to :class:`LinkRecovery`; capacity changes revert to a
+    :class:`CapacityChange` back to the base network's configured capacity.
+    """
+    reverted: List[NetworkEvent] = []
+    for event in events:
+        if isinstance(event, LinkFailure):
+            reverted.append(LinkRecovery(time=time, link=event.link))
+        elif isinstance(event, CapacityChange):
+            index = network.link_index(*event.link)
+            reverted.append(
+                CapacityChange(
+                    time=time,
+                    link=event.link,
+                    capacity=float(network.capacities[index]),
+                )
+            )
+        else:
+            raise EventError(f"cannot revert event kind {event.kind!r}")
+    return reverted
 
 
 def failure_events(

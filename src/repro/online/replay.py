@@ -7,6 +7,14 @@ extracts that replay as a library function so the example, the ``repro``
 CLI and the results store all drive the same code path: build the trace,
 bind the controller, sample a measurement after every event, and summarise
 one row per outage.
+
+A replay can also run **closed-loop**: pass a policy from
+:mod:`repro.online.policy` and every triggered reoptimization is folded
+into the timeline (kind ``"reoptimize"``), so the per-outage rows report
+the *sustained* state of each outage — the last measurement inside its
+window, i.e. what the network looked like after the policy (if any) had
+reacted — and :attr:`ReplayResult.worst` compares fairly between the
+no-policy, closed-loop and every-event-oracle replays.
 """
 
 from __future__ import annotations
@@ -25,7 +33,12 @@ from .events import failure_recovery_trace
 
 @dataclass
 class OutageRow:
-    """The steady-state measurement of one outage in the trace."""
+    """The sustained measurement of one outage in the trace.
+
+    ``mlu`` (and friends) come from the *last* sample inside the outage
+    window: the final failure event without a policy, the post-
+    reoptimization measurement when a policy reacted in time.
+    """
 
     scenario_id: str
     time: float
@@ -34,6 +47,8 @@ class OutageRow:
     routed_volume: float
     dropped_volume: float
     connected: bool
+    #: Reoptimizations a policy spent inside this outage's window.
+    reoptimizations: int = 0
 
     def as_row(self) -> Dict[str, object]:
         """A flat record for tables and the results store."""
@@ -45,6 +60,7 @@ class OutageRow:
             "routed": round(self.routed_volume, 6),
             "dropped": round(self.dropped_volume, 6),
             "connected": self.connected,
+            "reoptimizations": self.reoptimizations,
         }
 
 
@@ -60,11 +76,18 @@ class ReplayResult:
     processed_events: int
     elapsed: float = 0.0
     samples: List[ControllerUpdate] = field(default_factory=list)
+    #: The attached policy (``None`` for a plain replay); its ``decisions``
+    #: carry per-reoptimization before/after MLU.
+    policy: Optional[object] = None
 
     @property
     def worst(self) -> Optional[OutageRow]:
-        """The outage with the highest MLU (``None`` on an empty trace)."""
+        """The outage with the highest sustained MLU (``None`` on an empty trace)."""
         return max(self.outages, key=lambda row: row.mlu, default=None)
+
+    @property
+    def reoptimizations(self) -> int:
+        return len(getattr(self.policy, "decisions", ()))
 
 
 def replay_failure_trace(
@@ -73,14 +96,18 @@ def replay_failure_trace(
     scenarios: Sequence[Scenario],
     period: float = 600.0,
     outage: float = 300.0,
+    policy: Optional[object] = None,
 ) -> ReplayResult:
     """Replay ``scenarios`` as a timed fail → repair trace and sample MLU.
 
     Each scenario fails at ``i * period`` and heals ``outage`` seconds
     later; the controller absorbs every directed-link event incrementally
-    and the MLU timeline is sampled after each one.  The per-outage rows
-    report the measurement after the *last* failure event of each outage
-    (a trunk cut arrives as two directed-link events).
+    and the MLU timeline is sampled after each one.  With a ``policy``
+    (:class:`~repro.online.policy.ClosedLoopPolicy` /
+    :class:`~repro.online.policy.OraclePolicy`) each triggered
+    reoptimization is sampled into the timeline too.  The per-outage rows
+    report the last sample inside each outage window — the sustained state
+    the network actually ran in until repair.
     """
     trace = failure_recovery_trace(network, scenarios, period=period, outage=outage)
     controller = TEController(network, demands)
@@ -88,33 +115,57 @@ def replay_failure_trace(
 
     timeline: List[Tuple[float, str, ControllerMeasurement]] = []
     updates: List[ControllerUpdate] = []
-
-    def sample(ctrl: TEController, update: ControllerUpdate) -> None:
-        updates.append(update)
-        timeline.append((update.event.time, update.event.kind, ctrl.measure()))
-
     simulator = Simulator()
-    controller.bind(simulator, trace, on_update=sample)
+
+    def sample(ctrl: TEController, update: ControllerUpdate) -> ControllerMeasurement:
+        measurement = ctrl.measure()
+        updates.append(update)
+        timeline.append((update.event.time, update.event.kind, measurement))
+        return measurement
+
+    on_update = sample
+    if policy is not None:
+        policy.attach(
+            controller,
+            simulator,
+            # The policy hands over its post-installation measurement, so
+            # the timeline entry costs no extra measure().
+            on_reoptimize=lambda ctrl, decision, measurement: timeline.append(
+                (decision.time, "reoptimize", measurement)
+            ),
+        )
+
+        def on_update(ctrl: TEController, update: ControllerUpdate) -> None:
+            policy.observe(ctrl, update, measurement=sample(ctrl, update))
+
+    controller.bind(simulator, trace, on_update=on_update)
     start = time.perf_counter()
     simulator.run()
     elapsed = time.perf_counter() - start
 
-    by_time: Dict[float, ControllerMeasurement] = {}
-    for when, kind, measurement in timeline:
-        if kind == "link-failure":
-            by_time[when] = measurement
-    outages = [
-        OutageRow(
-            scenario_id=scenarios[int(round(when / period))].scenario_id,
-            time=when,
-            mlu=measurement.mlu,
-            utility=measurement.utility,
-            routed_volume=measurement.routed_volume,
-            dropped_volume=measurement.dropped_volume,
-            connected=measurement.connected,
+    outages: List[OutageRow] = []
+    for index, scenario in enumerate(scenarios):
+        down, up = index * period, index * period + outage
+        window = [
+            (when, kind, measurement)
+            for when, kind, measurement in timeline
+            if down <= when < up and kind in ("link-failure", "reoptimize")
+        ]
+        if not window:
+            continue
+        when, _, measurement = window[-1]
+        outages.append(
+            OutageRow(
+                scenario_id=scenario.scenario_id,
+                time=down,
+                mlu=measurement.mlu,
+                utility=measurement.utility,
+                routed_volume=measurement.routed_volume,
+                dropped_volume=measurement.dropped_volume,
+                connected=measurement.connected,
+                reoptimizations=sum(1 for _, kind, _m in window if kind == "reoptimize"),
+            )
         )
-        for when, measurement in sorted(by_time.items())
-    ]
     return ReplayResult(
         controller=controller,
         baseline=baseline,
@@ -124,4 +175,5 @@ def replay_failure_trace(
         processed_events=simulator.processed_events,
         elapsed=elapsed,
         samples=updates,
+        policy=policy,
     )

@@ -67,6 +67,20 @@ class RoutingProtocol(abc.ABC):
         """
         return None
 
+    def capacity_independent_forwarding(self, network: Network) -> bool:
+        """True when :meth:`ecmp_forwarding_weights` ignores link capacities.
+
+        Capacity-degradation scenarios can only ride the incremental sweep
+        when the weights the sweep holds fixed are the weights the cold path
+        would derive on the *perturbed* instance.  Explicit (operator-
+        configured) weights and unit weights qualify; capacity-derived
+        defaults like Cisco InvCap do not — scaling a capacity rescales the
+        cold path's weights, so the two paths legitimately route
+        differently.  Meaningless (and ``False``) when
+        :meth:`ecmp_forwarding_weights` returns ``None``.
+        """
+        return False
+
     def split_ratios(
         self, network: Network, demands: TrafficMatrix
     ) -> Optional[Dict[Node, Dict[Node, Dict[Node, float]]]]:

@@ -128,6 +128,15 @@ class OSPF(RoutingProtocol):
             return None
         return self.link_weights(network)
 
+    def capacity_independent_forwarding(self, network: Network) -> bool:
+        """Explicit mapping weights survive capacity scaling; InvCap does not.
+
+        The InvCap default re-derives weights from the (possibly degraded)
+        capacities at routing time, so only instances configured with an
+        explicit weight mapping qualify for incremental capacity sweeps.
+        """
+        return self.ecmp_forwarding_weights(network) is not None and self._weights is not None
+
     def split_ratios(
         self, network: Network, demands: TrafficMatrix
     ) -> Dict[Node, Dict[Node, Dict[Node, float]]]:
@@ -159,3 +168,7 @@ class MinHopOSPF(OSPF):
 
     def link_weights(self, network: Network) -> np.ndarray:
         return unit_weights(network)
+
+    def capacity_independent_forwarding(self, network: Network) -> bool:
+        """Unit weights never look at capacities."""
+        return self.ecmp_forwarding_weights(network) is not None

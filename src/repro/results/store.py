@@ -181,6 +181,37 @@ class ResultsStore:
             self._connection.execute("DELETE FROM runs WHERE run_id = ?", (manifest.run_id,))
         return manifest.run_id
 
+    def gc(
+        self,
+        keep_last: int,
+        kind: Optional[str] = None,
+        benchmark: Optional[str] = None,
+    ) -> List[str]:
+        """Retention: keep the newest ``keep_last`` runs per (kind, benchmark).
+
+        Every command records a run, so a store used by CI or a watch loop
+        grows without bound; ``gc`` trims it while keeping each run *family*
+        (sweeps, replays, each benchmark) independently useful — deleting
+        globally would let a burst of sweeps evict the only recorded bench
+        run a later ``repro results diff`` needs.  Optional ``kind`` /
+        ``benchmark`` filters restrict which families are trimmed.  Returns
+        the deleted run ids (newest first within each family).
+        """
+        if keep_last < 0:
+            raise ResultsStoreError(f"keep_last must be non-negative, got {keep_last}")
+        groups: Dict[Tuple[object, object], List[RunManifest]] = {}
+        for manifest in self.runs(kind=kind, benchmark=benchmark):
+            groups.setdefault((manifest.kind, manifest.benchmark), []).append(manifest)
+        deleted: List[str] = []
+        with self._connection:
+            for manifests in groups.values():
+                for manifest in manifests[keep_last:]:  # runs() is newest-first
+                    self._connection.execute(
+                        "DELETE FROM runs WHERE run_id = ?", (manifest.run_id,)
+                    )
+                    deleted.append(manifest.run_id)
+        return deleted
+
     # ------------------------------------------------------------------
     # reads
     # ------------------------------------------------------------------

@@ -160,6 +160,10 @@ class ScenarioResult:
     feasible: bool
     connected: bool
     runtime: float = 0.0
+    #: Amortised share of one-off setup (controller construction) charged to
+    #: this cell, reported *separately* from ``runtime`` so incremental and
+    #: cold per-cell timings stay comparable in the results store.
+    setup_runtime: float = 0.0
     cached: bool = False
     error: Optional[str] = None
 
@@ -189,6 +193,7 @@ class ScenarioResult:
             "feasible": self.feasible,
             "connected": self.connected,
             "runtime": self.runtime,
+            "setup_runtime": self.setup_runtime,
             "error": self.error,
         }
 
@@ -205,6 +210,7 @@ class ScenarioResult:
             feasible=bool(data["feasible"]),
             connected=bool(data["connected"]),
             runtime=float(data.get("runtime", 0.0)),
+            setup_runtime=float(data.get("setup_runtime", 0.0)),
             error=data.get("error"),  # type: ignore[arg-type]
         )
 
@@ -300,15 +306,50 @@ def incremental_sweep_weights(
         return None
 
 
-def _incremental_eligible(scenario: Scenario) -> bool:
-    """True for scenarios the online controller can replay as link events."""
-    from ..online.events import is_pure_failure
+def incremental_sweep_capacity_independent(
+    protocol: Optional[RoutingProtocol], network: Network
+) -> bool:
+    """True when the protocol's sweep weights ignore link capacities.
 
-    return is_pure_failure(scenario)
+    Capacity-degradation scenarios may only ride the incremental sweep for
+    such protocols: capacity-derived defaults (Cisco InvCap) re-derive
+    different weights on the degraded instance, so the cold and incremental
+    paths would legitimately route differently.  Defensive like
+    :func:`incremental_sweep_weights`: a broken hook means "not independent".
+    """
+    if protocol is None:
+        return False
+    try:
+        return bool(protocol.capacity_independent_forwarding(network))
+    except Exception:  # noqa: BLE001 - a broken hook means "cannot sweep"
+        return False
+
+
+def _incremental_eligible(scenario: Scenario, capacity_independent: bool = False) -> bool:
+    """True for scenarios the online controller can replay as link events.
+
+    Pure link/node failures are always eligible; scenarios carrying capacity
+    factors additionally require the protocol's forwarding weights to be
+    capacity-independent (see
+    :func:`incremental_sweep_capacity_independent`).  A pure function of
+    ``(spec, scenario)`` — never of cache state or chunking — so the
+    route-flagged cache keys stay stable across runs.
+    """
+    from ..online.events import is_incremental_sweepable
+
+    if not is_incremental_sweepable(scenario):
+        return False
+    if scenario.capacity_factors and not capacity_independent:
+        return False
+    return True
 
 
 def _result_from_measurement(
-    scenario: Scenario, spec: ProtocolSpec, measurement, runtime: float
+    scenario: Scenario,
+    spec: ProtocolSpec,
+    measurement,
+    runtime: float,
+    setup_runtime: float = 0.0,
 ) -> ScenarioResult:
     """A :class:`ScenarioResult` from a controller measurement.
 
@@ -328,6 +369,7 @@ def _result_from_measurement(
         feasible=measurement.feasible,
         connected=measurement.connected,
         runtime=runtime,
+        setup_runtime=setup_runtime,
         error=None,
     )
 
@@ -347,16 +389,22 @@ def evaluate_scenarios(
       only on the network (see :meth:`RoutingProtocol.batch_link_loads`)
       route all of them against one compiled weight setting in a single
       stacked operation;
-    * pure link/node-failure scenarios against an even-ECMP protocol with
+    * topology-perturbing scenarios against an even-ECMP protocol with
       demand-independent weights (:meth:`RoutingProtocol.ecmp_forwarding_weights`)
       are replayed through the online :class:`~repro.online.TEController`
-      as incremental fail → measure → recover events, so a single-link
-      failure sweep pays one delta update per trunk instead of a full
-      recompute per scenario.
+      as incremental apply → measure → revert events, so a failure or
+      brown-out sweep pays one delta update per perturbed trunk instead of
+      a full recompute per scenario.  Pure link/node failures always
+      qualify; scenarios carrying capacity factors additionally need
+      capacity-independent weights
+      (:meth:`RoutingProtocol.capacity_independent_forwarding`), since
+      capacity-derived defaults re-derive differently on the degraded
+      instance.
 
-    Everything else -- capacity changes, per-cell errors, protocols that
-    re-optimise per matrix -- falls back to :func:`evaluate_scenario`,
-    preserving its per-cell error isolation exactly.
+    Everything else -- demand+topology compounds, per-cell errors,
+    protocols that re-optimise per matrix -- falls back to
+    :func:`evaluate_scenario`, preserving its per-cell error isolation
+    exactly.
     """
     scenarios = list(scenarios)
     results: List[Optional[ScenarioResult]] = [None] * len(scenarios)
@@ -417,16 +465,19 @@ def evaluate_scenarios(
     sweep_weights = incremental_sweep_weights(probe, network)
     if sweep_weights is not None and len(demands):
         from ..online.controller import TEController
-        from ..online.events import scenario_failed_edges
+        from ..online.events import scenario_events
 
+        capacity_independent = incremental_sweep_capacity_independent(probe, network)
         candidates: List[int] = []
         for index, scenario in enumerate(scenarios):
-            if results[index] is not None or not _incremental_eligible(scenario):
+            if results[index] is not None or not _incremental_eligible(
+                scenario, capacity_independent
+            ):
                 continue
             try:
                 # Scenarios built for another topology fail loudly here and
                 # keep the per-cell path, which reports the error in-result.
-                scenario_failed_edges(network, scenario)
+                scenario_events(network, scenario)
             except Exception:  # noqa: BLE001
                 continue
             candidates.append(index)
@@ -442,17 +493,23 @@ def evaluate_scenarios(
                     weights=sweep_weights,
                     tolerance=getattr(probe, "ecmp_tolerance", 1e-9),
                 )
-                measurements = controller.sweep_pure_failures(
+                construction = time.perf_counter() - start
+                start = time.perf_counter()
+                measurements = controller.sweep_scenarios(
                     [scenarios[index] for index in candidates]
                 )
                 elapsed = time.perf_counter() - start
             except Exception:  # noqa: BLE001 - best-effort, fall back per cell
                 measurements = None
             if measurements is not None:
+                # Construction is the sweep's one-off amortised cost; charge
+                # it to `setup_runtime`, not `runtime`, so a cell's runtime
+                # measures the same thing on both evaluation paths.
                 per_cell = elapsed / len(candidates)
+                per_cell_setup = construction / len(candidates)
                 for index, measurement in zip(candidates, measurements):
                     results[index] = _result_from_measurement(
-                        scenarios[index], spec, measurement, per_cell
+                        scenarios[index], spec, measurement, per_cell, per_cell_setup
                     )
 
     for index, scenario in enumerate(scenarios):
@@ -476,7 +533,10 @@ def _evaluate_chunk(
 #: 2: routing moved to the vectorized sparse backend (float-round-off shifts).
 #: 3: cache keys carry route flags (incremental failure sweeps vs cold), so
 #:    results produced by different evaluation paths can never collide.
-CACHE_VERSION = 3
+#: 4: the incremental sweep covers capacity-degradation and mixed scenarios
+#:    (route flags now depend on the protocol's capacity independence), and
+#:    factor-0 capacities are explicit link failures on both paths.
+CACHE_VERSION = 4
 
 
 def default_cache_dir() -> Path:
@@ -699,12 +759,14 @@ class BatchRunner:
         # Fingerprints are hashed once per scenario/spec, not once per cell.
         scenario_fps = [scenario.fingerprint() for scenario in scenarios]
         spec_fps = [spec.fingerprint() for spec in specs]
-        # Which specs can ride the incremental failure sweep: their eligible
-        # cells get a route flag in the cache key, so incremental and cold
-        # results never share an entry.  Eligibility is a pure function of
+        # Which specs can ride the incremental sweep: their eligible cells
+        # get a route flag in the cache key, so incremental and cold results
+        # never share an entry.  Eligibility is a pure function of
         # (spec, scenario) — never of which other cells hit the cache — so
-        # keys are stable across runs and chunkings.
+        # keys are stable across runs and chunkings.  Capacity-bearing
+        # scenarios additionally require capacity-independent weights.
         incremental_spec = []
+        cap_independent_spec = []
         for spec in specs:
             try:
                 probe = spec.build()
@@ -713,7 +775,14 @@ class BatchRunner:
             incremental_spec.append(
                 incremental_sweep_weights(probe, network) is not None
             )
-        eligible_scenario = [_incremental_eligible(s) for s in scenarios]
+            cap_independent_spec.append(
+                incremental_sweep_capacity_independent(probe, network)
+            )
+
+        def cell_incremental(si: int, ci: int) -> bool:
+            return incremental_spec[si] and _incremental_eligible(
+                scenarios[ci], cap_independent_spec[si]
+            )
 
         # Resolve cache hits up front so only misses reach the pool.
         results: Dict[Tuple[int, int], ScenarioResult] = {}
@@ -724,9 +793,7 @@ class BatchRunner:
                 cell = (si, ci)
                 if self.cache is not None:
                     flags = (
-                        {"route": "incremental"}
-                        if incremental_spec[si] and eligible_scenario[ci]
-                        else None
+                        {"route": "incremental"} if cell_incremental(si, ci) else None
                     )
                     key = ResultCache.key_from_fingerprints(
                         network_fp, demands_fp, scenario_fps[ci], spec_fps[si], flags
@@ -756,7 +823,13 @@ class BatchRunner:
                     for cell, result in zip(cells, chunk_results):
                         results[cell] = result
             else:
-                chunks = self._chunk(misses, workers)
+                chunks = self._chunk(
+                    misses,
+                    workers,
+                    sharded_specs={
+                        si for si in range(len(specs)) if incremental_spec[si]
+                    },
+                )
                 stats.chunks = len(chunks)
                 payloads = [
                     (network, demands, [scenarios[ci] for _, ci in chunk], specs[chunk[0][0]])
@@ -829,6 +902,7 @@ class BatchRunner:
                     **result.as_row(),
                     "topology": network.name,
                     "runtime": result.runtime,
+                    "setup_runtime": result.setup_runtime,
                     "cached": result.cached,
                 }
                 for result in results
@@ -849,20 +923,32 @@ class BatchRunner:
         return max(0, min(workers, num_tasks))
 
     def _chunk(
-        self, misses: List[Tuple[int, int]], workers: int
+        self,
+        misses: List[Tuple[int, int]],
+        workers: int,
+        sharded_specs: Optional[set] = None,
     ) -> List[List[Tuple[int, int]]]:
         """Split misses into per-protocol chunks of roughly equal size.
 
         Chunks never mix protocols so each worker payload carries exactly
         one spec; within a protocol, chunk size defaults to ~4 chunks per
-        worker for load balancing.
+        worker for load balancing.  Specs in ``sharded_specs`` (those that
+        can ride the incremental controller sweep) instead get exactly one
+        chunk per worker: every chunk builds its own controller — the
+        sweep's amortised one-off cost — so fewer, larger shards beat finer
+        load balancing.
         """
         by_spec: Dict[int, List[Tuple[int, int]]] = {}
         for cell in misses:
             by_spec.setdefault(cell[0], []).append(cell)
         chunks: List[List[Tuple[int, int]]] = []
-        for cells in by_spec.values():
-            size = self.chunk_size or max(1, math.ceil(len(cells) / (workers * 4)))
+        for si, cells in by_spec.items():
+            if self.chunk_size:
+                size = self.chunk_size
+            elif sharded_specs and si in sharded_specs:
+                size = max(1, math.ceil(len(cells) / workers))
+            else:
+                size = max(1, math.ceil(len(cells) / (workers * 4)))
             for i in range(0, len(cells), size):
                 chunks.append(cells[i : i + size])
         return chunks

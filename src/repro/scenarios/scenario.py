@@ -135,6 +135,21 @@ class Scenario:
     def with_id(self, scenario_id: str) -> "Scenario":
         return replace(self, scenario_id=scenario_id)
 
+    def merged_capacity_factors(self) -> Dict[Edge, float]:
+        """Per-edge capacity multipliers with duplicates merged multiplicatively.
+
+        The single source of truth for how ``capacity_factors`` listing the
+        same edge twice compose (e.g. after :func:`combine`): :meth:`apply`
+        and the online controller's event converter
+        (:func:`repro.online.events.scenario_events`) both use it, so a
+        twice-listed edge degrades by the *product* of its factors on every
+        evaluation path.
+        """
+        factors: Dict[Edge, float] = {}
+        for edge, factor in self.capacity_factors:
+            factors[edge] = factors.get(edge, 1.0) * factor
+        return factors
+
     # ------------------------------------------------------------------
     # application
     # ------------------------------------------------------------------
@@ -149,9 +164,7 @@ class Scenario:
         """
         removed: Set[Edge] = set(self.failed_links)
         dead_nodes: Set[Node] = set(self.failed_nodes)
-        factors: Dict[Edge, float] = {}
-        for edge, factor in self.capacity_factors:
-            factors[edge] = factors.get(edge, 1.0) * factor
+        factors: Dict[Edge, float] = self.merged_capacity_factors()
 
         for edge in removed | set(factors):
             if not network.has_link(*edge):
@@ -160,6 +173,16 @@ class Scenario:
             if not network.has_node(node):
                 raise ScenarioError(f"scenario {self.scenario_id!r}: unknown node {node!r}")
 
+        # A factor whose scaled capacity lands at (or below) zero is an
+        # *explicit link failure*, not a silent drop: the online controller
+        # applies the identical conversion (CapacityChange with capacity
+        # <= 0 -> LinkFailure), so the cold and incremental paths can never
+        # disagree about what a dead link means.
+        for link in network.links:
+            edge = link.endpoints
+            if edge in factors and link.capacity * factors[edge] <= 0:
+                removed.add(edge)
+
         perturbed = Network(name=f"{network.name}/{self.scenario_id}")
         for node in network.nodes:
             perturbed.add_node(node)
@@ -167,10 +190,9 @@ class Scenario:
             edge = link.endpoints
             if edge in removed or link.source in dead_nodes or link.target in dead_nodes:
                 continue
-            capacity = link.capacity * factors.get(edge, 1.0)
-            if capacity <= 0:
-                continue
-            perturbed.add_link(link.source, link.target, capacity, link.delay)
+            perturbed.add_link(
+                link.source, link.target, link.capacity * factors.get(edge, 1.0), link.delay
+            )
 
         factor_map: Dict[Pair, float] = {}
         for pair, factor in self.demand_factors:

@@ -7,7 +7,15 @@ from pathlib import Path
 
 import pytest
 
-from repro.cli import BENCH_MODULES, SCENARIO_SETS, TOPOLOGIES, build_parser, main
+from repro.cli import (
+    BENCH_MODULES,
+    CLIError,
+    SCENARIO_SETS,
+    TOPOLOGIES,
+    build_parser,
+    main,
+    parse_protocols,
+)
 from repro.results import ResultsStore
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -78,6 +86,80 @@ def test_registries_are_wired():
 
 
 # ----------------------------------------------------------------------
+# protocol parameter passthrough
+# ----------------------------------------------------------------------
+def test_parse_protocols_passthrough():
+    specs = parse_protocols("OSPF,SPEF:beta=2.0,FortzThorup:seed=1:restarts=2")
+    assert [spec.protocol for spec in specs] == ["OSPF", "SPEF", "FortzThorup"]
+    assert dict(specs[1].params) == {"beta": 2.0}
+    assert dict(specs[2].params) == {"seed": 1, "restarts": 2}
+    # Parameters reach the built protocol (beta configures SPEF's objective).
+    assert specs[1].build() is not None
+    assert specs[1].display_name == "SPEF(beta=2.0)"
+
+
+def test_parse_protocols_coercion_and_errors():
+    (spec,) = parse_protocols("OSPF:backend=sparse")
+    assert dict(spec.params) == {"backend": "sparse"}
+    with pytest.raises(CLIError):
+        parse_protocols("NotAProtocol")
+    with pytest.raises(CLIError):
+        parse_protocols("SPEF:beta2.0")  # missing '='
+    with pytest.raises(CLIError):
+        parse_protocols("")
+    # A typo'd parameter key is a usage error up front, never a recorded
+    # sweep of all-infeasible cells.
+    with pytest.raises(CLIError):
+        parse_protocols("SPEF:bogus=1")
+
+
+def test_sweep_accepts_protocol_parameters_and_parallel(tmp_path, capsys):
+    store_path = tmp_path / "r.sqlite"
+    code = run_cli(
+        "sweep",
+        "--topology", "abilene",
+        "--protocols", "MinHopOSPF,OSPF:backend=sparse",
+        "--scenarios", "single-link-failures",
+        "--limit", "4",
+        "--no-cache",
+        "--parallel",
+        "--store", str(store_path),
+    )
+    assert code == 0
+    capsys.readouterr()
+    with ResultsStore(store_path) as store:
+        runs = store.runs(kind="sweep")
+        assert len(runs) == 1
+        assert runs[0].config["parallel"] is True
+        protocols = set(runs[0].protocols)
+        assert protocols == {"MinHopOSPF", "OSPF(backend=sparse)"}
+        assert len(store.records(runs[0].run_id)) == 8
+
+
+def test_replay_with_closed_loop_policy_records(tmp_path, capsys):
+    store_path = tmp_path / "r.sqlite"
+    code = run_cli(
+        "replay",
+        "--topology", "abilene",
+        "--limit", "2",
+        "--policy", "closed-loop",
+        "--mlu-target", "0.5",
+        "--hold", "10",
+        "--reopt-evaluations", "20",
+        "--store", str(store_path),
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "policy closed-loop" in out
+    with ResultsStore(store_path) as store:
+        (run,) = store.runs(kind="replay")
+        assert run.config["policy"] == "closed-loop"
+        assert run.config["reoptimizations"] >= 1
+        records = store.records(run.run_id)
+        assert all("reoptimizations" in record for record in records)
+
+
+# ----------------------------------------------------------------------
 # sweep / replay record into the store
 # ----------------------------------------------------------------------
 def test_sweep_records_run_and_prints_summary(tmp_path, capsys):
@@ -113,7 +195,7 @@ def test_replay_records_one_row_per_outage(tmp_path, capsys):
     )
     assert code == 0
     out = capsys.readouterr().out
-    assert "Per-outage steady state" in out
+    assert "Per-outage sustained state" in out
     assert "worst outage" in out
     with ResultsStore(store_path) as store:
         runs = store.runs(kind="replay")
@@ -268,6 +350,30 @@ def test_results_diff_timing_drift_is_informational(seeded_store, tmp_path, caps
     assert code == 0
     assert "drift" in out
     assert "OK: no hard metric mismatches" in out
+
+
+def test_results_gc_keeps_newest_per_family(seeded_store, capsys):
+    # Import the routing view twice more: 3 view-import runs of
+    # routing-backend, 1 of online-controller.
+    for _ in range(2):
+        assert run_cli(
+            "results", "import", str(REPO_ROOT / "BENCH_routing.json"),
+            "--store", str(seeded_store),
+        ) == 0
+    assert run_cli(
+        "results", "gc", "--keep-last", "1", "--store", str(seeded_store)
+    ) == 0
+    out = capsys.readouterr().out
+    assert "deleted 2 run(s)" in out
+    with ResultsStore(seeded_store) as store:
+        assert len(store.runs(benchmark="routing-backend")) == 1
+        # The other family is untouched: retention is per (kind, benchmark).
+        assert len(store.runs(benchmark="online-controller")) == 1
+    # A second gc has nothing to do.
+    assert run_cli(
+        "results", "gc", "--keep-last", "1", "--store", str(seeded_store)
+    ) == 0
+    assert "nothing to delete" in capsys.readouterr().out
 
 
 def test_results_delete(seeded_store, capsys):

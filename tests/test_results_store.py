@@ -123,6 +123,35 @@ def test_delete_run_cascades(store):
         store.records(run_id)
 
 
+def test_gc_retains_newest_per_family(store):
+    routing = [store.record_run(_bench_manifest(), RECORDS[:1]) for _ in range(3)]
+    online = store.record_run(
+        _bench_manifest(benchmark="online-controller"), RECORDS[1:]
+    )
+    deleted = store.gc(keep_last=1)
+    # The two oldest routing-backend runs go; the lone online run survives.
+    assert sorted(deleted) == sorted(routing[:2])
+    assert [m.run_id for m in store.runs(benchmark="routing-backend")] == [routing[-1]]
+    assert [m.run_id for m in store.runs(benchmark="online-controller")] == [online]
+    # Records cascade with their runs.
+    with pytest.raises(ResultsStoreError):
+        store.records(routing[0])
+    assert store.gc(keep_last=1) == []
+    with pytest.raises(ResultsStoreError):
+        store.gc(keep_last=-1)
+
+
+def test_gc_filters_by_family(store):
+    routing = [store.record_run(_bench_manifest(), RECORDS[:1]) for _ in range(2)]
+    online = [
+        store.record_run(_bench_manifest(benchmark="online-controller"), RECORDS[1:])
+        for _ in range(2)
+    ]
+    deleted = store.gc(keep_last=1, benchmark="online-controller")
+    assert deleted == [online[0]]
+    assert len(store.runs(benchmark="routing-backend")) == len(routing)
+
+
 # ----------------------------------------------------------------------
 # BatchRunner integration
 # ----------------------------------------------------------------------

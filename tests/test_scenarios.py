@@ -146,6 +146,22 @@ class TestScenario:
         assert both.failed_links == failure.failed_links
         assert both.demand_scale == pytest.approx(1.5)
 
+    def test_combine_duplicate_capacity_edges_merge_multiplicatively(self):
+        net = Network(name="pair")
+        net.add_duplex_link("a", "b", 10.0)
+        first = Scenario("half", kind="capacity", capacity_factors=((("a", "b"), 0.5),))
+        second = Scenario("fifth", kind="capacity", capacity_factors=((("a", "b"), 0.2),))
+        both = combine(first, second)
+        # The combined tuple keeps both entries; application (and the online
+        # event converter) merges them as the product.
+        assert both.capacity_factors == ((("a", "b"), 0.5), (("a", "b"), 0.2))
+        assert both.merged_capacity_factors() == {("a", "b"): pytest.approx(0.1)}
+        instance = both.apply(net, TrafficMatrix({("a", "b"): 0.5}))
+        assert instance.network.capacity_of("a", "b") == pytest.approx(1.0)
+        # A product of zero removes the link — same rule as a bare factor 0.
+        dead = combine(first, Scenario("kill", capacity_factors=((("a", "b"), 0.0),)))
+        assert not dead.apply(net, TrafficMatrix({("b", "a"): 0.5})).network.has_link("a", "b")
+
     def test_fingerprint_distinguishes_and_ignores_seed(self):
         a = Scenario(scenario_id="s", kind="demand", demand_scale=1.5, seed=1)
         b = Scenario(scenario_id="s", kind="demand", demand_scale=1.5, seed=99)

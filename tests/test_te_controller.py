@@ -30,21 +30,27 @@ from repro.online import (
     TEController,
     failure_events,
     failure_recovery_trace,
+    is_incremental_sweepable,
     is_pure_failure,
     recovery_events,
+    scenario_events,
     scenario_failed_edges,
+    scenario_revert_events,
 )
 from repro.protocols.fortz_thorup import FortzThorup
 from repro.protocols.ospf import OSPF, MinHopOSPF, invcap_weights
 from repro.protocols.peft import PEFT
 from repro.routing import SparseRouter
 from repro.scenarios import Scenario, single_link_failures, node_failures
+from repro.scenarios import capacity_degradations, combine
 from repro.scenarios.runner import (
     BatchRunner,
     ProtocolSpec,
     ResultCache,
+    _incremental_eligible,
     evaluate_scenario,
     evaluate_scenarios,
+    incremental_sweep_capacity_independent,
     incremental_sweep_weights,
 )
 from repro.simulator.events import Simulator
@@ -99,6 +105,77 @@ class TestEvents:
 
 
 # ----------------------------------------------------------------------
+# full scenario -> event conversion (capacity algebra included)
+# ----------------------------------------------------------------------
+class TestScenarioEvents:
+    def test_is_incremental_sweepable(self):
+        assert is_incremental_sweepable(Scenario("s", failed_links=((1, 2),)))
+        assert is_incremental_sweepable(
+            Scenario("s", capacity_factors=(((1, 2), 0.5),))
+        )
+        assert is_incremental_sweepable(
+            Scenario("s", failed_links=((1, 2),), capacity_factors=(((2, 1), 0.5),))
+        )
+        assert not is_incremental_sweepable(Scenario("s"))  # baseline
+        assert not is_incremental_sweepable(Scenario("s", demand_scale=2.0))
+        assert not is_incremental_sweepable(
+            Scenario("s", capacity_factors=(((1, 2), 0.5),), demand_scale=0.5)
+        )
+
+    def test_mixed_scenario_expands_to_failures_then_capacities(self, diamond_network):
+        scenario = Scenario(
+            "mix",
+            failed_links=((1, 2),),
+            capacity_factors=(((1, 3), 0.25),),
+        )
+        events = scenario_events(diamond_network, scenario)
+        assert [type(e) for e in events] == [LinkFailure, CapacityChange]
+        assert events[0].link == (1, 2)
+        assert events[1].link == (1, 3)
+        assert events[1].capacity == pytest.approx(2.5)  # 10 * 0.25
+
+    def test_factor_zero_becomes_link_failure(self, diamond_network):
+        scenario = Scenario("zero", capacity_factors=(((1, 3), 0.0),))
+        events = scenario_events(diamond_network, scenario)
+        assert events == [LinkFailure(link=(1, 3))]
+
+    def test_duplicate_edges_merge_multiplicatively(self, diamond_network):
+        scenario = Scenario(
+            "dupe", capacity_factors=(((1, 3), 0.5), ((1, 3), 0.5))
+        )
+        events = scenario_events(diamond_network, scenario)
+        assert events == [CapacityChange(link=(1, 3), capacity=2.5)]  # 10 * 0.25
+        # ... and to a failure when the product hits zero.
+        dead = Scenario("dead", capacity_factors=(((1, 3), 0.5), ((1, 3), 0.0)))
+        assert scenario_events(diamond_network, dead) == [LinkFailure(link=(1, 3))]
+
+    def test_failed_link_wins_over_capacity_factor(self, diamond_network):
+        scenario = Scenario(
+            "both", failed_links=((1, 3),), capacity_factors=(((1, 3), 0.5),)
+        )
+        assert scenario_events(diamond_network, scenario) == [LinkFailure(link=(1, 3))]
+
+    def test_unknown_link_and_demand_scenarios_raise(self, diamond_network):
+        with pytest.raises(EventError):
+            scenario_events(
+                diamond_network, Scenario("ghost", capacity_factors=(((9, 9), 0.5),))
+            )
+        with pytest.raises(EventError):
+            scenario_events(diamond_network, Scenario("demand", demand_scale=2.0))
+        with pytest.raises(EventError):
+            scenario_events(diamond_network, Scenario("baseline"))
+
+    def test_revert_events_round_trip(self, diamond_network):
+        scenario = Scenario(
+            "mix", failed_links=((1, 2),), capacity_factors=(((1, 3), 0.25),)
+        )
+        events = scenario_events(diamond_network, scenario)
+        reverted = scenario_revert_events(diamond_network, events)
+        assert reverted[0] == LinkRecovery(link=(1, 2))
+        assert reverted[1] == CapacityChange(link=(1, 3), capacity=10.0)
+
+
+# ----------------------------------------------------------------------
 # controller behaviour
 # ----------------------------------------------------------------------
 class TestController:
@@ -136,6 +213,77 @@ class TestController:
             assert measurement.routed_volume == pytest.approx(cold.routed_volume, abs=TOLERANCE)
             assert measurement.dropped_volume == pytest.approx(cold.dropped_volume, abs=TOLERANCE)
             assert measurement.connected == cold.connected
+
+    def test_sweep_scenarios_matches_cold_on_capacity_and_mixed(self, abilene, abilene_tm):
+        """The tentpole equivalence: capacity/mixed sweeps == cold to 1e-12."""
+        protocol = MinHopOSPF()
+        scenarios = (
+            capacity_degradations(abilene, count=4, factor=0.5, seed=7)
+            + [
+                combine(
+                    single_link_failures(abilene)[0],
+                    capacity_degradations(abilene, count=1, factor=0.3, seed=9)[0],
+                ),
+                Scenario(
+                    "zero", kind="capacity",
+                    capacity_factors=((abilene.links[2].endpoints, 0.0),),
+                ),
+            ]
+        )
+        controller = TEController(
+            abilene, abilene_tm,
+            weights=protocol.ecmp_forwarding_weights(abilene),
+            tolerance=protocol.ecmp_tolerance,
+        )
+        baseline = controller.measure()
+        measurements = controller.sweep_scenarios(scenarios)
+        spec = ProtocolSpec.of("MinHopOSPF")
+        for scenario, measurement in zip(scenarios, measurements):
+            cold = evaluate_scenario(abilene, abilene_tm, scenario, spec)
+            assert measurement.mlu == pytest.approx(cold.mlu, abs=1e-12), scenario.scenario_id
+            assert measurement.utility == pytest.approx(cold.utility, abs=1e-9)
+            assert measurement.routed_volume == pytest.approx(cold.routed_volume, abs=1e-12)
+            assert measurement.dropped_volume == pytest.approx(cold.dropped_volume, abs=1e-12)
+            assert measurement.connected == cold.connected
+        # The controller is back in its starting state, capacities included.
+        after = controller.measure()
+        np.testing.assert_allclose(after.loads, baseline.loads, atol=0, rtol=0)
+        np.testing.assert_array_equal(controller.capacities, abilene.capacities)
+
+    def test_factor_zero_equivalence_cold_vs_incremental(self, abilene, abilene_tm):
+        """The foreground bugfix pin: factor-0 loads agree on both paths."""
+        protocol = MinHopOSPF()
+        edge = abilene.links[0].endpoints
+        scenarios = [
+            Scenario("zero-a", capacity_factors=((edge, 0.0),)),
+            Scenario("zero-b", capacity_factors=((abilene.links[4].endpoints, 0.0),)),
+        ]
+        controller = TEController(
+            abilene, abilene_tm, weights=protocol.ecmp_forwarding_weights(abilene)
+        )
+        measurements = controller.sweep_scenarios(scenarios)
+        weight_map = abilene.weight_dict(protocol.ecmp_forwarding_weights(abilene))
+        for scenario, measurement in zip(scenarios, measurements):
+            instance = scenario.apply(abilene, abilene_tm)
+            assert not instance.network.has_link(*scenario.capacity_factors[0][0])
+            pruned_weights = {
+                link.endpoints: weight_map[link.endpoints]
+                for link in instance.network.links
+            }
+            cold = SparseRouter(
+                instance.network, weights=pruned_weights, mode="ecmp"
+            ).route(instance.demands).aggregate()
+            mapped = np.zeros(abilene.num_links)
+            for link in instance.network.links:
+                mapped[abilene.link_index(link.source, link.target)] = cold[link.index]
+            np.testing.assert_allclose(measurement.loads, mapped, atol=1e-12, rtol=0)
+
+    def test_sweep_pure_failures_rejects_capacity_scenarios(self, abilene, abilene_tm):
+        controller = TEController(abilene, abilene_tm)
+        with pytest.raises(EventError):
+            controller.sweep_pure_failures(
+                [Scenario("cap", capacity_factors=((abilene.links[0].endpoints, 0.5),))]
+            )
 
     def test_drop_accounting_on_disconnection(self):
         net = Network(name="line")
@@ -175,8 +323,27 @@ class TestController:
         after = controller.measure()
         np.testing.assert_allclose(after.loads, before.loads, atol=TOLERANCE, rtol=0)
         assert after.mlu > before.mlu
-        with pytest.raises(EventError):
-            controller.apply(CapacityChange(link=link.endpoints, capacity=0.0))
+
+    def test_capacity_zero_is_a_link_failure(self, abilene, abilene_tm):
+        """Capacity <= 0 events are explicit failures, matching Scenario.apply."""
+        edge = abilene.links[0].endpoints
+        reference = TEController(abilene, abilene_tm)
+        reference.apply(LinkFailure(link=edge))
+        expected = reference.measure()
+
+        controller = TEController(abilene, abilene_tm)
+        update = controller.apply(CapacityChange(link=edge, capacity=0.0))
+        assert update.affected_destinations > 0
+        assert edge in controller.spt.failed_links()
+        measurement = controller.measure()
+        np.testing.assert_allclose(measurement.loads, expected.loads, atol=TOLERANCE, rtol=0)
+        assert measurement.mlu == pytest.approx(expected.mlu, abs=TOLERANCE)
+        # The configured capacity is retained (utilization stays 0, not 0/0)
+        # and the link recovers like any other failure.
+        assert controller.capacities[0] == abilene.links[0].capacity
+        controller.apply(LinkRecovery(link=edge))
+        baseline = TEController(abilene, abilene_tm).measure()
+        assert controller.measure().mlu == pytest.approx(baseline.mlu, abs=TOLERANCE)
 
     def test_weight_change_event(self, diamond_network, diamond_demands):
         controller = TEController(
@@ -365,6 +532,30 @@ class TestRunnerIncrementalPath:
         assert incremental_sweep_weights(FortzThorup(), abilene) is None
         assert incremental_sweep_weights(None, abilene) is None
 
+    def test_capacity_independence_matrix(self, abilene):
+        mapping = abilene.weight_dict(invcap_weights(abilene))
+        # Explicit mapping weights and unit weights survive capacity scaling;
+        # the InvCap default re-derives and must decline capacity sweeps.
+        assert incremental_sweep_capacity_independent(OSPF(weights=mapping), abilene)
+        assert incremental_sweep_capacity_independent(MinHopOSPF(), abilene)
+        assert not incremental_sweep_capacity_independent(OSPF(), abilene)
+        assert not incremental_sweep_capacity_independent(OSPF(backend="python"), abilene)
+        assert not incremental_sweep_capacity_independent(PEFT(), abilene)
+        assert not incremental_sweep_capacity_independent(None, abilene)
+
+    def test_incremental_eligibility_by_scenario_and_protocol(self):
+        failure = Scenario("f", failed_links=((1, 2),))
+        capacity = Scenario("c", capacity_factors=(((1, 2), 0.5),))
+        mixed = Scenario("m", failed_links=((1, 2),), capacity_factors=(((2, 1), 0.5),))
+        demandy = Scenario("d", capacity_factors=(((1, 2), 0.5),), demand_scale=2.0)
+        assert _incremental_eligible(failure, capacity_independent=False)
+        assert _incremental_eligible(failure, capacity_independent=True)
+        assert not _incremental_eligible(capacity, capacity_independent=False)
+        assert _incremental_eligible(capacity, capacity_independent=True)
+        assert not _incremental_eligible(mixed, capacity_independent=False)
+        assert _incremental_eligible(mixed, capacity_independent=True)
+        assert not _incremental_eligible(demandy, capacity_independent=True)
+
     def test_evaluate_scenarios_matches_per_cell(self, abilene, abilene_tm):
         scenarios = single_link_failures(abilene) + node_failures(abilene, nodes=[3])
         spec = ProtocolSpec.of("OSPF")
@@ -373,6 +564,36 @@ class TestRunnerIncrementalPath:
             cold = evaluate_scenario(abilene, abilene_tm, scenario, spec)
             assert result.as_row() == cold.as_row()
             assert result.error is None
+
+    def test_capacity_sweep_matches_per_cell_and_isolates_errors(self, abilene, abilene_tm):
+        """Capacity/mixed cells ride the sweep (MinHop); unknown links fall back."""
+        scenarios = (
+            capacity_degradations(abilene, count=3, factor=0.5, seed=2)
+            + single_link_failures(abilene)[:2]
+            + [Scenario("ghost", kind="capacity", capacity_factors=(((999, 1000), 0.5),))]
+        )
+        spec = ProtocolSpec.of("MinHopOSPF")
+        grouped = evaluate_scenarios(abilene, abilene_tm, scenarios, spec)
+        for scenario, result in zip(scenarios[:-1], grouped[:-1]):
+            cold = evaluate_scenario(abilene, abilene_tm, scenario, spec)
+            assert result.as_row() == cold.as_row(), scenario.scenario_id
+            assert result.error is None
+            # Incremental cells report construction separately from runtime.
+            assert result.setup_runtime >= 0.0
+        assert grouped[-1].error is not None and not grouped[-1].feasible
+        # The sweep really took the incremental path for the eligible cells:
+        # construction was amortised into setup_runtime, not runtime.
+        assert any(result.setup_runtime > 0.0 for result in grouped[:-1])
+
+    def test_capacity_scenarios_stay_cold_for_invcap(self, abilene, abilene_tm):
+        """InvCap-derived weights keep capacity cells per-cell — and correct."""
+        scenarios = capacity_degradations(abilene, count=3, factor=0.5, seed=2)
+        spec = ProtocolSpec.of("OSPF")
+        grouped = evaluate_scenarios(abilene, abilene_tm, scenarios, spec)
+        for scenario, result in zip(scenarios, grouped):
+            cold = evaluate_scenario(abilene, abilene_tm, scenario, spec)
+            assert result.as_row() == cold.as_row()
+            assert result.setup_runtime == 0.0
 
     def test_single_eligible_scenario_matches_cold(self, abilene, abilene_tm):
         """A lone eligible scenario is evaluated cold — with identical results."""
@@ -413,3 +634,19 @@ class TestRunnerIncrementalPath:
         second = runner.run(abilene, abilene_tm, scenarios, ["OSPF"])
         assert runner.last_stats.cache_hits == len(scenarios)
         assert [r.as_row() for r in first] == [r.as_row() for r in second]
+
+    def test_batch_runner_caches_capacity_sweeps_route_flagged(
+        self, tmp_path, abilene, abilene_tm
+    ):
+        """Capacity cells hit route-flagged keys for MinHop, cold keys for InvCap."""
+        runner = BatchRunner(cache_dir=tmp_path, max_workers=0)
+        scenarios = capacity_degradations(abilene, count=3, factor=0.5, seed=5)
+        first = runner.run(abilene, abilene_tm, scenarios, ["MinHopOSPF"])
+        assert runner.last_stats.cache_hits == 0
+        second = runner.run(abilene, abilene_tm, scenarios, ["MinHopOSPF"])
+        assert runner.last_stats.cache_hits == len(scenarios)
+        assert [r.as_row() for r in first] == [r.as_row() for r in second]
+        # The same scenarios under InvCap OSPF are a *different* (cold-path)
+        # key space: no collisions with the incremental entries.
+        runner.run(abilene, abilene_tm, scenarios, ["OSPF"])
+        assert runner.last_stats.cache_hits == 0
