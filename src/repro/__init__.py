@@ -21,13 +21,17 @@ The public API re-exports the pieces most users need:
   :class:`~repro.routing.SparseRouter` compiles shortest-path DAGs into CSR
   split-ratio matrices and routes whole demand ensembles in stacked sparse
   sweeps; every assignment routine accepts ``backend="sparse"|"python"``;
+* the observability layer (:mod:`repro.obs`): structured spans, counters
+  and fixed-bucket histograms wired through the online controller, the
+  scenario runner and the optimizers, exported as ``trace.jsonl`` files by
+  ``repro trace``;
 * the results store (:mod:`repro.results`): SQLite-backed run manifests,
   ``query``/``diff``/``aggregate`` over recorded sweeps and benchmarks, and
   the ``BENCH_*.json`` views — all scriptable through the ``repro`` CLI
   (:mod:`repro.cli`).
 """
 
-from . import core, network, online, protocols, results, routing, scenarios, solvers, topology, traffic
+from . import core, network, obs, online, protocols, results, routing, scenarios, solvers, topology, traffic
 from .core import (
     SPEF,
     LoadBalanceObjective,
@@ -44,11 +48,12 @@ from .results import ResultsStore, RunManifest
 from .routing import CompiledDagSet, SparseRouter, batched_link_loads
 from .scenarios import BatchRunner, ProtocolSpec, Scenario, ScenarioResult
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "core",
     "network",
+    "obs",
     "online",
     "protocols",
     "results",

@@ -13,11 +13,19 @@ later (by a human or by CI):
   or every-event warm-started reoptimization);
 * ``repro bench`` — the benchmark harness under ``benchmarks/`` via
   pytest, in smoke/default/full mode, recording into the same store;
-* ``repro results {list,show,query,diff,export,import,delete,gc}`` — the
-  store's query surface (``gc --keep-last N`` is the retention knob).  ``diff`` is what CI gates on: timing fields are
-  always informational, metric fields hard-fail (see
-  :mod:`repro.results.diffing`); ``export`` regenerates the committed
-  ``BENCH_*.json`` views byte-for-byte.
+* ``repro trace {sweep,replay}`` — the same sweep/replay commands run
+  under an active :mod:`repro.obs` telemetry session: spans, counters and
+  histograms land in a ``trace.jsonl`` file (``--trace``), with an
+  optional compact text summary (``--summary``); ``trace sweep`` forces
+  the result cache off so every instrumented path actually executes;
+* ``repro results {list,show,query,diff,export,import,delete,gc,plot}`` —
+  the store's query surface (``gc --keep-last N`` is the retention knob;
+  ``list``/``show``/``query`` take ``--format table|csv|json``).  ``diff``
+  is what CI gates on: timing fields are always informational, metric
+  fields hard-fail (see :mod:`repro.results.diffing`); ``export``
+  regenerates the committed ``BENCH_*.json`` views byte-for-byte;
+  ``plot`` renders a per-metric trendline over stored runs (terminal
+  sparkline always, PNG via ``--png``).
 
 Every subcommand takes ``--store`` (default ``$REPRO_RESULTS_DB`` or
 ``~/.cache/repro/results.sqlite``).
@@ -34,14 +42,22 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from .analysis.reporting import format_robustness_summary, format_table
+from .obs import telemetry
 from .results import (
+    AGGREGATIONS,
+    FORMATS,
     VIEW_FILENAMES,
+    PlotError,
     ResultsStore,
     ResultsStoreError,
     RunManifest,
     default_results_path,
+    format_output,
     load_bench_view,
+    metric_trend,
+    render_terminal,
     scenario_set_fingerprint,
+    write_png,
 )
 from .scenarios import (
     BatchRunner,
@@ -233,6 +249,10 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                 "seed": args.seed,
                 "parallel": bool(args.parallel),
             },
+            controller_params={
+                "max_affected_fraction": args.max_affected_fraction,
+                "verify": args.verify,
+            },
         )
         stats = runner.last_stats
         print(
@@ -276,7 +296,14 @@ def cmd_replay(args: argparse.Namespace) -> int:
         scenarios = scenarios[: args.limit]
     policy = _build_policy(args)
     replay = replay_failure_trace(
-        network, demands, scenarios, period=args.period, outage=args.outage, policy=policy
+        network,
+        demands,
+        scenarios,
+        period=args.period,
+        outage=args.outage,
+        policy=policy,
+        max_affected_fraction=args.max_affected_fraction,
+        verify=args.verify,
     )
     stats = replay.controller.spt.stats
     print(
@@ -324,6 +351,7 @@ def cmd_replay(args: argparse.Namespace) -> int:
                 "elapsed": replay.elapsed,
                 "incremental_updates": float(stats.incremental_updates),
                 "full_rebuilds": float(stats.full_rebuilds),
+                "dspt_fallback_rate": stats.fallback_rate,
             },
         )
         run_id = store.record_run(
@@ -331,6 +359,33 @@ def cmd_replay(args: argparse.Namespace) -> int:
         )
         print(f"recorded run {run_id} in {store.path}")
     return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """``repro trace {sweep,replay}``: the wrapped command under telemetry.
+
+    Activates a fresh :class:`~repro.obs.telemetry.TelemetryRegistry` for
+    the duration of the wrapped command, then exports everything it
+    collected as JSON lines (and, with ``--summary``, a compact text
+    digest).  ``trace sweep`` forces ``--no-cache``: a cache hit skips the
+    instrumented evaluation path entirely, and a trace of cache lookups
+    is not what anyone asked for.
+    """
+    if args.trace_command == "sweep":
+        args.no_cache = True
+    wrapped = cmd_sweep if args.trace_command == "sweep" else cmd_replay
+    registry = telemetry.TelemetryRegistry(label=f"trace-{args.trace_command}")
+    telemetry.activate(registry)
+    try:
+        status = wrapped(args)
+    finally:
+        telemetry.deactivate()
+    lines = registry.export_jsonl(args.trace)
+    print(f"\nwrote {lines} trace line(s) to {args.trace}")
+    if args.summary:
+        print()
+        print(registry.summary())
+    return status
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
@@ -366,18 +421,25 @@ def cmd_bench(args: argparse.Namespace) -> int:
 def cmd_results_list(args: argparse.Namespace) -> int:
     with _open_store(args) as store:
         manifests = store.runs(kind=args.kind, benchmark=args.benchmark, limit=args.limit)
-        if not manifests:
+        if not manifests and args.format == "table":
             print(f"no runs recorded in {store.path}")
             return 0
-        print(format_table([m.summary_row() for m in manifests], title=f"runs in {store.path}"))
+        print(
+            format_output(
+                [m.summary_row() for m in manifests],
+                fmt=args.format,
+                title=f"runs in {store.path}",
+            )
+        )
     return 0
 
 
 def cmd_results_show(args: argparse.Namespace) -> int:
+    fmt = "json" if args.json else args.format
     with _open_store(args) as store:
         manifest = store.get_run(args.run)
         records = store.records(manifest.run_id)
-        if args.json:
+        if fmt == "json":
             payload = {
                 "manifest": manifest.to_row(),
                 "records": [] if args.no_records else records,
@@ -389,15 +451,20 @@ def cmd_results_show(args: argparse.Namespace) -> int:
             payload["manifest"]["timings"] = manifest.timings
             print(json.dumps(payload, indent=2, sort_keys=True))
             return 0
+        if fmt == "csv":
+            # CSV is for machines: records only, no manifest preamble.
+            print(format_output(records, fmt="csv"))
+            return 0
         for key, value in manifest.to_row().items():
             print(f"{key:>16}: {value}")
         if records and not args.no_records:
             print()
-            print(format_table(records, title=f"{len(records)} record(s)"))
+            print(format_output(records, fmt=fmt, title=f"{len(records)} record(s)"))
     return 0
 
 
 def cmd_results_query(args: argparse.Namespace) -> int:
+    fmt = "json" if args.json else args.format
     with _open_store(args) as store:
         rows = store.query(
             kind=args.kind,
@@ -409,12 +476,31 @@ def cmd_results_query(args: argparse.Namespace) -> int:
             protocol=args.protocol,
             limit=args.limit,
         )
-        if args.json:
-            print(json.dumps(rows, indent=2, sort_keys=True))
-        elif rows:
-            print(format_table(rows))
-        else:
+        if not rows and fmt == "table":
             print("no matching records")
+        else:
+            print(format_output(rows, fmt=fmt))
+    return 0
+
+
+def cmd_results_plot(args: argparse.Namespace) -> int:
+    with _open_store(args) as store:
+        rows = store.query(
+            kind=args.kind,
+            benchmark=args.benchmark,
+            topology=args.topology,
+            workload=args.workload,
+            scenario=args.scenario,
+            protocol=args.protocol,
+            limit=args.limit,
+        )
+    series = metric_trend(rows, args.metric, agg=args.agg, by=args.by)
+    print(f"{args.metric} ({args.agg} per run, oldest → newest)")
+    print()
+    print(render_terminal(series, args.metric))
+    if args.png:
+        backend = write_png(args.png, series, args.metric)
+        print(f"\nwrote {args.png} ({backend} backend)")
     return 0
 
 
@@ -492,6 +578,87 @@ def cmd_results_gc(args: argparse.Namespace) -> int:
 # ----------------------------------------------------------------------
 # parser
 # ----------------------------------------------------------------------
+def _add_controller_arguments(parser: argparse.ArgumentParser) -> None:
+    """DynamicSPT knobs shared by sweep and replay (and their traced twins)."""
+    parser.add_argument(
+        "--max-affected-fraction",
+        type=float,
+        default=0.5,
+        help="affected-cone fraction above which an incremental DAG update "
+        "falls back to a full Dijkstra rebuild (default: 0.5)",
+    )
+    parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="shadow-verify every incremental DAG update against a full "
+        "rebuild (slow; mismatches are counted and repaired)",
+    )
+
+
+def _add_sweep_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--topology", default="abilene", choices=sorted(TOPOLOGIES))
+    parser.add_argument(
+        "--protocols",
+        default="OSPF",
+        help="comma-separated protocol entries, parameters passed through as "
+        "NAME:key=value[:key=value...] — e.g. OSPF,SPEF:beta=2.0,"
+        "FortzThorup:seed=1:restarts=2 (default: OSPF)",
+    )
+    parser.add_argument(
+        "--scenarios",
+        default="single-link-failures",
+        choices=sorted(SCENARIO_SETS),
+        help="scenario-set generator (default: single-link-failures)",
+    )
+    parser.add_argument("--utilization", type=float, default=0.1,
+                        help="gravity demand volume as a fraction of total capacity")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--limit", type=int, default=None,
+                        help="evaluate only the first N scenarios")
+    parser.add_argument("--workers", type=int, default=0,
+                        help="process-pool size (0 = serial, the default)")
+    parser.add_argument("--parallel", action="store_true",
+                        help="shard scenario chunks across all CPUs, one online "
+                        "controller per worker (overrides --workers)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="scenario result-cache directory (default: $REPRO_CACHE_DIR)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the scenario result cache")
+    _add_controller_arguments(parser)
+    parser.set_defaults(handler=cmd_sweep)
+
+
+def _add_replay_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--topology", default="abilene", choices=sorted(TOPOLOGIES))
+    parser.add_argument("--utilization", type=float, default=0.12)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--period", type=float, default=600.0,
+                        help="seconds between consecutive outages")
+    parser.add_argument("--outage", type=float, default=300.0,
+                        help="seconds each outage lasts")
+    parser.add_argument("--limit", type=int, default=None,
+                        help="replay only the first N trunk failures")
+    parser.add_argument(
+        "--policy",
+        choices=("none", "closed-loop", "oracle"),
+        default="none",
+        help="closed-loop reoptimization during the replay: 'closed-loop' "
+        "reoptimizes after the MLU stays above --mlu-target for --hold "
+        "seconds; 'oracle' reoptimizes after every event (the baseline "
+        "any threshold policy is measured against)",
+    )
+    parser.add_argument("--mlu-target", type=float, default=0.9,
+                        help="closed-loop MLU ceiling (default: 0.9)")
+    parser.add_argument("--hold", type=float, default=30.0,
+                        help="seconds a breach must persist before reoptimizing")
+    parser.add_argument("--cooldown", type=float, default=120.0,
+                        help="minimum seconds between reoptimizations")
+    parser.add_argument("--reopt-evaluations", type=int, default=150,
+                        help="Fortz-Thorup evaluation budget per reoptimization")
+    _add_controller_arguments(parser)
+    parser.set_defaults(handler=cmd_replay)
+
+
 def build_parser() -> argparse.ArgumentParser:
     store_parent = argparse.ArgumentParser(add_help=False)
     store_parent.add_argument(
@@ -513,68 +680,36 @@ def build_parser() -> argparse.ArgumentParser:
         parents=[store_parent],
         help="run a protocol x scenario robustness sweep and record it",
     )
-    sweep.add_argument("--topology", default="abilene", choices=sorted(TOPOLOGIES))
-    sweep.add_argument(
-        "--protocols",
-        default="OSPF",
-        help="comma-separated protocol entries, parameters passed through as "
-        "NAME:key=value[:key=value...] — e.g. OSPF,SPEF:beta=2.0,"
-        "FortzThorup:seed=1:restarts=2 (default: OSPF)",
-    )
-    sweep.add_argument(
-        "--scenarios",
-        default="single-link-failures",
-        choices=sorted(SCENARIO_SETS),
-        help="scenario-set generator (default: single-link-failures)",
-    )
-    sweep.add_argument("--utilization", type=float, default=0.1,
-                       help="gravity demand volume as a fraction of total capacity")
-    sweep.add_argument("--seed", type=int, default=0)
-    sweep.add_argument("--limit", type=int, default=None,
-                       help="evaluate only the first N scenarios")
-    sweep.add_argument("--workers", type=int, default=0,
-                       help="process-pool size (0 = serial, the default)")
-    sweep.add_argument("--parallel", action="store_true",
-                       help="shard scenario chunks across all CPUs, one online "
-                       "controller per worker (overrides --workers)")
-    sweep.add_argument("--cache-dir", default=None,
-                       help="scenario result-cache directory (default: $REPRO_CACHE_DIR)")
-    sweep.add_argument("--no-cache", action="store_true",
-                       help="disable the scenario result cache")
-    sweep.set_defaults(handler=cmd_sweep)
+    _add_sweep_arguments(sweep)
 
     replay = subparsers.add_parser(
         "replay",
         parents=[store_parent],
         help="replay a failure/recovery trace through the online TE controller",
     )
-    replay.add_argument("--topology", default="abilene", choices=sorted(TOPOLOGIES))
-    replay.add_argument("--utilization", type=float, default=0.12)
-    replay.add_argument("--seed", type=int, default=0)
-    replay.add_argument("--period", type=float, default=600.0,
-                        help="seconds between consecutive outages")
-    replay.add_argument("--outage", type=float, default=300.0,
-                        help="seconds each outage lasts")
-    replay.add_argument("--limit", type=int, default=None,
-                        help="replay only the first N trunk failures")
-    replay.add_argument(
-        "--policy",
-        choices=("none", "closed-loop", "oracle"),
-        default="none",
-        help="closed-loop reoptimization during the replay: 'closed-loop' "
-        "reoptimizes after the MLU stays above --mlu-target for --hold "
-        "seconds; 'oracle' reoptimizes after every event (the baseline "
-        "any threshold policy is measured against)",
+    _add_replay_arguments(replay)
+
+    trace = subparsers.add_parser(
+        "trace",
+        help="run a sweep or replay under telemetry and export trace.jsonl",
     )
-    replay.add_argument("--mlu-target", type=float, default=0.9,
-                        help="closed-loop MLU ceiling (default: 0.9)")
-    replay.add_argument("--hold", type=float, default=30.0,
-                        help="seconds a breach must persist before reoptimizing")
-    replay.add_argument("--cooldown", type=float, default=120.0,
-                        help="minimum seconds between reoptimizations")
-    replay.add_argument("--reopt-evaluations", type=int, default=150,
-                        help="Fortz-Thorup evaluation budget per reoptimization")
-    replay.set_defaults(handler=cmd_replay)
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    for trace_command, add_arguments in (
+        ("sweep", _add_sweep_arguments),
+        ("replay", _add_replay_arguments),
+    ):
+        traced = trace_sub.add_parser(
+            trace_command,
+            parents=[store_parent],
+            help=f"`repro {trace_command}` with spans/counters/histograms recorded"
+            + (" (forces --no-cache)" if trace_command == "sweep" else ""),
+        )
+        add_arguments(traced)
+        traced.add_argument("--trace", default="trace.jsonl", metavar="PATH",
+                            help="JSON-lines trace output path (default: trace.jsonl)")
+        traced.add_argument("--summary", action="store_true",
+                            help="also print the compact telemetry summary")
+        traced.set_defaults(handler=cmd_trace)
 
     bench = subparsers.add_parser(
         "bench",
@@ -600,12 +735,18 @@ def build_parser() -> argparse.ArgumentParser:
     results_list.add_argument("--kind", default=None)
     results_list.add_argument("--benchmark", default=None)
     results_list.add_argument("--limit", type=int, default=20)
+    results_list.add_argument("--format", choices=FORMATS, default="table",
+                              help="output format (default: table)")
     results_list.set_defaults(handler=cmd_results_list)
 
     results_show = results_sub.add_parser("show", parents=[store_parent],
                                           help="show one run's manifest and records")
     results_show.add_argument("run", help="run id, unique prefix, or latest[:benchmark]")
-    results_show.add_argument("--json", action="store_true")
+    results_show.add_argument("--format", choices=FORMATS, default="table",
+                              help="output format; csv prints the records only "
+                              "(default: table)")
+    results_show.add_argument("--json", action="store_true",
+                              help="alias for --format json")
     results_show.add_argument("--no-records", action="store_true")
     results_show.set_defaults(handler=cmd_results_show)
 
@@ -619,8 +760,37 @@ def build_parser() -> argparse.ArgumentParser:
     results_query.add_argument("--scenario", default=None)
     results_query.add_argument("--protocol", default=None)
     results_query.add_argument("--limit", type=int, default=None)
-    results_query.add_argument("--json", action="store_true")
+    results_query.add_argument("--format", choices=FORMATS, default="table",
+                               help="output format (default: table)")
+    results_query.add_argument("--json", action="store_true",
+                               help="alias for --format json")
     results_query.set_defaults(handler=cmd_results_query)
+
+    results_plot = results_sub.add_parser(
+        "plot",
+        parents=[store_parent],
+        help="per-metric trendline over stored runs (sparkline + optional PNG)",
+    )
+    results_plot.add_argument("--metric", required=True,
+                              help="record field to plot, e.g. max_utilization")
+    results_plot.add_argument("--agg", choices=AGGREGATIONS, default="mean",
+                              help="how to collapse a run's records to one value "
+                              "(default: mean)")
+    results_plot.add_argument("--by", default=None, metavar="FIELD",
+                              help="split into one series per value of this field, "
+                              "e.g. protocol")
+    results_plot.add_argument("--png", default=None, metavar="PATH",
+                              help="also write a PNG (matplotlib when available, "
+                              "builtin raster writer otherwise)")
+    results_plot.add_argument("--kind", default=None)
+    results_plot.add_argument("--benchmark", default=None)
+    results_plot.add_argument("--topology", default=None)
+    results_plot.add_argument("--workload", default=None)
+    results_plot.add_argument("--scenario", default=None)
+    results_plot.add_argument("--protocol", default=None)
+    results_plot.add_argument("--limit", type=int, default=None,
+                              help="consider only the newest N records")
+    results_plot.set_defaults(handler=cmd_results_plot)
 
     results_diff = results_sub.add_parser(
         "diff",
@@ -689,7 +859,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.handler(args)
-    except (CLIError, ResultsStoreError, RunnerError) as exc:
+    except (CLIError, PlotError, ResultsStoreError, RunnerError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     except BrokenPipeError:  # e.g. `repro results query | head`

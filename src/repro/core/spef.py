@@ -31,6 +31,7 @@ from ..network.demands import TrafficMatrix
 from ..network.flows import FlowAssignment
 from ..network.graph import Network, Node
 from ..network.spt import ShortestPathDag, all_shortest_path_dags
+from ..obs import telemetry
 from .first_weights import FirstWeightsResult, compute_first_weights, round_weights
 from .forwarding import ForwardingTable, build_forwarding_tables
 from .nem import SecondWeightsResult, compute_second_weights
@@ -356,10 +357,19 @@ class SPEF:
             # wiring matches, not merely the link count.
             if warm_start.network.edges == network.edges:
                 initial_second = warm_start.second_weights.copy()
+        if telemetry.enabled() and warm_start is not None:
+            telemetry.count(
+                "optimizer.warm_start",
+                1,
+                optimizer="spef",
+                flows=initial_flows is not None,
+                second=initial_second is not None,
+            )
 
-        raw_weights, optimal_flows, te_solution, first_result = self._solve_te(
-            network, demands, initial_flows
-        )
+        with telemetry.span("optimizer.spef_te", solver=cfg.te_solver):
+            raw_weights, optimal_flows, te_solution, first_result = self._solve_te(
+                network, demands, initial_flows
+            )
         target_flows = np.minimum(np.maximum(optimal_flows.aggregate(), 0.0), network.capacities)
 
         installed = raw_weights
@@ -375,18 +385,26 @@ class SPEF:
             flow_threshold = cfg.dag_flow_threshold * max(total_volume, 1e-12)
             self._augment_dags(network, dags, optimal_flows, flow_threshold)
 
-        second = compute_second_weights(
-            network,
-            demands,
-            dags,
-            target_flows,
-            max_iterations=cfg.alg2_max_iterations,
-            tolerance=cfg.alg2_tolerance,
-            step_ratio=cfg.alg2_step_ratio,
-            initial_weights=initial_second,
-            record_history=False,
-            backend=cfg.routing_backend,
-        )
+        with telemetry.span("optimizer.spef_second_weights"):
+            second = compute_second_weights(
+                network,
+                demands,
+                dags,
+                target_flows,
+                max_iterations=cfg.alg2_max_iterations,
+                tolerance=cfg.alg2_tolerance,
+                step_ratio=cfg.alg2_step_ratio,
+                initial_weights=initial_second,
+                record_history=False,
+                backend=cfg.routing_backend,
+            )
+        if telemetry.enabled():
+            telemetry.count(
+                "optimizer.iterations",
+                second.iterations,
+                optimizer="spef",
+                phase="second-weights",
+            )
 
         tables = build_forwarding_tables(network, dags, second.weights)
         return SPEFSolution(

@@ -1,0 +1,36 @@
+"""Observability: structured spans, counters, histograms, trace export.
+
+See :mod:`repro.obs.telemetry` for the trace schema and usage.  The layer
+is stdlib-only and costs one ``is None`` check per instrumentation site
+when disabled, so it is safe to leave wired through the hot paths.
+"""
+
+from .telemetry import (
+    DEFAULT_FRACTION_EDGES,
+    Histogram,
+    Span,
+    TelemetryRegistry,
+    activate,
+    count,
+    deactivate,
+    enabled,
+    get,
+    observe,
+    session,
+    span,
+)
+
+__all__ = [
+    "DEFAULT_FRACTION_EDGES",
+    "Histogram",
+    "Span",
+    "TelemetryRegistry",
+    "activate",
+    "count",
+    "deactivate",
+    "enabled",
+    "get",
+    "observe",
+    "session",
+    "span",
+]

@@ -1,0 +1,512 @@
+"""Dependency-light telemetry: spans, counters, histograms, jsonl traces.
+
+The observability layer answers one question for every scaling item on the
+roadmap: *where do time and fallbacks actually go?*  It is deliberately
+small — stdlib only, one module — and deliberately cheap: when no registry
+is active (the default), every instrumentation call is a dictionary-free
+no-op, so the hot paths pay a single ``is None`` check.
+
+Concepts
+--------
+* **Span** — one timed region with monotonic wall time
+  (:func:`time.perf_counter`) and CPU time (:func:`time.process_time`),
+  free-form string tags, and exception capture: a span that exits through
+  an exception is recorded with ``status="error"`` and the exception text,
+  and the exception is re-raised.  Spans nest through a per-registry stack,
+  so each records its parent id and depth.
+* **Counter** — a named monotonically accumulated number, keyed by name
+  plus a (sorted) tag set: ``count("dspt.fallback", reason="plateau")``.
+* **Histogram** — fixed-bucket value distribution.  Bucket *i* counts
+  values ``value <= edges[i]`` (first matching edge); values above the
+  last edge land in an overflow bucket.  Count/sum/min/max ride along so
+  means survive merging.
+* **TelemetryRegistry** — the in-process collection of all three, with a
+  picklable :meth:`~TelemetryRegistry.snapshot` and a
+  :meth:`~TelemetryRegistry.merge` so worker processes can ship their
+  registries back to the parent (span ids are offset-remapped, counters
+  and histogram buckets are summed).
+
+Trace schema (``trace.jsonl``)
+------------------------------
+One JSON object per line, ``sort_keys=True`` throughout, so exporting the
+same registry twice yields byte-identical files:
+
+* ``{"type": "meta", "label": ..., "created_at": ..., "schema": 1}`` —
+  first line, stamped once at registry creation.
+* ``{"type": "span", "id": ..., "parent": ..., "depth": ..., "name": ...,
+  "tags": {...}, "start": ..., "wall": ..., "cpu": ...,
+  "status": "ok"|"error", "error": ...}`` — ``start`` is seconds since the
+  registry was created; ``wall``/``cpu`` are durations in seconds.
+* ``{"type": "counter", "name": ..., "tags": {...}, "value": ...}`` —
+  sorted by (name, tags).
+* ``{"type": "histogram", "name": ..., "edges": [...], "counts": [...],
+  "count": ..., "sum": ..., "min": ..., "max": ...}`` — ``counts`` has
+  ``len(edges) + 1`` entries (the last is the overflow bucket); sorted by
+  name.
+
+Usage
+-----
+>>> from repro.obs import telemetry
+>>> with telemetry.session("demo") as registry:
+...     with telemetry.span("outer", kind="example"):
+...         telemetry.count("widgets", 3)
+...         telemetry.observe("sizes", 0.25, edges=(0.1, 0.5, 1.0))
+>>> registry.counter_value("widgets")
+3.0
+
+Outside a :func:`session` (or an explicit :func:`activate`), the same
+calls do nothing and cost almost nothing.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "Span",
+    "Histogram",
+    "TelemetryRegistry",
+    "activate",
+    "deactivate",
+    "enabled",
+    "get",
+    "session",
+    "span",
+    "count",
+    "observe",
+    "DEFAULT_FRACTION_EDGES",
+]
+
+#: Default bucket edges for fraction-valued histograms (e.g. the affected
+#: cone as a fraction of reachable nodes).  Dense at the low end, where the
+#: incremental path wins, because that is where tuning decisions live.
+DEFAULT_FRACTION_EDGES: Tuple[float, ...] = (
+    0.01, 0.02, 0.05, 0.1, 0.2, 0.3, 0.5, 0.75, 1.0,
+)
+
+TagsKey = Tuple[Tuple[str, str], ...]
+
+
+def _tags_key(tags: Mapping[str, object]) -> TagsKey:
+    return tuple(sorted((str(k), str(v)) for k, v in tags.items()))
+
+
+@dataclass
+class Span:
+    """One completed (or still-open) timed region."""
+
+    span_id: int
+    parent_id: Optional[int]
+    depth: int
+    name: str
+    tags: Dict[str, str]
+    start: float  # seconds since the registry epoch
+    wall: float = 0.0
+    cpu: float = 0.0
+    status: str = "open"  # "open" | "ok" | "error"
+    error: Optional[str] = None
+
+    def as_record(self) -> Dict[str, object]:
+        return {
+            "type": "span",
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "depth": self.depth,
+            "name": self.name,
+            "tags": self.tags,
+            "start": round(self.start, 9),
+            "wall": round(self.wall, 9),
+            "cpu": round(self.cpu, 9),
+            "status": self.status,
+            "error": self.error,
+        }
+
+
+@dataclass
+class Histogram:
+    """Fixed-bucket histogram: bucket *i* counts ``value <= edges[i]``.
+
+    ``counts`` carries one extra overflow bucket for values above the last
+    edge.  ``sum``/``min``/``max`` are exact over the observed values, so a
+    merged histogram still reports an exact mean and range.
+    """
+
+    edges: Tuple[float, ...]
+    counts: List[int] = field(default_factory=list)
+    count: int = 0
+    sum: float = 0.0
+    min: Optional[float] = None
+    max: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.edges:
+            raise ValueError("histogram needs at least one bucket edge")
+        if list(self.edges) != sorted(self.edges):
+            raise ValueError("histogram edges must be sorted ascending")
+        if not self.counts:
+            self.counts = [0] * (len(self.edges) + 1)
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        for position, edge in enumerate(self.edges):
+            if value <= edge:
+                self.counts[position] += 1
+                break
+        else:
+            self.counts[-1] += 1
+        self.count += 1
+        self.sum += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    def merge(self, other: "Histogram") -> None:
+        if other.edges != self.edges:
+            raise ValueError(
+                f"cannot merge histograms with different edges: "
+                f"{self.edges} vs {other.edges}"
+            )
+        self.counts = [a + b for a, b in zip(self.counts, other.counts)]
+        self.count += other.count
+        self.sum += other.sum
+        for bound, pick in (("min", min), ("max", max)):
+            theirs = getattr(other, bound)
+            if theirs is not None:
+                ours = getattr(self, bound)
+                setattr(self, bound, theirs if ours is None else pick(ours, theirs))
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self.sum / self.count if self.count else None
+
+    def as_record(self, name: str) -> Dict[str, object]:
+        return {
+            "type": "histogram",
+            "name": name,
+            "edges": list(self.edges),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": round(self.sum, 9),
+            "min": self.min,
+            "max": self.max,
+        }
+
+
+class TelemetryRegistry:
+    """In-process collection of spans, counters and histograms."""
+
+    def __init__(self, label: str = "") -> None:
+        self.label = label
+        self.created_at = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+        self.spans: List[Span] = []
+        self.counters: Dict[Tuple[str, TagsKey], float] = {}
+        self.histograms: Dict[str, Histogram] = {}
+        self._stack: List[Span] = []
+        self._wall_epoch = time.perf_counter()
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    @contextmanager
+    def span(self, name: str, **tags: object) -> Iterator[Span]:
+        """Record a nested timed region; exceptions are captured, then re-raised."""
+        parent = self._stack[-1] if self._stack else None
+        record = Span(
+            span_id=len(self.spans),
+            parent_id=parent.span_id if parent else None,
+            depth=parent.depth + 1 if parent else 0,
+            name=name,
+            tags={str(k): str(v) for k, v in tags.items()},
+            start=time.perf_counter() - self._wall_epoch,
+        )
+        self.spans.append(record)
+        self._stack.append(record)
+        wall0 = time.perf_counter()
+        cpu0 = time.process_time()
+        try:
+            yield record
+        except BaseException as exc:
+            record.status = "error"
+            record.error = f"{type(exc).__name__}: {exc}"
+            raise
+        else:
+            record.status = "ok"
+        finally:
+            record.wall = time.perf_counter() - wall0
+            record.cpu = time.process_time() - cpu0
+            self._stack.pop()
+
+    def count(self, name: str, value: float = 1, **tags: object) -> None:
+        """Add ``value`` to a named counter (tags distinguish sub-streams)."""
+        key = (name, _tags_key(tags))
+        self.counters[key] = self.counters.get(key, 0.0) + float(value)
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        edges: Sequence[float] = DEFAULT_FRACTION_EDGES,
+    ) -> None:
+        """Record one value into a named fixed-bucket histogram."""
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histograms[name] = Histogram(edges=tuple(edges))
+        histogram.observe(value)
+
+    # ------------------------------------------------------------------
+    # aggregation / views
+    # ------------------------------------------------------------------
+    def counter_value(self, name: str, **tags: object) -> float:
+        if tags:
+            return self.counters.get((name, _tags_key(tags)), 0.0)
+        return sum(v for (n, _), v in self.counters.items() if n == name)
+
+    def counter_breakdown(self, name: str) -> Dict[TagsKey, float]:
+        return {t: v for (n, t), v in self.counters.items() if n == name}
+
+    def span_totals(self) -> Dict[str, Tuple[int, float, float]]:
+        """``{name: (count, total wall seconds, total cpu seconds)}``."""
+        totals: Dict[str, Tuple[int, float, float]] = {}
+        for record in self.spans:
+            count_, wall, cpu = totals.get(record.name, (0, 0.0, 0.0))
+            totals[record.name] = (count_ + 1, wall + record.wall, cpu + record.cpu)
+        return totals
+
+    # ------------------------------------------------------------------
+    # cross-process transport
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """A picklable dump of everything recorded so far."""
+        return {
+            "label": self.label,
+            "spans": [span.as_record() for span in self.spans],
+            "counters": [
+                {"name": name, "tags": dict(tags), "value": value}
+                for (name, tags), value in self.counters.items()
+            ],
+            "histograms": [
+                histogram.as_record(name)
+                for name, histogram in self.histograms.items()
+            ],
+        }
+
+    def merge(self, payload: Mapping[str, object]) -> None:
+        """Fold a worker's :meth:`snapshot` into this registry.
+
+        Span ids are remapped past the current maximum, so merged traces
+        keep globally unique ids and intact parent links; the spans gain a
+        ``worker`` tag carrying the snapshot's label (when present).
+        """
+        offset = len(self.spans)
+        label = str(payload.get("label") or "")
+        for record in payload.get("spans", ()):  # type: ignore[union-attr]
+            tags = dict(record.get("tags", {}))
+            if label and "worker" not in tags:
+                tags["worker"] = label
+            parent = record.get("parent")
+            self.spans.append(
+                Span(
+                    span_id=int(record["id"]) + offset,
+                    parent_id=int(parent) + offset if parent is not None else None,
+                    depth=int(record.get("depth", 0)),
+                    name=str(record["name"]),
+                    tags=tags,
+                    start=float(record.get("start", 0.0)),
+                    wall=float(record.get("wall", 0.0)),
+                    cpu=float(record.get("cpu", 0.0)),
+                    status=str(record.get("status", "ok")),
+                    error=record.get("error"),  # type: ignore[arg-type]
+                )
+            )
+        for record in payload.get("counters", ()):  # type: ignore[union-attr]
+            self.count(
+                str(record["name"]),
+                float(record["value"]),
+                **dict(record.get("tags", {})),
+            )
+        for record in payload.get("histograms", ()):  # type: ignore[union-attr]
+            incoming = Histogram(
+                edges=tuple(record["edges"]),
+                counts=list(record["counts"]),
+                count=int(record["count"]),
+                sum=float(record["sum"]),
+                min=record.get("min"),  # type: ignore[arg-type]
+                max=record.get("max"),  # type: ignore[arg-type]
+            )
+            name = str(record["name"])
+            existing = self.histograms.get(name)
+            if existing is None:
+                self.histograms[name] = incoming
+            else:
+                existing.merge(incoming)
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    def export_jsonl(self, path: object) -> int:
+        """Write the trace as JSON lines; returns the number of lines.
+
+        Output ordering (meta, spans by id, counters sorted by name+tags,
+        histograms sorted by name) and ``sort_keys=True`` make repeated
+        exports of the same registry byte-identical.
+        """
+        buffer = io.StringIO()
+        meta = {
+            "type": "meta",
+            "schema": 1,
+            "label": self.label,
+            "created_at": self.created_at,
+        }
+        lines = 1
+        buffer.write(json.dumps(meta, sort_keys=True) + "\n")
+        for record in self.spans:
+            buffer.write(json.dumps(record.as_record(), sort_keys=True) + "\n")
+            lines += 1
+        for (name, tags), value in sorted(self.counters.items()):
+            record = {"type": "counter", "name": name, "tags": dict(tags), "value": value}
+            buffer.write(json.dumps(record, sort_keys=True) + "\n")
+            lines += 1
+        for name in sorted(self.histograms):
+            record = self.histograms[name].as_record(name)
+            buffer.write(json.dumps(record, sort_keys=True) + "\n")
+            lines += 1
+        with open(path, "w", encoding="utf-8", newline="\n") as handle:  # type: ignore[arg-type]
+            handle.write(buffer.getvalue())
+        return lines
+
+    def summary(self) -> str:
+        """A compact human-readable digest of the registry."""
+        lines: List[str] = []
+        title = f"telemetry summary — {self.label}" if self.label else "telemetry summary"
+        lines.append(title)
+        totals = self.span_totals()
+        if totals:
+            lines.append("spans:")
+            width = max(len(name) for name in totals)
+            for name in sorted(totals, key=lambda n: -totals[n][1]):
+                count_, wall, cpu = totals[name]
+                lines.append(
+                    f"  {name:<{width}}  n={count_:<6d} wall={wall:9.4f}s cpu={cpu:9.4f}s"
+                )
+        names = sorted({name for name, _ in self.counters})
+        if names:
+            lines.append("counters:")
+            for name in names:
+                breakdown = self.counter_breakdown(name)
+                total = sum(breakdown.values())
+                lines.append(f"  {name} = {total:g}")
+                if len(breakdown) > 1 or any(tags for tags in breakdown):
+                    for tags in sorted(breakdown):
+                        tag_text = ", ".join(f"{k}={v}" for k, v in tags) or "(untagged)"
+                        lines.append(f"    {tag_text}: {breakdown[tags]:g}")
+        if self.histograms:
+            lines.append("histograms:")
+            for name in sorted(self.histograms):
+                histogram = self.histograms[name]
+                mean = histogram.mean
+                lines.append(
+                    f"  {name}: n={histogram.count} mean="
+                    + (f"{mean:.4g}" if mean is not None else "-")
+                    + (f" min={histogram.min:.4g} max={histogram.max:.4g}"
+                       if histogram.count else "")
+                )
+                peak = max(histogram.counts) if histogram.count else 0
+                labels = [f"<={edge:g}" for edge in histogram.edges] + [
+                    f">{histogram.edges[-1]:g}"
+                ]
+                for label, bucket in zip(labels, histogram.counts):
+                    if peak:
+                        bar = "#" * max(1, round(24 * bucket / peak)) if bucket else ""
+                    else:
+                        bar = ""
+                    lines.append(f"    {label:>8} {bucket:6d} {bar}")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# module-level switchboard (the API the instrumented code calls)
+# ----------------------------------------------------------------------
+_ACTIVE: Optional[TelemetryRegistry] = None
+
+
+class _NoopSpan:
+    """Shared do-nothing context manager for the disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+
+_NOOP = _NoopSpan()
+
+
+def enabled() -> bool:
+    """True when a registry is active and instrumentation should record."""
+    return _ACTIVE is not None
+
+
+def get() -> Optional[TelemetryRegistry]:
+    """The active registry, or None when telemetry is disabled."""
+    return _ACTIVE
+
+
+def activate(registry: Optional[TelemetryRegistry] = None) -> TelemetryRegistry:
+    """Install (and return) the process-wide active registry."""
+    global _ACTIVE
+    _ACTIVE = registry if registry is not None else TelemetryRegistry()
+    return _ACTIVE
+
+
+def deactivate() -> Optional[TelemetryRegistry]:
+    """Remove and return the active registry (telemetry goes quiet)."""
+    global _ACTIVE
+    registry, _ACTIVE = _ACTIVE, None
+    return registry
+
+
+@contextmanager
+def session(label: str = "") -> Iterator[TelemetryRegistry]:
+    """Activate a fresh registry for the duration of a ``with`` block.
+
+    The previous registry (if any) is restored on exit, so sessions nest
+    safely in tests.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    registry = TelemetryRegistry(label=label)
+    _ACTIVE = registry
+    try:
+        yield registry
+    finally:
+        _ACTIVE = previous
+
+
+def span(name: str, **tags: object):
+    """Module-level span: records on the active registry, no-op otherwise."""
+    if _ACTIVE is None:
+        return _NOOP
+    return _ACTIVE.span(name, **tags)
+
+
+def count(name: str, value: float = 1, **tags: object) -> None:
+    """Module-level counter increment (no-op when telemetry is disabled)."""
+    if _ACTIVE is not None:
+        _ACTIVE.count(name, value, **tags)
+
+
+def observe(
+    name: str,
+    value: float,
+    edges: Sequence[float] = DEFAULT_FRACTION_EDGES,
+) -> None:
+    """Module-level histogram observation (no-op when telemetry is disabled)."""
+    if _ACTIVE is not None:
+        _ACTIVE.observe(name, value, edges)

@@ -28,7 +28,7 @@ from .controller import (
     sweep_pure_failures,
     sweep_scenarios,
 )
-from .dspt import DsptStats, DynamicSPT
+from .dspt import DsptStats, DynamicSPT, publish_dspt_counters, snapshot_stats
 from .policy import ClosedLoopPolicy, OraclePolicy, PolicyDecision
 from .replay import OutageRow, ReplayResult, replay_failure_trace
 from .events import (
@@ -65,6 +65,8 @@ __all__ = [
     "OraclePolicy",
     "OutageRow",
     "PolicyDecision",
+    "publish_dspt_counters",
+    "snapshot_stats",
     "ReplayResult",
     "replay_failure_trace",
     "TEController",

@@ -39,10 +39,11 @@ from ..core.objectives import normalized_utility
 from ..network.demands import Pair, TrafficMatrix
 from ..network.graph import Network, Node
 from ..network.spt import DEFAULT_TOLERANCE, WeightsLike
+from ..obs import telemetry
 from ..routing.sparse import SparseRouter
 from ..scenarios.scenario import Scenario
 from ..simulator.events import Simulator
-from .dspt import DynamicSPT
+from .dspt import DynamicSPT, publish_dspt_counters, snapshot_stats
 from .events import (
     CapacityChange,
     DemandUpdate,
@@ -143,14 +144,19 @@ class TEController:
             from ..protocols.ospf import invcap_weights
 
             weights = invcap_weights(network)
-        self.spt = DynamicSPT(
-            network,
-            weights,
-            destinations=demands.destinations(),
-            tolerance=tolerance,
-            max_affected_fraction=max_affected_fraction,
-            verify=verify,
-        )
+        with telemetry.span(
+            "controller.setup",
+            topology=network.name,
+            destinations=len(demands.destinations()),
+        ):
+            self.spt = DynamicSPT(
+                network,
+                weights,
+                destinations=demands.destinations(),
+                tolerance=tolerance,
+                max_affected_fraction=max_affected_fraction,
+                verify=verify,
+            )
         self._dest_loads: Dict[Node, np.ndarray] = {}
         self._dest_dropped: Dict[Node, Dict[Node, float]] = {}
         self._dirty: Set[Node] = set(demands.destinations())
@@ -220,6 +226,9 @@ class TEController:
         )
         self._sequence += 1
         self.log.append(update)
+        if telemetry.enabled():
+            telemetry.count("controller.event", 1, kind=event.kind)
+            telemetry.count("controller.dirtied_destinations", len(affected))
         return update
 
     def apply_all(self, events: Iterable[NetworkEvent]) -> List[ControllerUpdate]:
@@ -408,11 +417,12 @@ class TEController:
             optimizer = FortzThorup(restarts=1)
         active = self.active_network()
         demands = self.demands
-        result = optimizer.optimize(
-            active,
-            demands,
-            warm_start=self.weights[self._active_indices()] if warm_start else None,
-        )
+        with telemetry.span("controller.reoptimize", warm_start=warm_start):
+            result = optimizer.optimize(
+                active,
+                demands,
+                warm_start=self.weights[self._active_indices()] if warm_start else None,
+            )
         if install:
             # Map the pruned-network weight vector back onto base indices;
             # failed links keep their previous weight (they are masked).
@@ -473,33 +483,47 @@ class TEController:
         baseline_dropped = dict(self._dest_dropped)
         baseline_capacities = self.capacities
         measurements: List[ControllerMeasurement] = []
-        for scenario in scenarios:
-            events = scenario_events(self.network, scenario)
-            already_down = set(self.spt.failed_links())
-            applied = [
-                event
-                for event in events
-                if not (isinstance(event, LinkFailure) and event.link in already_down)
-            ]
-            self.apply_all(applied)
-            measurements.append(self.measure())
-            # Revert by diffing the failed set (robust even when a capacity
-            # event converted to a failure) and snapshot-restoring the
-            # capacity vector in one assignment.
-            self.apply_all(
-                [
-                    LinkRecovery(link=edge)
-                    for edge in self.spt.failed_links()
-                    if edge not in already_down
-                ]
-            )
-            self.capacities = baseline_capacities
-            # The recovery returned the DAGs to the baseline; restore the
-            # baseline's load caches instead of re-routing the roundtrip's
-            # footprint on the next measure.
-            self._dest_loads = dict(baseline_loads)
-            self._dest_dropped = dict(baseline_dropped)
-            self._dirty.clear()
+        stats_before = snapshot_stats(self.spt.stats) if telemetry.enabled() else None
+        with telemetry.span("controller.sweep", scenarios=len(scenarios)):
+            for scenario in scenarios:
+                with telemetry.span(
+                    "controller.cell", scenario=scenario.scenario_id
+                ) as cell:
+                    events = scenario_events(self.network, scenario)
+                    already_down = set(self.spt.failed_links())
+                    applied = [
+                        event
+                        for event in events
+                        if not (
+                            isinstance(event, LinkFailure)
+                            and event.link in already_down
+                        )
+                    ]
+                    updates = self.apply_all(applied)
+                    measurements.append(self.measure())
+                    # Revert by diffing the failed set (robust even when a
+                    # capacity event converted to a failure) and
+                    # snapshot-restoring the capacity vector in one assignment.
+                    reverts = self.apply_all(
+                        [
+                            LinkRecovery(link=edge)
+                            for edge in self.spt.failed_links()
+                            if edge not in already_down
+                        ]
+                    )
+                    self.capacities = baseline_capacities
+                    # The recovery returned the DAGs to the baseline; restore
+                    # the baseline's load caches instead of re-routing the
+                    # roundtrip's footprint on the next measure.
+                    self._dest_loads = dict(baseline_loads)
+                    self._dest_dropped = dict(baseline_dropped)
+                    self._dirty.clear()
+                    if cell is not None:
+                        cell.tags["dirtied"] = str(
+                            sum(u.affected_destinations for u in updates + reverts)
+                        )
+        if stats_before is not None:
+            publish_dspt_counters(stats_before, self.spt.stats)
         return measurements
 
     def sweep_pure_failures(

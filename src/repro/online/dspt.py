@@ -48,7 +48,7 @@ from __future__ import annotations
 
 import heapq
 import logging
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
@@ -61,6 +61,7 @@ from ..network.spt import (
     as_weight_vector,
     validate_weights,
 )
+from ..obs import telemetry
 
 logger = logging.getLogger(__name__)
 
@@ -77,7 +78,14 @@ _PLATEAU_FLOOR = 1e-12
 
 @dataclass
 class DsptStats:
-    """Counters describing how much work the engine actually did."""
+    """Counters describing how much work the engine actually did.
+
+    ``full_rebuilds`` is the aggregate; the *why* is broken down so tuning
+    decisions (raise ``max_affected_fraction``? fix a plateau?) can be made
+    from the stats alone: ``full_rebuilds == fallback_cone +
+    fallback_plateau + initial_builds + bulk_rebuilds`` (verified fallbacks
+    restore the shadow rebuild's state without recounting it).
+    """
 
     events: int = 0
     #: Destinations whose DAG changed structurally, summed over events.
@@ -88,6 +96,75 @@ class DsptStats:
     nodes_recomputed: int = 0
     #: Incremental results that disagreed with the shadow rebuild (verify mode).
     verify_mismatches: int = 0
+    #: Rebuilds because the affected cone exceeded ``max_affected_fraction``.
+    fallback_cone: int = 0
+    #: Rebuilds because an active weight sat at/below the plateau floor.
+    fallback_plateau: int = 0
+    #: Cold builds of newly added destinations (not event work).
+    initial_builds: int = 0
+    #: Rebuilds from whole-vector :meth:`DynamicSPT.set_weights` installs.
+    bulk_rebuilds: int = 0
+
+    @property
+    def event_fallbacks(self) -> int:
+        """Per-destination event updates that abandoned the incremental path."""
+        return self.fallback_cone + self.fallback_plateau + self.verify_mismatches
+
+    @property
+    def fallback_rate(self) -> float:
+        """Fraction of event updates that fell back (0.0 when idle)."""
+        attempts = self.incremental_updates + self.event_fallbacks
+        return self.event_fallbacks / attempts if attempts else 0.0
+
+    def __repr__(self) -> str:  # noqa: D105 - breakdown-bearing repr
+        return (
+            f"DsptStats(events={self.events}, "
+            f"destinations_changed={self.destinations_changed}, "
+            f"incremental_updates={self.incremental_updates}, "
+            f"full_rebuilds={self.full_rebuilds} "
+            f"[cone={self.fallback_cone}, plateau={self.fallback_plateau}, "
+            f"verify={self.verify_mismatches}, initial={self.initial_builds}, "
+            f"bulk={self.bulk_rebuilds}], "
+            f"nodes_recomputed={self.nodes_recomputed}, "
+            f"fallback_rate={self.fallback_rate:.3f})"
+        )
+
+
+def publish_dspt_counters(before: DsptStats, after: DsptStats) -> None:
+    """Publish the delta between two stats snapshots as telemetry counters.
+
+    Called once per sweep/replay (never per event), so hot-loop overhead
+    stays at plain integer increments; the counters land as
+    ``dspt.update[path=incremental]``, ``dspt.fallback[reason=...]`` and
+    ``dspt.rebuild[reason=...]``.  No-op when telemetry is disabled.
+    """
+    if not telemetry.enabled():
+        return
+    deltas = (
+        ("dspt.events", {}, after.events - before.events),
+        ("dspt.update", {"path": "incremental"},
+         after.incremental_updates - before.incremental_updates),
+        ("dspt.fallback", {"reason": "cone-threshold"},
+         after.fallback_cone - before.fallback_cone),
+        ("dspt.fallback", {"reason": "plateau"},
+         after.fallback_plateau - before.fallback_plateau),
+        ("dspt.fallback", {"reason": "verify-mismatch"},
+         after.verify_mismatches - before.verify_mismatches),
+        ("dspt.rebuild", {"reason": "initial"},
+         after.initial_builds - before.initial_builds),
+        ("dspt.rebuild", {"reason": "bulk"},
+         after.bulk_rebuilds - before.bulk_rebuilds),
+        ("dspt.nodes_recomputed", {},
+         after.nodes_recomputed - before.nodes_recomputed),
+    )
+    for name, tags, value in deltas:
+        if value:
+            telemetry.count(name, value, **tags)
+
+
+def snapshot_stats(stats: DsptStats) -> DsptStats:
+    """A frozen copy of the counters, for before/after delta publishing."""
+    return replace(stats)
 
 
 @dataclass
@@ -274,6 +351,7 @@ class DynamicSPT:
         if destination not in self._states:
             state = _DestinationState(destination=destination)
             self._states[destination] = state
+            self.stats.initial_builds += 1
             self._rebuild(state)
 
     def fail_link(self, source: Node, target: Node) -> Set[Node]:
@@ -313,6 +391,7 @@ class DynamicSPT:
         self.stats.events += 1
         changed: Set[Node] = set()
         for state in self._states.values():
+            self.stats.bulk_rebuilds += 1
             self._rebuild(state)
             changed.add(state.destination)
         self.stats.destinations_changed += len(changed)
@@ -349,6 +428,7 @@ class DynamicSPT:
             if link.source == state.destination:
                 continue  # a destination's out-edges never carry its traffic
             if not incremental:
+                self.stats.fallback_plateau += 1
                 self._rebuild(state)
                 changed.add(state.destination)
                 continue
@@ -462,7 +542,10 @@ class DynamicSPT:
                     cone.add(upstream)
                     queue.append(upstream)
 
+        cone_fraction = len(cone) / max(len(dist), 1)
+        telemetry.observe("dspt.cone_fraction", cone_fraction)
         if len(cone) > self.max_affected_fraction * max(len(dist), 1):
+            self.stats.fallback_cone += 1
             self._rebuild(state)
             return True
 

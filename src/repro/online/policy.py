@@ -28,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, List, Optional
 
+from ..obs import telemetry
 from ..simulator.events import EventHandle, Simulator
 from .controller import ControllerMeasurement, ControllerUpdate, TEController
 
@@ -118,9 +119,10 @@ class _PolicyBase:
         assert controller is not None, "policy used before attach()"
         if before is None:
             before = controller.measure()
-        result = controller.reoptimize(
-            optimizer=self.optimizer_factory(), warm_start=self.warm_start
-        )
+        with telemetry.span("policy.reoptimize", trigger=trigger):
+            result = controller.reoptimize(
+                optimizer=self.optimizer_factory(), warm_start=self.warm_start
+            )
         after = controller.measure()
         decision = PolicyDecision(
             time=time,
@@ -130,6 +132,11 @@ class _PolicyBase:
             trigger=trigger,
         )
         self.decisions.append(decision)
+        if telemetry.enabled():
+            telemetry.count("policy.reoptimize", 1, trigger=trigger)
+            telemetry.count(
+                "policy.reoptimize_improved", 1, improved=decision.improved
+            )
         if self._on_reoptimize is not None:
             self._on_reoptimize(controller, decision, after)
         return decision
@@ -201,8 +208,10 @@ class ClosedLoopPolicy(_PolicyBase):
             # before the hold expired: no reoptimization spent.
             self._pending.cancel()
             self._pending = None
+            telemetry.count("policy.hold", 1, transition="cancelled")
 
     def _start_hold(self, now: float) -> None:
+        telemetry.count("policy.hold", 1, transition="started")
         fire_at = max(now + self.hold, self._last_reoptimized + self.cooldown)
         if self._simulator is None:
             # No simulator (direct event feeding): there is no clock to wait
@@ -223,6 +232,7 @@ class ClosedLoopPolicy(_PolicyBase):
             return
         measurement = controller.measure()
         if measurement.mlu > self.target_mlu:
+            telemetry.count("policy.hold", 1, transition="expired-breaching")
             self._reoptimize(now, trigger="hold-expired", before=measurement)
             self._last_reoptimized = now
             # Deliberately no re-arm here: if the reoptimized network still
@@ -230,6 +240,8 @@ class ClosedLoopPolicy(_PolicyBase):
             # state gains nothing — and self-scheduled re-arms would keep
             # the simulator alive forever on an unattainable target.  The
             # next *network* event that still breaches starts a fresh hold.
+        else:
+            telemetry.count("policy.hold", 1, transition="expired-cleared")
 
 
 class OraclePolicy(_PolicyBase):

@@ -25,9 +25,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..network.demands import TrafficMatrix
 from ..network.graph import Network
+from ..network.spt import DEFAULT_TOLERANCE
+from ..obs import telemetry
 from ..scenarios.scenario import Scenario
 from ..simulator.events import Simulator
 from .controller import ControllerMeasurement, ControllerUpdate, TEController
+from .dspt import publish_dspt_counters, snapshot_stats
 from .events import failure_recovery_trace
 
 
@@ -97,6 +100,10 @@ def replay_failure_trace(
     period: float = 600.0,
     outage: float = 300.0,
     policy: Optional[object] = None,
+    *,
+    tolerance: float = DEFAULT_TOLERANCE,
+    max_affected_fraction: float = 0.5,
+    verify: bool = False,
 ) -> ReplayResult:
     """Replay ``scenarios`` as a timed fail → repair trace and sample MLU.
 
@@ -108,9 +115,19 @@ def replay_failure_trace(
     reoptimization is sampled into the timeline too.  The per-outage rows
     report the last sample inside each outage window — the sustained state
     the network actually ran in until repair.
+
+    ``tolerance``, ``max_affected_fraction`` and ``verify`` go straight to
+    the underlying :class:`TEController` (and its dynamic SPT), so the
+    fallback threshold is tunable from the CLI without code edits.
     """
     trace = failure_recovery_trace(network, scenarios, period=period, outage=outage)
-    controller = TEController(network, demands)
+    controller = TEController(
+        network,
+        demands,
+        tolerance=tolerance,
+        max_affected_fraction=max_affected_fraction,
+        verify=verify,
+    )
     baseline = controller.measure()
 
     timeline: List[Tuple[float, str, ControllerMeasurement]] = []
@@ -139,9 +156,19 @@ def replay_failure_trace(
             policy.observe(ctrl, update, measurement=sample(ctrl, update))
 
     controller.bind(simulator, trace, on_update=on_update)
+    stats_before = (
+        snapshot_stats(controller.spt.stats) if telemetry.enabled() else None
+    )
     start = time.perf_counter()
-    simulator.run()
+    with telemetry.span(
+        "replay.trace",
+        scenarios=len(scenarios),
+        policy=type(policy).__name__ if policy is not None else "none",
+    ):
+        simulator.run()
     elapsed = time.perf_counter() - start
+    if stats_before is not None:
+        publish_dspt_counters(stats_before, controller.spt.stats)
 
     outages: List[OutageRow] = []
     for index, scenario in enumerate(scenarios):
@@ -154,6 +181,13 @@ def replay_failure_trace(
         if not window:
             continue
         when, _, measurement = window[-1]
+        if telemetry.enabled():
+            # Sustained MLU: what each outage actually ran at until repair.
+            telemetry.observe(
+                "replay.sustained_mlu",
+                measurement.mlu,
+                edges=(0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 2.0, 3.0, 5.0),
+            )
         outages.append(
             OutageRow(
                 scenario_id=scenario.scenario_id,

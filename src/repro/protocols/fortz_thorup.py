@@ -26,6 +26,7 @@ import numpy as np
 from ..network.demands import TrafficMatrix
 from ..network.flows import FlowAssignment
 from ..network.graph import Network
+from ..obs import telemetry
 from ..solvers.assignment import ecmp_assignment
 from .base import RoutingProtocol
 
@@ -190,6 +191,7 @@ class FortzThorup(RoutingProtocol):
         best_weights: Optional[np.ndarray] = None
         best_cost = float("inf")
         evaluations = 0
+        first_attempt_evaluations = 0
         history: List[float] = []
         for attempt in range(max(1, self.restarts)):
             weights = self._initial_weights(network, rng, attempt, warm_start)
@@ -223,10 +225,24 @@ class FortzThorup(RoutingProtocol):
                     cost = best_move_cost
                     improved = True
                 history.append(cost)
+            if attempt == 0:
+                first_attempt_evaluations = evaluations
             if cost < best_cost:
                 best_cost = cost
                 best_weights = weights.copy()
         assert best_weights is not None
+        if telemetry.enabled():
+            telemetry.count("optimizer.evaluations", evaluations, optimizer="fortz-thorup")
+            if warm_start is not None:
+                # Warm-start hit depth: evaluations the warm-started attempt
+                # needed before going stationary (the roadmap's "how much did
+                # resuming from the previous optimum save?" signal).
+                telemetry.count("optimizer.warm_start", 1, optimizer="fortz-thorup")
+                telemetry.observe(
+                    "optimizer.warm_start_depth",
+                    first_attempt_evaluations,
+                    edges=(10, 30, 100, 300, 1000, 3000, 10000),
+                )
         result = LocalSearchResult(
             weights=best_weights, cost=best_cost, evaluations=evaluations, history=history
         )

@@ -12,7 +12,12 @@ across runs and PRs:
   runs + records with ``query`` / ``aggregate`` / ``diff`` /
   ``export_bench_view`` / ``import_bench_view``;
 * :mod:`~repro.results.diffing` — the category-aware field comparison
-  (timing vs shape vs metric) behind ``repro results diff``.
+  (timing vs shape vs metric) behind ``repro results diff``;
+* :mod:`~repro.results.formatting` — the shared ``table|csv|json`` row
+  renderer behind every ``repro results`` listing (rich optional);
+* :mod:`~repro.results.plotting` — per-metric trendlines over stored runs
+  (terminal sparklines, matplotlib-or-builtin PNG) for ``repro results
+  plot``.
 
 The scenario :class:`~repro.scenarios.BatchRunner` (``results_store=``),
 the benchmark harness (:mod:`benchmarks.bench_utils`) and the ``repro``
@@ -21,6 +26,7 @@ are exported views over it, never hand-edited artifacts.
 """
 
 from .diffing import FieldDiff, RunDiff, classify_field, diff_records, flatten_record
+from .formatting import FORMATS, format_output
 from .manifest import (
     KNOWN_KINDS,
     RunManifest,
@@ -28,6 +34,16 @@ from .manifest import (
     new_run_id,
     scenario_set_fingerprint,
     utc_now_iso,
+)
+from .plotting import (
+    AGGREGATIONS,
+    PlotError,
+    TrendPoint,
+    TrendSeries,
+    metric_trend,
+    render_terminal,
+    sparkline,
+    write_png,
 )
 from .store import (
     VIEW_FILENAMES,
@@ -44,6 +60,16 @@ __all__ = [
     "classify_field",
     "diff_records",
     "flatten_record",
+    "FORMATS",
+    "format_output",
+    "AGGREGATIONS",
+    "PlotError",
+    "TrendPoint",
+    "TrendSeries",
+    "metric_trend",
+    "render_terminal",
+    "sparkline",
+    "write_png",
     "KNOWN_KINDS",
     "RunManifest",
     "git_revision",

@@ -1,0 +1,97 @@
+"""Shared row formatting for the results CLI: table, csv, json.
+
+Every ``repro results`` subcommand that prints rows goes through
+:func:`format_output`, so ``--format table|csv|json`` behaves identically
+across ``list``/``show``/``query``.  The table branch renders with `rich`
+when it is importable and falls back to the library's plain-text
+:func:`~repro.analysis.reporting.format_table` otherwise — the CLI never
+*requires* rich (or any other extra dependency).
+
+CSV output is headed by the union of the rows' keys (first-seen order) so
+heterogeneous rows — e.g. sweep cells next to a telemetry summary record —
+round-trip without data loss; JSON output is an indented, key-sorted array
+suitable for piping into ``jq``.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Dict, List, Optional, Sequence
+
+from ..analysis.reporting import format_table
+
+FORMATS = ("table", "csv", "json")
+
+
+def _columns(rows: Sequence[Dict[str, object]]) -> List[str]:
+    """Union of row keys, in first-seen order."""
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    return columns
+
+
+def _rich_table(
+    rows: Sequence[Dict[str, object]],
+    columns: Sequence[str],
+    title: Optional[str],
+    float_format: str,
+) -> Optional[str]:
+    """Render with rich when available; ``None`` means "fall back"."""
+    try:
+        from rich.console import Console
+        from rich.table import Table
+    except ImportError:
+        return None
+    table = Table(title=title)
+    for column in columns:
+        table.add_column(str(column))
+    for row in rows:
+        rendered = []
+        for column in columns:
+            value = row.get(column, "")
+            if isinstance(value, float):
+                value = float_format.format(value)
+            rendered.append("" if value is None else str(value))
+        table.add_row(*rendered)
+    console = Console(file=io.StringIO(), width=200)
+    console.print(table)
+    return console.file.getvalue().rstrip("\n")
+
+
+def format_output(
+    rows: Sequence[Dict[str, object]],
+    fmt: str = "table",
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+    float_format: str = "{:.4g}",
+) -> str:
+    """Render rows as an aligned table, CSV, or indented JSON.
+
+    ``fmt`` is one of :data:`FORMATS`.  ``columns`` fixes the column order
+    (and selection); by default every key seen across the rows appears, in
+    first-seen order.
+    """
+    if fmt not in FORMATS:
+        raise ValueError(f"unknown format {fmt!r}; known: {', '.join(FORMATS)}")
+    rows = list(rows)
+    if fmt == "json":
+        return json.dumps(rows, indent=2, sort_keys=True, default=str)
+    cols = list(columns) if columns is not None else _columns(rows)
+    if fmt == "csv":
+        buffer = io.StringIO()
+        writer = csv.DictWriter(buffer, fieldnames=cols, extrasaction="ignore", lineterminator="\n")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({key: row.get(key, "") for key in cols})
+        return buffer.getvalue().rstrip("\n")
+    if not rows:
+        return "(no rows)"
+    rich_rendered = _rich_table(rows, cols, title, float_format)
+    if rich_rendered is not None:
+        return rich_rendered
+    return format_table(rows, columns=cols, title=title, float_format=float_format)

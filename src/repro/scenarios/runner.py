@@ -37,6 +37,7 @@ import numpy as np
 from ..core.objectives import normalized_utility
 from ..network.demands import TrafficMatrix
 from ..network.graph import Network
+from ..obs import telemetry
 from ..protocols.base import RoutingProtocol
 from ..protocols.fortz_thorup import FortzThorup
 from ..protocols.minmax_mlu import MinMaxMLU
@@ -379,6 +380,7 @@ def evaluate_scenarios(
     demands: TrafficMatrix,
     scenarios: Sequence[Scenario],
     spec: ProtocolSpec,
+    controller_params: Optional[Dict[str, object]] = None,
 ) -> List[ScenarioResult]:
     """Evaluate one protocol across several scenarios, batching where safe.
 
@@ -405,6 +407,11 @@ def evaluate_scenarios(
     protocols that re-optimise per matrix -- falls back to
     :func:`evaluate_scenario`, preserving its per-cell error isolation
     exactly.
+
+    ``controller_params`` (``max_affected_fraction``, ``verify``) tune the
+    incremental sweep's :class:`~repro.online.TEController`.  They never
+    change the *numbers* — every fallback is cold-identical — only how much
+    incremental work is attempted, so they stay out of the cache keys.
     """
     scenarios = list(scenarios)
     results: List[Optional[ScenarioResult]] = [None] * len(scenarios)
@@ -492,6 +499,7 @@ def evaluate_scenarios(
                     demands,
                     weights=sweep_weights,
                     tolerance=getattr(probe, "ecmp_tolerance", 1e-9),
+                    **(controller_params or {}),
                 )
                 construction = time.perf_counter() - start
                 start = time.perf_counter()
@@ -519,11 +527,82 @@ def evaluate_scenarios(
 
 
 def _evaluate_chunk(
-    payload: Tuple[Network, TrafficMatrix, List[Scenario], ProtocolSpec],
-) -> List[ScenarioResult]:
-    """Worker entry point: evaluate a chunk of scenarios for one protocol."""
-    network, demands, scenarios, spec = payload
-    return evaluate_scenarios(network, demands, scenarios, spec)
+    payload: Tuple[
+        Network, TrafficMatrix, List[Scenario], ProtocolSpec, Optional[Dict[str, object]]
+    ],
+) -> Tuple[List[ScenarioResult], Optional[Dict[str, object]]]:
+    """Worker entry point: evaluate a chunk of scenarios for one protocol.
+
+    Returns ``(results, telemetry_snapshot)``.  When the parent run has
+    telemetry active (``options["telemetry"]``), the worker activates a
+    fresh registry around its chunk and ships the picklable snapshot back
+    for the parent to :meth:`~repro.obs.TelemetryRegistry.merge`; otherwise
+    the snapshot slot is ``None``.
+    """
+    network, demands, scenarios, spec, options = payload
+    options = options or {}
+    controller_params = options.get("controller")  # type: ignore[assignment]
+    if not options.get("telemetry"):
+        return (
+            evaluate_scenarios(
+                network, demands, scenarios, spec, controller_params=controller_params
+            ),
+            None,
+        )
+    registry = telemetry.activate(
+        telemetry.TelemetryRegistry(label=f"worker-{os.getpid()}")
+    )
+    try:
+        with telemetry.span(
+            "runner.chunk", protocol=spec.display_name, scenarios=len(scenarios)
+        ):
+            results = evaluate_scenarios(
+                network, demands, scenarios, spec, controller_params=controller_params
+            )
+        return results, registry.snapshot()
+    finally:
+        telemetry.deactivate()
+
+
+def _telemetry_summary_record(
+    topology: str, timings: Dict[str, float]
+) -> Optional[Dict[str, object]]:
+    """Distil the active registry into manifest timings + one results record.
+
+    The record rides the run under the reserved identity
+    ``scenario="__telemetry__"`` and carries the incremental-vs-fallback
+    counts with their per-reason breakdown; ``fallback_rate`` classifies as
+    a *metric* in :func:`repro.results.diffing.classify_field`, so
+    ``repro results diff`` hard-gates fallback-rate regressions between two
+    traced runs, not just runtime drifts.  Returns ``None`` when telemetry
+    is off or the run did no dynamic-SPT work (fully cached or cold-path
+    runs must not grow a record that untraced runs lack).
+    """
+    registry = telemetry.get()
+    if registry is None:
+        return None
+    incremental = registry.counter_value("dspt.update", path="incremental")
+    fallbacks = registry.counter_breakdown("dspt.fallback")
+    fallback_total = sum(fallbacks.values())
+    attempts = incremental + fallback_total
+    if not attempts:
+        return None
+    rate = fallback_total / attempts
+    timings["dspt_fallback_rate"] = rate
+    timings["dspt_incremental_updates"] = float(incremental)
+    record: Dict[str, object] = {
+        "scenario": "__telemetry__",
+        "kind": "telemetry",
+        "protocol": "*",
+        "topology": topology,
+        "fallback_rate": round(rate, 6),
+        "incremental_updates": int(incremental),
+        "fallback_total": int(fallback_total),
+    }
+    for tags, value in sorted(fallbacks.items()):
+        reason = dict(tags).get("reason", "unknown").replace("-", "_")
+        record[f"fallback_{reason}"] = int(value)
+    return record
 
 
 # ----------------------------------------------------------------------
@@ -740,6 +819,7 @@ class BatchRunner:
         scenarios: Sequence[Scenario],
         protocols: Iterable[Union[str, ProtocolSpec]],
         record_config: Optional[Dict[str, object]] = None,
+        controller_params: Optional[Dict[str, object]] = None,
     ) -> List[ScenarioResult]:
         """Evaluate every protocol on every scenario.
 
@@ -748,6 +828,10 @@ class BatchRunner:
         the runner has a :attr:`results_store`, the run is recorded there
         with a full manifest; ``record_config`` adds caller context (CLI
         arguments, workload parameters) to that manifest.
+        ``controller_params`` tunes the incremental sweep's controller (see
+        :func:`evaluate_scenarios`); with telemetry active
+        (:func:`repro.obs.telemetry.session`), worker registries are merged
+        back into the active one and a summary lands in the recorded run.
         """
         specs = [ProtocolSpec.of(p) for p in protocols]
         scenarios = list(scenarios)
@@ -809,7 +893,16 @@ class BatchRunner:
         stats.evaluated = len(misses)
         workers = self._effective_workers(len(misses))
         stats.workers = workers
+        if telemetry.enabled():
+            telemetry.count("runner.cells", stats.cache_hits, outcome="cache-hit")
+            telemetry.count("runner.cells", len(misses), outcome="evaluated")
         if misses:
+            options: Optional[Dict[str, object]] = None
+            if controller_params or telemetry.enabled():
+                options = {
+                    "controller": controller_params,
+                    "telemetry": telemetry.enabled(),
+                }
             if workers <= 1:
                 # Serial path: group by protocol so demand-only scenarios can
                 # share one compiled weight setting (see evaluate_scenarios).
@@ -817,9 +910,18 @@ class BatchRunner:
                 for cell in misses:
                     by_spec.setdefault(cell[0], []).append(cell)
                 for si, cells in by_spec.items():
-                    chunk_results = evaluate_scenarios(
-                        network, demands, [scenarios[ci] for _, ci in cells], specs[si]
-                    )
+                    with telemetry.span(
+                        "runner.chunk",
+                        protocol=specs[si].display_name,
+                        scenarios=len(cells),
+                    ):
+                        chunk_results = evaluate_scenarios(
+                            network,
+                            demands,
+                            [scenarios[ci] for _, ci in cells],
+                            specs[si],
+                            controller_params=controller_params,
+                        )
                     for cell, result in zip(cells, chunk_results):
                         results[cell] = result
             else:
@@ -832,15 +934,24 @@ class BatchRunner:
                 )
                 stats.chunks = len(chunks)
                 payloads = [
-                    (network, demands, [scenarios[ci] for _, ci in chunk], specs[chunk[0][0]])
+                    (
+                        network,
+                        demands,
+                        [scenarios[ci] for _, ci in chunk],
+                        specs[chunk[0][0]],
+                        options,
+                    )
                     for chunk in chunks
                 ]
+                registry = telemetry.get()
                 with ProcessPoolExecutor(max_workers=workers) as pool:
-                    for chunk, chunk_results in zip(
+                    for chunk, (chunk_results, snapshot) in zip(
                         chunks, pool.map(_evaluate_chunk, payloads)
                     ):
                         for cell, result in zip(chunk, chunk_results):
                             results[cell] = result
+                        if registry is not None and snapshot is not None:
+                            registry.merge(snapshot)
             if self.cache is not None:
                 for cell in misses:
                     # Error results are never cached: a transient failure
@@ -889,13 +1000,15 @@ class BatchRunner:
                 "workers": stats.workers,
             }
             config.update(record_config or {})
+            timings: Dict[str, float] = {"elapsed": stats.elapsed}
+            telemetry_record = _telemetry_summary_record(network.name, timings)
             manifest = RunManifest.create(
                 kind="sweep",
                 topology=network.name,
                 protocols=[spec.display_name for spec in specs],
                 scenario_set=scenario_set_fingerprint(scenarios),
                 config=config,
-                timings={"elapsed": stats.elapsed},
+                timings=timings,
             )
             records = [
                 {
@@ -907,6 +1020,8 @@ class BatchRunner:
                 }
                 for result in results
             ]
+            if telemetry_record is not None:
+                records.append(telemetry_record)
             return store.record_run(manifest, records)
         finally:
             if owned:

@@ -384,3 +384,173 @@ def test_results_delete(seeded_store, capsys):
     with ResultsStore(seeded_store) as store:
         assert store.runs(benchmark="online-controller") == []
         assert len(store.runs(benchmark="routing-backend")) == 1
+
+
+# ----------------------------------------------------------------------
+# telemetry surface: trace, results plot, --format
+# ----------------------------------------------------------------------
+def test_trace_sweep_writes_jsonl_and_summary(tmp_path, capsys):
+    trace_path = tmp_path / "trace.jsonl"
+    code = run_cli(
+        "trace", "sweep",
+        "--topology", "abilene",
+        "--protocols", "OSPF",
+        "--scenarios", "single-link-failures",
+        "--limit", "4",
+        "--trace", str(trace_path),
+        "--summary",
+        "--store", str(tmp_path / "r.sqlite"),
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "wrote" in out and "trace line(s)" in out
+    assert "telemetry summary" in out
+    assert "dspt.update" in out  # incremental-vs-fallback counters surfaced
+    lines = [json.loads(line) for line in trace_path.read_text().splitlines()]
+    assert lines[0]["type"] == "meta"
+    assert any(rec["type"] == "span" and rec["name"] == "controller.cell" for rec in lines)
+    assert any(
+        rec["type"] == "histogram" and rec["name"] == "dspt.cone_fraction"
+        for rec in lines
+    )
+    # The traced sweep persisted its telemetry digest into the manifest.
+    with ResultsStore(tmp_path / "r.sqlite") as store:
+        (run,) = store.runs(kind="sweep")
+        assert "dspt_fallback_rate" in run.timings
+        telemetry_records = [
+            record for record in store.records(run.run_id)
+            if record.get("scenario") == "__telemetry__"
+        ]
+        assert len(telemetry_records) == 1
+        assert telemetry_records[0]["incremental_updates"] > 0
+
+
+def test_trace_replay_writes_jsonl(tmp_path, capsys):
+    trace_path = tmp_path / "replay.jsonl"
+    code = run_cli(
+        "trace", "replay",
+        "--topology", "abilene",
+        "--limit", "2",
+        "--trace", str(trace_path),
+        "--store", str(tmp_path / "r.sqlite"),
+    )
+    assert code == 0
+    capsys.readouterr()
+    lines = [json.loads(line) for line in trace_path.read_text().splitlines()]
+    assert any(
+        rec["type"] == "span" and rec["name"] == "replay.trace" for rec in lines
+    )
+    assert any(
+        rec["type"] == "histogram" and rec["name"] == "replay.sustained_mlu"
+        for rec in lines
+    )
+    with ResultsStore(tmp_path / "r.sqlite") as store:
+        (run,) = store.runs(kind="replay")
+        assert "dspt_fallback_rate" in run.timings
+
+
+def test_sweep_controller_flags_change_counters_not_results(tmp_path, capsys):
+    """--max-affected-fraction steers fallbacks; the MLUs must not move."""
+    mlus = {}
+    for fraction in ("0.5", "0.05"):
+        trace_path = tmp_path / f"t{fraction}.jsonl"
+        assert run_cli(
+            "trace", "sweep",
+            "--topology", "abilene",
+            "--protocols", "OSPF",
+            "--scenarios", "single-link-failures",
+            "--max-affected-fraction", fraction,
+            "--trace", str(trace_path),
+            "--store", str(tmp_path / f"r{fraction}.sqlite"),
+        ) == 0
+        capsys.readouterr()
+        with ResultsStore(tmp_path / f"r{fraction}.sqlite") as store:
+            (run,) = store.runs(kind="sweep")
+            records = store.records(run.run_id)
+            mlus[fraction] = [
+                (rec["scenario"], rec["mlu"]) for rec in records
+                if rec.get("scenario") != "__telemetry__"
+            ]
+            (digest,) = [
+                rec for rec in records if rec.get("scenario") == "__telemetry__"
+            ]
+            if fraction == "0.05":
+                tighter = digest["fallback_total"]
+            else:
+                looser = digest["fallback_total"]
+    assert mlus["0.5"] == mlus["0.05"]  # fallback is results-identical
+    assert tighter > looser  # but the tighter cone budget falls back more
+
+
+def test_results_plot_terminal_and_png(tmp_path, capsys):
+    store_path = tmp_path / "r.sqlite"
+    # Two runs so there is a trend to draw.
+    for utilization in ("0.1", "0.12"):
+        assert run_cli(
+            "sweep",
+            "--topology", "abilene",
+            "--protocols", "OSPF",
+            "--scenarios", "single-link-failures",
+            "--limit", "3",
+            "--utilization", utilization,
+            "--no-cache",
+            "--store", str(store_path),
+        ) == 0
+    capsys.readouterr()
+    png_path = tmp_path / "trend.png"
+    code = run_cli(
+        "results", "plot",
+        "--metric", "max_utilization",
+        "--agg", "max",
+        "--png", str(png_path),
+        "--store", str(store_path),
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "max_utilization" in out and "n=2" in out
+    assert png_path.read_bytes().startswith(b"\x89PNG\r\n\x1a\n")
+
+    code = run_cli(
+        "results", "plot", "--metric", "not_a_metric", "--store", str(store_path)
+    )
+    assert code == 2
+    assert "no numeric values" in capsys.readouterr().err
+
+
+def test_results_format_flags(seeded_store, capsys):
+    assert run_cli(
+        "results", "list", "--format", "csv", "--store", str(seeded_store)
+    ) == 0
+    header, *rows = capsys.readouterr().out.splitlines()
+    assert header.startswith("run,kind,benchmark")
+    assert len(rows) == 2
+
+    assert run_cli(
+        "results", "query",
+        "--benchmark", "routing-backend",
+        "--format", "json",
+        "--store", str(seeded_store),
+    ) == 0
+    parsed = json.loads(capsys.readouterr().out)
+    assert parsed and all("run_id" in row for row in parsed)
+
+    assert run_cli(
+        "results", "query",
+        "--benchmark", "routing-backend",
+        "--format", "csv",
+        "--store", str(seeded_store),
+    ) == 0
+    csv_out = capsys.readouterr().out
+    assert csv_out.splitlines()[0].startswith("run_id,")
+    assert len(csv_out.splitlines()) == len(parsed) + 1
+
+    assert run_cli(
+        "results", "show", "latest:routing-backend",
+        "--format", "csv",
+        "--store", str(seeded_store),
+    ) == 0
+    shown = capsys.readouterr().out
+    assert shown.splitlines()[0].count(",") >= 2  # records-only CSV
+
+    with pytest.raises(SystemExit):  # argparse rejects unknown formats
+        run_cli("results", "list", "--format", "yaml", "--store", str(seeded_store))

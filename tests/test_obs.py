@@ -1,0 +1,253 @@
+"""The observability layer: spans, histograms, merge, export, zero overhead.
+
+Four guarantees are pinned here:
+
+* span mechanics — nesting (parent ids, depth), exception safety (the
+  span closes as ``error`` and re-raises, the stack pops), and the
+  module-level no-op when no registry is active;
+* histogram semantics — ``value <= edge`` first-match bucketing, the
+  overflow bucket, and merge (edge mismatch is an error; counts, sums and
+  extrema add);
+* the cross-process path — ``snapshot()`` is picklable and ``merge()``
+  remaps span ids, re-parents correctly and tags spans with the worker
+  label; ``export_jsonl`` is byte-stable across repeated exports;
+* the zero-overhead guard — with telemetry disabled nothing is recorded,
+  and an incremental controller sweep produces bit-identical MLUs and
+  DsptStats whether telemetry is on or off.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+
+import pytest
+
+from repro.obs import telemetry
+from repro.obs.telemetry import DEFAULT_FRACTION_EDGES, Histogram, TelemetryRegistry
+from repro.online import TEController
+from repro.online.dspt import DsptStats
+from repro.scenarios import single_link_failures
+
+
+@pytest.fixture(autouse=True)
+def _no_registry_leaks():
+    """Telemetry state is module-global; never let a test leak a registry."""
+    telemetry.deactivate()
+    yield
+    telemetry.deactivate()
+
+
+# ----------------------------------------------------------------------
+# spans
+# ----------------------------------------------------------------------
+def test_span_nesting_records_parents_and_depth():
+    registry = TelemetryRegistry(label="t")
+    with registry.span("outer", kind="a") as outer:
+        with registry.span("inner") as inner:
+            pass
+        with registry.span("sibling"):
+            pass
+    outer_rec, inner_rec, sibling_rec = registry.spans
+    assert outer_rec is outer and inner_rec is inner
+    assert outer_rec.parent_id is None and outer_rec.depth == 0
+    assert inner_rec.parent_id == outer_rec.span_id and inner_rec.depth == 1
+    assert sibling_rec.parent_id == outer_rec.span_id
+    assert outer_rec.tags == {"kind": "a"}
+    assert all(span.status == "ok" for span in registry.spans)
+    assert all(span.wall >= 0.0 and span.cpu >= 0.0 for span in registry.spans)
+
+
+def test_span_exception_closes_as_error_and_reraises():
+    registry = TelemetryRegistry()
+    with pytest.raises(ValueError, match="boom"):
+        with registry.span("outer"):
+            with registry.span("failing"):
+                raise ValueError("boom")
+    outer, failing = registry.spans
+    assert failing.status == "error"
+    assert failing.error == "ValueError: boom"
+    assert outer.status == "error"
+    # The stack unwound: a new span is a root again, not a child of the
+    # exploded one.
+    with registry.span("after"):
+        pass
+    assert registry.spans[-1].parent_id is None
+
+
+def test_module_level_is_noop_when_disabled():
+    assert not telemetry.enabled()
+    assert telemetry.get() is None
+    with telemetry.span("ignored", tag="x") as span:
+        assert span is None
+    telemetry.count("ignored")
+    telemetry.observe("ignored", 0.5)  # nothing raises, nothing records
+
+
+def test_session_restores_previous_registry():
+    outer_registry = telemetry.activate(TelemetryRegistry(label="outer"))
+    with telemetry.session(label="inner") as inner_registry:
+        assert telemetry.get() is inner_registry
+        telemetry.count("seen")
+    assert telemetry.get() is outer_registry
+    assert inner_registry.counter_value("seen") == 1
+    assert outer_registry.counter_value("seen") == 0
+
+
+# ----------------------------------------------------------------------
+# counters and histograms
+# ----------------------------------------------------------------------
+def test_counter_breakdown_and_tagless_total():
+    registry = TelemetryRegistry()
+    registry.count("dspt.fallback", 2, reason="cone-threshold")
+    registry.count("dspt.fallback", 1, reason="plateau")
+    registry.count("dspt.fallback", 3, reason="cone-threshold")
+    assert registry.counter_value("dspt.fallback") == 6
+    assert registry.counter_value("dspt.fallback", reason="plateau") == 1
+    breakdown = registry.counter_breakdown("dspt.fallback")
+    assert breakdown[(("reason", "cone-threshold"),)] == 5
+
+
+def test_histogram_bucket_edges_are_inclusive_upper_bounds():
+    histogram = Histogram(edges=(0.1, 0.5, 1.0))
+    for value in (0.1, 0.10000000001, 0.5, 0.75, 1.0, 2.0):
+        histogram.observe(value)
+    # <=0.1 gets exactly 0.1; (0.1, 0.5] gets the two middle-left values;
+    # (0.5, 1.0] gets 0.75 and 1.0; the overflow bucket gets 2.0.
+    assert histogram.counts == [1, 2, 2, 1]
+    assert histogram.count == 6
+    assert histogram.min == 0.1 and histogram.max == 2.0
+    assert histogram.mean == pytest.approx(sum((0.1, 0.10000000001, 0.5, 0.75, 1.0, 2.0)) / 6)
+
+
+def test_histogram_merge_adds_and_rejects_mismatched_edges():
+    a = Histogram(edges=(1.0, 2.0))
+    b = Histogram(edges=(1.0, 2.0))
+    a.observe(0.5)
+    b.observe(1.5)
+    b.observe(9.0)
+    a.merge(b)
+    assert a.counts == [1, 1, 1]
+    assert a.count == 3 and a.min == 0.5 and a.max == 9.0
+    with pytest.raises(ValueError):
+        a.merge(Histogram(edges=(1.0, 3.0)))
+
+
+# ----------------------------------------------------------------------
+# cross-process snapshot/merge and export
+# ----------------------------------------------------------------------
+def test_snapshot_pickles_and_merge_remaps_span_ids():
+    parent = TelemetryRegistry(label="parent")
+    with parent.span("parent.work"):
+        pass
+    worker = TelemetryRegistry(label="worker-1234")
+    with worker.span("chunk"):
+        with worker.span("cell"):
+            worker.count("dspt.fallback", 2, reason="plateau")
+            worker.observe("dspt.cone_fraction", 0.3)
+    parent.count("dspt.fallback", 1, reason="plateau")
+    parent.observe("dspt.cone_fraction", 0.05)
+
+    snapshot = pickle.loads(pickle.dumps(worker.snapshot()))
+    parent.merge(snapshot)
+
+    assert [span.name for span in parent.spans] == ["parent.work", "chunk", "cell"]
+    ids = [span.span_id for span in parent.spans]
+    assert len(set(ids)) == 3  # remapped past the parent's own ids
+    chunk, cell = parent.spans[1], parent.spans[2]
+    assert cell.parent_id == chunk.span_id
+    assert chunk.tags["worker"] == "worker-1234"
+    assert parent.counter_value("dspt.fallback", reason="plateau") == 3
+    merged = parent.histograms["dspt.cone_fraction"]
+    assert merged.count == 2
+    assert merged.edges == DEFAULT_FRACTION_EDGES
+
+
+def test_export_jsonl_is_byte_stable(tmp_path):
+    registry = TelemetryRegistry(label="export")
+    with registry.span("a", tag="1"):
+        registry.count("c", 2, kind="x")
+        registry.observe("h", 0.4)
+    first, second = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+    lines = registry.export_jsonl(first)
+    assert registry.export_jsonl(second) == lines
+    assert first.read_bytes() == second.read_bytes()
+    parsed = [json.loads(line) for line in first.read_text().splitlines()]
+    assert len(parsed) == lines
+    assert parsed[0]["type"] == "meta" and parsed[0]["schema"] == 1
+    kinds = {record["type"] for record in parsed}
+    assert kinds == {"meta", "span", "counter", "histogram"}
+    # Keys are sorted within each line: re-serialising is the identity.
+    for line, record in zip(first.read_text().splitlines(), parsed):
+        assert line == json.dumps(record, sort_keys=True, separators=(", ", ": "))
+
+
+def test_summary_mentions_spans_counters_and_histograms():
+    registry = TelemetryRegistry(label="s")
+    with registry.span("controller.cell"):
+        registry.count("dspt.fallback", 1, reason="cone-threshold")
+        registry.observe("dspt.cone_fraction", 0.2)
+    text = registry.summary()
+    assert "controller.cell" in text
+    assert "reason=cone-threshold" in text
+    assert "dspt.cone_fraction" in text
+
+
+# ----------------------------------------------------------------------
+# zero overhead and bit-identical results
+# ----------------------------------------------------------------------
+def _sweep_mlus(abilene, abilene_tm):
+    controller = TEController(abilene, abilene_tm)
+    measurements = controller.sweep_scenarios(single_link_failures(abilene))
+    return [m.mlu for m in measurements], controller.spt.stats
+
+
+def test_sweep_bit_identical_with_and_without_telemetry(abilene, abilene_tm):
+    baseline_mlus, baseline_stats = _sweep_mlus(abilene, abilene_tm)
+    with telemetry.session(label="guard") as registry:
+        traced_mlus, traced_stats = _sweep_mlus(abilene, abilene_tm)
+    assert traced_mlus == baseline_mlus  # bit-identical, not approx
+    assert traced_stats == baseline_stats
+    # And the traced run actually recorded something.
+    assert registry.spans
+    assert registry.counter_value("dspt.update", path="incremental") > 0
+    assert registry.counter_value("dspt.events") == baseline_stats.events
+
+
+def test_disabled_telemetry_records_nothing(abilene, abilene_tm):
+    registry = TelemetryRegistry(label="idle")
+    _sweep_mlus(abilene, abilene_tm)  # no active registry anywhere
+    assert registry.spans == []
+    assert registry.counters == {}
+    assert registry.histograms == {}
+    assert telemetry.span("x") is telemetry._NOOP
+
+
+# ----------------------------------------------------------------------
+# DsptStats fallback breakdown
+# ----------------------------------------------------------------------
+def test_dspt_stats_distinguishes_fallback_causes():
+    stats = DsptStats(
+        events=10,
+        incremental_updates=40,
+        full_rebuilds=7,
+        fallback_cone=3,
+        fallback_plateau=2,
+        verify_mismatches=1,
+        initial_builds=1,
+        bulk_rebuilds=1,
+    )
+    assert stats.event_fallbacks == 6
+    assert stats.fallback_rate == pytest.approx(6 / 46)
+    # Rebuild bookkeeping stays consistent: every full rebuild has a cause.
+    assert stats.full_rebuilds == (
+        stats.fallback_cone + stats.fallback_plateau
+        + stats.initial_builds + stats.bulk_rebuilds
+    )
+    text = repr(stats)
+    assert "cone=3" in text and "plateau=2" in text and "verify=1" in text
+    assert "fallback_rate=0.130" in text
+
+
+def test_dspt_stats_fallback_rate_zero_when_idle():
+    assert DsptStats().fallback_rate == 0.0
