@@ -75,7 +75,7 @@ from .scenarios import (
     standard_scenario_suite,
 )
 from .topology.backbones import abilene_network, cernet2_network
-from .topology.generators import hier50a, hier50b, rand50a, rand50b, rand100
+from .topology.generators import hier50a, hier50b, rand50a, rand50b, rand100, rand500
 from .topology.rocketfuel import synthetic_rocketfuel
 from .traffic.gravity import gravity_traffic_matrix
 
@@ -90,7 +90,9 @@ TOPOLOGIES: Dict[str, Callable[[], "object"]] = {
     "rand50a": rand50a,
     "rand50b": rand50b,
     "rand100": rand100,
+    "rand500": rand500,
     "rocketfuel": lambda: synthetic_rocketfuel(1239, seed=0),
+    "rocketfuel-router": lambda: synthetic_rocketfuel(1239, seed=0, level="router"),
 }
 
 #: Scenario-set factories: ``(network, demands, seed) -> [Scenario]``.
@@ -352,6 +354,7 @@ def cmd_replay(args: argparse.Namespace) -> int:
                 "incremental_updates": float(stats.incremental_updates),
                 "full_rebuilds": float(stats.full_rebuilds),
                 "dspt_fallback_rate": stats.fallback_rate,
+                "dspt_event_fallback_rate": stats.event_fallback_rate,
             },
         )
         run_id = store.record_run(
@@ -583,9 +586,10 @@ def _add_controller_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--max-affected-fraction",
         type=float,
-        default=0.5,
+        default=None,
         help="affected-cone fraction above which an incremental DAG update "
-        "falls back to a full Dijkstra rebuild (default: 0.5)",
+        "falls back to a full Dijkstra rebuild (default: auto-tuned per "
+        "topology class — 0.9 on dense graphs, 0.5 otherwise)",
     )
     parser.add_argument(
         "--verify",

@@ -83,6 +83,11 @@ class Network:
         self._link_index: Dict[Edge, int] = {}
         self._out_links: Dict[Node, List[int]] = {}
         self._in_links: Dict[Node, List[int]] = {}
+        # Lazy adjacency memos: Link-object lists are rebuilt on demand and
+        # dropped whenever a link is added (the hot incremental paths call
+        # out_links/in_links millions of times on a static topology).
+        self._out_cache: Dict[Node, List[Link]] = {}
+        self._in_cache: Dict[Node, List[Link]] = {}
 
     # ------------------------------------------------------------------
     # construction
@@ -124,6 +129,8 @@ class Network:
         self._link_index[(source, target)] = link.index
         self._out_links[source].append(link.index)
         self._in_links[target].append(link.index)
+        self._out_cache.pop(source, None)
+        self._in_cache.pop(target, None)
         return link
 
     def add_duplex_link(
@@ -196,12 +203,20 @@ class Network:
             raise NetworkError(f"unknown link {source}->{target}") from None
 
     def out_links(self, node: Node) -> List[Link]:
-        """Links leaving ``node``."""
-        return [self._links[i] for i in self._out_links.get(node, [])]
+        """Links leaving ``node`` (a shared cached list — do not mutate)."""
+        cached = self._out_cache.get(node)
+        if cached is None:
+            cached = [self._links[i] for i in self._out_links.get(node, [])]
+            self._out_cache[node] = cached
+        return cached
 
     def in_links(self, node: Node) -> List[Link]:
-        """Links entering ``node``."""
-        return [self._links[i] for i in self._in_links.get(node, [])]
+        """Links entering ``node`` (a shared cached list — do not mutate)."""
+        cached = self._in_cache.get(node)
+        if cached is None:
+            cached = [self._links[i] for i in self._in_links.get(node, [])]
+            self._in_cache[node] = cached
+        return cached
 
     def neighbors(self, node: Node) -> List[Node]:
         """Nodes reachable from ``node`` by a single link."""

@@ -9,8 +9,13 @@ network *changes* instead of being re-posed from scratch:
   and *only recompiled when an event actually touched it* — the
   delta-compilation counterpart of :class:`~repro.routing.CompiledDagSet`;
 * per-destination link-load vectors are cached, so after an event only the
-  affected destinations are re-propagated and the aggregate loads, MLU and
-  utility come from cheap vector sums;
+  affected destinations are re-propagated — and when the event's footprint
+  is known (the :attr:`DynamicSPT.last_event_regions` changed-node region)
+  only the *subtree below the affected cone* is re-propagated through the
+  cached throughflow state instead of the whole destination DAG;
+* the aggregate load vector is maintained incrementally (one subtract/add
+  per re-routed destination) instead of being re-summed over every
+  destination at each measurement;
 * demands that an event disconnects are *dropped* (tracked per pair and in
   volume), mirroring :meth:`Scenario.apply`;
 * :meth:`reoptimize` re-runs the Fortz–Thorup weight search warm-started
@@ -29,6 +34,7 @@ loop with thresholded warm-started reoptimization.
 
 from __future__ import annotations
 
+import heapq
 import time as _time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
@@ -68,6 +74,34 @@ class ControllerUpdate:
     #: loads are recomputed lazily on the next measurement).
     elapsed: float
     sequence: int
+
+
+@dataclass
+class ControllerBaseline:
+    """Picklable snapshot of a controller's compiled baseline state.
+
+    Produced by :meth:`TEController.snapshot` and adopted by
+    :meth:`TEController.from_snapshot`: the full per-destination SPT/DAG
+    state plus the routed load caches, so a parallel sweep worker installs
+    the parent's compiled baseline instead of re-running one cold Dijkstra
+    per destination.  Tied to a topology by name: adoption validates the
+    network has the same name, node count and link count.
+    """
+
+    topology: str
+    num_nodes: int
+    num_links: int
+    weights: np.ndarray
+    active: np.ndarray
+    capacities: np.ndarray
+    demands: Dict[Pair, float]
+    tolerance: float
+    max_affected_fraction: float
+    #: ``{destination: (dist, next_hops)}`` per-destination DAG state.
+    states: Dict[Node, Tuple[Dict[Node, float], Dict[Node, List[Node]]]]
+    dest_loads: Dict[Node, np.ndarray]
+    dest_through: Dict[Node, Dict[Node, float]]
+    dest_dropped: Dict[Node, Dict[Node, float]]
 
 
 @dataclass
@@ -133,8 +167,9 @@ class TEController:
         weights: Optional[WeightsLike] = None,
         *,
         tolerance: float = DEFAULT_TOLERANCE,
-        max_affected_fraction: float = 0.5,
+        max_affected_fraction: Optional[float] = None,
         verify: bool = False,
+        _defer_build: bool = False,
     ) -> None:
         demands.validate(network)
         self.network = network
@@ -152,19 +187,93 @@ class TEController:
             self.spt = DynamicSPT(
                 network,
                 weights,
-                destinations=demands.destinations(),
+                destinations=() if _defer_build else demands.destinations(),
                 tolerance=tolerance,
                 max_affected_fraction=max_affected_fraction,
                 verify=verify,
             )
         self._dest_loads: Dict[Node, np.ndarray] = {}
+        self._dest_through: Dict[Node, Dict[Node, float]] = {}
         self._dest_dropped: Dict[Node, Dict[Node, float]] = {}
         self._dirty: Set[Node] = set(demands.destinations())
+        #: Per-dirty-destination changed-node region accumulated since the
+        #: last route (``None`` = unknown footprint, full re-route).
+        self._dirty_regions: Dict[Node, Optional[Set[Node]]] = {}
+        self._agg_loads: Optional[np.ndarray] = None
+        #: Lazy flat adjacency for the delta kernel: node -> [(index, target)].
+        self._out_pairs: Optional[Dict[Node, List[Tuple[int, Node]]]] = None
+        self._in_indices: Optional[Dict[Node, List[int]]] = None
         self._by_destination: Optional[Dict[Node, Dict[Node, float]]] = None
         self._router: Optional[SparseRouter] = None
         self._router_dirty: Set[Node] = set()
         self.log: List[ControllerUpdate] = []
         self._sequence = 0
+
+    # ------------------------------------------------------------------
+    # baseline snapshots (shared across parallel sweep workers)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> ControllerBaseline:
+        """Freeze the current compiled state into a picklable baseline."""
+        self._refresh_loads()
+        return ControllerBaseline(
+            topology=self.network.name,
+            num_nodes=self.network.num_nodes,
+            num_links=self.network.num_links,
+            weights=self.spt.weights,
+            active=self.spt.active_mask,
+            capacities=self.capacities.copy(),
+            demands=dict(self._demands),
+            tolerance=self.spt.tolerance,
+            max_affected_fraction=self.spt.max_affected_fraction,
+            states=self.spt.export_states(),
+            dest_loads={d: v.copy() for d, v in self._dest_loads.items()},
+            dest_through={d: dict(t) for d, t in self._dest_through.items()},
+            dest_dropped={d: dict(t) for d, t in self._dest_dropped.items()},
+        )
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        network: Network,
+        snapshot: ControllerBaseline,
+        *,
+        verify: bool = False,
+    ) -> "TEController":
+        """Adopt a :meth:`snapshot` baseline without any cold SPT builds.
+
+        ``network`` must be the same topology the snapshot came from (name
+        and shape are validated).  The returned controller is fully warm:
+        its load caches match the snapshot and the first measurement costs a
+        vector sum, not a route.
+        """
+        if (
+            network.name != snapshot.topology
+            or network.num_nodes != snapshot.num_nodes
+            or network.num_links != snapshot.num_links
+        ):
+            raise EventError(
+                f"snapshot of topology {snapshot.topology!r} "
+                f"({snapshot.num_nodes} nodes / {snapshot.num_links} links) does not "
+                f"match network {network.name!r} "
+                f"({network.num_nodes} nodes / {network.num_links} links)"
+            )
+        controller = cls(
+            network,
+            TrafficMatrix(snapshot.demands),
+            weights=snapshot.weights,
+            tolerance=snapshot.tolerance,
+            max_affected_fraction=snapshot.max_affected_fraction,
+            verify=verify,
+            _defer_build=True,
+        )
+        controller.spt.install_states(snapshot.active, snapshot.states)
+        controller.capacities = snapshot.capacities.copy()
+        controller._dest_loads = {d: v.copy() for d, v in snapshot.dest_loads.items()}
+        controller._dest_through = {d: dict(t) for d, t in snapshot.dest_through.items()}
+        controller._dest_dropped = {d: dict(t) for d, t in snapshot.dest_dropped.items()}
+        controller._dirty = set()
+        controller._dirty_regions = {}
+        return controller
 
     # ------------------------------------------------------------------
     # state views
@@ -203,21 +312,26 @@ class TEController:
         """Consume one event, updating routing state incrementally."""
         start = _time.perf_counter()
         structural = True
+        regions: Optional[Dict[Node, Optional[Set[Node]]]] = None
         if isinstance(event, LinkFailure):
             affected = self.spt.fail_link(*event.link)
+            regions = self.spt.last_event_regions
         elif isinstance(event, LinkRecovery):
             affected = self.spt.recover_link(*event.link)
+            regions = self.spt.last_event_regions
         elif isinstance(event, LinkWeightChange):
             affected = self.spt.set_weight(*event.link, event.weight)
+            regions = self.spt.last_event_regions
         elif isinstance(event, CapacityChange):
             affected, structural = self._apply_capacity(event)
+            regions = self.spt.last_event_regions if structural else None
         elif isinstance(event, DemandUpdate):
             affected = self._apply_demand(event)
         elif type(event) is NetworkEvent:
             affected = set()
         else:
             raise EventError(f"unknown event type {type(event).__name__}")
-        self._invalidate(affected, structural=structural)
+        self._invalidate(affected, structural=structural, regions=regions)
         update = ControllerUpdate(
             event=event,
             affected_destinations=len(affected),
@@ -269,19 +383,38 @@ class TEController:
         if event.target not in self.spt.destinations:
             self.spt.add_destination(event.target)
             self._router_dirty.add(event.target)
-        # Only this destination's entering vector changed.
-        self._dest_loads.pop(event.target, None)
-        self._dest_dropped.pop(event.target, None)
+        # Only this destination's entering vector changed; an entering
+        # change has no known DAG footprint, so the region is None (full
+        # re-route) even though the forwarding state is untouched.
         self._dirty.add(event.target)
+        self._dirty_regions[event.target] = None
         return set()
 
-    def _invalidate(self, affected: Set[Node], structural: bool = True) -> None:
+    def _invalidate(
+        self,
+        affected: Set[Node],
+        structural: bool = True,
+        regions: Optional[Dict[Node, Optional[Set[Node]]]] = None,
+    ) -> None:
         if not structural:
             return
+        # Stale load caches are kept (not popped): the delta kernel needs the
+        # old loads/throughflow as its starting state, and the aggregate
+        # maintenance needs the old vector to subtract.  Regions accumulate
+        # across events until the next route: union of sets, None (unknown
+        # footprint) absorbing.
+        dirty_regions = self._dirty_regions
         for destination in affected:
-            self._dest_loads.pop(destination, None)
-            self._dest_dropped.pop(destination, None)
             self._dirty.add(destination)
+            region = regions.get(destination) if regions is not None else None
+            if destination in dirty_regions:
+                current = dirty_regions[destination]
+                if current is None or region is None:
+                    dirty_regions[destination] = None
+                else:
+                    current.update(region)
+            else:
+                dirty_regions[destination] = set(region) if region is not None else None
         self._router_dirty.update(affected)
 
     # ------------------------------------------------------------------
@@ -291,10 +424,147 @@ class TEController:
         # An event-dirtied DAG is routed once before the next event touches
         # it, so the fused single-pass kernel beats compile-then-propagate;
         # batched multi-matrix work goes through `ensemble_link_loads`,
-        # which amortises a delta-recompiled CSR router instead.
-        loads, dropped = self.spt.ecmp_link_loads(destination, entering)
+        # which amortises a delta-recompiled CSR router instead.  When the
+        # event's footprint is known (a bounded changed-node region) and the
+        # old loads/throughflow are cached, only the subtree below the
+        # region is re-propagated.
+        region = self._dirty_regions.get(destination)
+        if (
+            region
+            and destination in self._dest_loads
+            and destination in self._dest_through
+            and self.spt.plateau_free
+            and self._route_delta(destination, entering, region)
+        ):
+            if telemetry.enabled():
+                telemetry.count("controller.route", 1, path="delta")
+            return
+        loads, dropped, through = self.spt.ecmp_link_loads(
+            destination, entering, with_through=True
+        )
+        self._store_destination(destination, loads, dropped, through)
+        if telemetry.enabled():
+            telemetry.count("controller.route", 1, path="full")
+
+    def _route_delta(
+        self, destination: Node, entering: Dict[Node, float], region: Set[Node]
+    ) -> bool:
+        """Re-propagate loads only through the subtree below ``region``.
+
+        Seeds a max-distance-first worklist with the structurally changed
+        nodes and pushes load *deltas* down the DAG: a popped node recomputes
+        every out-link load from its current throughflow (idempotent, so
+        re-pushes are safe), applying the difference to the downstream
+        throughflow.  Requires a plateau-free state (DAG edges then strictly
+        decrease the distance, so the max-distance order is topological up
+        to benign re-pushes).  Works on copies and commits only on success;
+        returns False — caches untouched — when the worklist exceeds its
+        budget or the state looks inconsistent, and the caller falls back to
+        the full fused pass.
+        """
+        spt = self.spt
+        state = spt.dag(destination)  # live view sharing the engine's dicts
+        dist = state.distances
+        next_hops = state.next_hops
+        out_pairs, in_indices = self._flat_adjacency()
+        # The kernel indexes single elements millions of times across a
+        # sweep; a plain list beats ndarray scalar access by a wide margin.
+        loads = self._dest_loads[destination].tolist()
+        through = dict(self._dest_through[destination])
+        dropped = dict(self._dest_dropped.get(destination, {}))
+
+        heap: List[Tuple[float, int, Node]] = []
+        seq = 0
+        for node in region:
+            d = dist.get(node)
+            if d is None:
+                # Newly unreachable: clear its caches, zero its out-loads
+                # (deltas flow downstream), drop its entering demand.
+                through.pop(node, None)
+                if node in entering:
+                    dropped[node] = entering[node]
+                for index, target in out_pairs[node]:
+                    load = loads[index]
+                    if load != 0.0:
+                        loads[index] = 0.0
+                        if target in dist:
+                            through[target] = through.get(target, 0.0) - load
+                            if target != destination:
+                                heapq.heappush(heap, (-dist[target], seq, target))
+                                seq += 1
+                continue
+            if node not in through:
+                # Newly reachable: seed its inflow from the current link
+                # loads; upstream corrections arrive later as deltas.
+                inflow = entering.get(node, 0.0)
+                for index in in_indices[node]:
+                    inflow += loads[index]
+                through[node] = inflow
+                dropped.pop(node, None)
+            if node != destination:
+                heapq.heappush(heap, (-d, seq, node))
+                seq += 1
+
+        budget = 4 * len(dist) + 16
+        while heap:
+            budget -= 1
+            if budget < 0:
+                return False
+            _, _, node = heapq.heappop(heap)
+            flow = through.get(node, 0.0)
+            hops = next_hops.get(node) or ()
+            if flow != 0.0 and not hops:
+                return False  # inconsistent; the full pass raises properly
+            share = flow / len(hops) if hops else 0.0
+            for index, target in out_pairs[node]:
+                new_load = share if target in hops else 0.0
+                delta = new_load - loads[index]
+                if delta == 0.0:
+                    continue
+                loads[index] = new_load
+                if target in dist:
+                    through[target] += delta
+                    if target != destination:
+                        heapq.heappush(heap, (-dist[target], seq, target))
+                        seq += 1
+
+        self._store_destination(destination, np.asarray(loads), dropped, through)
+        return True
+
+    def _flat_adjacency(
+        self,
+    ) -> Tuple[Dict[Node, List[Tuple[int, Node]]], Dict[Node, List[int]]]:
+        """Per-node ``(link index, target)`` pairs / in-link indices, memoized."""
+        out_pairs = self._out_pairs
+        if out_pairs is None:
+            network = self.network
+            out_pairs = {
+                node: [(link.index, link.target) for link in network.out_links(node)]
+                for node in network.nodes
+            }
+            self._in_indices = {
+                node: [link.index for link in network.in_links(node)]
+                for node in network.nodes
+            }
+            self._out_pairs = out_pairs
+        return out_pairs, self._in_indices
+
+    def _store_destination(
+        self,
+        destination: Node,
+        loads: np.ndarray,
+        dropped: Dict[Node, float],
+        through: Dict[Node, float],
+    ) -> None:
+        """Install one destination's routed state, maintaining the aggregate."""
+        if self._agg_loads is not None:
+            old = self._dest_loads.get(destination)
+            if old is not None:
+                self._agg_loads -= old
+            self._agg_loads += loads
         self._dest_loads[destination] = loads
         self._dest_dropped[destination] = dropped
+        self._dest_through[destination] = through
 
     def _refresh_loads(self) -> None:
         by_destination = self._by_destination
@@ -306,22 +576,39 @@ class TEController:
         # Destinations that lost all their demand drop out of the caches.
         for destination in list(self._dest_loads):
             if destination not in by_destination:
+                if self._agg_loads is not None:
+                    self._agg_loads -= self._dest_loads[destination]
                 self._dest_loads.pop(destination, None)
                 self._dest_dropped.pop(destination, None)
+                self._dest_through.pop(destination, None)
         for destination, entering in by_destination.items():
             if destination in self._dirty or destination not in self._dest_loads:
                 self._route_destination(destination, entering)
         self._dirty.clear()
+        self._dirty_regions.clear()
 
     def link_loads(self) -> np.ndarray:
         """Aggregate per-link loads of the current routing state.
 
         Indexed by the *base* network's link indices; failed links carry 0.
+        The aggregate is maintained incrementally (one subtract/add per
+        re-routed destination) once built; a copy is returned, so callers
+        may keep the vector across later events.
         """
         self._refresh_loads()
-        if not self._dest_loads:
-            return np.zeros(self.network.num_links)
-        return np.sum(list(self._dest_loads.values()), axis=0)
+        if self._agg_loads is None:
+            if self._dest_loads:
+                self._agg_loads = np.sum(list(self._dest_loads.values()), axis=0)
+            else:
+                self._agg_loads = np.zeros(self.network.num_links)
+        loads = self._agg_loads.copy()
+        # Every per-destination vector is exactly 0 on inactive links, but
+        # the in-place subtract/add maintenance can leave ~1e-17 residue in
+        # the aggregate; failed links must carry an exact 0.
+        inactive = ~self.spt.active_mask
+        if inactive.any():
+            loads[inactive] = 0.0
+        return loads
 
     def measure(self) -> ControllerMeasurement:
         """Loads, MLU, utility and drop accounting in one snapshot."""
@@ -478,9 +765,13 @@ class TEController:
         each scenario (links the sweep failed are recovered individually —
         their footprint is all that is ever recompiled).
         """
-        self._refresh_loads()
+        # Force the aggregate into existence so every cell's measurement is
+        # one subtract/add per re-routed destination, then freeze the whole
+        # baseline (loads, drops, throughflow, aggregate, capacities).
+        baseline_agg = self.link_loads()
         baseline_loads = dict(self._dest_loads)
         baseline_dropped = dict(self._dest_dropped)
+        baseline_through = dict(self._dest_through)
         baseline_capacities = self.capacities
         measurements: List[ControllerMeasurement] = []
         stats_before = snapshot_stats(self.spt.stats) if telemetry.enabled() else None
@@ -514,10 +805,15 @@ class TEController:
                     self.capacities = baseline_capacities
                     # The recovery returned the DAGs to the baseline; restore
                     # the baseline's load caches instead of re-routing the
-                    # roundtrip's footprint on the next measure.
+                    # roundtrip's footprint on the next measure.  The
+                    # aggregate is restored from a fresh copy so per-cell
+                    # in-place maintenance never drifts across scenarios.
                     self._dest_loads = dict(baseline_loads)
                     self._dest_dropped = dict(baseline_dropped)
+                    self._dest_through = dict(baseline_through)
+                    self._agg_loads = baseline_agg.copy()
                     self._dirty.clear()
+                    self._dirty_regions.clear()
                     if cell is not None:
                         cell.tags["dirtied"] = str(
                             sum(u.affected_destinations for u in updates + reverts)

@@ -32,10 +32,17 @@ maintenance cannot reproduce that tree cheaply.  :class:`DynamicSPT`
 therefore falls back to a full (cold-identical) per-destination rebuild
 whenever
 
-1. some active link weight is at or below the plateau floor
-   (``min weight <= max(tolerance, 1e-12)``),
+1. a plateau link (active weight at or below ``max(tolerance, 1e-12)``)
+   is *near the update*: an endpoint sits in the hop-refresh region, or
+   the plateau sits at a distance where the cold Dijkstra's tie order
+   could have shifted (at or above the update's minimum touched distance
+   minus the tolerance).  Plateaus strictly below that bound are settled
+   by an identical Dijkstra prefix in both cold builds, so their
+   orientation cannot change and the update stays incremental,
 2. the affected cone of an increase exceeds ``max_affected_fraction`` of
-   the reachable nodes (a full Dijkstra is as cheap and simpler), or
+   the reachable nodes (a full Dijkstra is as cheap and simpler;
+   ``None`` picks a per-topology-class default — see
+   :func:`tuned_max_affected_fraction`), or
 3. ``verify=True`` and the incremental result disagrees with a shadow cold
    rebuild (the *verified fallback*; counted in :attr:`DsptStats`).
 
@@ -72,8 +79,37 @@ _MARGIN = 1e-15
 
 #: Active weights at or below this floor can create zero-weight plateaus,
 #: where the cold DAG is oriented by its Dijkstra tree; incremental
-#: maintenance then falls back to full rebuilds.
+#: maintenance then falls back to full rebuilds for updates near the
+#: plateau (far-away updates stay incremental — see ``_plateau_safe``).
 _PLATEAU_FLOOR = 1e-12
+
+#: Shared empty refresh set for the no-op safety checks.
+_NO_REFRESH: frozenset = frozenset()
+
+#: ``max_affected_fraction`` defaults per topology class (see
+#: :func:`tuned_max_affected_fraction`).
+DENSE_CONE_FRACTION = 0.9
+SPARSE_CONE_FRACTION = 0.5
+
+
+def tuned_max_affected_fraction(network: Network) -> float:
+    """Cone-threshold default tuned from the ``dspt.cone_fraction`` histogram.
+
+    On dense random graphs (rand100/rand500 class: 64+ nodes, mean directed
+    degree >= 3) the histogram is bimodal: nearly every increase touches a
+    few percent of the nodes, and the rare large cones still re-settle
+    faster than a cold Dijkstra because the restricted heap skips the
+    untouched prefix — so the threshold only costs exactness-preserving
+    work.  0.9 eliminates the cone fallbacks on rand100 with bit-identical
+    loads.  Small or sparse backbones (Abilene, hier50) keep the
+    conservative 0.5: their cones are the whole graph and the cold rebuild
+    really is as cheap.
+    """
+    nodes = max(network.num_nodes, 1)
+    mean_degree = network.num_links / nodes
+    if nodes >= 64 and mean_degree >= 3.0:
+        return DENSE_CONE_FRACTION
+    return SPARSE_CONE_FRACTION
 
 
 @dataclass
@@ -104,6 +140,9 @@ class DsptStats:
     initial_builds: int = 0
     #: Rebuilds from whole-vector :meth:`DynamicSPT.set_weights` installs.
     bulk_rebuilds: int = 0
+    #: Events during which at least one destination fell back (per-event
+    #: numerator for :attr:`event_fallback_rate`).
+    events_with_fallback: int = 0
 
     @property
     def event_fallbacks(self) -> int:
@@ -112,9 +151,24 @@ class DsptStats:
 
     @property
     def fallback_rate(self) -> float:
-        """Fraction of event updates that fell back (0.0 when idle)."""
+        """Fraction of per-destination *updates* that fell back (0.0 when idle).
+
+        .. deprecated:: 1.7
+            This is a per-update rate: both numerator and denominator count
+            (event, destination) update attempts, so on a sweep with D
+            destinations a single all-destination fallback event drowns in
+            ``D`` incremental updates from every other event.  Kept (same
+            units as always) so ``repro results diff`` gates against stored
+            runs don't silently loosen; new code should read
+            :attr:`event_fallback_rate`.
+        """
         attempts = self.incremental_updates + self.event_fallbacks
         return self.event_fallbacks / attempts if attempts else 0.0
+
+    @property
+    def event_fallback_rate(self) -> float:
+        """Fraction of *events* where any destination fell back (0.0 when idle)."""
+        return self.events_with_fallback / self.events if self.events else 0.0
 
     def __repr__(self) -> str:  # noqa: D105 - breakdown-bearing repr
         return (
@@ -126,7 +180,8 @@ class DsptStats:
             f"verify={self.verify_mismatches}, initial={self.initial_builds}, "
             f"bulk={self.bulk_rebuilds}], "
             f"nodes_recomputed={self.nodes_recomputed}, "
-            f"fallback_rate={self.fallback_rate:.3f})"
+            f"fallback_rate={self.fallback_rate:.3f}, "
+            f"event_fallback_rate={self.event_fallback_rate:.3f})"
         )
 
 
@@ -154,6 +209,8 @@ def publish_dspt_counters(before: DsptStats, after: DsptStats) -> None:
          after.initial_builds - before.initial_builds),
         ("dspt.rebuild", {"reason": "bulk"},
          after.bulk_rebuilds - before.bulk_rebuilds),
+        ("dspt.fallback_events", {},
+         after.events_with_fallback - before.events_with_fallback),
         ("dspt.nodes_recomputed", {},
          after.nodes_recomputed - before.nodes_recomputed),
     )
@@ -195,6 +252,8 @@ class DynamicSPT:
     max_affected_fraction:
         When an increase's affected cone exceeds this fraction of the
         reachable nodes, the destination is fully rebuilt instead.
+        ``None`` (the default) picks a per-topology-class value via
+        :func:`tuned_max_affected_fraction`.
     verify:
         Cross-check every incremental update against a cold rebuild and fall
         back to it on any mismatch (slow; meant for debugging and tests).
@@ -216,9 +275,11 @@ class DynamicSPT:
         weights: WeightsLike,
         destinations: Iterable[Node] = (),
         tolerance: float = DEFAULT_TOLERANCE,
-        max_affected_fraction: float = 0.5,
+        max_affected_fraction: Optional[float] = None,
         verify: bool = False,
     ) -> None:
+        if max_affected_fraction is None:
+            max_affected_fraction = tuned_max_affected_fraction(network)
         if not 0 < max_affected_fraction <= 1:
             raise ValueError("max_affected_fraction must be in (0, 1]")
         self.network = network
@@ -228,7 +289,19 @@ class DynamicSPT:
         self._weights = as_weight_vector(network, weights)
         validate_weights(self._weights)
         self._active = np.ones(network.num_links, dtype=bool)
+        # List mirrors of the weight/active vectors: the incremental loops
+        # index single elements millions of times per sweep, and plain-list
+        # access is several times cheaper than ndarray scalar access.  Kept
+        # in sync at every mutation point.
+        self._weights_list: List[float] = self._weights.tolist()
+        self._active_list: List[bool] = self._active.tolist()
         self._states: Dict[Node, _DestinationState] = {}
+        self._plateau_links: Set[int] = set()
+        self._refresh_plateau_links()
+        #: Per-destination changed-node regions of the last event: the nodes
+        #: whose next-hop sets (or reachability) changed, or ``None`` for a
+        #: full rebuild.  Consumed by the controller's delta load kernel.
+        self.last_event_regions: Dict[Node, Optional[Set[Node]]] = {}
         self.stats = DsptStats()
         for destination in destinations:
             self.add_destination(destination)
@@ -278,11 +351,55 @@ class DynamicSPT:
         """True when ``source`` currently reaches ``destination``."""
         return source in self._state(destination).dist
 
+    # ------------------------------------------------------------------
+    # snapshot support (shared baselines for parallel sweep workers)
+    # ------------------------------------------------------------------
+    @property
+    def active_mask(self) -> np.ndarray:
+        """Copy of the per-link active mask (False = failed)."""
+        return self._active.copy()
+
+    def export_states(self) -> Dict[Node, Tuple[Dict[Node, float], Dict[Node, List[Node]]]]:
+        """Picklable per-destination ``(dist, next_hops)`` state copies."""
+        return {
+            destination: (
+                dict(state.dist),
+                {node: list(hops) for node, hops in state.next_hops.items()},
+            )
+            for destination, state in self._states.items()
+        }
+
+    def install_states(
+        self,
+        active: np.ndarray,
+        states: Dict[Node, Tuple[Dict[Node, float], Dict[Node, List[Node]]]],
+    ) -> None:
+        """Adopt an :meth:`export_states` snapshot without any cold builds.
+
+        Replaces every maintained destination; the caller owns consistency
+        between ``active``, the current weights and the snapshotted state
+        (i.e. the snapshot must come from an engine over the same network
+        with the same weights).  Stats are *not* carried over: the adopting
+        engine's counters describe only its own work.
+        """
+        self._active = np.asarray(active, dtype=bool).copy()
+        self._active_list = self._active.tolist()
+        self._refresh_plateau_links()
+        self._states = {
+            destination: _DestinationState(
+                destination=destination,
+                dist=dict(dist),
+                next_hops={node: list(hops) for node, hops in next_hops.items()},
+            )
+            for destination, (dist, next_hops) in states.items()
+        }
+
     def ecmp_link_loads(
         self,
         destination: Node,
         entering: Dict[Node, float],
-    ) -> Tuple[np.ndarray, Dict[Node, float]]:
+        with_through: bool = False,
+    ):
         """Even-ECMP link loads towards one destination, in a single pass.
 
         Routes ``{source: volume}`` directly over the live DAG state: one
@@ -297,12 +414,16 @@ class DynamicSPT:
 
         Returns ``(loads, dropped)``: base-indexed per-link loads (failed
         links carry 0) and the entering volumes whose source cannot reach
-        the destination.
+        the destination.  With ``with_through`` the per-node throughflow
+        dict rides along as a third element — the seed state for the
+        controller's delta load kernel.
         """
         state = self._state(destination)
         dist = state.dist
         next_hops = state.next_hops
-        loads = np.zeros(self.network.num_links)
+        # Accumulate in a plain list: the += below runs once per (node, hop)
+        # pair and list element access is far cheaper than ndarray scalars.
+        loads = [0.0] * self.network.num_links
         through = dict.fromkeys(dist, 0.0)
         dropped: Dict[Node, float] = {}
         for source, volume in entering.items():
@@ -331,7 +452,10 @@ class DynamicSPT:
             for hop in hops:
                 through[hop] += share
                 loads[link_index[(node, hop)]] += share
-        return loads, dropped
+        vector = np.asarray(loads)
+        if with_through:
+            return vector, dropped, through
+        return vector, dropped
 
     def _state(self, destination: Node) -> _DestinationState:
         try:
@@ -360,7 +484,15 @@ class DynamicSPT:
         if not self._active[index]:
             return set()
         self._active[index] = False
-        return self._propagate(index, old_eff=self._weights[index], new_eff=np.inf)
+        self._active_list[index] = False
+        # The safety check must see the link's plateau status under both the
+        # old and the new classification, so pass the union of the two sets.
+        plateau = self._plateau_links
+        if index in plateau:
+            self._plateau_links = plateau - {index}
+        return self._propagate(
+            index, old_eff=self._weights[index], new_eff=np.inf, plateau=plateau
+        )
 
     def recover_link(self, source: Node, target: Node) -> Set[Node]:
         """Re-activate a failed link at its configured weight."""
@@ -368,7 +500,13 @@ class DynamicSPT:
         if self._active[index]:
             return set()
         self._active[index] = True
-        return self._propagate(index, old_eff=np.inf, new_eff=self._weights[index])
+        self._active_list[index] = True
+        if self._weights[index] <= self._plateau_floor():
+            self._plateau_links = self._plateau_links | {index}
+        return self._propagate(
+            index, old_eff=np.inf, new_eff=self._weights[index],
+            plateau=self._plateau_links,
+        )
 
     def set_weight(self, source: Node, target: Node, weight: float) -> Set[Node]:
         """Change one link's weight (no-op for equal weight)."""
@@ -379,15 +517,27 @@ class DynamicSPT:
         if old == weight:
             return set()
         self._weights[index] = float(weight)
+        self._weights_list[index] = float(weight)
         if not self._active[index]:
             return set()  # takes effect on recovery
-        return self._propagate(index, old_eff=old, new_eff=float(weight))
+        was_plateau = index in self._plateau_links
+        now_plateau = weight <= self._plateau_floor()
+        plateau = self._plateau_links
+        if now_plateau and not was_plateau:
+            self._plateau_links = plateau = plateau | {index}
+        elif was_plateau and not now_plateau:
+            self._plateau_links = plateau - {index}
+        return self._propagate(
+            index, old_eff=old, new_eff=float(weight), plateau=plateau
+        )
 
     def set_weights(self, weights: WeightsLike) -> Set[Node]:
         """Install a whole new weight vector (full rebuild of every DAG)."""
         vector = as_weight_vector(self.network, weights)
         validate_weights(vector)
         self._weights = vector
+        self._weights_list = vector.tolist()
+        self._refresh_plateau_links()
         self.stats.events += 1
         changed: Set[Node] = set()
         for state in self._states.values():
@@ -395,6 +545,7 @@ class DynamicSPT:
             self._rebuild(state)
             changed.add(state.destination)
         self.stats.destinations_changed += len(changed)
+        self.last_event_regions = dict.fromkeys(changed)
         return changed
 
     # ------------------------------------------------------------------
@@ -405,49 +556,95 @@ class DynamicSPT:
         """True when every active weight is safely above the plateau floor.
 
         Plateau-free states have two useful properties: incremental updates
-        are exact (see the module docstring), and every DAG edge strictly
-        decreases the distance, so sorting nodes by decreasing distance is a
-        valid — and much cheaper — topological order for compilation.
+        are exact without any locality check (see the module docstring), and
+        every DAG edge strictly decreases the distance, so sorting nodes by
+        decreasing distance is a valid — and much cheaper — topological
+        order for compilation.
         """
-        return self._incremental_allowed()
+        return not self._plateau_links
 
-    def _incremental_allowed(self) -> bool:
-        """Incremental maintenance is exact only away from weight plateaus."""
-        active = self._weights[self._active]
-        if active.size == 0:
+    def _plateau_floor(self) -> float:
+        return max(self.tolerance, _PLATEAU_FLOOR)
+
+    def _refresh_plateau_links(self) -> None:
+        """Recompute the set of active links at/below the plateau floor."""
+        mask = self._active & (self._weights <= self._plateau_floor())
+        self._plateau_links = {int(i) for i in np.nonzero(mask)[0]}
+
+    def _plateau_safe(
+        self,
+        state: _DestinationState,
+        moved_min: float,
+        refresh: Set[Node],
+        plateau: Set[int],
+    ) -> bool:
+        """Is this incremental update provably cold-exact despite plateaus?
+
+        Plateau links orient the cold DAG through the Dijkstra parent tree,
+        which incremental hop refresh cannot reproduce.  The update is still
+        exact when every plateau stays *out of reach* of the change:
+
+        * no plateau endpoint is in the hop-refresh region (refreshing a
+          plateau-incident node would drop its cold tree augmentation), and
+        * every usable plateau sits strictly below ``moved_min`` minus the
+          tolerance — the cold Dijkstra settles that prefix identically
+          before and after the event, so tie orientation there is stable.
+
+        ``plateau`` is the union of the pre- and post-event plateau-link
+        sets, so links entering or leaving plateau status are checked too.
+        """
+        if not plateau:
             return True
-        floor = max(self.tolerance, _PLATEAU_FLOOR)
-        return bool(np.min(active) > floor)
+        dist = state.dist
+        bound = moved_min - self.tolerance
+        for index in plateau:
+            plink = self.network.link_by_index(index)
+            if dist.get(plink.target) is None:
+                continue  # unusable towards this destination in either build
+            if plink.source in refresh or plink.target in refresh:
+                return False
+            if dist[plink.target] >= bound:
+                return False
+            if dist.get(plink.source, np.inf) >= bound:
+                return False
+        return True
 
-    def _propagate(self, index: int, old_eff: float, new_eff: float) -> Set[Node]:
+    def _propagate(
+        self, index: int, old_eff: float, new_eff: float, plateau: Set[int]
+    ) -> Set[Node]:
         link = self.network.link_by_index(index)
         self.stats.events += 1
+        fallbacks_before = self.stats.event_fallbacks
         changed: Set[Node] = set()
-        incremental = self._incremental_allowed()
+        regions: Dict[Node, Optional[Set[Node]]] = {}
         for state in self._states.values():
             if link.source == state.destination:
                 continue  # a destination's out-edges never carry its traffic
-            if not incremental:
-                self.stats.fallback_plateau += 1
-                self._rebuild(state)
-                changed.add(state.destination)
-                continue
             if self.verify:
-                if self._update_verified(state, link, old_eff, new_eff):
-                    changed.add(state.destination)
-                continue
-            if self._update_destination(state, link, old_eff, new_eff):
+                region = self._update_verified(state, link, old_eff, new_eff, plateau)
+            else:
+                region = self._update_destination(state, link, old_eff, new_eff, plateau)
+            if region is None or region:
                 changed.add(state.destination)
+                regions[state.destination] = region
+        if self.stats.event_fallbacks > fallbacks_before:
+            self.stats.events_with_fallback += 1
         self.stats.destinations_changed += len(changed)
+        self.last_event_regions = regions
         return changed
 
     def _update_verified(
-        self, state: _DestinationState, link, old_eff: float, new_eff: float
-    ) -> bool:
+        self,
+        state: _DestinationState,
+        link,
+        old_eff: float,
+        new_eff: float,
+        plateau: Set[int],
+    ) -> Optional[Set[Node]]:
         """Incremental update cross-checked against a shadow cold rebuild."""
         shadow = _DestinationState(destination=state.destination)
         before = (dict(state.dist), {n: list(h) for n, h in state.next_hops.items()})
-        structural = self._update_destination(state, link, old_eff, new_eff)
+        region = self._update_destination(state, link, old_eff, new_eff, plateau)
         self._rebuild(shadow, count=False)
         if not _states_equal(state, shadow):
             self.stats.verify_mismatches += 1
@@ -461,34 +658,46 @@ class DynamicSPT:
             )
             state.dist = shadow.dist
             state.next_hops = shadow.next_hops
-            return True
-        if structural:
-            return True
-        # Equal states but report a change when the cold rebuild differs from
-        # the pre-event state (paranoia: should imply `structural`).
-        return before != (state.dist, state.next_hops)
+            return None
+        if region is None or region:
+            return region
+        # Equal states but report a (full) change when the cold rebuild
+        # differs from the pre-event state (paranoia: should imply `region`).
+        return None if before != (state.dist, state.next_hops) else set()
 
     def _update_destination(
-        self, state: _DestinationState, link, old_eff: float, new_eff: float
-    ) -> bool:
+        self,
+        state: _DestinationState,
+        link,
+        old_eff: float,
+        new_eff: float,
+        plateau: Set[int],
+    ) -> Optional[Set[Node]]:
         """Apply one effective-weight change towards one destination.
 
-        Returns True when the DAG (distances or next hops) changed.
+        Returns the set of nodes whose next-hop sets (or reachability)
+        changed — empty when the DAG is untouched — or ``None`` when the
+        destination was fully rebuilt.
         """
         if new_eff < old_eff:
-            return self._edge_decrease(state, link, new_eff)
-        return self._edge_increase(state, link, old_eff)
+            return self._edge_decrease(state, link, new_eff, plateau)
+        return self._edge_increase(state, link, old_eff, plateau)
 
-    def _edge_decrease(self, state: _DestinationState, link, new_eff: float) -> bool:
+    def _edge_decrease(
+        self, state: _DestinationState, link, new_eff: float, plateau: Set[int]
+    ) -> Optional[Set[Node]]:
         dist = state.dist
         head = dist.get(link.target)
         if head is None:
-            return False  # the head cannot reach the destination; edge is inert
+            return set()  # the head cannot reach the destination; edge is inert
         candidate = new_eff + head
+        tail_dist = dist.get(link.source, np.inf)
         changed: List[Node] = []
-        if candidate < dist.get(link.source, np.inf) - _MARGIN:
+        if candidate < tail_dist - _MARGIN:
             # Push the improvement through the reverse graph, Dijkstra-ordered.
             dist[link.source] = candidate
+            active, weights = self._active_list, self._weights_list
+            in_links = self.network.in_links
             counter = 0
             heap: List[Tuple[float, int, Node]] = [(candidate, counter, link.source)]
             while heap:
@@ -496,41 +705,68 @@ class DynamicSPT:
                 if d > dist.get(node, np.inf):
                     continue  # stale entry
                 changed.append(node)
-                for in_link in self.network.in_links(node):
-                    if not self._active[in_link.index]:
+                for in_link in in_links(node):
+                    if not active[in_link.index]:
                         continue
                     tail = in_link.source
                     if tail == state.destination:
                         continue
-                    relaxed = d + self._weights[in_link.index]
+                    relaxed = d + weights[in_link.index]
                     if relaxed < dist.get(tail, np.inf) - _MARGIN:
                         dist[tail] = relaxed
                         counter += 1
                         heapq.heappush(heap, (relaxed, counter, tail))
             self.stats.nodes_recomputed += len(changed)
+        elif candidate > tail_dist + self.tolerance:
+            # Beyond the ECMP tolerance band: the edge is not (and was not)
+            # a DAG member for this destination, so no hop set can change.
+            if self._plateau_safe(state, tail_dist, _NO_REFRESH, plateau):
+                self.stats.incremental_updates += 1
+                return set()
+        moved_min = min((dist[node] for node in changed), default=tail_dist)
+        refresh = self._refresh_set(state, changed, extra=(link.source,))
+        if not self._plateau_safe(state, moved_min, refresh, plateau):
+            self.stats.fallback_plateau += 1
+            self._rebuild(state)
+            return None
         self.stats.incremental_updates += 1
-        return self._refresh_region(state, changed, extra=(link.source,))
+        return self._refresh_nodes(state, refresh)
 
-    def _edge_increase(self, state: _DestinationState, link, old_eff: float) -> bool:
+    def _edge_increase(
+        self, state: _DestinationState, link, old_eff: float, plateau: Set[int]
+    ) -> Optional[Set[Node]]:
         dist = state.dist
         tail = dist.get(link.source)
         head = dist.get(link.target)
         if tail is None or head is None:
-            return False  # edge was not usable towards this destination
+            return set()  # edge was not usable towards this destination
         if old_eff + head > tail + _MARGIN:
             # Not tight: distances cannot change; only the tail's ECMP set can
             # (the edge may have been a tolerance-equal member).
+            if old_eff + head > tail + self.tolerance:
+                # Not even a tolerance-equal member before the increase:
+                # nothing to refresh.
+                if self._plateau_safe(state, tail, _NO_REFRESH, plateau):
+                    self.stats.incremental_updates += 1
+                    return set()
+            refresh = self._refresh_set(state, [], extra=(link.source,))
+            if not self._plateau_safe(state, tail, refresh, plateau):
+                self.stats.fallback_plateau += 1
+                self._rebuild(state)
+                return None
             self.stats.incremental_updates += 1
-            return self._refresh_region(state, [], extra=(link.source,))
+            return self._refresh_nodes(state, refresh)
 
         # The edge was on the shortest-path tree structure: collect the cone
         # of nodes whose tight chains run through the tail.
+        active, weights = self._active_list, self._weights_list
+        in_links, out_links = self.network.in_links, self.network.out_links
         cone: Set[Node] = {link.source}
         queue: List[Node] = [link.source]
         while queue:
             node = queue.pop()
-            for in_link in self.network.in_links(node):
-                if not self._active[in_link.index]:
+            for in_link in in_links(node):
+                if not active[in_link.index]:
                     continue
                 upstream = in_link.source
                 if upstream in cone or upstream == state.destination:
@@ -538,7 +774,7 @@ class DynamicSPT:
                 d_up = dist.get(upstream)
                 if d_up is None:
                     continue
-                if self._weights[in_link.index] + dist[node] <= d_up + _MARGIN:
+                if weights[in_link.index] + dist[node] <= d_up + _MARGIN:
                     cone.add(upstream)
                     queue.append(upstream)
 
@@ -547,7 +783,7 @@ class DynamicSPT:
         if len(cone) > self.max_affected_fraction * max(len(dist), 1):
             self.stats.fallback_cone += 1
             self._rebuild(state)
-            return True
+            return None
 
         # Re-settle the cone from its boundary: distances outside the cone
         # are still valid, so a restricted Dijkstra recovers exact values.
@@ -557,13 +793,13 @@ class DynamicSPT:
         heap: List[Tuple[float, int, Node]] = []
         for node in cone:
             best = np.inf
-            for out_link in self.network.out_links(node):
-                if not self._active[out_link.index]:
+            for out_link in out_links(node):
+                if not active[out_link.index]:
                     continue
                 boundary = dist.get(out_link.target)
                 if boundary is None:
                     continue
-                candidate = self._weights[out_link.index] + boundary
+                candidate = weights[out_link.index] + boundary
                 if candidate < best - _MARGIN:
                     best = candidate
             if np.isfinite(best):
@@ -575,40 +811,48 @@ class DynamicSPT:
             if node in dist or d > estimates.get(node, np.inf):
                 continue
             dist[node] = d
-            for in_link in self.network.in_links(node):
-                if not self._active[in_link.index]:
+            for in_link in in_links(node):
+                if not active[in_link.index]:
                     continue
                 upstream = in_link.source
                 if upstream not in cone or upstream in dist:
                     continue
-                relaxed = d + self._weights[in_link.index]
+                relaxed = d + weights[in_link.index]
                 if relaxed < estimates.get(upstream, np.inf) - _MARGIN:
                     estimates[upstream] = relaxed
                     counter += 1
                     heapq.heappush(heap, (relaxed, counter, upstream))
 
         self.stats.nodes_recomputed += len(cone)
-        self.stats.incremental_updates += 1
         changed = [
             node
             for node in cone
             if dist.get(node) != old_dist[node]
         ]
         unreachable = [node for node in cone if node not in dist]
+        refresh = self._refresh_set(state, changed, extra=(link.source,), cone=cone)
+        # An increase only lengthens distances, so the smallest distance the
+        # event touched is the smallest *old* cone distance.
+        moved_min = min(old_dist.values())
+        if not self._plateau_safe(state, moved_min, refresh, plateau):
+            self.stats.fallback_plateau += 1
+            self._rebuild(state)
+            return None
+        self.stats.incremental_updates += 1
         for node in unreachable:
             state.next_hops.pop(node, None)
-        return self._refresh_region(
-            state, changed, extra=(link.source,), cone=cone
-        ) or bool(unreachable)
+        region = self._refresh_nodes(state, refresh)
+        region.update(unreachable)
+        return region
 
-    def _refresh_region(
+    def _refresh_set(
         self,
         state: _DestinationState,
         changed: Sequence[Node],
         extra: Tuple[Node, ...] = (),
         cone: Optional[Set[Node]] = None,
-    ) -> bool:
-        """Recompute next-hop sets around the nodes whose distance changed.
+    ) -> Set[Node]:
+        """The nodes whose next-hop sets an update must recompute.
 
         A node's hop set depends on its own distance, its out-neighbours'
         distances and its out-link weights, so the refresh set is the changed
@@ -617,37 +861,44 @@ class DynamicSPT:
         whose distance came back identical through a different support).
         """
         refresh: Set[Node] = set(changed)
+        active = self._active_list
         for node in changed:
             for in_link in self.network.in_links(node):
-                if self._active[in_link.index]:
+                if active[in_link.index]:
                     refresh.add(in_link.source)
         refresh.update(extra)
         if cone:
             refresh.update(cone)
         refresh.discard(state.destination)
-        structural = False
+        return refresh
+
+    def _refresh_nodes(self, state: _DestinationState, refresh: Set[Node]) -> Set[Node]:
+        """Refresh hop sets; returns the nodes that structurally changed."""
+        region: Set[Node] = set()
         for node in refresh:
             if node in state.dist:
-                structural |= self._refresh_hops(state, node)
+                if self._refresh_hops(state, node):
+                    region.add(node)
             elif state.next_hops.pop(node, None) is not None:
-                structural = True
-        return structural
+                region.add(node)
+        return region
 
     def _refresh_hops(self, state: _DestinationState, node: Node) -> bool:
         """Recompute one node's equal-cost next hops (cold cost test)."""
         dist = state.dist
         d_node = dist[node]
+        active, weights = self._active_list, self._weights_list
+        bound = d_node + self.tolerance
+        floor = d_node - _MARGIN
         hops: List[Node] = []
         for out_link in self.network.out_links(node):
-            if not self._active[out_link.index]:
+            index = out_link.index
+            if not active[index]:
                 continue
             d_hop = dist.get(out_link.target)
             if d_hop is None:
                 continue
-            on_shortest = (
-                self._weights[out_link.index] + d_hop <= d_node + self.tolerance
-            )
-            if on_shortest and d_hop < d_node - _MARGIN:
+            if weights[index] + d_hop <= bound and d_hop < floor:
                 hops.append(out_link.target)
         if state.next_hops.get(node) != hops:
             state.next_hops[node] = hops
@@ -665,6 +916,8 @@ class DynamicSPT:
         the result is identical to a cold build on the pruned network.
         """
         destination = state.destination
+        active, weights = self._active_list, self._weights_list
+        in_links, out_links = self.network.in_links, self.network.out_links
         dist: Dict[Node, float] = {destination: 0.0}
         parents: Dict[Node, Node] = {}
         heap: List[Tuple[float, int, Node]] = [(0.0, 0, destination)]
@@ -675,10 +928,10 @@ class DynamicSPT:
             if visited.get(node):
                 continue
             visited[node] = True
-            for in_link in self.network.in_links(node):
-                if not self._active[in_link.index]:
+            for in_link in in_links(node):
+                if not active[in_link.index]:
                     continue
-                candidate = d + self._weights[in_link.index]
+                candidate = d + weights[in_link.index]
                 previous = dist.get(in_link.source)
                 if previous is None or candidate < previous - _MARGIN:
                     dist[in_link.source] = candidate
@@ -691,14 +944,14 @@ class DynamicSPT:
             if node == destination:
                 continue
             hops: List[Node] = []
-            for out_link in self.network.out_links(node):
-                if not self._active[out_link.index]:
+            for out_link in out_links(node):
+                if not active[out_link.index]:
                     continue
                 d_hop = dist.get(out_link.target)
                 if d_hop is None:
                     continue
                 on_shortest = (
-                    self._weights[out_link.index] + d_hop <= d_node + self.tolerance
+                    weights[out_link.index] + d_hop <= d_node + self.tolerance
                 )
                 if on_shortest and d_hop < d_node - _MARGIN:
                     hops.append(out_link.target)

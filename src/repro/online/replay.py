@@ -102,7 +102,7 @@ def replay_failure_trace(
     policy: Optional[object] = None,
     *,
     tolerance: float = DEFAULT_TOLERANCE,
-    max_affected_fraction: float = 0.5,
+    max_affected_fraction: Optional[float] = None,
     verify: bool = False,
 ) -> ReplayResult:
     """Replay ``scenarios`` as a timed fail → repair trace and sample MLU.
@@ -118,7 +118,8 @@ def replay_failure_trace(
 
     ``tolerance``, ``max_affected_fraction`` and ``verify`` go straight to
     the underlying :class:`TEController` (and its dynamic SPT), so the
-    fallback threshold is tunable from the CLI without code edits.
+    fallback threshold is tunable from the CLI without code edits
+    (``max_affected_fraction=None`` auto-tunes it per topology class).
     """
     trace = failure_recovery_trace(network, scenarios, period=period, outage=outage)
     controller = TEController(

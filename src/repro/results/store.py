@@ -239,19 +239,34 @@ class ResultsStore:
     def get_run(self, ref: str) -> RunManifest:
         """Resolve a run reference to its manifest.
 
-        ``ref`` may be a full run id, a unique run-id prefix, ``latest``, or
-        ``latest:<benchmark-or-kind>``.
+        ``ref`` may be a full run id, a unique run-id prefix, ``latest``,
+        ``latest:<benchmark-or-kind>``, or — borrowing git's ancestry
+        syntax — ``latest~N[:<benchmark-or-kind>]`` for the run N places
+        before the newest one (``latest~1:sweep`` is the previous sweep,
+        so CI can diff consecutive runs of the same family).
         """
-        if ref == "latest" or ref.startswith("latest:"):
-            selector = ref.partition(":")[2] or None
-            candidates = self.runs(benchmark=selector, limit=1) if selector else []
+        if ref == "latest" or ref.startswith(("latest:", "latest~")):
+            head, _, selector = ref.partition(":")
+            selector = selector or None
+            back = 0
+            if head.startswith("latest~"):
+                suffix = head[len("latest~"):]
+                if not suffix.isdigit():
+                    raise ResultsStoreError(
+                        f"malformed run reference {ref!r} (expected latest~N)"
+                    )
+                back = int(suffix)
+            elif head != "latest":
+                raise ResultsStoreError(f"malformed run reference {ref!r}")
+            limit = back + 1
+            candidates = self.runs(benchmark=selector, limit=limit) if selector else []
             if not candidates and selector:
-                candidates = self.runs(kind=selector, limit=1)
+                candidates = self.runs(kind=selector, limit=limit)
             if not candidates and not selector:
-                candidates = self.runs(limit=1)
-            if not candidates:
+                candidates = self.runs(limit=limit)
+            if len(candidates) <= back:
                 raise ResultsStoreError(f"no runs match {ref!r} in {self.path}")
-            return candidates[0]
+            return candidates[back]
         # Escape LIKE metacharacters so a ref containing % or _ is a literal
         # prefix, never a wildcard that resolves to an arbitrary run.
         escaped = ref.replace("\\", "\\\\").replace("%", "\\%").replace("_", "\\_")

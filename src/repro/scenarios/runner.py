@@ -381,6 +381,7 @@ def evaluate_scenarios(
     scenarios: Sequence[Scenario],
     spec: ProtocolSpec,
     controller_params: Optional[Dict[str, object]] = None,
+    baseline: Optional[object] = None,
 ) -> List[ScenarioResult]:
     """Evaluate one protocol across several scenarios, batching where safe.
 
@@ -412,6 +413,15 @@ def evaluate_scenarios(
     incremental sweep's :class:`~repro.online.TEController`.  They never
     change the *numbers* — every fallback is cold-identical — only how much
     incremental work is attempted, so they stay out of the cache keys.
+
+    ``baseline`` is an optional
+    :class:`~repro.online.controller.ControllerBaseline` snapshot (built
+    once by the parent :class:`BatchRunner`): the sweep controller then
+    adopts the compiled per-destination state instead of re-running a cold
+    Dijkstra per destination, and even a lone eligible scenario rides the
+    incremental path (without a baseline a lone candidate is cheaper cold).
+    Adoption is best-effort — a mismatched or unusable snapshot falls back
+    to a locally built controller.
     """
     scenarios = list(scenarios)
     results: List[Optional[ScenarioResult]] = [None] * len(scenarios)
@@ -488,19 +498,36 @@ def evaluate_scenarios(
             except Exception:  # noqa: BLE001
                 continue
             candidates.append(index)
-        # A lone candidate is cheaper cold: building the controller costs a
-        # full all-destination baseline, which only amortises over several
-        # scenarios (mirrors the demand-batch path's > 1 guard).
-        if len(candidates) > 1:
+        # A lone candidate is cheaper cold only when the controller must be
+        # built from scratch: building it costs a full all-destination
+        # baseline, which only amortises over several scenarios (mirrors the
+        # demand-batch path's > 1 guard).  With a shared baseline snapshot
+        # adoption is cheap, so even one candidate rides incrementally.
+        if len(candidates) > 1 or (candidates and baseline is not None):
             try:
                 start = time.perf_counter()
-                controller = TEController(
-                    network,
-                    demands,
-                    weights=sweep_weights,
-                    tolerance=getattr(probe, "ecmp_tolerance", 1e-9),
-                    **(controller_params or {}),
-                )
+                controller = None
+                if (
+                    baseline is not None
+                    and getattr(baseline, "demands", None) == dict(demands.items())
+                    and np.array_equal(getattr(baseline, "weights", None), sweep_weights)
+                ):
+                    try:
+                        controller = TEController.from_snapshot(
+                            network,
+                            baseline,
+                            verify=bool((controller_params or {}).get("verify", False)),
+                        )
+                    except Exception:  # noqa: BLE001 - bad snapshot: build locally
+                        controller = None
+                if controller is None:
+                    controller = TEController(
+                        network,
+                        demands,
+                        weights=sweep_weights,
+                        tolerance=getattr(probe, "ecmp_tolerance", 1e-9),
+                        **(controller_params or {}),
+                    )
                 construction = time.perf_counter() - start
                 start = time.perf_counter()
                 measurements = controller.sweep_scenarios(
@@ -528,7 +555,12 @@ def evaluate_scenarios(
 
 def _evaluate_chunk(
     payload: Tuple[
-        Network, TrafficMatrix, List[Scenario], ProtocolSpec, Optional[Dict[str, object]]
+        Network,
+        TrafficMatrix,
+        List[Scenario],
+        ProtocolSpec,
+        Optional[Dict[str, object]],
+        Optional[object],
     ],
 ) -> Tuple[List[ScenarioResult], Optional[Dict[str, object]]]:
     """Worker entry point: evaluate a chunk of scenarios for one protocol.
@@ -537,15 +569,22 @@ def _evaluate_chunk(
     telemetry active (``options["telemetry"]``), the worker activates a
     fresh registry around its chunk and ships the picklable snapshot back
     for the parent to :meth:`~repro.obs.TelemetryRegistry.merge`; otherwise
-    the snapshot slot is ``None``.
+    the snapshot slot is ``None``.  ``baseline`` (the last payload slot) is
+    the parent's shared :class:`~repro.online.controller.ControllerBaseline`
+    for incremental-sweep specs, or ``None``.
     """
-    network, demands, scenarios, spec, options = payload
+    network, demands, scenarios, spec, options, baseline = payload
     options = options or {}
     controller_params = options.get("controller")  # type: ignore[assignment]
     if not options.get("telemetry"):
         return (
             evaluate_scenarios(
-                network, demands, scenarios, spec, controller_params=controller_params
+                network,
+                demands,
+                scenarios,
+                spec,
+                controller_params=controller_params,
+                baseline=baseline,
             ),
             None,
         )
@@ -557,7 +596,12 @@ def _evaluate_chunk(
             "runner.chunk", protocol=spec.display_name, scenarios=len(scenarios)
         ):
             results = evaluate_scenarios(
-                network, demands, scenarios, spec, controller_params=controller_params
+                network,
+                demands,
+                scenarios,
+                spec,
+                controller_params=controller_params,
+                baseline=baseline,
             )
         return results, registry.snapshot()
     finally:
@@ -588,7 +632,15 @@ def _telemetry_summary_record(
     if not attempts:
         return None
     rate = fallback_total / attempts
+    # Per-event rate alongside the historical per-update rate: the old
+    # denominator counts per-destination update attempts, which understates
+    # how many *events* abandoned the incremental path (see
+    # :attr:`repro.online.dspt.DsptStats.event_fallback_rate`).
+    events = registry.counter_value("dspt.events")
+    fallback_events = registry.counter_value("dspt.fallback_events")
+    event_rate = fallback_events / events if events else 0.0
     timings["dspt_fallback_rate"] = rate
+    timings["dspt_event_fallback_rate"] = event_rate
     timings["dspt_incremental_updates"] = float(incremental)
     record: Dict[str, object] = {
         "scenario": "__telemetry__",
@@ -596,8 +648,10 @@ def _telemetry_summary_record(
         "protocol": "*",
         "topology": topology,
         "fallback_rate": round(rate, 6),
+        "event_fallback_rate": round(event_rate, 6),
         "incremental_updates": int(incremental),
         "fallback_total": int(fallback_total),
+        "fallback_events": int(fallback_events),
     }
     for tags, value in sorted(fallbacks.items()):
         reason = dict(tags).get("reason", "unknown").replace("-", "_")
@@ -753,6 +807,10 @@ class RunStats:
     chunks: int = 0
     workers: int = 0
     elapsed: float = 0.0
+    #: One-off setup wall-clock of this run: shared-baseline builds in the
+    #: parent plus controller construction inside chunks.  Equals the sum of
+    #: ``setup_runtime`` over the run's evaluated (non-cached) results.
+    setup_seconds: float = 0.0
 
     @property
     def hit_rate(self) -> float:
@@ -851,14 +909,17 @@ class BatchRunner:
         # scenarios additionally require capacity-independent weights.
         incremental_spec = []
         cap_independent_spec = []
+        spec_sweep_weights: List[Optional[np.ndarray]] = []
+        spec_tolerance: List[float] = []
         for spec in specs:
             try:
                 probe = spec.build()
             except Exception:  # noqa: BLE001 - broken specs error per cell
                 probe = None
-            incremental_spec.append(
-                incremental_sweep_weights(probe, network) is not None
-            )
+            sweep_weights = incremental_sweep_weights(probe, network)
+            spec_sweep_weights.append(sweep_weights)
+            spec_tolerance.append(float(getattr(probe, "ecmp_tolerance", 1e-9)))
+            incremental_spec.append(sweep_weights is not None)
             cap_independent_spec.append(
                 incremental_sweep_capacity_independent(probe, network)
             )
@@ -893,6 +954,14 @@ class BatchRunner:
         stats.evaluated = len(misses)
         workers = self._effective_workers(len(misses))
         stats.workers = workers
+        #: Cells designated for the incremental sweep, per spec — the
+        #: amortisation base for shared-baseline setup.
+        designated: Dict[int, List[Tuple[int, int]]] = {}
+        for cell in misses:
+            if cell_incremental(*cell):
+                designated.setdefault(cell[0], []).append(cell)
+        parent_setup: Dict[int, float] = {}
+        baselines: Dict[int, object] = {}
         if telemetry.enabled():
             telemetry.count("runner.cells", stats.cache_hits, outcome="cache-hit")
             telemetry.count("runner.cells", len(misses), outcome="evaluated")
@@ -925,6 +994,31 @@ class BatchRunner:
                     for cell, result in zip(cells, chunk_results):
                         results[cell] = result
             else:
+                # Build the compiled baseline once in the parent for every
+                # incremental-sweep spec whose shards would otherwise each
+                # pay a cold all-destination controller build; workers adopt
+                # the pickled snapshot via TEController.from_snapshot.
+                from ..online.controller import TEController
+
+                for si, cells in designated.items():
+                    if len(cells) < 2:
+                        continue  # a lone cell is cheaper cold (serial parity)
+                    start_setup = time.perf_counter()
+                    try:
+                        with telemetry.span(
+                            "runner.baseline", protocol=specs[si].display_name
+                        ):
+                            controller = TEController(
+                                network,
+                                demands,
+                                weights=spec_sweep_weights[si],
+                                tolerance=spec_tolerance[si],
+                                **(controller_params or {}),
+                            )
+                            baselines[si] = controller.snapshot()
+                    except Exception:  # noqa: BLE001 - workers then build locally
+                        baselines.pop(si, None)
+                    parent_setup[si] = time.perf_counter() - start_setup
                 chunks = self._chunk(
                     misses,
                     workers,
@@ -940,6 +1034,7 @@ class BatchRunner:
                         [scenarios[ci] for _, ci in chunk],
                         specs[chunk[0][0]],
                         options,
+                        baselines.get(chunk[0][0]),
                     )
                     for chunk in chunks
                 ]
@@ -952,6 +1047,20 @@ class BatchRunner:
                             results[cell] = result
                         if registry is not None and snapshot is not None:
                             registry.merge(snapshot)
+            # Fair setup amortisation: chunk-side controller construction is
+            # already charged to the cells it served; the parent's
+            # shared-baseline build is spread evenly across the spec's
+            # designated cells post-hoc.  Invariant (asserted in tests): the
+            # sum of setup_runtime over evaluated cells equals
+            # ``stats.setup_seconds``, the run's setup wall-clock.
+            stats.setup_seconds = sum(results[cell].setup_runtime for cell in misses)
+            for si, setup in parent_setup.items():
+                cells = designated.get(si, [])
+                if cells:
+                    share = setup / len(cells)
+                    for cell in cells:
+                        results[cell].setup_runtime += share
+                stats.setup_seconds += setup
             if self.cache is not None:
                 for cell in misses:
                     # Error results are never cached: a transient failure
@@ -1000,7 +1109,10 @@ class BatchRunner:
                 "workers": stats.workers,
             }
             config.update(record_config or {})
-            timings: Dict[str, float] = {"elapsed": stats.elapsed}
+            timings: Dict[str, float] = {
+                "elapsed": stats.elapsed,
+                "setup_seconds": stats.setup_seconds,
+            }
             telemetry_record = _telemetry_summary_record(network.name, timings)
             manifest = RunManifest.create(
                 kind="sweep",

@@ -187,3 +187,14 @@ def rand50b(seed: int = 22) -> Network:
 def rand100(seed: int = 23) -> Network:
     """Rand100: 100 nodes, 392 directional links, unit capacities."""
     return random_network(100, 392, seed=seed, name="Rand100")
+
+
+def rand500(seed: int = 25) -> Network:
+    """Rand500: 500 nodes, 2000 directional links, unit capacities.
+
+    The Rocketfuel-scale stress instance: mean directed degree 4.0 puts it
+    in the dense class of
+    :func:`repro.online.dspt.tuned_max_affected_fraction`, so the online
+    controller's incremental hot path is exercised at 500-node scale.
+    """
+    return random_network(500, 2000, seed=seed, name="Rand500")

@@ -34,6 +34,19 @@ ROCKETFUEL_PROFILES: Dict[int, Tuple[str, int, int]] = {
     6461: ("Abovenet", 19, 68),
 }
 
+#: Approximate *router-level* sizes of the reduced Rocketfuel backbone maps
+#: (AS number -> (name, nodes, directed links)).  These are the
+#: several-hundred-node instances the incremental hot path has to scale to;
+#: :func:`synthetic_rocketfuel` selects them with ``level="router"``.
+ROCKETFUEL_ROUTER_PROFILES: Dict[int, Tuple[str, int, int]] = {
+    1221: ("Telstra", 104, 604),
+    1239: ("Sprint", 315, 1944),
+    1755: ("Ebone", 87, 644),
+    3257: ("Tiscali", 161, 656),
+    3967: ("Exodus", 79, 294),
+    6461: ("Abovenet", 138, 744),
+}
+
 
 def parse_rocketfuel(
     path: Union[str, Path],
@@ -84,21 +97,33 @@ def synthetic_rocketfuel(
     asn: int = 1239,
     capacity: float = 10.0,
     seed: int = 0,
+    level: str = "pop",
 ) -> Network:
     """A seeded synthetic topology with the size profile of a Rocketfuel AS.
 
     This substitutes for the original measurement files (which are not
     redistributable); the node count and directed link count match the public
-    PoP-level maps, capacities are uniform.
+    maps at the requested ``level`` (``"pop"`` for the PoP-level sizes in
+    :data:`ROCKETFUEL_PROFILES`, ``"router"`` for the reduced router-level
+    sizes in :data:`ROCKETFUEL_ROUTER_PROFILES`), capacities are uniform.
     """
-    if asn not in ROCKETFUEL_PROFILES:
+    if level == "pop":
+        profiles = ROCKETFUEL_PROFILES
+    elif level == "router":
+        profiles = ROCKETFUEL_ROUTER_PROFILES
+    else:
+        raise ValueError(f"unknown Rocketfuel level {level!r}; known: pop, router")
+    if asn not in profiles:
         raise ValueError(
-            f"unknown Rocketfuel AS {asn}; known: {sorted(ROCKETFUEL_PROFILES)}"
+            f"unknown Rocketfuel AS {asn}; known: {sorted(profiles)}"
         )
-    name, nodes, links = ROCKETFUEL_PROFILES[asn]
+    name, nodes, links = profiles[asn]
     if links % 2:
         links += 1
-    net = random_network(nodes, links, capacity=capacity, seed=seed + asn, name=f"AS{asn}-{name}")
+    suffix = "" if level == "pop" else "-R"
+    net = random_network(
+        nodes, links, capacity=capacity, seed=seed + asn, name=f"AS{asn}-{name}{suffix}"
+    )
     return net
 
 

@@ -305,3 +305,111 @@ class TestDynamicSptCorners:
         assert spt.stats.events == 2
         assert spt.stats.destinations_changed == 2
         assert spt.stats.incremental_updates >= 2
+
+
+# ----------------------------------------------------------------------
+# scoped plateau fallback + per-event stats (the PR-7 bugfixes)
+# ----------------------------------------------------------------------
+class TestScopedPlateauFallback:
+    """The plateau-floor fallback only fires near the affected cone.
+
+    Regression cover: a sub-floor weight *anywhere* in the graph used to
+    force a verified full rebuild on every event; the scoped criterion only
+    falls back when the event's refresh set or moved distance range can see
+    a usable plateau endpoint.
+    """
+
+    def make_line(self, tiny: float = 1e-13):
+        """Duplex line 0-1-...-9 with one plateau link (8, 9) at ``tiny``."""
+        net = Network(name="line10")
+        for i in range(10):
+            net.add_node(i)
+        for i in range(9):
+            net.add_duplex_link(i, i + 1, 10.0)
+        weights = np.ones(net.num_links)
+        weights[net.link_index(8, 9)] = tiny
+        return net, weights
+
+    def test_far_tiny_weight_no_plateau_fallback(self):
+        net, weights = self.make_line()
+        spt = DynamicSPT(net, weights.copy(), destinations=[9], tolerance=TOLERANCE)
+        assert not spt.plateau_free
+        mirror, failed = weights.copy(), set()
+        # Fail / recover / retune links next to node 0 — nine hops away from
+        # the plateau link, far outside any affected cone.
+        for ops in [("fail", net.link_index(0, 1), 0.0),
+                    ("recover", net.link_index(0, 1), 0.0),
+                    ("weight", net.link_index(1, 0), 2.5)]:
+            replay(spt, net, mirror, ops, failed)
+        assert spt.stats.fallback_plateau == 0
+        assert spt.stats.event_fallbacks == 0
+        _, cold = cold_state(net, mirror, failed, 9)
+        live = spt.dag(9)
+        assert live.distances == cold.distances
+        assert live.next_hops == cold.next_hops
+
+    def test_event_near_plateau_still_falls_back(self):
+        net, weights = self.make_line()
+        spt = DynamicSPT(net, weights.copy(), destinations=[9], tolerance=TOLERANCE)
+        mirror, failed = weights.copy(), set()
+        # Improving (7, 8) moves distances right next to the plateau link:
+        # the scoped check must refuse the incremental shortcut...
+        replay(spt, net, mirror, ("weight", net.link_index(7, 8), 0.5), failed)
+        assert spt.stats.fallback_plateau >= 1
+        # ...and the verified rebuild still matches the cold DAG exactly.
+        _, cold = cold_state(net, mirror, failed, 9)
+        live = spt.dag(9)
+        assert live.distances == cold.distances
+        assert live.next_hops == cold.next_hops
+
+
+class TestStatsUnits:
+    def test_event_fallback_rate_counts_events_not_updates(self):
+        from repro.online.dspt import DsptStats
+
+        stats = DsptStats(
+            events=4,
+            incremental_updates=396,
+            fallback_cone=4,
+            events_with_fallback=1,
+        )
+        # The deprecated per-update rate drowns one bad event in the other
+        # destinations' incremental updates; the per-event rate does not.
+        assert stats.fallback_rate == pytest.approx(4 / 400)
+        assert stats.event_fallback_rate == pytest.approx(1 / 4)
+
+    def test_rates_zero_when_idle(self):
+        from repro.online.dspt import DsptStats
+
+        stats = DsptStats()
+        assert stats.fallback_rate == 0.0
+        assert stats.event_fallback_rate == 0.0
+
+
+class TestTunedMaxAffectedFraction:
+    def test_dense_graphs_get_the_high_threshold(self):
+        from repro.online.dspt import (
+            DENSE_CONE_FRACTION,
+            SPARSE_CONE_FRACTION,
+            tuned_max_affected_fraction,
+        )
+        from repro.topology.backbones import abilene_network
+        from repro.topology.generators import rand100, rand500
+
+        assert tuned_max_affected_fraction(rand100()) == DENSE_CONE_FRACTION
+        assert tuned_max_affected_fraction(rand500()) == DENSE_CONE_FRACTION
+        # Abilene: 11 nodes — small backbones keep the conservative default.
+        assert tuned_max_affected_fraction(abilene_network()) == SPARSE_CONE_FRACTION
+
+    def test_engine_defaults_to_the_tuned_threshold(self):
+        from repro.online.dspt import tuned_max_affected_fraction
+        from repro.topology.generators import rand100
+
+        net = rand100()
+        dest = net.nodes[0]
+        spt = DynamicSPT(net, np.ones(net.num_links), destinations=[dest])
+        assert spt.max_affected_fraction == tuned_max_affected_fraction(net)
+        pinned = DynamicSPT(
+            net, np.ones(net.num_links), destinations=[dest], max_affected_fraction=0.25
+        )
+        assert pinned.max_affected_fraction == 0.25

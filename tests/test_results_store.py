@@ -115,6 +115,27 @@ def test_run_resolution(store):
         ResultsStore(store.path).get_run("latest:nope")
 
 
+def test_run_resolution_ancestry(store):
+    """``latest~N`` walks back N runs, git-style, within the selected family."""
+    first = store.record_run(_bench_manifest(), RECORDS[:1])
+    second = store.record_run(_bench_manifest(), RECORDS[:1])
+    other = store.record_run(_bench_manifest(benchmark="online-controller"), RECORDS[1:])
+
+    assert store.get_run("latest~0").run_id == other
+    assert store.get_run("latest~1").run_id == second
+    assert store.get_run("latest~2").run_id == first
+    # Scoped ancestry: the previous run *of the same benchmark*, so CI can
+    # diff consecutive sweeps.
+    assert store.get_run("latest~1:routing-backend").run_id == first
+    assert store.get_run("latest~0:online-controller").run_id == other
+    with pytest.raises(ResultsStoreError):
+        store.get_run("latest~3")  # only three runs exist
+    with pytest.raises(ResultsStoreError):
+        store.get_run("latest~1:online-controller")  # no earlier run
+    with pytest.raises(ResultsStoreError):
+        store.get_run("latest~x")  # malformed back-count
+
+
 def test_delete_run_cascades(store):
     run_id = store.record_run(_bench_manifest(), RECORDS)
     assert store.delete_run(run_id) == run_id

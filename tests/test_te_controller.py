@@ -650,3 +650,103 @@ class TestRunnerIncrementalPath:
         # key space: no collisions with the incremental entries.
         runner.run(abilene, abilene_tm, scenarios, ["OSPF"])
         assert runner.last_stats.cache_hits == 0
+
+
+# ----------------------------------------------------------------------
+# shared compiled baselines (snapshot / from_snapshot) and delta loads
+# ----------------------------------------------------------------------
+class TestSnapshotBaseline:
+    def test_from_snapshot_matches_parent_without_cold_builds(self, abilene, abilene_tm):
+        parent = TEController(abilene, abilene_tm)
+        parent.link_loads()  # compile the baseline before freezing it
+        warm = TEController.from_snapshot(abilene, parent.snapshot())
+        # Adoption must not pay any per-destination cold Dijkstra.
+        assert warm.spt.stats.initial_builds == 0
+        np.testing.assert_allclose(
+            warm.link_loads(), parent.link_loads(), atol=TOLERANCE, rtol=0
+        )
+        scenarios = single_link_failures(abilene)[:6]
+        for mine, theirs in zip(
+            warm.sweep_pure_failures(scenarios), parent.sweep_pure_failures(scenarios)
+        ):
+            assert mine.mlu == pytest.approx(theirs.mlu, abs=TOLERANCE)
+            assert mine.connected == theirs.connected
+            np.testing.assert_allclose(
+                mine.loads, theirs.loads, atol=TOLERANCE, rtol=0
+            )
+
+    def test_snapshot_survives_pickling(self, abilene, abilene_tm):
+        import pickle
+
+        parent = TEController(abilene, abilene_tm)
+        wire = pickle.loads(pickle.dumps(parent.snapshot()))
+        warm = TEController.from_snapshot(abilene, wire)
+        np.testing.assert_allclose(
+            warm.link_loads(), parent.link_loads(), atol=TOLERANCE, rtol=0
+        )
+
+    def test_snapshot_topology_mismatch_raises(self, abilene, abilene_tm, fig4):
+        snapshot = TEController(abilene, abilene_tm).snapshot()
+        with pytest.raises(EventError, match="does not match"):
+            TEController.from_snapshot(fig4, snapshot)
+
+
+class TestDeltaLoads:
+    def test_event_by_event_loads_match_fresh_controller(self, abilene, abilene_tm):
+        """The subtree delta-load path equals a cold rebuild after every event."""
+        controller = TEController(abilene, abilene_tm)
+        failed: list = []
+        for edge in [abilene.links[3].endpoints, abilene.links[11].endpoints]:
+            controller.apply(LinkFailure(link=edge))
+            failed.append(edge)
+            fresh = TEController(abilene, abilene_tm)
+            for down in failed:
+                fresh.apply(LinkFailure(link=down))
+            np.testing.assert_allclose(
+                controller.link_loads(), fresh.link_loads(), atol=TOLERANCE, rtol=0
+            )
+        # Recovery walks the same path in reverse.
+        controller.apply(LinkRecovery(link=failed.pop()))
+        fresh = TEController(abilene, abilene_tm)
+        fresh.apply(LinkFailure(link=failed[0]))
+        np.testing.assert_allclose(
+            controller.link_loads(), fresh.link_loads(), atol=TOLERANCE, rtol=0
+        )
+
+
+class TestSetupAmortisation:
+    def test_parallel_setup_runtime_sums_to_run_setup_seconds(self, abilene, abilene_tm):
+        """Invariant: per-cell setup shares add up to the run's setup clock."""
+        runner = BatchRunner(cache_dir=False, max_workers=2)
+        results = runner.run(
+            abilene, abilene_tm, single_link_failures(abilene), ["OSPF"]
+        )
+        stats = runner.last_stats
+        assert stats.workers == 2 and stats.cache_hits == 0
+        assert stats.setup_seconds == pytest.approx(
+            sum(result.setup_runtime for result in results), rel=1e-9
+        )
+        assert all(result.error is None for result in results)
+
+    def test_lone_candidate_rides_warm_baseline(self, abilene, abilene_tm):
+        """One eligible scenario goes incremental iff a baseline is supplied."""
+        spec = ProtocolSpec.of("OSPF")
+        scenario = single_link_failures(abilene)[0]
+        controller = TEController(
+            abilene, abilene_tm, weights=incremental_sweep_weights(spec.build(), abilene)
+        )
+        baseline = controller.snapshot()
+
+        cold = evaluate_scenarios(abilene, abilene_tm, [scenario], spec)[0]
+        warm = evaluate_scenarios(
+            abilene, abilene_tm, [scenario], spec, baseline=baseline
+        )[0]
+        # Cold path: a lone candidate without a snapshot is cheaper per cell
+        # and carries no amortised setup. Warm path: the adopted snapshot
+        # charges its (tiny) construction to setup_runtime.
+        assert cold.setup_runtime == 0.0
+        assert warm.setup_runtime > 0.0
+        assert warm.error is None
+        assert warm.mlu == pytest.approx(cold.mlu, abs=TOLERANCE)
+        assert warm.utility == pytest.approx(cold.utility, abs=1e-6)
+        assert warm.dropped_volume == pytest.approx(cold.dropped_volume, abs=TOLERANCE)

@@ -16,6 +16,7 @@ from repro.topology.generators import (
     rand50a,
     rand50b,
     rand100,
+    rand500,
     random_network,
 )
 from repro.topology.paper_examples import (
@@ -28,6 +29,7 @@ from repro.topology.paper_examples import (
 )
 from repro.topology.rocketfuel import (
     ROCKETFUEL_PROFILES,
+    ROCKETFUEL_ROUTER_PROFILES,
     degree_profile,
     parse_rocketfuel,
     synthetic_rocketfuel,
@@ -152,6 +154,7 @@ class TestGenerators:
             (rand50a, 50, 242),
             (rand50b, 50, 230),
             (rand100, 100, 392),
+            (rand500, 500, 2000),
         ],
     )
     def test_table3_instances(self, builder, nodes, links):
@@ -168,9 +171,32 @@ class TestRocketfuel:
         assert net.num_nodes == nodes
         assert net.num_links == links
 
+    def test_router_level_profile_sizes(self):
+        net = synthetic_rocketfuel(1239, level="router")
+        name, nodes, links = ROCKETFUEL_ROUTER_PROFILES[1239]
+        assert net.num_nodes == nodes
+        assert net.num_links == links
+        assert net.name == "AS1239-Sprint-R"
+        assert net.is_strongly_connected()
+
+    def test_router_profiles_larger_than_pop(self):
+        for asn, (_, pop_nodes, _) in ROCKETFUEL_PROFILES.items():
+            assert ROCKETFUEL_ROUTER_PROFILES[asn][1] > pop_nodes
+
     def test_unknown_asn_rejected(self):
         with pytest.raises(ValueError):
             synthetic_rocketfuel(9999)
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            synthetic_rocketfuel(1239, level="metro")
+
+    def test_synthetic_deterministic_under_fixed_seed(self):
+        a = synthetic_rocketfuel(3257, seed=7)
+        b = synthetic_rocketfuel(3257, seed=7)
+        assert a.edges == b.edges
+        assert list(a.capacities) == list(b.capacities)
+        assert a.edges != synthetic_rocketfuel(3257, seed=8).edges
 
     def test_roundtrip_through_file(self, tmp_path):
         net = synthetic_rocketfuel(6461)
@@ -179,6 +205,12 @@ class TestRocketfuel:
         parsed = parse_rocketfuel(path, duplex=False)
         assert parsed.num_nodes == net.num_nodes
         assert parsed.num_links == net.num_links
+        # The exact edge list and capacities survive the round trip (node
+        # identifiers come back as strings).
+        assert [(str(u), str(v)) for u, v in net.edges] == parsed.edges
+        assert [link.capacity for link in net.links] == [
+            link.capacity for link in parsed.links
+        ]
 
     def test_parse_adds_reverse_links_in_duplex_mode(self, tmp_path):
         path = tmp_path / "tiny.txt"
