@@ -89,6 +89,6 @@ class BenchRecorder:
         )
         with ResultsStore() as store:
             run_id = store.record_run(manifest, self.records)
-            if self.artifact is not None and not smoke_bench():
+            if self.artifact is not None and full_bench() and not smoke_bench():
                 store.export_bench_view(self.benchmark, run=run_id, path=self.artifact)
         return run_id

@@ -1,0 +1,59 @@
+"""BenchRecorder artifact discipline: only full-mode runs rewrite committed views.
+
+The committed ``BENCH_*.json`` files are full-bench exports (see the
+:class:`bench_utils.BenchRecorder` docstring).  A default quick-mode or CI
+smoke-mode pytest run must still record into the results store — that is how
+``repro results diff`` gates regressions — but must never overwrite the
+committed artifact with a lower-resolution view.
+"""
+
+from __future__ import annotations
+
+import json
+
+from bench_utils import BenchRecorder
+
+RECORD = {
+    "topology": "abilene",
+    "workload": "split-ratio",
+    "nodes": 11,
+    "links": 28,
+    "matrices": 12,
+    "python_seconds": 0.07,
+    "sparse_seconds": 0.012,
+    "speedup": 5.83,
+    "max_abs_load_diff": 1.8e-15,
+}
+
+COMMITTED = "committed full-bench view\n"
+
+
+def _finalize(tmp_path, monkeypatch, artifact, **env):
+    monkeypatch.setenv("REPRO_RESULTS_DB", str(tmp_path / "results.sqlite"))
+    for key in ("REPRO_FULL_BENCH", "REPRO_BENCH_SMOKE"):
+        monkeypatch.delenv(key, raising=False)
+    for key, value in env.items():
+        monkeypatch.setenv(key, value)
+    recorder = BenchRecorder("routing-backend", artifact)
+    recorder.add(dict(RECORD))
+    return recorder.finalize()
+
+
+def test_quick_and_smoke_runs_keep_the_committed_artifact(tmp_path, monkeypatch):
+    artifact = tmp_path / "BENCH_view.json"
+    artifact.write_text(COMMITTED)
+    # Quick mode (no env flags): recorded in the store, artifact untouched.
+    assert _finalize(tmp_path, monkeypatch, artifact) is not None
+    assert artifact.read_text() == COMMITTED
+    # CI smoke mode: same discipline.
+    assert _finalize(tmp_path, monkeypatch, artifact, REPRO_BENCH_SMOKE="1") is not None
+    assert artifact.read_text() == COMMITTED
+
+
+def test_full_mode_reexports_the_committed_view(tmp_path, monkeypatch):
+    artifact = tmp_path / "BENCH_view.json"
+    artifact.write_text("stale\n")
+    assert _finalize(tmp_path, monkeypatch, artifact, REPRO_FULL_BENCH="1") is not None
+    view = json.loads(artifact.read_text())
+    assert view["full_bench"] is True
+    assert view["results"][0]["speedup"] == 5.83
