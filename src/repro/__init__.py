@@ -48,7 +48,7 @@ from .results import ResultsStore, RunManifest
 from .routing import CompiledDagSet, SparseRouter, batched_link_loads
 from .scenarios import BatchRunner, ProtocolSpec, Scenario, ScenarioResult
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "core",

@@ -16,8 +16,15 @@ later (by a human or by CI):
 * ``repro trace {sweep,replay}`` — the same sweep/replay commands run
   under an active :mod:`repro.obs` telemetry session: spans, counters and
   histograms land in a ``trace.jsonl`` file (``--trace``), with an
-  optional compact text summary (``--summary``); ``trace sweep`` forces
-  the result cache off so every instrumented path actually executes;
+  optional compact text summary (``--summary``), a Chrome trace-event
+  export (``--chrome-trace``), a collapsed-stack flamegraph
+  (``--flamegraph``) and opt-in per-span memory tracking (``--memory``);
+  ``trace sweep`` forces the result cache off so every instrumented path
+  actually executes; traced runs persist per-span timing aggregates
+  (``scenario="__profile__"``) into the store;
+* ``repro results perf`` — span self-time trends over those profile
+  records, and ``--gate BASE..HEAD``, the statistical (median ± k·MAD)
+  regression gate CI runs against ``latest~1``;
 * ``repro results {list,show,query,diff,export,import,delete,gc,plot}`` —
   the store's query surface (``gc --keep-last N`` is the retention knob;
   ``list``/``show``/``query`` take ``--format table|csv|json``).  ``diff``
@@ -42,11 +49,14 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from .analysis.reporting import format_robustness_summary, format_table
-from .obs import telemetry
+from .obs import profile_records, telemetry, write_chrome_trace, write_flamegraph
 from .results import (
     AGGREGATIONS,
     FORMATS,
+    PNG_BACKENDS,
+    PROFILE_SCENARIO,
     VIEW_FILENAMES,
+    PerfError,
     PlotError,
     ResultsStore,
     ResultsStoreError,
@@ -55,10 +65,12 @@ from .results import (
     format_output,
     load_bench_view,
     metric_trend,
+    profile_rows,
     render_terminal,
     scenario_set_fingerprint,
     write_png,
 )
+from .results import gate as perf_gate
 from .scenarios import (
     BatchRunner,
     ProtocolSpec,
@@ -353,13 +365,15 @@ def cmd_replay(args: argparse.Namespace) -> int:
                 "elapsed": replay.elapsed,
                 "incremental_updates": float(stats.incremental_updates),
                 "full_rebuilds": float(stats.full_rebuilds),
-                "dspt_fallback_rate": stats.fallback_rate,
+                "dspt_fallback_rate": stats._per_update_fallback_rate(),
                 "dspt_event_fallback_rate": stats.event_fallback_rate,
             },
         )
-        run_id = store.record_run(
-            manifest, [{**row, "topology": network.name} for row in rows]
-        )
+        records = [{**row, "topology": network.name} for row in rows]
+        # Traced replays persist per-span aggregates for `repro results perf`
+        # (untraced replays stay record-identical to previous releases).
+        records.extend(profile_records(telemetry.get(), network.name))
+        run_id = store.record_run(manifest, records)
         print(f"recorded run {run_id} in {store.path}")
     return 0
 
@@ -377,7 +391,9 @@ def cmd_trace(args: argparse.Namespace) -> int:
     if args.trace_command == "sweep":
         args.no_cache = True
     wrapped = cmd_sweep if args.trace_command == "sweep" else cmd_replay
-    registry = telemetry.TelemetryRegistry(label=f"trace-{args.trace_command}")
+    registry = telemetry.TelemetryRegistry(
+        label=f"trace-{args.trace_command}", memory=args.memory
+    )
     telemetry.activate(registry)
     try:
         status = wrapped(args)
@@ -385,6 +401,14 @@ def cmd_trace(args: argparse.Namespace) -> int:
         telemetry.deactivate()
     lines = registry.export_jsonl(args.trace)
     print(f"\nwrote {lines} trace line(s) to {args.trace}")
+    if args.chrome_trace:
+        events = write_chrome_trace(args.chrome_trace, registry)
+        print(f"wrote {events} trace event(s) to {args.chrome_trace} "
+              "(load in Perfetto / chrome://tracing)")
+    if args.flamegraph:
+        stacks = write_flamegraph(args.flamegraph, registry)
+        print(f"wrote {stacks} collapsed stack(s) to {args.flamegraph} "
+              "(render with speedscope / flamegraph.pl)")
     if args.summary:
         print()
         print(registry.summary())
@@ -502,8 +526,67 @@ def cmd_results_plot(args: argparse.Namespace) -> int:
     print()
     print(render_terminal(series, args.metric))
     if args.png:
-        backend = write_png(args.png, series, args.metric)
+        backend = write_png(args.png, series, args.metric, backend=args.png_backend)
         print(f"\nwrote {args.png} ({backend} backend)")
+    return 0
+
+
+def cmd_results_perf(args: argparse.Namespace) -> int:
+    """``repro results perf``: span-timing trends and the regression gate.
+
+    Without ``--gate``, renders per-span self-time trends over the stored
+    ``__profile__`` records (the same sparkline machinery as ``results
+    plot``).  With ``--gate BASE..HEAD``, compares HEAD's spans against the
+    run history ending at BASE (median ± k·MAD noise band, absolute and
+    relative floors) and exits 1 when any span regressed.
+    """
+    with _open_store(args) as store:
+        if args.gate:
+            base_ref, separator, head_ref = args.gate.partition("..")
+            if not separator or not base_ref or not head_ref:
+                raise CLIError(
+                    f"malformed --gate reference {args.gate!r} (expected BASE..HEAD, "
+                    "e.g. 'latest~1:sweep..latest:sweep')"
+                )
+            report = perf_gate(
+                store,
+                base_ref,
+                head_ref,
+                metric=args.metric,
+                k=args.k,
+                min_seconds=args.min_seconds,
+                rel_floor=args.rel_floor,
+                window=args.window,
+            )
+            print(report.summary())
+            shown = [v for v in report.verdicts if v.regressed or args.all]
+            if shown:
+                print()
+                print(format_table([verdict.as_row() for verdict in shown]))
+            if not report.ok:
+                print(f"\nFAIL: {len(report.regressions)} span(s) regressed "
+                      f"beyond the noise band")
+                return 1
+            print("\nOK: no span regressed beyond the noise band")
+            return 0
+        rows = profile_rows(
+            store,
+            kind=args.kind,
+            topology=args.topology,
+            span=args.span,
+            limit=args.limit,
+        )
+        if not rows:
+            print(f"no {PROFILE_SCENARIO!r} records in {store.path} — profile "
+                  "records are written by `repro trace` runs")
+            return 0
+        series = metric_trend(rows, args.metric, agg="sum", by="span")
+        if args.last is not None:
+            for s in series:
+                del s.points[: max(0, len(s.points) - args.last)]
+        print(f"{args.metric} per span (sum per run, oldest → newest)")
+        print()
+        print(render_terminal(series, args.metric))
     return 0
 
 
@@ -711,6 +794,15 @@ def build_parser() -> argparse.ArgumentParser:
         add_arguments(traced)
         traced.add_argument("--trace", default="trace.jsonl", metavar="PATH",
                             help="JSON-lines trace output path (default: trace.jsonl)")
+        traced.add_argument("--chrome-trace", default=None, metavar="PATH",
+                            help="also write a Chrome trace-event JSON "
+                            "(Perfetto / chrome://tracing)")
+        traced.add_argument("--flamegraph", default=None, metavar="PATH",
+                            help="also write a collapsed-stack flamegraph file "
+                            "(speedscope / flamegraph.pl)")
+        traced.add_argument("--memory", action="store_true",
+                            help="track per-span allocations via tracemalloc "
+                            "(slower; adds alloc/peak bytes to span records)")
         traced.add_argument("--summary", action="store_true",
                             help="also print the compact telemetry summary")
         traced.set_defaults(handler=cmd_trace)
@@ -786,6 +878,10 @@ def build_parser() -> argparse.ArgumentParser:
     results_plot.add_argument("--png", default=None, metavar="PATH",
                               help="also write a PNG (matplotlib when available, "
                               "builtin raster writer otherwise)")
+    results_plot.add_argument("--png-backend", choices=PNG_BACKENDS, default="auto",
+                              help="PNG renderer: auto picks matplotlib when "
+                              "importable; builtin forces the pure-stdlib "
+                              "raster writer (default: auto)")
     results_plot.add_argument("--kind", default=None)
     results_plot.add_argument("--benchmark", default=None)
     results_plot.add_argument("--topology", default=None)
@@ -795,6 +891,44 @@ def build_parser() -> argparse.ArgumentParser:
     results_plot.add_argument("--limit", type=int, default=None,
                               help="consider only the newest N records")
     results_plot.set_defaults(handler=cmd_results_plot)
+
+    results_perf = results_sub.add_parser(
+        "perf",
+        parents=[store_parent],
+        help="span-timing trends over traced runs, and the --gate regression check",
+    )
+    results_perf.add_argument("--metric", default="self_seconds",
+                              help="profile record field to trend/gate "
+                              "(default: self_seconds)")
+    results_perf.add_argument("--span", default=None, metavar="NAME",
+                              help="restrict to one span name")
+    results_perf.add_argument("--kind", default=None,
+                              help="restrict to runs of this kind (sweep, replay)")
+    results_perf.add_argument("--topology", default=None)
+    results_perf.add_argument("--last", type=int, default=None, metavar="N",
+                              help="show only the newest N runs per span trend")
+    results_perf.add_argument("--limit", type=int, default=None,
+                              help="consider only the newest N profile records")
+    results_perf.add_argument("--gate", default=None, metavar="BASE..HEAD",
+                              help="regression gate: compare HEAD's span timings "
+                              "against the run history ending at BASE "
+                              "(e.g. 'latest~1:sweep..latest:sweep'); exits 1 "
+                              "on regressions")
+    results_perf.add_argument("--k", type=float, default=5.0,
+                              help="MAD multiplier for the noise band (default: 5)")
+    results_perf.add_argument("--min-seconds", type=float, default=0.005,
+                              help="absolute floor below which a span never "
+                              "regresses (default: 0.005)")
+    results_perf.add_argument("--rel-floor", type=float, default=0.5,
+                              help="relative floor as a fraction of the baseline "
+                              "median (default: 0.5)")
+    results_perf.add_argument("--window", type=int, default=10,
+                              help="baseline history window in runs, walking back "
+                              "from BASE (default: 10)")
+    results_perf.add_argument("--all", action="store_true",
+                              help="with --gate, show every gated span, not only "
+                              "regressions")
+    results_perf.set_defaults(handler=cmd_results_perf)
 
     results_diff = results_sub.add_parser(
         "diff",
@@ -863,7 +997,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.handler(args)
-    except (CLIError, PlotError, ResultsStoreError, RunnerError) as exc:
+    except (CLIError, PerfError, PlotError, ResultsStoreError, RunnerError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     except BrokenPipeError:  # e.g. `repro results query | head`

@@ -3,8 +3,18 @@
 See :mod:`repro.obs.telemetry` for the trace schema and usage.  The layer
 is stdlib-only and costs one ``is None`` check per instrumentation site
 when disabled, so it is safe to leave wired through the hot paths.
+:mod:`repro.obs.profiling` turns recorded registries into flamegraphs,
+Chrome traces and results-store perf records.
 """
 
+from .profiling import (
+    chrome_trace,
+    collapsed_stacks,
+    load_trace,
+    profile_records,
+    write_chrome_trace,
+    write_flamegraph,
+)
 from .telemetry import (
     DEFAULT_FRACTION_EDGES,
     Histogram,
@@ -26,11 +36,17 @@ __all__ = [
     "Span",
     "TelemetryRegistry",
     "activate",
+    "chrome_trace",
+    "collapsed_stacks",
     "count",
     "deactivate",
     "enabled",
     "get",
+    "load_trace",
     "observe",
+    "profile_records",
     "session",
     "span",
+    "write_chrome_trace",
+    "write_flamegraph",
 ]

@@ -29,20 +29,39 @@ Concepts
 Trace schema (``trace.jsonl``)
 ------------------------------
 One JSON object per line, ``sort_keys=True`` throughout, so exporting the
-same registry twice yields byte-identical files:
+same registry twice yields byte-identical files.  Schema 2 (current;
+schema-1 files remain importable via
+:func:`repro.obs.profiling.load_trace`):
 
-* ``{"type": "meta", "label": ..., "created_at": ..., "schema": 1}`` —
-  first line, stamped once at registry creation.
+* ``{"type": "meta", "label": ..., "created_at": ..., "schema": 2}`` —
+  first line, stamped once at registry creation.  Registries created with
+  ``memory=True`` also carry ``"memory": true`` and ``"peak_rss_kb"`` (the
+  process peak RSS frozen at the first export/finalize).
 * ``{"type": "span", "id": ..., "parent": ..., "depth": ..., "name": ...,
-  "tags": {...}, "start": ..., "wall": ..., "cpu": ...,
+  "tags": {...}, "start": ..., "wall": ..., "cpu": ..., "self": ...,
   "status": "ok"|"error", "error": ...}`` — ``start`` is seconds since the
-  registry was created; ``wall``/``cpu`` are durations in seconds.
+  registry was created; ``wall``/``cpu`` are durations in seconds;
+  ``self`` is the span's *self time* (wall minus direct children's wall,
+  clamped at zero).  Memory-tracked spans additionally carry ``alloc``
+  (net bytes allocated over the span) and ``peak`` (peak traced bytes
+  above the span's entry level).
+* ``{"type": "span_stats", "name": ..., "count": ..., "wall": ...,
+  "cpu": ..., "self": ..., "self_p50": ..., "self_p95": ...,
+  "self_max": ...}`` — per-span-name aggregates (nearest-rank
+  percentiles over self time); sorted by name.
+* ``{"type": "span_tree", "path": "a;b;c", "count": ..., "wall": ...,
+  "self": ...}`` — call-tree aggregation keyed by the ``;``-joined span
+  name path from the root; sorted by path.
 * ``{"type": "counter", "name": ..., "tags": {...}, "value": ...}`` —
   sorted by (name, tags).
 * ``{"type": "histogram", "name": ..., "edges": [...], "counts": [...],
   "count": ..., "sum": ..., "min": ..., "max": ...}`` — ``counts`` has
   ``len(edges) + 1`` entries (the last is the overflow bucket); sorted by
   name.
+
+``span_stats`` and ``span_tree`` lines are *derived* — importers rebuild
+them from the span lines, which is what keeps a load → re-export round
+trip byte-identical.
 
 Usage
 -----
@@ -62,7 +81,9 @@ from __future__ import annotations
 
 import io
 import json
+import math
 import time
+import tracemalloc
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
@@ -110,9 +131,11 @@ class Span:
     cpu: float = 0.0
     status: str = "open"  # "open" | "ok" | "error"
     error: Optional[str] = None
+    alloc: Optional[int] = None  # net traced bytes (memory-tracked registries)
+    peak: Optional[int] = None  # peak traced bytes above entry level
 
     def as_record(self) -> Dict[str, object]:
-        return {
+        record: Dict[str, object] = {
             "type": "span",
             "id": self.span_id,
             "parent": self.parent_id,
@@ -125,6 +148,11 @@ class Span:
             "status": self.status,
             "error": self.error,
         }
+        if self.alloc is not None:
+            record["alloc"] = self.alloc
+        if self.peak is not None:
+            record["peak"] = self.peak
+        return record
 
 
 @dataclass
@@ -196,17 +224,39 @@ class Histogram:
         }
 
 
-class TelemetryRegistry:
-    """In-process collection of spans, counters and histograms."""
+def _nearest_rank(sorted_values: Sequence[float], quantile: float) -> float:
+    """Nearest-rank percentile over an ascending-sorted non-empty sequence."""
+    rank = max(1, math.ceil(quantile * len(sorted_values)))
+    return sorted_values[min(rank, len(sorted_values)) - 1]
 
-    def __init__(self, label: str = "") -> None:
+
+class TelemetryRegistry:
+    """In-process collection of spans, counters and histograms.
+
+    ``memory=True`` additionally tracks per-span allocation via
+    :mod:`tracemalloc` (started here if not already tracing, stopped again
+    by :meth:`finalize`): each span records the net bytes allocated across
+    it (``alloc``) and the peak traced size above its entry level
+    (``peak``), with child peaks folded into their ancestors so a parent's
+    peak covers its whole subtree.
+    """
+
+    def __init__(self, label: str = "", memory: bool = False) -> None:
         self.label = label
         self.created_at = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
         self.spans: List[Span] = []
         self.counters: Dict[Tuple[str, TagsKey], float] = {}
         self.histograms: Dict[str, Histogram] = {}
+        self.memory = bool(memory)
+        self.peak_rss_kb: Optional[int] = None
         self._stack: List[Span] = []
         self._wall_epoch = time.perf_counter()
+        self._mem_base: Dict[int, int] = {}
+        self._mem_peaks: Dict[int, int] = {}
+        self._owns_tracemalloc = False
+        if self.memory and not tracemalloc.is_tracing():
+            tracemalloc.start()
+            self._owns_tracemalloc = True
 
     # ------------------------------------------------------------------
     # recording
@@ -225,6 +275,16 @@ class TelemetryRegistry:
         )
         self.spans.append(record)
         self._stack.append(record)
+        if self.memory:
+            # tracemalloc's peak is global, so fold the running peak into
+            # the parent's pending peak before resetting it for this span.
+            current, interval_peak = tracemalloc.get_traced_memory()
+            if parent is not None:
+                self._mem_peaks[parent.span_id] = max(
+                    self._mem_peaks.get(parent.span_id, 0), interval_peak
+                )
+            tracemalloc.reset_peak()
+            self._mem_base[record.span_id] = current
         wall0 = time.perf_counter()
         cpu0 = time.process_time()
         try:
@@ -238,6 +298,16 @@ class TelemetryRegistry:
         finally:
             record.wall = time.perf_counter() - wall0
             record.cpu = time.process_time() - cpu0
+            if self.memory:
+                current, interval_peak = tracemalloc.get_traced_memory()
+                base = self._mem_base.pop(record.span_id, 0)
+                peak_abs = max(interval_peak, self._mem_peaks.pop(record.span_id, 0))
+                record.alloc = current - base
+                record.peak = max(0, peak_abs - base)
+                if parent is not None:
+                    self._mem_peaks[parent.span_id] = max(
+                        self._mem_peaks.get(parent.span_id, 0), peak_abs
+                    )
             self._stack.pop()
 
     def count(self, name: str, value: float = 1, **tags: object) -> None:
@@ -276,6 +346,120 @@ class TelemetryRegistry:
             totals[record.name] = (count_ + 1, wall + record.wall, cpu + record.cpu)
         return totals
 
+    def self_times(self) -> Dict[int, float]:
+        """Per-span *self* wall time: own wall minus direct children's wall.
+
+        Computed over the 9-decimal-rounded walls that the trace schema
+        serialises, so re-deriving self times from an imported trace yields
+        exactly the values the original registry exported.  Clamped at zero
+        (float round-off can push a fully-delegating parent slightly
+        negative).
+        """
+        child_wall: Dict[int, float] = {}
+        for record in self.spans:
+            if record.parent_id is not None:
+                child_wall[record.parent_id] = child_wall.get(
+                    record.parent_id, 0.0
+                ) + round(record.wall, 9)
+        return {
+            record.span_id: max(
+                0.0, round(record.wall, 9) - child_wall.get(record.span_id, 0.0)
+            )
+            for record in self.spans
+        }
+
+    def span_stats(self) -> List[Dict[str, object]]:
+        """Per-span-name aggregates: count, wall/cpu/self totals, self percentiles.
+
+        One ``span_stats`` record per distinct span name, sorted by name —
+        exactly the derived lines :meth:`export_jsonl` writes.  Percentiles
+        are nearest-rank over the per-occurrence self times (deterministic,
+        no interpolation).
+        """
+        selfs = self.self_times()
+        per_name: Dict[str, List[Span]] = {}
+        for record in self.spans:
+            per_name.setdefault(record.name, []).append(record)
+        stats: List[Dict[str, object]] = []
+        for name in sorted(per_name):
+            records = per_name[name]
+            self_values = sorted(selfs[record.span_id] for record in records)
+            stats.append(
+                {
+                    "type": "span_stats",
+                    "name": name,
+                    "count": len(records),
+                    "wall": round(sum(round(r.wall, 9) for r in records), 9),
+                    "cpu": round(sum(round(r.cpu, 9) for r in records), 9),
+                    "self": round(sum(self_values), 9),
+                    "self_p50": round(_nearest_rank(self_values, 0.50), 9),
+                    "self_p95": round(_nearest_rank(self_values, 0.95), 9),
+                    "self_max": round(self_values[-1], 9),
+                }
+            )
+        return stats
+
+    def span_tree(self) -> List[Dict[str, object]]:
+        """Call-tree aggregation: one record per distinct root→span name path.
+
+        Paths join span names with ``;`` (the collapsed-stack convention),
+        aggregating every occurrence of the same path; sorted by path.
+        """
+        selfs = self.self_times()
+        by_id = {record.span_id: record for record in self.spans}
+        paths: Dict[int, str] = {}
+
+        def path_of(record: Span) -> str:
+            cached = paths.get(record.span_id)
+            if cached is not None:
+                return cached
+            if record.parent_id is not None and record.parent_id in by_id:
+                path = path_of(by_id[record.parent_id]) + ";" + record.name
+            else:
+                path = record.name
+            paths[record.span_id] = path
+            return path
+
+        aggregated: Dict[str, List[float]] = {}
+        for record in self.spans:
+            entry = aggregated.setdefault(path_of(record), [0, 0.0, 0.0])
+            entry[0] += 1
+            entry[1] += round(record.wall, 9)
+            entry[2] += selfs[record.span_id]
+        return [
+            {
+                "type": "span_tree",
+                "path": path,
+                "count": int(aggregated[path][0]),
+                "wall": round(aggregated[path][1], 9),
+                "self": round(aggregated[path][2], 9),
+            }
+            for path in sorted(aggregated)
+        ]
+
+    def finalize(self) -> None:
+        """Stop owned memory tracing and freeze the process peak RSS.
+
+        Idempotent; a no-op for registries created without ``memory=True``.
+        Called automatically by :func:`deactivate`, :func:`session` exit and
+        the first :meth:`export_jsonl`, so the exported ``peak_rss_kb`` is
+        stable across repeated exports.
+        """
+        if not self.memory:
+            return
+        if self.peak_rss_kb is None:
+            try:
+                import resource
+
+                self.peak_rss_kb = int(
+                    resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+                )
+            except ImportError:  # pragma: no cover - non-POSIX platforms
+                self.peak_rss_kb = 0
+        if self._owns_tracemalloc and tracemalloc.is_tracing():
+            tracemalloc.stop()
+            self._owns_tracemalloc = False
+
     # ------------------------------------------------------------------
     # cross-process transport
     # ------------------------------------------------------------------
@@ -308,6 +492,8 @@ class TelemetryRegistry:
             if label and "worker" not in tags:
                 tags["worker"] = label
             parent = record.get("parent")
+            alloc = record.get("alloc")
+            peak = record.get("peak")
             self.spans.append(
                 Span(
                     span_id=int(record["id"]) + offset,
@@ -320,6 +506,8 @@ class TelemetryRegistry:
                     cpu=float(record.get("cpu", 0.0)),
                     status=str(record.get("status", "ok")),
                     error=record.get("error"),  # type: ignore[arg-type]
+                    alloc=int(alloc) if alloc is not None else None,  # type: ignore[arg-type]
+                    peak=int(peak) if peak is not None else None,  # type: ignore[arg-type]
                 )
             )
         for record in payload.get("counters", ()):  # type: ignore[union-attr]
@@ -350,21 +538,35 @@ class TelemetryRegistry:
     def export_jsonl(self, path: object) -> int:
         """Write the trace as JSON lines; returns the number of lines.
 
-        Output ordering (meta, spans by id, counters sorted by name+tags,
-        histograms sorted by name) and ``sort_keys=True`` make repeated
-        exports of the same registry byte-identical.
+        Output ordering (meta, spans by id, span_stats by name, span_tree
+        by path, counters sorted by name+tags, histograms sorted by name)
+        and ``sort_keys=True`` make repeated exports of the same registry
+        byte-identical.
         """
+        self.finalize()
         buffer = io.StringIO()
-        meta = {
+        meta: Dict[str, object] = {
             "type": "meta",
-            "schema": 1,
+            "schema": 2,
             "label": self.label,
             "created_at": self.created_at,
         }
+        if self.memory:
+            meta["memory"] = True
+            meta["peak_rss_kb"] = self.peak_rss_kb
         lines = 1
         buffer.write(json.dumps(meta, sort_keys=True) + "\n")
+        selfs = self.self_times()
         for record in self.spans:
-            buffer.write(json.dumps(record.as_record(), sort_keys=True) + "\n")
+            row = record.as_record()
+            row["self"] = round(selfs[record.span_id], 9)
+            buffer.write(json.dumps(row, sort_keys=True) + "\n")
+            lines += 1
+        for row in self.span_stats():
+            buffer.write(json.dumps(row, sort_keys=True) + "\n")
+            lines += 1
+        for row in self.span_tree():
+            buffer.write(json.dumps(row, sort_keys=True) + "\n")
             lines += 1
         for (name, tags), value in sorted(self.counters.items()):
             record = {"type": "counter", "name": name, "tags": dict(tags), "value": value}
@@ -378,20 +580,50 @@ class TelemetryRegistry:
             handle.write(buffer.getvalue())
         return lines
 
+    #: Widest span-name column ``summary()`` will render before truncating.
+    SUMMARY_NAME_WIDTH = 48
+
     def summary(self) -> str:
-        """A compact human-readable digest of the registry."""
+        """A compact human-readable digest of the registry.
+
+        Span names render in a dynamically sized column capped at
+        :attr:`SUMMARY_NAME_WIDTH` characters (longer names are truncated
+        with an ellipsis); spans sort by descending total wall (name as the
+        tie-break), counters and histograms sort by name — the whole digest
+        is deterministic for a given registry.
+        """
         lines: List[str] = []
         title = f"telemetry summary — {self.label}" if self.label else "telemetry summary"
         lines.append(title)
-        totals = self.span_totals()
-        if totals:
+        stats = self.span_stats()
+        if stats:
             lines.append("spans:")
-            width = max(len(name) for name in totals)
-            for name in sorted(totals, key=lambda n: -totals[n][1]):
-                count_, wall, cpu = totals[name]
+            cap = self.SUMMARY_NAME_WIDTH
+
+            def clip(name: str) -> str:
+                return name if len(name) <= cap else name[: cap - 1] + "…"
+
+            width = min(cap, max(len(clip(str(row["name"]))) for row in stats))
+            for row in sorted(stats, key=lambda r: (-float(r["wall"]), str(r["name"]))):
                 lines.append(
-                    f"  {name:<{width}}  n={count_:<6d} wall={wall:9.4f}s cpu={cpu:9.4f}s"
+                    f"  {clip(str(row['name'])):<{width}}  n={row['count']:<6d}"
+                    f" wall={float(row['wall']):9.4f}s self={float(row['self']):9.4f}s"
+                    f" cpu={float(row['cpu']):9.4f}s p95={float(row['self_p95']):.4f}s"
                 )
+        if self.memory:
+            mem_spans = [s for s in self.spans if s.peak is not None]
+            if mem_spans:
+                lines.append("memory (top spans by peak):")
+                top = sorted(
+                    mem_spans, key=lambda s: (-(s.peak or 0), s.span_id)
+                )[:10]
+                for span_record in top:
+                    lines.append(
+                        f"  {span_record.name}: peak={span_record.peak or 0:,}B"
+                        f" alloc={span_record.alloc or 0:,}B"
+                    )
+            if self.peak_rss_kb:
+                lines.append(f"  process peak RSS: {self.peak_rss_kb:,} kB")
         names = sorted({name for name, _ in self.counters})
         if names:
             lines.append("counters:")
@@ -466,26 +698,35 @@ def activate(registry: Optional[TelemetryRegistry] = None) -> TelemetryRegistry:
 
 
 def deactivate() -> Optional[TelemetryRegistry]:
-    """Remove and return the active registry (telemetry goes quiet)."""
+    """Remove and return the active registry (telemetry goes quiet).
+
+    Finalizes the registry on the way out (stops owned memory tracing,
+    freezes the peak RSS) so callers can export it afterwards.
+    """
     global _ACTIVE
     registry, _ACTIVE = _ACTIVE, None
+    if registry is not None:
+        registry.finalize()
     return registry
 
 
 @contextmanager
-def session(label: str = "") -> Iterator[TelemetryRegistry]:
+def session(label: str = "", memory: bool = False) -> Iterator[TelemetryRegistry]:
     """Activate a fresh registry for the duration of a ``with`` block.
 
     The previous registry (if any) is restored on exit, so sessions nest
-    safely in tests.
+    safely in tests.  ``memory=True`` creates the registry with tracemalloc
+    span tracking (see :class:`TelemetryRegistry`); the tracer is stopped
+    again when the block exits.
     """
     global _ACTIVE
     previous = _ACTIVE
-    registry = TelemetryRegistry(label=label)
+    registry = TelemetryRegistry(label=label, memory=memory)
     _ACTIVE = registry
     try:
         yield registry
     finally:
+        registry.finalize()
         _ACTIVE = previous
 
 

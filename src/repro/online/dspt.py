@@ -55,6 +55,7 @@ from __future__ import annotations
 
 import heapq
 import logging
+import warnings
 from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
@@ -149,6 +150,11 @@ class DsptStats:
         """Per-destination event updates that abandoned the incremental path."""
         return self.fallback_cone + self.fallback_plateau + self.verify_mismatches
 
+    def _per_update_fallback_rate(self) -> float:
+        """The per-update rate without the deprecation warning (internal use)."""
+        attempts = self.incremental_updates + self.event_fallbacks
+        return self.event_fallbacks / attempts if attempts else 0.0
+
     @property
     def fallback_rate(self) -> float:
         """Fraction of per-destination *updates* that fell back (0.0 when idle).
@@ -158,12 +164,19 @@ class DsptStats:
             (event, destination) update attempts, so on a sweep with D
             destinations a single all-destination fallback event drowns in
             ``D`` incremental updates from every other event.  Kept (same
-            units as always) so ``repro results diff`` gates against stored
-            runs don't silently loosen; new code should read
+            units as always, now with a :class:`DeprecationWarning` on
+            access) so ``repro results diff`` gates against stored runs
+            don't silently loosen; new code should read
             :attr:`event_fallback_rate`.
         """
-        attempts = self.incremental_updates + self.event_fallbacks
-        return self.event_fallbacks / attempts if attempts else 0.0
+        warnings.warn(
+            "DsptStats.fallback_rate is deprecated since 1.7 (per-update "
+            "denominator understates event-level fallbacks); use "
+            "DsptStats.event_fallback_rate",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._per_update_fallback_rate()
 
     @property
     def event_fallback_rate(self) -> float:
@@ -180,7 +193,7 @@ class DsptStats:
             f"verify={self.verify_mismatches}, initial={self.initial_builds}, "
             f"bulk={self.bulk_rebuilds}], "
             f"nodes_recomputed={self.nodes_recomputed}, "
-            f"fallback_rate={self.fallback_rate:.3f}, "
+            f"fallback_rate={self._per_update_fallback_rate():.3f}, "
             f"event_fallback_rate={self.event_fallback_rate:.3f})"
         )
 

@@ -17,7 +17,10 @@ across runs and PRs:
   renderer behind every ``repro results`` listing (rich optional);
 * :mod:`~repro.results.plotting` — per-metric trendlines over stored runs
   (terminal sparklines, matplotlib-or-builtin PNG) for ``repro results
-  plot``.
+  plot``;
+* :mod:`~repro.results.perf` — span-timing history over ``__profile__``
+  records and the median±MAD regression gate behind ``repro results
+  perf [--gate]``.
 
 The scenario :class:`~repro.scenarios.BatchRunner` (``results_store=``),
 the benchmark harness (:mod:`benchmarks.bench_utils`) and the ``repro``
@@ -35,8 +38,17 @@ from .manifest import (
     scenario_set_fingerprint,
     utc_now_iso,
 )
+from .perf import (
+    PROFILE_SCENARIO,
+    GateReport,
+    PerfError,
+    SpanVerdict,
+    gate,
+    profile_rows,
+)
 from .plotting import (
     AGGREGATIONS,
+    PNG_BACKENDS,
     PlotError,
     TrendPoint,
     TrendSeries,
@@ -63,6 +75,7 @@ __all__ = [
     "FORMATS",
     "format_output",
     "AGGREGATIONS",
+    "PNG_BACKENDS",
     "PlotError",
     "TrendPoint",
     "TrendSeries",
@@ -70,6 +83,12 @@ __all__ = [
     "render_terminal",
     "sparkline",
     "write_png",
+    "PROFILE_SCENARIO",
+    "GateReport",
+    "PerfError",
+    "SpanVerdict",
+    "gate",
+    "profile_rows",
     "KNOWN_KINDS",
     "RunManifest",
     "git_revision",

@@ -46,6 +46,17 @@ _SHAPE_PATTERN = re.compile(
 #: Backend-equivalence residuals: hard regardless of workload shape.
 _RESIDUAL_PATTERN = re.compile(r"(max_abs|residual|_diff)", re.IGNORECASE)
 
+#: Reserved identity of per-span timing records (see
+#: :func:`repro.obs.profiling.profile_records`).  Profile records are pure
+#: timing observability: their fields never gate, and a span present in
+#: only one run (serial vs parallel sweeps instrument different paths) is
+#: informational, not a vanished-record failure.
+PROFILE_SCENARIO = "__profile__"
+
+
+def _is_profile_record(record: Mapping[str, object]) -> bool:
+    return record.get("scenario") == PROFILE_SCENARIO
+
 
 def classify_field(key: str) -> str:
     """``timing`` / ``shape`` / ``metric`` classification of a record field."""
@@ -199,6 +210,11 @@ def diff_records(
         table: Dict[Tuple[object, ...], Mapping[str, object]] = {}
         for position, record in enumerate(records):
             identity = record_identity(record, id_keys) if id_keys else (position,)
+            if _is_profile_record(record):
+                # Profile records all share the reserved scenario; the span
+                # name is their real identity (sweep records carry no
+                # "workload" key, so it drops out of the shared keys).
+                identity = identity + (record.get("span"),)
             if identity in table:
                 # Ambiguous identity (duplicate rows): fall back to position.
                 identity = identity + (position,)
@@ -214,8 +230,22 @@ def diff_records(
     for identity, record in table_a.items():
         other = table_b.get(identity)
         if other is None:
-            diff.only_in_a.append(label(identity))
+            if _is_profile_record(record):
+                diff.entries.append(
+                    FieldDiff(
+                        identity=label(identity),
+                        key="(profile record)",
+                        a="present",
+                        b="<absent>",
+                        category="note",
+                        matches=False,
+                        hard=False,
+                    )
+                )
+            else:
+                diff.only_in_a.append(label(identity))
             continue
+        profile = _is_profile_record(record)
         for key in sorted(set(record) | set(other)):
             if key in id_keys:
                 continue
@@ -235,7 +265,7 @@ def diff_records(
             a_value, b_value = record[key], other[key]
             category = classify_field(key)
             residual = is_residual_field(key)
-            hard = category == "metric" and (comparable or residual)
+            hard = category == "metric" and (comparable or residual) and not profile
             matches, rel = _values_match(a_value, b_value, rtol, atol)
             if residual:
                 # Residuals sit at float-round-off scale: any value within
@@ -255,7 +285,20 @@ def diff_records(
                     rel_delta=rel,
                 )
             )
-    for identity in table_b:
+    for identity, record in table_b.items():
         if identity not in table_a:
-            diff.only_in_b.append(label(identity))
+            if _is_profile_record(record):
+                diff.entries.append(
+                    FieldDiff(
+                        identity=label(identity),
+                        key="(profile record)",
+                        a="<absent>",
+                        b="present",
+                        category="note",
+                        matches=False,
+                        hard=False,
+                    )
+                )
+            else:
+                diff.only_in_b.append(label(identity))
     return diff

@@ -323,17 +323,41 @@ def _write_png_builtin(
         handle.write(raster.encode())
 
 
-def write_png(path: str, series: Sequence[TrendSeries], metric: str) -> str:
+#: Accepted ``write_png`` backends (the CLI's ``--png-backend`` choices).
+PNG_BACKENDS = ("auto", "matplotlib", "builtin")
+
+
+def write_png(
+    path: str,
+    series: Sequence[TrendSeries],
+    metric: str,
+    backend: str = "auto",
+) -> str:
     """Write the trend as a PNG; returns the backend used.
 
-    Uses matplotlib (Agg backend, full axes/labels/legend) when available,
-    the text-free builtin raster writer otherwise.
+    ``backend="auto"`` (the default) uses matplotlib (Agg backend, full
+    axes/labels/legend) when it is importable and the text-free builtin
+    raster writer otherwise; ``"matplotlib"`` and ``"builtin"`` force one
+    side — forcing matplotlib on a matplotlib-free interpreter raises
+    :class:`PlotError`, and forcing builtin is how CI exercises the
+    stdlib raster path on images where matplotlib is installed.
     """
+    if backend not in PNG_BACKENDS:
+        raise PlotError(
+            f"unknown png backend {backend!r}; known: {', '.join(PNG_BACKENDS)}"
+        )
     if not series or not any(s.points for s in series):
         raise PlotError("nothing to plot")
+    if backend == "builtin":
+        _write_png_builtin(path, series, metric)
+        return "builtin"
     try:
         import matplotlib
     except ImportError:
+        if backend == "matplotlib":
+            raise PlotError(
+                "matplotlib backend requested but matplotlib is not importable"
+            ) from None
         _write_png_builtin(path, series, metric)
         return "builtin"
     matplotlib.use("Agg", force=False)

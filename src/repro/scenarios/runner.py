@@ -1134,6 +1134,13 @@ class BatchRunner:
             ]
             if telemetry_record is not None:
                 records.append(telemetry_record)
+            # Traced runs additionally persist per-span timing aggregates
+            # (scenario="__profile__") — the history `repro results perf`
+            # trends and gates on.  Untraced runs add nothing, keeping them
+            # record-identical to pre-telemetry behaviour.
+            from ..obs.profiling import profile_records
+
+            records.extend(profile_records(telemetry.get(), network.name))
             return store.record_run(manifest, records)
         finally:
             if owned:

@@ -449,6 +449,49 @@ def test_trace_replay_writes_jsonl(tmp_path, capsys):
         assert "dspt_fallback_rate" in run.timings
 
 
+def test_trace_sweep_profiling_exports_and_records(tmp_path, capsys):
+    """--memory/--chrome-trace/--flamegraph ride one traced sweep."""
+    trace_path = tmp_path / "trace.jsonl"
+    chrome_path = tmp_path / "chrome.json"
+    flame_path = tmp_path / "flame.txt"
+    code = run_cli(
+        "trace", "sweep",
+        "--topology", "abilene",
+        "--protocols", "OSPF",
+        "--scenarios", "single-link-failures",
+        "--limit", "3",
+        "--trace", str(trace_path),
+        "--chrome-trace", str(chrome_path),
+        "--flamegraph", str(flame_path),
+        "--memory",
+        "--store", str(tmp_path / "r.sqlite"),
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert str(chrome_path) in out and str(flame_path) in out
+    # Schema-2 jsonl with memory meta and derived aggregate lines.
+    lines = [json.loads(line) for line in trace_path.read_text().splitlines()]
+    assert lines[0]["schema"] == 2 and lines[0]["memory"] is True
+    assert any(rec["type"] == "span_stats" for rec in lines)
+    assert all("alloc" in rec for rec in lines if rec["type"] == "span")
+    # Chrome trace: complete events under a top-level traceEvents list.
+    chrome = json.loads(chrome_path.read_text())
+    assert any(event["ph"] == "X" for event in chrome["traceEvents"])
+    # Flamegraph: collapsed stacks with integer sample values.
+    rows = flame_path.read_text().splitlines()
+    assert rows and all(row.rpartition(" ")[2].isdigit() for row in rows)
+    assert any("controller.sweep;controller.cell" in row for row in rows)
+    # The run persisted per-span __profile__ records for `results perf`.
+    with ResultsStore(tmp_path / "r.sqlite") as store:
+        (run,) = store.runs(kind="sweep")
+        profile = [
+            record for record in store.records(run.run_id)
+            if record.get("scenario") == "__profile__"
+        ]
+        assert profile and all("self_seconds" in record for record in profile)
+        assert {record["span"] for record in profile} >= {"controller.cell"}
+
+
 def test_sweep_controller_flags_change_counters_not_results(tmp_path, capsys):
     """--max-affected-fraction steers fallbacks; the MLUs must not move."""
     mlus = {}
@@ -469,7 +512,7 @@ def test_sweep_controller_flags_change_counters_not_results(tmp_path, capsys):
             records = store.records(run.run_id)
             mlus[fraction] = [
                 (rec["scenario"], rec["mlu"]) for rec in records
-                if rec.get("scenario") != "__telemetry__"
+                if not str(rec.get("scenario", "")).startswith("__")
             ]
             (digest,) = [
                 rec for rec in records if rec.get("scenario") == "__telemetry__"
@@ -510,11 +553,53 @@ def test_results_plot_terminal_and_png(tmp_path, capsys):
     assert "max_utilization" in out and "n=2" in out
     assert png_path.read_bytes().startswith(b"\x89PNG\r\n\x1a\n")
 
+    # --png-backend builtin forces the stdlib raster writer regardless of
+    # whether matplotlib is importable.
+    builtin_path = tmp_path / "trend-builtin.png"
+    code = run_cli(
+        "results", "plot",
+        "--metric", "max_utilization",
+        "--agg", "max",
+        "--png", str(builtin_path),
+        "--png-backend", "builtin",
+        "--store", str(store_path),
+    )
+    assert code == 0
+    assert "(builtin backend)" in capsys.readouterr().out
+    assert builtin_path.read_bytes().startswith(b"\x89PNG\r\n\x1a\n")
+
     code = run_cli(
         "results", "plot", "--metric", "not_a_metric", "--store", str(store_path)
     )
     assert code == 2
     assert "no numeric values" in capsys.readouterr().err
+
+
+def test_write_png_backend_validation(tmp_path, monkeypatch):
+    import builtins
+
+    from repro.results.plotting import PlotError, TrendPoint, TrendSeries, write_png
+
+    series = [TrendSeries(label="s", points=[
+        TrendPoint(run_id="r1", created_at="t1", git_sha="sha", value=1.0),
+        TrendPoint(run_id="r2", created_at="t2", git_sha="sha", value=2.0),
+    ])]
+    with pytest.raises(PlotError, match="unknown png backend"):
+        write_png(str(tmp_path / "x.png"), series, "m", backend="gnuplot")
+    # Pretend matplotlib is uninstallable: forcing it is an error, auto
+    # falls back to the stdlib raster path.
+    real_import = builtins.__import__
+
+    def no_matplotlib(name, *args, **kwargs):
+        if name.startswith("matplotlib"):
+            raise ImportError("matplotlib disabled for this test")
+        return real_import(name, *args, **kwargs)
+
+    monkeypatch.setattr(builtins, "__import__", no_matplotlib)
+    with pytest.raises(PlotError, match="matplotlib is not importable"):
+        write_png(str(tmp_path / "x.png"), series, "m", backend="matplotlib")
+    assert write_png(str(tmp_path / "auto.png"), series, "m") == "builtin"
+    assert (tmp_path / "auto.png").read_bytes().startswith(b"\x89PNG\r\n\x1a\n")
 
 
 def test_results_format_flags(seeded_store, capsys):

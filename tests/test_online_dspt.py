@@ -375,15 +375,32 @@ class TestStatsUnits:
         )
         # The deprecated per-update rate drowns one bad event in the other
         # destinations' incremental updates; the per-event rate does not.
-        assert stats.fallback_rate == pytest.approx(4 / 400)
+        with pytest.warns(DeprecationWarning):
+            assert stats.fallback_rate == pytest.approx(4 / 400)
         assert stats.event_fallback_rate == pytest.approx(1 / 4)
 
     def test_rates_zero_when_idle(self):
         from repro.online.dspt import DsptStats
 
         stats = DsptStats()
-        assert stats.fallback_rate == 0.0
+        with pytest.warns(DeprecationWarning):
+            assert stats.fallback_rate == 0.0
         assert stats.event_fallback_rate == 0.0
+
+    def test_fallback_rate_is_deprecated_but_value_unchanged(self):
+        from repro.online.dspt import DsptStats
+
+        stats = DsptStats(events=4, incremental_updates=396, fallback_cone=4)
+        with pytest.warns(DeprecationWarning, match="fallback_rate is deprecated"):
+            deprecated = stats.fallback_rate
+        # The deprecation changes the access path, never the value.
+        assert deprecated == stats._per_update_fallback_rate()
+        # repr still reports the historical rate without tripping the warning.
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            assert "fallback_rate=" in repr(stats)
 
 
 class TestTunedMaxAffectedFraction:

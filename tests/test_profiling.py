@@ -1,0 +1,260 @@
+"""Profiling exports: collapsed stacks, Chrome traces, trace import, records.
+
+Structural guarantees pinned here:
+
+* collapsed-stack output is the ``frame;frame value`` format flamegraph
+  tooling parses — integer microseconds of *self* time, zero-valued stacks
+  dropped, worker-rooted frames for merged registries;
+* the Chrome trace is valid trace-event JSON (``"X"`` complete events plus
+  ``"M"`` thread-name metadata) that Perfetto's importer accepts
+  structurally;
+* ``load_trace`` round-trips a schema-2 ``trace.jsonl`` byte-identically
+  and still reads schema-1 files from pre-1.8 exports;
+* memory-tracked sessions record per-span ``alloc``/``peak`` with child
+  peaks folded into ancestors;
+* ``profile_records`` shapes span aggregates as results-store records that
+  the diff layer treats as informational timing.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import (
+    chrome_trace,
+    collapsed_stacks,
+    load_trace,
+    profile_records,
+    telemetry,
+    write_chrome_trace,
+    write_flamegraph,
+)
+from repro.obs.telemetry import Span, TelemetryRegistry
+from repro.results.diffing import classify_field
+
+
+@pytest.fixture(autouse=True)
+def _no_registry_leaks():
+    telemetry.deactivate()
+    yield
+    telemetry.deactivate()
+
+
+def _deterministic_registry() -> TelemetryRegistry:
+    """outer(1.5s) > leaf(0.5s); worker chunk(0.25s) > cell(0.1s)."""
+    registry = TelemetryRegistry(label="det")
+    registry.spans.extend([
+        Span(0, None, 0, "outer", {}, start=0.0, wall=1.5, cpu=1.0, status="ok"),
+        Span(1, 0, 1, "leaf", {}, start=0.1, wall=0.5, cpu=0.25, status="ok"),
+        Span(2, None, 0, "chunk", {"worker": "w-1"}, start=0.0, wall=0.25,
+             cpu=0.2, status="ok"),
+        Span(3, 2, 1, "cell", {"worker": "w-1"}, start=0.05, wall=0.1,
+             cpu=0.08, status="ok"),
+    ])
+    return registry
+
+
+# ----------------------------------------------------------------------
+# collapsed stacks / flamegraph
+# ----------------------------------------------------------------------
+def test_collapsed_stacks_use_self_time_and_worker_roots():
+    stacks = collapsed_stacks(_deterministic_registry())
+    assert stacks == {
+        "outer": 1_000_000,        # 1.5s wall minus the 0.5s child
+        "outer;leaf": 500_000,
+        "w-1;chunk": 150_000,      # worker label becomes the root frame
+        "w-1;chunk;cell": 100_000,
+    }
+
+
+def test_collapsed_stacks_drop_zero_valued_and_aggregate_repeats():
+    registry = TelemetryRegistry()
+    # A parent fully accounted for by its child has zero self time.
+    registry.spans.extend([
+        Span(0, None, 0, "shell", {}, start=0.0, wall=0.5, cpu=0.0, status="ok"),
+        Span(1, 0, 1, "work", {}, start=0.0, wall=0.5, cpu=0.0, status="ok"),
+        Span(2, None, 0, "shell", {}, start=1.0, wall=0.25, cpu=0.0, status="ok"),
+        Span(3, 2, 1, "work", {}, start=1.0, wall=0.2, cpu=0.0, status="ok"),
+    ])
+    stacks = collapsed_stacks(registry)
+    assert "shell" in stacks and stacks["shell"] == 50_000  # only run 2's self
+    assert stacks["shell;work"] == 700_000  # both occurrences aggregated
+
+
+def test_write_flamegraph_is_valid_collapsed_stack_format(tmp_path):
+    path = tmp_path / "flame.txt"
+    lines = write_flamegraph(path, _deterministic_registry())
+    text = path.read_text()
+    rows = text.splitlines()
+    assert lines == len(rows) == 4
+    assert rows == sorted(rows)  # deterministic output order
+    for row in rows:
+        stack, _, value = row.rpartition(" ")
+        assert stack and all(frame for frame in stack.split(";"))
+        assert value.isdigit() and int(value) > 0
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event format
+# ----------------------------------------------------------------------
+def test_chrome_trace_structure_and_thread_tracks(tmp_path):
+    registry = _deterministic_registry()
+    payload = chrome_trace(registry)
+    assert payload["displayTimeUnit"] == "ms"
+    events = payload["traceEvents"]
+    meta = [e for e in events if e["ph"] == "M"]
+    spans = [e for e in events if e["ph"] == "X"]
+    assert {e["name"] for e in meta} == {"thread_name"}
+    assert {e["args"]["name"] for e in meta} == {"main", "w-1"}
+    assert len(spans) == len(registry.spans)
+    for event in spans:
+        assert event["pid"] == 0 and isinstance(event["tid"], int)
+        assert event["dur"] >= 0 and event["ts"] >= 0  # microseconds
+    # Worker spans land on the worker's own track.
+    (w1_tid,) = [e["tid"] for e in meta if e["args"]["name"] == "w-1"]
+    assert {e["name"] for e in spans if e["tid"] == w1_tid} == {"chunk", "cell"}
+    # The file is a single JSON object Perfetto can open.
+    path = tmp_path / "trace.json"
+    assert write_chrome_trace(path, registry) == len(events)
+    assert json.loads(path.read_text()) == json.loads(
+        json.dumps(payload, sort_keys=True)
+    )
+
+
+def test_chrome_trace_carries_errors_and_memory_in_args():
+    registry = TelemetryRegistry()
+    registry.spans.append(
+        Span(0, None, 0, "boom", {"stage": "x"}, start=0.0, wall=0.1, cpu=0.1,
+             status="error", error="ValueError: boom", alloc=128, peak=256)
+    )
+    (event,) = [e for e in chrome_trace(registry)["traceEvents"] if e["ph"] == "X"]
+    assert event["args"] == {
+        "stage": "x", "error": "ValueError: boom",
+        "alloc_bytes": 128, "peak_bytes": 256,
+    }
+
+
+# ----------------------------------------------------------------------
+# trace import / round trip
+# ----------------------------------------------------------------------
+def test_load_trace_roundtrip_is_byte_identical(tmp_path):
+    registry = TelemetryRegistry(label="rt")
+    with registry.span("outer", kind="a"):
+        with registry.span("inner"):
+            registry.count("c", 3, reason="x")
+            registry.observe("h", 0.2)
+        with registry.span("inner"):
+            pass
+    first, second = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+    registry.export_jsonl(first)
+    loaded = load_trace(first)
+    assert loaded.label == "rt"
+    assert [s.name for s in loaded.spans] == ["outer", "inner", "inner"]
+    loaded.export_jsonl(second)
+    assert first.read_bytes() == second.read_bytes()
+
+
+def test_load_trace_reads_schema_1_files(tmp_path):
+    path = tmp_path / "old.jsonl"
+    lines = [
+        {"type": "meta", "schema": 1, "label": "old", "created_at": "2026-01-01T00:00:00Z"},
+        {"type": "span", "id": 0, "parent": None, "depth": 0, "name": "a",
+         "tags": {}, "start": 0.0, "wall": 0.5, "cpu": 0.4,
+         "status": "ok", "error": None},
+        {"type": "counter", "name": "c", "tags": {"k": "v"}, "value": 2.0},
+        {"type": "histogram", "name": "h", "edges": [0.1, 1.0],
+         "counts": [1, 0, 0], "count": 1, "sum": 0.05, "min": 0.05, "max": 0.05},
+        {"type": "future_thing", "payload": "ignored"},  # forward compat
+    ]
+    path.write_text("\n".join(json.dumps(line) for line in lines) + "\n")
+    loaded = load_trace(path)
+    assert loaded.label == "old" and not loaded.memory
+    assert [s.name for s in loaded.spans] == ["a"]
+    assert loaded.counter_value("c", k="v") == 2.0
+    assert loaded.histograms["h"].count == 1
+    # A schema-1 import re-exports as schema 2 with the derived lines.
+    out = tmp_path / "new.jsonl"
+    loaded.export_jsonl(out)
+    parsed = [json.loads(line) for line in out.read_text().splitlines()]
+    assert parsed[0]["schema"] == 2
+    assert {"span_stats", "span_tree"} <= {record["type"] for record in parsed}
+
+
+def test_load_trace_rejects_non_json_lines(tmp_path):
+    path = tmp_path / "broken.jsonl"
+    path.write_text('{"type": "meta", "schema": 2}\nnot json\n')
+    with pytest.raises(ValueError, match="broken.jsonl:2"):
+        load_trace(path)
+
+
+# ----------------------------------------------------------------------
+# memory tracking
+# ----------------------------------------------------------------------
+def test_memory_session_records_alloc_and_folds_child_peaks(tmp_path):
+    with telemetry.session(label="mem", memory=True) as registry:
+        with registry.span("parent"):
+            keep = bytearray(256 * 1024)  # survives the span: net allocation
+            with registry.span("child"):
+                transient = bytearray(1024 * 1024)
+                del transient
+        del keep
+    parent, child = registry.spans
+    assert parent.alloc is not None and child.alloc is not None
+    assert child.peak >= 1024 * 1024  # saw the transient spike
+    assert parent.peak >= child.peak  # child peak folded into the ancestor
+    assert parent.alloc >= 256 * 1024  # the kept buffer is net allocation
+    assert registry.peak_rss_kb and registry.peak_rss_kb > 0
+    # The exported meta advertises the memory run; span lines carry bytes.
+    path = tmp_path / "mem.jsonl"
+    registry.export_jsonl(path)
+    parsed = [json.loads(line) for line in path.read_text().splitlines()]
+    assert parsed[0]["memory"] is True and parsed[0]["peak_rss_kb"] > 0
+    span_rows = [row for row in parsed if row["type"] == "span"]
+    assert all("alloc" in row and "peak" in row for row in span_rows)
+    # Round trip preserves the memory fields byte-for-byte.
+    again = tmp_path / "mem2.jsonl"
+    load_trace(path).export_jsonl(again)
+    assert path.read_bytes() == again.read_bytes()
+
+
+def test_plain_registry_records_no_memory_fields():
+    registry = TelemetryRegistry(label="plain")
+    with registry.span("s"):
+        pass
+    (span,) = registry.spans
+    assert span.alloc is None and span.peak is None
+    assert "alloc" not in span.as_record()
+    registry.finalize()  # no-op without memory=True
+    assert registry.peak_rss_kb is None
+
+
+# ----------------------------------------------------------------------
+# results-store records
+# ----------------------------------------------------------------------
+def test_profile_records_shape_and_classification():
+    registry = _deterministic_registry()
+    records = profile_records(registry, "Abilene")
+    assert [r["span"] for r in records] == ["cell", "chunk", "leaf", "outer"]
+    for record in records:
+        assert record["scenario"] == "__profile__"
+        assert record["kind"] == "profile"
+        assert record["topology"] == "Abilene"
+        assert record["workload"] == record["span"]
+        # Every value field is timing- or shape-classified: `repro results
+        # diff` never hard-gates on profile numbers.
+        for key in record:
+            if key in ("scenario", "kind", "protocol", "topology", "workload",
+                       "span"):
+                continue
+            assert classify_field(key) in ("timing", "shape"), key
+    (outer,) = [r for r in records if r["span"] == "outer"]
+    assert outer["count"] == 1
+    assert outer["wall_seconds"] == pytest.approx(1.5)
+    assert outer["self_seconds"] == pytest.approx(1.0)
+
+
+def test_profile_records_empty_without_telemetry():
+    assert profile_records(None, "Abilene") == []
+    assert profile_records(TelemetryRegistry(), "Abilene") == []
