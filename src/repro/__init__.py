@@ -21,6 +21,17 @@ The public API re-exports the pieces most users need:
   :class:`~repro.routing.SparseRouter` compiles shortest-path DAGs into CSR
   split-ratio matrices and routes whole demand ensembles in stacked sparse
   sweeps; every assignment routine accepts ``backend="sparse"|"python"``;
+* the online control plane (:mod:`repro.online`):
+  :class:`~repro.online.TEController` absorbing event streams over
+  incremental shortest-path DAGs, :class:`~repro.online.ControllerSession`
+  — the feed/read/subscribe API both the batch replay and the serve
+  daemon drive — plus the closed-loop policies and the versioned event
+  wire schema (:func:`~repro.online.to_dict` /
+  :func:`~repro.online.from_dict`, trace files via
+  :func:`~repro.online.read_event_trace`);
+* the serving layer (:mod:`repro.serve`): the ``repro serve`` daemon — a
+  long-running multi-tenant TE control service over JSON-lines TCP —
+  with its blocking :class:`~repro.serve.ServeClient`;
 * the observability layer (:mod:`repro.obs`): structured spans, counters
   and fixed-bucket histograms wired through the online controller, the
   scenario runner and the optimizers, exported as ``trace.jsonl`` files by
@@ -31,7 +42,20 @@ The public API re-exports the pieces most users need:
   (:mod:`repro.cli`).
 """
 
-from . import core, network, obs, online, protocols, results, routing, scenarios, solvers, topology, traffic
+from . import (
+    core,
+    network,
+    obs,
+    online,
+    protocols,
+    results,
+    routing,
+    scenarios,
+    serve,
+    solvers,
+    topology,
+    traffic,
+)
 from .core import (
     SPEF,
     LoadBalanceObjective,
@@ -42,13 +66,29 @@ from .core import (
     solve_optimal_te,
 )
 from .network import FlowAssignment, Network, TrafficMatrix
-from .online import DynamicSPT, NetworkEvent, TEController
+from .online import (
+    CapacityChange,
+    ClosedLoopPolicy,
+    ControllerSession,
+    DemandUpdate,
+    DynamicSPT,
+    LinkFailure,
+    LinkRecovery,
+    LinkWeightChange,
+    NetworkEvent,
+    OraclePolicy,
+    TEController,
+    read_event_trace,
+    replay_failure_trace,
+    write_event_trace,
+)
 from .protocols import OSPF, PEFT, FortzThorup, MinMaxMLU, SPEFProtocol
 from .results import ResultsStore, RunManifest
 from .routing import CompiledDagSet, SparseRouter, batched_link_loads
 from .scenarios import BatchRunner, ProtocolSpec, Scenario, ScenarioResult
+from .serve import ServeClient, TEServer
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "core",
@@ -59,6 +99,7 @@ __all__ = [
     "results",
     "routing",
     "scenarios",
+    "serve",
     "solvers",
     "topology",
     "traffic",
@@ -84,9 +125,22 @@ __all__ = [
     "ScenarioResult",
     "BatchRunner",
     "ProtocolSpec",
+    "CapacityChange",
+    "ClosedLoopPolicy",
+    "ControllerSession",
+    "DemandUpdate",
     "DynamicSPT",
+    "LinkFailure",
+    "LinkRecovery",
+    "LinkWeightChange",
     "NetworkEvent",
+    "OraclePolicy",
     "TEController",
+    "read_event_trace",
+    "replay_failure_trace",
+    "write_event_trace",
+    "ServeClient",
+    "TEServer",
     "ResultsStore",
     "RunManifest",
     "__version__",

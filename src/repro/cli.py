@@ -50,6 +50,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from .analysis.reporting import format_robustness_summary, format_table
 from .obs import profile_records, telemetry, write_chrome_trace, write_flamegraph
+from .online.events import EventError
 from .results import (
     AGGREGATIONS,
     FORMATS,
@@ -301,23 +302,126 @@ def _build_policy(args: argparse.Namespace):
     )
 
 
-def cmd_replay(args: argparse.Namespace) -> int:
-    from .online import replay_failure_trace
+def _event_trace_records(session, topology_name: str) -> List[Dict[str, object]]:
+    """Per-event store records from a session's rows (replay and serve alike).
 
+    Both ``repro replay --trace-file`` and the ``repro serve --replay-trace``
+    soak recorder call this on a :class:`~repro.online.ControllerSession`
+    after the trace ran, so the two runs' records carry identical identity
+    keys and the CI serve-smoke diff pairs them one-to-one per event.
+    """
+    return [
+        {**row, "topology": topology_name, "scenario": f"event-{row['seq']:04d}"}
+        for row in session.event_rows()
+    ]
+
+
+def _record_trace_run(
+    args: argparse.Namespace,
+    *,
+    kind: str,
+    session,
+    network,
+    events: int,
+    elapsed: float,
+    config: Dict[str, object],
+) -> None:
+    """Record a per-event trace run (batch or soak) into the results store."""
+    stats = session.controller.spt.stats
+    final = session.controller.measure()
+    with _open_store(args) as store:
+        manifest = RunManifest.create(
+            kind=kind,
+            topology=network.name,
+            protocols=("even-ECMP",),
+            scenario_set=f"event-trace-{events}",
+            config={
+                "utilization": args.utilization,
+                "seed": args.seed,
+                "events": events,
+                "baseline_mlu": round(session.baseline.mlu, 6),
+                "final_mlu": round(final.mlu, 6),
+                "policy": args.policy,
+                "reoptimizations": session.reoptimizations,
+                **config,
+            },
+            timings={
+                "elapsed": elapsed,
+                "incremental_updates": float(stats.incremental_updates),
+                "full_rebuilds": float(stats.full_rebuilds),
+                "dspt_event_fallback_rate": stats.event_fallback_rate,
+            },
+        )
+        records = _event_trace_records(session, network.name)
+        records.extend(profile_records(telemetry.get(), network.name))
+        run_id = store.record_run(manifest, records)
+        print(f"recorded run {run_id} in {store.path}")
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    from .online import (
+        ControllerSession,
+        failure_recovery_trace,
+        read_event_trace,
+        replay_event_trace,
+        replay_failure_trace,
+        write_event_trace,
+    )
+
+    if args.trace_file and args.export_trace:
+        raise CLIError("--trace-file and --export-trace are mutually exclusive")
     network, demands = build_workload(args.topology, args.utilization, args.seed)
+    policy = _build_policy(args)
+    session = ControllerSession(
+        network,
+        demands,
+        policy=policy,
+        max_affected_fraction=args.max_affected_fraction,
+        verify=args.verify,
+    )
+
+    if args.trace_file:
+        # Strict wire-schema parsing: a malformed line is a hard error with
+        # its line number (the same validator the serve socket runs).
+        events = read_event_trace(args.trace_file)
+        replay = replay_event_trace(session, events)
+        stats = replay.controller.spt.stats
+        print(
+            f"replayed {replay.processed_events} events from {args.trace_file} on "
+            f"{network.name} in {replay.elapsed * 1e3:.0f} ms wall "
+            f"({stats.incremental_updates} incremental DAG updates, "
+            f"{stats.full_rebuilds} full rebuilds); baseline MLU "
+            f"{replay.baseline.mlu:.3f}, final MLU {replay.final.mlu:.3f}"
+        )
+        if policy is not None:
+            print(f"policy {args.policy}: {replay.reoptimizations} reoptimization(s)")
+        _record_trace_run(
+            args,
+            kind="replay",
+            session=session,
+            network=network,
+            events=replay.processed_events,
+            elapsed=replay.elapsed,
+            config={"command": "replay", "trace_file": str(args.trace_file)},
+        )
+        return 0
+
     scenarios = single_link_failures(network)
     if args.limit is not None:
         scenarios = scenarios[: args.limit]
-    policy = _build_policy(args)
+    if args.export_trace:
+        trace = failure_recovery_trace(
+            network, scenarios, period=args.period, outage=args.outage
+        )
+        count = write_event_trace(args.export_trace, trace)
+        print(f"wrote {count} event(s) to {args.export_trace}")
     replay = replay_failure_trace(
         network,
         demands,
         scenarios,
         period=args.period,
         outage=args.outage,
-        policy=policy,
-        max_affected_fraction=args.max_affected_fraction,
-        verify=args.verify,
+        session=session,
     )
     stats = replay.controller.spt.stats
     print(
@@ -375,6 +479,97 @@ def cmd_replay(args: argparse.Namespace) -> int:
         records.extend(profile_records(telemetry.get(), network.name))
         run_id = store.record_run(manifest, records)
         print(f"recorded run {run_id} in {store.path}")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """``repro serve``: the long-running TE control service.
+
+    Foreground mode binds the JSON-lines socket and serves until a
+    ``shutdown`` control frame (or SIGINT/SIGTERM), writing the graceful
+    state dump on the way out.  ``--replay-trace FILE`` is soak mode: the
+    daemon starts on a background event loop, the trace is fed through a
+    real client socket, and the per-event measurements are recorded into
+    the results store as a ``kind="serve"`` run — the run CI diffs against
+    ``repro replay --trace-file`` on the same trace.
+    """
+    import asyncio
+    import contextlib
+    import signal
+    import time as time_module
+
+    from .online import ControllerSession, read_event_trace
+    from .serve import ServeClient, ServerThread, TEServer
+
+    topologies = args.topology or ["abilene"]
+    if len(set(topologies)) != len(topologies):
+        raise CLIError(f"duplicate --topology entries: {', '.join(topologies)}")
+    sessions = {}
+    for name in topologies:
+        network, demands = build_workload(name, args.utilization, args.seed)
+        session = ControllerSession(
+            network,
+            demands,
+            policy=_build_policy(args),
+            max_affected_fraction=args.max_affected_fraction,
+            verify=args.verify,
+        )
+        sessions[session.key] = session
+    server = TEServer(
+        sessions,
+        host=args.host,
+        port=args.port,
+        state_dump_path=args.state_dump,
+    )
+
+    if args.replay_trace:
+        if len(sessions) != 1:
+            raise CLIError("--replay-trace soaks exactly one session; pass one --topology")
+        (key,) = sessions
+        session = sessions[key]
+        events = read_event_trace(args.replay_trace)
+        start = time_module.perf_counter()
+        with ServerThread(server) as runner:
+            with ServeClient(args.host, runner.port) as client:
+                client.feed_trace(events, session=key)
+                final_mlu = client.mlu(session=key)
+                client.shutdown()
+        elapsed = time_module.perf_counter() - start
+        print(
+            f"soaked {len(events)} events through the serve socket on {key} in "
+            f"{elapsed * 1e3:.0f} ms wall; baseline MLU {session.baseline.mlu:.3f}, "
+            f"final MLU {final_mlu:.3f}"
+        )
+        if args.state_dump:
+            print(f"state dump written to {args.state_dump}")
+        _record_trace_run(
+            args,
+            kind="serve",
+            session=session,
+            network=session.network,
+            events=len(events),
+            elapsed=elapsed,
+            config={"command": "serve", "trace_file": str(args.replay_trace)},
+        )
+        return 0
+
+    async def _run() -> None:
+        await server.start()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            with contextlib.suppress(NotImplementedError):
+                loop.add_signal_handler(signum, server.request_shutdown)
+        print(
+            f"serving {len(server.sessions)} session(s) on "
+            f"{server.host}:{server.port}: {', '.join(sorted(server.sessions))}"
+        )
+        print("send {\"type\": \"control\", \"action\": \"shutdown\"} "
+              "(or SIGINT/SIGTERM) to stop")
+        await server.serve_until_shutdown()
+
+    asyncio.run(_run())
+    if args.state_dump:
+        print(f"state dump written to {args.state_dump}")
     return 0
 
 
@@ -715,6 +910,27 @@ def _add_sweep_arguments(parser: argparse.ArgumentParser) -> None:
     parser.set_defaults(handler=cmd_sweep)
 
 
+def _add_policy_arguments(parser: argparse.ArgumentParser) -> None:
+    """Closed-loop policy knobs shared by replay and serve."""
+    parser.add_argument(
+        "--policy",
+        choices=("none", "closed-loop", "oracle"),
+        default="none",
+        help="closed-loop reoptimization: 'closed-loop' reoptimizes after "
+        "the MLU stays above --mlu-target for --hold seconds; 'oracle' "
+        "reoptimizes after every event (the baseline any threshold policy "
+        "is measured against)",
+    )
+    parser.add_argument("--mlu-target", type=float, default=0.9,
+                        help="closed-loop MLU ceiling (default: 0.9)")
+    parser.add_argument("--hold", type=float, default=30.0,
+                        help="seconds a breach must persist before reoptimizing")
+    parser.add_argument("--cooldown", type=float, default=120.0,
+                        help="minimum seconds between reoptimizations")
+    parser.add_argument("--reopt-evaluations", type=int, default=150,
+                        help="Fortz-Thorup evaluation budget per reoptimization")
+
+
 def _add_replay_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--topology", default="abilene", choices=sorted(TOPOLOGIES))
     parser.add_argument("--utilization", type=float, default=0.12)
@@ -725,25 +941,38 @@ def _add_replay_arguments(parser: argparse.ArgumentParser) -> None:
                         help="seconds each outage lasts")
     parser.add_argument("--limit", type=int, default=None,
                         help="replay only the first N trunk failures")
-    parser.add_argument(
-        "--policy",
-        choices=("none", "closed-loop", "oracle"),
-        default="none",
-        help="closed-loop reoptimization during the replay: 'closed-loop' "
-        "reoptimizes after the MLU stays above --mlu-target for --hold "
-        "seconds; 'oracle' reoptimizes after every event (the baseline "
-        "any threshold policy is measured against)",
-    )
-    parser.add_argument("--mlu-target", type=float, default=0.9,
-                        help="closed-loop MLU ceiling (default: 0.9)")
-    parser.add_argument("--hold", type=float, default=30.0,
-                        help="seconds a breach must persist before reoptimizing")
-    parser.add_argument("--cooldown", type=float, default=120.0,
-                        help="minimum seconds between reoptimizations")
-    parser.add_argument("--reopt-evaluations", type=int, default=150,
-                        help="Fortz-Thorup evaluation budget per reoptimization")
+    parser.add_argument("--trace-file", default=None, metavar="PATH",
+                        help="replay a wire-schema JSONL event trace instead of the "
+                        "generated single-link failures; records one row per event "
+                        "(malformed lines are hard errors with line numbers)")
+    parser.add_argument("--export-trace", default=None, metavar="PATH",
+                        help="also write the generated failure/recovery trace as "
+                        "wire-schema JSONL (feed it back via --trace-file or "
+                        "`repro serve --replay-trace`)")
+    _add_policy_arguments(parser)
     _add_controller_arguments(parser)
     parser.set_defaults(handler=cmd_replay)
+
+
+def _add_serve_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--topology", action="append", choices=sorted(TOPOLOGIES),
+                        help="topology session(s) to host (repeatable; "
+                        "default: abilene)")
+    parser.add_argument("--utilization", type=float, default=0.12)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0,
+                        help="TCP port (0 picks a free port, printed on start)")
+    parser.add_argument("--state-dump", default=None, metavar="PATH",
+                        help="write every session's state dump here on graceful "
+                        "shutdown (byte-stable JSON)")
+    parser.add_argument("--replay-trace", default=None, metavar="PATH",
+                        help="soak mode: feed this wire-schema JSONL trace through "
+                        "a real client socket, record per-event measurements as a "
+                        "kind='serve' run, then shut down")
+    _add_policy_arguments(parser)
+    _add_controller_arguments(parser)
+    parser.set_defaults(handler=cmd_serve)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -775,6 +1004,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="replay a failure/recovery trace through the online TE controller",
     )
     _add_replay_arguments(replay)
+
+    serve = subparsers.add_parser(
+        "serve",
+        parents=[store_parent],
+        help="serve TE controller sessions over a JSON-lines TCP socket",
+    )
+    _add_serve_arguments(serve)
 
     trace = subparsers.add_parser(
         "trace",
@@ -997,7 +1233,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.handler(args)
-    except (CLIError, PerfError, PlotError, ResultsStoreError, RunnerError) as exc:
+    except (CLIError, EventError, PerfError, PlotError, ResultsStoreError, RunnerError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     except BrokenPipeError:  # e.g. `repro results query | head`

@@ -30,8 +30,16 @@ from .controller import (
 )
 from .dspt import DsptStats, DynamicSPT, publish_dspt_counters, snapshot_stats
 from .policy import ClosedLoopPolicy, OraclePolicy, PolicyDecision
-from .replay import OutageRow, ReplayResult, replay_failure_trace
+from .replay import (
+    OutageRow,
+    ReplayResult,
+    outage_rows,
+    replay_event_trace,
+    replay_failure_trace,
+)
+from .session import ControllerSession, measurement_row
 from .events import (
+    WIRE_VERSION,
     CapacityChange,
     DemandUpdate,
     EventError,
@@ -39,20 +47,27 @@ from .events import (
     LinkRecovery,
     LinkWeightChange,
     NetworkEvent,
+    TraceFormatError,
     failure_events,
     failure_recovery_trace,
+    from_dict,
     is_incremental_sweepable,
     is_pure_failure,
+    parse_event_line,
+    read_event_trace,
     recovery_events,
     scenario_events,
     scenario_failed_edges,
     scenario_revert_events,
+    to_dict,
+    write_event_trace,
 )
 
 __all__ = [
     "CapacityChange",
     "ClosedLoopPolicy",
     "ControllerMeasurement",
+    "ControllerSession",
     "ControllerUpdate",
     "DemandUpdate",
     "DsptStats",
@@ -65,19 +80,29 @@ __all__ = [
     "OraclePolicy",
     "OutageRow",
     "PolicyDecision",
+    "TraceFormatError",
+    "WIRE_VERSION",
     "publish_dspt_counters",
     "snapshot_stats",
     "ReplayResult",
+    "replay_event_trace",
     "replay_failure_trace",
     "TEController",
     "failure_events",
     "failure_recovery_trace",
+    "from_dict",
     "is_incremental_sweepable",
     "is_pure_failure",
+    "measurement_row",
+    "outage_rows",
+    "parse_event_line",
+    "read_event_trace",
     "recovery_events",
     "scenario_events",
     "scenario_failed_edges",
     "scenario_revert_events",
     "sweep_pure_failures",
     "sweep_scenarios",
+    "to_dict",
+    "write_event_trace",
 ]

@@ -36,15 +36,31 @@ of one scenario can never disagree about what a dead link means.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
-from typing import List, Sequence
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Union
 
 from ..network.graph import Edge, Network, Node
 from ..scenarios.scenario import Scenario
 
+#: Version of the JSON event/frame vocabulary (trace files and the serve
+#: protocol share it; see :func:`to_dict` / :func:`from_dict`).
+WIRE_VERSION = 1
+
 
 class EventError(ValueError):
     """Raised for malformed events (unknown links, negative volumes, ...)."""
+
+
+class TraceFormatError(EventError):
+    """A JSON-lines event trace contained an unparseable line.
+
+    Always carries the source and 1-based line number (``trace.jsonl:3:
+    ...``) so malformed input is a *hard, locatable* error — never a
+    silently skipped line — on both the batch replay and serve ingest
+    paths.
+    """
 
 
 @dataclass(frozen=True)
@@ -111,6 +127,139 @@ _KIND_BY_TYPE = {
     CapacityChange: "capacity-change",
     DemandUpdate: "demand-update",
 }
+
+_TYPE_BY_KIND = {kind: type_ for type_, kind in _KIND_BY_TYPE.items()}
+
+
+# ----------------------------------------------------------------------
+# wire schema (version 1): one JSON object per event
+# ----------------------------------------------------------------------
+#: Per-kind payload fields beyond ``v``/``event``/``time``.
+_WIRE_FIELDS = {
+    "noop": (),
+    "link-failure": ("link",),
+    "link-recovery": ("link",),
+    "weight-change": ("link", "weight"),
+    "capacity-change": ("link", "capacity"),
+    "demand-update": ("source", "target", "volume"),
+}
+
+
+def to_dict(event: NetworkEvent) -> Dict[str, object]:
+    """Serialise one event as its wire-schema (version 1) JSON object.
+
+    The inverse of :func:`from_dict`; the same vocabulary is used for
+    JSON-lines trace files (``repro replay --export-trace``) and the event
+    frames of the serve protocol (:mod:`repro.serve.wire`), so every
+    producer and consumer of events shares one constructor pair.
+    """
+    kind = event.kind
+    if kind not in _WIRE_FIELDS:
+        raise EventError(f"cannot serialise event kind {kind!r}")
+    payload: Dict[str, object] = {"v": WIRE_VERSION, "event": kind, "time": event.time}
+    for field in _WIRE_FIELDS[kind]:
+        value = getattr(event, field)
+        payload[field] = list(value) if field == "link" else value
+    return payload
+
+
+def _wire_node(payload: Dict[str, object], field: str, context: str) -> Node:
+    value = payload[field]
+    if not isinstance(value, (str, int)) or isinstance(value, bool):
+        raise EventError(f"{context}: field {field!r} must be a node name, got {value!r}")
+    return value
+
+
+def _wire_number(payload: Dict[str, object], field: str, context: str) -> float:
+    value = payload[field]
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise EventError(f"{context}: field {field!r} must be a number, got {value!r}")
+    return float(value)
+
+
+def from_dict(payload: object) -> NetworkEvent:
+    """Build the event a wire-schema JSON object describes.
+
+    Validation is strict — unknown kinds, missing or extra fields, and
+    non-numeric values all raise :class:`EventError` — because this is the
+    single parse point for trace files and the live serve socket: bad
+    input must fail loudly at the boundary, never half-apply.
+    """
+    if not isinstance(payload, dict):
+        raise EventError(f"event payload must be a JSON object, got {type(payload).__name__}")
+    version = payload.get("v", WIRE_VERSION)
+    if version != WIRE_VERSION:
+        raise EventError(f"unsupported wire version {version!r} (supported: {WIRE_VERSION})")
+    kind = payload.get("event")
+    if kind not in _WIRE_FIELDS:
+        known = ", ".join(sorted(_WIRE_FIELDS))
+        raise EventError(f"unknown event kind {kind!r} (known: {known})")
+    context = f"event {kind!r}"
+    allowed = {"v", "event", "time", *_WIRE_FIELDS[kind]}
+    extra = sorted(set(payload) - allowed)
+    if extra:
+        raise EventError(f"{context}: unexpected field(s) {', '.join(map(repr, extra))}")
+    missing = sorted(set(_WIRE_FIELDS[kind]) - set(payload))
+    if missing:
+        raise EventError(f"{context}: missing field(s) {', '.join(map(repr, missing))}")
+    kwargs: Dict[str, object] = {}
+    if "time" in payload:
+        kwargs["time"] = _wire_number(payload, "time", context)
+    for field in _WIRE_FIELDS[kind]:
+        if field == "link":
+            link = payload["link"]
+            if (
+                not isinstance(link, (list, tuple))
+                or len(link) != 2
+                or any(not isinstance(end, (str, int)) or isinstance(end, bool) for end in link)
+            ):
+                raise EventError(f"{context}: field 'link' must be a [source, target] pair")
+            kwargs["link"] = (link[0], link[1])
+        elif field in ("source", "target"):
+            kwargs[field] = _wire_node(payload, field, context)
+        else:
+            kwargs[field] = _wire_number(payload, field, context)
+    return _TYPE_BY_KIND[kind](**kwargs)
+
+
+def parse_event_line(line: str, lineno: int, source: str = "<trace>") -> NetworkEvent:
+    """Parse one JSON-lines trace line, locating errors as ``source:lineno``."""
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise TraceFormatError(f"{source}:{lineno}: invalid JSON: {exc.msg}") from None
+    try:
+        return from_dict(payload)
+    except EventError as exc:
+        raise TraceFormatError(f"{source}:{lineno}: {exc}") from None
+
+
+def read_event_trace(path: Union[str, Path]) -> List[NetworkEvent]:
+    """Read a JSON-lines event trace, failing hard on any malformed line.
+
+    Blank lines are allowed (and skipped); everything else must parse as a
+    wire-schema event or the whole read raises :class:`TraceFormatError`
+    with the offending line number.  Shared by ``repro replay
+    --trace-file`` and ``repro serve --replay-trace`` so both ingest paths
+    reject the same inputs identically.
+    """
+    path = Path(path)
+    events: List[NetworkEvent] = []
+    with path.open("r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            if not line.strip():
+                continue
+            events.append(parse_event_line(line, lineno, source=str(path)))
+    if not events:
+        raise TraceFormatError(f"{path}:1: trace contains no events")
+    return events
+
+
+def write_event_trace(path: Union[str, Path], events: Iterable[NetworkEvent]) -> int:
+    """Write events as a JSON-lines trace (sorted keys: byte-stable); returns the line count."""
+    lines = [json.dumps(to_dict(event), sort_keys=True) for event in events]
+    Path(path).write_text("".join(line + "\n" for line in lines), encoding="utf-8")
+    return len(lines)
 
 
 # ----------------------------------------------------------------------

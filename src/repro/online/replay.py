@@ -1,12 +1,12 @@
-"""Reusable TE-controller trace replay (the engine behind ``repro replay``).
+"""Batch TE-controller trace replay (the engine behind ``repro replay``).
 
-``examples/online_controller.py`` demonstrated the online view — a
-:class:`~repro.online.TEController` consuming a timed failure/recovery
-trace through the discrete-event simulator — as a script.  This module
-extracts that replay as a library function so the example, the ``repro``
-CLI and the results store all drive the same code path: build the trace,
-bind the controller, sample a measurement after every event, and summarise
-one row per outage.
+This module used to own the whole replay loop; since the
+:class:`~repro.online.session.ControllerSession` extraction it is a *thin
+batch driver*: build the timed fail → repair trace, drive a session over a
+discrete-event simulator, and summarise one row per outage.  The serve
+daemon (:mod:`repro.serve`) drives the very same session API one event at
+a time over a socket, which is why a socket replay of a trace and this
+batch replay of the same trace report bit-identical measurements.
 
 A replay can also run **closed-loop**: pass a policy from
 :mod:`repro.online.policy` and every triggered reoptimization is folded
@@ -15,23 +15,30 @@ the *sustained* state of each outage — the last measurement inside its
 window, i.e. what the network looked like after the policy (if any) had
 reacted — and :attr:`ReplayResult.worst` compares fairly between the
 no-policy, closed-loop and every-event-oracle replays.
+
+The controller construction knobs (``tolerance``,
+``max_affected_fraction``, ``verify``) moved onto
+:class:`ControllerSession`; passing them here still works for one release
+but emits a :class:`DeprecationWarning` — build a session and pass
+``session=`` instead.
 """
 
 from __future__ import annotations
 
-import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..network.demands import TrafficMatrix
 from ..network.graph import Network
-from ..network.spt import DEFAULT_TOLERANCE
 from ..obs import telemetry
 from ..scenarios.scenario import Scenario
-from ..simulator.events import Simulator
 from .controller import ControllerMeasurement, ControllerUpdate, TEController
-from .dspt import publish_dspt_counters, snapshot_stats
-from .events import failure_recovery_trace
+from .events import NetworkEvent, failure_recovery_trace
+from .session import ControllerSession
+
+#: Sentinel distinguishing "not passed" from an explicit default value.
+_UNSET = object()
 
 
 @dataclass
@@ -82,6 +89,8 @@ class ReplayResult:
     #: The attached policy (``None`` for a plain replay); its ``decisions``
     #: carry per-reoptimization before/after MLU.
     policy: Optional[object] = None
+    #: The session the replay drove (timeline/rows/subscriptions live here).
+    session: Optional[ControllerSession] = None
 
     @property
     def worst(self) -> Optional[OutageRow]:
@@ -93,6 +102,72 @@ class ReplayResult:
         return len(getattr(self.policy, "decisions", ()))
 
 
+def outage_rows(
+    timeline: Sequence[Tuple[float, str, ControllerMeasurement]],
+    scenarios: Sequence[Scenario],
+    period: float,
+    outage: float,
+) -> List[OutageRow]:
+    """Summarise a replay timeline into one sustained row per outage window."""
+    rows: List[OutageRow] = []
+    for index, scenario in enumerate(scenarios):
+        down, up = index * period, index * period + outage
+        window = [
+            (when, kind, measurement)
+            for when, kind, measurement in timeline
+            if down <= when < up and kind in ("link-failure", "reoptimize")
+        ]
+        if not window:
+            continue
+        _, _, measurement = window[-1]
+        if telemetry.enabled():
+            # Sustained MLU: what each outage actually ran at until repair.
+            telemetry.observe(
+                "replay.sustained_mlu",
+                measurement.mlu,
+                edges=(0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 2.0, 3.0, 5.0),
+            )
+        rows.append(
+            OutageRow(
+                scenario_id=scenario.scenario_id,
+                time=down,
+                mlu=measurement.mlu,
+                utility=measurement.utility,
+                routed_volume=measurement.routed_volume,
+                dropped_volume=measurement.dropped_volume,
+                connected=measurement.connected,
+                reoptimizations=sum(1 for _, kind, _m in window if kind == "reoptimize"),
+            )
+        )
+    return rows
+
+
+def replay_event_trace(
+    session: ControllerSession, events: Sequence[NetworkEvent]
+) -> ReplayResult:
+    """Replay an arbitrary event trace through a session (no outage windows).
+
+    The batch counterpart of feeding the same trace over the serve socket:
+    events run in simulated-time order on a discrete-event simulator, every
+    sample lands on the session timeline, and the result's
+    ``session.event_rows()`` are the records ``repro replay --trace-file``
+    stores (and the serve soak run must match bit-for-bit).
+    """
+    processed, elapsed = session.replay(events)
+    return ReplayResult(
+        controller=session.controller,
+        baseline=session.baseline,
+        final=session.controller.measure(),
+        outages=[],
+        timeline=session.timeline,
+        processed_events=processed,
+        elapsed=elapsed,
+        samples=session.samples,
+        policy=session.policy,
+        session=session,
+    )
+
+
 def replay_failure_trace(
     network: Network,
     demands: TrafficMatrix,
@@ -101,9 +176,10 @@ def replay_failure_trace(
     outage: float = 300.0,
     policy: Optional[object] = None,
     *,
-    tolerance: float = DEFAULT_TOLERANCE,
-    max_affected_fraction: Optional[float] = None,
-    verify: bool = False,
+    session: Optional[ControllerSession] = None,
+    tolerance: object = _UNSET,
+    max_affected_fraction: object = _UNSET,
+    verify: object = _UNSET,
 ) -> ReplayResult:
     """Replay ``scenarios`` as a timed fail → repair trace and sample MLU.
 
@@ -116,99 +192,49 @@ def replay_failure_trace(
     report the last sample inside each outage window — the sustained state
     the network actually ran in until repair.
 
-    ``tolerance``, ``max_affected_fraction`` and ``verify`` go straight to
-    the underlying :class:`TEController` (and its dynamic SPT), so the
-    fallback threshold is tunable from the CLI without code edits
-    (``max_affected_fraction=None`` auto-tunes it per topology class).
+    Pass a prebuilt :class:`ControllerSession` (``session=``) to control
+    the controller's construction (tolerance, fallback threshold, verify
+    mode, custom weights); the legacy ``tolerance`` /
+    ``max_affected_fraction`` / ``verify`` keywords still work but are
+    deprecated and will be removed next release.
     """
+    deprecated = {
+        name: value
+        for name, value in (
+            ("tolerance", tolerance),
+            ("max_affected_fraction", max_affected_fraction),
+            ("verify", verify),
+        )
+        if value is not _UNSET
+    }
+    if deprecated:
+        if session is not None:
+            raise ValueError(
+                "pass controller knobs on the ControllerSession, not alongside "
+                f"session= (got {', '.join(sorted(deprecated))})"
+            )
+        warnings.warn(
+            f"passing {', '.join(sorted(deprecated))} to replay_failure_trace is "
+            "deprecated; construct a repro.online.ControllerSession with these "
+            "knobs and pass session= instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    if session is None:
+        session = ControllerSession(network, demands, policy=policy, **deprecated)
+    elif policy is not None and session.policy is not policy:
+        raise ValueError("pass the policy on the ControllerSession, not alongside session=")
     trace = failure_recovery_trace(network, scenarios, period=period, outage=outage)
-    controller = TEController(
-        network,
-        demands,
-        tolerance=tolerance,
-        max_affected_fraction=max_affected_fraction,
-        verify=verify,
-    )
-    baseline = controller.measure()
-
-    timeline: List[Tuple[float, str, ControllerMeasurement]] = []
-    updates: List[ControllerUpdate] = []
-    simulator = Simulator()
-
-    def sample(ctrl: TEController, update: ControllerUpdate) -> ControllerMeasurement:
-        measurement = ctrl.measure()
-        updates.append(update)
-        timeline.append((update.event.time, update.event.kind, measurement))
-        return measurement
-
-    on_update = sample
-    if policy is not None:
-        policy.attach(
-            controller,
-            simulator,
-            # The policy hands over its post-installation measurement, so
-            # the timeline entry costs no extra measure().
-            on_reoptimize=lambda ctrl, decision, measurement: timeline.append(
-                (decision.time, "reoptimize", measurement)
-            ),
-        )
-
-        def on_update(ctrl: TEController, update: ControllerUpdate) -> None:
-            policy.observe(ctrl, update, measurement=sample(ctrl, update))
-
-    controller.bind(simulator, trace, on_update=on_update)
-    stats_before = (
-        snapshot_stats(controller.spt.stats) if telemetry.enabled() else None
-    )
-    start = time.perf_counter()
-    with telemetry.span(
-        "replay.trace",
-        scenarios=len(scenarios),
-        policy=type(policy).__name__ if policy is not None else "none",
-    ):
-        simulator.run()
-    elapsed = time.perf_counter() - start
-    if stats_before is not None:
-        publish_dspt_counters(stats_before, controller.spt.stats)
-
-    outages: List[OutageRow] = []
-    for index, scenario in enumerate(scenarios):
-        down, up = index * period, index * period + outage
-        window = [
-            (when, kind, measurement)
-            for when, kind, measurement in timeline
-            if down <= when < up and kind in ("link-failure", "reoptimize")
-        ]
-        if not window:
-            continue
-        when, _, measurement = window[-1]
-        if telemetry.enabled():
-            # Sustained MLU: what each outage actually ran at until repair.
-            telemetry.observe(
-                "replay.sustained_mlu",
-                measurement.mlu,
-                edges=(0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 2.0, 3.0, 5.0),
-            )
-        outages.append(
-            OutageRow(
-                scenario_id=scenario.scenario_id,
-                time=down,
-                mlu=measurement.mlu,
-                utility=measurement.utility,
-                routed_volume=measurement.routed_volume,
-                dropped_volume=measurement.dropped_volume,
-                connected=measurement.connected,
-                reoptimizations=sum(1 for _, kind, _m in window if kind == "reoptimize"),
-            )
-        )
+    processed, elapsed = session.replay(trace)
     return ReplayResult(
-        controller=controller,
-        baseline=baseline,
-        final=controller.measure(),
-        outages=outages,
-        timeline=timeline,
-        processed_events=simulator.processed_events,
+        controller=session.controller,
+        baseline=session.baseline,
+        final=session.controller.measure(),
+        outages=outage_rows(session.timeline, scenarios, period, outage),
+        timeline=session.timeline,
+        processed_events=processed,
         elapsed=elapsed,
-        samples=updates,
-        policy=policy,
+        samples=session.samples,
+        policy=session.policy,
+        session=session,
     )

@@ -1,0 +1,462 @@
+"""The formal controller-session API: feed events, read state, subscribe.
+
+:func:`~repro.online.replay.replay_failure_trace` used to blur three
+concerns inside one function — event ingestion (the simulator binding),
+controller state (baseline, timeline, samples) and policy wiring.  A
+long-running service cannot be built on that surface, so this module
+extracts it as :class:`ControllerSession`, the object both the batch
+replay *and* the ``repro serve`` daemon now drive:
+
+* **feed** — :meth:`ControllerSession.feed` applies one event, samples the
+  resulting measurement into the session timeline and hands it to the
+  attached policy (exactly the ordering the replay always used, so the
+  two paths stay bit-for-bit identical);
+* **read state** — :meth:`measure`, :meth:`forwarding`,
+  :meth:`status`, :meth:`counters` and the deterministic
+  :meth:`state_dump` / :meth:`from_state_dump` round trip;
+* **subscribe** — :meth:`subscribe` registers ``(session, time, kind,
+  measurement)`` callbacks fired after every sample (events and policy
+  reoptimizations alike), the hook the serve daemon and future streaming
+  consumers build on;
+* **drive** — :meth:`replay` binds an event trace onto a discrete-event
+  simulator and runs it to completion (the engine behind
+  ``replay_failure_trace``), while :meth:`reoptimize_offline` runs the
+  warm-started weight search on a :meth:`TEController.snapshot` clone so
+  a live session's state is never blocked mid-search.
+
+Sessions are keyed (:attr:`key`, defaulting to the topology name) the
+same way the results store keys runs, which is what makes the serve
+daemon's multi-tenancy line up with recorded soak runs.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..network.demands import TrafficMatrix
+from ..network.graph import Network, Node
+from ..network.spt import DEFAULT_TOLERANCE, WeightsLike
+from ..obs import telemetry
+from ..simulator.events import Simulator
+from .controller import ControllerMeasurement, ControllerUpdate, TEController
+from .dspt import publish_dspt_counters, snapshot_stats
+from .events import CapacityChange, EventError, LinkFailure, NetworkEvent
+
+#: Schema version of :meth:`ControllerSession.state_dump` payloads.
+STATE_DUMP_SCHEMA = 1
+
+#: Decimal places of measurement fields in wire responses and recorded
+#: per-event rows.  12 decimals keeps the serve/batch diff exact at the
+#: acceptance tolerance while staying JSON-round-trip stable.
+ROW_DECIMALS = 12
+
+#: ``(session, time, kind, measurement)`` callback fired after every sample.
+SessionSubscriber = Callable[
+    ["ControllerSession", float, str, ControllerMeasurement], None
+]
+
+
+def measurement_row(
+    seq: int, when: float, kind: str, measurement: ControllerMeasurement
+) -> Dict[str, object]:
+    """One flat per-event record (shared by serve responses and replay rows).
+
+    Both the serve daemon's event responses and ``repro replay
+    --trace-file`` records are built by this one function, so the CI
+    serve-smoke diff compares numbers produced by literally the same code.
+    """
+    return {
+        "seq": seq,
+        "time": when,
+        "kind": kind,
+        "mlu": round(measurement.mlu, ROW_DECIMALS),
+        "utility": round(measurement.utility, ROW_DECIMALS),
+        "routed": round(measurement.routed_volume, ROW_DECIMALS),
+        "dropped": round(measurement.dropped_volume, ROW_DECIMALS),
+        "connected": measurement.connected,
+    }
+
+
+class ControllerSession:
+    """One live controller + optional policy behind a feed/read/subscribe API.
+
+    Parameters
+    ----------
+    network, demands:
+        The base topology and offered traffic (the controller's inputs).
+    policy:
+        An optional closed-loop policy (:mod:`repro.online.policy`).  It is
+        attached immediately; when :meth:`replay` later binds a simulator,
+        the policy is re-attached with it so hold/cooldown timers run on
+        simulated time.  Without a simulator (direct :meth:`feed`, the
+        serve daemon) the policy reacts immediately, cooldown still applied.
+    weights, tolerance, max_affected_fraction, verify:
+        Passed to :class:`TEController` — these construction knobs live
+        *here* now; passing them to ``replay_failure_trace`` directly is
+        deprecated.
+    key:
+        The session's identity for multi-tenant serving and recorded soak
+        runs; defaults to ``network.name`` (the way the results store keys
+        runs by topology).
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        demands: TrafficMatrix,
+        policy: Optional[object] = None,
+        *,
+        weights: Optional[WeightsLike] = None,
+        tolerance: float = DEFAULT_TOLERANCE,
+        max_affected_fraction: Optional[float] = None,
+        verify: bool = False,
+        key: Optional[str] = None,
+    ) -> None:
+        self.network = network
+        self.key = key if key is not None else network.name
+        self.controller = TEController(
+            network,
+            demands,
+            weights=weights,
+            tolerance=tolerance,
+            max_affected_fraction=max_affected_fraction,
+            verify=verify,
+        )
+        self.policy = policy
+        #: The pre-event measurement (taken once, before any feed).
+        self.baseline: ControllerMeasurement = self.controller.measure()
+        #: ``(time, kind, measurement)`` samples, events and reoptimizations.
+        self.timeline: List[Tuple[float, str, ControllerMeasurement]] = []
+        #: The controller updates behind the event samples, in feed order.
+        self.samples: List[ControllerUpdate] = []
+        self._rows: List[Dict[str, object]] = []
+        self._subscribers: List[SessionSubscriber] = []
+        self._simulator: Optional[Simulator] = None
+        if policy is not None:
+            policy.attach(self.controller, None, on_reoptimize=self._policy_reoptimized)
+
+    # ------------------------------------------------------------------
+    # feed
+    # ------------------------------------------------------------------
+    def feed(self, event: NetworkEvent) -> ControllerMeasurement:
+        """Apply one event, sample the result, notify the policy/subscribers.
+
+        Returns the post-event (pre-policy) measurement — the number the
+        batch replay puts on its timeline for this event, so a socket feed
+        and a simulator replay of the same trace report identical values.
+        """
+        update = self.controller.apply(event)
+        measurement = self._sample(update)
+        if self.policy is not None:
+            self.policy.observe(self.controller, update, measurement=measurement)
+        return measurement
+
+    def feed_many(self, events: Iterable[NetworkEvent]) -> List[ControllerMeasurement]:
+        """Feed a batch of events in order."""
+        return [self.feed(event) for event in events]
+
+    def _sample(self, update: ControllerUpdate) -> ControllerMeasurement:
+        measurement = self.controller.measure()
+        self.samples.append(update)
+        when, kind = update.event.time, update.event.kind
+        self.timeline.append((when, kind, measurement))
+        self._rows.append(measurement_row(len(self._rows), when, kind, measurement))
+        self._notify(when, kind, measurement)
+        return measurement
+
+    def _policy_reoptimized(
+        self, controller: TEController, decision: object, measurement: ControllerMeasurement
+    ) -> None:
+        # The policy hands over its post-installation measurement, so the
+        # timeline entry costs no extra measure().
+        when = getattr(decision, "time", self._last_time())
+        self.timeline.append((when, "reoptimize", measurement))
+        self._rows.append(measurement_row(len(self._rows), when, "reoptimize", measurement))
+        self._notify(when, "reoptimize", measurement)
+
+    def _notify(self, when: float, kind: str, measurement: ControllerMeasurement) -> None:
+        for subscriber in tuple(self._subscribers):
+            subscriber(self, when, kind, measurement)
+
+    def _last_time(self) -> float:
+        return self.timeline[-1][0] if self.timeline else 0.0
+
+    # ------------------------------------------------------------------
+    # subscribe
+    # ------------------------------------------------------------------
+    def subscribe(self, subscriber: SessionSubscriber) -> Callable[[], None]:
+        """Register an update callback; returns its unsubscribe function."""
+        self._subscribers.append(subscriber)
+
+        def unsubscribe() -> None:
+            if subscriber in self._subscribers:
+                self._subscribers.remove(subscriber)
+
+        return unsubscribe
+
+    # ------------------------------------------------------------------
+    # read state
+    # ------------------------------------------------------------------
+    def measure(self) -> ControllerMeasurement:
+        return self.controller.measure()
+
+    def mlu(self) -> float:
+        return self.controller.measure().mlu
+
+    @property
+    def processed_events(self) -> int:
+        return len(self.samples)
+
+    @property
+    def reoptimizations(self) -> int:
+        return len(getattr(self.policy, "decisions", ()))
+
+    def event_rows(self) -> List[Dict[str, object]]:
+        """Flat per-sample records (events and reoptimizations, in order)."""
+        return [dict(row) for row in self._rows]
+
+    @property
+    def rows(self) -> Sequence[Dict[str, object]]:
+        """The live per-sample records (read-only view; copy via :meth:`event_rows`)."""
+        return self._rows
+
+    def forwarding(self, destination: Node) -> Dict[str, object]:
+        """The ECMP forwarding state toward ``destination``.
+
+        Per reachable node: the sorted equal-cost next hops and the even
+        split fraction each receives.  Raises :class:`EventError` for
+        destinations the controller has no demand toward (the session has
+        no DAG for them).
+        """
+        spt = self.controller.spt
+        if destination not in spt.destinations:
+            raise EventError(f"unknown destination {destination!r} (no demand toward it)")
+        state = spt.dag(destination)
+        nodes: Dict[str, object] = {}
+        for node, hops in state.next_hops.items():
+            if node == destination or not hops:
+                continue
+            ordered = sorted(hops, key=str)
+            nodes[str(node)] = {
+                "next_hops": [str(hop) for hop in ordered],
+                "split": round(1.0 / len(ordered), ROW_DECIMALS),
+            }
+        return {"destination": str(destination), "nodes": nodes}
+
+    def status(self) -> Dict[str, object]:
+        """A compact live-state summary (the serve ``status`` query)."""
+        measurement = self.controller.measure()
+        return {
+            "key": self.key,
+            "topology": self.network.name,
+            "nodes": self.network.num_nodes,
+            "links": self.network.num_links,
+            "events": self.processed_events,
+            "reoptimizations": self.reoptimizations,
+            "policy": type(self.policy).__name__ if self.policy is not None else None,
+            "baseline_mlu": round(self.baseline.mlu, ROW_DECIMALS),
+            "mlu": round(measurement.mlu, ROW_DECIMALS),
+            "connected": measurement.connected,
+            "dropped_pairs": len(measurement.dropped_pairs),
+            "failed_links": sorted(
+                [str(u), str(v)] for u, v in self.controller.spt.failed_links()
+            ),
+        }
+
+    def counters(self) -> Dict[str, object]:
+        """Telemetry-style counters (the serve ``counters`` query)."""
+        stats = self.controller.spt.stats
+        by_kind: Dict[str, int] = {}
+        for update in self.samples:
+            by_kind[update.event.kind] = by_kind.get(update.event.kind, 0) + 1
+        return {
+            "events": self.processed_events,
+            "events_by_kind": dict(sorted(by_kind.items())),
+            "reoptimizations": self.reoptimizations,
+            "dspt_incremental_updates": stats.incremental_updates,
+            "dspt_full_rebuilds": stats.full_rebuilds,
+            "dspt_event_fallbacks": stats.event_fallbacks,
+            "dspt_event_fallback_rate": round(stats.event_fallback_rate, ROW_DECIMALS),
+        }
+
+    # ------------------------------------------------------------------
+    # state dump / restore
+    # ------------------------------------------------------------------
+    def state_dump(self) -> Dict[str, object]:
+        """The session's installed state as a deterministic JSON-able dict.
+
+        The ``state`` section holds exactly what :meth:`from_state_dump`
+        needs to rebuild an equivalent session — installed weights, current
+        capacities, failed links, offered demands — and is byte-stable
+        across the round trip (same state, same sorted-key serialisation,
+        same bytes).  The ``measured`` section is informational (recomputed
+        on restore, equal to float round-off).
+        """
+        controller = self.controller
+        measurement = controller.measure()
+        demands = sorted(
+            ([str(s), str(t), float(v)] for (s, t), v in controller.demands.items()),
+            key=lambda row: (row[0], row[1]),
+        )
+        return {
+            "schema": STATE_DUMP_SCHEMA,
+            "key": self.key,
+            "topology": self.network.name,
+            "state": {
+                "weights": [float(w) for w in controller.weights],
+                "capacities": [float(c) for c in controller.capacities],
+                "failed_links": sorted(
+                    [str(u), str(v)] for u, v in controller.spt.failed_links()
+                ),
+                "demands": demands,
+            },
+            "measured": {
+                "mlu": measurement.mlu,
+                "utility": measurement.utility,
+                "routed": measurement.routed_volume,
+                "dropped": measurement.dropped_volume,
+                "connected": measurement.connected,
+            },
+        }
+
+    @classmethod
+    def from_state_dump(
+        cls,
+        network: Network,
+        dump: Dict[str, object],
+        *,
+        policy: Optional[object] = None,
+        tolerance: float = DEFAULT_TOLERANCE,
+        max_affected_fraction: Optional[float] = None,
+        verify: bool = False,
+    ) -> "ControllerSession":
+        """Rebuild a session from a :meth:`state_dump` payload.
+
+        ``network`` must be the dumped topology (name and shape are
+        validated; node names must stringify the way the dump recorded
+        them).  The restored session re-dumps with a byte-identical
+        ``state`` section.
+        """
+        if dump.get("schema") != STATE_DUMP_SCHEMA:
+            raise EventError(
+                f"unsupported state-dump schema {dump.get('schema')!r} "
+                f"(supported: {STATE_DUMP_SCHEMA})"
+            )
+        if dump.get("topology") != network.name:
+            raise EventError(
+                f"state dump of topology {dump.get('topology')!r} does not match "
+                f"network {network.name!r}"
+            )
+        state = dump["state"]
+        by_name = {str(node): node for node in network.nodes}
+        try:
+            demands = TrafficMatrix(
+                {(by_name[s], by_name[t]): v for s, t, v in state["demands"]}
+            )
+        except KeyError as exc:
+            raise EventError(f"state dump names unknown node {exc.args[0]!r}") from None
+        if len(state["weights"]) != network.num_links:
+            raise EventError(
+                f"state dump carries {len(state['weights'])} weights for "
+                f"{network.num_links} links"
+            )
+        session = cls(
+            network,
+            demands,
+            policy=policy,
+            weights=np.asarray(state["weights"], dtype=float),
+            tolerance=tolerance,
+            max_affected_fraction=max_affected_fraction,
+            verify=verify,
+            key=str(dump.get("key", network.name)),
+        )
+        links_by_name = {
+            (str(link.source), str(link.target)): link for link in network.links
+        }
+        for link in network.links:
+            capacity = float(state["capacities"][link.index])
+            if capacity != float(network.capacities[link.index]):
+                session.controller.apply(
+                    CapacityChange(link=link.endpoints, capacity=capacity)
+                )
+        for u, v in state["failed_links"]:
+            link = links_by_name.get((u, v))
+            if link is None:
+                raise EventError(f"state dump names unknown link ({u!r}, {v!r})")
+            session.controller.apply(LinkFailure(link=link.endpoints))
+        # Restoration events went through the controller directly (plumbing,
+        # not history): the session timeline stays empty and the baseline is
+        # the *restored* state, not the pre-failure network.
+        session.baseline = session.controller.measure()
+        return session
+
+    # ------------------------------------------------------------------
+    # drive
+    # ------------------------------------------------------------------
+    def replay(
+        self,
+        events: Sequence[NetworkEvent],
+        simulator: Optional[Simulator] = None,
+    ) -> Tuple[int, float]:
+        """Run an event trace to completion on a discrete-event simulator.
+
+        Binds the trace, re-attaches the policy with the simulator clock
+        (hold/cooldown run on simulated time), runs, and returns
+        ``(processed_events, elapsed_seconds)``.  Samples land on
+        :attr:`timeline` exactly as :meth:`feed` would place them.
+        """
+        simulator = simulator if simulator is not None else Simulator()
+        self._simulator = simulator
+        policy = self.policy
+        if policy is not None:
+            policy.attach(
+                self.controller, simulator, on_reoptimize=self._policy_reoptimized
+            )
+
+        def on_update(controller: TEController, update: ControllerUpdate) -> None:
+            measurement = self._sample(update)
+            if policy is not None:
+                policy.observe(controller, update, measurement=measurement)
+
+        scheduled = self.controller.bind(simulator, events, on_update=on_update)
+        stats_before = (
+            snapshot_stats(self.controller.spt.stats) if telemetry.enabled() else None
+        )
+        start = _time.perf_counter()
+        with telemetry.span(
+            "replay.trace",
+            events=scheduled,
+            session=self.key,
+            policy=type(policy).__name__ if policy is not None else "none",
+        ):
+            simulator.run()
+        elapsed = _time.perf_counter() - start
+        if stats_before is not None:
+            publish_dspt_counters(stats_before, self.controller.spt.stats)
+        return simulator.processed_events, elapsed
+
+    def reoptimize_offline(
+        self, optimizer: Optional[object] = None, warm_start: bool = True
+    ):
+        """Run the weight search on a snapshot clone, then install the result.
+
+        The search runs against a :meth:`TEController.from_snapshot` clone
+        of the live controller — the serve daemon calls this from a worker
+        so the session's own state is only touched for the final (cheap)
+        bulk weight installation.  The installation is sampled onto the
+        timeline as a ``"reoptimize"`` entry.  Returns the optimizer
+        result.
+        """
+        snapshot = self.controller.snapshot()
+        clone = TEController.from_snapshot(self.network, snapshot)
+        result = clone.reoptimize(optimizer=optimizer, warm_start=warm_start, install=True)
+        self.controller.set_weights(clone.weights.copy())
+        measurement = self.controller.measure()
+        when = self._last_time()
+        self.timeline.append((when, "reoptimize", measurement))
+        self._rows.append(measurement_row(len(self._rows), when, "reoptimize", measurement))
+        self._notify(when, "reoptimize", measurement)
+        return result

@@ -1,0 +1,153 @@
+"""A small blocking client for the serve protocol.
+
+:class:`ServeClient` speaks the JSON-lines frame protocol of
+:mod:`repro.serve.wire` over one TCP connection.  It is deliberately
+synchronous — the consumers are tests, the soak recorder and operator
+one-liners, none of which want an event loop of their own::
+
+    with ServeClient("127.0.0.1", port) as client:
+        row = client.feed_event(LinkFailure(link=(u, v), time=0.0))["row"]
+        print(client.mlu(), client.status()["failed_links"])
+        client.shutdown()
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Dict, Iterable, List, Optional, Union
+
+from ..online.events import NetworkEvent, to_dict
+from .wire import PROTOCOL_VERSION, desanitize
+
+
+class ServeClientError(RuntimeError):
+    """A transport failure or an ``ok: false`` response from the server."""
+
+
+class ServeClient:
+    """One blocking JSON-lines connection to a :class:`~repro.serve.TEServer`."""
+
+    def __init__(self, host: str, port: int, *, timeout: float = 60.0) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+    def request(self, frame: Dict[str, object]) -> Dict[str, object]:
+        """Send one raw frame and return the raw response (ok or not)."""
+        payload = dict(frame)
+        payload.setdefault("v", PROTOCOL_VERSION)
+        self._file.write(json.dumps(payload, sort_keys=True).encode("utf-8") + b"\n")
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ServeClientError("server closed the connection")
+        try:
+            response = json.loads(line.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServeClientError(f"unparseable response: {exc}") from None
+        if not isinstance(response, dict):
+            raise ServeClientError(f"non-object response: {response!r}")
+        return response
+
+    def call(self, frame: Dict[str, object]) -> Dict[str, object]:
+        """Send one frame; return ``result`` or raise on an error response."""
+        response = self.request(frame)
+        if not response.get("ok"):
+            raise ServeClientError(str(response.get("error", "unknown server error")))
+        result = desanitize(response.get("result"))
+        return result if isinstance(result, dict) else {"result": result}
+
+    def send_line(self, line: bytes) -> Dict[str, object]:
+        """Send pre-serialised bytes (for malformed-frame tests) and read back."""
+        self._file.write(line.rstrip(b"\n") + b"\n")
+        self._file.flush()
+        raw = self._file.readline()
+        if not raw:
+            raise ServeClientError("server closed the connection")
+        return json.loads(raw.decode("utf-8"))
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # events
+    # ------------------------------------------------------------------
+    def feed_event(
+        self,
+        event: Union[NetworkEvent, Dict[str, object]],
+        session: Optional[str] = None,
+    ) -> Dict[str, object]:
+        """Feed one event (a :class:`NetworkEvent` or its wire dict)."""
+        payload = to_dict(event) if isinstance(event, NetworkEvent) else dict(event)
+        frame: Dict[str, object] = {"type": "event", "event": payload}
+        if session is not None:
+            frame["session"] = session
+        return self.call(frame)
+
+    def feed_trace(
+        self,
+        events: Iterable[Union[NetworkEvent, Dict[str, object]]],
+        session: Optional[str] = None,
+    ) -> List[Dict[str, object]]:
+        """Feed events in order; returns each event's result frame."""
+        return [self.feed_event(event, session=session) for event in events]
+
+    # ------------------------------------------------------------------
+    # queries and controls
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        query: str,
+        session: Optional[str] = None,
+        destination: Optional[str] = None,
+    ) -> Dict[str, object]:
+        frame: Dict[str, object] = {"type": "query", "query": query}
+        if session is not None:
+            frame["session"] = session
+        if destination is not None:
+            frame["destination"] = destination
+        return self.call(frame)
+
+    def control(self, action: str, session: Optional[str] = None) -> Dict[str, object]:
+        frame: Dict[str, object] = {"type": "control", "action": action}
+        if session is not None:
+            frame["session"] = session
+        return self.call(frame)
+
+    def mlu(self, session: Optional[str] = None) -> float:
+        return float(self.query("mlu", session=session)["mlu"])
+
+    def status(self, session: Optional[str] = None) -> Dict[str, object]:
+        return self.query("status", session=session)
+
+    def counters(self, session: Optional[str] = None) -> Dict[str, object]:
+        return self.query("counters", session=session)
+
+    def forwarding(
+        self, destination: str, session: Optional[str] = None
+    ) -> Dict[str, object]:
+        return self.query("forwarding", session=session, destination=destination)
+
+    def sessions(self) -> List[str]:
+        return list(self.query("sessions")["sessions"])
+
+    def dump(self, session: Optional[str] = None) -> Dict[str, object]:
+        return self.control("dump", session=session)["dumps"]
+
+    def reoptimize(self, session: Optional[str] = None) -> Dict[str, object]:
+        return self.control("reoptimize", session=session)
+
+    def shutdown(self) -> Dict[str, object]:
+        return self.control("shutdown")

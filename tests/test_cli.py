@@ -639,3 +639,133 @@ def test_results_format_flags(seeded_store, capsys):
 
     with pytest.raises(SystemExit):  # argparse rejects unknown formats
         run_cli("results", "list", "--format", "yaml", "--store", str(seeded_store))
+
+
+# ----------------------------------------------------------------------
+# event traces and the serve daemon
+# ----------------------------------------------------------------------
+def test_serve_help_exits_zero(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        run_cli("serve", "--help")
+    assert excinfo.value.code == 0
+    assert "--replay-trace" in capsys.readouterr().out
+
+
+def test_replay_export_trace_then_trace_file_matches(tmp_path, capsys):
+    store_path = tmp_path / "r.sqlite"
+    trace_path = tmp_path / "trace.jsonl"
+    assert run_cli(
+        "replay",
+        "--limit", "2",
+        "--export-trace", str(trace_path),
+        "--store", str(store_path),
+    ) == 0
+    assert "wrote 8 event(s)" in capsys.readouterr().out
+    lines = [json.loads(line) for line in trace_path.read_text().splitlines()]
+    assert all(line["v"] == 1 and "event" in line for line in lines)
+
+    assert run_cli(
+        "replay",
+        "--trace-file", str(trace_path),
+        "--store", str(store_path),
+    ) == 0
+    assert "replayed 8 events from" in capsys.readouterr().out
+    with ResultsStore(store_path) as store:
+        runs = store.runs(kind="replay")
+        assert len(runs) == 2  # the exporting run and the trace-file run
+        records = store.records(runs[0].run_id)
+        event_records = [r for r in records if r.get("scenario", "").startswith("event-")]
+        assert len(event_records) == 8
+        assert all("mlu" in r and "kind" in r for r in event_records)
+
+
+def test_replay_rejects_trace_file_with_export_trace(tmp_path, capsys):
+    code = run_cli(
+        "replay",
+        "--trace-file", "a.jsonl",
+        "--export-trace", "b.jsonl",
+        "--store", str(tmp_path / "r.sqlite"),
+    )
+    assert code == 2
+    assert "mutually exclusive" in capsys.readouterr().err
+
+
+def test_replay_malformed_trace_exits_two_with_line_number(tmp_path, capsys):
+    trace_path = tmp_path / "bad.jsonl"
+    trace_path.write_text(
+        '{"v": 1, "event": "noop", "time": 0.0}\n'
+        '{"v": 1, "event": "link-failure", "time": 1.0}\n'
+    )
+    code = run_cli(
+        "replay", "--trace-file", str(trace_path), "--store", str(tmp_path / "r.sqlite")
+    )
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "bad.jsonl:2" in err and "missing field" in err
+
+
+def test_serve_malformed_trace_exits_two_with_line_number(tmp_path, capsys):
+    trace_path = tmp_path / "bad.jsonl"
+    trace_path.write_text("not json\n")
+    code = run_cli(
+        "serve", "--replay-trace", str(trace_path), "--store", str(tmp_path / "r.sqlite")
+    )
+    assert code == 2
+    assert "bad.jsonl:1" in capsys.readouterr().err
+
+
+def test_serve_soak_rejects_multiple_topologies(tmp_path, capsys):
+    trace_path = tmp_path / "trace.jsonl"
+    trace_path.write_text('{"v": 1, "event": "noop", "time": 0.0}\n')
+    code = run_cli(
+        "serve",
+        "--topology", "abilene",
+        "--topology", "cernet2",
+        "--replay-trace", str(trace_path),
+        "--store", str(tmp_path / "r.sqlite"),
+    )
+    assert code == 2
+    assert "exactly one session" in capsys.readouterr().err
+
+
+def test_serve_soak_diffs_clean_against_batch_replay(tmp_path, capsys):
+    """The acceptance path CI gates on: socket soak == batch replay."""
+    store_path = tmp_path / "r.sqlite"
+    trace_path = tmp_path / "trace.jsonl"
+    dump_path = tmp_path / "state.json"
+    assert run_cli(
+        "replay",
+        "--limit", "3",
+        "--export-trace", str(trace_path),
+        "--store", str(store_path),
+    ) == 0
+    assert run_cli(
+        "replay",
+        "--trace-file", str(trace_path),
+        "--store", str(store_path),
+    ) == 0
+    assert run_cli(
+        "serve",
+        "--replay-trace", str(trace_path),
+        "--state-dump", str(dump_path),
+        "--store", str(store_path),
+    ) == 0
+    out = capsys.readouterr().out
+    assert "soaked 12 events through the serve socket" in out
+    assert dump_path.exists()
+
+    code = run_cli(
+        "results", "diff",
+        "latest:replay", "latest:serve",
+        "--rtol", "1e-12", "--atol", "1e-15",
+        "--store", str(store_path),
+    )
+    assert code == 0
+    diff_out = capsys.readouterr().out
+    assert "0 hard mismatch(es)" in diff_out
+    assert "OK: no hard metric mismatches" in diff_out
+
+    with ResultsStore(store_path) as store:
+        (serve_run,) = store.runs(kind="serve")
+        assert serve_run.config["command"] == "serve"
+        assert serve_run.config["events"] == 12
