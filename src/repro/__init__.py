@@ -88,7 +88,7 @@ from .routing import CompiledDagSet, SparseRouter, batched_link_loads
 from .scenarios import BatchRunner, ProtocolSpec, Scenario, ScenarioResult
 from .serve import ServeClient, TEServer
 
-__version__ = "1.9.0"
+__version__ = "1.10.0"
 
 __all__ = [
     "core",

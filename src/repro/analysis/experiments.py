@@ -13,7 +13,7 @@ with fixed seeds so every experiment is reproducible.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from collections.abc import Callable, Sequence
 
 import numpy as np
 
@@ -60,10 +60,10 @@ class Instance:
     base_demands: TrafficMatrix
     kind: str
     #: Fractions of the saturation load swept in Fig. 10 for this instance.
-    load_fractions: Tuple[float, ...] = (0.55, 0.65, 0.75, 0.85, 0.95, 1.0)
+    load_fractions: tuple[float, ...] = (0.55, 0.65, 0.75, 0.85, 0.95, 1.0)
     #: Cached network load at which the *optimal* (min-max) MLU reaches
     #: ``SATURATION_MLU``; computed lazily by :meth:`saturation_load`.
-    _saturation_load: Optional[float] = None
+    _saturation_load: float | None = None
 
     #: Optimal MLU that defines "almost 100% utilisation" in the paper's
     #: demand-scaling procedure.  Kept a little below 1 so that the
@@ -96,7 +96,7 @@ class Instance:
             self._saturation_load = base_load * self.SATURATION_MLU / base_mlu
         return self._saturation_load
 
-    def fig10_loads(self) -> List[float]:
+    def fig10_loads(self) -> list[float]:
         """The network-load levels swept in Fig. 10 for this instance."""
         saturation = self.saturation_load()
         return [round(fraction * saturation, 6) for fraction in self.load_fractions]
@@ -108,8 +108,8 @@ class Instance:
 
 def _limit_pairs(
     demands: TrafficMatrix,
-    max_pairs: Optional[int],
-    max_destinations: Optional[int] = None,
+    max_pairs: int | None,
+    max_destinations: int | None = None,
 ) -> TrafficMatrix:
     """Keep only the largest demands, optionally capping distinct destinations.
 
@@ -119,8 +119,8 @@ def _limit_pairs(
     """
     kept = dict(demands.items())
     if max_destinations is not None:
-        by_destination: Dict[object, float] = {}
-        for (source, target), volume in kept.items():
+        by_destination: dict[object, float] = {}
+        for (_source, target), volume in kept.items():
             by_destination[target] = by_destination.get(target, 0.0) + volume
         top = set(
             sorted(by_destination, key=by_destination.get, reverse=True)[:max_destinations]
@@ -133,8 +133,8 @@ def _limit_pairs(
 
 
 def standard_instances(
-    max_pairs: Optional[int] = 240, max_destinations: Optional[int] = 20
-) -> Dict[str, Instance]:
+    max_pairs: int | None = 240, max_destinations: int | None = 20
+) -> dict[str, Instance]:
     """The seven evaluation instances of Table III with their base workloads.
 
     ``max_pairs`` and ``max_destinations`` cap the demand matrix on the large
@@ -142,7 +142,7 @@ def standard_instances(
     kept); set both to ``None`` for the full all-pairs matrices at the cost of
     much slower LP solves.
     """
-    instances: Dict[str, Instance] = {}
+    instances: dict[str, Instance] = {}
 
     abilene = abilene_network()
     instances["Abilene"] = Instance(
@@ -158,7 +158,7 @@ def standard_instances(
         kind="Backbone",
     )
 
-    synthetic: List[Tuple[str, Callable[[], Network]]] = [
+    synthetic: list[tuple[str, Callable[[], Network]]] = [
         ("Hier50a", hier50a),
         ("Hier50b", hier50b),
         ("Rand50a", rand50a),
@@ -175,7 +175,7 @@ def standard_instances(
     return instances
 
 
-def table3_topologies(instances: Optional[Dict[str, Instance]] = None) -> List[Dict[str, object]]:
+def table3_topologies(instances: dict[str, Instance] | None = None) -> list[dict[str, object]]:
     """Table III: the properties of every evaluation network."""
     instances = instances or standard_instances()
     rows = []
@@ -195,11 +195,11 @@ def table3_topologies(instances: Optional[Dict[str, Instance]] = None) -> List[D
 # ----------------------------------------------------------------------
 # Table I / Fig. 2 / Fig. 3 -- the Fig. 1 example
 # ----------------------------------------------------------------------
-def table1_weights_and_utilizations() -> List[Dict[str, object]]:
+def table1_weights_and_utilizations() -> list[dict[str, object]]:
     """Table I: weights and utilizations on Fig. 1 for several objectives."""
     network = fig1_network()
     demands = fig1_demands()
-    rows: List[Dict[str, object]] = []
+    rows: list[dict[str, object]] = []
 
     for beta in (0.0, 1.0):
         objective = LoadBalanceObjective(beta=beta)
@@ -248,8 +248,8 @@ def table1_weights_and_utilizations() -> List[Dict[str, object]]:
 
 
 def fig2_cost_curves(
-    loads: Optional[Sequence[float]] = None, capacity: float = 1.0
-) -> Dict[str, List[float]]:
+    loads: Sequence[float] | None = None, capacity: float = 1.0
+) -> dict[str, list[float]]:
     """Fig. 2: link cost as a function of load for FT and beta in {0, 1, 2}.
 
     The (q, beta) "cost" of carrying load f on a unit-capacity link is the
@@ -258,7 +258,7 @@ def fig2_cost_curves(
     """
     if loads is None:
         loads = [round(x, 3) for x in np.linspace(0.0, 0.99, 100)]
-    curves: Dict[str, List[float]] = {"load": list(map(float, loads))}
+    curves: dict[str, list[float]] = {"load": list(map(float, loads))}
     curves["FT"] = [link_cost(load * capacity, capacity) for load in loads]
     for beta in (0.0, 1.0, 2.0):
         objective = LoadBalanceObjective(beta=beta)
@@ -272,14 +272,14 @@ def fig2_cost_curves(
     return curves
 
 
-def fig3_beta_sweep(betas: Optional[Sequence[float]] = None) -> Dict[str, Dict[str, List[float]]]:
+def fig3_beta_sweep(betas: Sequence[float] | None = None) -> dict[str, dict[str, list[float]]]:
     """Fig. 3: first weights and utilizations on Fig. 1 as beta varies."""
     if betas is None:
         betas = [0.0, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 5.0]
     network = fig1_network()
     demands = fig1_demands()
-    weights: Dict[str, List[float]] = {f"{u}->{v}": [] for u, v in network.edges}
-    utilizations: Dict[str, List[float]] = {f"{u}->{v}": [] for u, v in network.edges}
+    weights: dict[str, list[float]] = {f"{u}->{v}": [] for u, v in network.edges}
+    utilizations: dict[str, list[float]] = {f"{u}->{v}": [] for u, v in network.edges}
     for beta in betas:
         objective = LoadBalanceObjective(beta=beta)
         solution = solve_optimal_te(TEProblem(network, demands, objective))
@@ -294,14 +294,14 @@ def fig3_beta_sweep(betas: Optional[Sequence[float]] = None) -> Dict[str, Dict[s
 # ----------------------------------------------------------------------
 # Fig. 5/6/7 -- the Fig. 4 example
 # ----------------------------------------------------------------------
-def fig4_example_results(betas: Sequence[float] = (0.0, 1.0, 5.0)) -> Dict[str, object]:
+def fig4_example_results(betas: Sequence[float] = (0.0, 1.0, 5.0)) -> dict[str, object]:
     """Fig. 6 and Fig. 7: OSPF vs SPEF(beta) on the 7-node example topology."""
     network = fig4_network()
     demands = fig4_demands()
     link_labels = [f"{FIG4_LINKS[i][0]}->{FIG4_LINKS[i][1]}" for i in sorted(FIG4_LINKS)]
 
     ospf_util = OSPF().route(network, demands).utilization()
-    results: Dict[str, object] = {
+    results: dict[str, object] = {
         "link_labels": link_labels,
         "OSPF_utilization": [float(x) for x in ospf_util],
     }
@@ -314,7 +314,7 @@ def fig4_example_results(betas: Sequence[float] = (0.0, 1.0, 5.0)) -> Dict[str, 
     return results
 
 
-def fig5_forwarding_table(beta: float = 1.0, destination: int = 2) -> Dict[str, object]:
+def fig5_forwarding_table(beta: float = 1.0, destination: int = 2) -> dict[str, object]:
     """Fig. 5 / Table II: the SPEF forwarding entries towards one destination."""
     network = fig4_network()
     demands = fig4_demands()
@@ -342,9 +342,9 @@ def fig5_forwarding_table(beta: float = 1.0, destination: int = 2) -> Dict[str, 
 # ----------------------------------------------------------------------
 def fig9_sorted_utilizations(
     instance: Instance,
-    load: Optional[float] = None,
-    spef_config: Optional[SPEFConfig] = None,
-) -> Dict[str, List[float]]:
+    load: float | None = None,
+    spef_config: SPEFConfig | None = None,
+) -> dict[str, list[float]]:
     """Fig. 9: sorted link utilizations of OSPF and SPEF at one load level.
 
     ``load`` defaults to 85% of the instance's saturation load, the regime
@@ -365,14 +365,14 @@ def fig9_sorted_utilizations(
 
 def fig10_utility_sweep(
     instance: Instance,
-    loads: Optional[Sequence[float]] = None,
-    protocols: Optional[Dict[str, Callable[[], object]]] = None,
-) -> Dict[str, List[float]]:
+    loads: Sequence[float] | None = None,
+    protocols: dict[str, Callable[[], object]] | None = None,
+) -> dict[str, list[float]]:
     """Fig. 10: normalised utility of OSPF and SPEF across network loads."""
     loads = list(loads) if loads is not None else instance.fig10_loads()
     if protocols is None:
         protocols = {"OSPF": OSPF, "SPEF": SPEFProtocol}
-    series: Dict[str, List[float]] = {"load": [float(x) for x in loads]}
+    series: dict[str, list[float]] = {"load": [float(x) for x in loads]}
     for name, factory in protocols.items():
         values = []
         for load in loads:
@@ -387,7 +387,7 @@ def fig10_utility_sweep(
 # ----------------------------------------------------------------------
 # Table IV / Fig. 11 -- SPEF vs PEFT in the flow-level simulator
 # ----------------------------------------------------------------------
-def table4_demands() -> Dict[str, TrafficMatrix]:
+def table4_demands() -> dict[str, TrafficMatrix]:
     """The demand sets of Table IV (simple network and Cernet2 backbone).
 
     The Cernet2 demands keep the paper's source/destination pairs and their
@@ -414,7 +414,7 @@ def fig11_simulation(
     case: str = "simple",
     duration: float = 400.0,
     seed: int = 7,
-) -> Dict[str, object]:
+) -> dict[str, object]:
     """Fig. 11: mean per-link load of SPEF vs PEFT in the flow-level simulator."""
     demands_by_case = table4_demands()
     if case not in demands_by_case:
@@ -446,8 +446,8 @@ def fig11_simulation(
 # ----------------------------------------------------------------------
 def table5_equal_cost_paths(
     load_fractions: Sequence[float] = (0.6, 0.8, 1.0),
-    instance: Optional[Instance] = None,
-) -> Dict[str, Dict[int, int]]:
+    instance: Instance | None = None,
+) -> dict[str, dict[int, int]]:
     """Table V: number of pairs with i equal-cost paths, OSPF vs SPEF per load.
 
     ``load_fractions`` are fractions of the instance's saturation load (the
@@ -459,7 +459,7 @@ def table5_equal_cost_paths(
     if instance is None:
         instance = standard_instances()["Cernet2"]
     network = instance.network
-    results: Dict[str, Dict[int, int]] = {}
+    results: dict[str, dict[int, int]] = {}
     results["OSPF"] = equal_cost_path_histogram(network, invcap_weights(network))
     for fraction in load_fractions:
         load = fraction * instance.saturation_load()
@@ -473,13 +473,13 @@ def table5_equal_cost_paths(
 # Fig. 12 -- convergence of Algorithms 1 and 2
 # ----------------------------------------------------------------------
 def fig12_convergence(
-    instance: Optional[Instance] = None,
-    load: Optional[float] = None,
+    instance: Instance | None = None,
+    load: float | None = None,
     alg1_step_ratios: Sequence[float] = (2.0, 1.0, 0.5, 0.1),
     alg2_step_ratios: Sequence[float] = (2.0, 1.0, 0.5, 0.25),
     alg1_iterations: int = 600,
     alg2_iterations: int = 200,
-) -> Dict[str, Dict[str, List[float]]]:
+) -> dict[str, dict[str, list[float]]]:
     """Fig. 12: dual objective evolution of Algorithm 1 and 2 for several steps."""
     if instance is None:
         instance = standard_instances()["Cernet2"]
@@ -489,7 +489,7 @@ def fig12_convergence(
     demands = instance.at_load(load)
     objective = LoadBalanceObjective.proportional()
 
-    alg1_series: Dict[str, List[float]] = {}
+    alg1_series: dict[str, list[float]] = {}
     best_result = None
     for ratio in alg1_step_ratios:
         result = compute_first_weights(
@@ -515,7 +515,7 @@ def fig12_convergence(
     target = te_solution.flows.aggregate()
     tolerance = 0.05 * float(np.mean(weights[weights > 0])) if np.any(weights > 0) else 1e-9
     dags = all_shortest_path_dags(network, demands.destinations(), weights, tolerance)
-    alg2_series: Dict[str, List[float]] = {}
+    alg2_series: dict[str, list[float]] = {}
     for ratio in alg2_step_ratios:
         result = compute_second_weights(
             network,
@@ -538,14 +538,14 @@ def fig12_convergence(
 def scenario_robustness_sweep(
     network: Network,
     demands: TrafficMatrix,
-    scenarios: Optional[Sequence[Scenario]] = None,
+    scenarios: Sequence[Scenario] | None = None,
     protocols: Sequence[object] = ("OSPF", "SPEF"),
-    oracle: Optional[object] = "MinMaxMLU",
+    oracle: object | None = "MinMaxMLU",
     metric: str = "mlu",
     cvar_alpha: float = 0.1,
-    runner: Optional[BatchRunner] = None,
+    runner: BatchRunner | None = None,
     include_baseline: bool = True,
-) -> Dict[str, object]:
+) -> dict[str, object]:
     """Evaluate protocols across a scenario set and summarise robustness.
 
     The scenario-engine counterpart of the per-figure experiments above:
@@ -609,9 +609,9 @@ def scenario_robustness_sweep(
 def abilene_failure_sweep(
     protocols: Sequence[object] = ("OSPF", "SPEF"),
     load_fraction: float = 0.5,
-    runner: Optional[BatchRunner] = None,
-    instance: Optional[Instance] = None,
-) -> Dict[str, object]:
+    runner: BatchRunner | None = None,
+    instance: Instance | None = None,
+) -> dict[str, object]:
     """The canonical demo sweep: every Abilene trunk failure, SPEF vs OSPF.
 
     Demands are scaled to ``load_fraction`` of the saturation load; the 0.5
@@ -635,11 +635,11 @@ def abilene_failure_sweep(
 # Fig. 13 -- impact of integer weights
 # ----------------------------------------------------------------------
 def fig13_integer_weights(
-    instance: Instance, loads: Optional[Sequence[float]] = None
-) -> Dict[str, List[float]]:
+    instance: Instance, loads: Sequence[float] | None = None
+) -> dict[str, list[float]]:
     """Fig. 13: normalised utility with fractional vs rounded integer weights."""
     loads = list(loads) if loads is not None else instance.fig10_loads()
-    series: Dict[str, List[float]] = {"load": [float(x) for x in loads]}
+    series: dict[str, list[float]] = {"load": [float(x) for x in loads]}
     for label, integer in (("Noninteger", False), ("Integer", True)):
         values = []
         for load in loads:

@@ -7,14 +7,14 @@ and simple numeric series), so benchmark modules stay declarative.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from collections.abc import Iterable, Mapping, Sequence
 
 
 def format_table(
     rows: Sequence[Mapping[str, object]],
-    columns: Optional[Sequence[str]] = None,
+    columns: Sequence[str] | None = None,
     float_format: str = "{:.4g}",
-    title: Optional[str] = None,
+    title: str | None = None,
 ) -> str:
     """Render a list of dict rows as an aligned text table."""
     rows = list(rows)
@@ -36,7 +36,7 @@ def format_table(
     widths = [
         max(len(str(col)), *(len(line[i]) for line in rendered)) for i, col in enumerate(columns)
     ]
-    lines: List[str] = []
+    lines: list[str] = []
     if title:
         lines.append(title)
     header = "  ".join(str(col).ljust(widths[i]) for i, col in enumerate(columns))
@@ -49,10 +49,10 @@ def format_table(
 
 def format_series(
     series: Mapping[str, Sequence[float]],
-    x_values: Optional[Sequence[float]] = None,
+    x_values: Sequence[float] | None = None,
     x_label: str = "x",
     float_format: str = "{:.4g}",
-    title: Optional[str] = None,
+    title: str | None = None,
 ) -> str:
     """Render several aligned numeric series (one column per series)."""
     names = list(series)
@@ -61,7 +61,7 @@ def format_series(
     length = max(len(values) for values in series.values())
     rows = []
     for index in range(length):
-        row: Dict[str, object] = {}
+        row: dict[str, object] = {}
         if x_values is not None and index < len(x_values):
             row[x_label] = x_values[index]
         else:
@@ -73,7 +73,7 @@ def format_series(
     return format_table(rows, columns=[x_label] + names, float_format=float_format, title=title)
 
 
-def format_histogram(histogram: Mapping[int, int], title: Optional[str] = None) -> str:
+def format_histogram(histogram: Mapping[int, int], title: str | None = None) -> str:
     """Render a ``{bucket: count}`` histogram as a compact table."""
     rows = [
         {"paths": bucket, "pairs": count}
@@ -84,7 +84,7 @@ def format_histogram(histogram: Mapping[int, int], title: Optional[str] = None) 
 
 def format_robustness_summary(
     rows: Sequence[Mapping[str, object]],
-    title: Optional[str] = "Robustness summary (per protocol)",
+    title: str | None = "Robustness summary (per protocol)",
 ) -> str:
     """Render the per-protocol robustness rows of a scenario sweep.
 
@@ -98,7 +98,7 @@ def format_robustness_summary(
 def format_regret(
     rows: Sequence[Mapping[str, object]],
     worst: int = 10,
-    title: Optional[str] = None,
+    title: str | None = None,
 ) -> str:
     """Render the ``worst`` highest-regret scenarios of a sweep.
 
@@ -121,7 +121,7 @@ def print_report(*sections: str) -> None:
         print()
 
 
-def series_summary(values: Iterable[float]) -> Dict[str, float]:
+def series_summary(values: Iterable[float]) -> dict[str, float]:
     """Min/mean/max of a numeric series (for quick assertions in benchmarks)."""
     data = [float(v) for v in values]
     if not data:

@@ -46,7 +46,7 @@ import os
 import subprocess
 import sys
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from collections.abc import Callable, Sequence
 
 from .analysis.reporting import format_robustness_summary, format_table
 from .obs import profile_records, telemetry, write_chrome_trace, write_flamegraph
@@ -95,7 +95,7 @@ from .traffic.gravity import gravity_traffic_matrix
 # ----------------------------------------------------------------------
 # workload registries
 # ----------------------------------------------------------------------
-TOPOLOGIES: Dict[str, Callable[[], "object"]] = {
+TOPOLOGIES: dict[str, Callable[[], "object"]] = {
     "abilene": abilene_network,
     "cernet2": cernet2_network,
     "hier50a": hier50a,
@@ -109,7 +109,7 @@ TOPOLOGIES: Dict[str, Callable[[], "object"]] = {
 }
 
 #: Scenario-set factories: ``(network, demands, seed) -> [Scenario]``.
-SCENARIO_SETS: Dict[str, Callable[..., List[Scenario]]] = {
+SCENARIO_SETS: dict[str, Callable[..., list[Scenario]]] = {
     "baseline": lambda network, demands, seed: [baseline_scenario()],
     "single-link-failures": lambda network, demands, seed: single_link_failures(network),
     "dual-link-failures": lambda network, demands, seed: dual_link_failures(
@@ -155,7 +155,7 @@ def _coerce_param(text: str) -> object:
     return text
 
 
-def parse_protocols(argument: str) -> List[ProtocolSpec]:
+def parse_protocols(argument: str) -> list[ProtocolSpec]:
     """Parse ``--protocols`` entries, constructor parameters included.
 
     Entries are comma-separated; each is ``NAME`` or
@@ -165,13 +165,13 @@ def parse_protocols(argument: str) -> List[ProtocolSpec]:
     coerced to int/float/bool where they parse as one; unknown names and
     malformed parameters raise :class:`CLIError` with the offending entry.
     """
-    specs: List[ProtocolSpec] = []
+    specs: list[ProtocolSpec] = []
     for entry in argument.split(","):
         entry = entry.strip()
         if not entry:
             continue
         name, *param_parts = entry.split(":")
-        params: Dict[str, object] = {}
+        params: dict[str, object] = {}
         for part in param_parts:
             key, separator, value = part.partition("=")
             if not separator or not key:
@@ -199,7 +199,7 @@ def parse_protocols(argument: str) -> List[ProtocolSpec]:
 
 def build_workload(
     topology: str, utilization: float, seed: int
-) -> Tuple["object", "object"]:
+) -> tuple["object", "object"]:
     """The CLI's canonical workload: a topology + a gravity traffic matrix."""
     try:
         network = TOPOLOGIES[topology]()
@@ -302,7 +302,7 @@ def _build_policy(args: argparse.Namespace):
     )
 
 
-def _event_trace_records(session, topology_name: str) -> List[Dict[str, object]]:
+def _event_trace_records(session, topology_name: str) -> list[dict[str, object]]:
     """Per-event store records from a session's rows (replay and serve alike).
 
     Both ``repro replay --trace-file`` and the ``repro serve --replay-trace``
@@ -324,7 +324,7 @@ def _record_trace_run(
     network,
     events: int,
     elapsed: float,
-    config: Dict[str, object],
+    config: dict[str, object],
 ) -> None:
     """Record a per-event trace run (batch or soak) into the results store."""
     stats = session.controller.spt.stats
@@ -529,11 +529,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
         session = sessions[key]
         events = read_event_trace(args.replay_trace)
         start = time_module.perf_counter()
-        with ServerThread(server) as runner:
-            with ServeClient(args.host, runner.port) as client:
-                client.feed_trace(events, session=key)
-                final_mlu = client.mlu(session=key)
-                client.shutdown()
+        with ServerThread(server) as runner, ServeClient(args.host, runner.port) as client:
+            client.feed_trace(events, session=key)
+            final_mlu = client.mlu(session=key)
+            client.shutdown()
         elapsed = time_module.perf_counter() - start
         print(
             f"soaked {len(events)} events through the serve socket on {key} in "
@@ -638,6 +637,23 @@ def cmd_bench(args: argparse.Namespace) -> int:
           f"REPRO_FULL_BENCH={env['REPRO_FULL_BENCH']}, store={env['REPRO_RESULTS_DB']})")
     completed = subprocess.run(command, env=env)
     return completed.returncode
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    """``repro check``: the repo's custom static-analysis pass."""
+    from .devtools import CheckError, check_paths, format_json, format_rule_listing, format_table
+
+    if args.list_rules:
+        print(format_rule_listing())
+        return 0
+    paths = args.paths or ["src"]
+    try:
+        result = check_paths(paths, rule_filter=args.rule)
+    except CheckError as exc:
+        raise CLIError(str(exc)) from None
+    output = format_json(result) if args.format == "json" else format_table(result)
+    print(output, end="" if output.endswith("\n") else "\n")
+    return 0 if result.ok else 1
 
 
 def cmd_results_list(args: argparse.Namespace) -> int:
@@ -1043,6 +1059,22 @@ def build_parser() -> argparse.ArgumentParser:
                             help="also print the compact telemetry summary")
         traced.set_defaults(handler=cmd_trace)
 
+    check = subparsers.add_parser(
+        "check",
+        help="run the repo's static-analysis pass (determinism/byte-stability "
+        "invariants, rules REP001-REP007)",
+    )
+    check.add_argument("paths", nargs="*", metavar="PATH",
+                       help="files or directories to lint (default: src)")
+    check.add_argument("--rule", action="append", metavar="REPxxx",
+                       help="only report this rule (repeatable; the full rule "
+                       "set still runs for suppression accounting)")
+    check.add_argument("--format", choices=("table", "json"), default="table",
+                       help="report format (default: table)")
+    check.add_argument("--list-rules", action="store_true",
+                       help="print the rule table and exit")
+    check.set_defaults(handler=cmd_check)
+
     bench = subparsers.add_parser(
         "bench",
         parents=[store_parent],
@@ -1227,7 +1259,7 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
+def main(argv: Sequence[str] | None = None) -> int:
     """Console entry point (``[project.scripts] repro = repro.cli:main``)."""
     parser = build_parser()
     args = parser.parse_args(argv)

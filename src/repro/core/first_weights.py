@@ -22,7 +22,6 @@ flow.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -57,8 +56,8 @@ class FirstWeightsResult:
     flows: FlowAssignment
     iterations: int
     converged: bool
-    dual_objective_history: List[float] = field(default_factory=list)
-    dual_gap_history: List[float] = field(default_factory=list)
+    dual_objective_history: list[float] = field(default_factory=list)
+    dual_gap_history: list[float] = field(default_factory=list)
 
     @property
     def target_flows(self) -> np.ndarray:
@@ -97,12 +96,12 @@ def _dual_value(
 def compute_first_weights(
     network: Network,
     demands: TrafficMatrix,
-    objective: Optional[LoadBalanceObjective] = None,
+    objective: LoadBalanceObjective | None = None,
     max_iterations: int = 2000,
     tolerance: float = 1e-3,
-    step_rule: Optional[StepRule] = None,
+    step_rule: StepRule | None = None,
     step_ratio: float = 1.0,
-    initial_weights: Optional[np.ndarray] = None,
+    initial_weights: np.ndarray | None = None,
     record_history: bool = True,
 ) -> FirstWeightsResult:
     """Run Algorithm 1 and return the first link weights.
@@ -142,12 +141,12 @@ def compute_first_weights(
     step_rule = step_rule or default_step_for_capacities(capacities, step_ratio)
 
     destinations = demands.destinations()
-    flow_average: Dict[Node, np.ndarray] = {
+    flow_average: dict[Node, np.ndarray] = {
         destination: np.zeros(network.num_links) for destination in destinations
     }
     spare = np.minimum(objective.derivative_inverse(weights), capacities)
-    dual_history: List[float] = []
-    gap_history: List[float] = []
+    dual_history: list[float] = []
+    gap_history: list[float] = []
     converged = False
     iteration = 0
     samples = 0
@@ -192,7 +191,7 @@ def compute_first_weights(
 def round_weights(
     weights: np.ndarray,
     spare_capacity: np.ndarray,
-    max_weight: Optional[int] = None,
+    max_weight: int | None = None,
 ) -> np.ndarray:
     """Round first link weights to integers as in Section V-G.
 

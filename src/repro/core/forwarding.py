@@ -17,7 +17,7 @@ configurable cap, since their number can grow exponentially.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Tuple
+from collections.abc import Mapping
 
 import numpy as np
 
@@ -33,7 +33,7 @@ class ForwardingEntry:
     next_hop: Node
     #: Second-weight lengths of the equal-cost paths through this next hop
     #: (possibly truncated, see ``ForwardingTable.max_paths_per_entry``).
-    path_lengths: Tuple[float, ...]
+    path_lengths: tuple[float, ...]
     #: Fraction of the node's traffic towards the destination sent to this hop.
     split_ratio: float
 
@@ -51,12 +51,12 @@ class ForwardingTable:
     """
 
     node: Node
-    entries: Dict[Node, List[ForwardingEntry]] = field(default_factory=dict)
+    entries: dict[Node, list[ForwardingEntry]] = field(default_factory=dict)
 
-    def destinations(self) -> List[Node]:
+    def destinations(self) -> list[Node]:
         return list(self.entries)
 
-    def next_hops(self, destination: Node) -> List[Node]:
+    def next_hops(self, destination: Node) -> list[Node]:
         return [entry.next_hop for entry in self.entries.get(destination, [])]
 
     def split_ratio(self, destination: Node, next_hop: Node) -> float:
@@ -65,7 +65,7 @@ class ForwardingTable:
                 return entry.split_ratio
         return 0.0
 
-    def split_ratios(self, destination: Node) -> Dict[Node, float]:
+    def split_ratios(self, destination: Node) -> dict[Node, float]:
         return {
             entry.next_hop: entry.split_ratio
             for entry in self.entries.get(destination, [])
@@ -75,7 +75,7 @@ class ForwardingTable:
         """Total number of equal-cost paths this router sees towards ``destination``."""
         return sum(entry.num_paths for entry in self.entries.get(destination, []))
 
-    def as_rows(self, destination: Node) -> List[Tuple[Node, Tuple[float, ...]]]:
+    def as_rows(self, destination: Node) -> list[tuple[Node, tuple[float, ...]]]:
         """The literal Table II rows: (next hop, tuple of path lengths)."""
         return [
             (entry.next_hop, entry.path_lengths)
@@ -88,7 +88,7 @@ def _paths_through_hop(
     node: Node,
     hop: Node,
     limit: int,
-) -> List[List[Node]]:
+) -> list[list[Node]]:
     """Equal-cost paths from ``node`` whose first hop is ``hop`` (capped)."""
     suffixes = dag.paths_from(hop, limit=limit)
     return [[node] + suffix for suffix in suffixes]
@@ -99,7 +99,7 @@ def build_forwarding_tables(
     dags: Mapping[Node, ShortestPathDag],
     second_weights: np.ndarray,
     max_paths_per_entry: int = 32,
-) -> Dict[Node, ForwardingTable]:
+) -> dict[Node, ForwardingTable]:
     """Build the SPEF forwarding table of every router.
 
     Parameters
@@ -114,7 +114,7 @@ def build_forwarding_tables(
         dynamic program), only the explicit length listing is truncated.
     """
     second = np.asarray(second_weights, dtype=float)
-    tables: Dict[Node, ForwardingTable] = {
+    tables: dict[Node, ForwardingTable] = {
         node: ForwardingTable(node=node) for node in network.nodes
     }
     for destination, dag in dags.items():
@@ -126,13 +126,13 @@ def build_forwarding_tables(
             if not hops:
                 continue
             node_ratios = ratios.get(node, {})
-            entries: List[ForwardingEntry] = []
+            entries: list[ForwardingEntry] = []
             for hop in hops:
                 lengths = []
                 for path in _paths_through_hop(dag, node, hop, max_paths_per_entry):
                     length = sum(
                         second[network.link_index(u, v)]
-                        for u, v in zip(path[:-1], path[1:])
+                        for u, v in zip(path[:-1], path[1:], strict=True)
                     )
                     lengths.append(float(length))
                 entries.append(
@@ -148,14 +148,14 @@ def build_forwarding_tables(
 
 def split_ratios_from_tables(
     tables: Mapping[Node, ForwardingTable],
-) -> Dict[Node, Dict[Node, Dict[Node, float]]]:
+) -> dict[Node, dict[Node, dict[Node, float]]]:
     """Re-index forwarding tables as ``destination -> node -> hop -> ratio``.
 
     This is the format :func:`repro.solvers.assignment.split_ratio_assignment`
     consumes, and it is also what the flow-level simulator installs on its
     routers.
     """
-    ratios: Dict[Node, Dict[Node, Dict[Node, float]]] = {}
+    ratios: dict[Node, dict[Node, dict[Node, float]]] = {}
     for node, table in tables.items():
         for destination in table.destinations():
             ratios.setdefault(destination, {})[node] = table.split_ratios(destination)

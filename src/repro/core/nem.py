@@ -23,7 +23,7 @@ is recorded per iteration; it is the series plotted in Fig. 12(b).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional
+from collections.abc import Mapping
 
 import numpy as np
 
@@ -47,7 +47,7 @@ class SecondWeightsResult:
     converged: bool
     #: Maximum per-link excess ``max_ij (f_ij(v) - f*_ij)`` at the last iterate.
     max_excess: float
-    dual_objective_history: List[float] = field(default_factory=list)
+    dual_objective_history: list[float] = field(default_factory=list)
 
 
 def nem_dual_objective(
@@ -67,7 +67,7 @@ def nem_dual_objective(
     if total_volume <= 0:
         return 0.0
     value = float(np.dot(second_weights, target_flows)) / total_volume
-    z_cache: Dict[Node, Dict[Node, float]] = {}
+    z_cache: dict[Node, dict[Node, float]] = {}
     for (source, destination), volume in demands.items():
         if destination not in z_cache:
             z_cache[destination] = path_weight_sums(network, dags[destination], second_weights)
@@ -84,11 +84,11 @@ def compute_second_weights(
     target_flows: np.ndarray,
     max_iterations: int = 1000,
     tolerance: float = 1e-3,
-    step_rule: Optional[StepRule] = None,
+    step_rule: StepRule | None = None,
     step_ratio: float = 1.0,
-    initial_weights: Optional[np.ndarray] = None,
+    initial_weights: np.ndarray | None = None,
     record_history: bool = True,
-    backend: Optional[str] = None,
+    backend: str | None = None,
 ) -> SecondWeightsResult:
     """Run Algorithm 2 and return the second link weights.
 
@@ -143,8 +143,8 @@ def compute_second_weights(
         def distribute(second: np.ndarray) -> FlowAssignment:
             return traffic_distribution(network, demands, dags, second, backend="python")
 
-    history: List[float] = []
-    flows: Optional[FlowAssignment] = None
+    history: list[float] = []
+    flows: FlowAssignment | None = None
     converged = False
     iteration = 0
     max_excess = float("inf")

@@ -25,13 +25,12 @@ subproblem ``Link_ij(V_ij; w_ij)`` in Algorithm 1).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Union
 
 import numpy as np
 
 from ..network.graph import Network
 
-ArrayLike = Union[float, np.ndarray]
+ArrayLike = float | np.ndarray
 
 
 class ObjectiveError(ValueError):
@@ -52,7 +51,7 @@ class LoadBalanceObjective:
     """
 
     beta: float
-    q: Union[float, np.ndarray] = 1.0
+    q: float | np.ndarray = 1.0
 
     def __post_init__(self) -> None:
         if self.beta < 0:
@@ -65,22 +64,22 @@ class LoadBalanceObjective:
     # constructors for the paper's named special cases
     # ------------------------------------------------------------------
     @classmethod
-    def proportional(cls, q: Union[float, np.ndarray] = 1.0) -> "LoadBalanceObjective":
+    def proportional(cls, q: float | np.ndarray = 1.0) -> LoadBalanceObjective:
         """Proportional load balance (``beta = 1``), Example 1."""
         return cls(beta=1.0, q=q)
 
     @classmethod
-    def minimum_hop(cls) -> "LoadBalanceObjective":
+    def minimum_hop(cls) -> LoadBalanceObjective:
         """``(1, 0)`` load balance: minimum-hop routing (Example 3 with d=1)."""
         return cls(beta=0.0, q=1.0)
 
     @classmethod
-    def delay_weighted(cls, network: Network) -> "LoadBalanceObjective":
+    def delay_weighted(cls, network: Network) -> LoadBalanceObjective:
         """``(d, 0)`` load balance: minimise total propagation delay (Example 3)."""
         return cls(beta=0.0, q=network.delays)
 
     @classmethod
-    def mm1_delay(cls, network: Network) -> "LoadBalanceObjective":
+    def mm1_delay(cls, network: Network) -> LoadBalanceObjective:
         """``(c, 2)`` load balance: minimise total M/M/1 queueing delay (Example 2)."""
         return cls(beta=2.0, q=network.capacities)
 

@@ -23,7 +23,6 @@ by configuring *two* weights per link:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -77,13 +76,13 @@ class SPEFConfig:
 
     objective: LoadBalanceObjective = field(default_factory=LoadBalanceObjective.proportional)
     te_solver: str = "frank_wolfe"
-    ecmp_tolerance: Optional[float] = None
+    ecmp_tolerance: float | None = None
     ecmp_tolerance_factor: float = 0.05
     integer_weights: bool = False
-    max_integer_weight: Optional[int] = 65535
+    max_integer_weight: int | None = 65535
     augment_dags_with_optimum: bool = True
     dag_flow_threshold: float = 1e-4
-    routing_backend: Optional[str] = None
+    routing_backend: str | None = None
     te_max_iterations: int = 400
     te_tolerance: float = 1e-7
     alg1_max_iterations: int = 2000
@@ -112,15 +111,15 @@ class SPEFSolution:
     #: The raw (un-rounded) first weights from the TE solution.
     raw_first_weights: np.ndarray
     second_weights: np.ndarray
-    dags: Dict[Node, ShortestPathDag]
-    forwarding_tables: Dict[Node, ForwardingTable]
+    dags: dict[Node, ShortestPathDag]
+    forwarding_tables: dict[Node, ForwardingTable]
     #: Flows realised by the SPEF forwarding tables.
     flows: FlowAssignment
     #: The optimal traffic distribution ``f*`` SPEF aims to reproduce.
     target_flows: np.ndarray
-    te_solution: Optional[TESolution] = None
-    first_result: Optional[FirstWeightsResult] = None
-    second_result: Optional[SecondWeightsResult] = None
+    te_solution: TESolution | None = None
+    first_result: FirstWeightsResult | None = None
+    second_result: SecondWeightsResult | None = None
 
     # ------------------------------------------------------------------
     # headline metrics
@@ -162,14 +161,14 @@ class SPEFSolution:
             return 0
         return dag.count_paths().get(source, 0)
 
-    def equal_cost_path_histogram(self, max_paths: int = 8) -> Dict[int, int]:
+    def equal_cost_path_histogram(self, max_paths: int = 8) -> dict[int, int]:
         """``{i: number of ingress-egress pairs with i equal-cost paths}``.
 
         Counts every ordered pair of distinct nodes (as Table V does), not
         only the pairs with demand.
         """
-        histogram: Dict[int, int] = {}
-        counts_cache: Dict[Node, Dict[Node, int]] = {}
+        histogram: dict[int, int] = {}
+        counts_cache: dict[Node, dict[Node, int]] = {}
         for destination in self.network.nodes:
             dag = self.dags.get(destination)
             if dag is None:
@@ -196,7 +195,7 @@ class SPEF:
     True
     """
 
-    def __init__(self, config: Optional[SPEFConfig] = None, **overrides) -> None:
+    def __init__(self, config: SPEFConfig | None = None, **overrides) -> None:
         if config is None:
             config = SPEFConfig(**overrides)
         elif overrides:
@@ -208,9 +207,9 @@ class SPEF:
         self,
         network: Network,
         demands: TrafficMatrix,
-        initial_flows: Optional[FlowAssignment] = None,
-    ) -> Tuple[
-        np.ndarray, FlowAssignment, Optional[TESolution], Optional[FirstWeightsResult]
+        initial_flows: FlowAssignment | None = None,
+    ) -> tuple[
+        np.ndarray, FlowAssignment, TESolution | None, FirstWeightsResult | None
     ]:
         """Step 1 of Algorithm 4: optimal flows ``f*`` and first weights."""
         cfg = self.config
@@ -242,7 +241,7 @@ class SPEF:
     def _augment_dags(
         self,
         network: Network,
-        dags: Dict[Node, ShortestPathDag],
+        dags: dict[Node, ShortestPathDag],
         optimal_flows: FlowAssignment,
         flow_threshold: float,
     ) -> None:
@@ -290,8 +289,8 @@ class SPEF:
         self,
         network: Network,
         demands: TrafficMatrix,
-        warm_start: "SPEFSolution",
-    ) -> Optional[FlowAssignment]:
+        warm_start: SPEFSolution,
+    ) -> FlowAssignment | None:
         """A feasible Frank-Wolfe starting point derived from a previous fit.
 
         Flow assignments live in the polytope of the *current* demands, so a
@@ -332,7 +331,7 @@ class SPEF:
         self,
         network: Network,
         demands: TrafficMatrix,
-        warm_start: Optional[SPEFSolution] = None,
+        warm_start: SPEFSolution | None = None,
     ) -> SPEFSolution:
         """Run the whole SPEF pipeline (Algorithm 4) on one instance.
 

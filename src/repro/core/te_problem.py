@@ -23,7 +23,6 @@ distributed fashion; the tests cross-check the two.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
 
 import numpy as np
 
@@ -50,7 +49,7 @@ class TEProblem:
         """Total demand over total capacity, the x-axis of Fig. 10."""
         return self.demands.network_load(self.network)
 
-    def scaled(self, factor: float) -> "TEProblem":
+    def scaled(self, factor: float) -> TEProblem:
         """The same instance with demands uniformly scaled by ``factor``."""
         return TEProblem(
             network=self.network,
@@ -71,7 +70,7 @@ class TESolution:
     utility: float
     iterations: int = 0
     converged: bool = True
-    objective_history: List[float] = field(default_factory=list)
+    objective_history: list[float] = field(default_factory=list)
 
     @property
     def spare_capacity(self) -> np.ndarray:
@@ -93,7 +92,7 @@ def solve_optimal_te(
     problem: TEProblem,
     max_iterations: int = 400,
     tolerance: float = 1e-7,
-    initial_flows: Optional[FlowAssignment] = None,
+    initial_flows: FlowAssignment | None = None,
 ) -> TESolution:
     """Solve TE(V, G, c, D) centrally and return the optimal distribution.
 
@@ -157,7 +156,7 @@ def solve_optimal_te(
     )
 
 
-def optimality_gap(problem: TEProblem, candidate: FlowAssignment, reference: Optional[TESolution] = None) -> float:
+def optimality_gap(problem: TEProblem, candidate: FlowAssignment, reference: TESolution | None = None) -> float:
     """Relative utility gap of ``candidate`` against the optimal solution.
 
     A convenience used by tests and benchmarks to measure how close a

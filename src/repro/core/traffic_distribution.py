@@ -22,7 +22,7 @@ as the paper's Algorithm 3 prescribes.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional
+from collections.abc import Mapping
 
 import numpy as np
 
@@ -39,13 +39,13 @@ def path_weight_sums(
     network: Network,
     dag: ShortestPathDag,
     second_weights: np.ndarray,
-) -> Dict[Node, float]:
+) -> dict[Node, float]:
     """``Z_t(s) = sum over equal-cost paths p from s of exp(-v-length(p))``.
 
     Computed bottom-up over the DAG (nodes in increasing distance order).
     Nodes that cannot reach the destination are absent.
     """
-    z_values: Dict[Node, float] = {dag.destination: 1.0}
+    z_values: dict[Node, float] = {dag.destination: 1.0}
     for node in reversed(dag.topological_order()):
         if node == dag.destination:
             continue
@@ -64,7 +64,7 @@ def exponential_split_ratios(
     network: Network,
     dag: ShortestPathDag,
     second_weights: np.ndarray,
-) -> Dict[Node, Dict[Node, float]]:
+) -> dict[Node, dict[Node, float]]:
     """Per-node next-hop split ratios ``Gamma_t(s, k)`` of Eq. (22).
 
     Nodes with a single next hop get ratio 1 for it.  Nodes whose ``Z`` value
@@ -72,7 +72,7 @@ def exponential_split_ratios(
     even split.
     """
     z_values = path_weight_sums(network, dag, second_weights)
-    ratios: Dict[Node, Dict[Node, float]] = {}
+    ratios: dict[Node, dict[Node, float]] = {}
     for node, hops in dag.next_hops.items():
         if node == dag.destination or not hops:
             continue
@@ -94,7 +94,7 @@ def traffic_distribution(
     demands: TrafficMatrix,
     dags: Mapping[Node, ShortestPathDag],
     second_weights: np.ndarray,
-    backend: Optional[str] = None,
+    backend: str | None = None,
 ) -> FlowAssignment:
     """Algorithm 3: the traffic distribution induced by second weights ``v``.
 
@@ -121,7 +121,7 @@ def traffic_distribution(
         raise ValueError(
             f"second weights must have length {network.num_links}, got {second.shape}"
         )
-    split_ratios: Dict[Node, Dict[Node, Dict[Node, float]]] = {}
+    split_ratios: dict[Node, dict[Node, dict[Node, float]]] = {}
     for destination, dag in dags.items():
         split_ratios[destination] = exponential_split_ratios(network, dag, second)
     return split_ratio_assignment(

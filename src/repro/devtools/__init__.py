@@ -1,0 +1,38 @@
+"""Developer tooling: the ``repro check`` static-analysis pass.
+
+A dependency-light AST lint engine enforcing the repo's determinism,
+byte-stability and concurrency invariants (rules REP001–REP007), with
+``# repro: allow[REPxxx]`` suppression comments and an unused-suppression
+check.  Run it as ``repro check [--rule REPxxx] [--format table|json]
+[paths...]``; see :mod:`repro.devtools.rules` for what each rule means.
+"""
+
+from .diagnostics import UNUSED_SUPPRESSION, Diagnostic, Suppression
+from .engine import (
+    CheckError,
+    CheckResult,
+    check_paths,
+    check_source,
+    format_json,
+    format_rule_listing,
+    format_table,
+    iter_python_files,
+)
+from .rules import ALL_RULES, RULES_BY_ID, Rule
+
+__all__ = [
+    "ALL_RULES",
+    "RULES_BY_ID",
+    "Rule",
+    "CheckError",
+    "CheckResult",
+    "Diagnostic",
+    "Suppression",
+    "UNUSED_SUPPRESSION",
+    "check_paths",
+    "check_source",
+    "format_json",
+    "format_rule_listing",
+    "format_table",
+    "iter_python_files",
+]

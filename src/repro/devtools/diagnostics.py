@@ -1,0 +1,100 @@
+"""Diagnostics and suppression comments of the ``repro check`` lint pass.
+
+A :class:`Diagnostic` is one finding, located as ``path:line:col`` the way
+compilers locate errors.  A finding is silenced by an explicit
+*suppression comment* on the same physical line::
+
+    timestamp = datetime.now(timezone.utc)  # repro: allow[REP003] run metadata
+
+Every suppression must name the rule(s) it silences —
+``# repro: allow[REP001,REP003]`` — and must actually silence something:
+a suppression that matches no diagnostic is itself reported as
+:data:`UNUSED_SUPPRESSION` (``REP000``), so stale allows cannot
+accumulate as the code underneath them changes.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+
+#: Pseudo-rule reporting suppression comments that silence nothing (or name
+#: a rule the engine does not know).
+UNUSED_SUPPRESSION = "REP000"
+
+#: A suppression comment: ``allow[REP001]`` or ``allow[REP001,REP003]``
+#: after the ``repro:`` marker, anchored at the start of the comment so
+#: prose that merely *mentions* the syntax cannot suppress anything.
+_ALLOW_PATTERN = re.compile(r"^#\s*repro:\s*allow\[([^\]]*)\]")
+
+#: One rule identifier inside the ``allow[...]`` brackets.
+_RULE_ID_PATTERN = re.compile(r"^REP\d{3}$")
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One lint finding, ordered for deterministic reports."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        """The classic one-line compiler form ``path:line:col: RULE message``."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One ``allow[...]`` entry: ``rule`` suppressed on physical ``line``."""
+
+    path: str
+    line: int
+    rule: str
+
+
+def parse_suppressions(source: str, path: str) -> list[Suppression]:
+    """Extract every ``# repro: allow[...]`` entry from ``source``.
+
+    A trailing comment suppresses findings on its own line; a comment that
+    *stands alone* on its line suppresses findings on the next code line
+    (so an allow plus its rationale can sit above a long statement).
+    Malformed entries (an empty bracket, an identifier that is not
+    ``REPxxx``) are preserved verbatim so the engine can report them as
+    unused/unknown suppressions instead of silently ignoring them.
+    """
+    lines = source.splitlines()
+    suppressions: list[Suppression] = []
+    tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _ALLOW_PATTERN.search(token.string)
+        if match is None:
+            continue
+        line = token.start[0]
+        before = lines[line - 1][: token.start[1]] if line <= len(lines) else ""
+        if not before.strip():
+            line = _next_code_line(lines, line)
+        names = [name.strip() for name in match.group(1).split(",")]
+        for name in names:
+            suppressions.append(Suppression(path=path, line=line, rule=name))
+    return suppressions
+
+
+def _next_code_line(lines: list[str], comment_line: int) -> int:
+    """The 1-based line a standalone comment on ``comment_line`` covers."""
+    for offset in range(comment_line, len(lines)):
+        stripped = lines[offset].strip()
+        if stripped and not stripped.startswith("#"):
+            return offset + 1
+    return comment_line
+
+
+def is_valid_rule_id(name: str) -> bool:
+    """True when ``name`` is syntactically a ``REPxxx`` rule identifier."""
+    return bool(_RULE_ID_PATTERN.match(name))

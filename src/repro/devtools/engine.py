@@ -1,0 +1,221 @@
+"""The ``repro check`` engine: run the rule set, honour suppressions.
+
+One call — :func:`check_paths` — walks the given files/directories,
+parses each Python file once, runs every applicable rule over the tree,
+applies ``# repro: allow[REPxxx]`` suppression comments, and reports
+*unused* suppressions as ``REP000`` findings so stale allows are flushed
+out the same way violations are.
+
+The engine always runs the full rule set per file (a ``--rule`` filter
+only narrows what is *reported*): suppression accounting would otherwise
+misreport an allow as unused just because its rule was filtered out.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+from pathlib import Path, PurePath
+
+from .diagnostics import (
+    UNUSED_SUPPRESSION,
+    Diagnostic,
+    Suppression,
+    is_valid_rule_id,
+    parse_suppressions,
+)
+from .rules import ALL_RULES, RULES_BY_ID, Rule
+
+#: Directories never descended into when expanding path arguments.
+_SKIPPED_DIRS = frozenset({"__pycache__", ".git", ".mypy_cache", ".ruff_cache"})
+
+
+class CheckError(ValueError):
+    """Raised for unusable inputs (missing paths, unparseable files)."""
+
+
+@dataclass
+class CheckResult:
+    """Everything one ``repro check`` run produced."""
+
+    diagnostics: list[Diagnostic]
+    files_checked: int
+    suppressed: int
+
+    @property
+    def ok(self) -> bool:
+        return not self.diagnostics
+
+
+def iter_python_files(paths: Sequence[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated ``.py`` list."""
+    seen: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if not path.exists():
+            raise CheckError(f"no such file or directory: {path}")
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if not _SKIPPED_DIRS.intersection(candidate.parts):
+                    seen.add(candidate)
+        elif path.suffix == ".py":
+            seen.add(path)
+    return sorted(seen)
+
+
+def check_source(
+    source: str,
+    path: str | PurePath,
+    *,
+    rules: Sequence[Rule] = ALL_RULES,
+) -> tuple[list[Diagnostic], int]:
+    """Lint one in-memory module; returns ``(diagnostics, suppressed_count)``.
+
+    Diagnostics include unused-suppression (``REP000``) findings; rows
+    silenced by a valid same-line ``allow`` are dropped (and counted).
+    """
+    pure = PurePath(path)
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        raise CheckError(f"{path}:{exc.lineno or 1}: syntax error: {exc.msg}") from None
+    raw: list[Diagnostic] = []
+    for rule in rules:
+        if rule.applies_to(pure):
+            raw.extend(rule.check(tree, pure))
+    suppressions = parse_suppressions(source, str(path))
+    active, suppressed = _apply_suppressions(raw, suppressions, str(path))
+    return sorted(active), suppressed
+
+
+def _apply_suppressions(
+    diagnostics: Iterable[Diagnostic],
+    suppressions: Sequence[Suppression],
+    path: str,
+) -> tuple[list[Diagnostic], int]:
+    allowed: dict[tuple[int, str], Suppression] = {}
+    used: set[tuple[int, str]] = set()
+    for suppression in suppressions:
+        allowed[(suppression.line, suppression.rule)] = suppression
+    active: list[Diagnostic] = []
+    suppressed = 0
+    for diagnostic in diagnostics:
+        key = (diagnostic.line, diagnostic.rule)
+        if key in allowed:
+            used.add(key)
+            suppressed += 1
+        else:
+            active.append(diagnostic)
+    for key, suppression in allowed.items():
+        if key in used:
+            continue
+        if not is_valid_rule_id(suppression.rule) or suppression.rule not in RULES_BY_ID:
+            message = f"suppression names unknown rule {suppression.rule!r}"
+        else:
+            message = (
+                f"unused suppression: allow[{suppression.rule}] silences "
+                "nothing on this line"
+            )
+        active.append(
+            Diagnostic(
+                path=path,
+                line=suppression.line,
+                col=0,
+                rule=UNUSED_SUPPRESSION,
+                message=message,
+            )
+        )
+    return active, suppressed
+
+
+def check_paths(
+    paths: Sequence[str | Path],
+    *,
+    rules: Sequence[Rule] = ALL_RULES,
+    rule_filter: Sequence[str] | None = None,
+) -> CheckResult:
+    """Lint every Python file under ``paths``.
+
+    ``rule_filter`` narrows the *reported* rules (``REP000`` unused
+    suppressions are always reported unless a filter is active and
+    excludes them); the full rule set still runs so suppression
+    accounting stays correct.
+    """
+    if rule_filter is not None:
+        unknown = [
+            rule
+            for rule in rule_filter
+            if rule != UNUSED_SUPPRESSION and rule not in RULES_BY_ID
+        ]
+        if unknown:
+            known = ", ".join(sorted(RULES_BY_ID))
+            raise CheckError(
+                f"unknown rule(s) {', '.join(sorted(unknown))} "
+                f"(known: {UNUSED_SUPPRESSION}, {known})"
+            )
+    diagnostics: list[Diagnostic] = []
+    suppressed_total = 0
+    files = iter_python_files(paths)
+    for path in files:
+        source = path.read_text(encoding="utf-8")
+        rows, suppressed = check_source(source, path, rules=rules)
+        diagnostics.extend(rows)
+        suppressed_total += suppressed
+    if rule_filter is not None:
+        wanted = set(rule_filter)
+        diagnostics = [d for d in diagnostics if d.rule in wanted]
+    return CheckResult(
+        diagnostics=sorted(diagnostics),
+        files_checked=len(files),
+        suppressed=suppressed_total,
+    )
+
+
+# ----------------------------------------------------------------------
+# report rendering
+# ----------------------------------------------------------------------
+def format_table(result: CheckResult) -> str:
+    """The human report: one ``path:line:col: RULE message`` row per finding."""
+    lines = [diagnostic.render() for diagnostic in result.diagnostics]
+    summary = (
+        f"{len(result.diagnostics)} finding(s) in {result.files_checked} file(s)"
+        f" ({result.suppressed} suppressed)"
+    )
+    if lines:
+        return "\n".join([*lines, summary])
+    return summary
+
+
+def format_json(result: CheckResult) -> str:
+    """The machine report (sorted keys, trailing newline: byte-stable)."""
+    payload = {
+        "files_checked": result.files_checked,
+        "suppressed": result.suppressed,
+        "findings": [
+            {
+                "path": diagnostic.path,
+                "line": diagnostic.line,
+                "col": diagnostic.col,
+                "rule": diagnostic.rule,
+                "message": diagnostic.message,
+            }
+            for diagnostic in result.diagnostics
+        ],
+        "ok": result.ok,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def format_rule_listing() -> str:
+    """The ``--list-rules`` table (also the README's source of truth)."""
+    lines = []
+    for rule in ALL_RULES:
+        lines.append(f"{rule.id}  {rule.title}")
+        lines.append(f"        {rule.rationale}")
+    lines.append(
+        f"{UNUSED_SUPPRESSION}  unused `# repro: allow[...]` suppression "
+        "(reported automatically)"
+    )
+    return "\n".join(lines)

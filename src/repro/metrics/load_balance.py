@@ -11,7 +11,7 @@ alternative feasible distributions, they verify the defining inequalities.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 import numpy as np
 

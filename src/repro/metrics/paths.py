@@ -8,7 +8,7 @@ any weight setting, and a few related diversity measures.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional
+from collections.abc import Mapping
 
 import numpy as np
 
@@ -20,13 +20,13 @@ def equal_cost_path_counts(
     network: Network,
     weights: WeightsLike,
     tolerance: float = 1e-9,
-    destinations: Optional[list] = None,
-) -> Dict[tuple, int]:
+    destinations: list | None = None,
+) -> dict[tuple, int]:
     """Number of equal-cost shortest paths for every ordered node pair."""
     if destinations is None:
         destinations = network.nodes
     dags = all_shortest_path_dags(network, destinations, weights, tolerance)
-    counts: Dict[tuple, int] = {}
+    counts: dict[tuple, int] = {}
     for destination, dag in dags.items():
         per_source = dag.count_paths()
         for source in network.nodes:
@@ -41,20 +41,20 @@ def equal_cost_path_histogram(
     weights: WeightsLike,
     tolerance: float = 1e-9,
     max_paths: int = 8,
-    destinations: Optional[list] = None,
-) -> Dict[int, int]:
+    destinations: list | None = None,
+) -> dict[int, int]:
     """``{i: number of ingress-egress pairs with i equal-cost paths}`` (Table V)."""
     counts = equal_cost_path_counts(network, weights, tolerance, destinations)
-    histogram: Dict[int, int] = {}
+    histogram: dict[int, int] = {}
     for value in counts.values():
         bucket = min(value, max_paths)
         histogram[bucket] = histogram.get(bucket, 0) + 1
     return histogram
 
 
-def histogram_from_dags(dags: Mapping[Node, ShortestPathDag], network: Network, max_paths: int = 8) -> Dict[int, int]:
+def histogram_from_dags(dags: Mapping[Node, ShortestPathDag], network: Network, max_paths: int = 8) -> dict[int, int]:
     """Table V histogram computed from already-built DAGs (e.g. a SPEF solution)."""
-    histogram: Dict[int, int] = {}
+    histogram: dict[int, int] = {}
     for destination, dag in dags.items():
         per_source = dag.count_paths()
         for source in network.nodes:
@@ -65,7 +65,7 @@ def histogram_from_dags(dags: Mapping[Node, ShortestPathDag], network: Network, 
     return histogram
 
 
-def multipath_pairs(histogram: Dict[int, int]) -> int:
+def multipath_pairs(histogram: dict[int, int]) -> int:
     """Number of pairs with at least two equal-cost paths."""
     return sum(count for paths, count in histogram.items() if paths >= 2)
 
@@ -82,4 +82,5 @@ def average_path_diversity(
 
 def used_link_count(mean_link_load: Mapping[tuple, float], threshold: float = 1e-6) -> int:
     """How many links carry load above ``threshold`` (the Fig. 11 comparison)."""
+    # repro: allow[REP004] integer count: the accumulation is order-free.
     return sum(1 for load in mean_link_load.values() if load > threshold)

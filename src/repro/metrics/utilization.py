@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
 
 import numpy as np
 
@@ -22,8 +21,8 @@ def sorted_link_utilizations(flows: FlowAssignment, descending: bool = True) -> 
 
 
 def utilization_percentiles(
-    flows: FlowAssignment, percentiles: Tuple[float, ...] = (50.0, 90.0, 99.0, 100.0)
-) -> Dict[float, float]:
+    flows: FlowAssignment, percentiles: tuple[float, ...] = (50.0, 90.0, 99.0, 100.0)
+) -> dict[float, float]:
     """Selected percentiles of the link-utilization distribution."""
     values = flows.utilization()
     if values.size == 0:
@@ -31,7 +30,7 @@ def utilization_percentiles(
     return {p: float(np.percentile(values, p)) for p in percentiles}
 
 
-def overloaded_links(flows: FlowAssignment, threshold: float = 1.0) -> List[Edge]:
+def overloaded_links(flows: FlowAssignment, threshold: float = 1.0) -> list[Edge]:
     """Links whose utilization reaches or exceeds ``threshold`` (default 100%)."""
     utilization = flows.utilization()
     return [
@@ -41,7 +40,7 @@ def overloaded_links(flows: FlowAssignment, threshold: float = 1.0) -> List[Edge
     ]
 
 
-def underutilized_links(flows: FlowAssignment, threshold: float = 0.1) -> List[Edge]:
+def underutilized_links(flows: FlowAssignment, threshold: float = 0.1) -> list[Edge]:
     """Links carrying less than ``threshold`` of their capacity.
 
     The Fig. 9 discussion points out that OSPF leaves several links nearly
@@ -78,7 +77,7 @@ class UtilizationSummary:
     underutilized: int
 
     @classmethod
-    def of(cls, flows: FlowAssignment, idle_threshold: float = 0.1) -> "UtilizationSummary":
+    def of(cls, flows: FlowAssignment, idle_threshold: float = 0.1) -> UtilizationSummary:
         values = flows.utilization()
         if values.size == 0:
             return cls(0.0, 0.0, 0.0, 0.0, 0, 0)

@@ -9,13 +9,13 @@ demands and exposes the per-destination aggregation used by every solver.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
+from collections.abc import Iterable, Iterator, Mapping
 
 import numpy as np
 
 from .graph import Network, Node
 
-Pair = Tuple[Node, Node]
+Pair = tuple[Node, Node]
 
 
 class DemandError(ValueError):
@@ -51,8 +51,8 @@ class TrafficMatrix:
     1.9
     """
 
-    def __init__(self, demands: Optional[Mapping[Pair, float]] = None) -> None:
-        self._demands: Dict[Pair, float] = {}
+    def __init__(self, demands: Mapping[Pair, float] | None = None) -> None:
+        self._demands: dict[Pair, float] = {}
         if demands:
             for (source, target), volume in demands.items():
                 self.add(source, target, volume)
@@ -71,14 +71,14 @@ class TrafficMatrix:
         self._demands[(source, target)] = self._demands.get((source, target), 0.0) + float(volume)
 
     @classmethod
-    def from_demands(cls, demands: Iterable[Demand]) -> "TrafficMatrix":
+    def from_demands(cls, demands: Iterable[Demand]) -> TrafficMatrix:
         tm = cls()
         for demand in demands:
             tm.add(demand.source, demand.target, demand.volume)
         return tm
 
     @classmethod
-    def from_triples(cls, triples: Iterable[Tuple[Node, Node, float]]) -> "TrafficMatrix":
+    def from_triples(cls, triples: Iterable[tuple[Node, Node, float]]) -> TrafficMatrix:
         tm = cls()
         for source, target, volume in triples:
             tm.add(source, target, volume)
@@ -104,14 +104,14 @@ class TrafficMatrix:
             return NotImplemented
         return self._demands == other._demands
 
-    def items(self) -> Iterator[Tuple[Pair, float]]:
+    def items(self) -> Iterator[tuple[Pair, float]]:
         return iter(self._demands.items())
 
-    def pairs(self) -> List[Pair]:
+    def pairs(self) -> list[Pair]:
         """Source-destination pairs with positive demand."""
         return list(self._demands)
 
-    def demands(self) -> List[Demand]:
+    def demands(self) -> list[Demand]:
         """The demands as :class:`Demand` objects."""
         return [Demand(s, t, v) for (s, t), v in self._demands.items()]
 
@@ -121,28 +121,28 @@ class TrafficMatrix:
     # ------------------------------------------------------------------
     # aggregations
     # ------------------------------------------------------------------
-    def destinations(self) -> List[Node]:
+    def destinations(self) -> list[Node]:
         """The destination set ``D`` (nodes that terminate some demand)."""
-        seen: Dict[Node, None] = {}
+        seen: dict[Node, None] = {}
         for (_, target) in self._demands:
             seen.setdefault(target, None)
         return list(seen)
 
-    def sources(self) -> List[Node]:
+    def sources(self) -> list[Node]:
         """Nodes that originate some demand."""
-        seen: Dict[Node, None] = {}
+        seen: dict[Node, None] = {}
         for (source, _) in self._demands:
             seen.setdefault(source, None)
         return list(seen)
 
-    def by_destination(self) -> Dict[Node, Dict[Node, float]]:
+    def by_destination(self) -> dict[Node, dict[Node, float]]:
         """Per-destination demand vectors ``d^t_s`` used by the commodities."""
-        result: Dict[Node, Dict[Node, float]] = {}
+        result: dict[Node, dict[Node, float]] = {}
         for (source, target), volume in self._demands.items():
             result.setdefault(target, {})[source] = volume
         return result
 
-    def toward(self, destination: Node) -> Dict[Node, float]:
+    def toward(self, destination: Node) -> dict[Node, float]:
         """Demand entering the network at each source and destined to ``destination``."""
         return {
             source: volume
@@ -184,13 +184,13 @@ class TrafficMatrix:
     # ------------------------------------------------------------------
     # transformations
     # ------------------------------------------------------------------
-    def scaled(self, factor: float) -> "TrafficMatrix":
+    def scaled(self, factor: float) -> TrafficMatrix:
         """A copy of the matrix with every demand multiplied by ``factor``."""
         if factor < 0:
             raise DemandError("demand scale factor must be non-negative")
         return TrafficMatrix({pair: volume * factor for pair, volume in self._demands.items()})
 
-    def restricted_to(self, nodes: Iterable[Node]) -> "TrafficMatrix":
+    def restricted_to(self, nodes: Iterable[Node]) -> TrafficMatrix:
         """Only the demands whose both endpoints are in ``nodes``."""
         keep = set(nodes)
         return TrafficMatrix(

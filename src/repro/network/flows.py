@@ -11,7 +11,7 @@ maximum link utilization, ...).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional
+from collections.abc import Iterable, Mapping
 
 import numpy as np
 
@@ -37,13 +37,13 @@ class FlowAssignment:
     """
 
     network: Network
-    per_destination: Dict[Node, np.ndarray] = field(default_factory=dict)
+    per_destination: dict[Node, np.ndarray] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     # construction helpers
     # ------------------------------------------------------------------
     @classmethod
-    def zeros(cls, network: Network, destinations: Iterable[Node] = ()) -> "FlowAssignment":
+    def zeros(cls, network: Network, destinations: Iterable[Node] = ()) -> FlowAssignment:
         """An all-zero assignment with a vector for each destination."""
         flows = cls(network=network)
         for destination in destinations:
@@ -51,7 +51,7 @@ class FlowAssignment:
         return flows
 
     @classmethod
-    def from_aggregate(cls, network: Network, aggregate: Mapping[Edge, float]) -> "FlowAssignment":
+    def from_aggregate(cls, network: Network, aggregate: Mapping[Edge, float]) -> FlowAssignment:
         """Wrap an aggregate-only flow (no per-destination decomposition).
 
         The aggregate is stored under the pseudo destination ``None`` so that
@@ -63,7 +63,7 @@ class FlowAssignment:
             vector[network.link_index(*edge)] = value
         return cls(network=network, per_destination={None: vector})
 
-    def copy(self) -> "FlowAssignment":
+    def copy(self) -> FlowAssignment:
         return FlowAssignment(
             network=self.network,
             per_destination={t: vec.copy() for t, vec in self.per_destination.items()},
@@ -85,12 +85,12 @@ class FlowAssignment:
         vector = self.ensure_destination(destination)
         vector[self.network.link_index(source, target)] += amount
 
-    def add_path_flow(self, destination: Node, path: List[Node], amount: float) -> None:
+    def add_path_flow(self, destination: Node, path: list[Node], amount: float) -> None:
         """Add ``amount`` of commodity ``destination`` along ``path`` (a node list)."""
-        for u, v in zip(path[:-1], path[1:]):
+        for u, v in zip(path[:-1], path[1:], strict=True):
             self.add_flow(destination, u, v, amount)
 
-    def scale(self, factor: float) -> "FlowAssignment":
+    def scale(self, factor: float) -> FlowAssignment:
         """A copy with every flow multiplied by ``factor``."""
         if factor < 0:
             raise FlowError("flow scale factor must be non-negative")
@@ -99,7 +99,7 @@ class FlowAssignment:
             per_destination={t: vec * factor for t, vec in self.per_destination.items()},
         )
 
-    def __add__(self, other: "FlowAssignment") -> "FlowAssignment":
+    def __add__(self, other: FlowAssignment) -> FlowAssignment:
         if other.network is not self.network and other.network.edges != self.network.edges:
             raise FlowError("cannot add flows defined on different networks")
         result = self.copy()
@@ -112,7 +112,7 @@ class FlowAssignment:
     # views
     # ------------------------------------------------------------------
     @property
-    def destinations(self) -> List[Node]:
+    def destinations(self) -> list[Node]:
         return list(self.per_destination)
 
     def aggregate(self) -> np.ndarray:
@@ -122,11 +122,11 @@ class FlowAssignment:
             total += vector
         return total
 
-    def aggregate_dict(self) -> Dict[Edge, float]:
+    def aggregate_dict(self) -> dict[Edge, float]:
         """Aggregate flow as an ``{(u, v): f}`` mapping."""
         return self.network.weight_dict(self.aggregate())
 
-    def flow_on(self, source: Node, target: Node, destination: Optional[Node] = None) -> float:
+    def flow_on(self, source: Node, target: Node, destination: Node | None = None) -> float:
         """Flow on a link, total or restricted to one destination commodity."""
         index = self.network.link_index(source, target)
         if destination is None:
@@ -144,7 +144,7 @@ class FlowAssignment:
         """Link utilization ``f_ij / c_ij`` per link."""
         return self.aggregate() / self.network.capacities
 
-    def utilization_dict(self) -> Dict[Edge, float]:
+    def utilization_dict(self) -> dict[Edge, float]:
         return self.network.weight_dict(self.utilization())
 
     def max_link_utilization(self) -> float:
@@ -158,7 +158,7 @@ class FlowAssignment:
         values = np.sort(self.utilization())
         return values[::-1] if descending else values
 
-    def used_links(self, threshold: float = 1e-9) -> List[Edge]:
+    def used_links(self, threshold: float = 1e-9) -> list[Edge]:
         """Links carrying more than ``threshold`` units of traffic."""
         aggregate = self.aggregate()
         return [

@@ -12,13 +12,13 @@ between dictionary-style and vector-style (numpy) representations.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple
+from collections.abc import Hashable, Iterable, Iterator, Sequence
 
 import networkx as nx
 import numpy as np
 
 Node = Hashable
-Edge = Tuple[Node, Node]
+Edge = tuple[Node, Node]
 
 
 class NetworkError(ValueError):
@@ -77,17 +77,17 @@ class Network:
 
     def __init__(self, name: str = "network") -> None:
         self.name = name
-        self._nodes: List[Node] = []
-        self._node_set: Dict[Node, int] = {}
-        self._links: List[Link] = []
-        self._link_index: Dict[Edge, int] = {}
-        self._out_links: Dict[Node, List[int]] = {}
-        self._in_links: Dict[Node, List[int]] = {}
+        self._nodes: list[Node] = []
+        self._node_set: dict[Node, int] = {}
+        self._links: list[Link] = []
+        self._link_index: dict[Edge, int] = {}
+        self._out_links: dict[Node, list[int]] = {}
+        self._in_links: dict[Node, list[int]] = {}
         # Lazy adjacency memos: Link-object lists are rebuilt on demand and
         # dropped whenever a link is added (the hot incremental paths call
         # out_links/in_links millions of times on a static topology).
-        self._out_cache: Dict[Node, List[Link]] = {}
-        self._in_cache: Dict[Node, List[Link]] = {}
+        self._out_cache: dict[Node, list[Link]] = {}
+        self._in_cache: dict[Node, list[Link]] = {}
 
     # ------------------------------------------------------------------
     # construction
@@ -139,7 +139,7 @@ class Network:
         v: Node,
         capacity: float,
         delay: float = 1.0,
-    ) -> Tuple[Link, Link]:
+    ) -> tuple[Link, Link]:
         """Add the pair of directed links ``u -> v`` and ``v -> u``."""
         return (
             self.add_link(u, v, capacity, delay),
@@ -150,17 +150,17 @@ class Network:
     # basic queries
     # ------------------------------------------------------------------
     @property
-    def nodes(self) -> List[Node]:
+    def nodes(self) -> list[Node]:
         """Nodes in insertion order."""
         return list(self._nodes)
 
     @property
-    def links(self) -> List[Link]:
+    def links(self) -> list[Link]:
         """Links in insertion order (i.e. by :attr:`Link.index`)."""
         return list(self._links)
 
     @property
-    def edges(self) -> List[Edge]:
+    def edges(self) -> list[Edge]:
         """``(source, target)`` pairs in link-index order."""
         return [link.endpoints for link in self._links]
 
@@ -202,7 +202,7 @@ class Network:
         except KeyError:
             raise NetworkError(f"unknown link {source}->{target}") from None
 
-    def out_links(self, node: Node) -> List[Link]:
+    def out_links(self, node: Node) -> list[Link]:
         """Links leaving ``node`` (a shared cached list — do not mutate)."""
         cached = self._out_cache.get(node)
         if cached is None:
@@ -210,7 +210,7 @@ class Network:
             self._out_cache[node] = cached
         return cached
 
-    def in_links(self, node: Node) -> List[Link]:
+    def in_links(self, node: Node) -> list[Link]:
         """Links entering ``node`` (a shared cached list — do not mutate)."""
         cached = self._in_cache.get(node)
         if cached is None:
@@ -218,11 +218,11 @@ class Network:
             self._in_cache[node] = cached
         return cached
 
-    def neighbors(self, node: Node) -> List[Node]:
+    def neighbors(self, node: Node) -> list[Node]:
         """Nodes reachable from ``node`` by a single link."""
         return [self._links[i].target for i in self._out_links.get(node, [])]
 
-    def predecessors(self, node: Node) -> List[Node]:
+    def predecessors(self, node: Node) -> list[Node]:
         """Nodes with a single link into ``node``."""
         return [self._links[i].source for i in self._in_links.get(node, [])]
 
@@ -261,14 +261,14 @@ class Network:
         """Sum of all link capacities (denominator of *network load*)."""
         return float(sum(link.capacity for link in self._links))
 
-    def weight_vector(self, weights: Dict[Edge, float]) -> np.ndarray:
+    def weight_vector(self, weights: dict[Edge, float]) -> np.ndarray:
         """Convert an ``{(u, v): w}`` mapping to a link-indexed vector."""
         vec = np.zeros(self.num_links)
         for edge, value in weights.items():
             vec[self.link_index(*edge)] = value
         return vec
 
-    def weight_dict(self, vector: Sequence[float]) -> Dict[Edge, float]:
+    def weight_dict(self, vector: Sequence[float]) -> dict[Edge, float]:
         """Convert a link-indexed vector to an ``{(u, v): w}`` mapping."""
         values = np.asarray(vector, dtype=float)
         if values.shape != (self.num_links,):
@@ -311,7 +311,7 @@ class Network:
         return graph
 
     @classmethod
-    def from_networkx(cls, graph: nx.DiGraph, name: Optional[str] = None) -> "Network":
+    def from_networkx(cls, graph: nx.DiGraph, name: str | None = None) -> Network:
         """Build a :class:`Network` from a networkx digraph.
 
         Edge attribute ``capacity`` is required; ``delay`` defaults to 1.
@@ -328,10 +328,10 @@ class Network:
     @classmethod
     def from_link_list(
         cls,
-        links: Iterable[Tuple[Node, Node, float]],
+        links: Iterable[tuple[Node, Node, float]],
         name: str = "network",
         duplex: bool = False,
-    ) -> "Network":
+    ) -> Network:
         """Build a network from ``(u, v, capacity)`` triples.
 
         With ``duplex=True`` every triple adds both directions.
@@ -344,7 +344,7 @@ class Network:
                 net.add_link(u, v, capacity)
         return net
 
-    def copy(self, name: Optional[str] = None) -> "Network":
+    def copy(self, name: str | None = None) -> Network:
         """A deep copy of the network (links are immutable, so this is cheap)."""
         net = Network(name=name or self.name)
         for node in self._nodes:
@@ -353,7 +353,7 @@ class Network:
             net.add_link(link.source, link.target, link.capacity, link.delay)
         return net
 
-    def scaled(self, factor: float, name: Optional[str] = None) -> "Network":
+    def scaled(self, factor: float, name: str | None = None) -> Network:
         """A copy of the network with every capacity multiplied by ``factor``."""
         if factor <= 0:
             raise NetworkError("capacity scale factor must be positive")
@@ -374,10 +374,10 @@ class NetworkSummary:
     num_nodes: int
     num_links: int
     total_capacity: float = 0.0
-    extra: Dict[str, object] = field(default_factory=dict)
+    extra: dict[str, object] = field(default_factory=dict)
 
     @classmethod
-    def of(cls, network: Network, kind: str = "custom", **extra: object) -> "NetworkSummary":
+    def of(cls, network: Network, kind: str = "custom", **extra: object) -> NetworkSummary:
         return cls(
             name=network.name,
             kind=kind,

@@ -10,7 +10,6 @@ network at each source, and the row of the destination itself is dropped
 
 from __future__ import annotations
 
-from typing import Dict, Optional
 
 import numpy as np
 
@@ -51,8 +50,8 @@ def reduced_system(
     network: Network,
     demands: TrafficMatrix,
     destination: Node,
-    incidence: Optional[np.ndarray] = None,
-) -> Dict[str, np.ndarray]:
+    incidence: np.ndarray | None = None,
+) -> dict[str, np.ndarray]:
     """Conservation system with the redundant destination row removed.
 
     Returns a dict with keys ``A_eq`` and ``b_eq`` directly usable by
@@ -71,7 +70,7 @@ def reduced_system(
 
 def conservation_residual(
     network: Network,
-    flows_by_destination: Dict[Node, np.ndarray],
+    flows_by_destination: dict[Node, np.ndarray],
     demands: TrafficMatrix,
 ) -> float:
     """Maximum absolute residual of ``B f^t - d^t`` over all destinations."""

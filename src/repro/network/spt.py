@@ -18,13 +18,13 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from collections.abc import Mapping, Sequence
 
 import numpy as np
 
 from .graph import Edge, Network, NetworkError, Node
 
-WeightsLike = Union[Mapping[Edge, float], Sequence[float], np.ndarray]
+WeightsLike = Mapping[Edge, float] | Sequence[float] | np.ndarray
 
 #: Default cost tolerance when comparing path lengths (paper Section V-G).
 DEFAULT_TOLERANCE = 1e-9
@@ -66,7 +66,7 @@ def distances_to(
     network: Network,
     destination: Node,
     weights: WeightsLike,
-) -> Dict[Node, float]:
+) -> dict[Node, float]:
     """Shortest distance from every node *to* ``destination``.
 
     This is Dijkstra run on the reverse graph, which is the natural
@@ -81,7 +81,7 @@ def _dijkstra_to(
     network: Network,
     destination: Node,
     vector: np.ndarray,
-) -> Tuple[Dict[Node, float], Dict[Node, Node]]:
+) -> tuple[dict[Node, float], dict[Node, Node]]:
     """Dijkstra towards ``destination`` returning distances and tree next hops.
 
     The returned ``parents`` map gives, for every reachable node except the
@@ -90,11 +90,11 @@ def _dijkstra_to(
     where cost comparisons alone cannot orient the ties.
     """
     validate_weights(vector)
-    dist: Dict[Node, float] = {destination: 0.0}
-    parents: Dict[Node, Node] = {}
-    heap: List[Tuple[float, int, Node]] = [(0.0, 0, destination)]
+    dist: dict[Node, float] = {destination: 0.0}
+    parents: dict[Node, Node] = {}
+    heap: list[tuple[float, int, Node]] = [(0.0, 0, destination)]
     counter = 1
-    visited: Dict[Node, bool] = {}
+    visited: dict[Node, bool] = {}
     while heap:
         d, _, node = heapq.heappop(heap)
         if visited.get(node):
@@ -129,8 +129,8 @@ class ShortestPathDag:
     """
 
     destination: Node
-    distances: Dict[Node, float]
-    next_hops: Dict[Node, List[Node]]
+    distances: dict[Node, float]
+    next_hops: dict[Node, list[Node]]
     tolerance: float = DEFAULT_TOLERANCE
 
     def reachable(self, node: Node) -> bool:
@@ -144,11 +144,11 @@ class ShortestPathDag:
                 f"node {node!r} cannot reach destination {self.destination!r}"
             ) from None
 
-    def next_hops_of(self, node: Node) -> List[Node]:
+    def next_hops_of(self, node: Node) -> list[Node]:
         """Shortest-path next hops of ``node`` (empty at the destination)."""
         return list(self.next_hops.get(node, []))
 
-    def edges(self) -> List[Edge]:
+    def edges(self) -> list[Edge]:
         """All links that belong to some shortest path towards the destination."""
         return [
             (node, hop)
@@ -156,7 +156,7 @@ class ShortestPathDag:
             for hop in hops
         ]
 
-    def nodes_by_decreasing_distance(self) -> List[Node]:
+    def nodes_by_decreasing_distance(self) -> list[Node]:
         """Nodes sorted by decreasing distance to the destination.
 
         Algorithm 3 of the paper propagates traffic in exactly this order so
@@ -164,7 +164,7 @@ class ShortestPathDag:
         """
         return sorted(self.distances, key=lambda n: self.distances[n], reverse=True)
 
-    def topological_order(self) -> List[Node]:
+    def topological_order(self) -> list[Node]:
         """Nodes in an order where every node precedes all of its next hops.
 
         This refines :meth:`nodes_by_decreasing_distance`: on zero-weight
@@ -173,8 +173,8 @@ class ShortestPathDag:
         always is.  The destination comes last.
         """
         # Kahn's algorithm over the next-hop edges (u -> hop).
-        in_degree: Dict[Node, int] = {node: 0 for node in self.distances}
-        for node, hops in self.next_hops.items():
+        in_degree: dict[Node, int] = {node: 0 for node in self.distances}
+        for hops in self.next_hops.values():
             for hop in hops:
                 if hop in in_degree:
                     in_degree[hop] += 1
@@ -185,7 +185,7 @@ class ShortestPathDag:
             key=lambda n: self.distances[n],
             reverse=True,
         )
-        order: List[Node] = []
+        order: list[Node] = []
         queue = list(ready)
         while queue:
             node = queue.pop(0)
@@ -202,7 +202,7 @@ class ShortestPathDag:
             )
         return order
 
-    def paths_from(self, source: Node, limit: Optional[int] = None) -> List[List[Node]]:
+    def paths_from(self, source: Node, limit: int | None = None) -> list[list[Node]]:
         """Enumerate the equal-cost shortest paths from ``source``.
 
         Paths are returned as node lists ending at the destination.  ``limit``
@@ -213,8 +213,8 @@ class ShortestPathDag:
             raise UnreachableError(
                 f"node {source!r} cannot reach destination {self.destination!r}"
             )
-        paths: List[List[Node]] = []
-        stack: List[Tuple[Node, List[Node]]] = [(source, [source])]
+        paths: list[list[Node]] = []
+        stack: list[tuple[Node, list[Node]]] = [(source, [source])]
         while stack:
             node, prefix = stack.pop()
             if node == self.destination:
@@ -226,13 +226,13 @@ class ShortestPathDag:
                 stack.append((hop, prefix + [hop]))
         return paths
 
-    def count_paths(self) -> Dict[Node, int]:
+    def count_paths(self) -> dict[Node, int]:
         """Number of equal-cost shortest paths from each node to the destination.
 
         Computed by dynamic programming over the DAG, so it stays cheap even
         when explicit enumeration would blow up.
         """
-        counts: Dict[Node, int] = {self.destination: 1}
+        counts: dict[Node, int] = {self.destination: 1}
         for node in reversed(self.topological_order()):
             if node == self.destination:
                 continue
@@ -259,11 +259,11 @@ def shortest_path_dag(
     vector = as_weight_vector(network, weights)
     validate_weights(vector)
     distances, parents = _dijkstra_to(network, destination, vector)
-    next_hops: Dict[Node, List[Node]] = {}
+    next_hops: dict[Node, list[Node]] = {}
     for node, dist_node in distances.items():
         if node == destination:
             continue
-        hops: List[Node] = []
+        hops: list[Node] = []
         for link in network.out_links(node):
             dist_hop = distances.get(link.target)
             if dist_hop is None:
@@ -272,11 +272,14 @@ def shortest_path_dag(
             if on_shortest and dist_hop < dist_node - 1e-15:
                 hops.append(link.target)
         parent = parents.get(node)
-        if parent is not None and parent not in hops:
-            # The tree edge is always on a shortest path; it is only missing
-            # from `hops` when it lies on an equal-distance plateau.
-            if distances.get(parent, float("inf")) >= dist_node - 1e-15:
-                hops.append(parent)
+        # The tree edge is always on a shortest path; it is only missing
+        # from `hops` when it lies on an equal-distance plateau.
+        if (
+            parent is not None
+            and parent not in hops
+            and distances.get(parent, float("inf")) >= dist_node - 1e-15
+        ):
+            hops.append(parent)
         next_hops[node] = hops
     return ShortestPathDag(
         destination=destination,
@@ -291,7 +294,7 @@ def all_shortest_path_dags(
     destinations: Sequence[Node],
     weights: WeightsLike,
     tolerance: float = DEFAULT_TOLERANCE,
-) -> Dict[Node, ShortestPathDag]:
+) -> dict[Node, ShortestPathDag]:
     """Shortest-path DAGs for every destination in ``destinations``."""
     vector = as_weight_vector(network, weights)
     return {
@@ -319,8 +322,8 @@ def shortest_paths(
     destination: Node,
     weights: WeightsLike,
     tolerance: float = DEFAULT_TOLERANCE,
-    limit: Optional[int] = None,
-) -> List[List[Node]]:
+    limit: int | None = None,
+) -> list[list[Node]]:
     """All equal-cost shortest paths between one source-destination pair."""
     dag = shortest_path_dag(network, destination, weights, tolerance)
     return dag.paths_from(source, limit=limit)
@@ -330,5 +333,5 @@ def path_cost(network: Network, path: Sequence[Node], weights: WeightsLike) -> f
     """Total weight of ``path`` (a node list) under ``weights``."""
     vector = as_weight_vector(network, weights)
     return float(
-        sum(vector[network.link_index(u, v)] for u, v in zip(path[:-1], path[1:]))
+        sum(vector[network.link_index(u, v)] for u, v in zip(path[:-1], path[1:], strict=True))
     )

@@ -26,7 +26,6 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, List, Optional, Union
 
 from .telemetry import Histogram, Span, TelemetryRegistry
 
@@ -46,7 +45,7 @@ PROFILE_SCENARIO = "__profile__"
 # ----------------------------------------------------------------------
 # collapsed stacks (flamegraph.pl / speedscope)
 # ----------------------------------------------------------------------
-def collapsed_stacks(registry: TelemetryRegistry) -> Dict[str, int]:
+def collapsed_stacks(registry: TelemetryRegistry) -> dict[str, int]:
     """``{"root;child;leaf": self-time µs}`` over the registry's span tree.
 
     Stacks from merged worker registries are rooted under their worker
@@ -56,7 +55,7 @@ def collapsed_stacks(registry: TelemetryRegistry) -> Dict[str, int]:
     """
     selfs = registry.self_times()
     by_id = {record.span_id: record for record in registry.spans}
-    paths: Dict[int, str] = {}
+    paths: dict[int, str] = {}
 
     def path_of(record: Span) -> str:
         cached = paths.get(record.span_id)
@@ -70,7 +69,7 @@ def collapsed_stacks(registry: TelemetryRegistry) -> Dict[str, int]:
         paths[record.span_id] = path
         return path
 
-    stacks: Dict[str, int] = {}
+    stacks: dict[str, int] = {}
     for record in registry.spans:
         micros = int(round(selfs[record.span_id] * 1e6))
         if micros <= 0:
@@ -81,7 +80,7 @@ def collapsed_stacks(registry: TelemetryRegistry) -> Dict[str, int]:
 
 
 def write_flamegraph(
-    path: Union[str, Path], registry: TelemetryRegistry
+    path: str | Path, registry: TelemetryRegistry
 ) -> int:
     """Write the registry as a collapsed-stack file; returns the line count."""
     stacks = collapsed_stacks(registry)
@@ -93,7 +92,7 @@ def write_flamegraph(
 # ----------------------------------------------------------------------
 # Chrome trace-event format (Perfetto / chrome://tracing)
 # ----------------------------------------------------------------------
-def chrome_trace(registry: TelemetryRegistry) -> Dict[str, object]:
+def chrome_trace(registry: TelemetryRegistry) -> dict[str, object]:
     """The registry as a Chrome trace-event JSON object.
 
     Every span becomes one ``"X"`` (complete) event with microsecond
@@ -105,7 +104,7 @@ def chrome_trace(registry: TelemetryRegistry) -> Dict[str, object]:
     if "" not in labels:
         labels.insert(0, "")
     tids = {label: position for position, label in enumerate(labels)}
-    events: List[Dict[str, object]] = [
+    events: list[dict[str, object]] = [
         {
             "args": {"name": label or "main"},
             "name": "thread_name",
@@ -116,7 +115,7 @@ def chrome_trace(registry: TelemetryRegistry) -> Dict[str, object]:
         for label, tid in tids.items()
     ]
     for record in registry.spans:
-        args: Dict[str, object] = {
+        args: dict[str, object] = {
             key: value for key, value in record.tags.items() if key != "worker"
         }
         if record.error is not None:
@@ -141,7 +140,7 @@ def chrome_trace(registry: TelemetryRegistry) -> Dict[str, object]:
 
 
 def write_chrome_trace(
-    path: Union[str, Path], registry: TelemetryRegistry
+    path: str | Path, registry: TelemetryRegistry
 ) -> int:
     """Write the Chrome trace JSON; returns the number of trace events."""
     payload = chrome_trace(registry)
@@ -154,7 +153,7 @@ def write_chrome_trace(
 # ----------------------------------------------------------------------
 # trace import
 # ----------------------------------------------------------------------
-def load_trace(path: Union[str, Path]) -> TelemetryRegistry:
+def load_trace(path: str | Path) -> TelemetryRegistry:
     """Rebuild a registry from a ``trace.jsonl`` file (schema 1 or 2).
 
     Derived lines (``span_stats``, ``span_tree``, per-span ``self``) are
@@ -165,7 +164,7 @@ def load_trace(path: Union[str, Path]) -> TelemetryRegistry:
     """
     registry = TelemetryRegistry()
     path = Path(path)
-    with open(path, "r", encoding="utf-8") as handle:
+    with open(path, encoding="utf-8") as handle:
         for line_number, line in enumerate(handle, start=1):
             line = line.strip()
             if not line:
@@ -233,8 +232,8 @@ def load_trace(path: Union[str, Path]) -> TelemetryRegistry:
 # results-store persistence
 # ----------------------------------------------------------------------
 def profile_records(
-    registry: Optional[TelemetryRegistry], topology: str
-) -> List[Dict[str, object]]:
+    registry: TelemetryRegistry | None, topology: str
+) -> list[dict[str, object]]:
     """Per-span-name timing aggregates as results-store records.
 
     One record per span name under the reserved identity
@@ -248,7 +247,7 @@ def profile_records(
     """
     if registry is None or not registry.spans:
         return []
-    records: List[Dict[str, object]] = []
+    records: list[dict[str, object]] = []
     for stats in registry.span_stats():
         records.append(
             {

@@ -86,7 +86,7 @@ import time
 import tracemalloc
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+from collections.abc import Iterator, Mapping, Sequence
 
 __all__ = [
     "Span",
@@ -106,11 +106,11 @@ __all__ = [
 #: Default bucket edges for fraction-valued histograms (e.g. the affected
 #: cone as a fraction of reachable nodes).  Dense at the low end, where the
 #: incremental path wins, because that is where tuning decisions live.
-DEFAULT_FRACTION_EDGES: Tuple[float, ...] = (
+DEFAULT_FRACTION_EDGES: tuple[float, ...] = (
     0.01, 0.02, 0.05, 0.1, 0.2, 0.3, 0.5, 0.75, 1.0,
 )
 
-TagsKey = Tuple[Tuple[str, str], ...]
+TagsKey = tuple[tuple[str, str], ...]
 
 
 def _tags_key(tags: Mapping[str, object]) -> TagsKey:
@@ -122,20 +122,20 @@ class Span:
     """One completed (or still-open) timed region."""
 
     span_id: int
-    parent_id: Optional[int]
+    parent_id: int | None
     depth: int
     name: str
-    tags: Dict[str, str]
+    tags: dict[str, str]
     start: float  # seconds since the registry epoch
     wall: float = 0.0
     cpu: float = 0.0
     status: str = "open"  # "open" | "ok" | "error"
-    error: Optional[str] = None
-    alloc: Optional[int] = None  # net traced bytes (memory-tracked registries)
-    peak: Optional[int] = None  # peak traced bytes above entry level
+    error: str | None = None
+    alloc: int | None = None  # net traced bytes (memory-tracked registries)
+    peak: int | None = None  # peak traced bytes above entry level
 
-    def as_record(self) -> Dict[str, object]:
-        record: Dict[str, object] = {
+    def as_record(self) -> dict[str, object]:
+        record: dict[str, object] = {
             "type": "span",
             "id": self.span_id,
             "parent": self.parent_id,
@@ -164,12 +164,12 @@ class Histogram:
     merged histogram still reports an exact mean and range.
     """
 
-    edges: Tuple[float, ...]
-    counts: List[int] = field(default_factory=list)
+    edges: tuple[float, ...]
+    counts: list[int] = field(default_factory=list)
     count: int = 0
     sum: float = 0.0
-    min: Optional[float] = None
-    max: Optional[float] = None
+    min: float | None = None
+    max: float | None = None
 
     def __post_init__(self) -> None:
         if not self.edges:
@@ -192,13 +192,13 @@ class Histogram:
         self.min = value if self.min is None else min(self.min, value)
         self.max = value if self.max is None else max(self.max, value)
 
-    def merge(self, other: "Histogram") -> None:
+    def merge(self, other: Histogram) -> None:
         if other.edges != self.edges:
             raise ValueError(
                 f"cannot merge histograms with different edges: "
                 f"{self.edges} vs {other.edges}"
             )
-        self.counts = [a + b for a, b in zip(self.counts, other.counts)]
+        self.counts = [a + b for a, b in zip(self.counts, other.counts, strict=True)]
         self.count += other.count
         self.sum += other.sum
         for bound, pick in (("min", min), ("max", max)):
@@ -208,10 +208,10 @@ class Histogram:
                 setattr(self, bound, theirs if ours is None else pick(ours, theirs))
 
     @property
-    def mean(self) -> Optional[float]:
+    def mean(self) -> float | None:
         return self.sum / self.count if self.count else None
 
-    def as_record(self, name: str) -> Dict[str, object]:
+    def as_record(self, name: str) -> dict[str, object]:
         return {
             "type": "histogram",
             "name": name,
@@ -244,15 +244,15 @@ class TelemetryRegistry:
     def __init__(self, label: str = "", memory: bool = False) -> None:
         self.label = label
         self.created_at = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
-        self.spans: List[Span] = []
-        self.counters: Dict[Tuple[str, TagsKey], float] = {}
-        self.histograms: Dict[str, Histogram] = {}
+        self.spans: list[Span] = []
+        self.counters: dict[tuple[str, TagsKey], float] = {}
+        self.histograms: dict[str, Histogram] = {}
         self.memory = bool(memory)
-        self.peak_rss_kb: Optional[int] = None
-        self._stack: List[Span] = []
+        self.peak_rss_kb: int | None = None
+        self._stack: list[Span] = []
         self._wall_epoch = time.perf_counter()
-        self._mem_base: Dict[int, int] = {}
-        self._mem_peaks: Dict[int, int] = {}
+        self._mem_base: dict[int, int] = {}
+        self._mem_peaks: dict[int, int] = {}
         self._owns_tracemalloc = False
         if self.memory and not tracemalloc.is_tracing():
             tracemalloc.start()
@@ -335,18 +335,18 @@ class TelemetryRegistry:
             return self.counters.get((name, _tags_key(tags)), 0.0)
         return sum(v for (n, _), v in self.counters.items() if n == name)
 
-    def counter_breakdown(self, name: str) -> Dict[TagsKey, float]:
+    def counter_breakdown(self, name: str) -> dict[TagsKey, float]:
         return {t: v for (n, t), v in self.counters.items() if n == name}
 
-    def span_totals(self) -> Dict[str, Tuple[int, float, float]]:
+    def span_totals(self) -> dict[str, tuple[int, float, float]]:
         """``{name: (count, total wall seconds, total cpu seconds)}``."""
-        totals: Dict[str, Tuple[int, float, float]] = {}
+        totals: dict[str, tuple[int, float, float]] = {}
         for record in self.spans:
             count_, wall, cpu = totals.get(record.name, (0, 0.0, 0.0))
             totals[record.name] = (count_ + 1, wall + record.wall, cpu + record.cpu)
         return totals
 
-    def self_times(self) -> Dict[int, float]:
+    def self_times(self) -> dict[int, float]:
         """Per-span *self* wall time: own wall minus direct children's wall.
 
         Computed over the 9-decimal-rounded walls that the trace schema
@@ -355,7 +355,7 @@ class TelemetryRegistry:
         (float round-off can push a fully-delegating parent slightly
         negative).
         """
-        child_wall: Dict[int, float] = {}
+        child_wall: dict[int, float] = {}
         for record in self.spans:
             if record.parent_id is not None:
                 child_wall[record.parent_id] = child_wall.get(
@@ -368,7 +368,7 @@ class TelemetryRegistry:
             for record in self.spans
         }
 
-    def span_stats(self) -> List[Dict[str, object]]:
+    def span_stats(self) -> list[dict[str, object]]:
         """Per-span-name aggregates: count, wall/cpu/self totals, self percentiles.
 
         One ``span_stats`` record per distinct span name, sorted by name —
@@ -377,10 +377,10 @@ class TelemetryRegistry:
         no interpolation).
         """
         selfs = self.self_times()
-        per_name: Dict[str, List[Span]] = {}
+        per_name: dict[str, list[Span]] = {}
         for record in self.spans:
             per_name.setdefault(record.name, []).append(record)
-        stats: List[Dict[str, object]] = []
+        stats: list[dict[str, object]] = []
         for name in sorted(per_name):
             records = per_name[name]
             self_values = sorted(selfs[record.span_id] for record in records)
@@ -399,7 +399,7 @@ class TelemetryRegistry:
             )
         return stats
 
-    def span_tree(self) -> List[Dict[str, object]]:
+    def span_tree(self) -> list[dict[str, object]]:
         """Call-tree aggregation: one record per distinct root→span name path.
 
         Paths join span names with ``;`` (the collapsed-stack convention),
@@ -407,7 +407,7 @@ class TelemetryRegistry:
         """
         selfs = self.self_times()
         by_id = {record.span_id: record for record in self.spans}
-        paths: Dict[int, str] = {}
+        paths: dict[int, str] = {}
 
         def path_of(record: Span) -> str:
             cached = paths.get(record.span_id)
@@ -420,7 +420,7 @@ class TelemetryRegistry:
             paths[record.span_id] = path
             return path
 
-        aggregated: Dict[str, List[float]] = {}
+        aggregated: dict[str, list[float]] = {}
         for record in self.spans:
             entry = aggregated.setdefault(path_of(record), [0, 0.0, 0.0])
             entry[0] += 1
@@ -463,7 +463,7 @@ class TelemetryRegistry:
     # ------------------------------------------------------------------
     # cross-process transport
     # ------------------------------------------------------------------
-    def snapshot(self) -> Dict[str, object]:
+    def snapshot(self) -> dict[str, object]:
         """A picklable dump of everything recorded so far."""
         return {
             "label": self.label,
@@ -545,7 +545,7 @@ class TelemetryRegistry:
         """
         self.finalize()
         buffer = io.StringIO()
-        meta: Dict[str, object] = {
+        meta: dict[str, object] = {
             "type": "meta",
             "schema": 2,
             "label": self.label,
@@ -592,7 +592,7 @@ class TelemetryRegistry:
         tie-break), counters and histograms sort by name — the whole digest
         is deterministic for a given registry.
         """
-        lines: List[str] = []
+        lines: list[str] = []
         title = f"telemetry summary — {self.label}" if self.label else "telemetry summary"
         lines.append(title)
         stats = self.span_stats()
@@ -650,7 +650,7 @@ class TelemetryRegistry:
                 labels = [f"<={edge:g}" for edge in histogram.edges] + [
                     f">{histogram.edges[-1]:g}"
                 ]
-                for label, bucket in zip(labels, histogram.counts):
+                for label, bucket in zip(labels, histogram.counts, strict=True):
                     if peak:
                         bar = "#" * max(1, round(24 * bucket / peak)) if bucket else ""
                     else:
@@ -662,7 +662,7 @@ class TelemetryRegistry:
 # ----------------------------------------------------------------------
 # module-level switchboard (the API the instrumented code calls)
 # ----------------------------------------------------------------------
-_ACTIVE: Optional[TelemetryRegistry] = None
+_ACTIVE: TelemetryRegistry | None = None
 
 
 class _NoopSpan:
@@ -685,19 +685,19 @@ def enabled() -> bool:
     return _ACTIVE is not None
 
 
-def get() -> Optional[TelemetryRegistry]:
+def get() -> TelemetryRegistry | None:
     """The active registry, or None when telemetry is disabled."""
     return _ACTIVE
 
 
-def activate(registry: Optional[TelemetryRegistry] = None) -> TelemetryRegistry:
+def activate(registry: TelemetryRegistry | None = None) -> TelemetryRegistry:
     """Install (and return) the process-wide active registry."""
     global _ACTIVE
     _ACTIVE = registry if registry is not None else TelemetryRegistry()
     return _ACTIVE
 
 
-def deactivate() -> Optional[TelemetryRegistry]:
+def deactivate() -> TelemetryRegistry | None:
     """Remove and return the active registry (telemetry goes quiet).
 
     Finalizes the registry on the way out (stops owned memory tracing,

@@ -37,7 +37,7 @@ from __future__ import annotations
 import heapq
 import time as _time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from collections.abc import Callable, Iterable, Sequence
 
 import numpy as np
 
@@ -94,14 +94,14 @@ class ControllerBaseline:
     weights: np.ndarray
     active: np.ndarray
     capacities: np.ndarray
-    demands: Dict[Pair, float]
+    demands: dict[Pair, float]
     tolerance: float
     max_affected_fraction: float
     #: ``{destination: (dist, next_hops)}`` per-destination DAG state.
-    states: Dict[Node, Tuple[Dict[Node, float], Dict[Node, List[Node]]]]
-    dest_loads: Dict[Node, np.ndarray]
-    dest_through: Dict[Node, Dict[Node, float]]
-    dest_dropped: Dict[Node, Dict[Node, float]]
+    states: dict[Node, tuple[dict[Node, float], dict[Node, list[Node]]]]
+    dest_loads: dict[Node, np.ndarray]
+    dest_through: dict[Node, dict[Node, float]]
+    dest_dropped: dict[Node, dict[Node, float]]
 
 
 @dataclass
@@ -113,7 +113,7 @@ class ControllerMeasurement:
     utility: float
     routed_volume: float
     dropped_volume: float
-    dropped_pairs: Tuple[Pair, ...] = field(default_factory=tuple)
+    dropped_pairs: tuple[Pair, ...] = field(default_factory=tuple)
 
     @property
     def connected(self) -> bool:
@@ -164,16 +164,16 @@ class TEController:
         self,
         network: Network,
         demands: TrafficMatrix,
-        weights: Optional[WeightsLike] = None,
+        weights: WeightsLike | None = None,
         *,
         tolerance: float = DEFAULT_TOLERANCE,
-        max_affected_fraction: Optional[float] = None,
+        max_affected_fraction: float | None = None,
         verify: bool = False,
         _defer_build: bool = False,
     ) -> None:
         demands.validate(network)
         self.network = network
-        self._demands: Dict[Pair, float] = dict(demands.items())
+        self._demands: dict[Pair, float] = dict(demands.items())
         self.capacities = network.capacities
         if weights is None:
             from ..protocols.ospf import invcap_weights
@@ -192,21 +192,21 @@ class TEController:
                 max_affected_fraction=max_affected_fraction,
                 verify=verify,
             )
-        self._dest_loads: Dict[Node, np.ndarray] = {}
-        self._dest_through: Dict[Node, Dict[Node, float]] = {}
-        self._dest_dropped: Dict[Node, Dict[Node, float]] = {}
-        self._dirty: Set[Node] = set(demands.destinations())
+        self._dest_loads: dict[Node, np.ndarray] = {}
+        self._dest_through: dict[Node, dict[Node, float]] = {}
+        self._dest_dropped: dict[Node, dict[Node, float]] = {}
+        self._dirty: set[Node] = set(demands.destinations())
         #: Per-dirty-destination changed-node region accumulated since the
         #: last route (``None`` = unknown footprint, full re-route).
-        self._dirty_regions: Dict[Node, Optional[Set[Node]]] = {}
-        self._agg_loads: Optional[np.ndarray] = None
+        self._dirty_regions: dict[Node, set[Node] | None] = {}
+        self._agg_loads: np.ndarray | None = None
         #: Lazy flat adjacency for the delta kernel: node -> [(index, target)].
-        self._out_pairs: Optional[Dict[Node, List[Tuple[int, Node]]]] = None
-        self._in_indices: Optional[Dict[Node, List[int]]] = None
-        self._by_destination: Optional[Dict[Node, Dict[Node, float]]] = None
-        self._router: Optional[SparseRouter] = None
-        self._router_dirty: Set[Node] = set()
-        self.log: List[ControllerUpdate] = []
+        self._out_pairs: dict[Node, list[tuple[int, Node]]] | None = None
+        self._in_indices: dict[Node, list[int]] | None = None
+        self._by_destination: dict[Node, dict[Node, float]] | None = None
+        self._router: SparseRouter | None = None
+        self._router_dirty: set[Node] = set()
+        self.log: list[ControllerUpdate] = []
         self._sequence = 0
 
     # ------------------------------------------------------------------
@@ -238,7 +238,7 @@ class TEController:
         snapshot: ControllerBaseline,
         *,
         verify: bool = False,
-    ) -> "TEController":
+    ) -> TEController:
         """Adopt a :meth:`snapshot` baseline without any cold SPT builds.
 
         ``network`` must be the same topology the snapshot came from (name
@@ -312,7 +312,7 @@ class TEController:
         """Consume one event, updating routing state incrementally."""
         start = _time.perf_counter()
         structural = True
-        regions: Optional[Dict[Node, Optional[Set[Node]]]] = None
+        regions: dict[Node, set[Node] | None] | None = None
         if isinstance(event, LinkFailure):
             affected = self.spt.fail_link(*event.link)
             regions = self.spt.last_event_regions
@@ -345,11 +345,11 @@ class TEController:
             telemetry.count("controller.dirtied_destinations", len(affected))
         return update
 
-    def apply_all(self, events: Iterable[NetworkEvent]) -> List[ControllerUpdate]:
+    def apply_all(self, events: Iterable[NetworkEvent]) -> list[ControllerUpdate]:
         """Consume a batch of events in order."""
         return [self.apply(event) for event in events]
 
-    def _apply_capacity(self, event: CapacityChange) -> Tuple[Set[Node], bool]:
+    def _apply_capacity(self, event: CapacityChange) -> tuple[set[Node], bool]:
         """Apply one capacity event; returns ``(affected, structural)``.
 
         A capacity at or below zero is an explicit link failure — the exact
@@ -366,7 +366,7 @@ class TEController:
         self.capacities[index] = float(event.capacity)
         return set(), False  # forwarding state (weights) is untouched
 
-    def _apply_demand(self, event: DemandUpdate) -> Set[Node]:
+    def _apply_demand(self, event: DemandUpdate) -> set[Node]:
         if event.source == event.target:
             raise EventError("demand source and target must differ")
         if event.volume < 0:
@@ -392,9 +392,9 @@ class TEController:
 
     def _invalidate(
         self,
-        affected: Set[Node],
+        affected: set[Node],
         structural: bool = True,
-        regions: Optional[Dict[Node, Optional[Set[Node]]]] = None,
+        regions: dict[Node, set[Node] | None] | None = None,
     ) -> None:
         if not structural:
             return
@@ -420,7 +420,7 @@ class TEController:
     # ------------------------------------------------------------------
     # routing state (lazy, per-destination cached)
     # ------------------------------------------------------------------
-    def _route_destination(self, destination: Node, entering: Dict[Node, float]) -> None:
+    def _route_destination(self, destination: Node, entering: dict[Node, float]) -> None:
         # An event-dirtied DAG is routed once before the next event touches
         # it, so the fused single-pass kernel beats compile-then-propagate;
         # batched multi-matrix work goes through `ensemble_link_loads`,
@@ -447,7 +447,7 @@ class TEController:
             telemetry.count("controller.route", 1, path="full")
 
     def _route_delta(
-        self, destination: Node, entering: Dict[Node, float], region: Set[Node]
+        self, destination: Node, entering: dict[Node, float], region: set[Node]
     ) -> bool:
         """Re-propagate loads only through the subtree below ``region``.
 
@@ -473,7 +473,7 @@ class TEController:
         through = dict(self._dest_through[destination])
         dropped = dict(self._dest_dropped.get(destination, {}))
 
-        heap: List[Tuple[float, int, Node]] = []
+        heap: list[tuple[float, int, Node]] = []
         seq = 0
         for node in region:
             d = dist.get(node)
@@ -533,7 +533,7 @@ class TEController:
 
     def _flat_adjacency(
         self,
-    ) -> Tuple[Dict[Node, List[Tuple[int, Node]]], Dict[Node, List[int]]]:
+    ) -> tuple[dict[Node, list[tuple[int, Node]]], dict[Node, list[int]]]:
         """Per-node ``(link index, target)`` pairs / in-link indices, memoized."""
         out_pairs = self._out_pairs
         if out_pairs is None:
@@ -553,8 +553,8 @@ class TEController:
         self,
         destination: Node,
         loads: np.ndarray,
-        dropped: Dict[Node, float],
-        through: Dict[Node, float],
+        dropped: dict[Node, float],
+        through: dict[Node, float],
     ) -> None:
         """Install one destination's routed state, maintaining the aggregate."""
         if self._agg_loads is not None:
@@ -614,7 +614,7 @@ class TEController:
         """Loads, MLU, utility and drop accounting in one snapshot."""
         loads = self.link_loads()
         utilization = loads / self.capacities
-        dropped_pairs: List[Pair] = []
+        dropped_pairs: list[Pair] = []
         dropped_volume = 0.0
         for destination, dropped in self._dest_dropped.items():
             for source, volume in dropped.items():
@@ -682,7 +682,7 @@ class TEController:
     # ------------------------------------------------------------------
     def reoptimize(
         self,
-        optimizer: Optional[object] = None,
+        optimizer: object | None = None,
         warm_start: bool = True,
         install: bool = True,
     ):
@@ -748,7 +748,7 @@ class TEController:
     # ------------------------------------------------------------------
     def sweep_scenarios(
         self, scenarios: Sequence[Scenario]
-    ) -> List[ControllerMeasurement]:
+    ) -> list[ControllerMeasurement]:
         """Measure every topology-perturbing scenario by applying and reverting it.
 
         Generalises the pure-failure sweep to the full topology algebra:
@@ -773,7 +773,7 @@ class TEController:
         baseline_dropped = dict(self._dest_dropped)
         baseline_through = dict(self._dest_through)
         baseline_capacities = self.capacities
-        measurements: List[ControllerMeasurement] = []
+        measurements: list[ControllerMeasurement] = []
         stats_before = snapshot_stats(self.spt.stats) if telemetry.enabled() else None
         with telemetry.span("controller.sweep", scenarios=len(scenarios)):
             for scenario in scenarios:
@@ -824,7 +824,7 @@ class TEController:
 
     def sweep_pure_failures(
         self, scenarios: Sequence[Scenario]
-    ) -> List[ControllerMeasurement]:
+    ) -> list[ControllerMeasurement]:
         """Pure link/node-failure subset of :meth:`sweep_scenarios`.
 
         Kept as the narrow entry point: it validates that every scenario
@@ -839,7 +839,7 @@ class TEController:
         self,
         simulator: Simulator,
         events: Iterable[NetworkEvent],
-        on_update: Optional[Callable[["TEController", ControllerUpdate], None]] = None,
+        on_update: Callable[["TEController", ControllerUpdate], None] | None = None,
     ) -> int:
         """Schedule an event trace on a discrete-event simulator.
 
@@ -863,9 +863,9 @@ def sweep_scenarios(
     network: Network,
     demands: TrafficMatrix,
     scenarios: Sequence[Scenario],
-    weights: Optional[WeightsLike] = None,
+    weights: WeightsLike | None = None,
     tolerance: float = DEFAULT_TOLERANCE,
-) -> List[ControllerMeasurement]:
+) -> list[ControllerMeasurement]:
     """One-shot incremental scenario sweep (builds a controller, sweeps, done).
 
     The scenario runner's incremental fast path: equivalent (to float
@@ -882,9 +882,9 @@ def sweep_pure_failures(
     network: Network,
     demands: TrafficMatrix,
     scenarios: Sequence[Scenario],
-    weights: Optional[WeightsLike] = None,
+    weights: WeightsLike | None = None,
     tolerance: float = DEFAULT_TOLERANCE,
-) -> List[ControllerMeasurement]:
+) -> list[ControllerMeasurement]:
     """One-shot incremental failure sweep (pure-failure subset; see
     :func:`sweep_scenarios`)."""
     controller = TEController(network, demands, weights=weights, tolerance=tolerance)

@@ -57,7 +57,7 @@ import heapq
 import logging
 import warnings
 from dataclasses import dataclass, field, replace
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from collections.abc import Iterable, Sequence
 
 import numpy as np
 
@@ -242,8 +242,8 @@ class _DestinationState:
     """Live SPT/DAG state towards one destination (mutated in place)."""
 
     destination: Node
-    dist: Dict[Node, float] = field(default_factory=dict)
-    next_hops: Dict[Node, List[Node]] = field(default_factory=dict)
+    dist: dict[Node, float] = field(default_factory=dict)
+    next_hops: dict[Node, list[Node]] = field(default_factory=dict)
 
 
 class DynamicSPT:
@@ -288,7 +288,7 @@ class DynamicSPT:
         weights: WeightsLike,
         destinations: Iterable[Node] = (),
         tolerance: float = DEFAULT_TOLERANCE,
-        max_affected_fraction: Optional[float] = None,
+        max_affected_fraction: float | None = None,
         verify: bool = False,
     ) -> None:
         if max_affected_fraction is None:
@@ -306,15 +306,15 @@ class DynamicSPT:
         # index single elements millions of times per sweep, and plain-list
         # access is several times cheaper than ndarray scalar access.  Kept
         # in sync at every mutation point.
-        self._weights_list: List[float] = self._weights.tolist()
-        self._active_list: List[bool] = self._active.tolist()
-        self._states: Dict[Node, _DestinationState] = {}
-        self._plateau_links: Set[int] = set()
+        self._weights_list: list[float] = self._weights.tolist()
+        self._active_list: list[bool] = self._active.tolist()
+        self._states: dict[Node, _DestinationState] = {}
+        self._plateau_links: set[int] = set()
         self._refresh_plateau_links()
         #: Per-destination changed-node regions of the last event: the nodes
         #: whose next-hop sets (or reachability) changed, or ``None`` for a
         #: full rebuild.  Consumed by the controller's delta load kernel.
-        self.last_event_regions: Dict[Node, Optional[Set[Node]]] = {}
+        self.last_event_regions: dict[Node, set[Node] | None] = {}
         self.stats = DsptStats()
         for destination in destinations:
             self.add_destination(destination)
@@ -323,7 +323,7 @@ class DynamicSPT:
     # views
     # ------------------------------------------------------------------
     @property
-    def destinations(self) -> List[Node]:
+    def destinations(self) -> list[Node]:
         return list(self._states)
 
     @property
@@ -334,7 +334,7 @@ class DynamicSPT:
     def is_active(self, source: Node, target: Node) -> bool:
         return bool(self._active[self.network.link_index(source, target)])
 
-    def failed_links(self) -> List[Edge]:
+    def failed_links(self) -> list[Edge]:
         """Currently failed directed links, in link-index order."""
         return [
             link.endpoints
@@ -357,7 +357,7 @@ class DynamicSPT:
             tolerance=self.tolerance,
         )
 
-    def distances(self, destination: Node) -> Dict[Node, float]:
+    def distances(self, destination: Node) -> dict[Node, float]:
         return dict(self._state(destination).dist)
 
     def reachable(self, source: Node, destination: Node) -> bool:
@@ -372,7 +372,7 @@ class DynamicSPT:
         """Copy of the per-link active mask (False = failed)."""
         return self._active.copy()
 
-    def export_states(self) -> Dict[Node, Tuple[Dict[Node, float], Dict[Node, List[Node]]]]:
+    def export_states(self) -> dict[Node, tuple[dict[Node, float], dict[Node, list[Node]]]]:
         """Picklable per-destination ``(dist, next_hops)`` state copies."""
         return {
             destination: (
@@ -385,7 +385,7 @@ class DynamicSPT:
     def install_states(
         self,
         active: np.ndarray,
-        states: Dict[Node, Tuple[Dict[Node, float], Dict[Node, List[Node]]]],
+        states: dict[Node, tuple[dict[Node, float], dict[Node, list[Node]]]],
     ) -> None:
         """Adopt an :meth:`export_states` snapshot without any cold builds.
 
@@ -410,7 +410,7 @@ class DynamicSPT:
     def ecmp_link_loads(
         self,
         destination: Node,
-        entering: Dict[Node, float],
+        entering: dict[Node, float],
         with_through: bool = False,
     ):
         """Even-ECMP link loads towards one destination, in a single pass.
@@ -438,7 +438,7 @@ class DynamicSPT:
         # pair and list element access is far cheaper than ndarray scalars.
         loads = [0.0] * self.network.num_links
         through = dict.fromkeys(dist, 0.0)
-        dropped: Dict[Node, float] = {}
+        dropped: dict[Node, float] = {}
         for source, volume in entering.items():
             if source in through:
                 through[source] += volume
@@ -491,7 +491,7 @@ class DynamicSPT:
             self.stats.initial_builds += 1
             self._rebuild(state)
 
-    def fail_link(self, source: Node, target: Node) -> Set[Node]:
+    def fail_link(self, source: Node, target: Node) -> set[Node]:
         """Mask one directed link out; returns the destinations affected."""
         index = self.network.link_index(source, target)
         if not self._active[index]:
@@ -507,7 +507,7 @@ class DynamicSPT:
             index, old_eff=self._weights[index], new_eff=np.inf, plateau=plateau
         )
 
-    def recover_link(self, source: Node, target: Node) -> Set[Node]:
+    def recover_link(self, source: Node, target: Node) -> set[Node]:
         """Re-activate a failed link at its configured weight."""
         index = self.network.link_index(source, target)
         if self._active[index]:
@@ -521,7 +521,7 @@ class DynamicSPT:
             plateau=self._plateau_links,
         )
 
-    def set_weight(self, source: Node, target: Node, weight: float) -> Set[Node]:
+    def set_weight(self, source: Node, target: Node, weight: float) -> set[Node]:
         """Change one link's weight (no-op for equal weight)."""
         if not np.isfinite(weight) or weight < 0:
             raise NetworkError(f"link weight must be finite and non-negative, got {weight}")
@@ -544,7 +544,7 @@ class DynamicSPT:
             index, old_eff=old, new_eff=float(weight), plateau=plateau
         )
 
-    def set_weights(self, weights: WeightsLike) -> Set[Node]:
+    def set_weights(self, weights: WeightsLike) -> set[Node]:
         """Install a whole new weight vector (full rebuild of every DAG)."""
         vector = as_weight_vector(self.network, weights)
         validate_weights(vector)
@@ -552,7 +552,7 @@ class DynamicSPT:
         self._weights_list = vector.tolist()
         self._refresh_plateau_links()
         self.stats.events += 1
-        changed: Set[Node] = set()
+        changed: set[Node] = set()
         for state in self._states.values():
             self.stats.bulk_rebuilds += 1
             self._rebuild(state)
@@ -588,8 +588,8 @@ class DynamicSPT:
         self,
         state: _DestinationState,
         moved_min: float,
-        refresh: Set[Node],
-        plateau: Set[int],
+        refresh: set[Node],
+        plateau: set[int],
     ) -> bool:
         """Is this incremental update provably cold-exact despite plateaus?
 
@@ -623,13 +623,13 @@ class DynamicSPT:
         return True
 
     def _propagate(
-        self, index: int, old_eff: float, new_eff: float, plateau: Set[int]
-    ) -> Set[Node]:
+        self, index: int, old_eff: float, new_eff: float, plateau: set[int]
+    ) -> set[Node]:
         link = self.network.link_by_index(index)
         self.stats.events += 1
         fallbacks_before = self.stats.event_fallbacks
-        changed: Set[Node] = set()
-        regions: Dict[Node, Optional[Set[Node]]] = {}
+        changed: set[Node] = set()
+        regions: dict[Node, set[Node] | None] = {}
         for state in self._states.values():
             if link.source == state.destination:
                 continue  # a destination's out-edges never carry its traffic
@@ -652,8 +652,8 @@ class DynamicSPT:
         link,
         old_eff: float,
         new_eff: float,
-        plateau: Set[int],
-    ) -> Optional[Set[Node]]:
+        plateau: set[int],
+    ) -> set[Node] | None:
         """Incremental update cross-checked against a shadow cold rebuild."""
         shadow = _DestinationState(destination=state.destination)
         before = (dict(state.dist), {n: list(h) for n, h in state.next_hops.items()})
@@ -684,8 +684,8 @@ class DynamicSPT:
         link,
         old_eff: float,
         new_eff: float,
-        plateau: Set[int],
-    ) -> Optional[Set[Node]]:
+        plateau: set[int],
+    ) -> set[Node] | None:
         """Apply one effective-weight change towards one destination.
 
         Returns the set of nodes whose next-hop sets (or reachability)
@@ -697,22 +697,22 @@ class DynamicSPT:
         return self._edge_increase(state, link, old_eff, plateau)
 
     def _edge_decrease(
-        self, state: _DestinationState, link, new_eff: float, plateau: Set[int]
-    ) -> Optional[Set[Node]]:
+        self, state: _DestinationState, link, new_eff: float, plateau: set[int]
+    ) -> set[Node] | None:
         dist = state.dist
         head = dist.get(link.target)
         if head is None:
             return set()  # the head cannot reach the destination; edge is inert
         candidate = new_eff + head
         tail_dist = dist.get(link.source, np.inf)
-        changed: List[Node] = []
+        changed: list[Node] = []
         if candidate < tail_dist - _MARGIN:
             # Push the improvement through the reverse graph, Dijkstra-ordered.
             dist[link.source] = candidate
             active, weights = self._active_list, self._weights_list
             in_links = self.network.in_links
             counter = 0
-            heap: List[Tuple[float, int, Node]] = [(candidate, counter, link.source)]
+            heap: list[tuple[float, int, Node]] = [(candidate, counter, link.source)]
             while heap:
                 d, _, node = heapq.heappop(heap)
                 if d > dist.get(node, np.inf):
@@ -730,12 +730,13 @@ class DynamicSPT:
                         counter += 1
                         heapq.heappush(heap, (relaxed, counter, tail))
             self.stats.nodes_recomputed += len(changed)
-        elif candidate > tail_dist + self.tolerance:
-            # Beyond the ECMP tolerance band: the edge is not (and was not)
-            # a DAG member for this destination, so no hop set can change.
-            if self._plateau_safe(state, tail_dist, _NO_REFRESH, plateau):
-                self.stats.incremental_updates += 1
-                return set()
+        # Beyond the ECMP tolerance band the edge is not (and was not) a DAG
+        # member for this destination, so no hop set can change.
+        elif candidate > tail_dist + self.tolerance and self._plateau_safe(
+            state, tail_dist, _NO_REFRESH, plateau
+        ):
+            self.stats.incremental_updates += 1
+            return set()
         moved_min = min((dist[node] for node in changed), default=tail_dist)
         refresh = self._refresh_set(state, changed, extra=(link.source,))
         if not self._plateau_safe(state, moved_min, refresh, plateau):
@@ -746,8 +747,8 @@ class DynamicSPT:
         return self._refresh_nodes(state, refresh)
 
     def _edge_increase(
-        self, state: _DestinationState, link, old_eff: float, plateau: Set[int]
-    ) -> Optional[Set[Node]]:
+        self, state: _DestinationState, link, old_eff: float, plateau: set[int]
+    ) -> set[Node] | None:
         dist = state.dist
         tail = dist.get(link.source)
         head = dist.get(link.target)
@@ -756,12 +757,13 @@ class DynamicSPT:
         if old_eff + head > tail + _MARGIN:
             # Not tight: distances cannot change; only the tail's ECMP set can
             # (the edge may have been a tolerance-equal member).
-            if old_eff + head > tail + self.tolerance:
-                # Not even a tolerance-equal member before the increase:
-                # nothing to refresh.
-                if self._plateau_safe(state, tail, _NO_REFRESH, plateau):
-                    self.stats.incremental_updates += 1
-                    return set()
+            # Not even a tolerance-equal member before the increase:
+            # nothing to refresh.
+            if old_eff + head > tail + self.tolerance and self._plateau_safe(
+                state, tail, _NO_REFRESH, plateau
+            ):
+                self.stats.incremental_updates += 1
+                return set()
             refresh = self._refresh_set(state, [], extra=(link.source,))
             if not self._plateau_safe(state, tail, refresh, plateau):
                 self.stats.fallback_plateau += 1
@@ -774,8 +776,8 @@ class DynamicSPT:
         # of nodes whose tight chains run through the tail.
         active, weights = self._active_list, self._weights_list
         in_links, out_links = self.network.in_links, self.network.out_links
-        cone: Set[Node] = {link.source}
-        queue: List[Node] = [link.source]
+        cone: set[Node] = {link.source}
+        queue: list[Node] = [link.source]
         while queue:
             node = queue.pop()
             for in_link in in_links(node):
@@ -801,9 +803,9 @@ class DynamicSPT:
         # Re-settle the cone from its boundary: distances outside the cone
         # are still valid, so a restricted Dijkstra recovers exact values.
         old_dist = {node: dist.pop(node) for node in cone}
-        estimates: Dict[Node, float] = {}
+        estimates: dict[Node, float] = {}
         counter = 0
-        heap: List[Tuple[float, int, Node]] = []
+        heap: list[tuple[float, int, Node]] = []
         for node in cone:
             best = np.inf
             for out_link in out_links(node):
@@ -862,9 +864,9 @@ class DynamicSPT:
         self,
         state: _DestinationState,
         changed: Sequence[Node],
-        extra: Tuple[Node, ...] = (),
-        cone: Optional[Set[Node]] = None,
-    ) -> Set[Node]:
+        extra: tuple[Node, ...] = (),
+        cone: set[Node] | None = None,
+    ) -> set[Node]:
         """The nodes whose next-hop sets an update must recompute.
 
         A node's hop set depends on its own distance, its out-neighbours'
@@ -873,7 +875,7 @@ class DynamicSPT:
         for increases — the whole re-settled cone (cheap, and covers nodes
         whose distance came back identical through a different support).
         """
-        refresh: Set[Node] = set(changed)
+        refresh: set[Node] = set(changed)
         active = self._active_list
         for node in changed:
             for in_link in self.network.in_links(node):
@@ -885,9 +887,9 @@ class DynamicSPT:
         refresh.discard(state.destination)
         return refresh
 
-    def _refresh_nodes(self, state: _DestinationState, refresh: Set[Node]) -> Set[Node]:
+    def _refresh_nodes(self, state: _DestinationState, refresh: set[Node]) -> set[Node]:
         """Refresh hop sets; returns the nodes that structurally changed."""
-        region: Set[Node] = set()
+        region: set[Node] = set()
         for node in refresh:
             if node in state.dist:
                 if self._refresh_hops(state, node):
@@ -903,7 +905,7 @@ class DynamicSPT:
         active, weights = self._active_list, self._weights_list
         bound = d_node + self.tolerance
         floor = d_node - _MARGIN
-        hops: List[Node] = []
+        hops: list[Node] = []
         for out_link in self.network.out_links(node):
             index = out_link.index
             if not active[index]:
@@ -931,11 +933,11 @@ class DynamicSPT:
         destination = state.destination
         active, weights = self._active_list, self._weights_list
         in_links, out_links = self.network.in_links, self.network.out_links
-        dist: Dict[Node, float] = {destination: 0.0}
-        parents: Dict[Node, Node] = {}
-        heap: List[Tuple[float, int, Node]] = [(0.0, 0, destination)]
+        dist: dict[Node, float] = {destination: 0.0}
+        parents: dict[Node, Node] = {}
+        heap: list[tuple[float, int, Node]] = [(0.0, 0, destination)]
         counter = 1
-        visited: Dict[Node, bool] = {}
+        visited: dict[Node, bool] = {}
         while heap:
             d, _, node = heapq.heappop(heap)
             if visited.get(node):
@@ -952,11 +954,11 @@ class DynamicSPT:
                     heapq.heappush(heap, (candidate, counter, in_link.source))
                     counter += 1
 
-        next_hops: Dict[Node, List[Node]] = {}
+        next_hops: dict[Node, list[Node]] = {}
         for node, d_node in dist.items():
             if node == destination:
                 continue
-            hops: List[Node] = []
+            hops: list[Node] = []
             for out_link in out_links(node):
                 if not active[out_link.index]:
                     continue
@@ -969,9 +971,12 @@ class DynamicSPT:
                 if on_shortest and d_hop < d_node - _MARGIN:
                     hops.append(out_link.target)
             parent = parents.get(node)
-            if parent is not None and parent not in hops:
-                if dist.get(parent, np.inf) >= d_node - _MARGIN:
-                    hops.append(parent)
+            if (
+                parent is not None
+                and parent not in hops
+                and dist.get(parent, np.inf) >= d_node - _MARGIN
+            ):
+                hops.append(parent)
             next_hops[node] = hops
 
         state.dist.clear()

@@ -39,7 +39,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterable, List, Sequence, Union
+from collections.abc import Iterable, Sequence
 
 from ..network.graph import Edge, Network, Node
 from ..scenarios.scenario import Scenario
@@ -145,7 +145,7 @@ _WIRE_FIELDS = {
 }
 
 
-def to_dict(event: NetworkEvent) -> Dict[str, object]:
+def to_dict(event: NetworkEvent) -> dict[str, object]:
     """Serialise one event as its wire-schema (version 1) JSON object.
 
     The inverse of :func:`from_dict`; the same vocabulary is used for
@@ -156,21 +156,21 @@ def to_dict(event: NetworkEvent) -> Dict[str, object]:
     kind = event.kind
     if kind not in _WIRE_FIELDS:
         raise EventError(f"cannot serialise event kind {kind!r}")
-    payload: Dict[str, object] = {"v": WIRE_VERSION, "event": kind, "time": event.time}
+    payload: dict[str, object] = {"v": WIRE_VERSION, "event": kind, "time": event.time}
     for field in _WIRE_FIELDS[kind]:
         value = getattr(event, field)
         payload[field] = list(value) if field == "link" else value
     return payload
 
 
-def _wire_node(payload: Dict[str, object], field: str, context: str) -> Node:
+def _wire_node(payload: dict[str, object], field: str, context: str) -> Node:
     value = payload[field]
     if not isinstance(value, (str, int)) or isinstance(value, bool):
         raise EventError(f"{context}: field {field!r} must be a node name, got {value!r}")
     return value
 
 
-def _wire_number(payload: Dict[str, object], field: str, context: str) -> float:
+def _wire_number(payload: dict[str, object], field: str, context: str) -> float:
     value = payload[field]
     if not isinstance(value, (int, float)) or isinstance(value, bool):
         raise EventError(f"{context}: field {field!r} must be a number, got {value!r}")
@@ -202,7 +202,7 @@ def from_dict(payload: object) -> NetworkEvent:
     missing = sorted(set(_WIRE_FIELDS[kind]) - set(payload))
     if missing:
         raise EventError(f"{context}: missing field(s) {', '.join(map(repr, missing))}")
-    kwargs: Dict[str, object] = {}
+    kwargs: dict[str, object] = {}
     if "time" in payload:
         kwargs["time"] = _wire_number(payload, "time", context)
     for field in _WIRE_FIELDS[kind]:
@@ -234,7 +234,7 @@ def parse_event_line(line: str, lineno: int, source: str = "<trace>") -> Network
         raise TraceFormatError(f"{source}:{lineno}: {exc}") from None
 
 
-def read_event_trace(path: Union[str, Path]) -> List[NetworkEvent]:
+def read_event_trace(path: str | Path) -> list[NetworkEvent]:
     """Read a JSON-lines event trace, failing hard on any malformed line.
 
     Blank lines are allowed (and skipped); everything else must parse as a
@@ -244,7 +244,7 @@ def read_event_trace(path: Union[str, Path]) -> List[NetworkEvent]:
     reject the same inputs identically.
     """
     path = Path(path)
-    events: List[NetworkEvent] = []
+    events: list[NetworkEvent] = []
     with path.open("r", encoding="utf-8") as handle:
         for lineno, line in enumerate(handle, start=1):
             if not line.strip():
@@ -255,7 +255,7 @@ def read_event_trace(path: Union[str, Path]) -> List[NetworkEvent]:
     return events
 
 
-def write_event_trace(path: Union[str, Path], events: Iterable[NetworkEvent]) -> int:
+def write_event_trace(path: str | Path, events: Iterable[NetworkEvent]) -> int:
     """Write events as a JSON-lines trace (sorted keys: byte-stable); returns the line count."""
     lines = [json.dumps(to_dict(event), sort_keys=True) for event in events]
     Path(path).write_text("".join(line + "\n" for line in lines), encoding="utf-8")
@@ -281,7 +281,7 @@ def is_pure_failure(scenario: Scenario) -> bool:
     )
 
 
-def scenario_failed_edges(network: Network, scenario: Scenario) -> List[Edge]:
+def scenario_failed_edges(network: Network, scenario: Scenario) -> list[Edge]:
     """The directed links a pure-failure scenario removes, in link order.
 
     Node failures expand to every incident link (both directions), matching
@@ -322,7 +322,7 @@ def is_incremental_sweepable(scenario: Scenario) -> bool:
 
 def scenario_events(
     network: Network, scenario: Scenario, time: float = 0.0
-) -> List[NetworkEvent]:
+) -> list[NetworkEvent]:
     """Expand a topology-perturbing scenario into controller events.
 
     Failed links (and every link incident to a failed node) become
@@ -351,8 +351,8 @@ def scenario_events(
         if not network.has_link(*edge):
             raise EventError(f"scenario {scenario.scenario_id!r}: unknown link {edge}")
     failed = set(scenario_failed_edges(network, scenario))
-    failures: List[NetworkEvent] = []
-    capacities: List[NetworkEvent] = []
+    failures: list[NetworkEvent] = []
+    capacities: list[NetworkEvent] = []
     for link in network.links:
         edge = link.endpoints
         if edge in failed:
@@ -371,13 +371,13 @@ def scenario_events(
 
 def scenario_revert_events(
     network: Network, events: Sequence[NetworkEvent], time: float = 0.0
-) -> List[NetworkEvent]:
+) -> list[NetworkEvent]:
     """The events that undo an applied :func:`scenario_events` stream.
 
     Failures revert to :class:`LinkRecovery`; capacity changes revert to a
     :class:`CapacityChange` back to the base network's configured capacity.
     """
-    reverted: List[NetworkEvent] = []
+    reverted: list[NetworkEvent] = []
     for event in events:
         if isinstance(event, LinkFailure):
             reverted.append(LinkRecovery(time=time, link=event.link))
@@ -397,7 +397,7 @@ def scenario_revert_events(
 
 def failure_events(
     network: Network, scenario: Scenario, time: float = 0.0
-) -> List[LinkFailure]:
+) -> list[LinkFailure]:
     """Expand a pure-failure scenario into per-link :class:`LinkFailure` events."""
     if not is_pure_failure(scenario):
         raise EventError(
@@ -411,7 +411,7 @@ def failure_events(
 
 def recovery_events(
     network: Network, scenario: Scenario, time: float = 0.0
-) -> List[LinkRecovery]:
+) -> list[LinkRecovery]:
     """The :class:`LinkRecovery` events that revert :func:`failure_events`."""
     if not is_pure_failure(scenario):
         raise EventError(
@@ -429,7 +429,7 @@ def failure_recovery_trace(
     period: float = 10.0,
     outage: float = 5.0,
     start: float = 0.0,
-) -> List[NetworkEvent]:
+) -> list[NetworkEvent]:
     """A timed fail → repair trace cycling through ``scenarios``.
 
     Scenario ``i`` fails at ``start + i * period`` and recovers ``outage``
@@ -439,7 +439,7 @@ def failure_recovery_trace(
     """
     if period <= 0 or outage <= 0:
         raise EventError("period and outage must be positive")
-    trace: List[NetworkEvent] = []
+    trace: list[NetworkEvent] = []
     for index, scenario in enumerate(scenarios):
         down = start + index * period
         trace.extend(failure_events(network, scenario, time=down))

@@ -26,7 +26,7 @@ measurements into its timeline and per-outage rows.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional
+from collections.abc import Callable
 
 from ..obs import telemetry
 from ..simulator.events import EventHandle, Simulator
@@ -68,22 +68,22 @@ class _PolicyBase:
 
     def __init__(
         self,
-        optimizer_factory: Optional[Callable[[], object]] = None,
+        optimizer_factory: Callable[[], object] | None = None,
         warm_start: bool = True,
     ) -> None:
         self.optimizer_factory = optimizer_factory or _default_optimizer_factory
         self.warm_start = warm_start
-        self.decisions: List[PolicyDecision] = []
-        self._controller: Optional[TEController] = None
-        self._simulator: Optional[Simulator] = None
-        self._on_reoptimize: Optional[ReoptimizeHook] = None
+        self.decisions: list[PolicyDecision] = []
+        self._controller: TEController | None = None
+        self._simulator: Simulator | None = None
+        self._on_reoptimize: ReoptimizeHook | None = None
 
     def attach(
         self,
         controller: TEController,
-        simulator: Simulator,
-        on_reoptimize: Optional[ReoptimizeHook] = None,
-    ) -> "_PolicyBase":
+        simulator: Simulator | None,
+        on_reoptimize: ReoptimizeHook | None = None,
+    ) -> _PolicyBase:
         """Bind the policy to one controller + simulator pair (resets state)."""
         self._controller = controller
         self._simulator = simulator
@@ -99,7 +99,7 @@ class _PolicyBase:
         self,
         controller: TEController,
         update: ControllerUpdate,
-        measurement: Optional[ControllerMeasurement] = None,
+        measurement: ControllerMeasurement | None = None,
     ) -> None:
         """Called after every controller event (wire into ``bind(on_update=)``).
 
@@ -113,7 +113,7 @@ class _PolicyBase:
         self,
         time: float,
         trigger: str,
-        before: Optional[ControllerMeasurement] = None,
+        before: ControllerMeasurement | None = None,
     ) -> PolicyDecision:
         controller = self._controller
         assert controller is not None, "policy used before attach()"
@@ -170,7 +170,7 @@ class ClosedLoopPolicy(_PolicyBase):
         self,
         target_mlu: float,
         hold: float = 0.0,
-        optimizer_factory: Optional[Callable[[], object]] = None,
+        optimizer_factory: Callable[[], object] | None = None,
         warm_start: bool = True,
         cooldown: float = 0.0,
     ) -> None:
@@ -182,10 +182,10 @@ class ClosedLoopPolicy(_PolicyBase):
         self.target_mlu = float(target_mlu)
         self.hold = float(hold)
         self.cooldown = float(cooldown)
-        self._pending: Optional[EventHandle] = None
+        self._pending: EventHandle | None = None
         self._last_reoptimized: float = float("-inf")
 
-    def attach(self, controller, simulator, on_reoptimize=None) -> "ClosedLoopPolicy":
+    def attach(self, controller, simulator, on_reoptimize=None) -> ClosedLoopPolicy:
         super().attach(controller, simulator, on_reoptimize)
         self._pending = None
         self._last_reoptimized = float("-inf")
@@ -195,7 +195,7 @@ class ClosedLoopPolicy(_PolicyBase):
         self,
         controller: TEController,
         update: ControllerUpdate,
-        measurement: Optional[ControllerMeasurement] = None,
+        measurement: ControllerMeasurement | None = None,
     ) -> None:
         if measurement is None:
             measurement = controller.measure()
@@ -257,7 +257,7 @@ class OraclePolicy(_PolicyBase):
         self,
         controller: TEController,
         update: ControllerUpdate,
-        measurement: Optional[ControllerMeasurement] = None,
+        measurement: ControllerMeasurement | None = None,
     ) -> None:
         now = self._simulator.now if self._simulator is not None else update.event.time
         self._reoptimize(now, trigger="every-event", before=measurement)

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 from ..network.demands import TrafficMatrix
 from ..network.graph import Network
@@ -60,7 +60,7 @@ class OutageRow:
     #: Reoptimizations a policy spent inside this outage's window.
     reoptimizations: int = 0
 
-    def as_row(self) -> Dict[str, object]:
+    def as_row(self) -> dict[str, object]:
         """A flat record for tables and the results store."""
         return {
             "scenario": self.scenario_id,
@@ -81,19 +81,19 @@ class ReplayResult:
     controller: TEController
     baseline: ControllerMeasurement
     final: ControllerMeasurement
-    outages: List[OutageRow]
-    timeline: List[Tuple[float, str, ControllerMeasurement]]
+    outages: list[OutageRow]
+    timeline: list[tuple[float, str, ControllerMeasurement]]
     processed_events: int
     elapsed: float = 0.0
-    samples: List[ControllerUpdate] = field(default_factory=list)
+    samples: list[ControllerUpdate] = field(default_factory=list)
     #: The attached policy (``None`` for a plain replay); its ``decisions``
     #: carry per-reoptimization before/after MLU.
-    policy: Optional[object] = None
+    policy: object | None = None
     #: The session the replay drove (timeline/rows/subscriptions live here).
-    session: Optional[ControllerSession] = None
+    session: ControllerSession | None = None
 
     @property
-    def worst(self) -> Optional[OutageRow]:
+    def worst(self) -> OutageRow | None:
         """The outage with the highest sustained MLU (``None`` on an empty trace)."""
         return max(self.outages, key=lambda row: row.mlu, default=None)
 
@@ -103,13 +103,13 @@ class ReplayResult:
 
 
 def outage_rows(
-    timeline: Sequence[Tuple[float, str, ControllerMeasurement]],
+    timeline: Sequence[tuple[float, str, ControllerMeasurement]],
     scenarios: Sequence[Scenario],
     period: float,
     outage: float,
-) -> List[OutageRow]:
+) -> list[OutageRow]:
     """Summarise a replay timeline into one sustained row per outage window."""
-    rows: List[OutageRow] = []
+    rows: list[OutageRow] = []
     for index, scenario in enumerate(scenarios):
         down, up = index * period, index * period + outage
         window = [
@@ -174,9 +174,9 @@ def replay_failure_trace(
     scenarios: Sequence[Scenario],
     period: float = 600.0,
     outage: float = 300.0,
-    policy: Optional[object] = None,
+    policy: object | None = None,
     *,
-    session: Optional[ControllerSession] = None,
+    session: ControllerSession | None = None,
     tolerance: object = _UNSET,
     max_affected_fraction: object = _UNSET,
     verify: object = _UNSET,

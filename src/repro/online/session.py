@@ -32,7 +32,8 @@ daemon's multi-tenancy line up with recorded soak runs.
 from __future__ import annotations
 
 import time as _time
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from collections.abc import Callable, Iterable, Sequence
+from typing import TYPE_CHECKING, Any, Protocol
 
 import numpy as np
 
@@ -44,6 +45,9 @@ from ..simulator.events import Simulator
 from .controller import ControllerMeasurement, ControllerUpdate, TEController
 from .dspt import publish_dspt_counters, snapshot_stats
 from .events import CapacityChange, EventError, LinkFailure, NetworkEvent
+
+if TYPE_CHECKING:
+    from ..protocols.fortz_thorup import LocalSearchResult
 
 #: Schema version of :meth:`ControllerSession.state_dump` payloads.
 STATE_DUMP_SCHEMA = 1
@@ -59,9 +63,31 @@ SessionSubscriber = Callable[
 ]
 
 
+class SessionPolicy(Protocol):
+    """What a session needs from an attached reoptimization policy.
+
+    Structural (any object with these two methods qualifies — the
+    concrete implementations live in :mod:`repro.online.policy`).
+    """
+
+    def attach(
+        self,
+        controller: TEController,
+        simulator: Any,
+        on_reoptimize: Any = None,
+    ) -> Any: ...
+
+    def observe(
+        self,
+        controller: TEController,
+        update: ControllerUpdate,
+        measurement: ControllerMeasurement | None = None,
+    ) -> None: ...
+
+
 def measurement_row(
     seq: int, when: float, kind: str, measurement: ControllerMeasurement
-) -> Dict[str, object]:
+) -> dict[str, object]:
     """One flat per-event record (shared by serve responses and replay rows).
 
     Both the serve daemon's event responses and ``repro replay
@@ -107,13 +133,13 @@ class ControllerSession:
         self,
         network: Network,
         demands: TrafficMatrix,
-        policy: Optional[object] = None,
+        policy: SessionPolicy | None = None,
         *,
-        weights: Optional[WeightsLike] = None,
+        weights: WeightsLike | None = None,
         tolerance: float = DEFAULT_TOLERANCE,
-        max_affected_fraction: Optional[float] = None,
+        max_affected_fraction: float | None = None,
         verify: bool = False,
-        key: Optional[str] = None,
+        key: str | None = None,
     ) -> None:
         self.network = network
         self.key = key if key is not None else network.name
@@ -129,12 +155,12 @@ class ControllerSession:
         #: The pre-event measurement (taken once, before any feed).
         self.baseline: ControllerMeasurement = self.controller.measure()
         #: ``(time, kind, measurement)`` samples, events and reoptimizations.
-        self.timeline: List[Tuple[float, str, ControllerMeasurement]] = []
+        self.timeline: list[tuple[float, str, ControllerMeasurement]] = []
         #: The controller updates behind the event samples, in feed order.
-        self.samples: List[ControllerUpdate] = []
-        self._rows: List[Dict[str, object]] = []
-        self._subscribers: List[SessionSubscriber] = []
-        self._simulator: Optional[Simulator] = None
+        self.samples: list[ControllerUpdate] = []
+        self._rows: list[dict[str, object]] = []
+        self._subscribers: list[SessionSubscriber] = []
+        self._simulator: Simulator | None = None
         if policy is not None:
             policy.attach(self.controller, None, on_reoptimize=self._policy_reoptimized)
 
@@ -154,7 +180,7 @@ class ControllerSession:
             self.policy.observe(self.controller, update, measurement=measurement)
         return measurement
 
-    def feed_many(self, events: Iterable[NetworkEvent]) -> List[ControllerMeasurement]:
+    def feed_many(self, events: Iterable[NetworkEvent]) -> list[ControllerMeasurement]:
         """Feed a batch of events in order."""
         return [self.feed(event) for event in events]
 
@@ -214,16 +240,16 @@ class ControllerSession:
     def reoptimizations(self) -> int:
         return len(getattr(self.policy, "decisions", ()))
 
-    def event_rows(self) -> List[Dict[str, object]]:
+    def event_rows(self) -> list[dict[str, object]]:
         """Flat per-sample records (events and reoptimizations, in order)."""
         return [dict(row) for row in self._rows]
 
     @property
-    def rows(self) -> Sequence[Dict[str, object]]:
+    def rows(self) -> Sequence[dict[str, object]]:
         """The live per-sample records (read-only view; copy via :meth:`event_rows`)."""
         return self._rows
 
-    def forwarding(self, destination: Node) -> Dict[str, object]:
+    def forwarding(self, destination: Node) -> dict[str, object]:
         """The ECMP forwarding state toward ``destination``.
 
         Per reachable node: the sorted equal-cost next hops and the even
@@ -235,7 +261,7 @@ class ControllerSession:
         if destination not in spt.destinations:
             raise EventError(f"unknown destination {destination!r} (no demand toward it)")
         state = spt.dag(destination)
-        nodes: Dict[str, object] = {}
+        nodes: dict[str, object] = {}
         for node, hops in state.next_hops.items():
             if node == destination or not hops:
                 continue
@@ -246,7 +272,7 @@ class ControllerSession:
             }
         return {"destination": str(destination), "nodes": nodes}
 
-    def status(self) -> Dict[str, object]:
+    def status(self) -> dict[str, object]:
         """A compact live-state summary (the serve ``status`` query)."""
         measurement = self.controller.measure()
         return {
@@ -266,10 +292,10 @@ class ControllerSession:
             ),
         }
 
-    def counters(self) -> Dict[str, object]:
+    def counters(self) -> dict[str, object]:
         """Telemetry-style counters (the serve ``counters`` query)."""
         stats = self.controller.spt.stats
-        by_kind: Dict[str, int] = {}
+        by_kind: dict[str, int] = {}
         for update in self.samples:
             by_kind[update.event.kind] = by_kind.get(update.event.kind, 0) + 1
         return {
@@ -285,7 +311,7 @@ class ControllerSession:
     # ------------------------------------------------------------------
     # state dump / restore
     # ------------------------------------------------------------------
-    def state_dump(self) -> Dict[str, object]:
+    def state_dump(self) -> dict[str, object]:
         """The session's installed state as a deterministic JSON-able dict.
 
         The ``state`` section holds exactly what :meth:`from_state_dump`
@@ -326,13 +352,13 @@ class ControllerSession:
     def from_state_dump(
         cls,
         network: Network,
-        dump: Dict[str, object],
+        dump: dict[str, Any],
         *,
-        policy: Optional[object] = None,
+        policy: SessionPolicy | None = None,
         tolerance: float = DEFAULT_TOLERANCE,
-        max_affected_fraction: Optional[float] = None,
+        max_affected_fraction: float | None = None,
         verify: bool = False,
-    ) -> "ControllerSession":
+    ) -> ControllerSession:
         """Rebuild a session from a :meth:`state_dump` payload.
 
         ``network`` must be the dumped topology (name and shape are
@@ -399,8 +425,8 @@ class ControllerSession:
     def replay(
         self,
         events: Sequence[NetworkEvent],
-        simulator: Optional[Simulator] = None,
-    ) -> Tuple[int, float]:
+        simulator: Simulator | None = None,
+    ) -> tuple[int, float]:
         """Run an event trace to completion on a discrete-event simulator.
 
         Binds the trace, re-attaches the policy with the simulator clock
@@ -439,8 +465,8 @@ class ControllerSession:
         return simulator.processed_events, elapsed
 
     def reoptimize_offline(
-        self, optimizer: Optional[object] = None, warm_start: bool = True
-    ):
+        self, optimizer: object | None = None, warm_start: bool = True
+    ) -> LocalSearchResult:
         """Run the weight search on a snapshot clone, then install the result.
 
         The search runs against a :meth:`TEController.from_snapshot` clone

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -33,7 +33,7 @@ class RoutingProtocol(abc.ABC):
 
     def batch_link_loads(
         self, network: Network, matrices: Sequence[TrafficMatrix]
-    ) -> Optional[np.ndarray]:
+    ) -> np.ndarray | None:
         """Aggregate link loads for a whole demand ensemble, when batchable.
 
         Protocols whose forwarding state depends only on the network (not on
@@ -52,7 +52,7 @@ class RoutingProtocol(abc.ABC):
         """
         return None
 
-    def ecmp_forwarding_weights(self, network: Network) -> Optional[np.ndarray]:
+    def ecmp_forwarding_weights(self, network: Network) -> np.ndarray | None:
         """Link weights fully determining this protocol's forwarding, or ``None``.
 
         Protocols that forward with even ECMP splitting over shortest paths
@@ -83,7 +83,7 @@ class RoutingProtocol(abc.ABC):
 
     def split_ratios(
         self, network: Network, demands: TrafficMatrix
-    ) -> Optional[Dict[Node, Dict[Node, Dict[Node, float]]]]:
+    ) -> dict[Node, dict[Node, dict[Node, float]]] | None:
         """Per-destination next-hop split ratios, when the protocol has them.
 
         Returns ``destination -> node -> next hop -> ratio``.  Protocols that
@@ -93,7 +93,7 @@ class RoutingProtocol(abc.ABC):
         """
         return None
 
-    def evaluate(self, network: Network, demands: TrafficMatrix) -> "ProtocolEvaluation":
+    def evaluate(self, network: Network, demands: TrafficMatrix) -> ProtocolEvaluation:
         """Route the demands and compute the headline metrics."""
         flows = self.route(network, demands)
         utilization = flows.utilization()
@@ -121,7 +121,7 @@ class ProtocolEvaluation:
     normalized_utility: float
     flows: FlowAssignment
 
-    def as_row(self) -> Dict[str, object]:
+    def as_row(self) -> dict[str, object]:
         """A flat dict suitable for tabular reporting."""
         return {
             "protocol": self.protocol,

@@ -19,7 +19,6 @@ reproduce its qualitative behaviour on the paper's topologies.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -32,10 +31,10 @@ from .base import RoutingProtocol
 
 #: Breakpoints of the Fortz-Thorup piecewise-linear cost, as fractions of the
 #: link capacity.
-FT_BREAKPOINTS: Tuple[float, ...] = (0.0, 1.0 / 3.0, 2.0 / 3.0, 9.0 / 10.0, 1.0, 11.0 / 10.0)
+FT_BREAKPOINTS: tuple[float, ...] = (0.0, 1.0 / 3.0, 2.0 / 3.0, 9.0 / 10.0, 1.0, 11.0 / 10.0)
 #: Slopes of the cost on the corresponding segments (the last one extends to
 #: infinity).
-FT_SLOPES: Tuple[float, ...] = (1.0, 3.0, 10.0, 70.0, 500.0, 5000.0)
+FT_SLOPES: tuple[float, ...] = (1.0, 3.0, 10.0, 70.0, 500.0, 5000.0)
 
 
 def link_cost(load: float, capacity: float) -> float:
@@ -98,7 +97,7 @@ class LocalSearchResult:
     weights: np.ndarray
     cost: float
     evaluations: int
-    history: List[float] = field(default_factory=list)
+    history: list[float] = field(default_factory=list)
 
 
 class FortzThorup(RoutingProtocol):
@@ -130,7 +129,7 @@ class FortzThorup(RoutingProtocol):
         neighbourhood_size: int = 24,
         restarts: int = 2,
         seed: int = 0,
-        backend: Optional[str] = None,
+        backend: str | None = None,
     ) -> None:
         if max_weight < 1:
             raise ValueError("max_weight must be at least 1")
@@ -140,7 +139,7 @@ class FortzThorup(RoutingProtocol):
         self.restarts = restarts
         self.seed = seed
         self.backend = backend
-        self._last_result: Optional[LocalSearchResult] = None
+        self._last_result: LocalSearchResult | None = None
 
     # ------------------------------------------------------------------
     def _evaluate(
@@ -154,7 +153,7 @@ class FortzThorup(RoutingProtocol):
         network: Network,
         rng: np.random.Generator,
         attempt: int,
-        warm_start: Optional[np.ndarray] = None,
+        warm_start: np.ndarray | None = None,
     ) -> np.ndarray:
         if attempt == 0:
             if warm_start is not None:
@@ -170,7 +169,7 @@ class FortzThorup(RoutingProtocol):
         self,
         network: Network,
         demands: TrafficMatrix,
-        warm_start: Optional[np.ndarray] = None,
+        warm_start: np.ndarray | None = None,
     ) -> LocalSearchResult:
         """Run the local search and return the best weight setting found.
 
@@ -188,11 +187,11 @@ class FortzThorup(RoutingProtocol):
             )
         demands.validate(network)
         rng = np.random.default_rng(self.seed)
-        best_weights: Optional[np.ndarray] = None
+        best_weights: np.ndarray | None = None
         best_cost = float("inf")
         evaluations = 0
         first_attempt_evaluations = 0
-        history: List[float] = []
+        history: list[float] = []
         for attempt in range(max(1, self.restarts)):
             weights = self._initial_weights(network, rng, attempt, warm_start)
             cost = self._evaluate(network, demands, weights)
@@ -205,7 +204,7 @@ class FortzThorup(RoutingProtocol):
                     size=min(self.neighbourhood_size, network.num_links),
                     replace=False,
                 )
-                best_move: Optional[Tuple[int, float]] = None
+                best_move: tuple[int, float] | None = None
                 best_move_cost = cost
                 for link_index in links:
                     if evaluations >= self.max_evaluations:
@@ -255,6 +254,6 @@ class FortzThorup(RoutingProtocol):
         return ecmp_assignment(network, demands, result.weights, backend=self.backend)
 
     @property
-    def last_result(self) -> Optional[LocalSearchResult]:
+    def last_result(self) -> LocalSearchResult | None:
         """The search result of the most recent :meth:`route`/:meth:`optimize` call."""
         return self._last_result

@@ -11,7 +11,6 @@ Table I deterministically.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 
@@ -74,7 +73,7 @@ class MinMaxMLU(RoutingProtocol):
             flows.per_destination[destination] = vector.copy()
         return flows
 
-    def weights(self, network: Network, demands: TrafficMatrix) -> Optional[np.ndarray]:
+    def weights(self, network: Network, demands: TrafficMatrix) -> np.ndarray | None:
         """Link weights under which the MLU-optimal flows are shortest paths.
 
         Derived from the LP duals of the min-cost refinement; mirrors the

@@ -10,7 +10,7 @@ local search).
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional, Sequence
+from collections.abc import Mapping, Sequence
 
 import numpy as np
 
@@ -24,7 +24,7 @@ from ..solvers.assignment import ecmp_assignment
 from .base import RoutingProtocol
 
 
-def invcap_weights(network: Network, reference_capacity: Optional[float] = None) -> np.ndarray:
+def invcap_weights(network: Network, reference_capacity: float | None = None) -> np.ndarray:
     """Cisco InvCap weights: ``w_ij = C_ref / c_ij``.
 
     ``reference_capacity`` defaults to the largest capacity in the network so
@@ -63,10 +63,10 @@ class OSPF(RoutingProtocol):
 
     def __init__(
         self,
-        weights: Optional[WeightsLike] = None,
+        weights: WeightsLike | None = None,
         ecmp_tolerance: float = DEFAULT_TOLERANCE,
-        name: Optional[str] = None,
-        backend: Optional[str] = None,
+        name: str | None = None,
+        backend: str | None = None,
     ) -> None:
         self._weights = weights
         self.ecmp_tolerance = ecmp_tolerance
@@ -88,7 +88,7 @@ class OSPF(RoutingProtocol):
 
     def batch_link_loads(
         self, network: Network, matrices: Sequence[TrafficMatrix]
-    ) -> Optional[np.ndarray]:
+    ) -> np.ndarray | None:
         """Stacked ECMP evaluation of a demand ensemble on one weight setting.
 
         OSPF's forwarding state depends only on the network (explicit weights
@@ -108,7 +108,7 @@ class OSPF(RoutingProtocol):
         )
         return router.link_loads_many(matrices)
 
-    def ecmp_forwarding_weights(self, network: Network) -> Optional[np.ndarray]:
+    def ecmp_forwarding_weights(self, network: Network) -> np.ndarray | None:
         """OSPF's forwarding is exactly even-ECMP under its link weights.
 
         Returns the weight vector the incremental failure sweep should hold
@@ -139,15 +139,15 @@ class OSPF(RoutingProtocol):
 
     def split_ratios(
         self, network: Network, demands: TrafficMatrix
-    ) -> Dict[Node, Dict[Node, Dict[Node, float]]]:
+    ) -> dict[Node, dict[Node, dict[Node, float]]]:
         """Even split ratios over the equal-cost next hops (for the simulator)."""
         weights = self.link_weights(network)
         dags = all_shortest_path_dags(
             network, demands.destinations(), weights, self.ecmp_tolerance
         )
-        ratios: Dict[Node, Dict[Node, Dict[Node, float]]] = {}
+        ratios: dict[Node, dict[Node, dict[Node, float]]] = {}
         for destination, dag in dags.items():
-            per_node: Dict[Node, Dict[Node, float]] = {}
+            per_node: dict[Node, dict[Node, float]] = {}
             for node in dag.next_hops:
                 hops = dag.next_hops_of(node)
                 if hops:
@@ -162,7 +162,7 @@ class MinHopOSPF(OSPF):
     name = "OSPF-minhop"
 
     def __init__(
-        self, ecmp_tolerance: float = DEFAULT_TOLERANCE, backend: Optional[str] = None
+        self, ecmp_tolerance: float = DEFAULT_TOLERANCE, backend: str | None = None
     ) -> None:
         super().__init__(weights=None, ecmp_tolerance=ecmp_tolerance, backend=backend)
 

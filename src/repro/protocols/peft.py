@@ -25,7 +25,7 @@ objective.  Explicit weights can be supplied for ablations.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -67,10 +67,10 @@ class PEFT(RoutingProtocol):
 
     def __init__(
         self,
-        weights: Optional[WeightsLike] = None,
-        objective: Optional[LoadBalanceObjective] = None,
+        weights: WeightsLike | None = None,
+        objective: LoadBalanceObjective | None = None,
         temperature: float = 1.0,
-        backend: Optional[str] = None,
+        backend: str | None = None,
     ) -> None:
         if temperature <= 0:
             raise ValueError("temperature must be positive")
@@ -92,12 +92,12 @@ class PEFT(RoutingProtocol):
         network: Network,
         destination: Node,
         weights: np.ndarray,
-    ) -> Dict[Node, Dict[Node, float]]:
+    ) -> dict[Node, dict[Node, float]]:
         """Per-node split ratios over downward neighbours for one destination."""
         distances = distances_to(network, destination, weights)
         # Effective number of downward paths, computed in increasing-distance
         # order so every downstream Z value is available.
-        z_values: Dict[Node, float] = {destination: 1.0}
+        z_values: dict[Node, float] = {destination: 1.0}
         order = sorted(distances, key=lambda n: distances[n])
         for node in order:
             if node == destination:
@@ -110,11 +110,11 @@ class PEFT(RoutingProtocol):
                 extra = weights[link.index] + distances[neighbour] - distances[node]
                 total += float(np.exp(-extra / self.temperature)) * z_values.get(neighbour, 0.0)
             z_values[node] = total
-        ratios: Dict[Node, Dict[Node, float]] = {}
+        ratios: dict[Node, dict[Node, float]] = {}
         for node in order:
             if node == destination:
                 continue
-            shares: Dict[Node, float] = {}
+            shares: dict[Node, float] = {}
             for link in network.out_links(node):
                 neighbour = link.target
                 if neighbour not in distances or distances[neighbour] >= distances[node]:
@@ -141,7 +141,7 @@ class PEFT(RoutingProtocol):
     # ------------------------------------------------------------------
     def split_ratios(
         self, network: Network, demands: TrafficMatrix
-    ) -> Dict[Node, Dict[Node, Dict[Node, float]]]:
+    ) -> dict[Node, dict[Node, dict[Node, float]]]:
         weights = self.link_weights(network, demands)
         return {
             destination: self._downward_split(network, destination, weights)
@@ -150,7 +150,7 @@ class PEFT(RoutingProtocol):
 
     def _compile_downward(
         self, network: Network, destination: Node, weights: np.ndarray
-    ) -> Optional[Tuple[CompiledDag, np.ndarray]]:
+    ) -> tuple[CompiledDag, np.ndarray] | None:
         """Compile the downward DAG and its exponential ratios for one destination.
 
         Returns ``None`` when the downward structure is degenerate (some
@@ -160,7 +160,7 @@ class PEFT(RoutingProtocol):
         """
         distances = distances_to(network, destination, weights)
         order = sorted(distances, key=lambda n: distances[n], reverse=True)
-        next_hops: Dict[Node, List[Node]] = {}
+        next_hops: dict[Node, list[Node]] = {}
         for node in order:
             if node == destination:
                 continue
@@ -211,14 +211,14 @@ class PEFT(RoutingProtocol):
         self,
         network: Network,
         destination: Node,
-        entering: Dict[Node, float],
+        entering: dict[Node, float],
         weights: np.ndarray,
         flows: FlowAssignment,
     ) -> None:
         ratios = self._downward_split(network, destination, weights)
         distances = distances_to(network, destination, weights)
         vector = flows.ensure_destination(destination)
-        transit: Dict[Node, float] = {}
+        transit: dict[Node, float] = {}
         for node in sorted(distances, key=lambda n: distances[n], reverse=True):
             if node == destination:
                 continue
@@ -258,7 +258,7 @@ class PEFT(RoutingProtocol):
 
     def batch_link_loads(
         self, network: Network, matrices: Sequence[TrafficMatrix]
-    ) -> Optional[np.ndarray]:
+    ) -> np.ndarray | None:
         """Batched ensemble evaluation, only when the weights are explicit.
 
         With derived weights the forwarding state depends on the demands (the
@@ -274,7 +274,7 @@ class PEFT(RoutingProtocol):
         m = len(matrices)
         loads = np.zeros((network.num_links, m))
         by_destination = [tm.by_destination() for tm in matrices]
-        destinations: Dict[Node, None] = {}
+        destinations: dict[Node, None] = {}
         for per in by_destination:
             for destination in per:
                 destinations.setdefault(destination, None)

@@ -7,7 +7,6 @@ exactly like any other protocol.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
 
 from ..core.forwarding import split_ratios_from_tables
 from ..core.spef import SPEF, SPEFConfig, SPEFSolution
@@ -29,17 +28,17 @@ class SPEFProtocol(RoutingProtocol):
 
     name = "SPEF"
 
-    def __init__(self, config: Optional[SPEFConfig] = None, name: Optional[str] = None, **overrides) -> None:
+    def __init__(self, config: SPEFConfig | None = None, name: str | None = None, **overrides) -> None:
         self._spef = SPEF(config=config, **overrides)
         if name is not None:
             self.name = name
         else:
             beta = self._spef.config.objective.beta
             self.name = f"SPEF(beta={beta:g})"
-        self._last_solution: Optional[SPEFSolution] = None
+        self._last_solution: SPEFSolution | None = None
 
     @classmethod
-    def with_beta(cls, beta: float, **overrides) -> "SPEFProtocol":
+    def with_beta(cls, beta: float, **overrides) -> SPEFProtocol:
         """SPEF with the (1, beta) objective, e.g. ``with_beta(1)`` for SPEF1."""
         from ..core.objectives import LoadBalanceObjective
 
@@ -51,7 +50,7 @@ class SPEFProtocol(RoutingProtocol):
         return self._spef.config
 
     @property
-    def last_solution(self) -> Optional[SPEFSolution]:
+    def last_solution(self) -> SPEFSolution | None:
         """The full :class:`SPEFSolution` of the most recent route() call."""
         return self._last_solution
 
@@ -65,7 +64,7 @@ class SPEFProtocol(RoutingProtocol):
 
     def split_ratios(
         self, network: Network, demands: TrafficMatrix
-    ) -> Dict[Node, Dict[Node, Dict[Node, float]]]:
+    ) -> dict[Node, dict[Node, dict[Node, float]]]:
         solution = self._last_solution
         if (
             solution is None

@@ -24,7 +24,7 @@ from __future__ import annotations
 import math
 import re
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from collections.abc import Mapping, Sequence
 
 #: Record fields used to pair up records across two runs (in this order of
 #: preference).  Bench records match on (topology, workload); sweep records
@@ -72,9 +72,9 @@ def is_residual_field(key: str) -> bool:
     return bool(_RESIDUAL_PATTERN.search(key))
 
 
-def flatten_record(record: Mapping[str, object], prefix: str = "") -> Dict[str, object]:
+def flatten_record(record: Mapping[str, object], prefix: str = "") -> dict[str, object]:
     """Flatten nested dicts to dotted keys (``dspt.events``); lists pass through."""
-    flat: Dict[str, object] = {}
+    flat: dict[str, object] = {}
     for key, value in record.items():
         name = f"{prefix}{key}"
         if isinstance(value, Mapping):
@@ -84,14 +84,14 @@ def flatten_record(record: Mapping[str, object], prefix: str = "") -> Dict[str, 
     return flat
 
 
-def record_identity(record: Mapping[str, object], keys: Sequence[str]) -> Tuple[object, ...]:
+def record_identity(record: Mapping[str, object], keys: Sequence[str]) -> tuple[object, ...]:
     return tuple(record.get(key) for key in keys)
 
 
 def shared_identity_keys(
     records_a: Sequence[Mapping[str, object]],
     records_b: Sequence[Mapping[str, object]],
-) -> List[str]:
+) -> list[str]:
     """Identity keys present in every record on both sides."""
     keys = []
     for key in IDENTITY_KEYS:
@@ -111,9 +111,9 @@ class FieldDiff:
     category: str  # "timing" | "shape" | "metric" | "note"
     matches: bool
     hard: bool  # gates --fail-on metric
-    rel_delta: Optional[float] = None
+    rel_delta: float | None = None
 
-    def as_row(self) -> Dict[str, object]:
+    def as_row(self) -> dict[str, object]:
         return {
             "record": self.identity,
             "field": self.key,
@@ -133,16 +133,16 @@ class RunDiff:
     rtol: float
     atol: float
     comparable: bool  # False when the runs' workload flags differ
-    entries: List[FieldDiff] = field(default_factory=list)
-    only_in_a: List[str] = field(default_factory=list)
-    only_in_b: List[str] = field(default_factory=list)
+    entries: list[FieldDiff] = field(default_factory=list)
+    only_in_a: list[str] = field(default_factory=list)
+    only_in_b: list[str] = field(default_factory=list)
 
     @property
-    def hard_mismatches(self) -> List[FieldDiff]:
+    def hard_mismatches(self) -> list[FieldDiff]:
         return [e for e in self.entries if e.hard and not e.matches]
 
     @property
-    def mismatches(self) -> List[FieldDiff]:
+    def mismatches(self) -> list[FieldDiff]:
         return [e for e in self.entries if not e.matches]
 
     @property
@@ -170,7 +170,7 @@ class RunDiff:
         return "\n".join(lines)
 
 
-def _values_match(a: object, b: object, rtol: float, atol: float) -> Tuple[bool, Optional[float]]:
+def _values_match(a: object, b: object, rtol: float, atol: float) -> tuple[bool, float | None]:
     """Tolerance-aware equality plus a relative delta for numeric pairs."""
     if isinstance(a, bool) or isinstance(b, bool):
         return bool(a) == bool(b), None
@@ -206,8 +206,8 @@ def diff_records(
     flat_b = [flatten_record(r) for r in records_b]
     id_keys = shared_identity_keys(flat_a, flat_b)
 
-    def index(records: Sequence[Mapping[str, object]]) -> Dict[Tuple[object, ...], Mapping[str, object]]:
-        table: Dict[Tuple[object, ...], Mapping[str, object]] = {}
+    def index(records: Sequence[Mapping[str, object]]) -> dict[tuple[object, ...], Mapping[str, object]]:
+        table: dict[tuple[object, ...], Mapping[str, object]] = {}
         for position, record in enumerate(records):
             identity = record_identity(record, id_keys) if id_keys else (position,)
             if _is_profile_record(record):
@@ -224,7 +224,7 @@ def diff_records(
     table_a, table_b = index(flat_a), index(flat_b)
     diff = RunDiff(run_a=run_a, run_b=run_b, rtol=rtol, atol=atol, comparable=comparable)
 
-    def label(identity: Tuple[object, ...]) -> str:
+    def label(identity: tuple[object, ...]) -> str:
         return "/".join(str(part) for part in identity if part is not None) or "record"
 
     for identity, record in table_a.items():
@@ -267,12 +267,11 @@ def diff_records(
             residual = is_residual_field(key)
             hard = category == "metric" and (comparable or residual) and not profile
             matches, rel = _values_match(a_value, b_value, rtol, atol)
-            if residual:
-                # Residuals sit at float-round-off scale: any value within
-                # atol of zero on both sides is "still exact", whatever the
-                # relative gap between two round-off noises.
-                if isinstance(a_value, (int, float)) and isinstance(b_value, (int, float)):
-                    matches = matches or (abs(float(a_value)) <= atol and abs(float(b_value)) <= atol)
+            # Residuals sit at float-round-off scale: any value within
+            # atol of zero on both sides is "still exact", whatever the
+            # relative gap between two round-off noises.
+            if residual and isinstance(a_value, (int, float)) and isinstance(b_value, (int, float)):
+                matches = matches or (abs(float(a_value)) <= atol and abs(float(b_value)) <= atol)
             diff.entries.append(
                 FieldDiff(
                     identity=label(identity),

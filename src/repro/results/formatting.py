@@ -18,16 +18,16 @@ from __future__ import annotations
 import csv
 import io
 import json
-from typing import Dict, List, Optional, Sequence
+from collections.abc import Sequence
 
 from ..analysis.reporting import format_table
 
 FORMATS = ("table", "csv", "json")
 
 
-def _columns(rows: Sequence[Dict[str, object]]) -> List[str]:
+def _columns(rows: Sequence[dict[str, object]]) -> list[str]:
     """Union of row keys, in first-seen order."""
-    columns: List[str] = []
+    columns: list[str] = []
     for row in rows:
         for key in row:
             if key not in columns:
@@ -36,11 +36,11 @@ def _columns(rows: Sequence[Dict[str, object]]) -> List[str]:
 
 
 def _rich_table(
-    rows: Sequence[Dict[str, object]],
+    rows: Sequence[dict[str, object]],
     columns: Sequence[str],
-    title: Optional[str],
+    title: str | None,
     float_format: str,
-) -> Optional[str]:
+) -> str | None:
     """Render with rich when available; ``None`` means "fall back"."""
     try:
         from rich.console import Console
@@ -64,10 +64,10 @@ def _rich_table(
 
 
 def format_output(
-    rows: Sequence[Dict[str, object]],
+    rows: Sequence[dict[str, object]],
     fmt: str = "table",
-    columns: Optional[Sequence[str]] = None,
-    title: Optional[str] = None,
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
     float_format: str = "{:.4g}",
 ) -> str:
     """Render rows as an aligned table, CSV, or indented JSON.

@@ -19,6 +19,7 @@ unpacking JSON.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import subprocess
@@ -26,7 +27,7 @@ import uuid
 from dataclasses import dataclass, field
 from datetime import datetime, timezone
 from pathlib import Path
-from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
+from collections.abc import Iterable, Mapping, Sequence
 
 from ..scenarios.scenario import Scenario, _sha256
 
@@ -38,16 +39,18 @@ KNOWN_KINDS = ("sweep", "bench", "replay", "view-import")
 
 def utc_now_iso() -> str:
     """The current UTC time as a second-resolution ISO-8601 string."""
+    # repro: allow[REP003] run creation timestamps are manifest metadata:
+    # they are never compared by `repro results diff` (timing category).
     return datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ")
 
 
-def new_run_id(created_at: Optional[str] = None) -> str:
+def new_run_id(created_at: str | None = None) -> str:
     """A unique, time-sortable run id (``20260727T101530Z-ab12cd34``)."""
     stamp = (created_at or utc_now_iso()).replace("-", "").replace(":", "")
     return f"{stamp}-{uuid.uuid4().hex[:8]}"
 
 
-def git_revision(cwd: Optional[str] = None) -> str:
+def git_revision(cwd: str | None = None) -> str:
     """The commit sha of the code, or a CI-provided fallback, or ``unknown``.
 
     The lookup is anchored at *this package's* directory (a checkout run
@@ -60,7 +63,7 @@ def git_revision(cwd: Optional[str] = None) -> str:
     """
     if cwd is None:
         cwd = str(Path(__file__).resolve().parent)
-    try:
+    with contextlib.suppress(OSError, subprocess.SubprocessError):
         out = subprocess.run(
             ["git", "rev-parse", "HEAD"],
             cwd=cwd,
@@ -70,8 +73,6 @@ def git_revision(cwd: Optional[str] = None) -> str:
         )
         if out.returncode == 0 and out.stdout.strip():
             return out.stdout.strip()
-    except (OSError, subprocess.SubprocessError):
-        pass
     for variable in ("GITHUB_SHA", "GIT_SHA"):
         value = os.environ.get(variable)
         if value:
@@ -102,29 +103,29 @@ class RunManifest:
     created_at: str
     git_sha: str = "unknown"
     package_version: str = ""
-    cache_version: Optional[int] = None
-    benchmark: Optional[str] = None
-    topology: Optional[str] = None
-    protocols: Tuple[str, ...] = ()
-    scenario_set: Optional[str] = None
-    config: Dict[str, object] = field(default_factory=dict)
-    timings: Dict[str, float] = field(default_factory=dict)
-    note: Optional[str] = None
+    cache_version: int | None = None
+    benchmark: str | None = None
+    topology: str | None = None
+    protocols: tuple[str, ...] = ()
+    scenario_set: str | None = None
+    config: dict[str, object] = field(default_factory=dict)
+    timings: dict[str, float] = field(default_factory=dict)
+    note: str | None = None
 
     @classmethod
     def create(
         cls,
         kind: str,
-        benchmark: Optional[str] = None,
-        topology: Optional[str] = None,
+        benchmark: str | None = None,
+        topology: str | None = None,
         protocols: Iterable[str] = (),
-        scenario_set: Optional[str] = None,
-        config: Optional[Mapping[str, object]] = None,
-        timings: Optional[Mapping[str, float]] = None,
-        note: Optional[str] = None,
-        git_sha: Optional[str] = None,
-        cache_version: Optional[int] = None,
-    ) -> "RunManifest":
+        scenario_set: str | None = None,
+        config: Mapping[str, object] | None = None,
+        timings: Mapping[str, float] | None = None,
+        note: str | None = None,
+        git_sha: str | None = None,
+        cache_version: int | None = None,
+    ) -> RunManifest:
         """Build a manifest stamped with the current code identity."""
         from .. import __version__
         from ..scenarios.runner import CACHE_VERSION
@@ -146,7 +147,7 @@ class RunManifest:
             note=note,
         )
 
-    def to_row(self) -> Dict[str, object]:
+    def to_row(self) -> dict[str, object]:
         """The manifest as a flat ``runs``-table row (JSON-packed blobs)."""
         return {
             "run_id": self.run_id,
@@ -157,7 +158,7 @@ class RunManifest:
             "cache_version": self.cache_version,
             "benchmark": self.benchmark,
             "topology": self.topology,
-            "protocols": json.dumps(list(self.protocols)),
+            "protocols": json.dumps(list(self.protocols), sort_keys=True),
             "scenario_set": self.scenario_set,
             "config": json.dumps(self.config, sort_keys=True),
             "timings": json.dumps(self.timings, sort_keys=True),
@@ -165,7 +166,7 @@ class RunManifest:
         }
 
     @classmethod
-    def from_row(cls, row: Mapping[str, object]) -> "RunManifest":
+    def from_row(cls, row: Mapping[str, object]) -> RunManifest:
         return cls(
             run_id=str(row["run_id"]),
             kind=str(row["kind"]),
@@ -184,7 +185,7 @@ class RunManifest:
             note=row["note"],  # type: ignore[arg-type]
         )
 
-    def summary_row(self) -> Dict[str, object]:
+    def summary_row(self) -> dict[str, object]:
         """The compact row ``repro results list`` renders."""
         return {
             "run": self.run_id,

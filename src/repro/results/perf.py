@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import statistics
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence
+from collections.abc import Mapping, Sequence
 
 from ..obs.profiling import PROFILE_SCENARIO
 
@@ -47,9 +47,9 @@ class PerfError(ValueError):
 
 def _span_values(
     records: Sequence[Mapping[str, object]], metric: str
-) -> Dict[str, float]:
+) -> dict[str, float]:
     """``{span name: metric value}`` over one run's ``__profile__`` records."""
-    values: Dict[str, float] = {}
+    values: dict[str, float] = {}
     for record in records:
         if record.get("scenario") != PROFILE_SCENARIO:
             continue
@@ -60,12 +60,12 @@ def _span_values(
 
 
 def profile_rows(
-    store: "object",
-    topology: Optional[str] = None,
-    span: Optional[str] = None,
-    kind: Optional[str] = None,
-    limit: Optional[int] = None,
-) -> List[Dict[str, object]]:
+    store: object,
+    topology: str | None = None,
+    span: str | None = None,
+    kind: str | None = None,
+    limit: int | None = None,
+) -> list[dict[str, object]]:
     """Flat ``__profile__`` record rows across runs (newest runs first)."""
     return store.query(  # type: ignore[attr-defined]
         kind=kind,
@@ -88,7 +88,7 @@ class SpanVerdict:
     samples: int
     regressed: bool
 
-    def as_row(self) -> Dict[str, object]:
+    def as_row(self) -> dict[str, object]:
         return {
             "span": self.span,
             "head": f"{self.head:.6f}",
@@ -108,12 +108,12 @@ class GateReport:
     head: str
     metric: str
     window: int
-    verdicts: List[SpanVerdict] = field(default_factory=list)
-    new_spans: List[str] = field(default_factory=list)
-    vanished_spans: List[str] = field(default_factory=list)
+    verdicts: list[SpanVerdict] = field(default_factory=list)
+    new_spans: list[str] = field(default_factory=list)
+    vanished_spans: list[str] = field(default_factory=list)
 
     @property
-    def regressions(self) -> List[SpanVerdict]:
+    def regressions(self) -> list[SpanVerdict]:
         return [verdict for verdict in self.verdicts if verdict.regressed]
 
     @property
@@ -141,7 +141,7 @@ class GateReport:
 
 
 def gate(
-    store: "object",
+    store: object,
     base_ref: str,
     head_ref: str,
     metric: str = "self_seconds",
@@ -177,7 +177,7 @@ def gate(
             f"base run {base.run_id} not found in its own (kind, topology) "
             "family — store inconsistency"
         ) from None
-    history: Dict[str, List[float]] = {}
+    history: dict[str, list[float]] = {}
     baseline_runs = 0
     for manifest in family[start : start + window]:
         if manifest.run_id == head.run_id:

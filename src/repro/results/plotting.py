@@ -24,10 +24,10 @@ import math
 import struct
 import zlib
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from collections.abc import Callable, Sequence
 
 #: Fixed categorical palette (colorblind-checked order; see README).
-PALETTE: Tuple[str, ...] = (
+PALETTE: tuple[str, ...] = (
     "#2a78d6",  # blue
     "#eb6834",  # orange
     "#1baf7a",  # aqua-green
@@ -38,7 +38,7 @@ PALETTE: Tuple[str, ...] = (
 
 _SPARK = "▁▂▃▄▅▆▇█"
 
-_AGGREGATORS: Dict[str, Callable[[Sequence[float]], float]] = {
+_AGGREGATORS: dict[str, Callable[[Sequence[float]], float]] = {
     "mean": lambda values: sum(values) / len(values),
     "max": max,
     "min": min,
@@ -50,7 +50,7 @@ AGGREGATIONS = tuple(sorted(_AGGREGATORS))
 
 #: Friendly metric spellings accepted when no record carries the literal
 #: name — the headline max-link-utilization metric is stored as ``mlu``.
-METRIC_ALIASES: Dict[str, str] = {
+METRIC_ALIASES: dict[str, str] = {
     "max_utilization": "mlu",
     "max_link_utilization": "mlu",
 }
@@ -71,10 +71,10 @@ class TrendSeries:
     """One plotted line: a label and its per-run points (oldest first)."""
 
     label: str
-    points: List[TrendPoint]
+    points: list[TrendPoint]
 
     @property
-    def values(self) -> List[float]:
+    def values(self) -> list[float]:
         return [point.value for point in self.points]
 
 
@@ -83,11 +83,11 @@ class PlotError(ValueError):
 
 
 def metric_trend(
-    rows: Sequence[Dict[str, object]],
+    rows: Sequence[dict[str, object]],
     metric: str,
     agg: str = "mean",
-    by: Optional[str] = None,
-) -> List[TrendSeries]:
+    by: str | None = None,
+) -> list[TrendSeries]:
     """Aggregate query rows into per-run trend series, oldest run first.
 
     ``rows`` is :meth:`ResultsStore.query` output (newest runs first);
@@ -106,10 +106,10 @@ def metric_trend(
         metric = METRIC_ALIASES[metric]
     # (run_id, series label) -> values; runs keyed in query order (newest
     # first), flipped at the end.
-    runs: List[Tuple[str, str, str]] = []
-    seen_runs: Dict[str, None] = {}
-    buckets: Dict[Tuple[str, str], List[float]] = {}
-    labels: List[str] = []
+    runs: list[tuple[str, str, str]] = []
+    seen_runs: dict[str, None] = {}
+    buckets: dict[tuple[str, str], list[float]] = {}
+    labels: list[str] = []
     for row in rows:
         value = row.get(metric)
         if isinstance(value, bool) or not isinstance(value, (int, float)):
@@ -129,7 +129,7 @@ def metric_trend(
     if not buckets:
         raise PlotError(f"no numeric values of {metric!r} in the selected records")
     runs.reverse()  # oldest first
-    series: List[TrendSeries] = []
+    series: list[TrendSeries] = []
     for label in labels:
         points = [
             TrendPoint(run_id=run_id, created_at=created, git_sha=sha,
@@ -158,7 +158,7 @@ def sparkline(values: Sequence[float]) -> str:
 
 def render_terminal(series: Sequence[TrendSeries], metric: str) -> str:
     """The terminal view: sparkline per series + a per-run value table."""
-    lines: List[str] = []
+    lines: list[str] = []
     width = max(len(s.label or metric) for s in series)
     for s in series:
         values = s.values
@@ -170,8 +170,8 @@ def render_terminal(series: Sequence[TrendSeries], metric: str) -> str:
         )
     lines.append("")
     # Per-run table: one row per run, one value column per series.
-    by_run: Dict[str, Dict[str, object]] = {}
-    order: List[str] = []
+    by_run: dict[str, dict[str, object]] = {}
+    order: list[str] = []
     for s in series:
         for point in s.points:
             if point.run_id not in by_run:
@@ -201,7 +201,7 @@ def render_terminal(series: Sequence[TrendSeries], metric: str) -> str:
 # ----------------------------------------------------------------------
 # PNG rendering
 # ----------------------------------------------------------------------
-def _hex_rgb(color: str) -> Tuple[int, int, int]:
+def _hex_rgb(color: str) -> tuple[int, int, int]:
     color = color.lstrip("#")
     return int(color[0:2], 16), int(color[2:4], 16), int(color[4:6], 16)
 
@@ -214,12 +214,12 @@ class _Raster:
         self.height = height
         self.pixels = bytearray(b"\xff" * (width * height * 3))
 
-    def set(self, x: int, y: int, rgb: Tuple[int, int, int]) -> None:
+    def set(self, x: int, y: int, rgb: tuple[int, int, int]) -> None:
         if 0 <= x < self.width and 0 <= y < self.height:
             offset = (y * self.width + x) * 3
             self.pixels[offset : offset + 3] = bytes(rgb)
 
-    def dot(self, x: int, y: int, rgb: Tuple[int, int, int], radius: int = 0) -> None:
+    def dot(self, x: int, y: int, rgb: tuple[int, int, int], radius: int = 0) -> None:
         for dy in range(-radius, radius + 1):
             for dx in range(-radius, radius + 1):
                 self.set(x + dx, y + dy, rgb)
@@ -230,7 +230,7 @@ class _Raster:
         y0: int,
         x1: int,
         y1: int,
-        rgb: Tuple[int, int, int],
+        rgb: tuple[int, int, int],
         thickness: int = 1,
     ) -> None:
         """Bresenham with a square pen of the given thickness."""
@@ -297,7 +297,7 @@ def _write_png_builtin(
         low, high = low - pad, high + pad
     max_points = max(len(s.points) for s in series)
 
-    def to_xy(index: int, value: float) -> Tuple[int, int]:
+    def to_xy(index: int, value: float) -> tuple[int, int]:
         fx = index / (max_points - 1) if max_points > 1 else 0.5
         fy = (value - low) / (high - low)
         return left + round(fx * (plot_w - 1)), top + round((1 - fy) * (plot_h - 1))
@@ -311,7 +311,7 @@ def _write_png_builtin(
 
     for position, s in enumerate(series):
         rgb = _hex_rgb(PALETTE[position % len(PALETTE)])
-        previous: Optional[Tuple[int, int]] = None
+        previous: tuple[int, int] | None = None
         for index, value in enumerate(s.values):
             point = to_xy(index, value)
             if previous is not None:

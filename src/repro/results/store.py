@@ -28,7 +28,7 @@ import json
 import os
 import sqlite3
 from pathlib import Path
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from collections.abc import Mapping, Sequence
 
 from .diffing import RunDiff, diff_records
 from .manifest import RunManifest
@@ -118,7 +118,7 @@ def _sanitize(value: object) -> object:
 class ResultsStore:
     """Queryable store of run manifests and metrics in one SQLite file."""
 
-    def __init__(self, path: Union[str, Path, None] = None) -> None:
+    def __init__(self, path: str | Path | None = None) -> None:
         self.path = Path(path) if path is not None else default_results_path()
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._connection = sqlite3.connect(str(self.path))
@@ -133,7 +133,7 @@ class ResultsStore:
     def close(self) -> None:
         self._connection.close()
 
-    def __enter__(self) -> "ResultsStore":
+    def __enter__(self) -> ResultsStore:
         return self
 
     def __exit__(self, *exc_info: object) -> None:
@@ -184,9 +184,9 @@ class ResultsStore:
     def gc(
         self,
         keep_last: int,
-        kind: Optional[str] = None,
-        benchmark: Optional[str] = None,
-    ) -> List[str]:
+        kind: str | None = None,
+        benchmark: str | None = None,
+    ) -> list[str]:
         """Retention: keep the newest ``keep_last`` runs per (kind, benchmark).
 
         Every command records a run, so a store used by CI or a watch loop
@@ -199,10 +199,10 @@ class ResultsStore:
         """
         if keep_last < 0:
             raise ResultsStoreError(f"keep_last must be non-negative, got {keep_last}")
-        groups: Dict[Tuple[object, object], List[RunManifest]] = {}
+        groups: dict[tuple[object, object], list[RunManifest]] = {}
         for manifest in self.runs(kind=kind, benchmark=benchmark):
             groups.setdefault((manifest.kind, manifest.benchmark), []).append(manifest)
-        deleted: List[str] = []
+        deleted: list[str] = []
         with self._connection:
             for manifests in groups.values():
                 for manifest in manifests[keep_last:]:  # runs() is newest-first
@@ -217,11 +217,11 @@ class ResultsStore:
     # ------------------------------------------------------------------
     def runs(
         self,
-        kind: Optional[str] = None,
-        benchmark: Optional[str] = None,
-        topology: Optional[str] = None,
-        limit: Optional[int] = None,
-    ) -> List[RunManifest]:
+        kind: str | None = None,
+        benchmark: str | None = None,
+        topology: str | None = None,
+        limit: int | None = None,
+    ) -> list[RunManifest]:
         """Manifests, newest first, optionally filtered."""
         clauses, params = [], []
         for column, value in (("kind", kind), ("benchmark", benchmark), ("topology", topology)):
@@ -285,7 +285,7 @@ class ResultsStore:
             raise ResultsStoreError(f"ambiguous run reference {ref!r}: matches {matches}")
         return RunManifest.from_row(rows[0])
 
-    def records(self, ref: str) -> List[Dict[str, object]]:
+    def records(self, ref: str) -> list[dict[str, object]]:
         """A run's records (full metric dicts) in insertion order."""
         manifest = self.get_run(ref)
         rows = self._connection.execute(
@@ -296,15 +296,15 @@ class ResultsStore:
 
     def query(
         self,
-        kind: Optional[str] = None,
-        benchmark: Optional[str] = None,
-        run: Optional[str] = None,
-        topology: Optional[str] = None,
-        workload: Optional[str] = None,
-        scenario: Optional[str] = None,
-        protocol: Optional[str] = None,
-        limit: Optional[int] = None,
-    ) -> List[Dict[str, object]]:
+        kind: str | None = None,
+        benchmark: str | None = None,
+        run: str | None = None,
+        topology: str | None = None,
+        workload: str | None = None,
+        scenario: str | None = None,
+        protocol: str | None = None,
+        limit: int | None = None,
+    ) -> list[dict[str, object]]:
         """Flat record rows across runs, newest runs first.
 
         Every row carries its run's provenance (``run_id``, ``created_at``,
@@ -350,16 +350,16 @@ class ResultsStore:
         self,
         metric: str,
         by: Sequence[str] = ("protocol",),
-        **filters: Optional[str],
-    ) -> List[Dict[str, object]]:
+        **filters: str | None,
+    ) -> list[dict[str, object]]:
         """count/min/mean/max of one metric, grouped by identity fields.
 
         ``filters`` are forwarded to :meth:`query`; rows missing the metric
         (or carrying non-finite values) are counted but excluded from the
         statistics.
         """
-        groups: Dict[Tuple[object, ...], List[float]] = {}
-        totals: Dict[Tuple[object, ...], int] = {}
+        groups: dict[tuple[object, ...], list[float]] = {}
+        totals: dict[tuple[object, ...], int] = {}
         for row in self.query(**filters):
             key = tuple(row.get(field) for field in by)
             totals[key] = totals.get(key, 0) + 1
@@ -368,10 +368,10 @@ class ResultsStore:
                 value = float(value)
                 if value == value and abs(value) != float("inf"):
                     groups.setdefault(key, []).append(value)
-        out: List[Dict[str, object]] = []
+        out: list[dict[str, object]] = []
         for key in sorted(totals, key=lambda k: tuple(str(part) for part in k)):
             values = groups.get(key, [])
-            row = dict(zip(by, key))
+            row = dict(zip(by, key, strict=True))
             row.update(
                 {
                     "rows": totals[key],
@@ -388,7 +388,7 @@ class ResultsStore:
     # diffs
     # ------------------------------------------------------------------
     @staticmethod
-    def workload_flags(manifest: RunManifest) -> Dict[str, bool]:
+    def workload_flags(manifest: RunManifest) -> dict[str, bool]:
         """The flags that decide whether two runs' magnitudes are comparable."""
         view_flags = manifest.config.get("view_flags")
         if not isinstance(view_flags, Mapping):
@@ -403,8 +403,8 @@ class ResultsStore:
 
     def diff(
         self,
-        run_a: Union[str, Tuple[RunManifest, Sequence[Mapping[str, object]]]],
-        run_b: Union[str, Tuple[RunManifest, Sequence[Mapping[str, object]]]],
+        run_a: str | tuple[RunManifest, Sequence[Mapping[str, object]]],
+        run_b: str | tuple[RunManifest, Sequence[Mapping[str, object]]],
         rtol: float = 1e-6,
         atol: float = 1e-9,
     ) -> RunDiff:
@@ -417,8 +417,8 @@ class ResultsStore:
         """
 
         def materialise(
-            run: Union[str, Tuple[RunManifest, Sequence[Mapping[str, object]]]],
-        ) -> Tuple[RunManifest, Sequence[Mapping[str, object]]]:
+            run: str | tuple[RunManifest, Sequence[Mapping[str, object]]],
+        ) -> tuple[RunManifest, Sequence[Mapping[str, object]]]:
             if isinstance(run, str):
                 manifest = self.get_run(run)
                 return manifest, self.records(manifest.run_id)
@@ -443,8 +443,8 @@ class ResultsStore:
     def export_bench_view(
         self,
         benchmark: str,
-        run: Optional[str] = None,
-        path: Union[str, Path, None] = None,
+        run: str | None = None,
+        path: str | Path | None = None,
     ) -> str:
         """Serialise a bench run as its committed-view JSON text.
 
@@ -460,7 +460,7 @@ class ResultsStore:
                 f"run {manifest.run_id} records benchmark {manifest.benchmark!r},"
                 f" not {benchmark!r}"
             )
-        payload: Dict[str, object] = {"benchmark": benchmark}
+        payload: dict[str, object] = {"benchmark": benchmark}
         flags = manifest.config.get("view_flags", {})
         if isinstance(flags, Mapping):
             payload.update(flags)
@@ -472,8 +472,8 @@ class ResultsStore:
 
     def import_bench_view(
         self,
-        path: Union[str, Path],
-        note: Optional[str] = None,
+        path: str | Path,
+        note: str | None = None,
     ) -> str:
         """Ingest a ``BENCH_*.json`` view file as a ``view-import`` run.
 
@@ -486,9 +486,9 @@ class ResultsStore:
 
 
 def load_bench_view(
-    path: Union[str, Path],
-    note: Optional[str] = None,
-) -> Tuple[RunManifest, List[Dict[str, object]]]:
+    path: str | Path,
+    note: str | None = None,
+) -> tuple[RunManifest, list[dict[str, object]]]:
     """Parse a view file into an (unpersisted) manifest + records pair."""
     path = Path(path)
     try:
@@ -514,6 +514,6 @@ def load_bench_view(
     return manifest, [_sanitize(dict(record)) for record in results]
 
 
-def open_store(path: Union[str, Path, None] = None) -> ResultsStore:
+def open_store(path: str | Path | None = None) -> ResultsStore:
     """Open (creating if needed) the results store at ``path`` or the default."""
     return ResultsStore(path)

@@ -79,7 +79,7 @@ def set_default_backend(backend: str) -> str:
     return previous
 
 
-def resolve_backend(backend: "str | None") -> str:
+def resolve_backend(backend: str | None) -> str:
     """Normalise an optional per-call backend argument to a policy value."""
     if backend is None:
         return _default_backend

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import logging
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from collections.abc import Mapping, Sequence
 
 import numpy as np
 
@@ -86,8 +86,8 @@ class CompiledDag:
     """
 
     destination: Node
-    order: List[Node]
-    positions: Dict[Node, int]
+    order: list[Node]
+    positions: dict[Node, int]
     node_ids: np.ndarray
     indptr: np.ndarray
     targets: np.ndarray
@@ -99,7 +99,7 @@ class CompiledDag:
     # construction
     # ------------------------------------------------------------------
     @classmethod
-    def from_dag(cls, network: Network, dag: ShortestPathDag) -> "CompiledDag":
+    def from_dag(cls, network: Network, dag: ShortestPathDag) -> CompiledDag:
         """Compile a shortest-path DAG (including augmented DAGs)."""
         return cls.from_next_hops(network, dag.destination, dag.topological_order(), dag.next_hops)
 
@@ -110,7 +110,7 @@ class CompiledDag:
         destination: Node,
         order: Sequence[Node],
         next_hops: Mapping[Node, Sequence[Node]],
-    ) -> "CompiledDag":
+    ) -> CompiledDag:
         """Compile an explicit (topological order, next-hop map) pair.
 
         ``order`` must list every node of the DAG with each node before all of
@@ -121,8 +121,8 @@ class CompiledDag:
         positions = {node: i for i, node in enumerate(order)}
         k = len(order)
         indptr = np.zeros(k + 1, dtype=np.int64)
-        targets: List[int] = []
-        links: List[int] = []
+        targets: list[int] = []
+        links: list[int] = []
         for i, node in enumerate(order):
             if node != destination:
                 for hop in next_hops.get(node, ()):
@@ -167,7 +167,7 @@ class CompiledDag:
         """Number of next hops per position."""
         return np.diff(self.indptr)
 
-    def split_matrix(self, ratios: Optional[np.ndarray] = None):
+    def split_matrix(self, ratios: np.ndarray | None = None):
         """The split-ratio matrix ``P`` as a :class:`scipy.sparse.csr_matrix`.
 
         ``P[i, j]`` is the fraction of position ``i``'s throughflow forwarded
@@ -200,8 +200,8 @@ class CompiledDag:
 
     def bind_ratios(
         self,
-        split_ratios: Optional[Mapping[Node, Mapping[Node, float]]],
-        degenerate: Optional[List[Tuple[int, float]]] = None,
+        split_ratios: Mapping[Node, Mapping[Node, float]] | None,
+        degenerate: list[tuple[int, float]] | None = None,
     ) -> np.ndarray:
         """Normalise per-node ``{hop: ratio}`` mappings into a per-edge vector.
 
@@ -246,7 +246,7 @@ class CompiledDag:
         return ratios
 
     def warn_loaded_degenerates(
-        self, degenerate: List[Tuple[int, float]], throughflow: np.ndarray
+        self, degenerate: list[tuple[int, float]], throughflow: np.ndarray
     ) -> None:
         """Warn for degenerate-ratio nodes that actually carried traffic.
 
@@ -310,7 +310,7 @@ class CompiledDag:
         entering: Mapping[Node, float],
         columns: int = 0,
         column: int = 0,
-        out: Optional[np.ndarray] = None,
+        out: np.ndarray | None = None,
         missing: str = "raise",
     ) -> np.ndarray:
         """Scatter ``{node: volume}`` into a (stacked) position-indexed vector.
@@ -375,7 +375,7 @@ class CompiledDag:
         self,
         throughflow: np.ndarray,
         ratios: np.ndarray,
-        out: Optional[np.ndarray] = None,
+        out: np.ndarray | None = None,
     ) -> np.ndarray:
         """Per-link loads ``f[link(i, j)] = ratio_ij * x_i`` (added into ``out``).
 

@@ -22,7 +22,7 @@ tests in ``tests/test_routing_equivalence.py`` pin that property.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from collections.abc import Mapping, Sequence
 
 import numpy as np
 
@@ -57,17 +57,17 @@ class CompiledDagSet:
     def __init__(
         self,
         network: Network,
-        dags: Optional[Mapping[Node, ShortestPathDag]] = None,
+        dags: Mapping[Node, ShortestPathDag] | None = None,
     ) -> None:
         self.network = network
-        self._dags: Dict[Node, ShortestPathDag] = dict(dags or {})
-        self._compiled: Dict[Node, CompiledDag] = {}
+        self._dags: dict[Node, ShortestPathDag] = dict(dags or {})
+        self._compiled: dict[Node, CompiledDag] = {}
 
     def __contains__(self, destination: Node) -> bool:
         return destination in self._dags
 
     @property
-    def destinations(self) -> List[Node]:
+    def destinations(self) -> list[Node]:
         return list(self._dags)
 
     def add(self, destination: Node, dag: ShortestPathDag) -> CompiledDag:
@@ -138,7 +138,7 @@ class CompiledDagSet:
         flows = FlowAssignment(network=self.network)
         for destination, entering in demands.by_destination().items():
             compiled = self.compiled(destination)
-            degenerate: List[Tuple[int, float]] = []
+            degenerate: list[tuple[int, float]] = []
             ratios = compiled.bind_ratios(split_ratios.get(destination), degenerate)
             vector = flows.ensure_destination(destination)
             demand = compiled.entering_vector(entering, missing="drop")
@@ -179,9 +179,9 @@ class SparseRouter:
     def __init__(
         self,
         network: Network,
-        weights: Optional[WeightsLike] = None,
+        weights: WeightsLike | None = None,
         *,
-        dags: Optional[Mapping[Node, ShortestPathDag]] = None,
+        dags: Mapping[Node, ShortestPathDag] | None = None,
         mode: str = "ecmp",
         tolerance: float = DEFAULT_TOLERANCE,
     ) -> None:
@@ -194,7 +194,7 @@ class SparseRouter:
         self.tolerance = tolerance
         self._weights = as_weight_vector(network, weights) if weights is not None else None
         self._set = CompiledDagSet(network, dags)
-        self._ratios: Dict[Node, np.ndarray] = {}
+        self._ratios: dict[Node, np.ndarray] = {}
 
     # ------------------------------------------------------------------
     def _compiled(self, destination: Node) -> CompiledDag:
@@ -210,7 +210,7 @@ class SparseRouter:
         return self._set.compiled(destination)
 
     def refresh_destination(
-        self, destination: Node, dag: Optional[ShortestPathDag] = None
+        self, destination: Node, dag: ShortestPathDag | None = None
     ) -> None:
         """Install a new DAG for (or invalidate) one destination.
 
@@ -248,14 +248,14 @@ class SparseRouter:
     def route(
         self,
         demands: TrafficMatrix,
-        split_ratios: Optional[Mapping[Node, Mapping[Node, Mapping[Node, float]]]] = None,
+        split_ratios: Mapping[Node, Mapping[Node, Mapping[Node, float]]] | None = None,
     ) -> FlowAssignment:
         """Route one traffic matrix, returning the per-destination decomposition."""
         demands.validate(self.network)
         flows = FlowAssignment(network=self.network)
         for destination, entering in demands.by_destination().items():
             compiled = self._compiled(destination)
-            degenerate: List[Tuple[int, float]] = []
+            degenerate: list[tuple[int, float]] = []
             if self.mode == "split":
                 ratios = compiled.bind_ratios(
                     split_ratios.get(destination) if split_ratios else None, degenerate
@@ -279,7 +279,7 @@ class SparseRouter:
     def link_loads_many(
         self,
         matrices: Sequence[TrafficMatrix],
-        split_ratios: Optional[Mapping[Node, Mapping[Node, Mapping[Node, float]]]] = None,
+        split_ratios: Mapping[Node, Mapping[Node, Mapping[Node, float]]] | None = None,
     ) -> np.ndarray:
         """Aggregate link loads of a whole demand ensemble, batched.
 
@@ -296,7 +296,7 @@ class SparseRouter:
         if m == 0:
             return loads.T
         by_destination = []
-        destinations: Dict[Node, None] = {}
+        destinations: dict[Node, None] = {}
         for tm in matrices:
             tm.validate(self.network)
             per = tm.by_destination()
@@ -305,7 +305,7 @@ class SparseRouter:
                 destinations.setdefault(destination, None)
         for destination in destinations:
             compiled = self._compiled(destination)
-            degenerate: List[Tuple[int, float]] = []
+            degenerate: list[tuple[int, float]] = []
             if self.mode == "split":
                 ratios = compiled.bind_ratios(
                     split_ratios.get(destination) if split_ratios else None, degenerate
@@ -336,7 +336,7 @@ def sparse_ecmp_assignment(
     demands: TrafficMatrix,
     weights: WeightsLike,
     tolerance: float = DEFAULT_TOLERANCE,
-    dags: Optional[Mapping[Node, ShortestPathDag]] = None,
+    dags: Mapping[Node, ShortestPathDag] | None = None,
 ) -> FlowAssignment:
     """Vectorized twin of :func:`repro.solvers.assignment.ecmp_assignment`."""
     router = SparseRouter(
@@ -392,8 +392,8 @@ def batched_link_loads(
     *,
     mode: str = "ecmp",
     tolerance: float = DEFAULT_TOLERANCE,
-    dags: Optional[Mapping[Node, ShortestPathDag]] = None,
-    split_ratios: Optional[Mapping[Node, Mapping[Node, Mapping[Node, float]]]] = None,
+    dags: Mapping[Node, ShortestPathDag] | None = None,
+    split_ratios: Mapping[Node, Mapping[Node, Mapping[Node, float]]] | None = None,
 ) -> np.ndarray:
     """One-shot batched evaluation: ``(m, num_links)`` loads for an ensemble.
 

@@ -27,7 +27,7 @@ evaluation corresponds to the baseline member of each ensemble):
 from __future__ import annotations
 
 from itertools import combinations
-from typing import Iterable, List, Optional, Sequence, Tuple
+from collections.abc import Iterable, Sequence
 
 import numpy as np
 
@@ -44,14 +44,14 @@ def baseline_scenario() -> Scenario:
 # ----------------------------------------------------------------------
 # failure sweeps
 # ----------------------------------------------------------------------
-def _trunk_groups(network: Network, duplex: bool) -> List[Tuple[str, Tuple[Edge, ...]]]:
+def _trunk_groups(network: Network, duplex: bool) -> list[tuple[str, tuple[Edge, ...]]]:
     """Failure units: bidirectional trunks when ``duplex``, else single links.
 
     Backbone fibre cuts take out both directions at once, so the default
     sweep granularity is the undirected trunk; ``duplex=False`` enumerates
     directed links individually (e.g. for asymmetric interface failures).
     """
-    groups: List[Tuple[str, Tuple[Edge, ...]]] = []
+    groups: list[tuple[str, tuple[Edge, ...]]] = []
     seen: set = set()
     for link in network.links:
         u, v = link.endpoints
@@ -59,7 +59,7 @@ def _trunk_groups(network: Network, duplex: bool) -> List[Tuple[str, Tuple[Edge,
             if frozenset((u, v)) in seen:
                 continue
             seen.add(frozenset((u, v)))
-            edges: Tuple[Edge, ...] = (
+            edges: tuple[Edge, ...] = (
                 ((u, v), (v, u)) if network.has_link(v, u) else ((u, v),)
             )
             groups.append((f"{u}-{v}", edges))
@@ -68,7 +68,7 @@ def _trunk_groups(network: Network, duplex: bool) -> List[Tuple[str, Tuple[Edge,
     return groups
 
 
-def single_link_failures(network: Network, duplex: bool = True) -> List[Scenario]:
+def single_link_failures(network: Network, duplex: bool = True) -> list[Scenario]:
     """One scenario per failed trunk (both directions) or directed link."""
     return [
         Scenario(scenario_id=f"link:{label}", kind="link-failure", failed_links=edges)
@@ -79,9 +79,9 @@ def single_link_failures(network: Network, duplex: bool = True) -> List[Scenario
 def dual_link_failures(
     network: Network,
     duplex: bool = True,
-    limit: Optional[int] = None,
+    limit: int | None = None,
     seed: int = 0,
-) -> List[Scenario]:
+) -> list[Scenario]:
     """Every unordered pair of trunk failures, optionally down-sampled.
 
     With ``limit`` set, a deterministic sample of ``limit`` pairs is drawn
@@ -109,7 +109,7 @@ def dual_link_failures(
     return scenarios
 
 
-def node_failures(network: Network, nodes: Optional[Iterable[Node]] = None) -> List[Scenario]:
+def node_failures(network: Network, nodes: Iterable[Node] | None = None) -> list[Scenario]:
     """One scenario per failed node (all incident links removed)."""
     candidates = list(nodes) if nodes is not None else network.nodes
     return [
@@ -125,7 +125,7 @@ def capacity_degradations(
     links_per_scenario: int = 2,
     duplex: bool = True,
     seed: int = 0,
-) -> List[Scenario]:
+) -> list[Scenario]:
     """Seeded brown-out scenarios: sampled trunks at ``factor`` of capacity.
 
     Each of the ``count`` scenarios picks ``links_per_scenario`` distinct
@@ -144,7 +144,7 @@ def capacity_degradations(
     scenarios = []
     for index in range(count):
         chosen = sorted(rng.choice(len(groups), size=links_per_scenario, replace=False))
-        factors: Tuple[Tuple[Edge, float], ...] = tuple(
+        factors: tuple[tuple[Edge, float], ...] = tuple(
             (edge, factor) for i in chosen for edge in groups[i][1]
         )
         scenarios.append(
@@ -161,7 +161,7 @@ def capacity_degradations(
 # ----------------------------------------------------------------------
 # demand ensembles
 # ----------------------------------------------------------------------
-def uniform_scaling_ensemble(factors: Sequence[float]) -> List[Scenario]:
+def uniform_scaling_ensemble(factors: Sequence[float]) -> list[Scenario]:
     """One scenario per uniform demand scale factor (the Fig. 10 sweep)."""
     scenarios = []
     for factor in factors:
@@ -183,7 +183,7 @@ def gravity_noise_ensemble(
     sigma: float = 0.25,
     preserve_total: bool = True,
     seed: int = 0,
-) -> List[Scenario]:
+) -> list[Scenario]:
     """Lognormal multiplicative noise on every demand pair.
 
     Traffic matrices inferred from link counts (the gravity model of
@@ -203,7 +203,7 @@ def gravity_noise_ensemble(
         noise = np.exp(rng.normal(0.0, sigma, size=len(pairs)))
         if preserve_total and volumes.sum() > 0:
             noise *= volumes.sum() / float(np.dot(volumes, noise))
-        factors: Tuple[Tuple[Pair, float], ...] = tuple(
+        factors: tuple[tuple[Pair, float], ...] = tuple(
             (pair, round(float(noise[i]), 12)) for i, pair in enumerate(pairs)
         )
         scenarios.append(
@@ -223,7 +223,7 @@ def hotspot_surge_ensemble(
     surge: float = 3.0,
     hotspots: int = 1,
     seed: int = 0,
-) -> List[Scenario]:
+) -> list[Scenario]:
     """Flash-crowd scenarios: all demands into sampled destinations surge.
 
     Each member picks ``hotspots`` destinations (deterministic in ``seed``)
@@ -242,7 +242,7 @@ def hotspot_surge_ensemble(
     for index in range(size):
         chosen_idx = sorted(rng.choice(len(destinations), size=hotspots, replace=False))
         chosen = {destinations[i] for i in chosen_idx}
-        factors: Tuple[Tuple[Pair, float], ...] = tuple(
+        factors: tuple[tuple[Pair, float], ...] = tuple(
             (pair, float(surge)) for pair in demands.pairs() if pair[1] in chosen
         )
         label = ",".join(str(destinations[i]) for i in chosen_idx)
@@ -262,13 +262,13 @@ def standard_scenario_suite(
     demands: TrafficMatrix,
     ensemble_size: int = 10,
     seed: int = 0,
-) -> List[Scenario]:
+) -> list[Scenario]:
     """A mixed suite: baseline + all single failures + demand ensembles.
 
     The convenient default for robustness reports — broad enough to exercise
     every scenario family, small enough to run interactively.
     """
-    suite: List[Scenario] = [baseline_scenario()]
+    suite: list[Scenario] = [baseline_scenario()]
     suite += single_link_failures(network)
     suite += capacity_degradations(network, count=ensemble_size, seed=seed)
     suite += gravity_noise_ensemble(demands, size=ensemble_size, seed=seed + 1)

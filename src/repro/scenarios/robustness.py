@@ -28,7 +28,7 @@ optimism.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Optional, Sequence
+from collections.abc import Iterable, Sequence
 
 import numpy as np
 
@@ -42,7 +42,7 @@ def metric_values(results: Iterable[ScenarioResult], metric: str = "mlu") -> np.
     return np.array([getattr(r, metric) for r in results], dtype=float)
 
 
-def distribution_summary(values: Sequence[float], tail: float = 0.9) -> Dict[str, float]:
+def distribution_summary(values: Sequence[float], tail: float = 0.9) -> dict[str, float]:
     """Min/mean/median/quantile/max of a metric distribution.
 
     Non-finite entries (overloaded or unroutable scenarios) are excluded
@@ -74,7 +74,7 @@ def distribution_summary(values: Sequence[float], tail: float = 0.9) -> Dict[str
 
 def worst_case(
     results: Sequence[ScenarioResult], metric: str = "mlu"
-) -> Optional[ScenarioResult]:
+) -> ScenarioResult | None:
     """The single worst scenario (highest MLU / lowest utility).
 
     Infeasible results (infinite metric) dominate: if a protocol fails to
@@ -112,7 +112,7 @@ def regret_rows(
     results: Sequence[ScenarioResult],
     oracle: Sequence[ScenarioResult],
     metric: str = "mlu",
-) -> List[Dict[str, object]]:
+) -> list[dict[str, object]]:
     """Per-scenario regret of ``results`` against a re-optimised oracle.
 
     Results are matched by ``scenario_id``; for MLU the regret is the ratio
@@ -123,7 +123,7 @@ def regret_rows(
     regret against a broken yardstick is undefined, not zero.
     """
     by_id = {r.scenario_id: r for r in oracle}
-    rows: List[Dict[str, object]] = []
+    rows: list[dict[str, object]] = []
     for result in results:
         reference = by_id.get(result.scenario_id)
         if reference is None:
@@ -158,9 +158,9 @@ def regret_rows(
 
 def group_by_protocol(
     results: Iterable[ScenarioResult],
-) -> Dict[str, List[ScenarioResult]]:
+) -> dict[str, list[ScenarioResult]]:
     """Bucket a flat result list by protocol display name (order preserved)."""
-    groups: Dict[str, List[ScenarioResult]] = {}
+    groups: dict[str, list[ScenarioResult]] = {}
     for result in results:
         groups.setdefault(result.protocol, []).append(result)
     return groups
@@ -170,8 +170,8 @@ def robustness_summary(
     results: Sequence[ScenarioResult],
     metric: str = "mlu",
     cvar_alpha: float = 0.1,
-    oracle: Optional[Sequence[ScenarioResult]] = None,
-) -> List[Dict[str, object]]:
+    oracle: Sequence[ScenarioResult] | None = None,
+) -> list[dict[str, object]]:
     """One summary row per protocol: distribution, worst case, CVaR, regret.
 
     This is the headline robustness table.  ``oracle`` (typically a
@@ -179,12 +179,12 @@ def robustness_summary(
     mean-regret column when provided.
     """
     worst_high = metric != "utility"
-    rows: List[Dict[str, object]] = []
+    rows: list[dict[str, object]] = []
     for protocol, group in group_by_protocol(results).items():
         values = metric_values(group, metric)
         summary = distribution_summary(values)
         worst = worst_case(group, metric)
-        row: Dict[str, object] = {
+        row: dict[str, object] = {
             "protocol": protocol,
             "scenarios": int(summary["count"]),
             "infeasible": int(summary["num_infinite"]),

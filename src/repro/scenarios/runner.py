@@ -30,7 +30,7 @@ import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from collections.abc import Callable, Iterable, Sequence
 
 import numpy as np
 
@@ -54,14 +54,14 @@ class RunnerError(ValueError):
 # ----------------------------------------------------------------------
 # protocol specs
 # ----------------------------------------------------------------------
-def _make_spef(beta: Optional[float] = None, **overrides) -> RoutingProtocol:
+def _make_spef(beta: float | None = None, **overrides) -> RoutingProtocol:
     if beta is not None:
         return SPEFProtocol.with_beta(beta, **overrides)
     return SPEFProtocol(**overrides)
 
 
 #: Registry of protocol factories the runner can instantiate by name.
-PROTOCOL_REGISTRY: Dict[str, Callable[..., RoutingProtocol]] = {
+PROTOCOL_REGISTRY: dict[str, Callable[..., RoutingProtocol]] = {
     "OSPF": OSPF,
     "MinHopOSPF": MinHopOSPF,
     "SPEF": _make_spef,
@@ -89,16 +89,16 @@ class ProtocolSpec:
     """
 
     protocol: str
-    params: Tuple[Tuple[str, object], ...] = ()
-    label: Optional[str] = None
+    params: tuple[tuple[str, object], ...] = ()
+    label: str | None = None
 
     @classmethod
     def of(
         cls,
-        protocol: Union[str, "ProtocolSpec"],
-        label: Optional[str] = None,
+        protocol: str | "ProtocolSpec",
+        label: str | None = None,
         **params: object,
-    ) -> "ProtocolSpec":
+    ) -> ProtocolSpec:
         """Coerce a name (plus keyword parameters) into a spec."""
         if isinstance(protocol, ProtocolSpec):
             return protocol
@@ -166,9 +166,9 @@ class ScenarioResult:
     #: cold per-cell timings stay comparable in the results store.
     setup_runtime: float = 0.0
     cached: bool = False
-    error: Optional[str] = None
+    error: str | None = None
 
-    def as_row(self) -> Dict[str, object]:
+    def as_row(self) -> dict[str, object]:
         """The deterministic part of the result (for tables and comparisons)."""
         return {
             "scenario": self.scenario_id,
@@ -182,7 +182,7 @@ class ScenarioResult:
             "connected": self.connected,
         }
 
-    def to_dict(self) -> Dict[str, object]:
+    def to_dict(self) -> dict[str, object]:
         return {
             "scenario_id": self.scenario_id,
             "kind": self.kind,
@@ -199,7 +199,7 @@ class ScenarioResult:
         }
 
     @classmethod
-    def from_dict(cls, data: Dict[str, object]) -> "ScenarioResult":
+    def from_dict(cls, data: dict[str, object]) -> ScenarioResult:
         return cls(
             scenario_id=str(data["scenario_id"]),
             kind=str(data["kind"]),
@@ -291,8 +291,8 @@ def _result_from_loads(
 
 
 def incremental_sweep_weights(
-    protocol: Optional[RoutingProtocol], network: Network
-) -> Optional[np.ndarray]:
+    protocol: RoutingProtocol | None, network: Network
+) -> np.ndarray | None:
     """The weight vector an incremental failure sweep should use, or ``None``.
 
     Wraps :meth:`RoutingProtocol.ecmp_forwarding_weights` defensively: a
@@ -308,7 +308,7 @@ def incremental_sweep_weights(
 
 
 def incremental_sweep_capacity_independent(
-    protocol: Optional[RoutingProtocol], network: Network
+    protocol: RoutingProtocol | None, network: Network
 ) -> bool:
     """True when the protocol's sweep weights ignore link capacities.
 
@@ -380,9 +380,9 @@ def evaluate_scenarios(
     demands: TrafficMatrix,
     scenarios: Sequence[Scenario],
     spec: ProtocolSpec,
-    controller_params: Optional[Dict[str, object]] = None,
-    baseline: Optional[object] = None,
-) -> List[ScenarioResult]:
+    controller_params: dict[str, object] | None = None,
+    baseline: object | None = None,
+) -> list[ScenarioResult]:
     """Evaluate one protocol across several scenarios, batching where safe.
 
     Two fast paths run before the per-cell fallback:
@@ -424,15 +424,15 @@ def evaluate_scenarios(
     to a locally built controller.
     """
     scenarios = list(scenarios)
-    results: List[Optional[ScenarioResult]] = [None] * len(scenarios)
+    results: list[ScenarioResult | None] = [None] * len(scenarios)
 
     try:
-        probe: Optional[RoutingProtocol] = spec.build()
+        probe: RoutingProtocol | None = spec.build()
     except Exception:  # noqa: BLE001 - reported per cell by evaluate_scenario
         probe = None
 
-    batchable: List[int] = []
-    instances: Dict[int, ScenarioInstance] = {}
+    batchable: list[int] = []
+    instances: dict[int, ScenarioInstance] = {}
     batch_protocol = probe
     if batch_protocol is not None and len(scenarios) > 1:
         # Probe with an empty ensemble: non-batchable protocols return None
@@ -457,7 +457,7 @@ def evaluate_scenarios(
             batchable.append(index)
 
     if len(batchable) > 1:
-        loads: Optional[np.ndarray] = None
+        loads: np.ndarray | None = None
         elapsed = 0.0
         try:
             start = time.perf_counter()
@@ -485,7 +485,7 @@ def evaluate_scenarios(
         from ..online.events import scenario_events
 
         capacity_independent = incremental_sweep_capacity_independent(probe, network)
-        candidates: List[int] = []
+        candidates: list[int] = []
         for index, scenario in enumerate(scenarios):
             if results[index] is not None or not _incremental_eligible(
                 scenario, capacity_independent
@@ -542,7 +542,7 @@ def evaluate_scenarios(
                 # measures the same thing on both evaluation paths.
                 per_cell = elapsed / len(candidates)
                 per_cell_setup = construction / len(candidates)
-                for index, measurement in zip(candidates, measurements):
+                for index, measurement in zip(candidates, measurements, strict=True):
                     results[index] = _result_from_measurement(
                         scenarios[index], spec, measurement, per_cell, per_cell_setup
                     )
@@ -554,15 +554,15 @@ def evaluate_scenarios(
 
 
 def _evaluate_chunk(
-    payload: Tuple[
+    payload: tuple[
         Network,
         TrafficMatrix,
-        List[Scenario],
+        list[Scenario],
         ProtocolSpec,
-        Optional[Dict[str, object]],
-        Optional[object],
+        dict[str, object] | None,
+        object | None,
     ],
-) -> Tuple[List[ScenarioResult], Optional[Dict[str, object]]]:
+) -> tuple[list[ScenarioResult], dict[str, object] | None]:
     """Worker entry point: evaluate a chunk of scenarios for one protocol.
 
     Returns ``(results, telemetry_snapshot)``.  When the parent run has
@@ -609,8 +609,8 @@ def _evaluate_chunk(
 
 
 def _telemetry_summary_record(
-    topology: str, timings: Dict[str, float]
-) -> Optional[Dict[str, object]]:
+    topology: str, timings: dict[str, float]
+) -> dict[str, object] | None:
     """Distil the active registry into manifest timings + one results record.
 
     The record rides the run under the reserved identity
@@ -642,7 +642,7 @@ def _telemetry_summary_record(
     timings["dspt_fallback_rate"] = rate
     timings["dspt_event_fallback_rate"] = event_rate
     timings["dspt_incremental_updates"] = float(incremental)
-    record: Dict[str, object] = {
+    record: dict[str, object] = {
         "scenario": "__telemetry__",
         "kind": "telemetry",
         "protocol": "*",
@@ -688,9 +688,9 @@ class ResultCache:
     in-memory layer absorbs repeated lookups within one process.
     """
 
-    def __init__(self, directory: Union[str, Path, None] = None) -> None:
+    def __init__(self, directory: str | Path | None = None) -> None:
         self.directory = Path(directory) if directory is not None else default_cache_dir()
-        self._memory: Dict[str, ScenarioResult] = {}
+        self._memory: dict[str, ScenarioResult] = {}
 
     @staticmethod
     def key(
@@ -698,7 +698,7 @@ class ResultCache:
         demands_fp: str,
         scenario: Scenario,
         spec: ProtocolSpec,
-        flags: Optional[Dict[str, object]] = None,
+        flags: dict[str, object] | None = None,
     ) -> str:
         return ResultCache.key_from_fingerprints(
             network_fp, demands_fp, scenario.fingerprint(), spec.fingerprint(), flags
@@ -710,7 +710,7 @@ class ResultCache:
         demands_fp: str,
         scenario_fp: str,
         protocol_fp: str,
-        flags: Optional[Dict[str, object]] = None,
+        flags: dict[str, object] | None = None,
     ) -> str:
         """Cache key from precomputed fingerprints (the batch fast path).
 
@@ -747,7 +747,7 @@ class ResultCache:
         # Two-level fan-out keeps directories small on big sweeps.
         return self.directory / key[:2] / f"{key}.json"
 
-    def get(self, key: str) -> Optional[ScenarioResult]:
+    def get(self, key: str) -> ScenarioResult | None:
         if key in self._memory:
             result = self._memory[key]
         else:
@@ -855,30 +855,30 @@ class BatchRunner:
 
     def __init__(
         self,
-        cache_dir: Union[str, Path, None, bool] = None,
-        max_workers: Optional[int] = None,
-        chunk_size: Optional[int] = None,
-        results_store: Union[str, Path, object, None] = None,
+        cache_dir: str | Path | None | bool = None,
+        max_workers: int | None = None,
+        chunk_size: int | None = None,
+        results_store: str | Path | object | None = None,
     ) -> None:
         if cache_dir is False:
-            self.cache: Optional[ResultCache] = None
+            self.cache: ResultCache | None = None
         else:
             self.cache = ResultCache(None if cache_dir in (None, True) else cache_dir)
         self.max_workers = max_workers
         self.chunk_size = chunk_size
         self.last_stats = RunStats()
         self.results_store = results_store
-        self.last_run_id: Optional[str] = None
+        self.last_run_id: str | None = None
 
     def run(
         self,
         network: Network,
         demands: TrafficMatrix,
         scenarios: Sequence[Scenario],
-        protocols: Iterable[Union[str, ProtocolSpec]],
-        record_config: Optional[Dict[str, object]] = None,
-        controller_params: Optional[Dict[str, object]] = None,
-    ) -> List[ScenarioResult]:
+        protocols: Iterable[str | ProtocolSpec],
+        record_config: dict[str, object] | None = None,
+        controller_params: dict[str, object] | None = None,
+    ) -> list[ScenarioResult]:
         """Evaluate every protocol on every scenario.
 
         Results are returned in ``(protocol, scenario)`` input order
@@ -909,8 +909,8 @@ class BatchRunner:
         # scenarios additionally require capacity-independent weights.
         incremental_spec = []
         cap_independent_spec = []
-        spec_sweep_weights: List[Optional[np.ndarray]] = []
-        spec_tolerance: List[float] = []
+        spec_sweep_weights: list[np.ndarray | None] = []
+        spec_tolerance: list[float] = []
         for spec in specs:
             try:
                 probe = spec.build()
@@ -930,11 +930,11 @@ class BatchRunner:
             )
 
         # Resolve cache hits up front so only misses reach the pool.
-        results: Dict[Tuple[int, int], ScenarioResult] = {}
-        misses: List[Tuple[int, int]] = []
-        keys: Dict[Tuple[int, int], str] = {}
-        for si, spec in enumerate(specs):
-            for ci, scenario in enumerate(scenarios):
+        results: dict[tuple[int, int], ScenarioResult] = {}
+        misses: list[tuple[int, int]] = []
+        keys: dict[tuple[int, int], str] = {}
+        for si, _spec in enumerate(specs):
+            for ci, _scenario in enumerate(scenarios):
                 cell = (si, ci)
                 if self.cache is not None:
                     flags = (
@@ -956,17 +956,17 @@ class BatchRunner:
         stats.workers = workers
         #: Cells designated for the incremental sweep, per spec — the
         #: amortisation base for shared-baseline setup.
-        designated: Dict[int, List[Tuple[int, int]]] = {}
+        designated: dict[int, list[tuple[int, int]]] = {}
         for cell in misses:
             if cell_incremental(*cell):
                 designated.setdefault(cell[0], []).append(cell)
-        parent_setup: Dict[int, float] = {}
-        baselines: Dict[int, object] = {}
+        parent_setup: dict[int, float] = {}
+        baselines: dict[int, object] = {}
         if telemetry.enabled():
             telemetry.count("runner.cells", stats.cache_hits, outcome="cache-hit")
             telemetry.count("runner.cells", len(misses), outcome="evaluated")
         if misses:
-            options: Optional[Dict[str, object]] = None
+            options: dict[str, object] | None = None
             if controller_params or telemetry.enabled():
                 options = {
                     "controller": controller_params,
@@ -975,7 +975,7 @@ class BatchRunner:
             if workers <= 1:
                 # Serial path: group by protocol so demand-only scenarios can
                 # share one compiled weight setting (see evaluate_scenarios).
-                by_spec: Dict[int, List[Tuple[int, int]]] = {}
+                by_spec: dict[int, list[tuple[int, int]]] = {}
                 for cell in misses:
                     by_spec.setdefault(cell[0], []).append(cell)
                 for si, cells in by_spec.items():
@@ -991,7 +991,7 @@ class BatchRunner:
                             specs[si],
                             controller_params=controller_params,
                         )
-                    for cell, result in zip(cells, chunk_results):
+                    for cell, result in zip(cells, chunk_results, strict=True):
                         results[cell] = result
             else:
                 # Build the compiled baseline once in the parent for every
@@ -1041,9 +1041,9 @@ class BatchRunner:
                 registry = telemetry.get()
                 with ProcessPoolExecutor(max_workers=workers) as pool:
                     for chunk, (chunk_results, snapshot) in zip(
-                        chunks, pool.map(_evaluate_chunk, payloads)
+                        chunks, pool.map(_evaluate_chunk, payloads), strict=True
                     ):
-                        for cell, result in zip(chunk, chunk_results):
+                        for cell, result in zip(chunk, chunk_results, strict=True):
                             results[cell] = result
                         if registry is not None and snapshot is not None:
                             registry.merge(snapshot)
@@ -1089,7 +1089,7 @@ class BatchRunner:
         scenarios: Sequence[Scenario],
         results: Sequence[ScenarioResult],
         stats: RunStats,
-        record_config: Optional[Dict[str, object]],
+        record_config: dict[str, object] | None,
     ) -> str:
         """Write this run (manifest + one record per cell) to the store."""
         # Imported lazily: repro.results depends on this module's
@@ -1101,7 +1101,7 @@ class BatchRunner:
         if owned:
             store = ResultsStore(store)  # type: ignore[arg-type]
         try:
-            config: Dict[str, object] = {
+            config: dict[str, object] = {
                 "scenarios": len(scenarios),
                 "protocols": len(specs),
                 "cache_hits": stats.cache_hits,
@@ -1109,7 +1109,7 @@ class BatchRunner:
                 "workers": stats.workers,
             }
             config.update(record_config or {})
-            timings: Dict[str, float] = {
+            timings: dict[str, float] = {
                 "elapsed": stats.elapsed,
                 "setup_seconds": stats.setup_seconds,
             }
@@ -1158,10 +1158,10 @@ class BatchRunner:
 
     def _chunk(
         self,
-        misses: List[Tuple[int, int]],
+        misses: list[tuple[int, int]],
         workers: int,
-        sharded_specs: Optional[set] = None,
-    ) -> List[List[Tuple[int, int]]]:
+        sharded_specs: set | None = None,
+    ) -> list[list[tuple[int, int]]]:
         """Split misses into per-protocol chunks of roughly equal size.
 
         Chunks never mix protocols so each worker payload carries exactly
@@ -1172,10 +1172,10 @@ class BatchRunner:
         sweep's amortised one-off cost — so fewer, larger shards beat finer
         load balancing.
         """
-        by_spec: Dict[int, List[Tuple[int, int]]] = {}
+        by_spec: dict[int, list[tuple[int, int]]] = {}
         for cell in misses:
             by_spec.setdefault(cell[0], []).append(cell)
-        chunks: List[List[Tuple[int, int]]] = []
+        chunks: list[list[tuple[int, int]]] = []
         for si, cells in by_spec.items():
             if self.chunk_size:
                 size = self.chunk_size

@@ -27,7 +27,6 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Set, Tuple
 
 import networkx as nx
 
@@ -71,12 +70,12 @@ class Scenario:
 
     scenario_id: str
     kind: str = "baseline"
-    failed_links: Tuple[Edge, ...] = ()
-    failed_nodes: Tuple[Node, ...] = ()
-    capacity_factors: Tuple[Tuple[Edge, float], ...] = ()
+    failed_links: tuple[Edge, ...] = ()
+    failed_nodes: tuple[Node, ...] = ()
+    capacity_factors: tuple[tuple[Edge, float], ...] = ()
     demand_scale: float = 1.0
-    demand_factors: Tuple[Tuple[Pair, float], ...] = ()
-    seed: Optional[int] = None
+    demand_factors: tuple[tuple[Pair, float], ...] = ()
+    seed: int | None = None
 
     def __post_init__(self) -> None:
         if self.demand_scale < 0:
@@ -132,10 +131,10 @@ class Scenario:
         """
         return bool(self.failed_links or self.failed_nodes or self.capacity_factors)
 
-    def with_id(self, scenario_id: str) -> "Scenario":
+    def with_id(self, scenario_id: str) -> Scenario:
         return replace(self, scenario_id=scenario_id)
 
-    def merged_capacity_factors(self) -> Dict[Edge, float]:
+    def merged_capacity_factors(self) -> dict[Edge, float]:
         """Per-edge capacity multipliers with duplicates merged multiplicatively.
 
         The single source of truth for how ``capacity_factors`` listing the
@@ -145,7 +144,7 @@ class Scenario:
         twice-listed edge degrades by the *product* of its factors on every
         evaluation path.
         """
-        factors: Dict[Edge, float] = {}
+        factors: dict[Edge, float] = {}
         for edge, factor in self.capacity_factors:
             factors[edge] = factors.get(edge, 1.0) * factor
         return factors
@@ -153,7 +152,7 @@ class Scenario:
     # ------------------------------------------------------------------
     # application
     # ------------------------------------------------------------------
-    def apply(self, network: Network, demands: TrafficMatrix) -> "ScenarioInstance":
+    def apply(self, network: Network, demands: TrafficMatrix) -> ScenarioInstance:
         """Materialise the perturbed ``(Network, TrafficMatrix)`` pair.
 
         Demands between pairs that the perturbed network can no longer
@@ -162,9 +161,9 @@ class Scenario:
         workload, and robustness metrics can penalise the lost traffic
         separately.
         """
-        removed: Set[Edge] = set(self.failed_links)
-        dead_nodes: Set[Node] = set(self.failed_nodes)
-        factors: Dict[Edge, float] = self.merged_capacity_factors()
+        removed: set[Edge] = set(self.failed_links)
+        dead_nodes: set[Node] = set(self.failed_nodes)
+        factors: dict[Edge, float] = self.merged_capacity_factors()
 
         for edge in removed | set(factors):
             if not network.has_link(*edge):
@@ -194,14 +193,14 @@ class Scenario:
                 link.source, link.target, link.capacity * factors.get(edge, 1.0), link.delay
             )
 
-        factor_map: Dict[Pair, float] = {}
+        factor_map: dict[Pair, float] = {}
         for pair, factor in self.demand_factors:
             factor_map[pair] = factor_map.get(pair, 1.0) * factor
 
         reachable = _reachability(perturbed, demands)
-        kept: Dict[Pair, float] = {}
+        kept: dict[Pair, float] = {}
         dropped_volume = 0.0
-        dropped_pairs: List[Pair] = []
+        dropped_pairs: list[Pair] = []
         for pair, volume in demands.items():
             scaled = volume * self.demand_scale * factor_map.get(pair, 1.0)
             if scaled <= 0:
@@ -246,7 +245,7 @@ class ScenarioInstance:
     network: Network
     demands: TrafficMatrix
     dropped_volume: float = 0.0
-    dropped_pairs: Tuple[Pair, ...] = field(default_factory=tuple)
+    dropped_pairs: tuple[Pair, ...] = field(default_factory=tuple)
 
     @property
     def fully_connected(self) -> bool:
@@ -254,7 +253,7 @@ class ScenarioInstance:
         return not self.dropped_pairs
 
 
-def combine(first: Scenario, second: Scenario, scenario_id: Optional[str] = None) -> Scenario:
+def combine(first: Scenario, second: Scenario, scenario_id: str | None = None) -> Scenario:
     """Compose two scenarios (e.g. a link failure under a demand surge).
 
     Perturbations are merged field-wise; multiplicative factors compose, and
@@ -299,12 +298,12 @@ def _sha256(payload: object) -> str:
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
-def _reachability(network: Network, demands: TrafficMatrix) -> Dict[Node, Set[Node]]:
+def _reachability(network: Network, demands: TrafficMatrix) -> dict[Node, set[Node]]:
     """Reachable node sets for every demand source on ``network``."""
     graph = nx.DiGraph()
     graph.add_nodes_from(network.nodes)
     graph.add_edges_from(network.edges)
-    reachable: Dict[Node, Set[Node]] = {}
+    reachable: dict[Node, set[Node]] = {}
     for source in demands.sources():
         if graph.has_node(source):
             reachable[source] = nx.descendants(graph, source)

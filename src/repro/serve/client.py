@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import json
 import socket
-from typing import Dict, Iterable, List, Optional, Union
+from collections.abc import Iterable
 
 from ..online.events import NetworkEvent, to_dict
 from .wire import PROTOCOL_VERSION, desanitize
@@ -35,7 +35,7 @@ class ServeClient:
     # ------------------------------------------------------------------
     # transport
     # ------------------------------------------------------------------
-    def request(self, frame: Dict[str, object]) -> Dict[str, object]:
+    def request(self, frame: dict[str, object]) -> dict[str, object]:
         """Send one raw frame and return the raw response (ok or not)."""
         payload = dict(frame)
         payload.setdefault("v", PROTOCOL_VERSION)
@@ -52,7 +52,7 @@ class ServeClient:
             raise ServeClientError(f"non-object response: {response!r}")
         return response
 
-    def call(self, frame: Dict[str, object]) -> Dict[str, object]:
+    def call(self, frame: dict[str, object]) -> dict[str, object]:
         """Send one frame; return ``result`` or raise on an error response."""
         response = self.request(frame)
         if not response.get("ok"):
@@ -60,7 +60,7 @@ class ServeClient:
         result = desanitize(response.get("result"))
         return result if isinstance(result, dict) else {"result": result}
 
-    def send_line(self, line: bytes) -> Dict[str, object]:
+    def send_line(self, line: bytes) -> dict[str, object]:
         """Send pre-serialised bytes (for malformed-frame tests) and read back."""
         self._file.write(line.rstrip(b"\n") + b"\n")
         self._file.flush()
@@ -75,7 +75,7 @@ class ServeClient:
         finally:
             self._sock.close()
 
-    def __enter__(self) -> "ServeClient":
+    def __enter__(self) -> ServeClient:
         return self
 
     def __exit__(self, *exc_info: object) -> None:
@@ -86,21 +86,21 @@ class ServeClient:
     # ------------------------------------------------------------------
     def feed_event(
         self,
-        event: Union[NetworkEvent, Dict[str, object]],
-        session: Optional[str] = None,
-    ) -> Dict[str, object]:
+        event: NetworkEvent | dict[str, object],
+        session: str | None = None,
+    ) -> dict[str, object]:
         """Feed one event (a :class:`NetworkEvent` or its wire dict)."""
         payload = to_dict(event) if isinstance(event, NetworkEvent) else dict(event)
-        frame: Dict[str, object] = {"type": "event", "event": payload}
+        frame: dict[str, object] = {"type": "event", "event": payload}
         if session is not None:
             frame["session"] = session
         return self.call(frame)
 
     def feed_trace(
         self,
-        events: Iterable[Union[NetworkEvent, Dict[str, object]]],
-        session: Optional[str] = None,
-    ) -> List[Dict[str, object]]:
+        events: Iterable[NetworkEvent | dict[str, object]],
+        session: str | None = None,
+    ) -> list[dict[str, object]]:
         """Feed events in order; returns each event's result frame."""
         return [self.feed_event(event, session=session) for event in events]
 
@@ -110,44 +110,44 @@ class ServeClient:
     def query(
         self,
         query: str,
-        session: Optional[str] = None,
-        destination: Optional[str] = None,
-    ) -> Dict[str, object]:
-        frame: Dict[str, object] = {"type": "query", "query": query}
+        session: str | None = None,
+        destination: str | None = None,
+    ) -> dict[str, object]:
+        frame: dict[str, object] = {"type": "query", "query": query}
         if session is not None:
             frame["session"] = session
         if destination is not None:
             frame["destination"] = destination
         return self.call(frame)
 
-    def control(self, action: str, session: Optional[str] = None) -> Dict[str, object]:
-        frame: Dict[str, object] = {"type": "control", "action": action}
+    def control(self, action: str, session: str | None = None) -> dict[str, object]:
+        frame: dict[str, object] = {"type": "control", "action": action}
         if session is not None:
             frame["session"] = session
         return self.call(frame)
 
-    def mlu(self, session: Optional[str] = None) -> float:
+    def mlu(self, session: str | None = None) -> float:
         return float(self.query("mlu", session=session)["mlu"])
 
-    def status(self, session: Optional[str] = None) -> Dict[str, object]:
+    def status(self, session: str | None = None) -> dict[str, object]:
         return self.query("status", session=session)
 
-    def counters(self, session: Optional[str] = None) -> Dict[str, object]:
+    def counters(self, session: str | None = None) -> dict[str, object]:
         return self.query("counters", session=session)
 
     def forwarding(
-        self, destination: str, session: Optional[str] = None
-    ) -> Dict[str, object]:
+        self, destination: str, session: str | None = None
+    ) -> dict[str, object]:
         return self.query("forwarding", session=session, destination=destination)
 
-    def sessions(self) -> List[str]:
+    def sessions(self) -> list[str]:
         return list(self.query("sessions")["sessions"])
 
-    def dump(self, session: Optional[str] = None) -> Dict[str, object]:
+    def dump(self, session: str | None = None) -> dict[str, object]:
         return self.control("dump", session=session)["dumps"]
 
-    def reoptimize(self, session: Optional[str] = None) -> Dict[str, object]:
+    def reoptimize(self, session: str | None = None) -> dict[str, object]:
         return self.control("reoptimize", session=session)
 
-    def shutdown(self) -> Dict[str, object]:
+    def shutdown(self) -> dict[str, object]:
         return self.control("shutdown")

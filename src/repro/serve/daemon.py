@@ -27,7 +27,8 @@ import functools
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
-from typing import Dict, List, Mapping, Optional, Sequence
+from collections.abc import Callable, Mapping, Sequence
+from typing import Any
 
 from ..network import NetworkError
 from ..online.events import EventError
@@ -58,22 +59,22 @@ class TEServer:
         *,
         host: str = "127.0.0.1",
         port: int = 0,
-        state_dump_path: Optional[object] = None,
-        max_workers: Optional[int] = None,
+        state_dump_path: str | Path | None = None,
+        max_workers: int | None = None,
     ) -> None:
         if not sessions:
             raise ValueError("TEServer needs at least one session")
-        self.sessions: Dict[str, ControllerSession] = dict(sessions)
+        self.sessions: dict[str, ControllerSession] = dict(sessions)
         self.host = host
         self.port = port
         self.state_dump_path = Path(state_dump_path) if state_dump_path else None
         self._max_workers = max_workers if max_workers else max(2, len(self.sessions))
-        self._server: Optional[asyncio.base_events.Server] = None
-        self._loop: Optional[asyncio.AbstractEventLoop] = None
-        self._executor: Optional[ThreadPoolExecutor] = None
-        self._locks: Dict[str, asyncio.Lock] = {}
-        self._stopping: Optional[asyncio.Event] = None
-        self._writers: set = set()
+        self._server: asyncio.base_events.Server | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._executor: ThreadPoolExecutor | None = None
+        self._locks: dict[str, asyncio.Lock] = {}
+        self._stopping: asyncio.Event | None = None
+        self._writers: set[asyncio.StreamWriter] = set()
         #: Frames answered since start, by outcome (observability only).
         self.frames_ok = 0
         self.frames_error = 0
@@ -132,7 +133,7 @@ class TEServer:
                 wire.dumps_state_file(self.state_dumps()), encoding="utf-8"
             )
 
-    def state_dumps(self) -> Dict[str, Dict[str, object]]:
+    def state_dumps(self) -> dict[str, dict[str, object]]:
         """Every session's state dump, keyed by session key."""
         return {key: session.state_dump() for key, session in self.sessions.items()}
 
@@ -185,7 +186,7 @@ class TEServer:
         if stop and self._stopping is not None:
             self._stopping.set()
 
-    async def _dispatch(self, line: bytes) -> tuple:
+    async def _dispatch(self, line: bytes) -> tuple[bytes, bool]:
         """Answer one frame; returns ``(response_bytes, shutdown_requested)``."""
         try:
             frame = wire.parse_frame(line)
@@ -199,7 +200,7 @@ class TEServer:
         self.frames_ok += 1
         return wire.ok_frame(result), stop
 
-    def _resolve(self, key: Optional[str]) -> str:
+    def _resolve(self, key: str | None) -> str:
         serving = ", ".join(sorted(self.sessions))
         if key is None:
             if len(self.sessions) == 1:
@@ -209,14 +210,16 @@ class TEServer:
             raise WireError(f"unknown session {key!r} (serving: {serving})")
         return key
 
-    async def _in_worker(self, key: str, func, *args, **kwargs):
+    async def _in_worker(
+        self, key: str, func: Callable[..., Any], *args: Any, **kwargs: Any
+    ) -> Any:
         """Run state-touching work off the event loop, one-at-a-time per session."""
         assert self._loop is not None and self._executor is not None
         async with self._locks[key]:
             call = functools.partial(func, *args, **kwargs)
             return await self._loop.run_in_executor(self._executor, call)
 
-    async def _execute(self, frame: Frame) -> tuple:
+    async def _execute(self, frame: Frame) -> tuple[dict[str, object], bool]:
         if frame.type == "event":
             return await self._execute_event(frame), False
         if frame.type == "query":
@@ -229,17 +232,17 @@ class TEServer:
         # only after the response reached the socket).
         return {"stopping": True, "sessions": sorted(self.sessions)}, True
 
-    async def _execute_event(self, frame: Frame) -> Dict[str, object]:
+    async def _execute_event(self, frame: Frame) -> dict[str, object]:
         key = self._resolve(frame.session)
         session = self.sessions[key]
         before = len(session.rows)
         await self._in_worker(key, session.feed, frame.event)
-        added: List[Dict[str, object]] = [dict(row) for row in session.rows[before:]]
+        added: list[dict[str, object]] = [dict(row) for row in session.rows[before:]]
         # feed() appends the event's own row first; any further rows are
         # policy reoptimizations it triggered.
         return {"session": key, "row": added[0], "policy_rows": added[1:]}
 
-    async def _execute_query(self, frame: Frame) -> Dict[str, object]:
+    async def _execute_query(self, frame: Frame) -> dict[str, object]:
         if frame.query == "sessions":
             return {"sessions": sorted(self.sessions)}
         key = self._resolve(frame.session)
@@ -260,7 +263,7 @@ class TEServer:
         # forwarding: destinations arrive as strings on the wire; resolve
         # them against the topology's node names.
         by_name = {str(node): node for node in session.network.nodes}
-        destination = by_name.get(frame.destination)
+        destination = by_name.get(frame.destination) if frame.destination else None
         if destination is None:
             raise WireError(
                 f"unknown destination {frame.destination!r} in session {key!r}"
@@ -269,18 +272,18 @@ class TEServer:
         result["session"] = key
         return result
 
-    async def _execute_dump(self, frame: Frame) -> Dict[str, object]:
+    async def _execute_dump(self, frame: Frame) -> dict[str, object]:
         keys = (
             [self._resolve(frame.session)]
             if frame.session is not None
             else sorted(self.sessions)
         )
-        dumps: Dict[str, object] = {}
+        dumps: dict[str, object] = {}
         for key in keys:
             dumps[key] = await self._in_worker(key, self.sessions[key].state_dump)
         return {"dumps": dumps}
 
-    async def _execute_reoptimize(self, frame: Frame) -> Dict[str, object]:
+    async def _execute_reoptimize(self, frame: Frame) -> dict[str, object]:
         key = self._resolve(frame.session)
         session = self.sessions[key]
         before = len(session.rows)
@@ -305,16 +308,16 @@ class ServerThread:
     def __init__(self, server: TEServer, *, join_timeout: float = 30.0) -> None:
         self.server = server
         self.join_timeout = join_timeout
-        self._thread: Optional[threading.Thread] = None
-        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: threading.Thread | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
         self._started = threading.Event()
-        self._error: Optional[BaseException] = None
+        self._error: BaseException | None = None
 
     @property
     def port(self) -> int:
         return self.server.port
 
-    def start(self) -> "ServerThread":
+    def start(self) -> ServerThread:
         if self._thread is not None:
             raise RuntimeError("server thread already started")
         self._thread = threading.Thread(
@@ -353,7 +356,7 @@ class ServerThread:
         self._thread = None
         self._loop = None
 
-    def __enter__(self) -> "ServerThread":
+    def __enter__(self) -> ServerThread:
         return self.start()
 
     def __exit__(self, *exc_info: object) -> None:
@@ -362,9 +365,9 @@ class ServerThread:
 
 def build_sessions(
     specs: Sequence[ControllerSession],
-) -> Dict[str, ControllerSession]:
+) -> dict[str, ControllerSession]:
     """Key a list of sessions by :attr:`ControllerSession.key` (must be unique)."""
-    sessions: Dict[str, ControllerSession] = {}
+    sessions: dict[str, ControllerSession] = {}
     for session in specs:
         if session.key in sessions:
             raise ValueError(f"duplicate session key {session.key!r}")

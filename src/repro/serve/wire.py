@@ -30,7 +30,7 @@ connection open — one bad client frame must never take down the feed.
 from __future__ import annotations
 
 import json
-from typing import Dict, Mapping, Optional
+from collections.abc import Mapping
 
 from ..online.events import EventError, NetworkEvent, from_dict
 
@@ -57,11 +57,11 @@ class Frame:
     def __init__(
         self,
         type: str,
-        session: Optional[str] = None,
-        event: Optional[NetworkEvent] = None,
-        query: Optional[str] = None,
-        destination: Optional[str] = None,
-        action: Optional[str] = None,
+        session: str | None = None,
+        event: NetworkEvent | None = None,
+        query: str | None = None,
+        destination: str | None = None,
+        action: str | None = None,
     ) -> None:
         self.type = type
         self.session = session
@@ -179,7 +179,7 @@ def dumps_state(dump: Mapping[str, object]) -> str:
     return json.dumps(sanitize(dump), indent=2, sort_keys=True) + "\n"
 
 
-def dumps_state_file(dumps: Dict[str, Mapping[str, object]]) -> str:
+def dumps_state_file(dumps: dict[str, Mapping[str, object]]) -> str:
     """Serialise the shutdown dump of every session, keyed and sorted."""
     return json.dumps(
         {key: sanitize(dump) for key, dump in sorted(dumps.items())},

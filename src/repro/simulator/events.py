@@ -15,7 +15,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from collections.abc import Callable
 
 EventCallback = Callable[["Simulator"], None]
 
@@ -61,7 +61,7 @@ class Simulator:
     """
 
     def __init__(self) -> None:
-        self._queue: List[_ScheduledEvent] = []
+        self._queue: list[_ScheduledEvent] = []
         self._sequence = itertools.count()
         self.now: float = 0.0
         self.processed_events: int = 0
@@ -80,7 +80,7 @@ class Simulator:
             raise ValueError("delay must be non-negative")
         return self.schedule(self.now + delay, callback, label)
 
-    def peek(self) -> Optional[float]:
+    def peek(self) -> float | None:
         """Time of the next pending (non-cancelled) event, or ``None``."""
         while self._queue and self._queue[0].cancelled:
             heapq.heappop(self._queue)
@@ -98,7 +98,7 @@ class Simulator:
             return True
         return False
 
-    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+    def run(self, until: float | None = None, max_events: int | None = None) -> None:
         """Run until the queue is empty, ``until`` is reached, or the budget ends."""
         processed = 0
         while True:

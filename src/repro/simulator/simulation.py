@@ -23,7 +23,6 @@ simulator would show.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -33,7 +32,7 @@ from ..network.graph import Edge, Network, Node
 from ..protocols.base import RoutingProtocol
 from .events import Simulator
 
-SplitRatios = Dict[Node, Dict[Node, Dict[Node, float]]]
+SplitRatios = dict[Node, dict[Node, dict[Node, float]]]
 
 
 @dataclass
@@ -43,7 +42,7 @@ class SimulatedFlow:
     source: Node
     destination: Node
     rate: float
-    path: Tuple[Node, ...]
+    path: tuple[Node, ...]
     start_time: float
     end_time: float
 
@@ -55,9 +54,9 @@ class SimulationResult:
     network: Network
     duration: float
     #: Time-averaged carried load per link (same units as demands).
-    mean_link_load: Dict[Edge, float]
+    mean_link_load: dict[Edge, float]
     #: Maximum instantaneous load observed per link.
-    peak_link_load: Dict[Edge, float]
+    peak_link_load: dict[Edge, float]
     flows_started: int
     flows_completed: int
     #: Flows that found no forwarding entry at some hop (should be zero for a
@@ -71,13 +70,13 @@ class SimulationResult:
             vector[self.network.link_index(*edge)] = value
         return vector
 
-    def mean_utilization(self) -> Dict[Edge, float]:
+    def mean_utilization(self) -> dict[Edge, float]:
         return {
             edge: load / self.network.capacity_of(*edge)
             for edge, load in self.mean_link_load.items()
         }
 
-    def used_links(self, threshold: float = 1e-6) -> List[Edge]:
+    def used_links(self, threshold: float = 1e-6) -> list[Edge]:
         """Links whose mean load exceeds ``threshold`` (Fig. 11 counts these)."""
         return [edge for edge, load in self.mean_link_load.items() if load > threshold]
 
@@ -102,7 +101,7 @@ def proportional_split_ratios(flows: FlowAssignment) -> SplitRatios:
     for destination, vector in flows.per_destination.items():
         if destination is None:
             continue
-        per_node: Dict[Node, Dict[Node, float]] = {}
+        per_node: dict[Node, dict[Node, float]] = {}
         for node in network.nodes:
             if node == destination:
                 continue
@@ -161,7 +160,7 @@ class FlowLevelSimulation:
     # ------------------------------------------------------------------
     def _draw_path(
         self, rng: np.random.Generator, source: Node, destination: Node
-    ) -> Optional[Tuple[Node, ...]]:
+    ) -> tuple[Node, ...] | None:
         """Sample a loop-free path hop-by-hop from the split ratios."""
         ratios = self.split_ratios.get(destination, {})
         path = [source]
@@ -212,7 +211,7 @@ class FlowLevelSimulation:
                 accumulated[:] += current_load * (now - start)
             last_update[0] = now
 
-        def end_flow(link_indices: List[int], rate: float):
+        def end_flow(link_indices: list[int], rate: float):
             def handler(s: Simulator) -> None:
                 integrate(s.now)
                 for index in link_indices:
@@ -232,7 +231,7 @@ class FlowLevelSimulation:
                 else:
                     stats["started"] += 1
                     link_indices = [
-                        self.network.link_index(u, v) for u, v in zip(path[:-1], path[1:])
+                        self.network.link_index(u, v) for u, v in zip(path[:-1], path[1:], strict=True)
                     ]
                     for index in link_indices:
                         current_load[index] += rate

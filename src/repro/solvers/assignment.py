@@ -26,7 +26,7 @@ always-sparse batched entry points in :mod:`repro.routing` instead.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional
+from collections.abc import Mapping
 
 from ..network.demands import TrafficMatrix
 from ..network.flows import FlowAssignment
@@ -51,7 +51,7 @@ def _propagate_over_dag(
     network: Network,
     dag: ShortestPathDag,
     entering: Mapping[Node, float],
-    split_ratios: Optional[Mapping[Node, Mapping[Node, float]]],
+    split_ratios: Mapping[Node, Mapping[Node, float]] | None,
     flows: FlowAssignment,
 ) -> None:
     """Push per-destination demand over ``dag`` using ``split_ratios``.
@@ -63,7 +63,7 @@ def _propagate_over_dag(
     """
     destination = dag.destination
     vector = flows.ensure_destination(destination)
-    transit: Dict[Node, float] = {}
+    transit: dict[Node, float] = {}
     # A topological order guarantees a node's whole incoming flow (local
     # demand plus transit) is known before the node splits it, even on
     # zero-weight plateaus where distances tie.
@@ -105,8 +105,8 @@ def ecmp_assignment(
     demands: TrafficMatrix,
     weights: WeightsLike,
     tolerance: float = DEFAULT_TOLERANCE,
-    dags: Optional[Dict[Node, ShortestPathDag]] = None,
-    backend: Optional[str] = None,
+    dags: dict[Node, ShortestPathDag] | None = None,
+    backend: str | None = None,
 ) -> FlowAssignment:
     """Route ``demands`` with even splitting over equal-cost shortest paths.
 
@@ -140,7 +140,7 @@ def all_or_nothing_assignment(
     demands: TrafficMatrix,
     weights: WeightsLike,
     tolerance: float = DEFAULT_TOLERANCE,
-    backend: Optional[str] = None,
+    backend: str | None = None,
 ) -> FlowAssignment:
     """Route every demand along a single shortest path (no splitting).
 
@@ -155,7 +155,7 @@ def all_or_nothing_assignment(
     flows = FlowAssignment(network=network)
     for destination, entering in demands.by_destination().items():
         dag = shortest_path_dag(network, destination, weights, tolerance)
-        single_hop: Dict[Node, Dict[Node, float]] = {}
+        single_hop: dict[Node, dict[Node, float]] = {}
         for node in dag.next_hops:
             hops = dag.next_hops_of(node)
             if hops:
@@ -172,9 +172,9 @@ def all_or_nothing_assignment(
 def split_ratio_assignment(
     network: Network,
     demands: TrafficMatrix,
-    dags: Dict[Node, ShortestPathDag],
-    split_ratios: Dict[Node, Dict[Node, Dict[Node, float]]],
-    backend: Optional[str] = None,
+    dags: dict[Node, ShortestPathDag],
+    split_ratios: dict[Node, dict[Node, dict[Node, float]]],
+    backend: str | None = None,
 ) -> FlowAssignment:
     """Route demands over precomputed DAGs with explicit split ratios.
 

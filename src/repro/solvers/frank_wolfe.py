@@ -27,7 +27,7 @@ decomposition); the test-suite cross-checks the two against each other.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from collections.abc import Callable
 
 import numpy as np
 
@@ -54,7 +54,7 @@ class FrankWolfeResult:
     iterations: int
     relative_gap: float
     converged: bool
-    objective_history: List[float] = field(default_factory=list)
+    objective_history: list[float] = field(default_factory=list)
 
 
 def _golden_section(fun: Callable[[float], float], tol: float = 1e-10) -> float:
@@ -84,7 +84,7 @@ def solve_frank_wolfe(
     barrier: bool = True,
     max_iterations: int = 300,
     tolerance: float = 1e-6,
-    initial_flows: Optional[FlowAssignment] = None,
+    initial_flows: FlowAssignment | None = None,
 ) -> FrankWolfeResult:
     """Minimise a convex separable link cost over the MCF polytope.
 
@@ -133,11 +133,11 @@ def solve_frank_wolfe(
     else:
         current = initial_flows.copy()
 
-    history: List[float] = []
+    history: list[float] = []
     relative_gap = np.inf
     converged = False
     iteration = 0
-    for iteration in range(1, max_iterations + 1):
+    for iteration in range(1, max_iterations + 1):  # noqa: B007
         aggregate = current.aggregate()
         weights = np.maximum(gradient(aggregate), 0.0)
         if barrier:

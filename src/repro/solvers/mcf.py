@@ -20,7 +20,6 @@ Constraint matrices are assembled sparsely to keep the Rand100 topology
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
 
 import numpy as np
 from scipy import sparse
@@ -46,14 +45,14 @@ class McfSolution:
     #: Dual values of the link capacity constraints (one per link), when the
     #: LP backend exposes them.  For the min-cost MCF these are the shadow
     #: prices the paper interprets as link weights.
-    capacity_duals: Optional[np.ndarray] = None
+    capacity_duals: np.ndarray | None = None
 
 
 def _stack_conservation(
     network: Network,
     demands: TrafficMatrix,
-    destinations: List[Node],
-) -> Tuple[sparse.csr_matrix, np.ndarray]:
+    destinations: list[Node],
+) -> tuple[sparse.csr_matrix, np.ndarray]:
     """Block-diagonal conservation constraints ``B f^t = d^t`` for all commodities.
 
     One (redundant) row per destination is dropped to keep the system full
@@ -79,7 +78,7 @@ def _capacity_matrix(num_links: int, num_commodities: int) -> sparse.csr_matrix:
 
 def _extract_flows(
     network: Network,
-    destinations: List[Node],
+    destinations: list[Node],
     solution: np.ndarray,
 ) -> FlowAssignment:
     flows = FlowAssignment(network=network)

@@ -13,7 +13,7 @@ This module factors those rules out so they can be swapped and ablated.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterator
+from collections.abc import Callable, Iterator
 
 import numpy as np
 

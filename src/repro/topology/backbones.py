@@ -17,12 +17,11 @@ Capacities are expressed in Gbps.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
 
 from ..network.graph import Network
 
 #: Abilene PoPs in the paper's customary numbering (1-11).
-ABILENE_NODES: Dict[int, str] = {
+ABILENE_NODES: dict[int, str] = {
     1: "Seattle",
     2: "Sunnyvale",
     3: "Denver",
@@ -37,7 +36,7 @@ ABILENE_NODES: Dict[int, str] = {
 }
 
 #: Bidirectional Abilene links (14 of them -> 28 directional).
-ABILENE_EDGES: List[Tuple[int, int]] = [
+ABILENE_EDGES: list[tuple[int, int]] = [
     (1, 2),   # Seattle - Sunnyvale
     (1, 3),   # Seattle - Denver
     (2, 4),   # Sunnyvale - Los Angeles
@@ -69,7 +68,7 @@ def abilene_network() -> Network:
 
 
 #: Cernet2 PoPs (our reconstruction), numbered 1-20 as in Fig. 8(b).
-CERNET2_NODES: Dict[int, str] = {
+CERNET2_NODES: dict[int, str] = {
     1: "Beijing",
     2: "Tianjin",
     3: "Shijiazhuang",
@@ -95,7 +94,7 @@ CERNET2_NODES: Dict[int, str] = {
 #: Bidirectional Cernet2 links with True marking the 10 Gbps spine edges
 #: (the paper: "the capacity of 4 links marked with bold lines is 10Gbps",
 #: i.e. 4 directional links = 2 bidirectional spine edges).
-CERNET2_EDGES: List[Tuple[int, int, bool]] = [
+CERNET2_EDGES: list[tuple[int, int, bool]] = [
     (1, 2, False),    # Beijing - Tianjin
     (1, 3, False),    # Beijing - Shijiazhuang
     (1, 4, False),    # Beijing - Jinan
@@ -147,10 +146,10 @@ def cernet2_network() -> Network:
 
 #: Redundant regional edges removed to match the 44-directional-link count of
 #: Table III (they parallel existing spine detours).
-CERNET2_DROPPED_EDGES: List[Tuple[int, int]] = [(2, 4), (3, 5), (9, 11)]
+CERNET2_DROPPED_EDGES: list[tuple[int, int]] = [(2, 4), (3, 5), (9, 11)]
 
 
-def cernet2_edges() -> List[Tuple[int, int, bool]]:
+def cernet2_edges() -> list[tuple[int, int, bool]]:
     """The 22 bidirectional Cernet2 edges actually used (after the drops)."""
     dropped = set(CERNET2_DROPPED_EDGES)
     return [
@@ -160,9 +159,9 @@ def cernet2_edges() -> List[Tuple[int, int, bool]]:
     ]
 
 
-def cernet2_backbone_links() -> List[Tuple[int, int]]:
+def cernet2_backbone_links() -> list[tuple[int, int]]:
     """The 4 directional 10 Gbps links (both directions of the 2 spine edges)."""
-    result: List[Tuple[int, int]] = []
+    result: list[tuple[int, int]] = []
     for u, v, is_backbone in cernet2_edges():
         if is_backbone:
             result.append((u, v))

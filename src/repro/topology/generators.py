@@ -21,7 +21,6 @@ reproduced.
 from __future__ import annotations
 
 import itertools
-from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -33,9 +32,9 @@ LONG_DISTANCE_CAPACITY = 5.0
 RANDOM_LINK_CAPACITY = 1.0
 
 
-def _spanning_edges(nodes: List[int], rng: np.random.Generator) -> List[Tuple[int, int]]:
+def _spanning_edges(nodes: list[int], rng: np.random.Generator) -> list[tuple[int, int]]:
     """A random spanning tree over ``nodes`` (guarantees connectivity)."""
-    edges: List[Tuple[int, int]] = []
+    edges: list[tuple[int, int]] = []
     shuffled = list(nodes)
     rng.shuffle(shuffled)
     for i in range(1, len(shuffled)):
@@ -45,11 +44,11 @@ def _spanning_edges(nodes: List[int], rng: np.random.Generator) -> List[Tuple[in
 
 
 def _fill_to_target(
-    existing: List[Tuple[int, int]],
-    candidates: List[Tuple[int, int]],
+    existing: list[tuple[int, int]],
+    candidates: list[tuple[int, int]],
     target_edges: int,
     rng: np.random.Generator,
-) -> List[Tuple[int, int]]:
+) -> list[tuple[int, int]]:
     """Add random candidate edges until ``target_edges`` bidirectional edges exist."""
     chosen = list(existing)
     chosen_set = {frozenset(e) for e in chosen}
@@ -68,7 +67,7 @@ def random_network(
     num_directed_links: int,
     capacity: float = RANDOM_LINK_CAPACITY,
     seed: int = 0,
-    name: Optional[str] = None,
+    name: str | None = None,
 ) -> Network:
     """A connected random topology with exactly ``num_directed_links`` links.
 
@@ -103,7 +102,7 @@ def hierarchical_network(
     local_capacity: float = LOCAL_ACCESS_CAPACITY,
     long_capacity: float = LONG_DISTANCE_CAPACITY,
     seed: int = 0,
-    name: Optional[str] = None,
+    name: str | None = None,
 ) -> Network:
     """A GT-ITM style 2-level hierarchy (transit backbone + stub clusters).
 
@@ -135,8 +134,8 @@ def hierarchical_network(
     # Stub attachment: each stub connects to its transit domain head, then to
     # random peers inside the same domain.
     domain_of = {stub: transit[i % num_transit] for i, stub in enumerate(stubs)}
-    access_edges: List[Tuple[int, int]] = [(domain_of[stub], stub) for stub in stubs]
-    access_candidates: List[Tuple[int, int]] = []
+    access_edges: list[tuple[int, int]] = [(domain_of[stub], stub) for stub in stubs]
+    access_candidates: list[tuple[int, int]] = []
     for stub in stubs:
         head = domain_of[stub]
         peers = [s for s in stubs if domain_of[s] == head and s != stub]

@@ -19,14 +19,13 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
 
 from ..network.demands import TrafficMatrix
 from ..network.graph import Network
 
 #: Directed links of the Fig. 1 topology, in the paper's order:
 #: (1,3), (3,4), (1,2), (2,3); every capacity is 1.
-FIG1_LINKS: List[Tuple[int, int, float]] = [
+FIG1_LINKS: list[tuple[int, int, float]] = [
     (1, 3, 1.0),
     (3, 4, 1.0),
     (1, 2, 1.0),
@@ -34,7 +33,7 @@ FIG1_LINKS: List[Tuple[int, int, float]] = [
 ]
 
 #: Demands of the Fig. 1 example: 1 unit from 1 to 3 and 0.9 units from 3 to 4.
-FIG1_DEMANDS: Dict[Tuple[int, int], float] = {(1, 3): 1.0, (3, 4): 0.9}
+FIG1_DEMANDS: dict[tuple[int, int], float] = {(1, 3): 1.0, (3, 4): 0.9}
 
 
 def fig1_network(capacity_scale: float = 1.0) -> Network:
@@ -56,7 +55,7 @@ def fig1_demands() -> TrafficMatrix:
 
 #: Directed links of our reconstruction of the Fig. 4 topology, keyed by the
 #: link index used in the figures (1-13).  Every link has capacity 5.
-FIG4_LINKS: Dict[int, Tuple[int, int]] = {
+FIG4_LINKS: dict[int, tuple[int, int]] = {
     1: (1, 4),
     2: (1, 5),
     3: (1, 6),
@@ -74,7 +73,7 @@ FIG4_LINKS: Dict[int, Tuple[int, int]] = {
 
 #: Demands of the Fig. 4 example (Table IV, "simple network"): four demands of
 #: 4 units each.
-FIG4_DEMANDS: Dict[Tuple[int, int], float] = {
+FIG4_DEMANDS: dict[tuple[int, int], float] = {
     (1, 2): 4.0,
     (1, 3): 4.0,
     (3, 2): 4.0,
@@ -101,7 +100,7 @@ def fig4_demands(volume: float = 4.0) -> TrafficMatrix:
     return TrafficMatrix({pair: d * scale for pair, d in FIG4_DEMANDS.items()})
 
 
-def fig4_link_labels(network: Network) -> Dict[int, Tuple[int, int]]:
+def fig4_link_labels(network: Network) -> dict[int, tuple[int, int]]:
     """Map the paper's link indices (1-13) to our link endpoints.
 
     Useful when printing Fig. 6/7-style per-link series with the same x-axis

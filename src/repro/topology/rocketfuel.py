@@ -16,7 +16,6 @@ provides
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -25,7 +24,7 @@ from .generators import random_network
 
 #: Approximate PoP-level sizes of the classic Rocketfuel ASes
 #: (AS number -> (name, nodes, directed links)).
-ROCKETFUEL_PROFILES: Dict[int, Tuple[str, int, int]] = {
+ROCKETFUEL_PROFILES: dict[int, tuple[str, int, int]] = {
     1221: ("Telstra", 44, 176),
     1239: ("Sprint", 52, 168),
     1755: ("Ebone", 23, 76),
@@ -38,7 +37,7 @@ ROCKETFUEL_PROFILES: Dict[int, Tuple[str, int, int]] = {
 #: (AS number -> (name, nodes, directed links)).  These are the
 #: several-hundred-node instances the incremental hot path has to scale to;
 #: :func:`synthetic_rocketfuel` selects them with ``level="router"``.
-ROCKETFUEL_ROUTER_PROFILES: Dict[int, Tuple[str, int, int]] = {
+ROCKETFUEL_ROUTER_PROFILES: dict[int, tuple[str, int, int]] = {
     1221: ("Telstra", 104, 604),
     1239: ("Sprint", 315, 1944),
     1755: ("Ebone", 87, 644),
@@ -49,9 +48,9 @@ ROCKETFUEL_ROUTER_PROFILES: Dict[int, Tuple[str, int, int]] = {
 
 
 def parse_rocketfuel(
-    path: Union[str, Path],
+    path: str | Path,
     default_capacity: float = 10.0,
-    name: Optional[str] = None,
+    name: str | None = None,
     duplex: bool = True,
 ) -> Network:
     """Parse a whitespace-separated edge list into a :class:`Network`.
@@ -63,7 +62,7 @@ def parse_rocketfuel(
     """
     path = Path(path)
     net = Network(name=name or path.stem)
-    pending: List[Tuple[str, str, float]] = []
+    pending: list[tuple[str, str, float]] = []
     with open(path) as handle:
         for line in handle:
             line = line.strip()
@@ -84,7 +83,7 @@ def parse_rocketfuel(
     return net
 
 
-def write_rocketfuel(network: Network, path: Union[str, Path]) -> None:
+def write_rocketfuel(network: Network, path: str | Path) -> None:
     """Write a network in the simple edge-list format understood by the parser."""
     path = Path(path)
     lines = [f"# {network.name}: {network.num_nodes} nodes, {network.num_links} links"]
@@ -127,7 +126,7 @@ def synthetic_rocketfuel(
     return net
 
 
-def degree_profile(network: Network) -> Dict[str, float]:
+def degree_profile(network: Network) -> dict[str, float]:
     """Summary degree statistics (used when comparing generated topologies)."""
     out_degrees = np.array([len(network.out_links(node)) for node in network.nodes], dtype=float)
     return {

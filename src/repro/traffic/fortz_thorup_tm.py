@@ -18,7 +18,7 @@ structure the construction is after.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional, Tuple
+from collections.abc import Mapping
 
 import numpy as np
 
@@ -27,10 +27,10 @@ from ..network.graph import Network, Node
 from ..network.spt import distances_to
 
 
-def hop_distances(network: Network) -> Dict[Tuple[Node, Node], float]:
+def hop_distances(network: Network) -> dict[tuple[Node, Node], float]:
     """All-pairs hop-count distances (used when no coordinates are available)."""
     unit = np.ones(network.num_links)
-    result: Dict[Tuple[Node, Node], float] = {}
+    result: dict[tuple[Node, Node], float] = {}
     for destination in network.nodes:
         dist = distances_to(network, destination, unit)
         for source, value in dist.items():
@@ -40,11 +40,11 @@ def hop_distances(network: Network) -> Dict[Tuple[Node, Node], float]:
 
 
 def euclidean_distances(
-    coordinates: Mapping[Node, Tuple[float, float]]
-) -> Dict[Tuple[Node, Node], float]:
+    coordinates: Mapping[Node, tuple[float, float]]
+) -> dict[tuple[Node, Node], float]:
     """All-pairs Euclidean distances from a coordinate embedding."""
     nodes = list(coordinates)
-    result: Dict[Tuple[Node, Node], float] = {}
+    result: dict[tuple[Node, Node], float] = {}
     for source in nodes:
         sx, sy = coordinates[source]
         for target in nodes:
@@ -58,7 +58,7 @@ def euclidean_distances(
 def fortz_thorup_traffic_matrix(
     network: Network,
     total_volume: float,
-    coordinates: Optional[Mapping[Node, Tuple[float, float]]] = None,
+    coordinates: Mapping[Node, tuple[float, float]] | None = None,
     seed: int = 0,
 ) -> TrafficMatrix:
     """A Fortz-Thorup random traffic matrix scaled to ``total_volume``.
@@ -87,7 +87,7 @@ def fortz_thorup_traffic_matrix(
     if not distances:
         return TrafficMatrix()
     delta = max(distances.values())
-    raw: Dict[Tuple[Node, Node], float] = {}
+    raw: dict[tuple[Node, Node], float] = {}
     for source in nodes:
         for target in nodes:
             if source == target:
@@ -110,7 +110,7 @@ def fortz_thorup_traffic_matrix(
 
 #: Rough geographic coordinates (longitude, latitude) for the Abilene PoPs,
 #: used so the FT distance decay reflects the real continental layout.
-ABILENE_COORDINATES: Dict[int, Tuple[float, float]] = {
+ABILENE_COORDINATES: dict[int, tuple[float, float]] = {
     1: (-122.3, 47.6),   # Seattle
     2: (-122.0, 37.4),   # Sunnyvale
     3: (-105.0, 39.7),   # Denver

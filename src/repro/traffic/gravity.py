@@ -15,7 +15,7 @@ be supplied explicitly.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional
+from collections.abc import Mapping
 
 import numpy as np
 
@@ -23,7 +23,7 @@ from ..network.demands import TrafficMatrix
 from ..network.graph import Network, Node
 
 
-def node_capacity_weights(network: Network) -> Dict[Node, float]:
+def node_capacity_weights(network: Network) -> dict[Node, float]:
     """Node activity weights proportional to attached (outgoing) capacity.
 
     A standard proxy when per-node traffic volumes are unknown: big PoPs have
@@ -38,8 +38,8 @@ def node_capacity_weights(network: Network) -> Dict[Node, float]:
 def gravity_traffic_matrix(
     network: Network,
     total_volume: float,
-    out_weights: Optional[Mapping[Node, float]] = None,
-    in_weights: Optional[Mapping[Node, float]] = None,
+    out_weights: Mapping[Node, float] | None = None,
+    in_weights: Mapping[Node, float] | None = None,
     self_demands: bool = False,
 ) -> TrafficMatrix:
     """A gravity-model traffic matrix with the prescribed total volume.
@@ -60,7 +60,7 @@ def gravity_traffic_matrix(
     out_w = dict(out_weights) if out_weights is not None else node_capacity_weights(network)
     in_w = dict(in_weights) if in_weights is not None else node_capacity_weights(network)
     nodes = network.nodes
-    raw: Dict[tuple, float] = {}
+    raw: dict[tuple, float] = {}
     for source in nodes:
         for target in nodes:
             if source == target and not self_demands:
@@ -81,7 +81,7 @@ def gravity_traffic_matrix(
 def gravity_from_link_loads(
     network: Network,
     link_loads: Mapping[tuple, float],
-    total_volume: Optional[float] = None,
+    total_volume: float | None = None,
 ) -> TrafficMatrix:
     """Gravity matrix whose node weights are derived from per-link loads.
 
@@ -91,8 +91,8 @@ def gravity_from_link_loads(
     matrix is fitted on top.  ``total_volume`` defaults to half the total link
     load, a rough proxy for the carried end-to-end volume.
     """
-    out_weights: Dict[Node, float] = {node: 0.0 for node in network.nodes}
-    in_weights: Dict[Node, float] = {node: 0.0 for node in network.nodes}
+    out_weights: dict[Node, float] = {node: 0.0 for node in network.nodes}
+    in_weights: dict[Node, float] = {node: 0.0 for node in network.nodes}
     total_load = 0.0
     for (u, v), load in link_loads.items():
         if load < 0:

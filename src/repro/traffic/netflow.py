@@ -17,7 +17,6 @@ Everything is seeded, so the Cernet2 experiments are reproducible bit-for-bit.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
 
 import numpy as np
 
@@ -35,17 +34,17 @@ class NetflowSample:
 
     network_name: str
     #: Hourly load samples per link, keyed by (source, target), in Gbps.
-    series: Dict[Tuple, np.ndarray]
+    series: dict[Tuple, np.ndarray]
 
-    def average_loads(self) -> Dict[Tuple, float]:
+    def average_loads(self) -> dict[Tuple, float]:
         """Mean load per link over the capture window (the gravity input)."""
         return {edge: float(np.mean(values)) for edge, values in self.series.items()}
 
-    def peak_loads(self) -> Dict[Tuple, float]:
+    def peak_loads(self) -> dict[Tuple, float]:
         """Peak hourly load per link."""
         return {edge: float(np.max(values)) for edge, values in self.series.items()}
 
-    def busiest_links(self, count: int = 5) -> List[Tuple]:
+    def busiest_links(self, count: int = 5) -> list[Tuple]:
         """The ``count`` links with the highest average load."""
         averages = self.average_loads()
         return sorted(averages, key=averages.get, reverse=True)[:count]
@@ -75,7 +74,7 @@ def synthesize_netflow(
     # Diurnal pattern: peak in the evening, trough at night, mild weekday bias.
     diurnal = 1.0 + 0.45 * np.sin(2 * np.pi * (hour_index % 24 - 14) / 24.0)
     weekly = 1.0 + 0.1 * np.sin(2 * np.pi * hour_index / (24.0 * 7))
-    series: Dict[Tuple, np.ndarray] = {}
+    series: dict[Tuple, np.ndarray] = {}
     for link in network.links:
         # Heavy-tailed per-link base intensity (lognormal), scaled by capacity.
         base = rng.lognormal(mean=0.0, sigma=0.8)

@@ -11,7 +11,7 @@ LP), and build whole sweeps of instances.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from collections.abc import Callable, Sequence
 
 from ..network.demands import TrafficMatrix
 from ..network.graph import Network
@@ -74,7 +74,7 @@ def load_sweep(
     network: Network,
     base_demands: TrafficMatrix,
     loads: Sequence[float],
-) -> List[LoadPoint]:
+) -> list[LoadPoint]:
     """Instances at each requested network-load level (Fig. 10 x-axis values)."""
     return [
         LoadPoint(network_load=load, demands=scale_to_network_load(network, base_demands, load))
@@ -88,8 +88,8 @@ def sweep_until_saturation(
     start_load: float,
     step: float,
     max_points: int = 12,
-    stop_when: Optional[Callable[[TrafficMatrix], bool]] = None,
-) -> List[LoadPoint]:
+    stop_when: Callable[[TrafficMatrix], bool] | None = None,
+) -> list[LoadPoint]:
     """Increase the network load until a stopping predicate fires.
 
     The default predicate reproduces the paper's procedure: stop once the
@@ -103,7 +103,7 @@ def sweep_until_saturation(
         return solve_min_mlu(network, demands, allow_overload=True).objective >= 1.0
 
     predicate = stop_when or default_stop
-    points: List[LoadPoint] = []
+    points: list[LoadPoint] = []
     load = start_load
     for _ in range(max_points):
         demands = scale_to_network_load(network, base_demands, load)

@@ -50,7 +50,7 @@ class TestBuildTables:
         weights = np.ones(fig4.num_links)
         dags = all_shortest_path_dags(fig4, fig4_tm.destinations(), weights)
         tables = build_forwarding_tables(fig4, dags, np.zeros(fig4.num_links))
-        for node, table in tables.items():
+        for table in tables.values():
             for destination in table.destinations():
                 total = sum(table.split_ratios(destination).values())
                 assert total == pytest.approx(1.0)

@@ -56,7 +56,7 @@ class TestTable1Fig1:
         for beta in (0.0, 1.0, 2.0, 4.0):
             solution = solve_optimal_te(TEProblem(fig1, fig1_tm, LoadBalanceObjective(beta=beta)))
             series.append(fig1.weight_dict(solution.flows.utilization())[(1, 3)])
-        assert all(a >= b - 1e-6 for a, b in zip(series, series[1:]))
+        assert all(a >= b - 1e-6 for a, b in zip(series, series[1:], strict=False))
         # beta -> infinity approaches the min-max optimum of 2/3... capped by
         # the 0.9 bottleneck on the other demand; just check it drops below
         # the beta=0 level of 1.0.

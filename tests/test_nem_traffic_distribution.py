@@ -51,7 +51,7 @@ class TestExponentialSplitRatios:
         second = np.linspace(0, 1, fig4.num_links)
         for dag in dags.values():
             ratios = exponential_split_ratios(fig4, dag, second)
-            for node, hops in ratios.items():
+            for hops in ratios.values():
                 assert sum(hops.values()) == pytest.approx(1.0)
 
     def test_higher_second_weight_reduces_share(self, diamond_network):

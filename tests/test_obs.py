@@ -60,10 +60,10 @@ def test_span_nesting_records_parents_and_depth():
 
 def test_span_exception_closes_as_error_and_reraises():
     registry = TelemetryRegistry()
-    with pytest.raises(ValueError, match="boom"):
-        with registry.span("outer"):
-            with registry.span("failing"):
-                raise ValueError("boom")
+    with pytest.raises(ValueError, match="boom"), registry.span("outer"), registry.span(
+        "failing"
+    ):
+        raise ValueError("boom")
     outer, failing = registry.spans
     assert failing.status == "error"
     assert failing.error == "ValueError: boom"
@@ -141,10 +141,9 @@ def test_snapshot_pickles_and_merge_remaps_span_ids():
     with parent.span("parent.work"):
         pass
     worker = TelemetryRegistry(label="worker-1234")
-    with worker.span("chunk"):
-        with worker.span("cell"):
-            worker.count("dspt.fallback", 2, reason="plateau")
-            worker.observe("dspt.cone_fraction", 0.3)
+    with worker.span("chunk"), worker.span("cell"):
+        worker.count("dspt.fallback", 2, reason="plateau")
+        worker.observe("dspt.cone_fraction", 0.3)
     parent.count("dspt.fallback", 1, reason="plateau")
     parent.observe("dspt.cone_fraction", 0.05)
 
@@ -174,9 +173,8 @@ def test_registry_merge_rejects_mismatched_histogram_edges():
 
 def test_snapshot_roundtrip_preserves_exception_spans():
     worker = TelemetryRegistry(label="w-1")
-    with pytest.raises(RuntimeError, match="kaboom"):
-        with worker.span("explode", stage="cell"):
-            raise RuntimeError("kaboom")
+    with pytest.raises(RuntimeError, match="kaboom"), worker.span("explode", stage="cell"):
+        raise RuntimeError("kaboom")
     parent = TelemetryRegistry()
     parent.merge(pickle.loads(pickle.dumps(worker.snapshot())))
     (merged,) = parent.spans
@@ -200,7 +198,7 @@ def test_merge_remaps_deeply_nested_span_tree():
     chain = parent.spans[1:]
     assert [span.depth for span in chain] == list(range(depth))
     assert chain[0].parent_id is None
-    for outer, inner in zip(chain, chain[1:]):
+    for outer, inner in zip(chain, chain[1:], strict=False):
         assert inner.parent_id == outer.span_id  # remapped, still a chain
     assert min(span.span_id for span in chain) == 1  # past the parent's ids
     # The call-tree aggregation reconstructs the full remapped path.
@@ -227,7 +225,7 @@ def test_export_jsonl_is_byte_stable(tmp_path):
     span_lines = [record for record in parsed if record["type"] == "span"]
     assert all("self" in record for record in span_lines)
     # Keys are sorted within each line: re-serialising is the identity.
-    for line, record in zip(first.read_text().splitlines(), parsed):
+    for line, record in zip(first.read_text().splitlines(), parsed, strict=True):
         assert line == json.dumps(record, sort_keys=True, separators=(", ", ": "))
 
 

@@ -13,7 +13,6 @@ the incremental regime (strictly positive weights) and the fallback regime
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
 
 import numpy as np
 import pytest
@@ -38,10 +37,10 @@ PLATEAU_POOL = (0.0, 0.0, 1.0, 2.0)
 # strategies
 # ----------------------------------------------------------------------
 @st.composite
-def topology(draw, pool=POSITIVE_POOL) -> Tuple[Network, np.ndarray]:
+def topology(draw, pool=POSITIVE_POOL) -> tuple[Network, np.ndarray]:
     """A small random directed network seeded with a ring for reachability."""
     n = draw(st.integers(min_value=3, max_value=6))
-    edges: Dict[Tuple[int, int], None] = {}
+    edges: dict[tuple[int, int], None] = {}
     for i in range(n):
         edges[(i, (i + 1) % n)] = None
     extra = draw(
@@ -72,7 +71,7 @@ def topology(draw, pool=POSITIVE_POOL) -> Tuple[Network, np.ndarray]:
 
 
 @st.composite
-def event_sequence(draw, net: Network, pool=POSITIVE_POOL) -> List[Tuple[str, int, float]]:
+def event_sequence(draw, net: Network, pool=POSITIVE_POOL) -> list[tuple[str, int, float]]:
     """``(op, link_index, value)`` triples; ops are fail/recover/weight."""
     length = draw(st.integers(min_value=1, max_value=6))
     ops = []

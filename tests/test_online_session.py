@@ -254,7 +254,7 @@ class TestStateDump:
             abilene_network(), session.state_dump()
         )
         for event, mlu in zip(
-            trace[3:], [m.mlu for m in session.feed_many(trace[3:])]
+            trace[3:], [m.mlu for m in session.feed_many(trace[3:])], strict=True
         ):
             assert restored.feed(event).mlu == pytest.approx(mlu, rel=1e-12)
 

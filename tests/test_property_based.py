@@ -164,7 +164,7 @@ class TestRoutingProperties:
         destination = data.draw(st.integers(min_value=0, max_value=NODE_COUNT - 1))
         dag = shortest_path_dag(network, destination, weights)
         ratios = exponential_split_ratios(network, dag, second)
-        for node, hops in ratios.items():
+        for hops in ratios.values():
             assert all(r >= -1e-12 for r in hops.values())
             assert sum(hops.values()) == pytest.approx(1.0)
 

@@ -64,8 +64,8 @@ class TestRouting:
 class TestSplitRatios:
     def test_ratios_sum_to_one(self, fig4, fig4_tm):
         ratios = PEFT(weights=np.ones(fig4.num_links)).split_ratios(fig4, fig4_tm)
-        for destination, per_node in ratios.items():
-            for node, hops in per_node.items():
+        for per_node in ratios.values():
+            for hops in per_node.values():
                 assert sum(hops.values()) == pytest.approx(1.0)
 
     def test_ratio_keys_are_demand_destinations(self, fig4, fig4_tm):

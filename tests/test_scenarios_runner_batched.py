@@ -231,7 +231,7 @@ class TestBatchLinkLoadsContract:
         matrices = [tm.scaled(f) for f in (0.25, 1.0, 1.75)]
         loads = protocol.batch_link_loads(net, matrices)
         assert loads.shape == (3, net.num_links)
-        for row, matrix in zip(loads, matrices):
+        for row, matrix in zip(loads, matrices, strict=True):
             np.testing.assert_allclose(
                 row, protocol.route(net, matrix).aggregate(), atol=1e-9, rtol=0
             )

@@ -21,7 +21,14 @@ from repro.online import (
 )
 from repro.scenarios import single_link_failures
 from repro.serve import ServeClient, ServeClientError, ServerThread, TEServer
-from repro.serve.wire import dumps_state, parse_frame, WireError
+from repro.serve.wire import (
+    MAX_FRAME_BYTES,
+    WireError,
+    desanitize,
+    dumps_state,
+    parse_frame,
+    sanitize,
+)
 from repro.topology.backbones import abilene_network, cernet2_network
 from repro.traffic.fortz_thorup_tm import abilene_traffic_matrix
 from repro.traffic.gravity import gravity_traffic_matrix
@@ -263,3 +270,61 @@ class TestTwoTenantIsolation:
             assert sorted(dumps) == ["Abilene", "Cernet2"]
             only = client.dump(session="Cernet2")
             assert sorted(only) == ["Cernet2"]
+
+
+# ----------------------------------------------------------------------
+# wire sanitize/desanitize edge cases
+# ----------------------------------------------------------------------
+class TestWireSanitize:
+    def test_nested_non_finite_floats_round_trip(self):
+        payload = {
+            "rows": [
+                {"mlu": float("inf"), "samples": [float("nan"), -0.0, 1.5]},
+                {"mlu": float("-inf"), "nested": {"deep": [{"v": float("inf")}]}},
+            ],
+            "plain": 2.25,
+        }
+        clean = sanitize(payload)
+        # Strict JSON round trip: no inf/nan survives serialisation...
+        blob = json.dumps(clean, sort_keys=True, allow_nan=False)
+        restored = desanitize(json.loads(blob))
+        # ...yet every non-finite value comes back bit-for-bit.
+        assert restored["rows"][0]["mlu"] == float("inf")
+        assert restored["rows"][1]["mlu"] == float("-inf")
+        assert restored["rows"][1]["nested"]["deep"][0]["v"] == float("inf")
+        nan = restored["rows"][0]["samples"][0]
+        assert nan != nan
+        assert restored["rows"][0]["samples"][1:] == [-0.0, 1.5]
+        assert restored["plain"] == 2.25
+
+    def test_sanitize_normalises_tuples_to_lists(self):
+        assert sanitize({"pair": (1.0, float("nan"))}) == {"pair": [1.0, "NaN"]}
+
+    def test_desanitize_leaves_ordinary_strings_alone(self):
+        payload = {"note": "Infinity is mentioned, not encoded", "name": "NaN-like"}
+        assert desanitize(payload) == payload
+
+    def test_frame_at_max_frame_bytes_parses_and_one_over_rejects(self):
+        skeleton = json.dumps(
+            {"v": 1, "type": "query", "query": "mlu", "session": ""}, sort_keys=True
+        ).encode("utf-8")
+        padding = MAX_FRAME_BYTES - len(skeleton)
+        line = json.dumps(
+            {"v": 1, "type": "query", "query": "mlu", "session": "s" * padding},
+            sort_keys=True,
+        ).encode("utf-8")
+        assert len(line) == MAX_FRAME_BYTES
+        frame = parse_frame(line)
+        assert frame.type == "query" and frame.query == "mlu"
+        with pytest.raises(WireError, match="exceeds"):
+            parse_frame(line + b" ")
+
+    def test_dumps_state_round_trips_byte_for_byte(self):
+        dump = {
+            "weights": [1.0, float("inf"), 2.5],
+            "residuals": [{"worst": float("nan")}, {"worst": -0.0}],
+            "capacities": {"a": 1e9, "b": float("-inf")},
+        }
+        first = dumps_state(dump)
+        # decode -> desanitize -> re-dump must reproduce identical bytes.
+        assert dumps_state(desanitize(json.loads(first))) == first

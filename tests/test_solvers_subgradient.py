@@ -28,7 +28,7 @@ class TestStepRules:
         rule = DiminishingStep(1.0, decay=0.1)
         values = list(step_sequence(rule, 50))
         assert values[0] == pytest.approx(1.0)
-        assert all(a >= b for a, b in zip(values, values[1:]))
+        assert all(a >= b for a, b in zip(values, values[1:], strict=False))
         assert values[-1] < values[0]
 
     def test_diminishing_step_not_summable(self):

@@ -206,7 +206,7 @@ class TestController:
         scenarios = single_link_failures(abilene)
         measurements = controller.sweep_pure_failures(scenarios)
         spec = ProtocolSpec.of("OSPF")
-        for scenario, measurement in zip(scenarios, measurements):
+        for scenario, measurement in zip(scenarios, measurements, strict=True):
             cold = evaluate_scenario(abilene, abilene_tm, scenario, spec)
             assert measurement.mlu == pytest.approx(cold.mlu, abs=TOLERANCE)
             assert measurement.utility == pytest.approx(cold.utility, abs=1e-6)
@@ -238,7 +238,7 @@ class TestController:
         baseline = controller.measure()
         measurements = controller.sweep_scenarios(scenarios)
         spec = ProtocolSpec.of("MinHopOSPF")
-        for scenario, measurement in zip(scenarios, measurements):
+        for scenario, measurement in zip(scenarios, measurements, strict=True):
             cold = evaluate_scenario(abilene, abilene_tm, scenario, spec)
             assert measurement.mlu == pytest.approx(cold.mlu, abs=1e-12), scenario.scenario_id
             assert measurement.utility == pytest.approx(cold.utility, abs=1e-9)
@@ -263,7 +263,7 @@ class TestController:
         )
         measurements = controller.sweep_scenarios(scenarios)
         weight_map = abilene.weight_dict(protocol.ecmp_forwarding_weights(abilene))
-        for scenario, measurement in zip(scenarios, measurements):
+        for scenario, measurement in zip(scenarios, measurements, strict=True):
             instance = scenario.apply(abilene, abilene_tm)
             assert not instance.network.has_link(*scenario.capacity_factors[0][0])
             pruned_weights = {
@@ -378,7 +378,7 @@ class TestController:
         pruned_weights = {
             link.endpoints: weight_map[link.endpoints] for link in instance.network.links
         }
-        for row, matrix in zip(loads, matrices):
+        for row, matrix in zip(loads, matrices, strict=True):
             router = SparseRouter(instance.network, weights=pruned_weights)
             cold = router.link_loads(matrix)
             mapped = np.zeros(abilene.num_links)
@@ -494,7 +494,7 @@ class TestWarmStarts:
 
         def ring(name, order):
             net = Network(name=name)
-            for u, v in zip(order, order[1:] + order[:1]):
+            for u, v in zip(order, order[1:] + order[:1], strict=True):
                 net.add_duplex_link(u, v, 10.0)
             return net
 
@@ -560,7 +560,7 @@ class TestRunnerIncrementalPath:
         scenarios = single_link_failures(abilene) + node_failures(abilene, nodes=[3])
         spec = ProtocolSpec.of("OSPF")
         grouped = evaluate_scenarios(abilene, abilene_tm, scenarios, spec)
-        for scenario, result in zip(scenarios, grouped):
+        for scenario, result in zip(scenarios, grouped, strict=True):
             cold = evaluate_scenario(abilene, abilene_tm, scenario, spec)
             assert result.as_row() == cold.as_row()
             assert result.error is None
@@ -574,7 +574,7 @@ class TestRunnerIncrementalPath:
         )
         spec = ProtocolSpec.of("MinHopOSPF")
         grouped = evaluate_scenarios(abilene, abilene_tm, scenarios, spec)
-        for scenario, result in zip(scenarios[:-1], grouped[:-1]):
+        for scenario, result in zip(scenarios[:-1], grouped[:-1], strict=True):
             cold = evaluate_scenario(abilene, abilene_tm, scenario, spec)
             assert result.as_row() == cold.as_row(), scenario.scenario_id
             assert result.error is None
@@ -590,7 +590,7 @@ class TestRunnerIncrementalPath:
         scenarios = capacity_degradations(abilene, count=3, factor=0.5, seed=2)
         spec = ProtocolSpec.of("OSPF")
         grouped = evaluate_scenarios(abilene, abilene_tm, scenarios, spec)
-        for scenario, result in zip(scenarios, grouped):
+        for scenario, result in zip(scenarios, grouped, strict=True):
             cold = evaluate_scenario(abilene, abilene_tm, scenario, spec)
             assert result.as_row() == cold.as_row()
             assert result.setup_runtime == 0.0
@@ -667,7 +667,8 @@ class TestSnapshotBaseline:
         )
         scenarios = single_link_failures(abilene)[:6]
         for mine, theirs in zip(
-            warm.sweep_pure_failures(scenarios), parent.sweep_pure_failures(scenarios)
+            warm.sweep_pure_failures(scenarios), parent.sweep_pure_failures(scenarios),
+            strict=True,
         ):
             assert mine.mlu == pytest.approx(theirs.mlu, abs=TOLERANCE)
             assert mine.connected == theirs.connected
